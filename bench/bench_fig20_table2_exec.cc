@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 20 + Table 2: impact of scaling execution times (1.0×, 1.5×,
+ * 2.0×) on the average invocation overhead (ms) and the cold / warm /
+ * delayed mix, for CIDRE, FaasCache and LRU on Azure at 100 GB.
+ *
+ * Paper: average overhead 73/90/107 ms (CIDRE) vs 162/178/194 (Faas-
+ * Cache) vs 155/171/193 (LRU); Table 2's CIDRE delayed-warm share of
+ * non-warm starts stays ~70% at every scale.
+ */
+
+#include <iostream>
+
+#include "bench/common.h"
+#include "trace/transforms.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cidre;
+    const bench::Options options = bench::parseOptions(
+        argc, argv, "bench_fig20_table2_exec",
+        "Fig. 20 / Table 2: execution-time scaling");
+
+    bench::banner("Figure 20 & Table 2 — varying execution time",
+                  "Fig. 20 and Table 2");
+
+    // The paper's testbed keeps capacity headroom so that even 2.0x
+    // executions stay below saturation; we scale the base load down
+    // accordingly (2x execution time ≈ 2x offered load).
+    const trace::Trace base =
+        trace::makeAzureLikeTrace(options.seed, options.scale * 0.75);
+    const core::EngineConfig config = bench::defaultConfig(100);
+
+    stats::Table fig20({"Policy", "1.0x exec ms", "1.5x exec ms",
+                        "2.0x exec ms"});
+    stats::Table table2({"Method", "CR % (1.0/1.5/2.0x)",
+                         "WR % (1.0/1.5/2.0x)", "DR % (1.0/1.5/2.0x)"});
+
+    for (const std::string policy : {"cidre", "faascache", "lru"}) {
+        std::vector<double> overhead;
+        std::string cr;
+        std::string wr;
+        std::string dr;
+        for (const double scale : {1.0, 1.5, 2.0}) {
+            const trace::Trace scaled =
+                scale == 1.0 ? trace::Trace{} : trace::scaleExec(base, scale);
+            const trace::Trace &workload = scale == 1.0 ? base : scaled;
+            const core::RunMetrics m =
+                bench::runPolicy(workload, policy, config);
+            overhead.push_back(m.avgOverheadMs());
+            const auto sep = [&](std::string &s) {
+                if (!s.empty())
+                    s += " / ";
+            };
+            sep(cr);
+            cr += stats::formatFixed(m.coldRatio() * 100.0, 1);
+            sep(wr);
+            wr += stats::formatFixed(m.warmRatio() * 100.0, 1);
+            sep(dr);
+            dr += m.delayedRatio() > 0.0
+                ? stats::formatFixed(m.delayedRatio() * 100.0, 1)
+                : std::string("N/A");
+        }
+        fig20.addRow(policy, overhead, 0);
+        table2.addRow({policy, cr, wr, dr});
+    }
+
+    std::cout << "--- Figure 20 (average invocation overhead, ms) ---\n";
+    bench::emit(options, "fig20", fig20);
+    std::cout << "--- Table 2 (start-type ratios) ---\n";
+    bench::emit(options, "table2", table2);
+
+    std::cout << "Paper: longer executions raise cold ratios and average"
+                 " overhead for everyone (CIDRE 73→107 ms, FaasCache"
+                 " 162→194 ms); CIDRE stays ~2x better, with ~70% of its"
+                 " non-warm starts executed as delayed warm starts.\n";
+    return 0;
+}

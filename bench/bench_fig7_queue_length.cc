@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 7: impact of the busy-container queue length L on the average
+ * overhead ratio and the warm/delayed start mix (Azure workload).
+ *
+ * L = 0 is vanilla FaasCache; L = 1 allows one enqueued request per
+ * busy container; L = 2 allows two.  Paper: overhead 52.7% → 47.8% →
+ * 70.5%, i.e. L = 1 helps and L = 2 overshoots.
+ */
+
+#include <iostream>
+
+#include "bench/common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cidre;
+    const bench::Options options = bench::parseOptions(
+        argc, argv, "bench_fig7_queue_length",
+        "Fig. 7: fixed queue length what-if (L = 0, 1, 2)");
+
+    bench::banner("Figure 7 — varying warm containers' queue length",
+                  "Fig. 7");
+
+    const trace::Trace &workload = bench::azureTrace(options);
+    const core::EngineConfig config = bench::defaultConfig();
+
+    stats::Table table({"Queue length L", "overhead ratio %",
+                        "warm start %", "delayed warm %", "cold %"});
+    for (const int depth : {0, 1, 2}) {
+        const std::string policy = "fixed-queue-" + std::to_string(depth);
+        const core::RunMetrics m =
+            bench::runPolicy(workload, policy, config);
+        table.addRow(depth == 0 ? "0 (FaasCache)" : std::to_string(depth),
+                     {m.avgOverheadRatioPct(), m.warmRatio() * 100.0,
+                      m.delayedRatio() * 100.0, m.coldRatio() * 100.0});
+    }
+    bench::emit(options, "fig7", table);
+
+    std::cout << "Paper: overhead ratio 52.7 / 47.8 / 70.5 for L=0/1/2 —"
+                 " one queue slot beats vanilla, two overshoots.  The"
+                 " U-shape (L=1 best) is the result to match.\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figures 9 and 10: the theoretical opportunity space of delayed warm
+ * starts (§2.5) — for each request, how many other completions of the
+ * same function fall inside its cold-start window [t_a, t_a + t_c].
+ *
+ * Fig. 9 sweeps the cold-start overhead (1.0×, 0.75×, 0.5×, 0.25×);
+ * Fig. 10 sweeps the execution time (1.0×, 1.5×, 2.0×) and should
+ * barely move (Observation 3).
+ */
+
+#include <iostream>
+
+#include "analysis/opportunity.h"
+#include "bench/common.h"
+
+namespace {
+
+void
+addRow(cidre::stats::Table &table, const std::string &label,
+       const cidre::stats::Cdf &cdf)
+{
+    table.addRow(label,
+                 {cdf.fractionBelow(0.0) * 100.0,
+                  cdf.fractionBelow(25.0) * 100.0,
+                  cdf.fractionBelow(100.0) * 100.0, cdf.percentile(0.5),
+                  cdf.percentile(0.9), cdf.mean()},
+                 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cidre;
+    const bench::Options options = bench::parseOptions(
+        argc, argv, "bench_fig9_10_opportunity",
+        "Figs. 9/10: delayed-warm-start opportunity space");
+
+    bench::banner("Figures 9 & 10 — theoretical opportunity space",
+                  "Figs. 9 and 10");
+
+    const trace::Trace &workload = bench::azureTrace(options);
+
+    stats::Table fig9({"Cold-start scale", "frac =0 opp %",
+                       "frac <=25 opp %", "frac <=100 opp %", "p50 opps",
+                       "p90 opps", "mean opps"});
+    for (const double scale : {1.0, 0.75, 0.5, 0.25}) {
+        addRow(fig9, stats::formatFixed(scale, 2) + "x cold",
+               analysis::opportunityCdf(workload, scale, 1.0));
+    }
+    std::cout << "--- Figure 9 (varying the cold start overhead) ---\n";
+    bench::emit(options, "fig9", fig9);
+
+    stats::Table fig10({"Exec-time scale", "frac =0 opp %",
+                        "frac <=25 opp %", "frac <=100 opp %", "p50 opps",
+                        "p90 opps", "mean opps"});
+    for (const double scale : {1.0, 1.5, 2.0}) {
+        addRow(fig10, stats::formatFixed(scale, 2) + "x exec",
+               analysis::opportunityCdf(workload, 1.0, scale));
+    }
+    std::cout << "--- Figure 10 (varying the execution time) ---\n";
+    bench::emit(options, "fig10", fig10);
+
+    std::cout << "Paper: shrinking the cold-start window shrinks the"
+                 " opportunity count (Fig. 9), while scaling execution"
+                 " time leaves the distribution nearly unchanged"
+                 " (Fig. 10, Observation 3).\n";
+    return 0;
+}

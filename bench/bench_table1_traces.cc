@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table 1: production workload statistics — request counts, requests
+ * per second, and aggregate requested memory per second (GBps) of the
+ * two synthetic workloads, computed over 1-second buckets.
+ */
+
+#include <iostream>
+
+#include "bench/common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cidre;
+    const bench::Options options = bench::parseOptions(
+        argc, argv, "bench_table1_traces",
+        "Table 1: workload statistics of the two synthetic traces");
+
+    bench::banner("Table 1 — production workload statistics", "Table 1");
+
+    // The 24h row is generated at 1/24 duration (one diurnal-compressed
+    // hour) scaled back up in the printout would be misleading — so it
+    // is emitted at its true reduced duration with a note.
+    trace::SyntheticSpec day = trace::azure24hLikeSpec();
+    day.duration = sim::minutes(60); // keep the bench fast
+    day.diurnal_period = sim::minutes(60);
+    const trace::Trace day_trace =
+        trace::generate(day, options.seed);
+
+    stats::Table table({"Trace", "# invoke reqs", "functions",
+                        "Rps (avg/min/max)", "GBps (avg/min/max)"});
+    const struct
+    {
+        const char *name;
+        const trace::Trace &workload;
+    } rows[] = {
+        {"24h AF-like (1h sample)", day_trace},
+        {"30m AF-like", bench::azureTrace(options)},
+        {"30m FC-like", bench::fcTrace(options)},
+    };
+    for (const auto &row : rows) {
+        const trace::TraceStats s = row.workload.computeStats();
+        table.addRow({row.name, std::to_string(s.request_count),
+                      std::to_string(s.function_count),
+                      stats::formatFixed(s.rps_avg, 0) + " / " +
+                          stats::formatFixed(s.rps_min, 0) + " / " +
+                          stats::formatFixed(s.rps_max, 0),
+                      stats::formatFixed(s.gbps_avg, 1) + " / " +
+                          stats::formatFixed(s.gbps_min, 1) + " / " +
+                          stats::formatFixed(s.gbps_max, 1)});
+    }
+    bench::emit(options, "table1", table);
+
+    std::cout << "Paper: 24h AF = 14.7M reqs / 750 fns @ 170 rps"
+                 " (90-683 rps swing); sampled 30-minute workloads (§4)"
+                 " =\n~598k reqs / 330 fns (Azure) and ~410k reqs / 220"
+                 " fns (FC).  The 24h row here is a one-hour"
+                 " diurnal-compressed sample\nat the same 170 rps"
+                 " average; volumes should land in the same ballpark at"
+                 " --scale 1.\n";
+    return 0;
+}

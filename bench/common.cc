@@ -1,0 +1,136 @@
+#include "bench/common.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <map>
+
+#include "policies/registry.h"
+
+namespace cidre::bench {
+
+Options
+parseOptions(int argc, char **argv, const char *bench_name,
+             const char *description)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << bench_name << ": missing value for " << arg
+                          << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--scale") {
+            options.scale = std::atof(next_value());
+            if (options.scale <= 0.0) {
+                std::cerr << bench_name << ": --scale must be > 0\n";
+                std::exit(2);
+            }
+        } else if (arg == "--seed") {
+            options.seed =
+                static_cast<std::uint64_t>(std::atoll(next_value()));
+        } else if (arg == "--csv") {
+            options.csv_dir = next_value();
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << bench_name << " — " << description << "\n"
+                      << "options: --scale <f> --seed <n> --csv <dir>\n";
+            std::exit(0);
+        } else {
+            std::cerr << bench_name << ": unknown option " << arg << "\n";
+            std::exit(2);
+        }
+    }
+    return options;
+}
+
+namespace {
+
+struct TraceKey
+{
+    bool azure;
+    double scale;
+    std::uint64_t seed;
+    bool operator<(const TraceKey &other) const
+    {
+        if (azure != other.azure)
+            return azure < other.azure;
+        if (scale != other.scale)
+            return scale < other.scale;
+        return seed < other.seed;
+    }
+};
+
+const trace::Trace &
+cachedTrace(bool azure, const Options &options)
+{
+    static std::map<TraceKey, trace::Trace> cache;
+    const TraceKey key{azure, options.scale, options.seed};
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        trace::Trace generated = azure
+            ? trace::makeAzureLikeTrace(options.seed, options.scale)
+            : trace::makeFcLikeTrace(options.seed, options.scale);
+        it = cache.emplace(key, std::move(generated)).first;
+    }
+    return it->second;
+}
+
+} // namespace
+
+const trace::Trace &
+azureTrace(const Options &options)
+{
+    return cachedTrace(true, options);
+}
+
+const trace::Trace &
+fcTrace(const Options &options)
+{
+    return cachedTrace(false, options);
+}
+
+core::EngineConfig
+defaultConfig(std::int64_t cache_gb, std::uint32_t workers)
+{
+    core::EngineConfig config;
+    config.cluster.workers = workers;
+    config.cluster.total_memory_mb = cache_gb * 1024;
+    return config;
+}
+
+core::RunMetrics
+runPolicy(const trace::Trace &workload, const std::string &policy,
+          const core::EngineConfig &config, bool record_per_request)
+{
+    core::EngineConfig run_config = config;
+    run_config.record_per_request = record_per_request;
+    core::Engine engine(workload, run_config,
+                        policies::makePolicy(policy, run_config));
+    return engine.run();
+}
+
+void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "\n=== " << title << "\n    (reproduces " << paper_ref
+              << " of 'Concurrency-Informed Orchestration for Serverless"
+                 " Functions', ASPLOS'25)\n\n";
+}
+
+void
+emit(const Options &options, const std::string &name,
+     const stats::Table &table)
+{
+    table.print(std::cout);
+    std::cout << '\n';
+    if (!options.csv_dir.empty()) {
+        std::filesystem::create_directories(options.csv_dir);
+        table.writeCsvFile(options.csv_dir + "/" + name + ".csv");
+    }
+}
+
+} // namespace cidre::bench

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure benchmark binaries: CLI options,
+ * cached trace generation, engine invocation, and uniform output.
+ *
+ * Every binary accepts:
+ *   --scale <f>   workload volume multiplier (default 1.0 = paper scale)
+ *   --seed <n>    trace seed (default 42)
+ *   --csv <dir>   also dump each printed table as CSV into <dir>
+ */
+
+#ifndef CIDRE_BENCH_COMMON_H
+#define CIDRE_BENCH_COMMON_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "stats/table.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+
+namespace cidre::bench {
+
+/** Parsed command-line options. */
+struct Options
+{
+    double scale = 1.0;
+    std::uint64_t seed = 42;
+    std::string csv_dir;
+};
+
+/** Parse argv; exits with usage on --help or bad arguments. */
+Options parseOptions(int argc, char **argv, const char *bench_name,
+                     const char *description);
+
+/** The Azure-like 30-minute workload (cached per options). */
+const trace::Trace &azureTrace(const Options &options);
+
+/** The FC-like 30-minute workload (cached per options). */
+const trace::Trace &fcTrace(const Options &options);
+
+/** Paper-default engine config: 3 workers, aggregate cache in GB. */
+core::EngineConfig defaultConfig(std::int64_t cache_gb = 100,
+                                 std::uint32_t workers = 3);
+
+/** Run one registry policy over a workload and return its metrics. */
+core::RunMetrics runPolicy(const trace::Trace &workload,
+                           const std::string &policy,
+                           const core::EngineConfig &config,
+                           bool record_per_request = false);
+
+/** Print a section banner with the paper reference. */
+void banner(const std::string &title, const std::string &paper_ref);
+
+/** Print the table and, when --csv was given, persist it. */
+void emit(const Options &options, const std::string &name,
+          const stats::Table &table);
+
+} // namespace cidre::bench
+
+#endif // CIDRE_BENCH_COMMON_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Capacity planner: how much keep-alive memory does a workload need
+ * under a given policy to hit an overhead-ratio target?
+ *
+ * Sweeps the cache size for a chosen policy and reports the smallest
+ * budget meeting the target — the kind of question a platform operator
+ * answers with this library.
+ *
+ * Usage: capacity_planner [policy] [target-overhead-%] [scale]
+ *   policy  — any registry name (default "cidre")
+ *   target  — average overhead ratio to stay under (default 40)
+ *   scale   — workload volume multiplier (default 0.25)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/engine.h"
+#include "policies/registry.h"
+#include "stats/table.h"
+#include "trace/generators.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cidre;
+
+    const std::string policy = argc > 1 ? argv[1] : "cidre";
+    const double target = argc > 2 ? std::atof(argv[2]) : 40.0;
+    const double scale = argc > 3 ? std::atof(argv[3]) : 0.25;
+
+    std::cout << "Planning capacity for policy '" << policy
+              << "' (target overhead <= " << target << "%)\n";
+    const trace::Trace workload = trace::makeAzureLikeTrace(7, scale);
+
+    stats::Table table({"cache GB", "overhead %", "cold %", "warm %",
+                        "evictions"});
+    std::int64_t chosen = -1;
+    for (const std::int64_t gb : {20, 40, 60, 80, 100, 120, 160, 200}) {
+        core::EngineConfig config;
+        config.cluster.workers = 3;
+        config.cluster.total_memory_mb = gb * 1024;
+        core::Engine engine(workload, config,
+                            policies::makePolicy(policy, config));
+        const core::RunMetrics m = engine.run();
+        table.addRow(std::to_string(gb) + " GB",
+                     {m.avgOverheadRatioPct(), m.coldRatio() * 100.0,
+                      m.warmRatio() * 100.0,
+                      static_cast<double>(m.evictions)},
+                     1);
+        if (chosen < 0 && m.avgOverheadRatioPct() <= target)
+            chosen = gb;
+    }
+    table.print(std::cout);
+
+    if (chosen > 0) {
+        std::cout << "\n=> smallest budget meeting the target: " << chosen
+                  << " GB\n";
+    } else {
+        std::cout << "\n=> no swept budget meets the target; the"
+                     " workload needs more memory or a better policy\n";
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Terminal dashboard: run two policies over a diurnal workload and show
+ * the *dynamics* — memory occupancy, cold-start storms, delayed-warm
+ * absorption — as sparklines over simulated time.
+ *
+ * Usage: dashboard [policy-a] [policy-b] [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/engine.h"
+#include "policies/registry.h"
+#include "stats/table.h"
+#include "trace/generators.h"
+#include "trace/transforms.h"
+
+namespace {
+
+using namespace cidre;
+
+void
+show(const std::string &policy, const trace::Trace &workload,
+     const core::EngineConfig &base_config)
+{
+    core::EngineConfig config = base_config;
+    config.record_timeline = true;
+    core::Engine engine(workload, config,
+                        policies::makePolicy(policy, config));
+    const core::RunMetrics m = engine.run();
+
+    const auto line = [](const char *label, const stats::TimeSeries &ts,
+                         const std::string &unit) {
+        std::cout << "  " << label << " " << ts.sparkline(64) << "  peak "
+                  << stats::formatFixed(ts.max(), 0) << unit << "\n";
+    };
+    std::cout << policy << "  (overhead "
+              << stats::formatFixed(m.avgOverheadRatioPct(), 1)
+              << "%, cold "
+              << stats::formatFixed(m.coldRatio() * 100.0, 1) << "%)\n";
+    line("memory MB   ", m.timeline.memory_mb, " MB");
+    line("cold starts ", m.timeline.cold_starts, "/10s");
+    line("delayed warm", m.timeline.delayed_warms, "/10s");
+    line("provisions  ", m.timeline.provisions, "/10s");
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string policy_a = argc > 1 ? argv[1] : "cidre";
+    const std::string policy_b = argc > 2 ? argv[2] : "faascache";
+    const double scale = argc > 3 ? std::atof(argv[3]) : 0.3;
+
+    // A miniature diurnal day (the 24-hour preset compressed into the
+    // 30-minute window) so the sparklines show a load swing.
+    trace::SyntheticSpec spec = trace::azureLikeSpec();
+    spec.total_rps *= scale;
+    spec.diurnal_amplitude = 0.6;
+    spec.diurnal_period = sim::minutes(30);
+    const trace::Trace workload = trace::generate(spec, 9);
+
+    std::cout << "Workload: " << workload.requestCount()
+              << " requests over "
+              << stats::formatFixed(sim::toMin(workload.duration()), 0)
+              << " simulated minutes (diurnal swing)\n\n";
+
+    core::EngineConfig config;
+    config.cluster.workers = 3;
+    config.cluster.total_memory_mb = static_cast<std::int64_t>(
+        30 * 1024 * scale / 0.3);
+
+    show(policy_a, workload, config);
+    show(policy_b, workload, config);
+
+    std::cout << "Read the cold-start rows together with the memory row:"
+                 " the baseline's provisioning storms evict warm"
+                 " containers, while CIDRE's delayed-warm row absorbs"
+                 " the same bursts without them.\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+#include "analysis/concurrency.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace cidre::analysis {
+
+stats::Cdf
+coldExecRatioCdf(const trace::Trace &trace, double ms_per_mb)
+{
+    stats::Cdf cdf;
+    for (const auto &req : trace.requests()) {
+        if (req.exec_us <= 0)
+            continue;
+        const auto &fn = trace.functionOf(req);
+        const double cold_us = ms_per_mb > 0.0
+            ? static_cast<double>(fn.memory_mb) * ms_per_mb * 1e3
+            : static_cast<double>(fn.cold_start_us);
+        cdf.add(cold_us / static_cast<double>(req.exec_us));
+    }
+    return cdf;
+}
+
+stats::Cdf
+concurrencyPerMinuteCdf(const trace::Trace &trace)
+{
+    // counts[function][minute] over observed (function, minute) pairs.
+    std::vector<std::unordered_map<std::int64_t, std::uint64_t>> counts(
+        trace.functionCount());
+    for (const auto &req : trace.requests())
+        ++counts[req.function][req.arrival_us / sim::minutes(1)];
+
+    stats::Cdf cdf;
+    for (const auto &per_function : counts)
+        for (const auto &[minute, count] : per_function)
+            cdf.add(static_cast<double>(count));
+    return cdf;
+}
+
+stats::Cdf
+execTimeCvCdf(const trace::Trace &trace)
+{
+    std::vector<stats::OnlineSummary> summaries(trace.functionCount());
+    for (const auto &req : trace.requests())
+        summaries[req.function].add(static_cast<double>(req.exec_us));
+
+    stats::Cdf cdf;
+    for (const auto &summary : summaries) {
+        if (summary.count() >= 2)
+            cdf.add(summary.cv());
+    }
+    return cdf;
+}
+
+} // namespace cidre::analysis

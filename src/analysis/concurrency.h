@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Workload characterization analyses behind paper Figs. 2 and 3.
+ */
+
+#ifndef CIDRE_ANALYSIS_CONCURRENCY_H
+#define CIDRE_ANALYSIS_CONCURRENCY_H
+
+#include "stats/cdf.h"
+#include "trace/trace.h"
+
+namespace cidre::analysis {
+
+/**
+ * Fig. 2: distribution of (cold-start latency / execution time) across
+ * invocations.  @p ms_per_mb overrides the per-function cold start with
+ * the Azure estimation rule (memory × factor); pass 0 to use the
+ * profiles' own cold-start latencies (the FC curve).
+ */
+stats::Cdf coldExecRatioCdf(const trace::Trace &trace,
+                            double ms_per_mb = 0.0);
+
+/**
+ * Fig. 3: function concurrency CDF.  Each sample is one function's
+ * request count within one minute (minutes with zero requests for a
+ * function contribute nothing).
+ */
+stats::Cdf concurrencyPerMinuteCdf(const trace::Trace &trace);
+
+/** Coefficient-of-variation of execution time per function (§2.6). */
+stats::Cdf execTimeCvCdf(const trace::Trace &trace);
+
+} // namespace cidre::analysis
+
+#endif // CIDRE_ANALYSIS_CONCURRENCY_H

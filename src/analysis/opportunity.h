@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The §2.5 theoretical opportunity-space analysis (Figs. 9 and 10).
+ *
+ * For each request r of function f arriving at t_a with cold-start
+ * overhead t_c, the opportunity window is [t_a, t_a + t_c].  Assuming
+ * every other request of f runs with zero overhead (completes at its own
+ * t_a' + t_e'), the number of completions inside r's window counts the
+ * delayed-warm-start opportunities r would have had while its
+ * hypothetical cold start was provisioning.
+ */
+
+#ifndef CIDRE_ANALYSIS_OPPORTUNITY_H
+#define CIDRE_ANALYSIS_OPPORTUNITY_H
+
+#include "stats/cdf.h"
+#include "trace/trace.h"
+
+namespace cidre::analysis {
+
+/**
+ * CDF of per-request opportunity counts.
+ *
+ * @param cold_scale multiplies each function's cold-start overhead
+ *        (Fig. 9 sweeps 1.0×, 0.75×, 0.5×, 0.25×);
+ * @param exec_scale multiplies every request's execution time
+ *        (Fig. 10 sweeps 1.0×, 1.5×, 2.0× — and, per Observation 3,
+ *        should leave the distribution unchanged).
+ */
+stats::Cdf opportunityCdf(const trace::Trace &trace, double cold_scale = 1.0,
+                          double exec_scale = 1.0);
+
+} // namespace cidre::analysis
+
+#endif // CIDRE_ANALYSIS_OPPORTUNITY_H

@@ -1,0 +1,56 @@
+#include "analysis/tradeoff.h"
+
+#include <memory>
+
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "policies/keepalive/gdsf.h"
+#include "policies/scaling/vanilla.h"
+
+namespace cidre::analysis {
+
+TradeoffResult
+analyzeTradeoff(const trace::Trace &trace, core::EngineConfig config)
+{
+    // Replay under vanilla FaasCache and, for every request that cold
+    // started while busy warm containers existed, compare the cold-start
+    // latency it paid against the counterfactual queuing delay it would
+    // have experienced on the earliest-freeing busy container (§2.4's
+    // "what the cost and benefit would be if a GDSF-based FaasCache had
+    // the option to reuse a busy container").
+    config.record_per_request = true;
+
+    core::OrchestrationPolicy policy;
+    policy.name = "faascache-whatif";
+    policy.scaling = std::make_unique<policies::VanillaScaling>();
+    policy.keep_alive = std::make_unique<policies::GdsfKeepAlive>(false);
+
+    core::Engine engine(trace, std::move(config), std::move(policy));
+    const core::RunMetrics metrics = engine.run();
+
+    TradeoffResult result;
+    std::uint64_t wins = 0;
+    std::uint64_t considered = 0;
+    for (std::size_t i = 0; i < metrics.outcomes.size(); ++i) {
+        const core::RequestOutcome &outcome = metrics.outcomes[i];
+        if (outcome.type != core::StartType::Cold ||
+            outcome.counterfactual_queue_us < 0) {
+            continue;
+        }
+        const auto &fn = trace.functionOf(trace.requests()[i]);
+        result.queuing_ms.add(sim::toMs(outcome.counterfactual_queue_us));
+        result.cold_start_ms.add(sim::toMs(fn.cold_start_us));
+        ++considered;
+        if (outcome.counterfactual_queue_us < fn.cold_start_us)
+            ++wins;
+    }
+    if (considered > 0) {
+        result.queuing_wins_fraction =
+            static_cast<double>(wins) / static_cast<double>(considered);
+    }
+    result.crossover_ms =
+        result.queuing_ms.crossover(result.cold_start_ms);
+    return result;
+}
+
+} // namespace cidre::analysis

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The §2.4 what-if study behind paper Figs. 5 and 6: what would cold
+ * starts have cost versus reusing busy warm containers?
+ *
+ * The study replays the workload under a *modified FaasCache* that, when
+ * a request would cold start, instead queues it on the busy warm
+ * container with the shortest waiting time.  For every request served
+ * that way we record (a) the queuing delay it actually experienced and
+ * (b) the cold-start latency it avoided, and compare the two CDFs.  The
+ * paper reports a 464 ms crossover with 69.4% of requests better off
+ * queuing on Azure (Fig. 5), and *all* requests better off queuing on FC
+ * (Fig. 6).
+ */
+
+#ifndef CIDRE_ANALYSIS_TRADEOFF_H
+#define CIDRE_ANALYSIS_TRADEOFF_H
+
+#include <cstdint>
+#include <optional>
+
+#include "core/config.h"
+#include "stats/cdf.h"
+#include "trace/trace.h"
+
+namespace cidre::analysis {
+
+/** Result of the queuing-vs-cold-start what-if. */
+struct TradeoffResult
+{
+    /** Queuing delays of requests served by busy warm containers (ms). */
+    stats::Cdf queuing_ms;
+
+    /** The cold-start latencies those requests avoided (ms). */
+    stats::Cdf cold_start_ms;
+
+    /** Where the two CDFs cross, if they do (ms). */
+    std::optional<double> crossover_ms;
+
+    /** Fraction of delayed requests whose queuing beat their cold start. */
+    double queuing_wins_fraction = 0.0;
+};
+
+/**
+ * Run the modified-FaasCache replay and collect the tradeoff CDFs.
+ * @param config engine configuration (cache size, workers, ...).
+ */
+TradeoffResult analyzeTradeoff(const trace::Trace &trace,
+                               core::EngineConfig config);
+
+} // namespace cidre::analysis
+
+#endif // CIDRE_ANALYSIS_TRADEOFF_H

@@ -1,0 +1,386 @@
+#include "cli/commands.h"
+
+#include <iostream>
+#include <stdexcept>
+
+#include "analysis/concurrency.h"
+#include "analysis/opportunity.h"
+#include "analysis/tradeoff.h"
+#include "core/engine.h"
+#include "core/metrics_io.h"
+#include "policies/registry.h"
+#include "stats/table.h"
+#include "trace/generators.h"
+#include "trace/trace_io.h"
+#include "trace/transforms.h"
+
+namespace cidre::cli {
+
+namespace {
+
+/** Shared workload options: either --trace <csv> or --kind azure|fc. */
+const std::vector<OptionSpec> kWorkloadSpecs = {
+    {"trace", "file.csv", "load a trace from CSV", ""},
+    {"kind", "azure|fc", "synthesize a workload instead", "azure"},
+    {"scale", "f", "synthetic volume multiplier", "1.0"},
+    {"seed", "n", "synthetic trace seed", "42"},
+    {"iat", "f", "stretch inter-arrival times by f", "1.0"},
+    {"exec-scale", "f", "scale execution times by f", "1.0"},
+};
+
+void
+appendWorkloadSpecs(std::vector<OptionSpec> &specs)
+{
+    specs.insert(specs.end(), kWorkloadSpecs.begin(),
+                 kWorkloadSpecs.end());
+}
+
+trace::Trace
+loadWorkload(const Options &options)
+{
+    trace::Trace workload;
+    if (options.has("trace")) {
+        workload = trace::readTraceFile(options.getString("trace"));
+    } else {
+        const std::string kind = options.getString("kind", "azure");
+        const double scale = options.getDouble("scale", 1.0);
+        const auto seed =
+            static_cast<std::uint64_t>(options.getInt("seed", 42));
+        if (kind == "azure") {
+            workload = trace::makeAzureLikeTrace(seed, scale);
+        } else if (kind == "fc") {
+            workload = trace::makeFcLikeTrace(seed, scale);
+        } else {
+            throw std::invalid_argument("--kind must be azure or fc");
+        }
+    }
+    const double iat = options.getDouble("iat", 1.0);
+    if (iat != 1.0)
+        workload = trace::scaleIat(workload, iat);
+    const double exec_scale = options.getDouble("exec-scale", 1.0);
+    if (exec_scale != 1.0)
+        workload = trace::scaleExec(workload, exec_scale);
+    return workload;
+}
+
+core::EngineConfig
+engineConfig(const Options &options)
+{
+    core::EngineConfig config;
+    config.cluster.workers = static_cast<std::uint32_t>(
+        options.getInt("workers", 3));
+    config.cluster.total_memory_mb =
+        options.getInt("cache-gb", 100) * 1024;
+    config.container_threads = static_cast<std::uint32_t>(
+        options.getInt("threads", 1));
+    config.te_percentile = options.getDouble("te-percentile", 0.5);
+    const std::int64_t window_min = options.getInt("window-min", 15);
+    config.stats_window = window_min <= 0 ? sim::kTimeInfinity
+                                          : sim::minutes(window_min);
+    config.validate();
+    return config;
+}
+
+const std::vector<OptionSpec> kEngineSpecs = {
+    {"workers", "n", "cluster worker count", "3"},
+    {"cache-gb", "n", "aggregate keep-alive memory", "100"},
+    {"threads", "n", "intra-container request slots", "1"},
+    {"te-percentile", "q", "CSS T_e percentile (<0 = mean)", "0.5"},
+    {"window-min", "n", "CSS history window minutes (<=0 = all)", "15"},
+};
+
+void
+appendEngineSpecs(std::vector<OptionSpec> &specs)
+{
+    specs.insert(specs.end(), kEngineSpecs.begin(), kEngineSpecs.end());
+}
+
+void
+reportRun(std::ostream &out, const std::string &policy,
+          const core::RunMetrics &m)
+{
+    stats::Table table({"metric", "value"});
+    const auto add = [&](const char *name, const std::string &value) {
+        table.addRow({name, value});
+    };
+    add("requests", std::to_string(m.total()));
+    add("avg overhead ratio %",
+        stats::formatFixed(m.avgOverheadRatioPct(), 2));
+    add("avg overhead ms", stats::formatFixed(m.avgOverheadMs(), 2));
+    add("cold start %", stats::formatFixed(m.coldRatio() * 100.0, 2));
+    add("delayed warm %",
+        stats::formatFixed(m.delayedRatio() * 100.0, 2));
+    add("warm start %", stats::formatFixed(m.warmRatio() * 100.0, 2));
+    add("overhead p50/p99 ms",
+        stats::formatFixed(m.overheadHistogram().percentile(0.5) / 1e3,
+                           1) +
+            " / " +
+            stats::formatFixed(
+                m.overheadHistogram().percentile(0.99) / 1e3, 1));
+    add("E2E p50/p99 ms",
+        stats::formatFixed(m.e2eHistogram().percentile(0.5) / 1e3, 1) +
+            " / " +
+            stats::formatFixed(m.e2eHistogram().percentile(0.99) / 1e3,
+                               1));
+    add("containers created", std::to_string(m.containers_created));
+    add("evictions", std::to_string(m.evictions + m.expirations));
+    add("wasted cold starts", std::to_string(m.wasted_cold_starts));
+    add("avg/peak memory GB",
+        stats::formatFixed(m.avgMemoryGb(), 1) + " / " +
+            stats::formatFixed(m.peakMemoryGb(), 1));
+    out << "policy: " << policy << "\n";
+    table.print(out);
+}
+
+} // namespace
+
+const std::vector<OptionSpec> &
+generateSpecs()
+{
+    static const std::vector<OptionSpec> specs = [] {
+        std::vector<OptionSpec> s = {
+            {"out", "file.csv", "output path (required)", ""},
+        };
+        appendWorkloadSpecs(s);
+        return s;
+    }();
+    return specs;
+}
+
+int
+runGenerate(const Options &options, std::ostream &out)
+{
+    const std::string path = options.getString("out");
+    if (path.empty())
+        throw std::invalid_argument("generate requires --out <file.csv>");
+    const trace::Trace workload = loadWorkload(options);
+    trace::writeTraceFile(workload, path);
+    const trace::TraceStats stats = workload.computeStats();
+    out << "wrote " << stats.request_count << " requests ("
+        << stats.function_count << " functions, "
+        << stats::formatFixed(stats.rps_avg, 1) << " rps avg) to " << path
+        << "\n";
+    return 0;
+}
+
+const std::vector<OptionSpec> &
+simulateSpecs()
+{
+    static const std::vector<OptionSpec> specs = [] {
+        std::vector<OptionSpec> s = {
+            {"policy", "name", "orchestration policy", "cidre"},
+            {"json", "file", "also dump metrics as JSON", ""},
+            {"top-functions", "n", "list the n functions paying the most"
+                                   " overhead", "0"},
+            {"timeline", "", "print memory/cold-start sparklines", ""},
+            {"slo-ms", "n", "count waits above this as SLO violations",
+             "0"},
+        };
+        appendWorkloadSpecs(s);
+        appendEngineSpecs(s);
+        return s;
+    }();
+    return specs;
+}
+
+int
+runSimulate(const Options &options, std::ostream &out)
+{
+    const std::string policy = options.getString("policy", "cidre");
+    const auto top = static_cast<std::size_t>(
+        options.getInt("top-functions", 0));
+    const trace::Trace workload = loadWorkload(options);
+    core::EngineConfig config = engineConfig(options);
+    config.record_per_request = top > 0;
+    config.record_timeline = options.getFlag("timeline");
+    config.slo_us = sim::msec(options.getInt("slo-ms", 0));
+    core::Engine engine(workload, config,
+                        policies::makePolicy(policy, config));
+    const core::RunMetrics metrics = engine.run();
+    reportRun(out, policy, metrics);
+    if (config.slo_us > 0) {
+        out << "SLO (" << sim::toMs(config.slo_us) << " ms) violations: "
+            << metrics.slo_violations << " ("
+            << stats::formatFixed(
+                   metrics.total()
+                       ? 100.0 * static_cast<double>(metrics.slo_violations) /
+                           static_cast<double>(metrics.total())
+                       : 0.0,
+                   2)
+            << "%)\n";
+    }
+    if (config.record_timeline) {
+        out << "\ntimeline (10 s buckets):\n"
+            << "  memory MB    "
+            << metrics.timeline.memory_mb.sparkline(64) << "\n"
+            << "  cold starts  "
+            << metrics.timeline.cold_starts.sparkline(64) << "\n"
+            << "  delayed warm "
+            << metrics.timeline.delayed_warms.sparkline(64) << "\n";
+    }
+
+    if (top > 0) {
+        stats::Table table({"function", "requests", "cold", "delayed",
+                            "total wait s", "avg wait ms"});
+        for (const auto &fb :
+             core::perFunctionBreakdown(workload, metrics, top)) {
+            table.addRow({fb.name, std::to_string(fb.requests),
+                          std::to_string(fb.cold),
+                          std::to_string(fb.delayed),
+                          stats::formatFixed(fb.total_wait_ms / 1e3, 1),
+                          stats::formatFixed(fb.avg_wait_ms, 1)});
+        }
+        out << "\ntop " << top << " functions by total overhead:\n";
+        table.print(out);
+    }
+    if (options.has("json"))
+        core::writeMetricsJsonFile(metrics, options.getString("json"));
+    return 0;
+}
+
+const std::vector<OptionSpec> &
+compareSpecs()
+{
+    static const std::vector<OptionSpec> specs = [] {
+        std::vector<OptionSpec> s = {
+            {"policies", "a,b,...", "comma-separated policy names",
+             "cidre,cidre-bss,faascache,ttl"},
+        };
+        appendWorkloadSpecs(s);
+        appendEngineSpecs(s);
+        return s;
+    }();
+    return specs;
+}
+
+int
+runCompare(const Options &options, std::ostream &out)
+{
+    std::vector<std::string> names = options.getList("policies");
+    if (names.empty())
+        names = {"cidre", "cidre-bss", "faascache", "ttl"};
+    const trace::Trace workload = loadWorkload(options);
+    const core::EngineConfig config = engineConfig(options);
+
+    stats::Table table({"policy", "overhead %", "cold %", "delayed %",
+                        "warm %", "E2E p50 ms", "created"});
+    for (const std::string &name : names) {
+        core::Engine engine(workload, config,
+                            policies::makePolicy(name, config));
+        const core::RunMetrics m = engine.run();
+        table.addRow(name,
+                     {m.avgOverheadRatioPct(), m.coldRatio() * 100.0,
+                      m.delayedRatio() * 100.0, m.warmRatio() * 100.0,
+                      m.e2eHistogram().percentile(0.5) / 1e3,
+                      static_cast<double>(m.containers_created)},
+                     1);
+    }
+    table.print(out);
+    return 0;
+}
+
+const std::vector<OptionSpec> &
+analyzeSpecs()
+{
+    static const std::vector<OptionSpec> specs = [] {
+        std::vector<OptionSpec> s;
+        appendWorkloadSpecs(s);
+        return s;
+    }();
+    return specs;
+}
+
+int
+runAnalyze(const Options &options, std::ostream &out)
+{
+    const trace::Trace workload = loadWorkload(options);
+    const trace::TraceStats stats = workload.computeStats();
+    out << "requests: " << stats.request_count
+        << "  functions: " << stats.function_count
+        << "  duration: " << stats::formatFixed(sim::toMin(stats.duration), 1)
+        << " min\n"
+        << "rps avg/min/max: " << stats::formatFixed(stats.rps_avg, 1)
+        << " / " << stats::formatFixed(stats.rps_min, 1) << " / "
+        << stats::formatFixed(stats.rps_max, 1) << "\n"
+        << "GBps avg/max: " << stats::formatFixed(stats.gbps_avg, 1)
+        << " / " << stats::formatFixed(stats.gbps_max, 1) << "\n\n";
+
+    const auto ratio = analysis::coldExecRatioCdf(workload);
+    const auto concurrency = analysis::concurrencyPerMinuteCdf(workload);
+    const auto cv = analysis::execTimeCvCdf(workload);
+    const auto opportunity = analysis::opportunityCdf(workload);
+
+    stats::Table table({"analysis", "p50", "p90", "p99"});
+    table.addRow("cold/exec ratio",
+                 {ratio.percentile(0.5), ratio.percentile(0.9),
+                  ratio.percentile(0.99)},
+                 2);
+    table.addRow("reqs/min per function",
+                 {concurrency.percentile(0.5), concurrency.percentile(0.9),
+                  concurrency.percentile(0.99)},
+                 0);
+    table.addRow("exec-time CV per function",
+                 {cv.percentile(0.5), cv.percentile(0.9),
+                  cv.percentile(0.99)},
+                 2);
+    table.addRow("delayed-warm opportunities",
+                 {opportunity.percentile(0.5), opportunity.percentile(0.9),
+                  opportunity.percentile(0.99)},
+                 0);
+    table.print(out);
+    return 0;
+}
+
+int
+dispatch(int argc, const char *const *argv, std::ostream &out,
+         std::ostream &err)
+{
+    const auto usage = [&]() {
+        err << "usage: cidre_sim <generate|run|compare|analyze>"
+               " [options]\n"
+               "run `cidre_sim <command> --help` for command options\n";
+        return 2;
+    };
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+
+    struct Entry
+    {
+        const char *name;
+        const char *synopsis;
+        const std::vector<OptionSpec> &(*specs)();
+        int (*run)(const Options &, std::ostream &);
+    };
+    const Entry entries[] = {
+        {"generate", "--out trace.csv [options]", &generateSpecs,
+         &runGenerate},
+        {"run", "--policy cidre [options]", &simulateSpecs,
+         &runSimulate},
+        {"compare", "--policies a,b,c [options]", &compareSpecs,
+         &runCompare},
+        {"analyze", "[options]", &analyzeSpecs, &runAnalyze},
+    };
+    for (const Entry &entry : entries) {
+        if (command != entry.name)
+            continue;
+        for (int i = 2; i < argc; ++i) {
+            if (std::string(argv[i]) == "--help") {
+                out << usageText(std::string("cidre_sim ") + entry.name,
+                                 entry.synopsis, entry.specs());
+                return 0;
+            }
+        }
+        try {
+            const Options options =
+                Options::parse(argc - 1, argv + 1, entry.specs());
+            return entry.run(options, out);
+        } catch (const std::exception &e) {
+            err << "cidre_sim " << entry.name << ": " << e.what() << "\n";
+            return 2;
+        }
+    }
+    return usage();
+}
+
+} // namespace cidre::cli

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The cidre_sim tool's subcommands, implemented as library functions so
+ * they are unit-testable; tools/cidre_sim.cc is a thin dispatcher.
+ *
+ *   generate — synthesize a workload trace and write it as CSV;
+ *   run      — simulate one policy over a trace and report metrics;
+ *   compare  — race several policies over the same trace;
+ *   analyze  — workload characterization (the §2 analyses).
+ */
+
+#ifndef CIDRE_CLI_COMMANDS_H
+#define CIDRE_CLI_COMMANDS_H
+
+#include <iosfwd>
+
+#include "cli/options.h"
+
+namespace cidre::cli {
+
+/** Exit status of a subcommand (0 = success). */
+int runGenerate(const Options &options, std::ostream &out);
+int runSimulate(const Options &options, std::ostream &out);
+int runCompare(const Options &options, std::ostream &out);
+int runAnalyze(const Options &options, std::ostream &out);
+
+/** Options accepted by each subcommand (for usage text and parsing). */
+const std::vector<OptionSpec> &generateSpecs();
+const std::vector<OptionSpec> &simulateSpecs();
+const std::vector<OptionSpec> &compareSpecs();
+const std::vector<OptionSpec> &analyzeSpecs();
+
+/**
+ * Dispatch `cidre_sim <command> [options]`.
+ * @return process exit status; usage/errors go to @p err.
+ */
+int dispatch(int argc, const char *const *argv, std::ostream &out,
+             std::ostream &err);
+
+} // namespace cidre::cli
+
+#endif // CIDRE_CLI_COMMANDS_H

@@ -1,0 +1,148 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cidre::cluster {
+
+Cluster::Cluster(const ClusterConfig &config)
+{
+    if (config.workers == 0)
+        throw std::invalid_argument("Cluster: need at least one worker");
+    if (config.total_memory_mb < config.workers)
+        throw std::invalid_argument("Cluster: memory too small");
+    if (!config.speed_factors.empty() &&
+        config.speed_factors.size() != config.workers) {
+        throw std::invalid_argument("Cluster: speed_factors size mismatch");
+    }
+
+    const std::int64_t per_worker =
+        config.total_memory_mb / config.workers;
+    workers_.reserve(config.workers);
+    for (std::uint32_t i = 0; i < config.workers; ++i) {
+        // The first worker absorbs the division remainder so the
+        // aggregate matches the requested budget exactly.
+        const std::int64_t extra =
+            i == 0 ? config.total_memory_mb % config.workers : 0;
+        const double speed = config.speed_factors.empty()
+            ? 1.0 : config.speed_factors[i];
+        workers_.emplace_back(i, per_worker + extra, speed);
+        total_capacity_mb_ += per_worker + extra;
+    }
+}
+
+std::int64_t
+Cluster::totalUsedMb() const
+{
+    std::int64_t used = 0;
+    for (const auto &worker : workers_)
+        used += worker.usedMb();
+    return used;
+}
+
+WorkerId
+Cluster::mostFreeWorker() const
+{
+    WorkerId best = 0;
+    std::int64_t best_free = workers_[0].freeMb();
+    for (WorkerId i = 1; i < workers_.size(); ++i) {
+        if (workers_[i].freeMb() > best_free) {
+            best = i;
+            best_free = workers_[i].freeMb();
+        }
+    }
+    return best;
+}
+
+WorkerId
+Cluster::cheapestWorkerFitting(std::int64_t mb) const
+{
+    WorkerId best = kInvalidContainer;
+    double best_speed = 0.0;
+    for (WorkerId i = 0; i < workers_.size(); ++i) {
+        if (!workers_[i].fits(mb))
+            continue;
+        if (best == kInvalidContainer ||
+            workers_[i].speedFactor() < best_speed) {
+            best = i;
+            best_speed = workers_[i].speedFactor();
+        }
+    }
+    return best == kInvalidContainer ? mostFreeWorker() : best;
+}
+
+ContainerId
+Cluster::createContainer(trace::FunctionId function, WorkerId worker_id,
+                         std::int64_t memory_mb, std::uint32_t threads,
+                         ProvisionReason reason, sim::SimTime now)
+{
+    if (threads == 0)
+        throw std::invalid_argument("Cluster: threads must be >= 1");
+    Worker &host = worker(worker_id);
+    host.reserve(memory_mb); // throws if over capacity
+
+    Container c;
+    c.id = static_cast<ContainerId>(containers_.size());
+    c.function = function;
+    c.worker = worker_id;
+    c.state = ContainerState::Provisioning;
+    c.reason = reason;
+    c.memory_mb = memory_mb;
+    c.full_memory_mb = memory_mb;
+    c.threads = threads;
+    c.created_at = now;
+    containers_.push_back(std::move(c));
+    host.noteContainerAdded();
+    ++cached_count_;
+    return containers_.back().id;
+}
+
+void
+Cluster::destroyContainer(ContainerId id)
+{
+    Container &c = container(id);
+    if (c.evicted())
+        throw std::logic_error("Cluster: double eviction");
+    if (c.active > 0)
+        throw std::logic_error("Cluster: evicting a busy container");
+    worker(c.worker).release(c.memory_mb);
+    worker(c.worker).noteContainerRemoved();
+    c.memory_mb = 0;
+    c.state = ContainerState::Evicted;
+    --cached_count_;
+}
+
+std::int64_t
+Cluster::compressContainer(ContainerId id, double ratio)
+{
+    if (ratio <= 1.0)
+        throw std::invalid_argument("Cluster: compression ratio must be > 1");
+    Container &c = container(id);
+    if (!c.idle())
+        throw std::logic_error("Cluster: compressing a non-idle container");
+    const auto compressed_mb = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::llround(static_cast<double>(c.full_memory_mb) / ratio)));
+    const std::int64_t freed = c.memory_mb - compressed_mb;
+    if (freed < 0)
+        throw std::logic_error("Cluster: compression grew the container");
+    worker(c.worker).release(freed);
+    c.memory_mb = compressed_mb;
+    c.state = ContainerState::Compressed;
+    return freed;
+}
+
+void
+Cluster::decompressContainer(ContainerId id)
+{
+    Container &c = container(id);
+    if (!c.compressed())
+        throw std::logic_error("Cluster: decompressing a non-compressed one");
+    const std::int64_t grow = c.full_memory_mb - c.memory_mb;
+    worker(c.worker).reserve(grow); // throws if it no longer fits
+    c.memory_mb = c.full_memory_mb;
+    c.state = ContainerState::Live;
+}
+
+} // namespace cidre::cluster

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The cluster: a set of workers plus the container population.
+ *
+ * Containers are stored in a slab indexed by ContainerId; ids are never
+ * reused so historical containers remain inspectable (and policies can
+ * hold ids without generation counters).  The orchestration engine is the
+ * only writer of container state; policies read through const access.
+ */
+
+#ifndef CIDRE_CLUSTER_CLUSTER_H
+#define CIDRE_CLUSTER_CLUSTER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cluster/container.h"
+#include "cluster/worker.h"
+
+namespace cidre::cluster {
+
+/** Cluster construction parameters. */
+struct ClusterConfig
+{
+    /** Number of worker servers (paper testbed: 3; production: 37). */
+    std::uint32_t workers = 3;
+
+    /** Aggregate keep-alive memory budget split evenly across workers. */
+    std::int64_t total_memory_mb = 100 * 1024;
+
+    /**
+     * Per-worker cold-start speed multipliers; empty means homogeneous
+     * (all 1.0).  Must have exactly `workers` entries when non-empty.
+     */
+    std::vector<double> speed_factors;
+};
+
+/** Workers + containers + memory accounting. */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &config);
+
+    std::size_t workerCount() const { return workers_.size(); }
+    Worker &worker(WorkerId id) { return workers_.at(id); }
+    const Worker &worker(WorkerId id) const { return workers_.at(id); }
+    const std::vector<Worker> &workers() const { return workers_; }
+
+    std::int64_t totalCapacityMb() const { return total_capacity_mb_; }
+    std::int64_t totalUsedMb() const;
+    std::int64_t totalFreeMb() const
+    {
+        return totalCapacityMb() - totalUsedMb();
+    }
+
+    /**
+     * Worker with the most free memory (ties to the lowest id); the
+     * default placement heuristic for new containers.
+     */
+    WorkerId mostFreeWorker() const;
+
+    /** Worker with the lowest speed factor among those fitting @p mb,
+     *  or the most-free worker if none fits (IceBreaker placement). */
+    WorkerId cheapestWorkerFitting(std::int64_t mb) const;
+
+    /**
+     * Create a container record charged to @p worker_id.  The caller
+     * must have checked/evicted for space; throws if memory does not fit.
+     */
+    ContainerId createContainer(trace::FunctionId function,
+                                WorkerId worker_id, std::int64_t memory_mb,
+                                std::uint32_t threads,
+                                ProvisionReason reason, sim::SimTime now);
+
+    /** Mark @p id evicted and release its memory. */
+    void destroyContainer(ContainerId id);
+
+    /**
+     * Shrink an idle container's footprint by @p ratio (CodeCrunch
+     * compression); returns the MB freed.
+     */
+    std::int64_t compressContainer(ContainerId id, double ratio);
+
+    /** Restore a compressed container to full footprint (must fit). */
+    void decompressContainer(ContainerId id);
+
+    Container &container(ContainerId id) { return containers_.at(id); }
+    const Container &container(ContainerId id) const
+    {
+        return containers_.at(id);
+    }
+
+    std::size_t containerCount() const { return containers_.size(); }
+
+    /** Live or compressed (i.e. memory-occupying, reusable) containers. */
+    std::size_t cachedContainerCount() const { return cached_count_; }
+
+    /** Iterate all containers ever created (including evicted). */
+    const std::deque<Container> &allContainers() const { return containers_; }
+
+    /**
+     * Mutable access to the container slab.  Engine-internal: needed by
+     * the intrusive membership lists to fix up sibling indices.
+     */
+    std::deque<Container> &slab() { return containers_; }
+
+  private:
+    std::vector<Worker> workers_;
+    std::deque<Container> containers_; // stable addresses, id == index
+    std::int64_t total_capacity_mb_ = 0;
+    std::size_t cached_count_ = 0;
+};
+
+} // namespace cidre::cluster
+
+#endif // CIDRE_CLUSTER_CLUSTER_H

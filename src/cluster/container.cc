@@ -1,0 +1,23 @@
+#include "cluster/container.h"
+
+#include <stdexcept>
+
+namespace cidre::cluster {
+
+const char *
+containerStateName(ContainerState state)
+{
+    switch (state) {
+      case ContainerState::Provisioning:
+        return "provisioning";
+      case ContainerState::Live:
+        return "live";
+      case ContainerState::Compressed:
+        return "compressed";
+      case ContainerState::Evicted:
+        return "evicted";
+    }
+    throw std::invalid_argument("containerStateName: bad state");
+}
+
+} // namespace cidre::cluster

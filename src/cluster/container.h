@@ -1,0 +1,130 @@
+/**
+ * @file
+ * A function container instance and its lifecycle.
+ *
+ * Lifecycle (paper §2.1):
+ *
+ *     Provisioning ──► Live (idle ⇄ busy) ──► Evicted
+ *                        │        ▲
+ *                        ▼        │ (restore pays a cost)
+ *                      Compressed ┘            [CodeCrunch only]
+ *
+ * "Idle" and "busy" are not separate states: a live container is busy
+ * while it has active requests and idle otherwise.  With intra-container
+ * threading (Fig. 21) a container is *available* whenever it has a free
+ * slot, even if other slots are executing.
+ */
+
+#ifndef CIDRE_CLUSTER_CONTAINER_H
+#define CIDRE_CLUSTER_CONTAINER_H
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/time.h"
+#include "trace/function_profile.h"
+
+namespace cidre::cluster {
+
+/** Dense container identifier; ids are never reused within a run. */
+using ContainerId = std::uint32_t;
+
+inline constexpr ContainerId kInvalidContainer = UINT32_MAX;
+
+/** Dense worker (server) identifier. */
+using WorkerId = std::uint32_t;
+
+/** Coarse lifecycle state; see the file comment for the diagram. */
+enum class ContainerState : std::uint8_t
+{
+    Provisioning, //!< cold start in progress
+    Live,         //!< warm; busy iff active > 0
+    Compressed,   //!< CodeCrunch: memory shrunk, restore needed to reuse
+    Evicted,      //!< terminal
+};
+
+const char *containerStateName(ContainerState state);
+
+/** Why a container was provisioned (metrics + CSS bookkeeping). */
+enum class ProvisionReason : std::uint8_t
+{
+    Demand,      //!< a request is bound to it (vanilla cold start)
+    Speculative, //!< BSS/CSS speculative cold-start path
+    Prewarm,     //!< pre-warming agent (IceBreaker, ENSURE, RainbowCake)
+};
+
+/**
+ * One container instance.
+ *
+ * Plain data plus small helpers; the orchestration engine owns all state
+ * transitions.  Policy-specific ranking state (clock/priority) lives here
+ * so eviction policies don't need side tables on the hot path.
+ */
+struct Container
+{
+    ContainerId id = kInvalidContainer;
+    trace::FunctionId function = trace::kInvalidFunction;
+    WorkerId worker = 0;
+
+    ContainerState state = ContainerState::Provisioning;
+    ProvisionReason reason = ProvisionReason::Demand;
+
+    /** Memory currently charged to the worker (shrinks when compressed). */
+    std::int64_t memory_mb = 0;
+    /** Full in-use footprint (restored on decompression). */
+    std::int64_t full_memory_mb = 0;
+
+    /** Max simultaneous requests (intra-container threads, Fig. 21). */
+    std::uint32_t threads = 1;
+    /** Requests currently executing in this container. */
+    std::uint32_t active = 0;
+
+    sim::SimTime created_at = 0;
+    sim::SimTime provision_ends_at = 0;
+    /** When the container last became idle (active hit 0). */
+    sim::SimTime idle_since = 0;
+    /** Last time a request was dispatched into it. */
+    sim::SimTime last_used_at = 0;
+    /** Completion time of the most recently finishing active request. */
+    sim::SimTime busy_until = 0;
+
+    /** Total requests ever served (the container-level reuse count). */
+    std::uint64_t use_count = 0;
+
+    /** Set while a compressed container inflates back to full size. */
+    bool restoring = false;
+
+    /** Per-container logical clock for GDSF/CIP priorities. */
+    double clock = 0.0;
+    /** Cached priority from the last keep-alive evaluation. */
+    double priority = 0.0;
+
+    // Intrusive indices for O(1) membership updates in the engine's
+    // swap-erase lists; -1 means "not a member".  Maintained by the
+    // engine / FunctionState only.
+    std::int32_t avail_slot = -1;  //!< index in FunctionState::available()
+    std::int32_t cached_slot = -1; //!< index in FunctionState::cached()
+    std::int32_t idle_slot = -1;   //!< index in the worker idle list
+
+    /**
+     * Requests bound to this specific container (vanilla fixed-queue
+     * dispatch of §2.4's Fig. 7 what-if); stores trace request indices.
+     */
+    std::deque<std::uint64_t> bound_queue;
+
+    bool provisioning() const { return state == ContainerState::Provisioning; }
+    bool live() const { return state == ContainerState::Live; }
+    bool compressed() const { return state == ContainerState::Compressed; }
+    bool evicted() const { return state == ContainerState::Evicted; }
+
+    /** Live with no active request: the only evictable condition. */
+    bool idle() const { return live() && active == 0; }
+    /** Live with at least one active request. */
+    bool busy() const { return live() && active > 0; }
+    /** Can accept a request right now without queuing. */
+    bool hasFreeSlot() const { return live() && active < threads; }
+};
+
+} // namespace cidre::cluster
+
+#endif // CIDRE_CLUSTER_CONTAINER_H

@@ -1,0 +1,44 @@
+#include "cluster/worker.h"
+
+#include <stdexcept>
+
+namespace cidre::cluster {
+
+Worker::Worker(WorkerId id, std::int64_t capacity_mb, double speed_factor)
+    : id_(id), capacity_mb_(capacity_mb), speed_factor_(speed_factor)
+{
+    if (capacity_mb <= 0)
+        throw std::invalid_argument("Worker: capacity must be positive");
+    if (speed_factor <= 0.0)
+        throw std::invalid_argument("Worker: speed factor must be positive");
+}
+
+void
+Worker::reserve(std::int64_t mb)
+{
+    if (mb < 0)
+        throw std::logic_error("Worker::reserve: negative amount");
+    if (!fits(mb))
+        throw std::logic_error("Worker::reserve: over capacity");
+    used_mb_ += mb;
+}
+
+void
+Worker::release(std::int64_t mb)
+{
+    if (mb < 0)
+        throw std::logic_error("Worker::release: negative amount");
+    if (mb > used_mb_)
+        throw std::logic_error("Worker::release: underflow");
+    used_mb_ -= mb;
+}
+
+void
+Worker::noteContainerRemoved()
+{
+    if (container_count_ == 0)
+        throw std::logic_error("Worker: container count underflow");
+    --container_count_;
+}
+
+} // namespace cidre::cluster

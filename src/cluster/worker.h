@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A worker server hosting function containers.
+ */
+
+#ifndef CIDRE_CLUSTER_WORKER_H
+#define CIDRE_CLUSTER_WORKER_H
+
+#include <cstdint>
+
+#include "cluster/container.h"
+
+namespace cidre::cluster {
+
+/**
+ * One server of the cluster: a memory budget plus a provisioning speed.
+ *
+ * Memory accounting is exact and asserted: reservations must be released
+ * with the same amounts, which catches engine bookkeeping bugs early.
+ */
+class Worker
+{
+  public:
+    Worker(WorkerId id, std::int64_t capacity_mb, double speed_factor = 1.0);
+
+    WorkerId id() const { return id_; }
+    std::int64_t capacityMb() const { return capacity_mb_; }
+    std::int64_t usedMb() const { return used_mb_; }
+    std::int64_t freeMb() const { return capacity_mb_ - used_mb_; }
+
+    /**
+     * Cold-start speed multiplier (IceBreaker/CodeCrunch heterogeneity):
+     * effective provision latency = cold_start_us * speedFactor().
+     * 1.0 everywhere models the homogeneous cluster of §5.1.
+     */
+    double speedFactor() const { return speed_factor_; }
+
+    /** True if @p mb more can be reserved right now. */
+    bool fits(std::int64_t mb) const { return freeMb() >= mb; }
+
+    /** Reserve @p mb; throws std::logic_error if it does not fit. */
+    void reserve(std::int64_t mb);
+
+    /** Release @p mb; throws std::logic_error on underflow. */
+    void release(std::int64_t mb);
+
+    /** Containers currently charged to this worker (all states). */
+    std::uint32_t containerCount() const { return container_count_; }
+    void noteContainerAdded() { ++container_count_; }
+    void noteContainerRemoved();
+
+  private:
+    WorkerId id_;
+    std::int64_t capacity_mb_;
+    std::int64_t used_mb_ = 0;
+    double speed_factor_;
+    std::uint32_t container_count_ = 0;
+};
+
+} // namespace cidre::cluster
+
+#endif // CIDRE_CLUSTER_WORKER_H

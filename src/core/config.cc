@@ -1,0 +1,30 @@
+#include "core/config.h"
+
+#include <stdexcept>
+
+namespace cidre::core {
+
+void
+EngineConfig::validate() const
+{
+    if (cluster.workers == 0)
+        throw std::invalid_argument("EngineConfig: need >= 1 worker");
+    if (cluster.total_memory_mb <= 0)
+        throw std::invalid_argument("EngineConfig: memory must be positive");
+    if (container_threads == 0)
+        throw std::invalid_argument("EngineConfig: threads must be >= 1");
+    if (maintenance_interval <= 0)
+        throw std::invalid_argument("EngineConfig: bad maintenance interval");
+    if (stats_window <= 0)
+        throw std::invalid_argument("EngineConfig: bad stats window");
+    if (window_max_samples == 0)
+        throw std::invalid_argument("EngineConfig: bad window cap");
+    if (te_percentile > 1.0)
+        throw std::invalid_argument("EngineConfig: te_percentile > 1");
+    if (compression_ratio <= 1.0)
+        throw std::invalid_argument("EngineConfig: compression ratio <= 1");
+    if (restore_cost_fraction < 0.0 || restore_cost_fraction > 1.0)
+        throw std::invalid_argument("EngineConfig: bad restore fraction");
+}
+
+} // namespace cidre::core

@@ -1,0 +1,787 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace cidre::core {
+
+namespace {
+
+/** Worker visiting order for a provision, per the placement policy. */
+std::vector<cluster::WorkerId>
+placementOrder(const cluster::Cluster &cl, PlacementPolicy policy,
+               std::uint64_t round_robin_cursor)
+{
+    std::vector<cluster::WorkerId> order(cl.workerCount());
+    for (cluster::WorkerId i = 0; i < order.size(); ++i)
+        order[i] = i;
+    switch (policy) {
+      case PlacementPolicy::MostFree:
+        std::sort(order.begin(), order.end(),
+                  [&](cluster::WorkerId a, cluster::WorkerId b) {
+                      const auto fa = cl.worker(a).freeMb();
+                      const auto fb = cl.worker(b).freeMb();
+                      return fa != fb ? fa > fb : a < b;
+                  });
+        break;
+      case PlacementPolicy::RoundRobin:
+        std::rotate(order.begin(),
+                    order.begin() +
+                        static_cast<std::ptrdiff_t>(round_robin_cursor %
+                                                    order.size()),
+                    order.end());
+        break;
+      case PlacementPolicy::FastestFirst:
+        std::sort(order.begin(), order.end(),
+                  [&](cluster::WorkerId a, cluster::WorkerId b) {
+                      const double sa = cl.worker(a).speedFactor();
+                      const double sb = cl.worker(b).speedFactor();
+                      if (sa != sb)
+                          return sa < sb;
+                      const auto fa = cl.worker(a).freeMb();
+                      const auto fb = cl.worker(b).freeMb();
+                      return fa != fb ? fa > fb : a < b;
+                  });
+        break;
+    }
+    return order;
+}
+
+} // namespace
+
+Engine::Engine(const trace::Trace &workload, EngineConfig config,
+               OrchestrationPolicy policy)
+    : trace_(workload),
+      config_(std::move(config)),
+      policy_(std::move(policy)),
+      cluster_(config_.cluster),
+      rng_(config_.seed)
+{
+    config_.validate();
+    if (!trace_.sealed())
+        throw std::invalid_argument("Engine: trace must be sealed");
+    if (!policy_.scaling || !policy_.keep_alive)
+        throw std::invalid_argument("Engine: policy bundle incomplete");
+
+    // Every function must fit on at least one worker or the workload can
+    // never be scheduled at all.
+    std::int64_t max_worker_mb = 0;
+    for (const auto &worker : cluster_.workers())
+        max_worker_mb = std::max(max_worker_mb, worker.capacityMb());
+    for (const auto &fn : trace_.functions()) {
+        if (fn.memory_mb > max_worker_mb) {
+            throw std::invalid_argument(
+                "Engine: function " + fn.name + " (" +
+                std::to_string(fn.memory_mb) +
+                " MB) exceeds every worker's capacity");
+        }
+    }
+
+    states_.reserve(trace_.functionCount());
+    for (trace::FunctionId id = 0; id < trace_.functionCount(); ++id) {
+        states_.emplace_back(id, config_.stats_window,
+                             config_.window_max_samples);
+    }
+    worker_idle_.resize(cluster_.workerCount());
+    if (config_.record_per_request)
+        metrics_.outcomes.resize(trace_.requestCount());
+}
+
+RunMetrics
+Engine::run()
+{
+    if (ran_)
+        throw std::logic_error("Engine::run: single-shot engine reused");
+    ran_ = true;
+
+    scheduleNextArrival();
+    scheduleTickIfNeeded();
+    queue_.runAll();
+
+    if (completed_requests_ != trace_.requestCount()) {
+        throw std::logic_error(
+            "Engine: only " + std::to_string(completed_requests_) + " of " +
+            std::to_string(trace_.requestCount()) +
+            " requests completed — orchestration deadlock");
+    }
+    metrics_.finalize(now());
+    return std::move(metrics_);
+}
+
+void
+Engine::scheduleNextArrival()
+{
+    if (arrival_cursor_ >= trace_.requestCount())
+        return;
+    const std::uint64_t index = arrival_cursor_++;
+    queue_.schedule(trace_.requests()[index].arrival_us,
+                    [this, index](sim::SimTime) { handleArrival(index); });
+}
+
+void
+Engine::scheduleTickIfNeeded()
+{
+    if (tick_scheduled_ || !hasPendingWork())
+        return;
+    tick_scheduled_ = true;
+    queue_.scheduleAfter(config_.maintenance_interval,
+                         [this](sim::SimTime) { handleMaintenance(); });
+}
+
+bool
+Engine::hasPendingWork() const
+{
+    // Ticks must keep running until the very last request completed —
+    // TTL expiry and pre-warm agents stay active through idle gaps in
+    // the arrival stream.
+    return completed_requests_ < trace_.requestCount();
+}
+
+void
+Engine::handleArrival(std::uint64_t request_index)
+{
+    const trace::Request &req = trace_.requests()[request_index];
+    FunctionState &fs = states_[req.function];
+    fs.noteArrival(now());
+    ++outstanding_requests_;
+    if (policy_.agent)
+        policy_.agent->onRequestObserved(*this, req);
+
+    if (!fs.available().empty()) {
+        // Case I of Algorithm 2: a free warm slot — a true warm start.
+        cluster::Container &c =
+            cluster_.container(fs.available().back());
+        dispatch(c, request_index, StartType::Warm);
+    } else if (cluster::Container *victim = findRestorableContainer(fs)) {
+        // A compressed container can be inflated cheaper than a cold
+        // start (CodeCrunch path).
+        startRestore(*victim, request_index);
+    } else {
+        // Case II: consult the scaling policy.
+        if (config_.record_per_request) {
+            // Record the counterfactual queuing delay for the what-if
+            // analyses: the earliest busy-container completion.
+            sim::SimTime earliest = sim::kTimeInfinity;
+            for (const cluster::ContainerId cid : fs.cached()) {
+                const cluster::Container &c = cluster_.container(cid);
+                if (c.busy())
+                    earliest = std::min(earliest, c.busy_until);
+            }
+            metrics_.outcomes[request_index].counterfactual_queue_us =
+                earliest == sim::kTimeInfinity ? -1 : earliest - now();
+        }
+        ScalingChoice choice =
+            policy_.scaling->onNoFreeContainer(*this, req);
+
+        // Starvation guard: waiting is only sound if some container of
+        // this function will eventually free up or materialize.
+        const bool has_future_capacity =
+            fs.busyCount() > 0 || fs.provisioningCount() > 0;
+        if ((choice.decision == ScalingDecision::Wait ||
+             choice.decision == ScalingDecision::QueueBound) &&
+            !has_future_capacity) {
+            choice.decision = ScalingDecision::Speculative;
+        }
+        if (choice.decision == ScalingDecision::QueueBound) {
+            // Validate the queue target; fall back to a plain cold start
+            // on a policy mistake rather than corrupting state.
+            if (choice.target == cluster::kInvalidContainer ||
+                !cluster_.container(choice.target).busy() ||
+                cluster_.container(choice.target).function != req.function) {
+                choice.decision = ScalingDecision::ColdStartBound;
+            }
+        }
+
+        switch (choice.decision) {
+          case ScalingDecision::ColdStartBound:
+            provision(req.function, cluster::ProvisionReason::Demand,
+                      static_cast<std::int64_t>(request_index));
+            break;
+          case ScalingDecision::QueueBound:
+            cluster_.container(choice.target)
+                .bound_queue.push_back(request_index);
+            break;
+          case ScalingDecision::Wait:
+            fs.channel().push_back({request_index, now()});
+            break;
+          case ScalingDecision::Speculative:
+            fs.channel().push_back({request_index, now()});
+            if (config_.speculation_mode == SpeculationMode::PerRequest ||
+                fs.channel().size() == 1) {
+                fs.last_head_evaluated = request_index;
+                provision(req.function,
+                          cluster::ProvisionReason::Speculative, -1);
+            }
+            break;
+        }
+    }
+
+    scheduleNextArrival();
+    scheduleTickIfNeeded();
+}
+
+void
+Engine::dispatch(cluster::Container &c, std::uint64_t request_index,
+                 StartType type)
+{
+    const trace::Request &req = trace_.requests()[request_index];
+    assert(c.live());
+    assert(c.function == req.function);
+    assert(c.active < c.threads);
+    FunctionState &fs = states_[c.function];
+
+    if (c.active == 0) {
+        if (c.idle_slot >= 0)
+            removeFromWorkerIdle(c);
+        fs.noteBusy(true);
+    }
+    ++c.active;
+    if (!c.hasFreeSlot() && fs.isAvailable(c))
+        fs.removeAvailable(c, cluster_.slab());
+
+    const sim::SimTime wait = now() - req.arrival_us;
+    assert(wait >= 0);
+    c.last_used_at = now();
+    ++c.use_count;
+    c.busy_until = std::max(c.busy_until, now() + req.exec_us);
+
+    // T_i bookkeeping: first reuse of the tracked speculative container.
+    if (fs.tracked_spec_container == c.id)
+        reportSpeculativeOutcome(fs, c, /*reused=*/true);
+
+    metrics_.recordStart(type, wait, req.exec_us);
+    if (config_.slo_us > 0 && wait > config_.slo_us)
+        ++metrics_.slo_violations;
+    if (config_.record_per_request) {
+        RequestOutcome &outcome = metrics_.outcomes[request_index];
+        outcome.type = type;
+        outcome.wait_us = wait;
+        outcome.exec_us = req.exec_us;
+    }
+    if (config_.record_timeline) {
+        if (type == StartType::Cold)
+            metrics_.timeline.cold_starts.record(now(), 1.0);
+        else if (type == StartType::DelayedWarm)
+            metrics_.timeline.delayed_warms.record(now(), 1.0);
+    }
+    policy_.keep_alive->onUse(*this, c, type);
+    policy_.scaling->onDispatch(*this, req, type, wait);
+
+    const cluster::ContainerId cid = c.id;
+    queue_.scheduleAfter(req.exec_us, [this, cid, request_index](sim::SimTime) {
+        handleExecutionComplete(cid, request_index);
+    });
+}
+
+void
+Engine::drainQueuesInto(cluster::Container &c, StartType type)
+{
+    FunctionState &fs = states_[c.function];
+    while (c.hasFreeSlot()) {
+        std::uint64_t next;
+        if (!c.bound_queue.empty()) {
+            next = c.bound_queue.front();
+            c.bound_queue.pop_front();
+        } else if (!fs.channel().empty()) {
+            next = fs.channel().front().request_index;
+            fs.channel().pop_front();
+        } else {
+            break;
+        }
+        dispatch(c, next, type);
+    }
+}
+
+void
+Engine::handleProvisionComplete(cluster::ContainerId id)
+{
+    cluster::Container &c = cluster_.container(id);
+    assert(c.provisioning());
+    FunctionState &fs = states_[c.function];
+
+    const bool was_restore = c.restoring;
+    c.restoring = false;
+    c.state = cluster::ContainerState::Live;
+    fs.noteProvisioning(false);
+    fs.addCached(c);
+
+    if (!was_restore) {
+        // A genuine cold-start latency observation feeds T_p.
+        fs.coldWindow().add(now(), static_cast<double>(
+            c.provision_ends_at - c.created_at));
+    }
+
+    const StartType type =
+        was_restore ? StartType::Restored : StartType::Cold;
+    drainQueuesInto(c, type);
+
+    if (c.active == 0) {
+        // Nobody needed it (the speculative wait won, or this was a
+        // pre-warm): the container idles in the cache.
+        c.idle_since = now();
+        fs.addAvailable(c);
+        addToWorkerIdle(c);
+        policy_.keep_alive->onIdle(*this, c);
+        if (c.reason == cluster::ProvisionReason::Speculative) {
+            // Begin measuring T_i for this function (§3.2).
+            fs.tracked_spec_container = c.id;
+            fs.tracked_spec_ready_at = now();
+        }
+        retryDeferred();
+    } else if (c.hasFreeSlot()) {
+        fs.addAvailable(c);
+    }
+
+    if (c.active > 0 && !was_restore &&
+        c.reason == cluster::ProvisionReason::Speculative) {
+        // The speculative container was needed immediately: T_i = 0.
+        policy_.scaling->onSpeculativeOutcome(*this, c.function, 0, true);
+    }
+    evaluateChannelHead(fs);
+}
+
+void
+Engine::handleExecutionComplete(cluster::ContainerId id,
+                                std::uint64_t request_index)
+{
+    cluster::Container &c = cluster_.container(id);
+    assert(c.busy());
+    FunctionState &fs = states_[c.function];
+    const trace::Request &req = trace_.requests()[request_index];
+
+    --c.active;
+    if (c.active == 0)
+        fs.noteBusy(false);
+    ++completed_requests_;
+    --outstanding_requests_;
+
+    // Completed executions feed the T_e window (§3.2).
+    fs.execWindow().add(now(), static_cast<double>(req.exec_us));
+
+    // Work conservation: the freed slot immediately serves queued work
+    // as a delayed warm start.
+    drainQueuesInto(c, StartType::DelayedWarm);
+
+    if (c.hasFreeSlot() && !fs.isAvailable(c))
+        fs.addAvailable(c);
+    if (c.active == 0 && c.live()) {
+        c.idle_since = now();
+        addToWorkerIdle(c);
+        policy_.keep_alive->onIdle(*this, c);
+        retryDeferred();
+    }
+    evaluateChannelHead(fs);
+    scheduleTickIfNeeded();
+}
+
+void
+Engine::evaluateChannelHead(FunctionState &fs)
+{
+    if (config_.speculation_mode != SpeculationMode::PerHead)
+        return;
+    if (fs.channel().empty())
+        return;
+    const std::uint64_t head = fs.channel().front().request_index;
+    if (fs.last_head_evaluated == head)
+        return;
+    fs.last_head_evaluated = head;
+
+    const trace::Request &req = trace_.requests()[head];
+    const ScalingChoice choice =
+        policy_.scaling->onNoFreeContainer(*this, req);
+    const bool wants_provision =
+        choice.decision == ScalingDecision::Speculative ||
+        choice.decision == ScalingDecision::ColdStartBound;
+    // Starvation guard: a waiting head with nothing that could ever
+    // serve it must get a container regardless of the decision.
+    const bool must_provision =
+        fs.busyCount() == 0 && fs.provisioningCount() == 0;
+    if (wants_provision || must_provision)
+        provision(req.function, cluster::ProvisionReason::Speculative, -1);
+}
+
+void
+Engine::handleMaintenance()
+{
+    tick_scheduled_ = false;
+
+    std::vector<cluster::ContainerId> expired;
+    policy_.keep_alive->collectExpired(*this, now(), expired);
+    for (const cluster::ContainerId id : expired) {
+        const cluster::Container &c = cluster_.container(id);
+        if ((c.live() && c.active == 0) || c.compressed())
+            reapContainer(id, /*expired=*/true);
+    }
+
+    if (policy_.agent)
+        policy_.agent->onTick(*this, now());
+
+    retryDeferred();
+    scheduleTickIfNeeded();
+}
+
+void
+Engine::provision(trace::FunctionId function,
+                  cluster::ProvisionReason reason,
+                  std::int64_t bound_request)
+{
+    const DeferredProvision req{function, reason, bound_request};
+    if (!tryStartProvision(req)) {
+        deferred_.push_back(req);
+        ++metrics_.deferred_provisions;
+    }
+}
+
+bool
+Engine::tryStartProvision(const DeferredProvision &req)
+{
+    const trace::FunctionProfile &profile = trace_.functions()[req.function];
+    const std::int64_t need = profile.memory_mb;
+
+    for (const cluster::WorkerId wid :
+         placementOrder(cluster_, config_.placement,
+                        round_robin_cursor_++)) {
+        cluster::Worker &host = cluster_.worker(wid);
+        double watermark = 0.0;
+        if (!ensureFreeOn(wid, need, watermark, cluster::kInvalidContainer,
+                          req.function)) {
+            continue;
+        }
+
+        // Start the cold start on this worker.
+        const cluster::ContainerId cid = cluster_.createContainer(
+            req.function, wid, need, config_.container_threads, req.reason,
+            now());
+        cluster::Container &c = cluster_.container(cid);
+        ++metrics_.containers_created;
+        metrics_.provisioned_mb += static_cast<std::uint64_t>(need);
+        if (config_.record_timeline)
+            metrics_.timeline.provisions.record(now(), 1.0);
+        states_[req.function].noteProvisioning(true);
+
+        sim::SimTime cost = static_cast<sim::SimTime>(
+            static_cast<double>(profile.cold_start_us) *
+            host.speedFactor());
+        if (policy_.agent)
+            cost = policy_.agent->provisionCost(*this, profile, wid, cost);
+        cost = std::max<sim::SimTime>(cost, 1);
+        c.provision_ends_at = now() + cost;
+        if (req.bound_request >= 0) {
+            c.bound_queue.push_back(
+                static_cast<std::uint64_t>(req.bound_request));
+        }
+        policy_.keep_alive->onAdmit(*this, c, watermark);
+        noteMemory();
+
+        queue_.schedule(c.provision_ends_at, [this, cid](sim::SimTime) {
+            handleProvisionComplete(cid);
+        });
+        return true;
+    }
+    return false;
+}
+
+bool
+Engine::ensureFreeOn(cluster::WorkerId worker, std::int64_t need_mb,
+                     double &watermark, cluster::ContainerId exclude,
+                     trace::FunctionId beneficiary)
+{
+    cluster::Worker &host = cluster_.worker(worker);
+
+    // Reclaim in (bounded) rounds: applying a plan can itself consume
+    // memory — e.g. RainbowCake demotes evicted containers into layer
+    // caches — so a single round may leave the demand unmet.
+    for (int round = 0; !host.fits(need_mb); ++round) {
+        if (round >= 4)
+            return false;
+        const ReclaimRequest demand{worker, need_mb - host.freeMb(),
+                                    beneficiary, exclude};
+        ReclaimPlan plan = policy_.keep_alive->planReclaim(*this, demand);
+
+        // Validate and size the plan before touching anything; entries
+        // matching the excluded container are dropped, not applied.
+        std::int64_t reclaimable = 0;
+        bool valid = true;
+        std::vector<cluster::ContainerId> to_compress;
+        std::vector<cluster::ContainerId> to_evict;
+        for (const cluster::ContainerId cid : plan.compress) {
+            if (cid == exclude)
+                continue;
+            const cluster::Container &victim = cluster_.container(cid);
+            if (!victim.idle() || victim.worker != worker) {
+                valid = false;
+                break;
+            }
+            reclaimable += victim.full_memory_mb -
+                std::max<std::int64_t>(
+                    1, static_cast<std::int64_t>(
+                           static_cast<double>(victim.full_memory_mb) /
+                           config_.compression_ratio));
+            to_compress.push_back(cid);
+        }
+        for (const cluster::ContainerId cid : plan.evict) {
+            if (cid == exclude)
+                continue;
+            const cluster::Container &victim = cluster_.container(cid);
+            if (!((victim.idle() || victim.compressed()) &&
+                  victim.active == 0) ||
+                victim.worker != worker) {
+                valid = false;
+                break;
+            }
+            reclaimable += victim.memory_mb;
+            to_evict.push_back(cid);
+        }
+        if (!valid)
+            throw std::logic_error(
+                "Engine: keep-alive policy returned an invalid plan");
+        // Recompute the demand: policies may free auxiliary memory
+        // (e.g. RainbowCake layer caches) inside planReclaim.
+        const std::int64_t still_needed = need_mb - host.freeMb();
+        if (still_needed <= 0)
+            break;
+        if (reclaimable < still_needed)
+            return false; // this worker cannot host it right now
+
+        for (const cluster::ContainerId cid : to_compress) {
+            cluster::Container &victim = cluster_.container(cid);
+            // A compressed container stays cached and evictable but can
+            // no longer serve requests directly.
+            FunctionState &vfs = states_[victim.function];
+            if (vfs.isAvailable(victim))
+                vfs.removeAvailable(victim, cluster_.slab());
+            cluster_.compressContainer(cid, config_.compression_ratio);
+            ++metrics_.compressions;
+            ++compressed_live_;
+        }
+        for (const cluster::ContainerId cid : to_evict) {
+            watermark =
+                std::max(watermark, cluster_.container(cid).priority);
+            evictContainer(cid, /*expired=*/false);
+        }
+    }
+    return host.fits(need_mb);
+}
+
+void
+Engine::retryDeferred()
+{
+    if (in_retry_)
+        return;
+    in_retry_ = true;
+    while (!deferred_.empty()) {
+        const DeferredProvision &head = deferred_.front();
+        // A deferred *speculative* provision whose channel has already
+        // drained would create a container nobody asked for; cancel it
+        // when the admission-control knob is on.
+        if (config_.cancel_stale_speculation &&
+            head.reason == cluster::ProvisionReason::Speculative &&
+            states_[head.function].channel().empty()) {
+            deferred_.pop_front();
+            ++metrics_.cancelled_provisions;
+            continue;
+        }
+        if (!tryStartProvision(head))
+            break; // FIFO: the head blocks until memory frees
+        deferred_.pop_front();
+    }
+    in_retry_ = false;
+}
+
+cluster::Container *
+Engine::findRestorableContainer(FunctionState &fs)
+{
+    // Only CodeCrunch-style policies ever compress; skip the per-miss
+    // scan entirely for everyone else.
+    if (compressed_live_ == 0)
+        return nullptr;
+    for (const cluster::ContainerId cid : fs.cached()) {
+        cluster::Container &c = cluster_.container(cid);
+        if (!c.compressed())
+            continue;
+        const std::int64_t grow = c.full_memory_mb - c.memory_mb;
+        if (cluster_.worker(c.worker).fits(grow))
+            return &c;
+        // Try to reclaim colder state to make room for the inflation —
+        // restoring at a fraction of the cold-start cost is worth an
+        // eviction elsewhere.
+        double watermark = 0.0;
+        if (ensureFreeOn(c.worker, grow, watermark, c.id, c.function))
+            return &c;
+    }
+    return nullptr;
+}
+
+void
+Engine::startRestore(cluster::Container &c, std::uint64_t request_index)
+{
+    FunctionState &fs = states_[c.function];
+    cluster_.decompressContainer(c.id); // -> Live, full footprint
+    --compressed_live_;
+    removeFromWorkerIdle(c);
+    fs.removeCached(c, cluster_.slab());
+
+    c.state = cluster::ContainerState::Provisioning;
+    c.restoring = true;
+    fs.noteProvisioning(true);
+
+    const trace::FunctionProfile &profile = trace_.functions()[c.function];
+    const sim::SimTime cost = std::max<sim::SimTime>(
+        static_cast<sim::SimTime>(
+            static_cast<double>(profile.cold_start_us) *
+            cluster_.worker(c.worker).speedFactor() *
+            config_.restore_cost_fraction),
+        1);
+    c.provision_ends_at = now() + cost;
+    c.bound_queue.push_back(request_index);
+    noteMemory();
+
+    const cluster::ContainerId cid = c.id;
+    queue_.schedule(c.provision_ends_at, [this, cid](sim::SimTime) {
+        handleProvisionComplete(cid);
+    });
+}
+
+void
+Engine::evictContainer(cluster::ContainerId id, bool expired)
+{
+    cluster::Container &c = cluster_.container(id);
+    if (c.active > 0 || c.provisioning() || c.evicted())
+        throw std::logic_error("Engine: evicting a non-idle container");
+    if (c.compressed())
+        --compressed_live_;
+    FunctionState &fs = states_[c.function];
+
+    if (fs.isAvailable(c))
+        fs.removeAvailable(c, cluster_.slab());
+    if (c.idle_slot >= 0)
+        removeFromWorkerIdle(c);
+    if (c.cached_slot >= 0)
+        fs.removeCached(c, cluster_.slab());
+
+    if (c.use_count == 0)
+        ++metrics_.wasted_cold_starts;
+    if (fs.tracked_spec_container == c.id)
+        reportSpeculativeOutcome(fs, c, /*reused=*/false);
+
+    policy_.keep_alive->onEvicted(*this, c);
+    if (policy_.agent)
+        policy_.agent->onContainerEvicted(*this, c);
+
+    cluster_.destroyContainer(id);
+    if (expired)
+        ++metrics_.expirations;
+    else
+        ++metrics_.evictions;
+    noteMemory();
+}
+
+void
+Engine::reapContainer(cluster::ContainerId id, bool expired)
+{
+    evictContainer(id, expired);
+    retryDeferred();
+}
+
+bool
+Engine::prewarm(trace::FunctionId id)
+{
+    const DeferredProvision req{id, cluster::ProvisionReason::Prewarm, -1};
+    if (!tryStartProvision(req))
+        return false;
+    ++metrics_.prewarms;
+    return true;
+}
+
+void
+Engine::addToWorkerIdle(cluster::Container &c)
+{
+    assert(c.idle_slot < 0);
+    auto &list = worker_idle_[c.worker];
+    c.idle_slot = static_cast<std::int32_t>(list.size());
+    list.push_back(c.id);
+}
+
+void
+Engine::removeFromWorkerIdle(cluster::Container &c)
+{
+    auto &list = worker_idle_[c.worker];
+    const std::int32_t slot = c.idle_slot;
+    if (slot < 0 || static_cast<std::size_t>(slot) >= list.size() ||
+        list[static_cast<std::size_t>(slot)] != c.id) {
+        throw std::logic_error("Engine: corrupt worker idle list");
+    }
+    const auto idx = static_cast<std::size_t>(slot);
+    list[idx] = list.back();
+    cluster_.slab()[list[idx]].idle_slot = slot;
+    list.pop_back();
+    c.idle_slot = -1;
+}
+
+void
+Engine::noteMemory()
+{
+    const std::int64_t used = cluster_.totalUsedMb();
+    metrics_.noteMemoryUsage(now(), used);
+    if (config_.record_timeline) {
+        metrics_.timeline.memory_mb.record(now(),
+                                           static_cast<double>(used));
+    }
+}
+
+void
+Engine::reportSpeculativeOutcome(FunctionState &fs, cluster::Container &c,
+                                 bool reused)
+{
+    const sim::SimTime gap = now() - fs.tracked_spec_ready_at;
+    fs.tracked_spec_container = cluster::kInvalidContainer;
+    policy_.scaling->onSpeculativeOutcome(*this, c.function, gap, reused);
+}
+
+sim::SimTime
+Engine::estimateExecTime(trace::FunctionId id) const
+{
+    const FunctionState &fs = states_.at(id);
+    const auto &window = fs.execWindow();
+    if (window.empty())
+        return trace_.functions()[id].median_exec_us;
+    const double value = config_.te_percentile < 0.0
+        ? window.mean()
+        : window.percentile(config_.te_percentile);
+    return static_cast<sim::SimTime>(value);
+}
+
+sim::SimTime
+Engine::estimateColdTime(trace::FunctionId id) const
+{
+    const FunctionState &fs = states_.at(id);
+    const auto &window = fs.coldWindow();
+    if (window.empty())
+        return trace_.functions()[id].cold_start_us;
+    return static_cast<sim::SimTime>(window.median());
+}
+
+sim::SimTime
+Engine::nextArrivalAfter(trace::FunctionId id, sim::SimTime t) const
+{
+    const auto &arrivals = trace_.arrivalsByFunction().at(id);
+    const auto it = std::upper_bound(arrivals.begin(), arrivals.end(), t);
+    return it == arrivals.end() ? sim::kTimeInfinity : *it;
+}
+
+std::vector<sim::SimTime>
+Engine::busyCompletionTimes(trace::FunctionId id) const
+{
+    std::vector<sim::SimTime> times;
+    const FunctionState &fs = states_.at(id);
+    for (const cluster::ContainerId cid : fs.cached()) {
+        const cluster::Container &c = cluster_.container(cid);
+        if (c.busy())
+            times.push_back(c.busy_until);
+    }
+    std::sort(times.begin(), times.end());
+    return times;
+}
+
+} // namespace cidre::core

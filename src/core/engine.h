@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The FaaS orchestration engine: an event-driven simulator of the
+ * container lifecycle under a pluggable orchestration policy.
+ *
+ * The engine implements the mechanism (Figure 11 / Algorithm 2 of the
+ * paper) and delegates every decision to the policy bundle:
+ *
+ *  1. An arriving request is dispatched into a free warm slot if one
+ *     exists (true warm start).
+ *  2. Otherwise the ScalingPolicy chooses: bind to a new container
+ *     (vanilla cold start), bind to a busy container's queue (fixed
+ *     queue), wait in the function's work-conserving channel, or wait
+ *     AND provision speculatively (BSS/CSS).
+ *  3. Channel requests are served by whichever resource frees first —
+ *     a busy container finishing (delayed warm start) or a provision
+ *     completing (cold start).
+ *  4. Provisioning requires worker memory; the KeepAlivePolicy plans
+ *     reclaims (REPLACE of Algorithm 2).  Insufficient reclaimable space
+ *     defers the provision until memory frees.
+ *  5. A maintenance tick drives TTL expiry and proactive agents.
+ */
+
+#ifndef CIDRE_CORE_ENGINE_H
+#define CIDRE_CORE_ENGINE_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/config.h"
+#include "core/function_state.h"
+#include "core/metrics.h"
+#include "core/policy.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "trace/trace.h"
+
+namespace cidre::core {
+
+/** Event-driven FaaS cluster simulator. */
+class Engine
+{
+  public:
+    /**
+     * @param workload a sealed trace (kept by reference: must outlive
+     *                 the engine).
+     */
+    Engine(const trace::Trace &workload, EngineConfig config,
+           OrchestrationPolicy policy);
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Run the whole trace to completion and return the metrics.
+     * Throws std::logic_error if any request failed to complete (which
+     * would indicate an engine or policy bug, not a workload property).
+     */
+    RunMetrics run();
+
+    // ---- read access for policies --------------------------------------
+
+    sim::SimTime now() const { return queue_.now(); }
+    const EngineConfig &config() const { return config_; }
+    const trace::Trace &workload() const { return trace_; }
+    cluster::Cluster &clusterRef() { return cluster_; }
+    const cluster::Cluster &clusterRef() const { return cluster_; }
+    RunMetrics &metrics() { return metrics_; }
+
+    FunctionState &functionState(trace::FunctionId id)
+    {
+        return states_.at(id);
+    }
+    const FunctionState &functionState(trace::FunctionId id) const
+    {
+        return states_.at(id);
+    }
+
+    /** Idle (reclaimable) containers currently on @p worker. */
+    const std::vector<cluster::ContainerId> &
+    idleContainersOn(cluster::WorkerId worker) const
+    {
+        return worker_idle_.at(worker);
+    }
+
+    /**
+     * T_e estimate: the configured percentile (or mean) of the recent
+     * execution-time window; falls back to the profile's median when no
+     * history exists yet.
+     */
+    sim::SimTime estimateExecTime(trace::FunctionId id) const;
+
+    /** T_p estimate: median recent cold-start latency (profile fallback). */
+    sim::SimTime estimateColdTime(trace::FunctionId id) const;
+
+    // ---- oracle access (Offline policies only) --------------------------
+
+    /** Next trace arrival of @p id strictly after @p t (or infinity). */
+    sim::SimTime nextArrivalAfter(trace::FunctionId id, sim::SimTime t) const;
+
+    /** Sorted completion times of the active executions of @p id. */
+    std::vector<sim::SimTime> busyCompletionTimes(trace::FunctionId id) const;
+
+    // ---- agent API ------------------------------------------------------
+
+    /**
+     * Proactively provision a container for @p id (pre-warming).
+     * @return false if no worker had (or could reclaim) the memory.
+     */
+    bool prewarm(trace::FunctionId id);
+
+    /** Evict an idle container (agent-driven deactivation / expiry). */
+    void reapContainer(cluster::ContainerId id, bool expired);
+
+  private:
+    struct DeferredProvision
+    {
+        trace::FunctionId function;
+        cluster::ProvisionReason reason;
+        std::int64_t bound_request; //!< trace request index or -1
+    };
+
+    // Event handlers.
+    void handleArrival(std::uint64_t request_index);
+    void handleProvisionComplete(cluster::ContainerId id);
+    void handleExecutionComplete(cluster::ContainerId id,
+                                 std::uint64_t request_index);
+    void handleMaintenance();
+
+    void scheduleNextArrival();
+    void scheduleTickIfNeeded();
+    bool hasPendingWork() const;
+
+    /** Dispatch a request into a container and start its execution. */
+    void dispatch(cluster::Container &c, std::uint64_t request_index,
+                  StartType type);
+
+    /** Fill free slots of @p c from its bound queue / function channel. */
+    void drainQueuesInto(cluster::Container &c, StartType type);
+
+    /**
+     * PerHead speculation: re-run the scaling decision for the new
+     * channel head (once per head) and provision if it asks to.
+     */
+    void evaluateChannelHead(FunctionState &fs);
+
+    /**
+     * Provision a container for @p function, deferring on memory
+     * exhaustion.
+     */
+    void provision(trace::FunctionId function,
+                   cluster::ProvisionReason reason,
+                   std::int64_t bound_request);
+
+    /** Attempt to start provisioning right now. @return success. */
+    bool tryStartProvision(const DeferredProvision &req);
+
+    /**
+     * Reclaim (via the keep-alive policy) until @p need_mb fit on
+     * @p worker, in bounded rounds.  @p watermark accumulates the max
+     * evicted priority; @p exclude is never reclaimed (used when making
+     * room to inflate a compressed container).
+     * @return true if the space is available afterwards.
+     */
+    bool ensureFreeOn(cluster::WorkerId worker, std::int64_t need_mb,
+                      double &watermark,
+                      cluster::ContainerId exclude =
+                          cluster::kInvalidContainer,
+                      trace::FunctionId beneficiary =
+                          trace::kInvalidFunction);
+
+    /** Re-attempt deferred provisions (FIFO) after memory freed. */
+    void retryDeferred();
+
+    /** Begin restoring a compressed container for a bound request. */
+    void startRestore(cluster::Container &c, std::uint64_t request_index);
+
+    /** Find a compressed container of @p fs that fits its inflation. */
+    cluster::Container *findRestorableContainer(FunctionState &fs);
+
+    void evictContainer(cluster::ContainerId id, bool expired);
+
+    void addToWorkerIdle(cluster::Container &c);
+    void removeFromWorkerIdle(cluster::Container &c);
+
+    void noteMemory();
+
+    /** Report the T_i outcome for a tracked speculative container. */
+    void reportSpeculativeOutcome(FunctionState &fs, cluster::Container &c,
+                                  bool reused);
+
+    const trace::Trace &trace_;
+    EngineConfig config_;
+    OrchestrationPolicy policy_;
+    cluster::Cluster cluster_;
+    sim::EventQueue queue_;
+    sim::Rng rng_;
+    std::vector<FunctionState> states_;
+    std::vector<std::vector<cluster::ContainerId>> worker_idle_;
+    std::deque<DeferredProvision> deferred_;
+    RunMetrics metrics_;
+
+    std::uint64_t arrival_cursor_ = 0;
+    std::uint64_t round_robin_cursor_ = 0;
+    /** Live compressed containers (gates the restore-path scan). */
+    std::int64_t compressed_live_ = 0;
+    std::uint64_t outstanding_requests_ = 0;
+    std::uint64_t completed_requests_ = 0;
+    bool in_retry_ = false;
+    bool tick_scheduled_ = false;
+    bool ran_ = false;
+};
+
+} // namespace cidre::core
+
+#endif // CIDRE_CORE_ENGINE_H

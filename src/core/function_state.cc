@@ -1,0 +1,125 @@
+#include "core/function_state.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace cidre::core {
+
+namespace {
+
+/**
+ * Swap-erase @p c from @p list using the intrusive index @p slot_member,
+ * fixing up the index of the element swapped into its place.
+ */
+template <auto SlotMember>
+void
+swapErase(std::vector<cluster::ContainerId> &list, cluster::Container &c,
+          std::deque<cluster::Container> &slab)
+{
+    const std::int32_t slot = c.*SlotMember;
+    if (slot < 0 || static_cast<std::size_t>(slot) >= list.size() ||
+        list[static_cast<std::size_t>(slot)] != c.id) {
+        throw std::logic_error("FunctionState: corrupt membership index");
+    }
+    const auto idx = static_cast<std::size_t>(slot);
+    list[idx] = list.back();
+    slab[list[idx]].*SlotMember = slot;
+    list.pop_back();
+    c.*SlotMember = -1;
+}
+
+} // namespace
+
+FunctionState::FunctionState(trace::FunctionId id,
+                             sim::SimTime window_horizon,
+                             std::size_t window_cap)
+    : id_(id),
+      exec_window_(window_horizon, window_cap),
+      cold_window_(window_horizon, window_cap),
+      arrival_window_(window_horizon, window_cap)
+{
+}
+
+void
+FunctionState::addAvailable(cluster::Container &c)
+{
+    assert(c.avail_slot < 0);
+    c.avail_slot = static_cast<std::int32_t>(available_.size());
+    available_.push_back(c.id);
+}
+
+void
+FunctionState::removeAvailable(cluster::Container &c,
+                               std::deque<cluster::Container> &slab)
+{
+    swapErase<&cluster::Container::avail_slot>(available_, c, slab);
+}
+
+bool
+FunctionState::isAvailable(const cluster::Container &c) const
+{
+    return c.avail_slot >= 0;
+}
+
+void
+FunctionState::addCached(cluster::Container &c)
+{
+    assert(c.cached_slot < 0);
+    c.cached_slot = static_cast<std::int32_t>(cached_.size());
+    cached_.push_back(c.id);
+}
+
+void
+FunctionState::removeCached(cluster::Container &c,
+                            std::deque<cluster::Container> &slab)
+{
+    swapErase<&cluster::Container::cached_slot>(cached_, c, slab);
+}
+
+void
+FunctionState::noteBusy(bool became_busy)
+{
+    if (became_busy) {
+        ++busy_count_;
+    } else {
+        if (busy_count_ == 0)
+            throw std::logic_error("FunctionState: busy count underflow");
+        --busy_count_;
+    }
+}
+
+void
+FunctionState::noteProvisioning(bool started)
+{
+    if (started) {
+        ++provisioning_count_;
+    } else {
+        if (provisioning_count_ == 0)
+            throw std::logic_error("FunctionState: provisioning underflow");
+        --provisioning_count_;
+    }
+}
+
+void
+FunctionState::noteArrival(sim::SimTime now)
+{
+    ++total_invocations_;
+    if (first_request_at_ < 0)
+        first_request_at_ = now;
+    arrival_window_.add(now, static_cast<double>(now));
+}
+
+double
+FunctionState::freqPerMinute(sim::SimTime now) const
+{
+    if (first_request_at_ < 0 || total_invocations_ == 0)
+        return 0.0;
+    // Eq. 4: n_F / minutes since the first request.  Clamp the horizon
+    // to one minute so brand-new functions don't get unbounded rates.
+    const double mins =
+        std::max(1.0, sim::toMin(now - first_request_at_));
+    return static_cast<double>(total_invocations_) / mins;
+}
+
+} // namespace cidre::core

@@ -1,0 +1,132 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cidre::core {
+
+const char *
+startTypeName(StartType type)
+{
+    switch (type) {
+      case StartType::Warm:
+        return "warm";
+      case StartType::DelayedWarm:
+        return "delayed-warm";
+      case StartType::Cold:
+        return "cold";
+      case StartType::Restored:
+        return "restored";
+      case StartType::kCount:
+        break;
+    }
+    throw std::invalid_argument("startTypeName: bad type");
+}
+
+RunMetrics::RunMetrics()
+    : overhead_us_(0.01), e2e_us_(0.01)
+{
+}
+
+void
+RunMetrics::recordStart(StartType type, sim::SimTime wait_us,
+                        sim::SimTime exec_us)
+{
+    const auto idx = static_cast<std::size_t>(type);
+    ++counts_.at(idx);
+    const auto wait = static_cast<double>(wait_us);
+    const auto exec = static_cast<double>(exec_us);
+    wait_by_type_[idx].add(wait);
+    overhead_all_.add(wait);
+    overhead_us_.add(wait);
+    e2e_us_.add(wait + exec);
+    // Overhead ratio definition from §2.4: wait / (wait + exec).  A
+    // zero-duration request with zero wait counts as 0 overhead.
+    overhead_ratio_.add(wait + exec > 0.0 ? wait / (wait + exec) : 0.0);
+}
+
+void
+RunMetrics::noteMemoryUsage(sim::SimTime now, std::int64_t used_mb)
+{
+    if (now < last_memory_change_)
+        throw std::logic_error("RunMetrics: time went backwards");
+    mb_time_integral_ += static_cast<double>(current_used_mb_) *
+        static_cast<double>(now - last_memory_change_);
+    last_memory_change_ = now;
+    current_used_mb_ = used_mb;
+    peak_used_mb_ = std::max(peak_used_mb_, used_mb);
+}
+
+void
+RunMetrics::finalize(sim::SimTime now)
+{
+    if (finalized_)
+        return;
+    noteMemoryUsage(now, current_used_mb_);
+    makespan_ = now;
+    finalized_ = true;
+}
+
+std::uint64_t
+RunMetrics::count(StartType type) const
+{
+    return counts_.at(static_cast<std::size_t>(type));
+}
+
+std::uint64_t
+RunMetrics::total() const
+{
+    std::uint64_t sum = 0;
+    for (const auto c : counts_)
+        sum += c;
+    return sum;
+}
+
+double
+RunMetrics::ratio(StartType type) const
+{
+    const auto n = total();
+    return n == 0
+        ? 0.0
+        : static_cast<double>(count(type)) / static_cast<double>(n);
+}
+
+double
+RunMetrics::warmRatio() const
+{
+    return ratio(StartType::Warm) + ratio(StartType::Restored);
+}
+
+double
+RunMetrics::avgOverheadRatioPct() const
+{
+    return overhead_ratio_.mean() * 100.0;
+}
+
+double
+RunMetrics::avgOverheadMs() const
+{
+    return overhead_all_.mean() / 1e3;
+}
+
+double
+RunMetrics::avgWaitMs(StartType type) const
+{
+    return wait_by_type_.at(static_cast<std::size_t>(type)).mean() / 1e3;
+}
+
+double
+RunMetrics::avgMemoryGb() const
+{
+    if (makespan_ <= 0)
+        return static_cast<double>(current_used_mb_) / 1024.0;
+    return mb_time_integral_ / static_cast<double>(makespan_) / 1024.0;
+}
+
+double
+RunMetrics::peakMemoryGb() const
+{
+    return static_cast<double>(peak_used_mb_) / 1024.0;
+}
+
+} // namespace cidre::core

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Per-run result metrics: everything the paper's figures report.
+ */
+
+#ifndef CIDRE_CORE_METRICS_H
+#define CIDRE_CORE_METRICS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+#include "stats/timeseries.h"
+
+namespace cidre::core {
+
+/**
+ * How a request's execution began.
+ *
+ * Warm        — dispatched immediately into a free warm slot (a "hit");
+ * DelayedWarm — waited for a busy warm container (paper's new state);
+ * Cold        — waited for a freshly provisioned container (a "miss");
+ * Restored    — waited for a CodeCrunch compressed container to inflate.
+ */
+enum class StartType : std::uint8_t
+{
+    Warm = 0,
+    DelayedWarm,
+    Cold,
+    Restored,
+    kCount,
+};
+
+const char *startTypeName(StartType type);
+
+/** Outcome of one request (retained when record_per_request is set). */
+struct RequestOutcome
+{
+    StartType type = StartType::Warm;
+    sim::SimTime wait_us = 0; //!< invocation overhead
+    sim::SimTime exec_us = 0;
+
+    /**
+     * Counterfactual queuing delay at arrival: how long this request
+     * would have waited for the earliest busy container of its function
+     * to free up, had it queued instead of whatever the policy chose.
+     * -1 when the function had no busy container (or no miss occurred).
+     * Drives the §2.4 what-if study (Figs. 5/6).
+     */
+    sim::SimTime counterfactual_queue_us = -1;
+};
+
+/**
+ * Aggregated results of one simulation run.
+ *
+ * The engine feeds it; bench binaries read it.  Key derived quantities:
+ *  - avgOverheadRatio(): mean of wait/(wait+exec) over requests — the
+ *    paper's "average overhead ratio" (Figs. 7, 8, 12, 15, 17, 18, 21);
+ *  - cold/warm/delayed ratios (Fig. 12(b,d), Table 2);
+ *  - overhead / E2E distributions (Figs. 13, 14, 19, 20);
+ *  - average memory usage (Fig. 16).
+ */
+class RunMetrics
+{
+  public:
+    RunMetrics();
+
+    /** Record a request beginning execution. */
+    void recordStart(StartType type, sim::SimTime wait_us,
+                     sim::SimTime exec_us);
+
+    /** Note a memory-occupancy change (time-weighted averaging). */
+    void noteMemoryUsage(sim::SimTime now, std::int64_t used_mb);
+
+    /** Close the memory integral and record the makespan. */
+    void finalize(sim::SimTime now);
+
+    // --- raw counters (engine-maintained) ------------------------------
+    std::uint64_t containers_created = 0;
+    /** Total memory of all containers ever provisioned (churn volume). */
+    std::uint64_t provisioned_mb = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t expirations = 0;     //!< TTL-style reaps
+    std::uint64_t compressions = 0;
+    std::uint64_t prewarms = 0;
+    std::uint64_t wasted_cold_starts = 0; //!< evicted without ever serving
+    std::uint64_t deferred_provisions = 0;
+    std::uint64_t cancelled_provisions = 0;
+    /** Requests whose wait exceeded EngineConfig::slo_us (if set). */
+    std::uint64_t slo_violations = 0;
+
+    // --- per-type request counts ---------------------------------------
+    std::uint64_t count(StartType type) const;
+    std::uint64_t total() const;
+
+    double ratio(StartType type) const;
+    double coldRatio() const { return ratio(StartType::Cold); }
+    double delayedRatio() const { return ratio(StartType::DelayedWarm); }
+    /** Warm + Restored (restores are warm starts with a small warmup). */
+    double warmRatio() const;
+
+    /** Mean per-request wait/(wait+exec), as a percentage. */
+    double avgOverheadRatioPct() const;
+
+    /** Mean invocation overhead in milliseconds. */
+    double avgOverheadMs() const;
+
+    /** Mean wait of one start type, in milliseconds. */
+    double avgWaitMs(StartType type) const;
+
+    /** Invocation overhead distribution (microseconds). */
+    const stats::Histogram &overheadHistogram() const { return overhead_us_; }
+
+    /** End-to-end service time distribution (microseconds). */
+    const stats::Histogram &e2eHistogram() const { return e2e_us_; }
+
+    /** Time-averaged occupied memory, in GB. */
+    double avgMemoryGb() const;
+    /** Peak occupied memory, in GB. */
+    double peakMemoryGb() const;
+
+    sim::SimTime makespan() const { return makespan_; }
+
+    /** Per-request log; empty unless record_per_request was enabled. */
+    std::vector<RequestOutcome> outcomes;
+
+    /**
+     * Run timeline (populated when record_timeline is enabled): the
+     * dynamics the aggregates hide — memory spikes, cold-start storms,
+     * channel backlogs.
+     */
+    struct Timeline
+    {
+        /** Occupied memory (MB), sampled on every change. */
+        stats::TimeSeries memory_mb{sim::sec(10),
+                                    stats::BucketCombine::Max};
+        /** Cold starts per bucket. */
+        stats::TimeSeries cold_starts{sim::sec(10),
+                                      stats::BucketCombine::Sum};
+        /** Delayed warm starts per bucket. */
+        stats::TimeSeries delayed_warms{sim::sec(10),
+                                        stats::BucketCombine::Sum};
+        /** Containers provisioned per bucket. */
+        stats::TimeSeries provisions{sim::sec(10),
+                                     stats::BucketCombine::Sum};
+    };
+    Timeline timeline;
+
+  private:
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(StartType::kCount)> counts_{};
+    std::array<stats::OnlineSummary,
+               static_cast<std::size_t>(StartType::kCount)> wait_by_type_;
+    stats::OnlineSummary overhead_ratio_;
+    stats::OnlineSummary overhead_all_;
+    stats::Histogram overhead_us_;
+    stats::Histogram e2e_us_;
+
+    // Time-weighted memory integral.
+    double mb_time_integral_ = 0.0;
+    std::int64_t current_used_mb_ = 0;
+    std::int64_t peak_used_mb_ = 0;
+    sim::SimTime last_memory_change_ = 0;
+    sim::SimTime makespan_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace cidre::core
+
+#endif // CIDRE_CORE_METRICS_H

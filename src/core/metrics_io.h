@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Metrics serialization: dump a RunMetrics as JSON for downstream
+ * tooling (plotting, regression tracking), plus per-function breakdowns
+ * computed from the per-request outcome log.
+ */
+
+#ifndef CIDRE_CORE_METRICS_IO_H
+#define CIDRE_CORE_METRICS_IO_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "trace/trace.h"
+
+namespace cidre::core {
+
+/**
+ * Serialize the run metrics as a single JSON object (hand-rolled, no
+ * dependencies): request counts and ratios, wait/E2E percentiles,
+ * resource counters, memory statistics.
+ */
+void writeMetricsJson(const RunMetrics &metrics, std::ostream &out);
+
+/** Convenience: JSON to a file; throws std::runtime_error on I/O. */
+void writeMetricsJsonFile(const RunMetrics &metrics,
+                          const std::string &path);
+
+/** Per-function aggregate computed from the outcome log. */
+struct FunctionBreakdown
+{
+    trace::FunctionId function = trace::kInvalidFunction;
+    std::string name;
+    std::uint64_t requests = 0;
+    std::uint64_t cold = 0;
+    std::uint64_t delayed = 0;
+    double total_wait_ms = 0.0;
+    double avg_wait_ms = 0.0;
+};
+
+/**
+ * Aggregate the outcome log by function, sorted by total wait time
+ * (descending) — "which functions pay the most overhead".
+ * Requires metrics recorded with record_per_request; returns at most
+ * @p top entries.
+ */
+std::vector<FunctionBreakdown> perFunctionBreakdown(
+    const trace::Trace &workload, const RunMetrics &metrics,
+    std::size_t top = 10);
+
+} // namespace cidre::core
+
+#endif // CIDRE_CORE_METRICS_IO_H

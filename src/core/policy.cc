@@ -1,0 +1,68 @@
+#include "core/policy.h"
+
+namespace cidre::core {
+
+// Default no-op implementations live here (not inline in the header) so
+// the vtables have a single home translation unit.
+
+void
+ScalingPolicy::onSpeculativeOutcome(Engine &, trace::FunctionId,
+                                    sim::SimTime, bool)
+{
+}
+
+void
+ScalingPolicy::onDispatch(Engine &, const trace::Request &, StartType,
+                          sim::SimTime)
+{
+}
+
+void
+KeepAlivePolicy::onAdmit(Engine &, cluster::Container &, double)
+{
+}
+
+void
+KeepAlivePolicy::onUse(Engine &, cluster::Container &, StartType)
+{
+}
+
+void
+KeepAlivePolicy::onIdle(Engine &, cluster::Container &)
+{
+}
+
+void
+KeepAlivePolicy::onEvicted(Engine &, const cluster::Container &)
+{
+}
+
+void
+KeepAlivePolicy::collectExpired(Engine &, sim::SimTime,
+                                std::vector<cluster::ContainerId> &)
+{
+}
+
+void
+ClusterAgent::onTick(Engine &, sim::SimTime)
+{
+}
+
+void
+ClusterAgent::onRequestObserved(Engine &, const trace::Request &)
+{
+}
+
+sim::SimTime
+ClusterAgent::provisionCost(Engine &, const trace::FunctionProfile &,
+                            cluster::WorkerId, sim::SimTime base_cost)
+{
+    return base_cost;
+}
+
+void
+ClusterAgent::onContainerEvicted(Engine &, const cluster::Container &)
+{
+}
+
+} // namespace cidre::core

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Policy interfaces: the extension points of the orchestration engine.
+ *
+ * An orchestration policy is a bundle of three pluggable pieces:
+ *
+ *  - ScalingPolicy   — what to do with a request that finds no free warm
+ *    slot (paper §3.2: cold start vs. delayed warm start vs. both);
+ *  - KeepAlivePolicy — which idle containers to reclaim under memory
+ *    pressure and which to expire over time (paper §3.3);
+ *  - ClusterAgent    — optional proactive behaviour on a periodic tick
+ *    (pre-warming, autoscaling, layer caches) plus provision-cost
+ *    adjustment hooks used by the RainbowCake baseline.
+ *
+ * Policies receive the Engine by reference; they may read any state and
+ * may mutate only their own bookkeeping (plus the per-container clock /
+ * priority fields, which exist for them).  All structural mutation goes
+ * through the engine's agent API (prewarm / reapContainer).
+ */
+
+#ifndef CIDRE_CORE_POLICY_H
+#define CIDRE_CORE_POLICY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/container.h"
+#include "core/metrics.h"
+#include "sim/time.h"
+#include "trace/function_profile.h"
+#include "trace/request.h"
+
+namespace cidre::core {
+
+class Engine;
+
+/** What to do with a request that found no free warm slot. */
+enum class ScalingDecision : std::uint8_t
+{
+    /**
+     * Provision a new container and bind the request to it (vanilla
+     * platforms: the request waits for *its* container even if another
+     * becomes free earlier).
+     */
+    ColdStartBound,
+
+    /**
+     * Bind the request to one specific busy container's local queue
+     * (the fixed-queue what-if of §2.4 / Fig. 7).
+     */
+    QueueBound,
+
+    /**
+     * Join the function's work-conserving channel without provisioning:
+     * the delayed-warm-start-only path (CSS with BSS disabled).
+     */
+    Wait,
+
+    /**
+     * Join the channel AND provision speculatively; whichever resource
+     * frees first serves the request (BSS, §3.2).
+     */
+    Speculative,
+};
+
+/** A scaling decision plus its optional target container. */
+struct ScalingChoice
+{
+    ScalingDecision decision = ScalingDecision::ColdStartBound;
+    /** Required for QueueBound: the busy container to queue behind. */
+    cluster::ContainerId target = cluster::kInvalidContainer;
+};
+
+/** Decides between cold starts and (delayed) warm starts. */
+class ScalingPolicy
+{
+  public:
+    virtual ~ScalingPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Called when @p request found no available container.  The engine
+     * guards against starvation: a Wait/QueueBound choice is upgraded to
+     * Speculative if the function has no busy or provisioning container
+     * that could ever serve the channel.
+     */
+    virtual ScalingChoice onNoFreeContainer(Engine &engine,
+                                            const trace::Request &request) = 0;
+
+    /**
+     * Outcome report for a speculatively provisioned container: it was
+     * first reused (or evicted, @p reused false) @p idle_gap after its
+     * provisioning completed.  CSS derives T_i from this (§3.2).
+     */
+    virtual void onSpeculativeOutcome(Engine &engine,
+                                      trace::FunctionId function,
+                                      sim::SimTime idle_gap, bool reused);
+
+    /** A request began execution; CSS updates T_d on delayed warms. */
+    virtual void onDispatch(Engine &engine, const trace::Request &request,
+                            StartType type, sim::SimTime wait_us);
+};
+
+/** A worker-local reclaim demand. */
+struct ReclaimRequest
+{
+    cluster::WorkerId worker = 0;
+    std::int64_t need_mb = 0;
+    /** Function the reclaimed space is for (policies may special-case). */
+    trace::FunctionId beneficiary = trace::kInvalidFunction;
+    /** Container that must not be reclaimed (it is being restored). */
+    cluster::ContainerId exclude = cluster::kInvalidContainer;
+};
+
+/** The containers a keep-alive policy chose to reclaim. */
+struct ReclaimPlan
+{
+    std::vector<cluster::ContainerId> evict;
+    /** CodeCrunch: shrink these instead of evicting (applied first). */
+    std::vector<cluster::ContainerId> compress;
+};
+
+/** Decides which warm containers to keep, reclaim, or expire. */
+class KeepAlivePolicy
+{
+  public:
+    virtual ~KeepAlivePolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * A new container was admitted to the cache.  @p eviction_watermark
+     * is the maximum priority among containers evicted to make room for
+     * it (0 if none were) — the clock inheritance of Eq. 3 / GDSF.
+     */
+    virtual void onAdmit(Engine &engine, cluster::Container &container,
+                         double eviction_watermark);
+
+    /** A request was dispatched into @p container. */
+    virtual void onUse(Engine &engine, cluster::Container &container,
+                       StartType type);
+
+    /** @p container just became idle (active dropped to zero). */
+    virtual void onIdle(Engine &engine, cluster::Container &container);
+
+    /**
+     * Choose idle containers on @p request.worker freeing at least
+     * @p request.need_mb.  The engine applies the plan only if it is
+     * sufficient; otherwise the triggering provision is deferred.
+     */
+    virtual ReclaimPlan planReclaim(Engine &engine,
+                                    const ReclaimRequest &request) = 0;
+
+    /** @p container was evicted (for any reason). */
+    virtual void onEvicted(Engine &engine,
+                           const cluster::Container &container);
+
+    /**
+     * Periodic expiry hook (maintenance tick): append ids of idle
+     * containers to reap (e.g. TTL expiration) to @p out.
+     */
+    virtual void collectExpired(Engine &engine, sim::SimTime now,
+                                std::vector<cluster::ContainerId> &out);
+};
+
+/** Optional proactive component (pre-warming, autoscaling, layers). */
+class ClusterAgent
+{
+  public:
+    virtual ~ClusterAgent() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Runs every EngineConfig::maintenance_interval. */
+    virtual void onTick(Engine &engine, sim::SimTime now);
+
+    /** Observes every arrival (before dispatch). */
+    virtual void onRequestObserved(Engine &engine,
+                                   const trace::Request &request);
+
+    /**
+     * Adjust the provisioning latency of a cold start (RainbowCake:
+     * subtract the cost of layers already cached on @p worker).
+     */
+    virtual sim::SimTime provisionCost(Engine &engine,
+                                       const trace::FunctionProfile &function,
+                                       cluster::WorkerId worker,
+                                       sim::SimTime base_cost);
+
+    /** A container was evicted (layer caches may salvage pieces). */
+    virtual void onContainerEvicted(Engine &engine,
+                                    const cluster::Container &container);
+};
+
+/** A complete, named orchestration policy bundle. */
+struct OrchestrationPolicy
+{
+    std::string name;
+    std::unique_ptr<ScalingPolicy> scaling;
+    std::unique_ptr<KeepAlivePolicy> keep_alive;
+    std::unique_ptr<ClusterAgent> agent; //!< may be null
+};
+
+} // namespace cidre::core
+
+#endif // CIDRE_CORE_POLICY_H

@@ -1,0 +1,77 @@
+#include "policies/baselines/codecrunch.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "policies/scaling/vanilla.h"
+
+namespace cidre::policies {
+
+CodeCrunchKeepAlive::CodeCrunchKeepAlive()
+    : GdsfKeepAlive(false)
+{
+}
+
+core::ReclaimPlan
+CodeCrunchKeepAlive::planReclaim(core::Engine &engine,
+                                 const core::ReclaimRequest &request)
+{
+    std::vector<std::pair<double, cluster::ContainerId>> ranked;
+    for (const cluster::ContainerId cid :
+         engine.idleContainersOn(request.worker)) {
+        if (cid == request.exclude)
+            continue;
+        cluster::Container &c = engine.clusterRef().container(cid);
+        ranked.emplace_back(score(engine, c), cid);
+    }
+    std::sort(ranked.begin(), ranked.end());
+
+    const double ratio = engine.config().compression_ratio;
+    core::ReclaimPlan plan;
+    std::int64_t freed = 0;
+    // First pass: compress live idle containers, evict compressed ones.
+    for (const auto &[prio, cid] : ranked) {
+        if (freed >= request.need_mb)
+            break;
+        const cluster::Container &c = engine.clusterRef().container(cid);
+        if (c.compressed()) {
+            plan.evict.push_back(cid);
+            freed += c.memory_mb;
+        } else {
+            plan.compress.push_back(cid);
+            freed += c.full_memory_mb - std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(
+                       static_cast<double>(c.full_memory_mb) / ratio));
+        }
+    }
+    if (freed >= request.need_mb)
+        return plan;
+
+    // Compression alone cannot satisfy the demand: fall back to evicting
+    // from the lowest score upward (compressed or not).
+    plan = core::ReclaimPlan{};
+    freed = 0;
+    for (const auto &[prio, cid] : ranked) {
+        if (freed >= request.need_mb)
+            break;
+        plan.evict.push_back(cid);
+        freed += engine.clusterRef().container(cid).memory_mb;
+    }
+    if (freed < request.need_mb)
+        plan.evict.clear();
+    return plan;
+}
+
+core::OrchestrationPolicy
+makeCodeCrunch()
+{
+    core::OrchestrationPolicy policy;
+    policy.name = "codecrunch";
+    policy.scaling = std::make_unique<VanillaScaling>();
+    policy.keep_alive = std::make_unique<CodeCrunchKeepAlive>();
+    return policy;
+}
+
+} // namespace cidre::policies

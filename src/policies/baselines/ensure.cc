@@ -1,0 +1,107 @@
+#include "policies/baselines/ensure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/engine.h"
+#include "policies/keepalive/lru.h"
+#include "policies/scaling/vanilla.h"
+
+namespace cidre::policies {
+
+EnsureAgent::EnsureAgent(const EnsureConfig &config)
+    : config_(config)
+{
+}
+
+std::uint32_t
+EnsureAgent::targetPoolSize(core::Engine &engine,
+                            trace::FunctionId function) const
+{
+    const auto &fs = engine.functionState(function);
+    const auto &arrivals = fs.arrivalWindow();
+    if (arrivals.count() < 2)
+        return fs.totalInvocations() > 0 ? 1 : 0;
+
+    // Rate over the elapsed time since the oldest retained arrival (not
+    // just the sample span): a millisecond-wide burst must not read as a
+    // sustained thousands-rps load.
+    const double span_sec = sim::toSec(
+        std::max<sim::SimTime>(engine.now() - arrivals.earliestTime(),
+                               sim::msec(100)));
+    const double rate =
+        static_cast<double>(arrivals.count() - 1) / span_sec;
+    const double exec_sec = sim::toSec(engine.estimateExecTime(function));
+    const double offered = rate * std::max(exec_sec, 1e-3);
+    const auto base = static_cast<std::uint32_t>(std::ceil(offered));
+    const auto burst = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(std::max(base, 1u)))));
+    return base + burst;
+}
+
+void
+EnsureAgent::onTick(core::Engine &engine, sim::SimTime now)
+{
+    const std::size_t n = engine.workload().functionCount();
+    if (surplus_since_.size() < n)
+        surplus_since_.resize(n, -1);
+
+    std::size_t budget = config_.prewarm_per_tick;
+    for (trace::FunctionId id = 0; id < n; ++id) {
+        const auto &fs = engine.functionState(id);
+        const std::uint32_t have = fs.cachedCount() + fs.provisioningCount();
+        const std::uint32_t target = targetPoolSize(engine, id);
+
+        if (have < target) {
+            surplus_since_[id] = -1;
+            for (std::uint32_t k = have; k < target && budget > 0; ++k) {
+                if (!engine.prewarm(id))
+                    break; // no memory anywhere: stop trying this tick
+                --budget;
+            }
+        } else if (have > target) {
+            if (surplus_since_[id] < 0) {
+                surplus_since_[id] = now;
+            } else if (now - surplus_since_[id] >= config_.cooldown) {
+                // Deactivate the surplus, least-recently-used idle first.
+                std::vector<cluster::ContainerId> idle;
+                for (const cluster::ContainerId cid : fs.cached()) {
+                    const auto &c = engine.clusterRef().container(cid);
+                    if (c.idle())
+                        idle.push_back(cid);
+                }
+                std::sort(idle.begin(), idle.end(),
+                          [&](cluster::ContainerId a,
+                              cluster::ContainerId b) {
+                              const auto &ca = engine.clusterRef().container(a);
+                              const auto &cb = engine.clusterRef().container(b);
+                              return ca.last_used_at < cb.last_used_at;
+                          });
+                std::uint32_t excess = have - target;
+                for (const cluster::ContainerId cid : idle) {
+                    if (excess == 0)
+                        break;
+                    engine.reapContainer(cid, /*expired=*/true);
+                    --excess;
+                }
+                surplus_since_[id] = -1;
+            }
+        } else {
+            surplus_since_[id] = -1;
+        }
+    }
+}
+
+core::OrchestrationPolicy
+makeEnsure(const EnsureConfig &config)
+{
+    core::OrchestrationPolicy policy;
+    policy.name = "ensure";
+    policy.scaling = std::make_unique<VanillaScaling>();
+    policy.keep_alive = std::make_unique<LruKeepAlive>();
+    policy.agent = std::make_unique<EnsureAgent>(config);
+    return policy;
+}
+
+} // namespace cidre::policies

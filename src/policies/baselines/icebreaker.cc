@@ -1,0 +1,129 @@
+#include "policies/baselines/icebreaker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/engine.h"
+#include "policies/keepalive/gdsf.h"
+#include "policies/scaling/vanilla.h"
+
+namespace cidre::policies {
+
+namespace {
+
+constexpr std::size_t kGapHistoryCap = 32;
+
+} // namespace
+
+void
+IceBreakerAgent::History::push(double gap, std::size_t cap)
+{
+    if (gaps.size() < cap) {
+        gaps.push_back(gap);
+    } else {
+        gaps[next_slot] = gap;
+        next_slot = (next_slot + 1) % cap;
+    }
+}
+
+IceBreakerAgent::IceBreakerAgent(const IceBreakerConfig &config)
+    : config_(config)
+{
+}
+
+void
+IceBreakerAgent::onRequestObserved(core::Engine &engine,
+                                   const trace::Request &request)
+{
+    if (history_.size() < engine.workload().functionCount())
+        history_.resize(engine.workload().functionCount());
+    History &h = history_[request.function];
+    if (h.last_arrival >= 0) {
+        h.push(static_cast<double>(request.arrival_us - h.last_arrival),
+               kGapHistoryCap);
+    }
+    h.last_arrival = request.arrival_us;
+}
+
+sim::SimTime
+IceBreakerAgent::predictNextArrival(trace::FunctionId function) const
+{
+    if (function >= history_.size())
+        return sim::kTimeInfinity;
+    const History &h = history_[function];
+    if (h.gaps.size() < config_.min_history)
+        return sim::kTimeInfinity;
+
+    double sum = 0.0;
+    for (const double g : h.gaps)
+        sum += g;
+    const double mean = sum / static_cast<double>(h.gaps.size());
+    if (mean <= 0.0)
+        return sim::kTimeInfinity;
+    double var = 0.0;
+    for (const double g : h.gaps)
+        var += (g - mean) * (g - mean);
+    var /= static_cast<double>(h.gaps.size());
+    const double cv = std::sqrt(var) / mean;
+    if (cv > config_.max_gap_cv)
+        return sim::kTimeInfinity; // too erratic to pre-warm profitably
+
+    std::vector<double> sorted = h.gaps;
+    std::nth_element(sorted.begin(), sorted.begin() +
+                     static_cast<std::ptrdiff_t>(sorted.size() / 2),
+                     sorted.end());
+    const double median_gap = sorted[sorted.size() / 2];
+    return h.last_arrival + static_cast<sim::SimTime>(median_gap);
+}
+
+void
+IceBreakerAgent::onTick(core::Engine &engine, sim::SimTime now)
+{
+    if (history_.size() < engine.workload().functionCount())
+        history_.resize(engine.workload().functionCount());
+
+    // Reap containers idle beyond the keep window — IceBreaker keeps
+    // function instances alive for a bounded window after (pre-)warming
+    // rather than indefinitely.
+    std::vector<cluster::ContainerId> stale;
+    const auto &cl = engine.clusterRef();
+    for (cluster::WorkerId w = 0; w < cl.workerCount(); ++w) {
+        for (const cluster::ContainerId cid : engine.idleContainersOn(w)) {
+            const cluster::Container &c = cl.container(cid);
+            if (now - c.idle_since >= config_.stale_after)
+                stale.push_back(cid);
+        }
+    }
+    for (const cluster::ContainerId cid : stale)
+        engine.reapContainer(cid, /*expired=*/true);
+
+    // Pre-warm functions predicted to fire within the window.
+    std::size_t budget = config_.prewarm_per_tick;
+    for (trace::FunctionId id = 0;
+         id < engine.workload().functionCount() && budget > 0; ++id) {
+        const auto &fs = engine.functionState(id);
+        if (!fs.available().empty() || fs.provisioningCount() > 0)
+            continue;
+        const sim::SimTime predicted = predictNextArrival(id);
+        if (predicted == sim::kTimeInfinity || predicted < now ||
+            predicted > now + config_.prewarm_window) {
+            continue;
+        }
+        if (engine.prewarm(id))
+            --budget;
+    }
+}
+
+core::OrchestrationPolicy
+makeIceBreaker(const IceBreakerConfig &config)
+{
+    core::OrchestrationPolicy policy;
+    policy.name = "icebreaker";
+    policy.scaling = std::make_unique<VanillaScaling>();
+    policy.keep_alive = std::make_unique<GdsfKeepAlive>(false);
+    policy.agent = std::make_unique<IceBreakerAgent>(config);
+    return policy;
+}
+
+} // namespace cidre::policies

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * IceBreaker baseline (Roy et al., ASPLOS'22): prediction-driven
+ * pre-warming with server-heterogeneity-aware placement.
+ *
+ * The published system predicts each function's next invocation time
+ * from its invocation history (via Fourier decomposition) and pre-warms
+ * the function shortly before, choosing between cheap and expensive
+ * servers by prediction confidence.  We keep the evaluated essence:
+ *
+ *  - per-function next-arrival prediction from the recent inter-arrival
+ *    gaps (median gap, with a dispersion guard: unpredictable functions
+ *    — gap CV above a threshold — are not pre-warmed);
+ *  - a pre-warm window: on each tick, functions predicted to fire within
+ *    the window and lacking a free container are pre-warmed;
+ *  - stale pre-warmed containers (never used within the keep window) are
+ *    reaped;
+ *  - cost-aware GDSF eviction under pressure (its keep-alive half), with
+ *    worker speed factors modelling heterogeneity (homogeneous in the
+ *    paper's controlled comparison, which diminishes IceBreaker's edge —
+ *    §5.1).
+ */
+
+#ifndef CIDRE_POLICIES_BASELINES_ICEBREAKER_H
+#define CIDRE_POLICIES_BASELINES_ICEBREAKER_H
+
+#include <vector>
+
+#include "core/policy.h"
+
+namespace cidre::policies {
+
+/** IceBreaker tuning knobs. */
+struct IceBreakerConfig
+{
+    /** Pre-warm functions predicted to fire within this window. */
+    sim::SimTime prewarm_window = sim::sec(10);
+
+    /** Reap pre-warmed containers unused for this long. */
+    sim::SimTime stale_after = sim::minutes(2);
+
+    /** Skip pre-warming functions whose gap CV exceeds this. */
+    double max_gap_cv = 1.0;
+
+    /** Need at least this many observed gaps before predicting. */
+    std::size_t min_history = 4;
+
+    /** At most this many pre-warms per tick (provisioning burst cap). */
+    std::size_t prewarm_per_tick = 8;
+};
+
+/** The predictive pre-warming agent. */
+class IceBreakerAgent : public core::ClusterAgent
+{
+  public:
+    explicit IceBreakerAgent(const IceBreakerConfig &config);
+
+    const char *name() const override { return "icebreaker"; }
+
+    void onRequestObserved(core::Engine &engine,
+                           const trace::Request &request) override;
+    void onTick(core::Engine &engine, sim::SimTime now) override;
+
+    /**
+     * Predicted next arrival for @p function, or sim::kTimeInfinity when
+     * the history is too short or too erratic.  Exposed for tests.
+     */
+    sim::SimTime predictNextArrival(trace::FunctionId function) const;
+
+  private:
+    struct History
+    {
+        sim::SimTime last_arrival = -1;
+        std::vector<double> gaps; //!< ring buffer of recent gaps (µs)
+        std::size_t next_slot = 0;
+
+        void push(double gap, std::size_t cap);
+    };
+
+    IceBreakerConfig config_;
+    std::vector<History> history_; //!< by function id
+};
+
+/** Assemble the IceBreaker bundle (vanilla scaling + GDSF keep-alive). */
+core::OrchestrationPolicy makeIceBreaker(const IceBreakerConfig &config);
+
+} // namespace cidre::policies
+
+#endif // CIDRE_POLICIES_BASELINES_ICEBREAKER_H

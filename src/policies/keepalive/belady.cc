@@ -1,0 +1,21 @@
+#include "policies/keepalive/belady.h"
+
+#include "core/engine.h"
+
+namespace cidre::policies {
+
+double
+BeladyKeepAlive::score(core::Engine &engine, cluster::Container &container)
+{
+    const sim::SimTime next =
+        engine.nextArrivalAfter(container.function, engine.now());
+    // Furthest next use evicts first; since the ranked base evicts the
+    // *lowest* score, negate.  Never-used-again functions get the most
+    // negative score and are always the first victims.
+    container.priority = next == sim::kTimeInfinity
+        ? -1e300
+        : -static_cast<double>(next);
+    return container.priority;
+}
+
+} // namespace cidre::policies

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Belady's MIN keep-alive (the Offline baseline's eviction half).
+ *
+ * Evicts the container whose function's next trace arrival is furthest
+ * in the future (containers of never-again-invoked functions first).
+ * Requires oracle access to the workload, which the engine provides to
+ * every policy; only Offline uses it.
+ */
+
+#ifndef CIDRE_POLICIES_KEEPALIVE_BELADY_H
+#define CIDRE_POLICIES_KEEPALIVE_BELADY_H
+
+#include "policies/keepalive/ranked.h"
+
+namespace cidre::policies {
+
+/** Furthest-future-use eviction. */
+class BeladyKeepAlive : public RankedKeepAlive
+{
+  public:
+    const char *name() const override { return "belady"; }
+
+  protected:
+    double score(core::Engine &engine,
+                 cluster::Container &container) override;
+};
+
+} // namespace cidre::policies
+
+#endif // CIDRE_POLICIES_KEEPALIVE_BELADY_H

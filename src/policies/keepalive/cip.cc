@@ -1,0 +1,46 @@
+#include "policies/keepalive/cip.h"
+
+#include <algorithm>
+
+#include "core/engine.h"
+
+namespace cidre::policies {
+
+void
+CipKeepAlive::onAdmit(core::Engine &engine, cluster::Container &container,
+                      double eviction_watermark)
+{
+    // §3.3: when the cache is not full new containers start at clock 0;
+    // when admission required evictions, the container inherits the
+    // maximum evicted priority, keeping clocks monotone.
+    container.clock = eviction_watermark;
+    score(engine, container);
+}
+
+void
+CipKeepAlive::onUse(core::Engine &engine, cluster::Container &container,
+                    core::StartType /*type*/)
+{
+    // On any (delayed) warm start the clock is refreshed to the
+    // container's priority *before* the update (§3.3), then the priority
+    // is recomputed with Eq. 3.
+    container.clock = container.priority;
+    score(engine, container);
+}
+
+double
+CipKeepAlive::score(core::Engine &engine, cluster::Container &container)
+{
+    const auto &profile = engine.workload().functions()[container.function];
+    const auto &fs = engine.functionState(container.function);
+    const double freq = fs.freqPerMinute(engine.now());
+    const auto cost = static_cast<double>(profile.cold_start_us);
+    const auto size = static_cast<double>(
+        std::max<std::int64_t>(profile.memory_mb, 1));
+    const auto k =
+        static_cast<double>(std::max<std::uint32_t>(fs.cachedCount(), 1));
+    container.priority = container.clock + freq * cost / (size * k);
+    return container.priority;
+}
+
+} // namespace cidre::policies

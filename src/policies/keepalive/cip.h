@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CIDRE's concurrency-informed priority (CIP) eviction policy (§3.3).
+ *
+ * Eq. 3:  Priority(c) = Clock(c) + Freq(F(c)) · Cost(c) / (Size(c)·|F(c)|)
+ *
+ *  - Clock(c) is per-container: a new container inherits the maximum
+ *    priority among the containers evicted to admit it (logical-clock
+ *    watermark); each (delayed) warm start refreshes Clock(c) to the
+ *    container's current priority.
+ *  - Freq(F(c)) is the function's average invocations per *minute* since
+ *    its first request (Eq. 4) — a rate, not a count, so stale popular
+ *    functions decay naturally.
+ *  - |F(c)| is the number of warm containers the function has cached:
+ *    functions hogging many containers lose priority per container, which
+ *    yields the balanced evictions of Observation 2.
+ */
+
+#ifndef CIDRE_POLICIES_KEEPALIVE_CIP_H
+#define CIDRE_POLICIES_KEEPALIVE_CIP_H
+
+#include "policies/keepalive/ranked.h"
+
+namespace cidre::policies {
+
+/** Concurrency-informed priority keep-alive (CIDRE §3.3). */
+class CipKeepAlive : public RankedKeepAlive
+{
+  public:
+    const char *name() const override { return "cip"; }
+
+    void onAdmit(core::Engine &engine, cluster::Container &container,
+                 double eviction_watermark) override;
+    void onUse(core::Engine &engine, cluster::Container &container,
+               core::StartType type) override;
+
+  protected:
+    double score(core::Engine &engine,
+                 cluster::Container &container) override;
+};
+
+} // namespace cidre::policies
+
+#endif // CIDRE_POLICIES_KEEPALIVE_CIP_H

@@ -1,0 +1,73 @@
+#include "policies/keepalive/gdsf.h"
+
+#include <algorithm>
+
+#include "core/engine.h"
+
+namespace cidre::policies {
+
+GdsfKeepAlive::GdsfKeepAlive(bool concurrency_aware)
+    : concurrency_aware_(concurrency_aware)
+{
+}
+
+std::uint64_t &
+GdsfKeepAlive::freqOf(core::Engine &engine, trace::FunctionId id)
+{
+    if (freq_.size() < engine.workload().functionCount())
+        freq_.resize(engine.workload().functionCount(), 0);
+    return freq_[id];
+}
+
+void
+GdsfKeepAlive::onAdmit(core::Engine &engine, cluster::Container &container,
+                       double /*eviction_watermark*/)
+{
+    // GDSF inflates new entries with the cache-wide clock; the policy's
+    // own monotone watermark subsumes the per-admission one.
+    container.clock = watermark_;
+    ++freqOf(engine, container.function);
+    score(engine, container);
+}
+
+void
+GdsfKeepAlive::onUse(core::Engine &engine, cluster::Container &container,
+                     core::StartType /*type*/)
+{
+    container.clock = watermark_;
+    ++freqOf(engine, container.function);
+    score(engine, container);
+}
+
+void
+GdsfKeepAlive::onEvicted(core::Engine &engine,
+                         const cluster::Container &container)
+{
+    watermark_ = std::max(watermark_, container.priority);
+    // Re-admission of a fully evicted function starts cold, as in a
+    // classic cache: its frequency resets.
+    const auto &fs = engine.functionState(container.function);
+    if (fs.cachedCount() == 0 && fs.provisioningCount() == 0)
+        freqOf(engine, container.function) = 0;
+}
+
+double
+GdsfKeepAlive::score(core::Engine &engine, cluster::Container &container)
+{
+    const auto &profile = engine.workload().functions()[container.function];
+    const auto freq =
+        static_cast<double>(freqOf(engine, container.function));
+    const auto cost = static_cast<double>(profile.cold_start_us);
+    const auto size = static_cast<double>(std::max<std::int64_t>(
+        profile.memory_mb, 1));
+    double denom = size;
+    if (concurrency_aware_) {
+        const auto k = std::max<std::uint32_t>(
+            engine.functionState(container.function).cachedCount(), 1);
+        denom *= static_cast<double>(k);
+    }
+    container.priority = container.clock + freq * cost / denom;
+    return container.priority;
+}
+
+} // namespace cidre::policies

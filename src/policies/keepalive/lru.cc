@@ -1,0 +1,16 @@
+#include "policies/keepalive/lru.h"
+
+namespace cidre::policies {
+
+double
+LruKeepAlive::score(core::Engine &, cluster::Container &container)
+{
+    // A never-used container ranks by creation time, so stale pre-warmed
+    // containers are evicted before recently warm ones.
+    container.priority = static_cast<double>(
+        container.use_count == 0 ? container.created_at
+                                 : container.last_used_at);
+    return container.priority;
+}
+
+} // namespace cidre::policies

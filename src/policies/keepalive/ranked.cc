@@ -1,0 +1,38 @@
+#include "policies/keepalive/ranked.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace cidre::policies {
+
+core::ReclaimPlan
+RankedKeepAlive::planReclaim(core::Engine &engine,
+                             const core::ReclaimRequest &request)
+{
+    // Rank every reclaimable container on the pressured worker.
+    std::vector<std::pair<double, cluster::ContainerId>> ranked;
+    for (const cluster::ContainerId cid :
+         engine.idleContainersOn(request.worker)) {
+        if (cid == request.exclude)
+            continue;
+        cluster::Container &c = engine.clusterRef().container(cid);
+        ranked.emplace_back(score(engine, c), cid);
+    }
+    std::sort(ranked.begin(), ranked.end());
+
+    core::ReclaimPlan plan;
+    std::int64_t freed = 0;
+    for (const auto &[prio, cid] : ranked) {
+        if (freed >= request.need_mb)
+            break;
+        plan.evict.push_back(cid);
+        freed += engine.clusterRef().container(cid).memory_mb;
+    }
+    if (freed < request.need_mb)
+        plan.evict.clear(); // insufficient: the engine will defer
+    return plan;
+}
+
+} // namespace cidre::policies

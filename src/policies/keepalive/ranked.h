@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared machinery for priority-ranked keep-alive policies.
+ *
+ * TTL, LRU, GDSF, FaasCache-C, CIP and Belady all reclaim the same way:
+ * rank the idle containers of the pressured worker by a policy-specific
+ * score and evict from the lowest score upward until the demand is met.
+ * This base implements that plan construction; subclasses provide the
+ * score and any bookkeeping.
+ */
+
+#ifndef CIDRE_POLICIES_KEEPALIVE_RANKED_H
+#define CIDRE_POLICIES_KEEPALIVE_RANKED_H
+
+#include "core/policy.h"
+
+namespace cidre::policies {
+
+/** Base class: evict lowest-scored idle containers first. */
+class RankedKeepAlive : public core::KeepAlivePolicy
+{
+  public:
+    core::ReclaimPlan planReclaim(core::Engine &engine,
+                                  const core::ReclaimRequest &request) override;
+
+  protected:
+    /**
+     * Keep-alive score of an idle container; *lower scores evict first*.
+     * Implementations should also store the value in
+     * @p container.priority so the engine's clock-watermark inheritance
+     * (Eq. 3) sees fresh numbers.
+     */
+    virtual double score(core::Engine &engine,
+                         cluster::Container &container) = 0;
+};
+
+} // namespace cidre::policies
+
+#endif // CIDRE_POLICIES_KEEPALIVE_RANKED_H

@@ -1,0 +1,34 @@
+#include "policies/keepalive/ttl.h"
+
+#include "core/engine.h"
+
+namespace cidre::policies {
+
+TtlKeepAlive::TtlKeepAlive(sim::SimTime ttl)
+    : ttl_(ttl)
+{
+}
+
+void
+TtlKeepAlive::collectExpired(core::Engine &engine, sim::SimTime now,
+                             std::vector<cluster::ContainerId> &out)
+{
+    const auto &cl = engine.clusterRef();
+    for (cluster::WorkerId w = 0; w < cl.workerCount(); ++w) {
+        for (const cluster::ContainerId cid : engine.idleContainersOn(w)) {
+            const cluster::Container &c = cl.container(cid);
+            if (now - c.idle_since >= ttl_)
+                out.push_back(cid);
+        }
+    }
+}
+
+double
+TtlKeepAlive::score(core::Engine &, cluster::Container &container)
+{
+    // Oldest idle evicts first.
+    container.priority = static_cast<double>(container.idle_since);
+    return container.priority;
+}
+
+} // namespace cidre::policies

@@ -1,0 +1,12 @@
+#include "policies/scaling/bss.h"
+
+namespace cidre::policies {
+
+core::ScalingChoice
+BssScaling::onNoFreeContainer(core::Engine &, const trace::Request &)
+{
+    return {core::ScalingDecision::Speculative,
+            cluster::kInvalidContainer};
+}
+
+} // namespace cidre::policies

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Basic speculative scaling (CIDRE_BSS, §3.2).
+ *
+ * Every request that misses joins the function's work-conserving channel
+ * AND triggers a speculative cold start; whichever resource becomes
+ * available first — a busy warm container finishing or the new container
+ * completing provisioning — serves it.  This guarantees overhead no
+ * worse than a cold start without any cost prediction.
+ */
+
+#ifndef CIDRE_POLICIES_SCALING_BSS_H
+#define CIDRE_POLICIES_SCALING_BSS_H
+
+#include "core/policy.h"
+
+namespace cidre::policies {
+
+/** Always speculate: wait on busy containers and cold start in parallel. */
+class BssScaling : public core::ScalingPolicy
+{
+  public:
+    const char *name() const override { return "bss"; }
+
+    core::ScalingChoice onNoFreeContainer(
+        core::Engine &engine, const trace::Request &request) override;
+};
+
+} // namespace cidre::policies
+
+#endif // CIDRE_POLICIES_SCALING_BSS_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Conditional speculative scaling (CSS) — Algorithm 1 of the paper.
+ *
+ * CSS keeps a per-function toggle over BSS's cold-start path, driven by
+ * four windowed statistics:
+ *
+ *  - T_i: how long the last speculatively provisioned container idled
+ *    before first reuse (reported by the engine; a container evicted
+ *    unused yields its full unused lifetime);
+ *  - T_e: the configured percentile (default median) of recent execution
+ *    times — EngineConfig::te_percentile (Fig. 17);
+ *  - T_d: the queuing delay of the most recent delayed warm start;
+ *  - T_p: the median of recent cold-start latencies.
+ *
+ * BSS enabled  and T_i > T_e  ⇒ the last speculative cold start was
+ * wasteful: disable the cold-start path (delayed warm starts only).
+ * BSS disabled and T_d > T_p  ⇒ queuing now costs more than a cold
+ * start: re-enable the cold-start path.
+ */
+
+#ifndef CIDRE_POLICIES_SCALING_CSS_H
+#define CIDRE_POLICIES_SCALING_CSS_H
+
+#include "core/policy.h"
+
+namespace cidre::policies {
+
+/** Conditional speculative scaling (Algorithm 1). */
+class CssScaling : public core::ScalingPolicy
+{
+  public:
+    const char *name() const override { return "css"; }
+
+    core::ScalingChoice onNoFreeContainer(
+        core::Engine &engine, const trace::Request &request) override;
+
+    void onSpeculativeOutcome(core::Engine &engine,
+                              trace::FunctionId function,
+                              sim::SimTime idle_gap, bool reused) override;
+
+    void onDispatch(core::Engine &engine, const trace::Request &request,
+                    core::StartType type, sim::SimTime wait_us) override;
+};
+
+} // namespace cidre::policies
+
+#endif // CIDRE_POLICIES_SCALING_CSS_H

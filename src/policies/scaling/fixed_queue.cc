@@ -1,0 +1,44 @@
+#include "policies/scaling/fixed_queue.h"
+
+#include "core/engine.h"
+
+namespace cidre::policies {
+
+FixedQueueScaling::FixedQueueScaling(std::size_t max_queue_length)
+    : max_queue_length_(max_queue_length)
+{
+}
+
+core::ScalingChoice
+FixedQueueScaling::onNoFreeContainer(core::Engine &engine,
+                                     const trace::Request &request)
+{
+    if (max_queue_length_ == 0)
+        return {core::ScalingDecision::ColdStartBound,
+                cluster::kInvalidContainer};
+
+    // Pick the busy container with room whose backlog clears first:
+    // shortest queue, then earliest current completion.
+    const auto &fs = engine.functionState(request.function);
+    cluster::ContainerId best = cluster::kInvalidContainer;
+    std::size_t best_queue = 0;
+    sim::SimTime best_until = 0;
+    for (const cluster::ContainerId cid : fs.cached()) {
+        const cluster::Container &c = engine.clusterRef().container(cid);
+        if (!c.busy() || c.bound_queue.size() >= max_queue_length_)
+            continue;
+        const std::size_t queue = c.bound_queue.size();
+        if (best == cluster::kInvalidContainer || queue < best_queue ||
+            (queue == best_queue && c.busy_until < best_until)) {
+            best = cid;
+            best_queue = queue;
+            best_until = c.busy_until;
+        }
+    }
+    if (best == cluster::kInvalidContainer)
+        return {core::ScalingDecision::ColdStartBound,
+                cluster::kInvalidContainer};
+    return {core::ScalingDecision::QueueBound, best};
+}
+
+} // namespace cidre::policies

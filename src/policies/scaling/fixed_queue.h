@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fixed-queue scaling: the §2.4 what-if policy behind Fig. 7.
+ *
+ * Allows up to L outstanding requests queued on any busy warm container;
+ * a new container is created only when every busy container's queue is
+ * full.  L = 0 degenerates to vanilla scaling.  The queue target is the
+ * busy container expected to free up first (shortest waiting time, as in
+ * the modified FaasCache of §2.4).
+ *
+ * An "unbounded" mode (L = SIZE_MAX) always queues when any busy
+ * container exists — the Fig. 5/6 tradeoff study's configuration.
+ */
+
+#ifndef CIDRE_POLICIES_SCALING_FIXED_QUEUE_H
+#define CIDRE_POLICIES_SCALING_FIXED_QUEUE_H
+
+#include <cstddef>
+
+#include "core/policy.h"
+
+namespace cidre::policies {
+
+/** Queue behind busy containers up to a per-container depth L. */
+class FixedQueueScaling : public core::ScalingPolicy
+{
+  public:
+    explicit FixedQueueScaling(std::size_t max_queue_length);
+
+    const char *name() const override { return "fixed-queue"; }
+
+    std::size_t maxQueueLength() const { return max_queue_length_; }
+
+    core::ScalingChoice onNoFreeContainer(
+        core::Engine &engine, const trace::Request &request) override;
+
+  private:
+    std::size_t max_queue_length_;
+};
+
+} // namespace cidre::policies
+
+#endif // CIDRE_POLICIES_SCALING_FIXED_QUEUE_H

@@ -1,0 +1,30 @@
+#include "policies/scaling/oracle.h"
+
+#include <vector>
+
+#include "core/engine.h"
+
+namespace cidre::policies {
+
+core::ScalingChoice
+OracleScaling::onNoFreeContainer(core::Engine &engine,
+                                 const trace::Request &request)
+{
+    const auto &fs = engine.functionState(request.function);
+    const std::vector<sim::SimTime> completions =
+        engine.busyCompletionTimes(request.function);
+
+    // Requests queued ahead of this one consume the earliest completions.
+    const std::size_t position = fs.channel().size();
+    const sim::SimTime cold_done = engine.now() +
+        engine.workload().functions()[request.function].cold_start_us;
+
+    if (position < completions.size() &&
+        completions[position] <= cold_done) {
+        return {core::ScalingDecision::Wait, cluster::kInvalidContainer};
+    }
+    return {core::ScalingDecision::ColdStartBound,
+            cluster::kInvalidContainer};
+}
+
+} // namespace cidre::policies

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Oracle scaling: the Offline baseline's scaling half (§4).
+ *
+ * With perfect knowledge of remaining execution times, the oracle
+ * computes when the request would start under a delayed warm start —
+ * the (q+1)-th earliest busy-container completion, where q requests are
+ * already queued ahead in the channel — and compares it against the
+ * cold-start latency, picking whichever is smaller.
+ */
+
+#ifndef CIDRE_POLICIES_SCALING_ORACLE_H
+#define CIDRE_POLICIES_SCALING_ORACLE_H
+
+#include "core/policy.h"
+
+namespace cidre::policies {
+
+/** Perfect-information cold-vs-delayed-warm chooser. */
+class OracleScaling : public core::ScalingPolicy
+{
+  public:
+    const char *name() const override { return "oracle"; }
+
+    core::ScalingChoice onNoFreeContainer(
+        core::Engine &engine, const trace::Request &request) override;
+};
+
+} // namespace cidre::policies
+
+#endif // CIDRE_POLICIES_SCALING_ORACLE_H

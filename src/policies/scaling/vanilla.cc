@@ -1,0 +1,12 @@
+#include "policies/scaling/vanilla.h"
+
+namespace cidre::policies {
+
+core::ScalingChoice
+VanillaScaling::onNoFreeContainer(core::Engine &, const trace::Request &)
+{
+    return {core::ScalingDecision::ColdStartBound,
+            cluster::kInvalidContainer};
+}
+
+} // namespace cidre::policies

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Vanilla scaling: the behaviour of existing FaaS platforms.
+ *
+ * Every request that finds no free warm slot triggers a cold start bound
+ * to the new container — the L=0 extreme of the paper's Fig. 7 spectrum,
+ * used by all non-CIDRE baselines.
+ */
+
+#ifndef CIDRE_POLICIES_SCALING_VANILLA_H
+#define CIDRE_POLICIES_SCALING_VANILLA_H
+
+#include "core/policy.h"
+
+namespace cidre::policies {
+
+/** Always cold start; never reuse a busy container. */
+class VanillaScaling : public core::ScalingPolicy
+{
+  public:
+    const char *name() const override { return "vanilla"; }
+
+    core::ScalingChoice onNoFreeContainer(
+        core::Engine &engine, const trace::Request &request) override;
+};
+
+} // namespace cidre::policies
+
+#endif // CIDRE_POLICIES_SCALING_VANILLA_H

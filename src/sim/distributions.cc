@@ -1,0 +1,152 @@
+#include "sim/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace cidre::sim {
+
+double
+sampleExponential(Rng &rng, double rate)
+{
+    assert(rate > 0.0);
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+double
+sampleNormal(Rng &rng, double mean, double stddev)
+{
+    // Box-Muller; we deliberately discard the second variate to keep the
+    // stream consumption rate independent of call history.
+    const double u1 = 1.0 - rng.uniform();
+    const double u2 = rng.uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+        std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+}
+
+double
+sampleLognormalMedian(Rng &rng, double median, double sigma)
+{
+    assert(median > 0.0);
+    return median * std::exp(sampleNormal(rng, 0.0, sigma));
+}
+
+double
+sampleBoundedPareto(Rng &rng, double alpha, double lo, double hi)
+{
+    assert(alpha > 0.0 && lo > 0.0 && hi >= lo);
+    if (lo == hi)
+        return lo;
+    const double u = rng.uniform();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    // Inverse CDF of the bounded Pareto.
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+double
+boundedParetoMean(double alpha, double lo, double hi)
+{
+    assert(alpha > 0.0 && lo > 0.0 && hi >= lo);
+    if (lo == hi)
+        return lo;
+    if (std::abs(alpha - 1.0) < 1e-9) {
+        // alpha → 1 limit: E = lo·hi/(hi-lo) · ln(hi/lo).
+        return lo * hi / (hi - lo) * std::log(hi / lo);
+    }
+    const double la = std::pow(lo, alpha);
+    const double ratio_term = 1.0 - std::pow(lo / hi, alpha);
+    return la / ratio_term * alpha / (alpha - 1.0) *
+        (1.0 / std::pow(lo, alpha - 1.0) -
+         1.0 / std::pow(hi, alpha - 1.0));
+}
+
+std::uint64_t
+samplePoisson(Rng &rng, double mean)
+{
+    assert(mean >= 0.0);
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth inversion.
+        const double limit = std::exp(-mean);
+        double prod = rng.uniform();
+        std::uint64_t n = 0;
+        while (prod > limit) {
+            prod *= rng.uniform();
+            ++n;
+        }
+        return n;
+    }
+    // Normal approximation with continuity correction is adequate for the
+    // large per-minute request counts we draw.
+    const double z = sampleNormal(rng, mean, std::sqrt(mean));
+    return z <= 0.0 ? 0 : static_cast<std::uint64_t>(z + 0.5);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+{
+    if (n == 0)
+        throw std::invalid_argument("ZipfSampler: n must be > 0");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+        total += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+        cdf_[rank] = total;
+    }
+    for (auto &v : cdf_)
+        v /= total;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                                 static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+double
+ZipfSampler::massOf(std::size_t rank) const
+{
+    assert(rank < cdf_.size());
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+DiscreteSampler::DiscreteSampler(std::vector<double> values,
+                                 std::vector<double> weights)
+    : values_(std::move(values))
+{
+    if (values_.empty() || values_.size() != weights.size())
+        throw std::invalid_argument("DiscreteSampler: bad table");
+    cdf_.resize(values_.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] < 0.0)
+            throw std::invalid_argument("DiscreteSampler: negative weight");
+        total += weights[i];
+        cdf_[i] = total;
+    }
+    if (total <= 0.0)
+        throw std::invalid_argument("DiscreteSampler: zero total weight");
+    for (auto &v : cdf_)
+        v /= total;
+}
+
+double
+DiscreteSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const auto idx = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                                 static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+    return values_[idx];
+}
+
+} // namespace cidre::sim

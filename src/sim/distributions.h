@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic random distributions used by the trace generators.
+ *
+ * Every sampler is implemented directly on top of sim::Rng so that a
+ * given seed produces bit-identical traces on every platform (see the
+ * rationale in sim/rng.h).  The set covers what the workload models in
+ * src/trace need: exponential inter-arrival gaps, lognormal execution
+ * times and memory footprints, bounded Pareto burst sizes, Zipf function
+ * popularity, and Poisson counts.
+ */
+
+#ifndef CIDRE_SIM_DISTRIBUTIONS_H
+#define CIDRE_SIM_DISTRIBUTIONS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace cidre::sim {
+
+/** Exponential variate with the given rate (mean 1/rate); rate > 0. */
+double sampleExponential(Rng &rng, double rate);
+
+/** Standard normal variate (Box-Muller, one value per call). */
+double sampleNormal(Rng &rng, double mean = 0.0, double stddev = 1.0);
+
+/**
+ * Lognormal variate parameterized by the *median* and the shape sigma.
+ *
+ * median = exp(mu).  This parameterization matches how the paper reports
+ * execution-time statistics (medians and relative variance).
+ */
+double sampleLognormalMedian(Rng &rng, double median, double sigma);
+
+/**
+ * Bounded Pareto variate on [lo, hi] with tail index alpha > 0.
+ *
+ * Used for burst sizes: most bursts are small but the tail reaches the
+ * thousands of concurrent requests reported in paper Fig. 3.
+ */
+double sampleBoundedPareto(Rng &rng, double alpha, double lo, double hi);
+
+/** Exact mean of the bounded Pareto distribution on [lo, hi]. */
+double boundedParetoMean(double alpha, double lo, double hi);
+
+/** Poisson count with the given mean (inversion for small, PTRS for large). */
+std::uint64_t samplePoisson(Rng &rng, double mean);
+
+/**
+ * Zipf sampler over ranks 1..n with exponent s.
+ *
+ * Precomputes the CDF once (O(n)) and samples in O(log n); n is at most a
+ * few hundred functions, so the table is tiny.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double exponent);
+
+    /** Draw a rank in [0, n). Rank 0 is the most popular. */
+    std::size_t sample(Rng &rng) const;
+
+    /** Probability mass of a given rank. */
+    double massOf(std::size_t rank) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/**
+ * Empirical sampler over an explicit (value, weight) table.
+ *
+ * Used to reproduce published CDFs (e.g. the cold-start/exec-time ratio
+ * distribution of paper Fig. 2) from a handful of anchor points.
+ */
+class DiscreteSampler
+{
+  public:
+    /** Weights need not be normalized; they must be non-negative. */
+    DiscreteSampler(std::vector<double> values, std::vector<double> weights);
+
+    double sample(Rng &rng) const;
+
+    std::size_t size() const { return values_.size(); }
+
+  private:
+    std::vector<double> values_;
+    std::vector<double> cdf_;
+};
+
+} // namespace cidre::sim
+
+#endif // CIDRE_SIM_DISTRIBUTIONS_H

@@ -1,0 +1,89 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cidre::sim {
+
+EventQueue::EventId
+EventQueue::schedule(SimTime when, Callback cb)
+{
+    if (when < now_)
+        throw std::logic_error("EventQueue: scheduling into the past");
+    if (!cb)
+        throw std::invalid_argument("EventQueue: empty callback");
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, id});
+    callbacks_.emplace(id, std::move(cb));
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::scheduleAfter(SimTime delay, Callback cb)
+{
+    return schedule(now_ + delay, std::move(cb));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    callbacks_.erase(id);
+}
+
+void
+EventQueue::skipCancelled() const
+{
+    while (!heap_.empty() && !callbacks_.count(heap_.top().id))
+        heap_.pop();
+}
+
+bool
+EventQueue::empty() const
+{
+    skipCancelled();
+    return heap_.empty();
+}
+
+SimTime
+EventQueue::peekTime() const
+{
+    skipCancelled();
+    return heap_.empty() ? kTimeInfinity : heap_.top().when;
+}
+
+bool
+EventQueue::runNext()
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+    const Entry entry = heap_.top();
+    heap_.pop();
+    auto node = callbacks_.extract(entry.id);
+    now_ = entry.when;
+    ++executed_;
+    node.mapped()(now_);
+    return true;
+}
+
+std::size_t
+EventQueue::runUntil(SimTime deadline)
+{
+    std::size_t count = 0;
+    while (peekTime() <= deadline && runNext())
+        ++count;
+    if (now_ < deadline)
+        now_ = deadline;
+    return count;
+}
+
+std::size_t
+EventQueue::runAll(std::size_t max_events)
+{
+    std::size_t count = 0;
+    while (count < max_events && runNext())
+        ++count;
+    return count;
+}
+
+} // namespace cidre::sim

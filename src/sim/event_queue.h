@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Discrete-event simulation core: a time-ordered event queue.
+ *
+ * The queue is the heart of the simulator.  Events scheduled for the same
+ * timestamp run in FIFO order of scheduling (a monotonically increasing
+ * sequence number breaks ties), which makes every simulation fully
+ * deterministic.  Cancellation is lazy: cancelled events stay in the heap
+ * but are skipped when popped.
+ */
+
+#ifndef CIDRE_SIM_EVENT_QUEUE_H
+#define CIDRE_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cidre::sim {
+
+/**
+ * A time-ordered queue of callbacks driving a simulation.
+ *
+ * Typical use:
+ * @code
+ *   EventQueue queue;
+ *   queue.schedule(msec(5), [&](SimTime now) { ... });
+ *   queue.runAll();
+ * @endcode
+ */
+class EventQueue
+{
+  public:
+    /** Event callbacks receive the simulated time they fire at. */
+    using Callback = std::function<void(SimTime)>;
+
+    /** Opaque handle used to cancel a scheduled event. */
+    using EventId = std::uint64_t;
+
+    EventQueue() = default;
+
+    // The queue hands out callbacks that usually capture their owner, so
+    // it is not meaningfully copyable.
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @p when must not be earlier than now(); scheduling "in the past"
+     * indicates a logic bug and throws.
+     * @return a handle usable with cancel().
+     */
+    EventId schedule(SimTime when, Callback cb);
+
+    /** Schedule @p cb to run @p delay after the current time. */
+    EventId scheduleAfter(SimTime delay, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * Cancelling an event that already ran (or was already cancelled) is a
+     * harmless no-op, which keeps call sites simple.
+     */
+    void cancel(EventId id);
+
+    /** True if no runnable (non-cancelled) events remain. */
+    bool empty() const;
+
+    /**
+     * Pop and run the next event.
+     * @return false if the queue was empty.
+     */
+    bool runNext();
+
+    /**
+     * Run all events with timestamp <= @p deadline, then advance the clock
+     * to @p deadline.
+     * @return the number of events executed.
+     */
+    std::size_t runUntil(SimTime deadline);
+
+    /**
+     * Run until the queue drains or @p max_events were executed.
+     * @return the number of events executed.
+     */
+    std::size_t runAll(std::size_t max_events = SIZE_MAX);
+
+    /** Current simulated time (time of the last executed event). */
+    SimTime now() const { return now_; }
+
+    /** Timestamp of the next runnable event, or kTimeInfinity. */
+    SimTime peekTime() const;
+
+    /** Number of events executed since construction. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        EventId id;
+        // Heap comparator: earliest time first; FIFO among equal times.
+        bool operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return id > other.id;
+        }
+    };
+
+    /** Drop cancelled entries from the head of the heap. */
+    void skipCancelled() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>,
+                                std::greater<Entry>> heap_;
+    std::unordered_map<EventId, Callback> callbacks_;
+    SimTime now_ = 0;
+    EventId next_id_ = 1;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace cidre::sim
+
+#endif // CIDRE_SIM_EVENT_QUEUE_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The standard library's distribution objects are not guaranteed to
+ * produce identical streams across implementations, which would make the
+ * synthetic traces (and therefore every experiment) non-reproducible
+ * between toolchains.  We therefore ship our own engine (xoshiro256**,
+ * seeded via splitmix64) and implement every distribution we need on top
+ * of it in sim/distributions.h.
+ */
+
+#ifndef CIDRE_SIM_RNG_H
+#define CIDRE_SIM_RNG_H
+
+#include <cstdint>
+
+namespace cidre::sim {
+
+/**
+ * Deterministic 64-bit PRNG (xoshiro256** 1.0).
+ *
+ * The full 256-bit state is derived from a single 64-bit seed with
+ * splitmix64, following the reference initialization recipe.  The same
+ * seed yields the same stream on every platform.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /**
+     * Derive an independent child generator.
+     *
+     * Each call advances this generator and seeds the child from the
+     * drawn value, so sub-streams (e.g. one per synthetic function) do
+     * not overlap in practice.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace cidre::sim
+
+#endif // CIDRE_SIM_RNG_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Simulated-time primitives shared by every module.
+ *
+ * All simulated timestamps and durations are expressed as signed 64-bit
+ * microsecond counts (SimTime).  Microseconds give enough resolution for
+ * the sub-millisecond queuing delays observed in the Alibaba FC trace
+ * (paper Fig. 6) while keeping 292k years of range, so overflow is never
+ * a practical concern.
+ */
+
+#ifndef CIDRE_SIM_TIME_H
+#define CIDRE_SIM_TIME_H
+
+#include <cstdint>
+#include <limits>
+
+namespace cidre::sim {
+
+/** Simulated timestamp or duration in microseconds. */
+using SimTime = std::int64_t;
+
+/** A timestamp that compares later than every real event. */
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<SimTime>::max();
+
+/** Convert whole microseconds to SimTime (identity; documents intent). */
+constexpr SimTime usec(std::int64_t n) { return n; }
+
+/** Convert whole milliseconds to SimTime. */
+constexpr SimTime msec(std::int64_t n) { return n * 1000; }
+
+/** Convert whole seconds to SimTime. */
+constexpr SimTime sec(std::int64_t n) { return n * 1000 * 1000; }
+
+/** Convert whole minutes to SimTime. */
+constexpr SimTime minutes(std::int64_t n) { return sec(n * 60); }
+
+/** Convert a SimTime duration to fractional milliseconds. */
+constexpr double toMs(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+/** Convert a SimTime duration to fractional seconds. */
+constexpr double toSec(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+/** Convert a SimTime duration to fractional minutes. */
+constexpr double toMin(SimTime t) { return static_cast<double>(t) / 60e6; }
+
+/** Convert fractional seconds to the nearest SimTime. */
+constexpr SimTime fromSec(double s)
+{
+    return static_cast<SimTime>(s * 1e6 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/** Convert fractional milliseconds to the nearest SimTime. */
+constexpr SimTime fromMs(double ms)
+{
+    return static_cast<SimTime>(ms * 1e3 + (ms >= 0 ? 0.5 : -0.5));
+}
+
+} // namespace cidre::sim
+
+#endif // CIDRE_SIM_TIME_H

@@ -1,0 +1,145 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace cidre::stats {
+
+Cdf::Cdf(std::vector<double> samples)
+    : samples_(std::move(samples)), sorted_(false)
+{
+}
+
+void
+Cdf::add(double value)
+{
+    samples_.push_back(value);
+    sorted_ = false;
+}
+
+void
+Cdf::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Cdf::percentile(double q) const
+{
+    if (samples_.empty())
+        throw std::logic_error("Cdf::percentile on empty CDF");
+    if (q < 0.0 || q > 1.0)
+        throw std::invalid_argument("Cdf::percentile: q outside [0, 1]");
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_[0];
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+Cdf::fractionBelow(double value) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it =
+        std::upper_bound(samples_.begin(), samples_.end(), value);
+    return static_cast<double>(it - samples_.begin()) /
+        static_cast<double>(samples_.size());
+}
+
+double
+Cdf::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+        static_cast<double>(samples_.size());
+}
+
+std::vector<CdfPoint>
+Cdf::points(std::size_t max_points) const
+{
+    std::vector<CdfPoint> out;
+    if (samples_.empty() || max_points == 0)
+        return out;
+    ensureSorted();
+    const std::size_t n = std::min(max_points, samples_.size());
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double q = n == 1
+            ? 1.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+        out.push_back({percentile(q), q});
+    }
+    return out;
+}
+
+std::optional<double>
+Cdf::crossover(const Cdf &other, std::size_t steps) const
+{
+    if (empty() || other.empty() || steps < 2)
+        return std::nullopt;
+    const double lo = std::min(min(), other.min());
+    const double hi = std::max(max(), other.max());
+    if (!(hi > lo))
+        return std::nullopt;
+    // A crossover is a *strict* sign flip of (this - other).  Both CDFs
+    // always meet at 1.0 at the top of the range, so convergence to zero
+    // must not count as a crossing.
+    double last_sign = 0.0;
+    for (std::size_t i = 0; i < steps; ++i) {
+        const double x = lo +
+            (hi - lo) * static_cast<double>(i) /
+            static_cast<double>(steps - 1);
+        const double diff = fractionBelow(x) - other.fractionBelow(x);
+        if (diff == 0.0)
+            continue;
+        const double sign = diff > 0.0 ? 1.0 : -1.0;
+        if (last_sign != 0.0 && sign != last_sign)
+            return x;
+        last_sign = sign;
+    }
+    return std::nullopt;
+}
+
+const std::vector<double> &
+Cdf::sorted() const
+{
+    ensureSorted();
+    return samples_;
+}
+
+std::string
+describeCdf(const Cdf &cdf, const std::string &unit)
+{
+    std::ostringstream out;
+    if (cdf.empty()) {
+        out << "(empty)";
+        return out.str();
+    }
+    out.setf(std::ios::fixed);
+    out.precision(2);
+    const double qs[] = {0.10, 0.25, 0.50, 0.75, 0.90, 0.99};
+    const char *names[] = {"p10", "p25", "p50", "p75", "p90", "p99"};
+    for (std::size_t i = 0; i < 6; ++i) {
+        if (i)
+            out << "  ";
+        out << names[i] << "=" << cdf.percentile(qs[i]);
+        if (!unit.empty())
+            out << unit;
+    }
+    return out.str();
+}
+
+} // namespace cidre::stats

@@ -1,0 +1,112 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace cidre::stats {
+
+Histogram::Histogram(double relative_error)
+{
+    if (relative_error <= 0.0 || relative_error >= 1.0)
+        throw std::invalid_argument("Histogram: bad relative_error");
+    growth_ = (1.0 + relative_error) / (1.0 - relative_error);
+    log_growth_ = std::log(growth_);
+}
+
+std::size_t
+Histogram::bucketOf(double value) const
+{
+    assert(value >= kFloor);
+    const double idx = std::log(value / kFloor) / log_growth_;
+    return static_cast<std::size_t>(std::max(idx, 0.0));
+}
+
+double
+Histogram::bucketMid(std::size_t index) const
+{
+    // Geometric midpoint of bucket [floor*g^i, floor*g^(i+1)).
+    return kFloor * std::pow(growth_, static_cast<double>(index) + 0.5);
+}
+
+void
+Histogram::add(double value)
+{
+    if (value < 0.0)
+        value = 0.0;
+    summary_.add(value);
+    if (value < kFloor) {
+        ++zeros_;
+        return;
+    }
+    const std::size_t idx = bucketOf(value);
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1, 0);
+    ++buckets_[idx];
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (std::abs(other.growth_ - growth_) > 1e-12)
+        throw std::invalid_argument("Histogram::merge: mismatched error");
+    zeros_ += other.zeros_;
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    summary_.merge(other.summary_);
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (count() == 0)
+        throw std::logic_error("Histogram::percentile on empty histogram");
+    if (q < 0.0 || q > 1.0)
+        throw std::invalid_argument("Histogram::percentile: bad q");
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count() - 1));
+    std::uint64_t seen = zeros_;
+    if (target < seen)
+        return 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (target < seen)
+            return std::clamp(bucketMid(i), min(), max());
+    }
+    return max();
+}
+
+double
+Histogram::fractionBelow(double value) const
+{
+    if (count() == 0)
+        return 0.0;
+    if (value < kFloor)
+        return static_cast<double>(zeros_) / static_cast<double>(count());
+    std::uint64_t seen = zeros_;
+    const std::size_t limit = std::min(bucketOf(value) + 1, buckets_.size());
+    for (std::size_t i = 0; i < limit; ++i)
+        seen += buckets_[i];
+    return static_cast<double>(seen) / static_cast<double>(count());
+}
+
+std::vector<CdfPoint>
+Histogram::points(std::size_t max_points) const
+{
+    std::vector<CdfPoint> out;
+    if (count() == 0 || max_points == 0)
+        return out;
+    out.reserve(max_points);
+    for (std::size_t i = 0; i < max_points; ++i) {
+        const double q = max_points == 1
+            ? 1.0
+            : static_cast<double>(i) / static_cast<double>(max_points - 1);
+        out.push_back({percentile(q), q});
+    }
+    return out;
+}
+
+} // namespace cidre::stats

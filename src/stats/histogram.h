@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Constant-memory log-bucketed histogram for very long sample streams.
+ *
+ * Buckets grow geometrically (configurable relative error, default 1%),
+ * so percentiles over tens of millions of latency samples cost a few KB.
+ * Exact mean/min/max are tracked on the side.
+ */
+
+#ifndef CIDRE_STATS_HISTOGRAM_H
+#define CIDRE_STATS_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/cdf.h"
+#include "stats/summary.h"
+
+namespace cidre::stats {
+
+/**
+ * Streaming histogram over non-negative samples with bounded relative
+ * error on percentile queries.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param relative_error half-width of each geometric bucket;
+     *        a percentile query is accurate to within this factor.
+     */
+    explicit Histogram(double relative_error = 0.01);
+
+    /** Absorb one sample; negative samples are clamped to zero. */
+    void add(double value);
+
+    /** Merge another histogram built with the same relative error. */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return summary_.count(); }
+    double mean() const { return summary_.mean(); }
+    double min() const { return summary_.min(); }
+    double max() const { return summary_.max(); }
+
+    /** Approximate value at quantile @p q in [0, 1]. */
+    double percentile(double q) const;
+
+    /** Approximate fraction of samples <= @p value. */
+    double fractionBelow(double value) const;
+
+    /** Downsample into explicit CDF points for reporting. */
+    std::vector<CdfPoint> points(std::size_t max_points = 100) const;
+
+  private:
+    std::size_t bucketOf(double value) const;
+    double bucketMid(std::size_t index) const;
+
+    double growth_;       //!< geometric bucket growth factor
+    double log_growth_;   //!< cached log(growth_)
+    std::uint64_t zeros_ = 0;
+    std::vector<std::uint64_t> buckets_; //!< buckets for values >= kFloor
+    OnlineSummary summary_;
+
+    /** Values below this resolve to the first bucket (sub-ns in seconds). */
+    static constexpr double kFloor = 1e-9;
+};
+
+} // namespace cidre::stats
+
+#endif // CIDRE_STATS_HISTOGRAM_H

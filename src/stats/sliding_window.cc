@@ -1,0 +1,100 @@
+#include "stats/sliding_window.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace cidre::stats {
+
+SlidingWindow::SlidingWindow(sim::SimTime horizon, std::size_t max_samples)
+    : horizon_(horizon), max_samples_(max_samples)
+{
+    if (max_samples_ == 0)
+        throw std::invalid_argument("SlidingWindow: max_samples must be > 0");
+}
+
+void
+SlidingWindow::add(sim::SimTime now, double value)
+{
+    assert(entries_.empty() || now >= entries_.back().when);
+    entries_.push_back({now, value});
+    if (entries_.size() > max_samples_)
+        entries_.pop_front();
+    expire(now);
+    cache_valid_ = false;
+}
+
+void
+SlidingWindow::expire(sim::SimTime now)
+{
+    if (horizon_ == sim::kTimeInfinity)
+        return;
+    const sim::SimTime cutoff = now - horizon_;
+    while (!entries_.empty() && entries_.front().when < cutoff) {
+        entries_.pop_front();
+        cache_valid_ = false;
+    }
+}
+
+double
+SlidingWindow::percentile(double q) const
+{
+    if (entries_.empty())
+        throw std::logic_error("SlidingWindow::percentile on empty window");
+    if (q < 0.0 || q > 1.0)
+        throw std::invalid_argument("SlidingWindow::percentile: bad q");
+    if (cache_valid_ && cache_q_ == q)
+        return cache_value_;
+
+    std::vector<double> values;
+    values.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        values.push_back(entry.value);
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1) + 0.5);
+    std::nth_element(values.begin(),
+                     values.begin() + static_cast<std::ptrdiff_t>(rank),
+                     values.end());
+    cache_valid_ = true;
+    cache_q_ = q;
+    cache_value_ = values[rank];
+    return cache_value_;
+}
+
+double
+SlidingWindow::mean() const
+{
+    if (entries_.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &entry : entries_)
+        total += entry.value;
+    return total / static_cast<double>(entries_.size());
+}
+
+double
+SlidingWindow::latest() const
+{
+    if (entries_.empty())
+        throw std::logic_error("SlidingWindow::latest on empty window");
+    return entries_.back().value;
+}
+
+sim::SimTime
+SlidingWindow::earliestTime() const
+{
+    if (entries_.empty())
+        throw std::logic_error("SlidingWindow::earliestTime: empty window");
+    return entries_.front().when;
+}
+
+sim::SimTime
+SlidingWindow::latestTime() const
+{
+    if (entries_.empty())
+        throw std::logic_error("SlidingWindow::latestTime: empty window");
+    return entries_.back().when;
+}
+
+} // namespace cidre::stats

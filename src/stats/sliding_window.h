@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Time-bounded sample window used by CIDRE's CSS policy.
+ *
+ * CSS (paper §3.2) estimates T_e (execution time) and T_p (cold-start
+ * latency) from "a 15-minute sliding window, whose size is configurable".
+ * This class keeps (timestamp, value) pairs, expires entries older than
+ * the horizon, and answers percentile queries.
+ *
+ * To bound per-decision cost for very hot functions, the window also caps
+ * the number of retained samples (newest win); the cap is configurable
+ * and the sensitivity bench (Fig. 18) raises it when comparing horizons.
+ */
+
+#ifndef CIDRE_STATS_SLIDING_WINDOW_H
+#define CIDRE_STATS_SLIDING_WINDOW_H
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/time.h"
+
+namespace cidre::stats {
+
+/** Sliding time window of scalar samples with percentile queries. */
+class SlidingWindow
+{
+  public:
+    /**
+     * @param horizon     max sample age; sim::kTimeInfinity keeps all.
+     * @param max_samples retention cap (newest samples win); must be > 0.
+     */
+    explicit SlidingWindow(sim::SimTime horizon = sim::minutes(15),
+                           std::size_t max_samples = 512);
+
+    /** Record a sample observed at @p now. */
+    void add(sim::SimTime now, double value);
+
+    /** Drop samples older than now - horizon. */
+    void expire(sim::SimTime now);
+
+    /** Number of retained samples (after the last expire/add). */
+    std::size_t count() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /**
+     * Value at quantile @p q over the retained samples.
+     * Requires a non-empty window.
+     */
+    double percentile(double q) const;
+
+    double median() const { return percentile(0.5); }
+    double mean() const;
+
+    /** Most recently added value; requires a non-empty window. */
+    double latest() const;
+
+    /** Timestamp of the oldest retained sample (non-empty windows). */
+    sim::SimTime earliestTime() const;
+
+    /** Timestamp of the newest retained sample (non-empty windows). */
+    sim::SimTime latestTime() const;
+
+    sim::SimTime horizon() const { return horizon_; }
+
+  private:
+    struct Entry
+    {
+        sim::SimTime when;
+        double value;
+    };
+
+    sim::SimTime horizon_;
+    std::size_t max_samples_;
+    std::deque<Entry> entries_;
+
+    // Single-quantile cache: most queries are for the configured T_e
+    // percentile, so caching one (q, answer) pair removes nearly all of
+    // the nth_element work on hot paths.
+    mutable bool cache_valid_ = false;
+    mutable double cache_q_ = -1.0;
+    mutable double cache_value_ = 0.0;
+};
+
+} // namespace cidre::stats
+
+#endif // CIDRE_STATS_SLIDING_WINDOW_H

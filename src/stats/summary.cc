@@ -1,0 +1,63 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cidre::stats {
+
+void
+OnlineSummary::add(double value)
+{
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+void
+OnlineSummary::merge(const OnlineSummary &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+OnlineSummary::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+OnlineSummary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+OnlineSummary::cv() const
+{
+    return mean_ == 0.0 ? 0.0 : stddev() / mean_;
+}
+
+} // namespace cidre::stats

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Constant-space online summary statistics (Welford's algorithm).
+ */
+
+#ifndef CIDRE_STATS_SUMMARY_H
+#define CIDRE_STATS_SUMMARY_H
+
+#include <cstdint>
+
+namespace cidre::stats {
+
+/**
+ * Streaming mean / variance / min / max accumulator.
+ *
+ * Uses Welford's numerically stable recurrence, so it can absorb millions
+ * of samples (e.g. one per invocation request) without drift.
+ */
+class OnlineSummary
+{
+  public:
+    /** Absorb one sample. */
+    void add(double value);
+
+    /** Merge another summary into this one (parallel-friendly). */
+    void merge(const OnlineSummary &other);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Coefficient of variation (stddev / mean); 0 if mean is 0. */
+    double cv() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace cidre::stats
+
+#endif // CIDRE_STATS_SUMMARY_H

@@ -1,0 +1,102 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cidre::stats {
+
+TimeSeries::TimeSeries(sim::SimTime bucket_width, BucketCombine combine)
+    : bucket_width_(bucket_width), combine_(combine)
+{
+    if (bucket_width <= 0)
+        throw std::invalid_argument("TimeSeries: bucket width must be > 0");
+}
+
+void
+TimeSeries::record(sim::SimTime when, double value)
+{
+    if (when < 0)
+        throw std::invalid_argument("TimeSeries: negative timestamp");
+    const auto index = static_cast<std::size_t>(when / bucket_width_);
+    if (index >= buckets_.size()) {
+        buckets_.resize(index + 1, 0.0);
+        touched_.resize(index + 1, false);
+    }
+    if (!touched_[index]) {
+        buckets_[index] = value;
+        touched_[index] = true;
+        return;
+    }
+    switch (combine_) {
+      case BucketCombine::Last:
+        buckets_[index] = value;
+        break;
+      case BucketCombine::Max:
+        buckets_[index] = std::max(buckets_[index], value);
+        break;
+      case BucketCombine::Sum:
+        buckets_[index] += value;
+        break;
+    }
+}
+
+double
+TimeSeries::at(std::size_t index) const
+{
+    return index < buckets_.size() ? buckets_[index] : 0.0;
+}
+
+double
+TimeSeries::max() const
+{
+    double best = 0.0;
+    for (const double v : buckets_)
+        best = std::max(best, v);
+    return best;
+}
+
+double
+TimeSeries::mean() const
+{
+    if (buckets_.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const double v : buckets_)
+        total += v;
+    return total / static_cast<double>(buckets_.size());
+}
+
+std::string
+TimeSeries::sparkline(std::size_t width) const
+{
+    if (buckets_.empty() || width == 0)
+        return "";
+    static const char *kLevels[] = {"▁", "▂", "▃",
+                                    "▄", "▅", "▆",
+                                    "▇", "█"};
+    const double top = max();
+    const std::size_t cells = std::min(width, buckets_.size());
+    const double per_cell =
+        static_cast<double>(buckets_.size()) / static_cast<double>(cells);
+
+    std::string out;
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+        const auto lo = static_cast<std::size_t>(
+            static_cast<double>(cell) * per_cell);
+        const auto hi = std::min(
+            buckets_.size(),
+            static_cast<std::size_t>(static_cast<double>(cell + 1) *
+                                     per_cell) +
+                1);
+        double value = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            value = std::max(value, buckets_[i]);
+        const int level = top <= 0.0
+            ? 0
+            : std::min(7, static_cast<int>(value / top * 7.999));
+        out += kLevels[level];
+    }
+    return out;
+}
+
+} // namespace cidre::stats

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-bucket time series for run timelines.
+ *
+ * The engine can sample cluster state (memory occupancy, cold-start
+ * counts, queue depths) into TimeSeries buckets, giving the dynamics
+ * view the aggregate metrics hide: burst-driven memory spikes, eviction
+ * storms, warm-pool buildup.  Renders as plain text sparklines for
+ * terminal dashboards.
+ */
+
+#ifndef CIDRE_STATS_TIMESERIES_H
+#define CIDRE_STATS_TIMESERIES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cidre::stats {
+
+/** How samples landing in the same bucket combine. */
+enum class BucketCombine : std::uint8_t
+{
+    Last, //!< keep the most recent sample (gauges: memory in use)
+    Max,  //!< keep the maximum (peaks within the bucket)
+    Sum,  //!< accumulate (counters: cold starts per bucket)
+};
+
+/** A time series with fixed-width buckets starting at t = 0. */
+class TimeSeries
+{
+  public:
+    /**
+     * @param bucket_width bucket duration; must be positive.
+     * @param combine      within-bucket combination rule.
+     */
+    explicit TimeSeries(sim::SimTime bucket_width = sim::sec(10),
+                        BucketCombine combine = BucketCombine::Last);
+
+    /** Record @p value at time @p when (extends the series as needed). */
+    void record(sim::SimTime when, double value);
+
+    std::size_t bucketCount() const { return buckets_.size(); }
+    bool empty() const { return buckets_.empty(); }
+    sim::SimTime bucketWidth() const { return bucket_width_; }
+
+    /** Value of bucket @p index (0 for never-touched buckets). */
+    double at(std::size_t index) const;
+
+    /** Largest bucket value (0 for an empty series). */
+    double max() const;
+
+    /** Mean over all buckets (0 for an empty series). */
+    double mean() const;
+
+    /** The raw bucket values. */
+    const std::vector<double> &values() const { return buckets_; }
+
+    /**
+     * Render as a unicode sparkline of at most @p width characters
+     * (buckets are down-sampled by max).  Empty series render as "".
+     */
+    std::string sparkline(std::size_t width = 60) const;
+
+  private:
+    sim::SimTime bucket_width_;
+    BucketCombine combine_;
+    std::vector<double> buckets_;
+    std::vector<bool> touched_;
+};
+
+} // namespace cidre::stats
+
+#endif // CIDRE_STATS_TIMESERIES_H

@@ -1,0 +1,34 @@
+#include "trace/function_profile.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace cidre::trace {
+
+namespace {
+
+constexpr std::array<const char *, static_cast<std::size_t>(Runtime::kCount)>
+    kRuntimeNames = {"python", "node", "java", "go", "dotnet"};
+
+} // namespace
+
+const char *
+runtimeName(Runtime runtime)
+{
+    const auto idx = static_cast<std::size_t>(runtime);
+    if (idx >= kRuntimeNames.size())
+        throw std::invalid_argument("runtimeName: bad runtime");
+    return kRuntimeNames[idx];
+}
+
+Runtime
+runtimeFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kRuntimeNames.size(); ++i) {
+        if (name == kRuntimeNames[i])
+            return static_cast<Runtime>(i);
+    }
+    throw std::invalid_argument("runtimeFromName: unknown runtime " + name);
+}
+
+} // namespace cidre::trace

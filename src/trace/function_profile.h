@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Static description of a deployed serverless function.
+ */
+
+#ifndef CIDRE_TRACE_FUNCTION_PROFILE_H
+#define CIDRE_TRACE_FUNCTION_PROFILE_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace cidre::trace {
+
+/** Dense function identifier (index into Trace::functions()). */
+using FunctionId = std::uint32_t;
+
+inline constexpr FunctionId kInvalidFunction = UINT32_MAX;
+
+/**
+ * Language runtime of a function.
+ *
+ * Only RainbowCake cares: functions sharing a runtime can share the
+ * language layer of a cached container.
+ */
+enum class Runtime : std::uint8_t
+{
+    Python = 0,
+    Node,
+    Java,
+    Go,
+    DotNet,
+    kCount,
+};
+
+/** Human-readable runtime name ("python", ...). */
+const char *runtimeName(Runtime runtime);
+
+/** Parse a runtime name; throws std::invalid_argument on unknown names. */
+Runtime runtimeFromName(const std::string &name);
+
+/**
+ * Immutable per-function deployment facts.
+ *
+ * Execution time is a per-request property (it varies across invocations,
+ * paper §2.6) and therefore lives in trace::Request; the profile carries
+ * the distribution parameters used to generate it so experiments can
+ * rescale workloads (Fig. 20).
+ */
+struct FunctionProfile
+{
+    FunctionId id = kInvalidFunction;
+    std::string name;
+
+    /** Container memory footprint (the Size(c) of Eq. 1/3), in MB. */
+    std::int64_t memory_mb = 128;
+
+    /** Cold-start latency to provision one container (Cost(c)). */
+    sim::SimTime cold_start_us = 0;
+
+    /** Language runtime (layer sharing key for RainbowCake). */
+    Runtime runtime = Runtime::Python;
+
+    /** Median execution time the generator targeted (informational). */
+    sim::SimTime median_exec_us = 0;
+};
+
+} // namespace cidre::trace
+
+#endif // CIDRE_TRACE_FUNCTION_PROFILE_H

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Synthetic workload generators calibrated to the paper's published
+ * workload statistics (the data substitution described in DESIGN.md §3).
+ *
+ * The paper evaluates on 30-minute samples of the Azure Functions 2019
+ * trace (330 functions, ~598k requests) and an Alibaba FC trace
+ * (220 functions, ~410k requests).  Neither raw trace is available here,
+ * so generate() synthesizes request streams whose marginals match what
+ * the paper reports:
+ *
+ *  - heavy-tailed function popularity (Zipf);
+ *  - per-function arrivals = Poisson base load + synchronized bursts with
+ *    bounded-Pareto sizes, reproducing the per-minute concurrency CDFs of
+ *    Fig. 3 (FC 99th-percentile in the thousands);
+ *  - lognormal execution times, most functions with ~25% relative
+ *    variance (§2.6);
+ *  - cold starts either derived from memory (Azure's f ms/MB estimation
+ *    rule of §2.2) or drawn lognormal (FC), giving the Fig. 2 ratio CDF
+ *    shape and the Fig. 5/6 tradeoff regimes.
+ */
+
+#ifndef CIDRE_TRACE_GENERATORS_H
+#define CIDRE_TRACE_GENERATORS_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "trace/trace.h"
+
+namespace cidre::trace {
+
+/** How a synthetic function's cold-start latency is derived. */
+enum class ColdStartModel
+{
+    /** cold = memory_mb * ms_per_mb (Azure estimation rule, §2.2). */
+    MemoryProportional,
+    /** cold ~ lognormal(median, sigma) independent of memory (FC). */
+    Lognormal,
+};
+
+/** Knobs shared by both generator presets. */
+struct SyntheticSpec
+{
+    std::size_t functions = 330;
+    sim::SimTime duration = sim::minutes(30);
+
+    /** Average aggregate arrival rate (requests per second). */
+    double total_rps = 332.0;
+
+    /** Function popularity skew (Zipf exponent). */
+    double zipf_exponent = 0.9;
+
+    /** Fraction of each function's requests arriving inside bursts. */
+    double burst_fraction = 0.4;
+
+    /** Bounded-Pareto burst-size parameters. */
+    double burst_alpha = 1.4;
+    double burst_min = 2.0;
+    double burst_max = 300.0;
+
+    /** Mean gap between requests inside one burst. */
+    sim::SimTime burst_intra_gap = sim::msec(20);
+
+    /** Per-function median execution time, log-uniform in this range. */
+    double exec_median_lo_ms = 60.0;
+    double exec_median_hi_ms = 700.0;
+
+    /** Lognormal shape of per-request execution times (majority). */
+    double exec_sigma = 0.25;
+    /** Fraction of functions with high execution-time variance. */
+    double high_variance_fraction = 0.32;
+    double exec_sigma_high = 0.6;
+
+    /** Container memory, log-uniform in this range (MB). */
+    double memory_lo_mb = 128.0;
+    double memory_hi_mb = 768.0;
+
+    ColdStartModel cold_model = ColdStartModel::MemoryProportional;
+    /** MemoryProportional: the §2.2 scaling factor f (1, 2 or 3 ms/MB). */
+    double cold_ms_per_mb = 1.5;
+    /** Lognormal: parameters of the cold-start latency distribution. */
+    double cold_median_ms = 80.0;
+    double cold_sigma = 1.2;
+
+    /**
+     * Diurnal load modulation: base rates are multiplied by
+     * 1 + diurnal_amplitude · sin(2π · t / diurnal_period).  0 disables
+     * (the 30-minute presets are stationary); the 24-hour preset uses it
+     * to reproduce the day/night swing of the full Azure trace.
+     */
+    double diurnal_amplitude = 0.0;
+    sim::SimTime diurnal_period = sim::minutes(24 * 60);
+};
+
+/** Preset mirroring the sampled 30-minute Azure Functions workload (§4). */
+SyntheticSpec azureLikeSpec();
+
+/** Preset mirroring the sampled 30-minute Alibaba FC workload (§4). */
+SyntheticSpec fcLikeSpec();
+
+/**
+ * Preset mirroring the paper's 24-hour Azure Functions sample (Table 1
+ * row "24h AF": 750 functions, ~14.7M requests, 170 rps average) with a
+ * diurnal day/night swing.  Mind the volume: a full-scale instance is
+ * ~25× the 30-minute trace.
+ */
+SyntheticSpec azure24hLikeSpec();
+
+/** Generate a sealed trace from @p spec; equal seeds ⇒ equal traces. */
+Trace generate(const SyntheticSpec &spec, std::uint64_t seed);
+
+/** Convenience: azure-like trace scaled by @p scale in request volume. */
+Trace makeAzureLikeTrace(std::uint64_t seed, double scale = 1.0);
+
+/** Convenience: FC-like trace scaled by @p scale in request volume. */
+Trace makeFcLikeTrace(std::uint64_t seed, double scale = 1.0);
+
+} // namespace cidre::trace
+
+#endif // CIDRE_TRACE_GENERATORS_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * A single function invocation request.
+ */
+
+#ifndef CIDRE_TRACE_REQUEST_H
+#define CIDRE_TRACE_REQUEST_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "trace/function_profile.h"
+
+namespace cidre::trace {
+
+/** One invocation request as recorded in (or generated into) a trace. */
+struct Request
+{
+    /** Dense index within the trace, assigned in arrival order. */
+    std::uint64_t id = 0;
+
+    /** The invoked function. */
+    FunctionId function = kInvalidFunction;
+
+    /** Absolute arrival timestamp. */
+    sim::SimTime arrival_us = 0;
+
+    /**
+     * Execution duration of this particular invocation (excludes any
+     * cold-start or queuing overhead, which the orchestrator adds).
+     */
+    sim::SimTime exec_us = 0;
+};
+
+} // namespace cidre::trace
+
+#endif // CIDRE_TRACE_REQUEST_H

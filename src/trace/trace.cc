@@ -1,0 +1,133 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace cidre::trace {
+
+FunctionId
+Trace::addFunction(FunctionProfile profile)
+{
+    if (sealed_)
+        throw std::logic_error("Trace: addFunction after seal");
+    const auto id = static_cast<FunctionId>(functions_.size());
+    profile.id = id;
+    if (profile.name.empty())
+        profile.name = "fn" + std::to_string(id);
+    functions_.push_back(std::move(profile));
+    return id;
+}
+
+void
+Trace::addRequest(FunctionId function, sim::SimTime arrival_us,
+                  sim::SimTime exec_us)
+{
+    if (sealed_)
+        throw std::logic_error("Trace: addRequest after seal");
+    Request req;
+    req.id = requests_.size();
+    req.function = function;
+    req.arrival_us = arrival_us;
+    req.exec_us = exec_us;
+    requests_.push_back(req);
+}
+
+void
+Trace::seal()
+{
+    if (sealed_)
+        return;
+    for (const auto &req : requests_) {
+        if (req.function >= functions_.size())
+            throw std::invalid_argument("Trace: request with unknown function");
+        if (req.arrival_us < 0 || req.exec_us < 0)
+            throw std::invalid_argument("Trace: negative time in request");
+    }
+    std::stable_sort(requests_.begin(), requests_.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival_us < b.arrival_us;
+                     });
+    for (std::size_t i = 0; i < requests_.size(); ++i)
+        requests_[i].id = i;
+    sealed_ = true;
+    arrivals_by_function_.clear();
+}
+
+void
+Trace::requireSealed(const char *what) const
+{
+    if (!sealed_)
+        throw std::logic_error(std::string("Trace: ") + what +
+                               " requires a sealed trace");
+}
+
+sim::SimTime
+Trace::duration() const
+{
+    requireSealed("duration");
+    return requests_.empty() ? 0 : requests_.back().arrival_us;
+}
+
+const std::vector<std::vector<sim::SimTime>> &
+Trace::arrivalsByFunction() const
+{
+    requireSealed("arrivalsByFunction");
+    if (arrivals_by_function_.empty() && !functions_.empty()) {
+        arrivals_by_function_.resize(functions_.size());
+        for (const auto &req : requests_)
+            arrivals_by_function_[req.function].push_back(req.arrival_us);
+    }
+    return arrivals_by_function_;
+}
+
+std::vector<std::uint64_t>
+Trace::requestCountByFunction() const
+{
+    requireSealed("requestCountByFunction");
+    std::vector<std::uint64_t> counts(functions_.size(), 0);
+    for (const auto &req : requests_)
+        ++counts[req.function];
+    return counts;
+}
+
+TraceStats
+Trace::computeStats() const
+{
+    requireSealed("computeStats");
+    TraceStats stats;
+    stats.request_count = requests_.size();
+    stats.function_count = functions_.size();
+    stats.duration = duration();
+    if (requests_.empty())
+        return stats;
+
+    const auto buckets = static_cast<std::size_t>(
+        stats.duration / sim::sec(1)) + 1;
+    std::vector<double> rps(buckets, 0.0);
+    std::vector<double> gbps(buckets, 0.0);
+    for (const auto &req : requests_) {
+        const auto bucket = static_cast<std::size_t>(
+            req.arrival_us / sim::sec(1));
+        rps[bucket] += 1.0;
+        gbps[bucket] +=
+            static_cast<double>(functions_[req.function].memory_mb) / 1024.0;
+    }
+
+    stats::OnlineSummary rps_summary;
+    stats::OnlineSummary gbps_summary;
+    for (std::size_t i = 0; i < buckets; ++i) {
+        rps_summary.add(rps[i]);
+        gbps_summary.add(gbps[i]);
+    }
+    stats.rps_avg = rps_summary.mean();
+    stats.rps_min = rps_summary.min();
+    stats.rps_max = rps_summary.max();
+    stats.gbps_avg = gbps_summary.mean();
+    stats.gbps_min = gbps_summary.min();
+    stats.gbps_max = gbps_summary.max();
+    return stats;
+}
+
+} // namespace cidre::trace

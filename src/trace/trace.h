@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A workload trace: function profiles plus an arrival-ordered request log.
+ */
+
+#ifndef CIDRE_TRACE_TRACE_H
+#define CIDRE_TRACE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "trace/function_profile.h"
+#include "trace/request.h"
+
+namespace cidre::trace {
+
+/** The Rps / GBps rows of the paper's Table 1. */
+struct TraceStats
+{
+    std::uint64_t request_count = 0;
+    std::size_t function_count = 0;
+    sim::SimTime duration = 0;
+
+    double rps_avg = 0.0;
+    double rps_min = 0.0;
+    double rps_max = 0.0;
+
+    /** Aggregate requested memory per second, in GB. */
+    double gbps_avg = 0.0;
+    double gbps_min = 0.0;
+    double gbps_max = 0.0;
+};
+
+/**
+ * An immutable-after-seal workload trace.
+ *
+ * Build by adding functions and requests, then call seal() (sorts the
+ * request log by arrival and assigns dense ids).  All consumers — the
+ * orchestration engine, the analysis library, the transforms — require a
+ * sealed trace.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /**
+     * Register a function profile.
+     * @return the assigned FunctionId.
+     */
+    FunctionId addFunction(FunctionProfile profile);
+
+    /** Append a request (any order; seal() sorts). */
+    void addRequest(FunctionId function, sim::SimTime arrival_us,
+                    sim::SimTime exec_us);
+
+    /**
+     * Sort requests by (arrival, insertion order), renumber ids, and
+     * validate referential integrity.  Throws std::invalid_argument on a
+     * request referencing an unknown function or negative times.
+     */
+    void seal();
+
+    bool sealed() const { return sealed_; }
+
+    const std::vector<FunctionProfile> &functions() const
+    {
+        return functions_;
+    }
+    const std::vector<Request> &requests() const { return requests_; }
+
+    const FunctionProfile &functionOf(const Request &req) const
+    {
+        return functions_[req.function];
+    }
+
+    std::size_t functionCount() const { return functions_.size(); }
+    std::uint64_t requestCount() const { return requests_.size(); }
+    bool empty() const { return requests_.empty(); }
+
+    /** Timestamp of the last arrival (0 for an empty trace). */
+    sim::SimTime duration() const;
+
+    /**
+     * Arrival timestamps per function, each sorted ascending.
+     * Built lazily on first call (sealed traces only).  Used by the
+     * Belady / oracle policies and the opportunity-space analysis.
+     */
+    const std::vector<std::vector<sim::SimTime>> &arrivalsByFunction() const;
+
+    /** Per-function request counts (sealed traces only). */
+    std::vector<std::uint64_t> requestCountByFunction() const;
+
+    /** Compute the Table-1 statistics over 1-second buckets. */
+    TraceStats computeStats() const;
+
+  private:
+    void requireSealed(const char *what) const;
+
+    std::vector<FunctionProfile> functions_;
+    std::vector<Request> requests_;
+    bool sealed_ = false;
+    mutable std::vector<std::vector<sim::SimTime>> arrivals_by_function_;
+};
+
+} // namespace cidre::trace
+
+#endif // CIDRE_TRACE_TRACE_H

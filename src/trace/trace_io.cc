@@ -1,0 +1,136 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cidre::trace {
+
+namespace {
+
+std::vector<std::string>
+splitCsv(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    for (const char ch : line) {
+        if (ch == ',') {
+            fields.push_back(field);
+            field.clear();
+        } else {
+            field += ch;
+        }
+    }
+    fields.push_back(field);
+    return fields;
+}
+
+[[noreturn]] void
+fail(std::size_t line_no, const std::string &why)
+{
+    throw std::runtime_error("trace parse error at line " +
+                             std::to_string(line_no) + ": " + why);
+}
+
+std::int64_t
+parseInt(const std::string &text, std::size_t line_no)
+{
+    try {
+        std::size_t used = 0;
+        const std::int64_t value = std::stoll(text, &used);
+        if (used != text.size())
+            fail(line_no, "trailing characters in number '" + text + "'");
+        return value;
+    } catch (const std::logic_error &) {
+        fail(line_no, "bad number '" + text + "'");
+    }
+}
+
+} // namespace
+
+void
+writeTrace(const Trace &trace, std::ostream &out)
+{
+    if (!trace.sealed())
+        throw std::logic_error("writeTrace: trace must be sealed");
+    out << "# cidre trace v1: " << trace.functionCount() << " functions, "
+        << trace.requestCount() << " requests\n";
+    for (const auto &fn : trace.functions()) {
+        out << "F," << fn.id << ',' << fn.name << ',' << fn.memory_mb << ','
+            << fn.cold_start_us << ',' << runtimeName(fn.runtime) << ','
+            << fn.median_exec_us << '\n';
+    }
+    for (const auto &req : trace.requests()) {
+        out << "R," << req.function << ',' << req.arrival_us << ','
+            << req.exec_us << '\n';
+    }
+}
+
+void
+writeTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("writeTraceFile: cannot open " + path);
+    writeTrace(trace, out);
+    if (!out)
+        throw std::runtime_error("writeTraceFile: write failed for " + path);
+}
+
+Trace
+readTrace(std::istream &in)
+{
+    Trace trace;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto fields = splitCsv(line);
+        if (fields[0] == "F") {
+            if (fields.size() != 7)
+                fail(line_no, "function record needs 7 fields");
+            FunctionProfile fn;
+            fn.name = fields[2];
+            fn.memory_mb = parseInt(fields[3], line_no);
+            fn.cold_start_us = parseInt(fields[4], line_no);
+            try {
+                fn.runtime = runtimeFromName(fields[5]);
+            } catch (const std::invalid_argument &e) {
+                fail(line_no, e.what());
+            }
+            fn.median_exec_us = parseInt(fields[6], line_no);
+            const FunctionId assigned = trace.addFunction(std::move(fn));
+            if (assigned != parseInt(fields[1], line_no))
+                fail(line_no, "function ids must be dense and in order");
+        } else if (fields[0] == "R") {
+            if (fields.size() != 4)
+                fail(line_no, "request record needs 4 fields");
+            const auto func = parseInt(fields[1], line_no);
+            if (func < 0 ||
+                static_cast<std::size_t>(func) >= trace.functionCount()) {
+                fail(line_no, "request references unknown function");
+            }
+            trace.addRequest(static_cast<FunctionId>(func),
+                             parseInt(fields[2], line_no),
+                             parseInt(fields[3], line_no));
+        } else {
+            fail(line_no, "unknown record kind '" + fields[0] + "'");
+        }
+    }
+    trace.seal();
+    return trace;
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("readTraceFile: cannot open " + path);
+    return readTrace(in);
+}
+
+} // namespace cidre::trace

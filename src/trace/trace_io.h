@@ -1,0 +1,42 @@
+/**
+ * @file
+ * CSV persistence for traces.
+ *
+ * A trace file is a single CSV with two record kinds, so users can plug
+ * real production traces into the harness:
+ *
+ *   F,<id>,<name>,<memory_mb>,<cold_start_us>,<runtime>,<median_exec_us>
+ *   R,<function_id>,<arrival_us>,<exec_us>
+ *
+ * Lines starting with '#' are comments.  Function records must precede
+ * the request records that reference them.
+ */
+
+#ifndef CIDRE_TRACE_TRACE_IO_H
+#define CIDRE_TRACE_TRACE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace cidre::trace {
+
+/** Serialize a sealed trace to a stream. */
+void writeTrace(const Trace &trace, std::ostream &out);
+
+/** Serialize a sealed trace to a file; throws std::runtime_error on I/O. */
+void writeTraceFile(const Trace &trace, const std::string &path);
+
+/**
+ * Parse a trace from a stream; returns a sealed trace.
+ * Throws std::runtime_error with the offending line number on bad input.
+ */
+Trace readTrace(std::istream &in);
+
+/** Parse a trace from a file. */
+Trace readTraceFile(const std::string &path);
+
+} // namespace cidre::trace
+
+#endif // CIDRE_TRACE_TRACE_IO_H

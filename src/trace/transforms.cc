@@ -1,0 +1,145 @@
+#include "trace/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace cidre::trace {
+
+namespace {
+
+void
+requireSealed(const Trace &input, const char *what)
+{
+    if (!input.sealed())
+        throw std::logic_error(std::string(what) +
+                               ": input trace must be sealed");
+}
+
+Trace
+copyFunctions(const Trace &input)
+{
+    Trace out;
+    for (const auto &fn : input.functions()) {
+        FunctionProfile copy = fn;
+        copy.id = kInvalidFunction; // reassigned by addFunction
+        out.addFunction(std::move(copy));
+    }
+    return out;
+}
+
+sim::SimTime
+scaleTime(sim::SimTime t, double factor)
+{
+    return static_cast<sim::SimTime>(
+        std::llround(static_cast<double>(t) * factor));
+}
+
+} // namespace
+
+Trace
+scaleIat(const Trace &input, double factor)
+{
+    requireSealed(input, "scaleIat");
+    if (factor <= 0.0)
+        throw std::invalid_argument("scaleIat: factor must be > 0");
+    Trace out = copyFunctions(input);
+    for (const auto &req : input.requests()) {
+        out.addRequest(req.function, scaleTime(req.arrival_us, factor),
+                       req.exec_us);
+    }
+    out.seal();
+    return out;
+}
+
+Trace
+scaleExec(const Trace &input, double factor)
+{
+    requireSealed(input, "scaleExec");
+    if (factor <= 0.0)
+        throw std::invalid_argument("scaleExec: factor must be > 0");
+    Trace out;
+    for (const auto &fn : input.functions()) {
+        FunctionProfile copy = fn;
+        copy.id = kInvalidFunction;
+        copy.median_exec_us = scaleTime(fn.median_exec_us, factor);
+        out.addFunction(std::move(copy));
+    }
+    for (const auto &req : input.requests()) {
+        out.addRequest(req.function, req.arrival_us,
+                       scaleTime(req.exec_us, factor));
+    }
+    out.seal();
+    return out;
+}
+
+Trace
+scaleColdStart(const Trace &input, double factor)
+{
+    requireSealed(input, "scaleColdStart");
+    if (factor <= 0.0)
+        throw std::invalid_argument("scaleColdStart: factor must be > 0");
+    Trace out;
+    for (const auto &fn : input.functions()) {
+        FunctionProfile copy = fn;
+        copy.id = kInvalidFunction;
+        copy.cold_start_us = scaleTime(fn.cold_start_us, factor);
+        out.addFunction(std::move(copy));
+    }
+    for (const auto &req : input.requests())
+        out.addRequest(req.function, req.arrival_us, req.exec_us);
+    out.seal();
+    return out;
+}
+
+Trace
+truncate(const Trace &input, sim::SimTime deadline)
+{
+    requireSealed(input, "truncate");
+    Trace out = copyFunctions(input);
+    for (const auto &req : input.requests()) {
+        if (req.arrival_us < deadline)
+            out.addRequest(req.function, req.arrival_us, req.exec_us);
+    }
+    out.seal();
+    return out;
+}
+
+Trace
+sampleFunctions(const Trace &input, std::size_t keep, sim::Rng &rng)
+{
+    requireSealed(input, "sampleFunctions");
+    if (keep == 0 || keep > input.functionCount())
+        throw std::invalid_argument("sampleFunctions: bad keep count");
+
+    // Partial Fisher-Yates over the function index set.
+    std::vector<FunctionId> ids(input.functionCount());
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        ids[i] = static_cast<FunctionId>(i);
+    for (std::size_t i = 0; i < keep; ++i) {
+        const auto j = i + static_cast<std::size_t>(
+            rng.below(ids.size() - i));
+        std::swap(ids[i], ids[j]);
+    }
+    ids.resize(keep);
+    std::sort(ids.begin(), ids.end());
+
+    std::vector<FunctionId> remap(input.functionCount(), kInvalidFunction);
+    Trace out;
+    for (const FunctionId old_id : ids) {
+        FunctionProfile copy = input.functions()[old_id];
+        copy.id = kInvalidFunction;
+        remap[old_id] = out.addFunction(std::move(copy));
+    }
+    for (const auto &req : input.requests()) {
+        if (remap[req.function] != kInvalidFunction) {
+            out.addRequest(remap[req.function], req.arrival_us,
+                           req.exec_us);
+        }
+    }
+    out.seal();
+    return out;
+}
+
+} // namespace cidre::trace

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Trace transforms backing the paper's sensitivity studies.
+ *
+ * Each transform produces a fresh sealed trace:
+ *  - scaleIat      — stretch/compress inter-arrival times (Fig. 19);
+ *  - scaleExec     — multiply execution times (Figs. 10, 20, Table 2);
+ *  - scaleColdStart— multiply cold-start latencies (Fig. 9);
+ *  - truncate      — keep requests arriving before a deadline;
+ *  - sampleFunctions — keep a random subset of functions (§4's sampling).
+ */
+
+#ifndef CIDRE_TRACE_TRANSFORMS_H
+#define CIDRE_TRACE_TRANSFORMS_H
+
+#include <cstddef>
+
+#include "sim/rng.h"
+#include "trace/trace.h"
+
+namespace cidre::trace {
+
+/**
+ * Multiply every inter-arrival gap by @p factor (>1 lowers load).
+ * Implemented as scaling absolute arrival times, which is equivalent for
+ * a trace starting at t=0.
+ */
+Trace scaleIat(const Trace &input, double factor);
+
+/** Multiply every request's execution time by @p factor. */
+Trace scaleExec(const Trace &input, double factor);
+
+/** Multiply every function's cold-start latency by @p factor. */
+Trace scaleColdStart(const Trace &input, double factor);
+
+/** Keep only requests with arrival < @p deadline. */
+Trace truncate(const Trace &input, sim::SimTime deadline);
+
+/**
+ * Keep a uniformly random subset of @p keep functions (with all their
+ * requests); function ids are re-densified.
+ */
+Trace sampleFunctions(const Trace &input, std::size_t keep, sim::Rng &rng);
+
+} // namespace cidre::trace
+
+#endif // CIDRE_TRACE_TRANSFORMS_H

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the trace-analysis library (§2 motivation studies).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/concurrency.h"
+#include "analysis/opportunity.h"
+#include "analysis/tradeoff.h"
+#include "tests/core/test_helpers.h"
+#include "trace/generators.h"
+
+namespace cidre::analysis {
+namespace {
+
+using cidre::test::addFunction;
+using sim::msec;
+using sim::sec;
+
+TEST(ColdExecRatio, ComputedFromProfiles)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 100, msec(100));
+    t.addRequest(fn, 0, msec(50));   // ratio 2
+    t.addRequest(fn, 100, msec(200)); // ratio 0.5
+    t.seal();
+
+    const auto cdf = coldExecRatioCdf(t);
+    ASSERT_EQ(cdf.count(), 2u);
+    EXPECT_DOUBLE_EQ(cdf.min(), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.max(), 2.0);
+    EXPECT_DOUBLE_EQ(cdf.fractionBelow(1.0), 0.5);
+}
+
+TEST(ColdExecRatio, MemoryRuleOverride)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 100, msec(999));
+    t.addRequest(fn, 0, msec(100));
+    t.seal();
+
+    // 100 MB × 2 ms/MB = 200 ms cold; exec 100 ms → ratio 2.
+    const auto cdf = coldExecRatioCdf(t, 2.0);
+    EXPECT_DOUBLE_EQ(cdf.max(), 2.0);
+}
+
+TEST(Concurrency, PerFunctionMinuteBuckets)
+{
+    trace::Trace t;
+    const auto a = addFunction(t, 100, msec(10));
+    const auto b = addFunction(t, 100, msec(10));
+    for (int i = 0; i < 30; ++i)
+        t.addRequest(a, sec(i), msec(1)); // 30 in minute 0
+    t.addRequest(b, sec(70), msec(1));    // 1 in minute 1
+    t.seal();
+
+    const auto cdf = concurrencyPerMinuteCdf(t);
+    ASSERT_EQ(cdf.count(), 2u);
+    EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.max(), 30.0);
+}
+
+TEST(ExecCv, DetectsVariance)
+{
+    trace::Trace t;
+    const auto stable = addFunction(t, 100, msec(10));
+    const auto jittery = addFunction(t, 100, msec(10));
+    for (int i = 0; i < 10; ++i) {
+        t.addRequest(stable, sec(i), msec(100));
+        t.addRequest(jittery, sec(i), msec(100 * (1 + i % 3)));
+    }
+    t.seal();
+
+    const auto cdf = execTimeCvCdf(t);
+    ASSERT_EQ(cdf.count(), 2u);
+    EXPECT_DOUBLE_EQ(cdf.min(), 0.0);
+    EXPECT_GT(cdf.max(), 0.2);
+}
+
+TEST(Opportunity, CountsCompletionsInWindow)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 100, msec(100)); // window = 100 ms
+    // r0 at t=0: window [0, 100 ms].  r1 completes at 50+10=60 ms (in),
+    // r2 completes at 300 ms (out).
+    t.addRequest(fn, 0, msec(500));
+    t.addRequest(fn, msec(50), msec(10));
+    t.addRequest(fn, msec(200), msec(100));
+    t.seal();
+
+    const auto cdf = opportunityCdf(t);
+    ASSERT_EQ(cdf.count(), 3u);
+    // r0 sees exactly one opportunity (r1's completion).
+    EXPECT_DOUBLE_EQ(cdf.max(), 1.0);
+}
+
+TEST(Opportunity, ShrinkingColdShrinksOpportunities)
+{
+    const trace::Trace t = trace::makeAzureLikeTrace(3, 0.15);
+    const auto full = opportunityCdf(t, 1.0);
+    const auto quarter = opportunityCdf(t, 0.25);
+    EXPECT_GE(full.mean(), quarter.mean());
+    EXPECT_GE(full.percentile(0.9), quarter.percentile(0.9));
+}
+
+TEST(Opportunity, ExecScalingBarelyMoves)
+{
+    // Observation 3: varying execution time alone does not
+    // fundamentally change the opportunity distribution.
+    const trace::Trace t = trace::makeAzureLikeTrace(4, 0.15);
+    const auto base = opportunityCdf(t, 1.0, 1.0);
+    const auto twice = opportunityCdf(t, 1.0, 2.0);
+    ASSERT_GT(base.mean(), 0.0);
+    EXPECT_NEAR(twice.mean() / base.mean(), 1.0, 0.35);
+}
+
+TEST(Tradeoff, QueuingVsColdCdfs)
+{
+    // A stable workload: per-function offered load stays below one
+    // container's capacity, so the all-queue what-if does not diverge
+    // (the production traces behave this way at the paper's scale).
+    trace::SyntheticSpec spec = trace::azureLikeSpec();
+    spec.functions = 30;
+    spec.duration = sim::minutes(2);
+    spec.total_rps = 30.0;
+    spec.exec_median_lo_ms = 20.0;
+    spec.exec_median_hi_ms = 150.0;
+    spec.burst_max = 50.0;
+    const trace::Trace t = trace::generate(spec, 12);
+
+    core::EngineConfig config;
+    config.cluster.workers = 1;
+    config.cluster.total_memory_mb = 8 * 1024;
+    const TradeoffResult result = analyzeTradeoff(t, config);
+
+    ASSERT_GT(result.queuing_ms.count(), 0u);
+    EXPECT_EQ(result.queuing_ms.count(), result.cold_start_ms.count());
+    EXPECT_GT(result.queuing_wins_fraction, 0.0);
+    EXPECT_LE(result.queuing_wins_fraction, 1.0);
+    // Queuing should usually be cheaper at the median under bursty load.
+    EXPECT_LT(result.queuing_ms.median(), result.cold_start_ms.median());
+}
+
+} // namespace
+} // namespace cidre::analysis

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * End-to-end tests of the cidre_sim subcommands (through the dispatch
+ * layer, with captured output).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "cli/commands.h"
+
+namespace cidre::cli {
+namespace {
+
+struct RunResult
+{
+    int status;
+    std::string out;
+    std::string err;
+};
+
+RunResult
+invoke(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv = {"cidre_sim"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    std::ostringstream out;
+    std::ostringstream err;
+    const int status = dispatch(static_cast<int>(argv.size()),
+                                argv.data(), out, err);
+    return {status, out.str(), err.str()};
+}
+
+TEST(CidreSim, NoCommandPrintsUsage)
+{
+    const RunResult r = invoke({});
+    EXPECT_EQ(r.status, 2);
+    EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(CidreSim, UnknownCommandPrintsUsage)
+{
+    const RunResult r = invoke({"frobnicate"});
+    EXPECT_EQ(r.status, 2);
+}
+
+TEST(CidreSim, HelpPerCommand)
+{
+    const RunResult r = invoke({"run", "--help"});
+    EXPECT_EQ(r.status, 0);
+    EXPECT_NE(r.out.find("--policy"), std::string::npos);
+    EXPECT_NE(r.out.find("--cache-gb"), std::string::npos);
+}
+
+TEST(CidreSim, GenerateRunAnalyzeRoundTrip)
+{
+    const std::string path = "/tmp/cidre_sim_test_trace.csv";
+    const RunResult gen = invoke({"generate", "--out", path.c_str(),
+                                  "--kind", "fc", "--scale", "0.03",
+                                  "--seed", "5"});
+    ASSERT_EQ(gen.status, 0) << gen.err;
+    EXPECT_NE(gen.out.find("wrote"), std::string::npos);
+
+    const RunResult run = invoke({"run", "--trace", path.c_str(),
+                                  "--policy", "cidre", "--cache-gb",
+                                  "20"});
+    ASSERT_EQ(run.status, 0) << run.err;
+    EXPECT_NE(run.out.find("avg overhead ratio %"), std::string::npos);
+    EXPECT_NE(run.out.find("cold start %"), std::string::npos);
+
+    const RunResult analyze =
+        invoke({"analyze", "--trace", path.c_str()});
+    ASSERT_EQ(analyze.status, 0) << analyze.err;
+    EXPECT_NE(analyze.out.find("cold/exec ratio"), std::string::npos);
+
+    std::remove(path.c_str());
+}
+
+TEST(CidreSim, CompareListsEveryPolicy)
+{
+    const RunResult r = invoke({"compare", "--kind", "azure", "--scale",
+                                "0.03", "--policies",
+                                "cidre,faascache,ttl", "--cache-gb",
+                                "10"});
+    ASSERT_EQ(r.status, 0) << r.err;
+    EXPECT_NE(r.out.find("cidre"), std::string::npos);
+    EXPECT_NE(r.out.find("faascache"), std::string::npos);
+    EXPECT_NE(r.out.find("ttl"), std::string::npos);
+}
+
+TEST(CidreSim, RunWithSyntheticKnobs)
+{
+    const RunResult r = invoke({"run", "--kind", "azure", "--scale",
+                                "0.03", "--policy", "cidre-bss",
+                                "--cache-gb", "10", "--workers", "2",
+                                "--threads", "2", "--iat", "1.5",
+                                "--exec-scale", "1.2", "--window-min",
+                                "5"});
+    ASSERT_EQ(r.status, 0) << r.err;
+    EXPECT_NE(r.out.find("policy: cidre-bss"), std::string::npos);
+}
+
+TEST(CidreSim, ErrorsAreReported)
+{
+    const RunResult bad_kind =
+        invoke({"run", "--kind", "aws", "--scale", "0.01"});
+    EXPECT_EQ(bad_kind.status, 2);
+    EXPECT_NE(bad_kind.err.find("azure or fc"), std::string::npos);
+
+    const RunResult bad_option = invoke({"run", "--nope", "1"});
+    EXPECT_EQ(bad_option.status, 2);
+    EXPECT_NE(bad_option.err.find("unknown option"), std::string::npos);
+
+    const RunResult no_out = invoke({"generate", "--kind", "azure"});
+    EXPECT_EQ(no_out.status, 2);
+    EXPECT_NE(no_out.err.find("--out"), std::string::npos);
+
+    const RunResult bad_policy =
+        invoke({"run", "--policy", "bogus", "--scale", "0.01"});
+    EXPECT_EQ(bad_policy.status, 2);
+    EXPECT_NE(bad_policy.err.find("unknown policy"), std::string::npos);
+}
+
+} // namespace
+} // namespace cidre::cli

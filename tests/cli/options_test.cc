@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the declarative option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cli/options.h"
+
+namespace cidre::cli {
+namespace {
+
+const std::vector<OptionSpec> kSpecs = {
+    {"policy", "name", "the policy", "cidre"},
+    {"cache-gb", "n", "cache size", "100"},
+    {"scale", "f", "volume", "1.0"},
+    {"verbose", "", "a flag", ""},
+};
+
+Options
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return Options::parse(static_cast<int>(argv.size()), argv.data(),
+                          kSpecs);
+}
+
+TEST(Options, ParsesValuesAndFlags)
+{
+    const Options opts =
+        parse({"--policy", "faascache", "--cache-gb", "80", "--verbose"});
+    EXPECT_EQ(opts.getString("policy"), "faascache");
+    EXPECT_EQ(opts.getInt("cache-gb", 0), 80);
+    EXPECT_TRUE(opts.getFlag("verbose"));
+    EXPECT_FALSE(opts.has("scale"));
+}
+
+TEST(Options, DefaultsApply)
+{
+    const Options opts = parse({});
+    EXPECT_EQ(opts.getString("policy", "cidre"), "cidre");
+    EXPECT_EQ(opts.getInt("cache-gb", 100), 100);
+    EXPECT_DOUBLE_EQ(opts.getDouble("scale", 1.5), 1.5);
+    EXPECT_FALSE(opts.getFlag("verbose"));
+}
+
+TEST(Options, Positionals)
+{
+    const Options opts = parse({"run", "--policy", "ttl", "extra"});
+    EXPECT_EQ(opts.positionals(),
+              (std::vector<std::string>{"run", "extra"}));
+}
+
+TEST(Options, RejectsUnknown)
+{
+    EXPECT_THROW(parse({"--bogus", "1"}), std::invalid_argument);
+}
+
+TEST(Options, RejectsMissingValue)
+{
+    EXPECT_THROW(parse({"--policy"}), std::invalid_argument);
+}
+
+TEST(Options, RejectsBadNumbers)
+{
+    const Options opts = parse({"--scale", "abc"});
+    EXPECT_THROW(opts.getDouble("scale", 1.0), std::invalid_argument);
+    const Options opts2 = parse({"--cache-gb", "12x"});
+    EXPECT_THROW(opts2.getInt("cache-gb", 1), std::invalid_argument);
+}
+
+TEST(Options, ListSplitting)
+{
+    const std::vector<OptionSpec> specs = {
+        {"policies", "a,b", "list", ""},
+    };
+    const char *argv[] = {"prog", "--policies", "cidre,ttl,,lru"};
+    const Options opts = Options::parse(3, argv, specs);
+    EXPECT_EQ(opts.getList("policies"),
+              (std::vector<std::string>{"cidre", "ttl", "lru"}));
+    EXPECT_TRUE(Options::parse(1, argv, specs).getList("policies").empty());
+}
+
+TEST(Options, UsageTextMentionsEverything)
+{
+    const std::string text = usageText("prog", "run [options]", kSpecs);
+    EXPECT_NE(text.find("--policy <name>"), std::string::npos);
+    EXPECT_NE(text.find("--verbose"), std::string::npos);
+    EXPECT_NE(text.find("default: cidre"), std::string::npos);
+}
+
+} // namespace
+} // namespace cidre::cli

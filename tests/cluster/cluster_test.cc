@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the cluster substrate (workers, containers, memory).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace cidre::cluster {
+namespace {
+
+ClusterConfig
+smallConfig()
+{
+    ClusterConfig config;
+    config.workers = 3;
+    config.total_memory_mb = 3 * 1000;
+    return config;
+}
+
+TEST(Worker, ReserveReleaseAccounting)
+{
+    Worker w(0, 1000);
+    EXPECT_EQ(w.freeMb(), 1000);
+    w.reserve(400);
+    EXPECT_EQ(w.usedMb(), 400);
+    EXPECT_TRUE(w.fits(600));
+    EXPECT_FALSE(w.fits(601));
+    w.release(400);
+    EXPECT_EQ(w.usedMb(), 0);
+}
+
+TEST(Worker, ErrorsOnBadAmounts)
+{
+    Worker w(0, 100);
+    EXPECT_THROW(w.reserve(101), std::logic_error);
+    EXPECT_THROW(w.reserve(-1), std::logic_error);
+    EXPECT_THROW(w.release(1), std::logic_error);
+    EXPECT_THROW(Worker(0, 0), std::invalid_argument);
+    EXPECT_THROW(Worker(0, 100, 0.0), std::invalid_argument);
+}
+
+TEST(Cluster, SplitsMemoryAcrossWorkers)
+{
+    const ClusterConfig config{3, 3001, {}};
+    Cluster cl(config);
+    EXPECT_EQ(cl.workerCount(), 3u);
+    EXPECT_EQ(cl.totalCapacityMb(), 3001);
+    EXPECT_EQ(cl.worker(0).capacityMb(), 1001); // remainder to worker 0
+    EXPECT_EQ(cl.worker(1).capacityMb(), 1000);
+}
+
+TEST(Cluster, RejectsBadConfigs)
+{
+    EXPECT_THROW(Cluster(ClusterConfig{0, 100, {}}),
+                 std::invalid_argument);
+    EXPECT_THROW(Cluster(ClusterConfig{3, 100, {1.0}}),
+                 std::invalid_argument);
+}
+
+TEST(Cluster, CreateAndDestroyContainer)
+{
+    Cluster cl(smallConfig());
+    const ContainerId id = cl.createContainer(
+        0, 1, 300, 1, ProvisionReason::Demand, sim::sec(5));
+    const Container &c = cl.container(id);
+    EXPECT_TRUE(c.provisioning());
+    EXPECT_EQ(c.worker, 1u);
+    EXPECT_EQ(c.memory_mb, 300);
+    EXPECT_EQ(cl.worker(1).usedMb(), 300);
+    EXPECT_EQ(cl.cachedContainerCount(), 1u);
+
+    cl.destroyContainer(id);
+    EXPECT_TRUE(cl.container(id).evicted());
+    EXPECT_EQ(cl.worker(1).usedMb(), 0);
+    EXPECT_EQ(cl.cachedContainerCount(), 0u);
+    EXPECT_THROW(cl.destroyContainer(id), std::logic_error);
+}
+
+TEST(Cluster, CannotDestroyBusyContainer)
+{
+    Cluster cl(smallConfig());
+    const ContainerId id = cl.createContainer(
+        0, 0, 100, 1, ProvisionReason::Demand, 0);
+    Container &c = cl.container(id);
+    c.state = ContainerState::Live;
+    c.active = 1;
+    EXPECT_THROW(cl.destroyContainer(id), std::logic_error);
+}
+
+TEST(Cluster, MostFreeWorker)
+{
+    Cluster cl(smallConfig());
+    cl.createContainer(0, 0, 500, 1, ProvisionReason::Demand, 0);
+    cl.createContainer(0, 1, 200, 1, ProvisionReason::Demand, 0);
+    EXPECT_EQ(cl.mostFreeWorker(), 2u);
+}
+
+TEST(Cluster, CheapestWorkerFitting)
+{
+    ClusterConfig config = smallConfig();
+    config.speed_factors = {1.0, 0.5, 2.0};
+    Cluster cl(config);
+    EXPECT_EQ(cl.cheapestWorkerFitting(100), 1u);
+    // Fill the cheap worker: next cheapest that fits is worker 0.
+    cl.createContainer(0, 1, 1000, 1, ProvisionReason::Demand, 0);
+    EXPECT_EQ(cl.cheapestWorkerFitting(100), 0u);
+}
+
+TEST(Cluster, CompressionShrinksAndRestores)
+{
+    Cluster cl(smallConfig());
+    const ContainerId id = cl.createContainer(
+        0, 0, 600, 1, ProvisionReason::Demand, 0);
+    Container &c = cl.container(id);
+    c.state = ContainerState::Live;
+
+    const std::int64_t freed = cl.compressContainer(id, 3.0);
+    EXPECT_EQ(freed, 400);
+    EXPECT_TRUE(c.compressed());
+    EXPECT_EQ(c.memory_mb, 200);
+    EXPECT_EQ(cl.worker(0).usedMb(), 200);
+
+    cl.decompressContainer(id);
+    EXPECT_TRUE(c.live());
+    EXPECT_EQ(c.memory_mb, 600);
+    EXPECT_EQ(cl.worker(0).usedMb(), 600);
+}
+
+TEST(Cluster, CompressionRequiresIdleLive)
+{
+    Cluster cl(smallConfig());
+    const ContainerId id = cl.createContainer(
+        0, 0, 600, 1, ProvisionReason::Demand, 0);
+    EXPECT_THROW(cl.compressContainer(id, 3.0), std::logic_error);
+    EXPECT_THROW(cl.decompressContainer(id), std::logic_error);
+    Container &c = cl.container(id);
+    c.state = ContainerState::Live;
+    EXPECT_THROW(cl.compressContainer(id, 1.0), std::invalid_argument);
+}
+
+TEST(Container, StateHelpers)
+{
+    Container c;
+    c.state = ContainerState::Live;
+    c.threads = 2;
+    c.active = 0;
+    EXPECT_TRUE(c.idle());
+    EXPECT_TRUE(c.hasFreeSlot());
+    c.active = 1;
+    EXPECT_TRUE(c.busy());
+    EXPECT_TRUE(c.hasFreeSlot());
+    c.active = 2;
+    EXPECT_FALSE(c.hasFreeSlot());
+    EXPECT_STREQ(containerStateName(ContainerState::Live), "live");
+    EXPECT_STREQ(containerStateName(ContainerState::Compressed),
+                 "compressed");
+}
+
+} // namespace
+} // namespace cidre::cluster

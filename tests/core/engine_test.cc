@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Integration-grade tests of the orchestration engine's semantics:
+ * warm/cold/delayed dispatch, speculative scaling, eviction pressure,
+ * intra-container threads, and failure guards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "policies/keepalive/gdsf.h"
+#include "policies/keepalive/ttl.h"
+#include "policies/scaling/bss.h"
+#include "policies/scaling/css.h"
+#include "policies/scaling/fixed_queue.h"
+#include "tests/core/test_helpers.h"
+
+namespace cidre::core {
+namespace {
+
+using cidre::test::addFunction;
+using cidre::test::bundleOf;
+using cidre::test::simpleBundle;
+using cidre::test::smallConfig;
+using sim::msec;
+using sim::sec;
+
+TEST(Engine, ColdThenWarmStart)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    t.addRequest(fn, 0, msec(50));
+    t.addRequest(fn, msec(500), msec(50)); // long after the first finishes
+    t.seal();
+
+    Engine engine(t, smallConfig(), simpleBundle());
+    const RunMetrics m = engine.run();
+
+    EXPECT_EQ(m.count(StartType::Cold), 1u);
+    EXPECT_EQ(m.count(StartType::Warm), 1u);
+    EXPECT_EQ(m.containers_created, 1u);
+    ASSERT_EQ(m.outcomes.size(), 2u);
+    EXPECT_EQ(m.outcomes[0].wait_us, msec(100)); // full cold start
+    EXPECT_EQ(m.outcomes[1].wait_us, 0);         // true warm start
+}
+
+TEST(Engine, VanillaConcurrentRequestsColdStartEach)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    for (int i = 0; i < 3; ++i)
+        t.addRequest(fn, msec(1), msec(50));
+    t.seal();
+
+    Engine engine(t, smallConfig(), simpleBundle());
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::Cold), 3u);
+    EXPECT_EQ(m.containers_created, 3u);
+    EXPECT_EQ(m.count(StartType::DelayedWarm), 0u);
+}
+
+TEST(Engine, BssDelayedWarmBeatsColdStart)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100), msec(50));
+    t.addRequest(fn, 0, msec(50));
+    t.addRequest(fn, msec(110), msec(50));
+    t.seal();
+
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::make_unique<policies::BssScaling>(),
+                           std::make_unique<policies::LruKeepAlive>()));
+    const RunMetrics m = engine.run();
+
+    // First request: no container at all → speculative provision serves
+    // it as a cold start at t=100 (wait 100 ms); it executes 100..150.
+    // Second request (t=110) waits for the busy container, which frees at
+    // t=150 — a 40 ms delayed warm start, beating the 100 ms cold start.
+    // Its speculative container completes at t=210 and idles.
+    EXPECT_EQ(m.count(StartType::Cold), 1u);
+    EXPECT_EQ(m.count(StartType::DelayedWarm), 1u);
+    EXPECT_EQ(m.containers_created, 2u);
+    ASSERT_EQ(m.outcomes.size(), 2u);
+    EXPECT_EQ(m.outcomes[0].wait_us, msec(100));
+    EXPECT_EQ(m.outcomes[1].wait_us, msec(40));
+}
+
+TEST(Engine, BssWorstCaseMatchesColdStart)
+{
+    // The busy container stays busy longer than the cold start, so the
+    // speculative container wins: the request waits exactly one cold
+    // start, never more (BSS's worst-case guarantee, §3.2).
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100), msec(500));
+    t.addRequest(fn, 0, msec(500));
+    t.addRequest(fn, msec(110), msec(500));
+    t.seal();
+
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::make_unique<policies::BssScaling>(),
+                           std::make_unique<policies::LruKeepAlive>()));
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::Cold), 2u);
+    EXPECT_EQ(m.outcomes[1].wait_us, msec(100));
+}
+
+TEST(Engine, FixedQueueDepthLimitsQueuing)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    t.addRequest(fn, 0, msec(200));        // cold, busy 100..300
+    t.addRequest(fn, msec(150), msec(50)); // queues behind it (L=1)
+    t.addRequest(fn, msec(160), msec(50)); // queue full → cold start
+    t.seal();
+
+    Engine engine(
+        t, smallConfig(),
+        bundleOf(std::make_unique<policies::FixedQueueScaling>(1),
+                 std::make_unique<policies::LruKeepAlive>()));
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::Cold), 2u);
+    EXPECT_EQ(m.count(StartType::DelayedWarm), 1u);
+    EXPECT_EQ(m.containers_created, 2u);
+    // The queued request waited from t=150 until the first finishes at
+    // t=300.
+    EXPECT_EQ(m.outcomes[1].wait_us, msec(150));
+}
+
+TEST(Engine, EvictionUnderMemoryPressure)
+{
+    // Memory fits exactly one 600 MB container; two functions alternate,
+    // forcing an eviction on every switch.
+    trace::Trace t;
+    const auto f0 = addFunction(t, 600, msec(10));
+    const auto f1 = addFunction(t, 600, msec(10));
+    t.addRequest(f0, 0, msec(5));
+    t.addRequest(f1, msec(100), msec(5));
+    t.addRequest(f0, msec(200), msec(5));
+    t.seal();
+
+    Engine engine(t, smallConfig(1000), simpleBundle());
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::Cold), 3u);
+    EXPECT_EQ(m.evictions, 2u);
+    EXPECT_EQ(m.containers_created, 3u);
+}
+
+TEST(Engine, DeferredProvisionWaitsForMemory)
+{
+    // One 800 MB slot; the second function's request arrives while the
+    // first is still executing (its container is busy → unevictable), so
+    // the provision must be deferred until the first idles.
+    trace::Trace t;
+    const auto f0 = addFunction(t, 800, msec(10));
+    const auto f1 = addFunction(t, 800, msec(10));
+    t.addRequest(f0, 0, msec(300));
+    t.addRequest(f1, msec(50), msec(10));
+    t.seal();
+
+    Engine engine(t, smallConfig(1000), simpleBundle());
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.deferred_provisions, 1u);
+    EXPECT_EQ(m.count(StartType::Cold), 2u);
+    // f1's request: arrived at 50, f0 finishes at 310, then the cold
+    // start runs 310..320 → wait = 270 ms.
+    EXPECT_EQ(m.outcomes[1].wait_us, msec(270));
+}
+
+TEST(Engine, IntraContainerThreadsShareAContainer)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    t.addRequest(fn, 0, msec(500));        // cold, occupies slot 1
+    t.addRequest(fn, msec(200), msec(500)); // warm into slot 2
+    t.addRequest(fn, msec(210), msec(50));  // all slots busy → cold
+    t.seal();
+
+    core::EngineConfig config = smallConfig();
+    config.container_threads = 2;
+    Engine engine(t, std::move(config), simpleBundle());
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::Warm), 1u);
+    EXPECT_EQ(m.count(StartType::Cold), 2u);
+    EXPECT_EQ(m.containers_created, 2u);
+    EXPECT_EQ(m.outcomes[1].wait_us, 0);
+}
+
+TEST(Engine, TtlExpiryReapsIdleContainers)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(10));
+    t.addRequest(fn, 0, msec(5));
+    t.addRequest(fn, sec(30), msec(5)); // keeps the engine ticking
+    t.seal();
+
+    Engine engine(
+        t, smallConfig(),
+        bundleOf(std::make_unique<policies::VanillaScaling>(),
+                 std::make_unique<policies::TtlKeepAlive>(sec(5))));
+    const RunMetrics m = engine.run();
+    // The first container idles at ~t=15ms and must be reaped at ~t=5s,
+    // long before the second request, which therefore cold starts too.
+    EXPECT_EQ(m.expirations, 1u);
+    EXPECT_EQ(m.count(StartType::Cold), 2u);
+}
+
+TEST(Engine, CssStopsProvisioningWhenWasteful)
+{
+    // r0 cold starts via speculation (container A, busy 100..150).
+    // r1 (t=110) speculates: A frees first → delayed warm (wait 40);
+    // the speculative container B completes at 210 and idles.
+    // r2 (t=5s) reuses B → T_i ≈ 4.79 s ≫ T_e (50 ms).
+    // r3 warms into A.  r4 misses → CSS disables the cold path and
+    // waits: a delayed warm start with *no* third container.
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100), msec(50));
+    t.addRequest(fn, 0, msec(50));
+    t.addRequest(fn, msec(110), msec(50));
+    t.addRequest(fn, sec(5), msec(50));
+    t.addRequest(fn, sec(5) + msec(1), msec(50));
+    t.addRequest(fn, sec(5) + msec(2), msec(50));
+    t.seal();
+
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::make_unique<policies::CssScaling>(),
+                           std::make_unique<policies::GdsfKeepAlive>()));
+    const RunMetrics m = engine.run();
+
+    EXPECT_EQ(m.containers_created, 2u);
+    EXPECT_EQ(m.count(StartType::Cold), 1u);
+    EXPECT_EQ(m.count(StartType::Warm), 2u);
+    EXPECT_EQ(m.count(StartType::DelayedWarm), 2u);
+}
+
+TEST(Engine, StarvationGuardUpgradesWait)
+{
+    // Prime CSS into the BSS-disabled state (same prefix as above), then
+    // send a request long after TTL reaped every container.  CSS says
+    // Wait, but nothing could ever serve the channel: the engine must
+    // upgrade the decision to Speculative or the request starves.
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100), msec(50));
+    t.addRequest(fn, 0, msec(50));
+    t.addRequest(fn, msec(110), msec(50));
+    t.addRequest(fn, sec(5), msec(50));
+    t.addRequest(fn, sec(5) + msec(1), msec(50));
+    t.addRequest(fn, sec(5) + msec(2), msec(50));
+    t.addRequest(fn, sec(800), msec(50)); // everything reaped by now
+    t.seal();
+
+    Engine engine(
+        t, smallConfig(),
+        bundleOf(std::make_unique<policies::CssScaling>(),
+                 std::make_unique<policies::TtlKeepAlive>(sec(60))));
+    const RunMetrics m = engine.run(); // must not deadlock
+    EXPECT_EQ(m.total(), 6u);
+    EXPECT_EQ(m.expirations, 2u);
+}
+
+TEST(Engine, MemoryMetricsTracked)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 1024, msec(10));
+    t.addRequest(fn, 0, sec(1));
+    t.seal();
+
+    Engine engine(t, smallConfig(), simpleBundle());
+    const RunMetrics m = engine.run();
+    EXPECT_NEAR(m.peakMemoryGb(), 1.0, 1e-9);
+    EXPECT_GT(m.avgMemoryGb(), 0.5); // occupied for nearly the whole run
+    EXPECT_GE(m.makespan(), sec(1));
+}
+
+TEST(Engine, OverheadRatioDefinition)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    t.addRequest(fn, 0, msec(100)); // wait 100, exec 100 → ratio 0.5
+    t.seal();
+
+    Engine engine(t, smallConfig(), simpleBundle());
+    const RunMetrics m = engine.run();
+    EXPECT_NEAR(m.avgOverheadRatioPct(), 50.0, 1e-6);
+    EXPECT_NEAR(m.avgOverheadMs(), 100.0, 1e-6);
+}
+
+TEST(Engine, ValidationErrors)
+{
+    trace::Trace unsealed;
+    addFunction(unsealed, 256, msec(10));
+    EXPECT_THROW(Engine(unsealed, smallConfig(), simpleBundle()),
+                 std::invalid_argument);
+
+    trace::Trace t;
+    addFunction(t, 20 * 1024, msec(10)); // bigger than any worker
+    t.seal();
+    EXPECT_THROW(Engine(t, smallConfig(10 * 1024, 2), simpleBundle()),
+                 std::invalid_argument);
+
+    trace::Trace ok;
+    addFunction(ok, 256, msec(10));
+    ok.seal();
+    core::OrchestrationPolicy broken;
+    broken.scaling = std::make_unique<policies::VanillaScaling>();
+    EXPECT_THROW(Engine(ok, smallConfig(), std::move(broken)),
+                 std::invalid_argument);
+}
+
+TEST(Engine, SingleShot)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(10));
+    t.addRequest(fn, 0, msec(5));
+    t.seal();
+    Engine engine(t, smallConfig(), simpleBundle());
+    engine.run();
+    EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(Engine, EmptyTraceRuns)
+{
+    trace::Trace t;
+    addFunction(t, 256, msec(10));
+    t.seal();
+    Engine engine(t, smallConfig(), simpleBundle());
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(Engine, E2EServiceTimeIsWaitPlusExec)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    t.addRequest(fn, 0, msec(50));
+    t.seal();
+    Engine engine(t, smallConfig(), simpleBundle());
+    const RunMetrics m = engine.run();
+    EXPECT_NEAR(m.e2eHistogram().mean(), 150e3, 150e3 * 0.02);
+    EXPECT_NEAR(m.overheadHistogram().mean(), 100e3, 100e3 * 0.02);
+}
+
+} // namespace
+} // namespace cidre::core

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for RunMetrics accounting and the metrics serialization /
+ * per-function breakdown helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/metrics.h"
+#include "core/metrics_io.h"
+#include "tests/core/test_helpers.h"
+
+namespace cidre::core {
+namespace {
+
+using cidre::test::addFunction;
+using sim::msec;
+using sim::sec;
+
+TEST(RunMetrics, CountsAndRatios)
+{
+    RunMetrics m;
+    m.recordStart(StartType::Warm, 0, msec(100));
+    m.recordStart(StartType::Cold, msec(300), msec(100));
+    m.recordStart(StartType::DelayedWarm, msec(50), msec(100));
+    m.recordStart(StartType::Restored, msec(30), msec(100));
+
+    EXPECT_EQ(m.total(), 4u);
+    EXPECT_DOUBLE_EQ(m.coldRatio(), 0.25);
+    EXPECT_DOUBLE_EQ(m.delayedRatio(), 0.25);
+    EXPECT_DOUBLE_EQ(m.warmRatio(), 0.5); // warm + restored
+    // Ratios: 0, 0.75, 1/3, ~0.2308 → mean ≈ 32.82%.
+    EXPECT_NEAR(m.avgOverheadRatioPct(),
+                (0.0 + 0.75 + 50.0 / 150.0 + 30.0 / 130.0) / 4.0 * 100.0,
+                1e-9);
+    EXPECT_NEAR(m.avgOverheadMs(), (0 + 300 + 50 + 30) / 4.0, 1e-9);
+    EXPECT_NEAR(m.avgWaitMs(StartType::Cold), 300.0, 1e-9);
+}
+
+TEST(RunMetrics, ZeroDurationRequestCountsAsZeroOverhead)
+{
+    RunMetrics m;
+    m.recordStart(StartType::Warm, 0, 0);
+    EXPECT_DOUBLE_EQ(m.avgOverheadRatioPct(), 0.0);
+}
+
+TEST(RunMetrics, MemoryIntegral)
+{
+    RunMetrics m;
+    m.noteMemoryUsage(0, 1024);        // 1 GB from t=0
+    m.noteMemoryUsage(sec(10), 3072);  // 3 GB from t=10
+    m.finalize(sec(20));
+    // 1 GB × 10 s + 3 GB × 10 s over 20 s = 2 GB average.
+    EXPECT_NEAR(m.avgMemoryGb(), 2.0, 1e-9);
+    EXPECT_NEAR(m.peakMemoryGb(), 3.0, 1e-9);
+    EXPECT_EQ(m.makespan(), sec(20));
+}
+
+TEST(RunMetrics, TimeGoingBackwardsThrows)
+{
+    RunMetrics m;
+    m.noteMemoryUsage(sec(5), 100);
+    EXPECT_THROW(m.noteMemoryUsage(sec(4), 100), std::logic_error);
+}
+
+TEST(MetricsIo, JsonContainsKeyFields)
+{
+    RunMetrics m;
+    m.recordStart(StartType::Cold, msec(200), msec(100));
+    m.recordStart(StartType::Warm, 0, msec(50));
+    m.containers_created = 3;
+    m.finalize(sec(1));
+
+    std::ostringstream out;
+    writeMetricsJson(m, out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"requests\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"cold\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"cold_ratio\": 0.5"), std::string::npos);
+    EXPECT_NE(json.find("\"containers_created\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"p99_ms\""), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    // Balanced braces (flat object plus two nested percentile blocks).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MetricsIo, EmptyHistogramSerializesNull)
+{
+    RunMetrics m;
+    std::ostringstream out;
+    writeMetricsJson(m, out);
+    EXPECT_NE(out.str().find("\"overhead\": null"), std::string::npos);
+}
+
+TEST(MetricsIo, PerFunctionBreakdownOrdersByTotalWait)
+{
+    trace::Trace t;
+    const auto quiet = addFunction(t, 128, msec(10));
+    const auto noisy = addFunction(t, 128, msec(500));
+    t.addRequest(quiet, 0, msec(5));
+    t.addRequest(noisy, msec(100), msec(5));
+    t.addRequest(noisy, sec(10), msec(5)); // warm by then
+    t.seal();
+
+    Engine engine(t, cidre::test::smallConfig(),
+                  cidre::test::simpleBundle());
+    const RunMetrics m = engine.run();
+
+    const auto breakdown = perFunctionBreakdown(t, m, 10);
+    ASSERT_EQ(breakdown.size(), 2u);
+    EXPECT_EQ(breakdown[0].function, noisy); // 500 ms wait > 10 ms
+    EXPECT_EQ(breakdown[0].requests, 2u);
+    EXPECT_EQ(breakdown[0].cold, 1u);
+    EXPECT_NEAR(breakdown[0].total_wait_ms, 500.0, 1e-6);
+    EXPECT_NEAR(breakdown[0].avg_wait_ms, 250.0, 1e-6);
+    EXPECT_EQ(breakdown[1].function, quiet);
+}
+
+TEST(MetricsIo, BreakdownRequiresOutcomeLog)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 128, msec(10));
+    t.addRequest(fn, 0, msec(5));
+    t.seal();
+
+    core::EngineConfig config = cidre::test::smallConfig();
+    config.record_per_request = false;
+    Engine engine(t, config, cidre::test::simpleBundle());
+    const RunMetrics m = engine.run();
+    EXPECT_THROW(perFunctionBreakdown(t, m), std::invalid_argument);
+}
+
+TEST(MetricsIo, BreakdownHonorsTopLimit)
+{
+    trace::Trace t;
+    for (int i = 0; i < 5; ++i) {
+        const auto fn = addFunction(t, 128, msec(100 + i));
+        t.addRequest(fn, msec(i), msec(5));
+    }
+    t.seal();
+
+    Engine engine(t, cidre::test::smallConfig(),
+                  cidre::test::simpleBundle());
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(perFunctionBreakdown(t, m, 3).size(), 3u);
+}
+
+TEST(StartTypeNames, AllDistinct)
+{
+    EXPECT_STREQ(startTypeName(StartType::Warm), "warm");
+    EXPECT_STREQ(startTypeName(StartType::DelayedWarm), "delayed-warm");
+    EXPECT_STREQ(startTypeName(StartType::Cold), "cold");
+    EXPECT_STREQ(startTypeName(StartType::Restored), "restored");
+}
+
+} // namespace
+} // namespace cidre::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared builders for core/policy tests: tiny hand-written traces and
+ * policy bundles with known timing.
+ */
+
+#ifndef CIDRE_TESTS_CORE_TEST_HELPERS_H
+#define CIDRE_TESTS_CORE_TEST_HELPERS_H
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/policy.h"
+#include "policies/keepalive/lru.h"
+#include "policies/scaling/vanilla.h"
+#include "trace/trace.h"
+
+namespace cidre::test {
+
+/** A function profile with the given memory and cold-start latency. */
+inline trace::FunctionId
+addFunction(trace::Trace &t, std::int64_t memory_mb, sim::SimTime cold_us,
+            sim::SimTime median_exec_us = sim::msec(50))
+{
+    trace::FunctionProfile fn;
+    fn.memory_mb = memory_mb;
+    fn.cold_start_us = cold_us;
+    fn.median_exec_us = median_exec_us;
+    return t.addFunction(std::move(fn));
+}
+
+/** Single-worker config with the given memory, 1s ticks. */
+inline core::EngineConfig
+smallConfig(std::int64_t memory_mb = 10 * 1024, std::uint32_t workers = 1)
+{
+    core::EngineConfig config;
+    config.cluster.workers = workers;
+    config.cluster.total_memory_mb = memory_mb;
+    config.record_per_request = true;
+    return config;
+}
+
+/** Bundle from explicit parts (agent optional). */
+inline core::OrchestrationPolicy
+bundleOf(std::unique_ptr<core::ScalingPolicy> scaling,
+         std::unique_ptr<core::KeepAlivePolicy> keep_alive,
+         std::unique_ptr<core::ClusterAgent> agent = nullptr)
+{
+    core::OrchestrationPolicy policy;
+    policy.name = "test";
+    policy.scaling = std::move(scaling);
+    policy.keep_alive = std::move(keep_alive);
+    policy.agent = std::move(agent);
+    return policy;
+}
+
+/** Vanilla scaling + LRU eviction: the simplest valid bundle. */
+inline core::OrchestrationPolicy
+simpleBundle()
+{
+    return bundleOf(std::make_unique<policies::VanillaScaling>(),
+                    std::make_unique<policies::LruKeepAlive>());
+}
+
+} // namespace cidre::test
+
+#endif // CIDRE_TESTS_CORE_TEST_HELPERS_H

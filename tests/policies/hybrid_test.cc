@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the hybrid-histogram keep-alive baseline (Shahrad'20).
+ */
+
+#include <gtest/gtest.h>
+
+#include "policies/baselines/hybrid.h"
+#include "tests/core/test_helpers.h"
+
+namespace cidre::policies {
+namespace {
+
+using cidre::test::addFunction;
+using cidre::test::smallConfig;
+using core::Engine;
+using core::RunMetrics;
+using core::StartType;
+using sim::msec;
+using sim::sec;
+
+TEST(IatHistory, PercentilesOfRecordedGaps)
+{
+    IatHistory history;
+    for (int i = 0; i <= 20; ++i)
+        history.observe(3, sec(10 * i)); // constant 10 s gaps
+    EXPECT_EQ(history.count(3), 20u);
+    EXPECT_EQ(history.percentile(3, 0.5, 8), sec(10));
+    EXPECT_EQ(history.percentile(3, 0.99, 8), sec(10));
+    EXPECT_EQ(history.lastArrival(3), sec(200));
+    // Unknown function: no history.
+    EXPECT_EQ(history.percentile(7, 0.5, 8), -1);
+    EXPECT_EQ(history.lastArrival(7), -1);
+}
+
+TEST(IatHistory, MinHistoryGate)
+{
+    IatHistory history;
+    history.observe(0, 0);
+    history.observe(0, sec(5));
+    EXPECT_EQ(history.percentile(0, 0.5, 8), -1);
+    EXPECT_EQ(history.percentile(0, 0.5, 1), sec(5));
+}
+
+TEST(HybridHistogram, KeepsWithinWindowReapsBeyond)
+{
+    // 20 s period: the keep window (p99 IAT = 20 s) retains the
+    // container between invocations, so periodic traffic stays warm —
+    // while a one-off straggler arriving far outside the window colds.
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(800));
+    for (int i = 0; i < 15; ++i)
+        t.addRequest(fn, sec(20 * i), msec(50));
+    t.addRequest(fn, sec(1000), msec(50)); // far beyond the window
+    t.seal();
+
+    Engine engine(t, smallConfig(), makeHybridHistogram(HybridConfig{}));
+    const RunMetrics m = engine.run();
+    // First request cold; the periodic body warm; the straggler is
+    // reaped-and-prewarmed or cold depending on the prewarm path — but
+    // at minimum the periodic body must be warm.
+    EXPECT_GE(m.count(StartType::Warm), 13u);
+    EXPECT_GE(m.expirations, 1u); // the idle container is reaped
+}
+
+TEST(HybridHistogram, PrewarmsPredictablePeriodics)
+{
+    // Gaps alternate 50/70 s (p5 ≈ 50 s, p99 ≈ 70 s).  A 20 s keep cap
+    // reaps idle containers long before the next invocation, so the
+    // pre-warm window [50 s, 70 s] after each arrival must re-provision
+    // — turning the steady state into warm starts.
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(2000));
+    sim::SimTime at = 0;
+    for (int i = 0; i < 14; ++i) {
+        t.addRequest(fn, at, msec(50));
+        at += i % 2 == 0 ? sec(50) : sec(70);
+    }
+    t.seal();
+
+    HybridConfig config;
+    config.max_keep = sec(20); // reap long before the next hit
+    config.min_history = 4;
+    Engine engine(t, smallConfig(), makeHybridHistogram(config));
+    const RunMetrics m = engine.run();
+    EXPECT_GT(m.prewarms, 0u);
+    // The early (histogram-less) invocations cold; once the histogram is
+    // trusted the pre-warmer converts a good share into warm starts
+    // (gaps at the window's lower edge can race the tick and stay cold).
+    EXPECT_GE(m.count(StartType::Warm), 4u);
+    EXPECT_GT(m.expirations, 3u);
+}
+
+TEST(HybridHistogram, FallbackTtlForHistoryless)
+{
+    // A function invoked twice has no trusted histogram: the fallback
+    // TTL (10 min) governs, so a 5-minute gap stays warm.
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(500));
+    t.addRequest(fn, 0, msec(50));
+    t.addRequest(fn, sec(300), msec(50));
+    t.seal();
+
+    Engine engine(t, smallConfig(), makeHybridHistogram(HybridConfig{}));
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::Cold), 1u);
+    EXPECT_EQ(m.count(StartType::Warm), 1u);
+}
+
+TEST(HybridHistogram, RegisteredInRegistry)
+{
+    const auto config = smallConfig();
+    // Built via the registry and completes a workload end to end.
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    for (int i = 0; i < 50; ++i)
+        t.addRequest(fn, msec(200 * i), msec(50));
+    t.seal();
+    Engine engine(t, config,
+                  cidre::policies::makeHybridHistogram(HybridConfig{}));
+    EXPECT_EQ(engine.run().total(), 50u);
+}
+
+} // namespace
+} // namespace cidre::policies

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Registry tests: every published name builds a complete bundle that
+ * can run a workload end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policies/registry.h"
+#include "tests/core/test_helpers.h"
+#include "trace/generators.h"
+
+namespace cidre::policies {
+namespace {
+
+using cidre::test::smallConfig;
+
+TEST(Registry, AllNamesBuildCompleteBundles)
+{
+    const core::EngineConfig config = smallConfig();
+    for (const std::string &name : allPolicyNames()) {
+        const core::OrchestrationPolicy policy = makePolicy(name, config);
+        EXPECT_EQ(policy.name, name);
+        EXPECT_NE(policy.scaling, nullptr) << name;
+        EXPECT_NE(policy.keep_alive, nullptr) << name;
+    }
+}
+
+TEST(Registry, UnknownNameThrows)
+{
+    EXPECT_THROW(makePolicy("no-such-policy", smallConfig()),
+                 std::invalid_argument);
+    EXPECT_THROW(makePolicy("fixed-queue-", smallConfig()),
+                 std::invalid_argument);
+    EXPECT_THROW(makePolicy("fixed-queue-x", smallConfig()),
+                 std::invalid_argument);
+}
+
+TEST(Registry, FixedQueueParsesDepth)
+{
+    const auto policy = makePolicy("fixed-queue-2", smallConfig());
+    EXPECT_EQ(policy.name, "fixed-queue-2");
+    EXPECT_NE(policy.scaling, nullptr);
+}
+
+TEST(Registry, Figure12NamesAreRegistered)
+{
+    const core::EngineConfig config = smallConfig();
+    EXPECT_EQ(figure12PolicyNames().size(), 11u);
+    for (const std::string &name : figure12PolicyNames())
+        EXPECT_NO_THROW(makePolicy(name, config)) << name;
+}
+
+/** Every registered policy must complete a bursty workload. */
+class RegistryRunTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RegistryRunTest, CompletesWorkload)
+{
+    trace::SyntheticSpec spec = trace::azureLikeSpec();
+    spec.functions = 20;
+    spec.duration = sim::minutes(2);
+    spec.total_rps = 40.0;
+    const trace::Trace workload = trace::generate(spec, 99);
+
+    core::EngineConfig config;
+    config.cluster.workers = 2;
+    config.cluster.total_memory_mb = 4 * 1024; // tight: forces eviction
+    core::Engine engine(workload, config,
+                        makePolicy(GetParam(), config));
+    const core::RunMetrics m = engine.run();
+    EXPECT_EQ(m.total(), workload.requestCount());
+    EXPECT_GT(m.warmRatio() + m.delayedRatio() + m.coldRatio(), 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, RegistryRunTest,
+    ::testing::ValuesIn(allPolicyNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    FixedQueues, RegistryRunTest,
+    ::testing::Values("fixed-queue-0", "fixed-queue-1", "fixed-queue-2"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace cidre::policies

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the scaling policies: decisions, the CSS state machine, and
+ * the oracle's choices.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "policies/keepalive/belady.h"
+#include "policies/keepalive/gdsf.h"
+#include "policies/keepalive/lru.h"
+#include "policies/scaling/bss.h"
+#include "policies/scaling/css.h"
+#include "policies/scaling/fixed_queue.h"
+#include "policies/scaling/oracle.h"
+#include "policies/scaling/vanilla.h"
+#include "tests/core/test_helpers.h"
+
+namespace cidre::policies {
+namespace {
+
+using cidre::test::addFunction;
+using cidre::test::bundleOf;
+using cidre::test::smallConfig;
+using core::Engine;
+using core::RunMetrics;
+using core::StartType;
+using sim::msec;
+using sim::sec;
+
+TEST(VanillaScaling, NeverDelays)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    for (int i = 0; i < 5; ++i)
+        t.addRequest(fn, msec(i), msec(300));
+    t.seal();
+
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::make_unique<VanillaScaling>(),
+                           std::make_unique<LruKeepAlive>()));
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::DelayedWarm), 0u);
+    EXPECT_EQ(m.count(StartType::Cold), 5u);
+}
+
+TEST(BssScaling, GuaranteesAtMostColdStartWait)
+{
+    // Whatever the busy containers do, no request may wait longer than
+    // one cold start under BSS (§3.2's worst-case guarantee).
+    trace::Trace t;
+    const auto fn = addFunction(t, 64, msec(80));
+    for (int i = 0; i < 40; ++i)
+        t.addRequest(fn, msec(i * 3), msec(200 + i));
+    t.seal();
+
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::make_unique<BssScaling>(),
+                           std::make_unique<LruKeepAlive>()));
+    const RunMetrics m = engine.run();
+    for (const auto &outcome : m.outcomes)
+        EXPECT_LE(outcome.wait_us, msec(80));
+}
+
+TEST(BssScaling, ConvertsColdToDelayedWarm)
+{
+    // Warm up a pool of 5 containers, then hit it with a 20-wide burst
+    // of short executions: the busy containers free every 10 ms, far
+    // before the speculative 500 ms provisions complete, so the queued
+    // requests all become delayed warm starts.
+    trace::Trace t;
+    const auto fn = addFunction(t, 64, msec(500));
+    for (int i = 0; i < 5; ++i)
+        t.addRequest(fn, msec(i), msec(10)); // 5 cold starts
+    for (int i = 0; i < 20; ++i)
+        t.addRequest(fn, sec(2) + msec(i / 10), msec(10));
+    t.seal();
+
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::make_unique<BssScaling>(),
+                           std::make_unique<LruKeepAlive>()));
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::Cold), 5u);
+    EXPECT_EQ(m.count(StartType::Warm), 5u);
+    EXPECT_EQ(m.count(StartType::DelayedWarm), 15u);
+}
+
+TEST(CssScaling, TogglesBssOffAfterWaste)
+{
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100), msec(50));
+    t.addRequest(fn, 0, msec(50));
+    t.addRequest(fn, msec(110), msec(50)); // delayed warm; spec idles
+    t.addRequest(fn, sec(5), msec(50));    // reuse → T_i huge
+    t.seal();
+
+    auto scaling = std::make_unique<CssScaling>();
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::move(scaling),
+                           std::make_unique<GdsfKeepAlive>()));
+    engine.run();
+    const auto &fs = engine.functionState(fn);
+    EXPECT_GT(fs.t_i_us, 50e3); // idle gap far exceeds T_e
+    // The toggle flips on the *next* miss; state still enabled here.
+    EXPECT_TRUE(fs.bss_enabled);
+}
+
+TEST(CssScaling, ReenablesWhenQueuingExceedsColdStart)
+{
+    // Phase 1 disables BSS (wasteful speculative container).  Phase 2:
+    // a long-execution request occupies the only container and a second
+    // request queues behind it for far longer than a cold start — T_d >
+    // T_p re-enables BSS for the *next* decision.
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100), msec(50));
+    t.addRequest(fn, 0, msec(50));
+    t.addRequest(fn, msec(110), msec(50));
+    t.addRequest(fn, sec(5), msec(50));          // T_i huge
+    t.addRequest(fn, sec(5) + msec(1), msec(50)); // warm (2nd container)
+    // Both containers busy with long executions:
+    t.addRequest(fn, sec(10), sec(2));
+    t.addRequest(fn, sec(10) + msec(1), sec(2));
+    // Miss: CSS (now disabled) waits; its queuing delay becomes ~2 s.
+    t.addRequest(fn, sec(10) + msec(2), msec(50));
+    // Next miss (t=12 s: one container just took the queued request,
+    // the other is still busy) sees T_d ≈ 2 s > T_p ≈ 100 ms and must
+    // re-enable BSS, provisioning a third container speculatively.
+    t.addRequest(fn, sec(12), msec(50));
+    t.seal();
+
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::make_unique<CssScaling>(),
+                           std::make_unique<GdsfKeepAlive>()));
+    const RunMetrics m = engine.run();
+    const auto &fs = engine.functionState(fn);
+    EXPECT_TRUE(fs.bss_enabled);
+    EXPECT_EQ(m.containers_created, 3u);
+    EXPECT_EQ(m.total(), 8u);
+}
+
+TEST(FixedQueueScaling, ZeroDepthIsVanilla)
+{
+    FixedQueueScaling scaling(0);
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    t.addRequest(fn, 0, msec(300));
+    t.addRequest(fn, msec(50), msec(50));
+    t.seal();
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::make_unique<FixedQueueScaling>(0),
+                           std::make_unique<LruKeepAlive>()));
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::Cold), 2u);
+    EXPECT_EQ(scaling.maxQueueLength(), 0u);
+}
+
+TEST(FixedQueueScaling, PicksShortestQueue)
+{
+    // Two busy containers; three queued requests must spread 2-over-1 /
+    // 1-over-other rather than pile onto one queue.
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    t.addRequest(fn, 0, msec(500));
+    t.addRequest(fn, msec(1), msec(500));
+    t.addRequest(fn, msec(200), msec(10));
+    t.addRequest(fn, msec(201), msec(10));
+    t.addRequest(fn, msec(202), msec(10));
+    t.seal();
+
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::make_unique<FixedQueueScaling>(2),
+                           std::make_unique<LruKeepAlive>()));
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::Cold), 2u);
+    EXPECT_EQ(m.count(StartType::DelayedWarm), 3u);
+    // First two queued requests start when the two containers free at
+    // ~t=600/601; the third goes behind one of them.
+    EXPECT_EQ(m.containers_created, 2u);
+}
+
+TEST(OracleScaling, PrefersShorterOption)
+{
+    // The first request cold starts (100 ms) and executes 600 ms, so its
+    // container is busy until t=700.  A miss at t=200 should cold start
+    // (100 ms < 500 ms remaining)...
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    t.addRequest(fn, 0, msec(600));
+    t.addRequest(fn, msec(200), msec(10));
+    t.seal();
+
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::make_unique<OracleScaling>(),
+                           std::make_unique<BeladyKeepAlive>()));
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::Cold), 2u);
+    EXPECT_EQ(m.outcomes[1].wait_us, msec(100));
+}
+
+TEST(OracleScaling, WaitsWhenBusyFreesSooner)
+{
+    // ...but a miss at t=650 should wait (50 ms remaining < 100 cold).
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    t.addRequest(fn, 0, msec(600));
+    t.addRequest(fn, msec(650), msec(10));
+    t.seal();
+
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::make_unique<OracleScaling>(),
+                           std::make_unique<BeladyKeepAlive>()));
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::Cold), 1u);
+    EXPECT_EQ(m.count(StartType::DelayedWarm), 1u);
+    EXPECT_EQ(m.outcomes[1].wait_us, msec(50));
+    EXPECT_EQ(m.containers_created, 1u);
+}
+
+TEST(OracleScaling, AccountsForChannelBacklog)
+{
+    // One busy container until t=700 with one request already waiting in
+    // the channel: a second miss sees position 1 → no completion covers
+    // it → must cold start.
+    trace::Trace t;
+    const auto fn = addFunction(t, 256, msec(100));
+    t.addRequest(fn, 0, msec(600));
+    t.addRequest(fn, msec(630), msec(400));
+    t.addRequest(fn, msec(640), msec(10));
+    t.seal();
+
+    Engine engine(t, smallConfig(),
+                  bundleOf(std::make_unique<OracleScaling>(),
+                           std::make_unique<BeladyKeepAlive>()));
+    const RunMetrics m = engine.run();
+    EXPECT_EQ(m.count(StartType::DelayedWarm), 1u);
+    EXPECT_EQ(m.count(StartType::Cold), 2u);
+}
+
+} // namespace
+} // namespace cidre::policies

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Property-based tests of the orchestration engine: invariants that must
+ * hold for every policy under randomized workloads.
+ *
+ * Parameterized over (policy × workload seed); each instantiation checks
+ * the full invariant set, so one suite covers hundreds of combinations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/engine.h"
+#include "policies/registry.h"
+#include "trace/generators.h"
+
+namespace cidre::core {
+namespace {
+
+trace::Trace
+randomWorkload(std::uint64_t seed)
+{
+    trace::SyntheticSpec spec = trace::azureLikeSpec();
+    spec.functions = 25;
+    spec.duration = sim::minutes(2);
+    spec.total_rps = 50.0;
+    spec.burst_max = 80.0;
+    return trace::generate(spec, seed);
+}
+
+class EnginePropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+  protected:
+    const std::string &policyName() const
+    {
+        return std::get<0>(GetParam());
+    }
+    std::uint64_t seed() const
+    {
+        return static_cast<std::uint64_t>(std::get<1>(GetParam()));
+    }
+};
+
+TEST_P(EnginePropertyTest, InvariantsHold)
+{
+    const trace::Trace workload = randomWorkload(seed());
+    EngineConfig config;
+    config.cluster.workers = 2;
+    config.cluster.total_memory_mb = 3 * 1024; // tight: exercises eviction
+    config.record_per_request = true;
+
+    Engine engine(workload, config,
+                  policies::makePolicy(policyName(), config));
+    const RunMetrics m = engine.run();
+
+    // 1. Conservation: every request started exactly once.
+    EXPECT_EQ(m.total(), workload.requestCount());
+    EXPECT_EQ(m.count(StartType::Warm) + m.count(StartType::DelayedWarm) +
+                  m.count(StartType::Cold) + m.count(StartType::Restored),
+              workload.requestCount());
+
+    // 2. Memory never exceeded the configured budget.
+    EXPECT_LE(m.peakMemoryGb() * 1024.0,
+              static_cast<double>(config.cluster.total_memory_mb) + 0.5);
+
+    // 3. Per-request sanity: non-negative waits; warm starts have zero
+    //    wait; cold starts always waited a positive amount.  (No upper
+    //    or tighter lower bound holds in general: layer caches cheapen
+    //    provisioning and channel-served requests can ride a provision
+    //    that started before they arrived.)
+    for (std::size_t i = 0; i < m.outcomes.size(); ++i) {
+        const RequestOutcome &outcome = m.outcomes[i];
+        EXPECT_GE(outcome.wait_us, 0) << "request " << i;
+        if (outcome.type == StartType::Warm) {
+            EXPECT_EQ(outcome.wait_us, 0) << "request " << i;
+        }
+        if (outcome.type == StartType::Cold) {
+            EXPECT_GT(outcome.wait_us, 0) << "request " << i;
+        }
+    }
+
+    // 4. Container accounting: created == evicted-or-still-cached.
+    const auto &cl = engine.clusterRef();
+    std::uint64_t evicted = 0;
+    std::uint64_t cached = 0;
+    for (const auto &c : cl.allContainers()) {
+        if (c.evicted())
+            ++evicted;
+        else
+            ++cached;
+    }
+    EXPECT_EQ(evicted + cached, m.containers_created);
+    EXPECT_EQ(evicted, m.evictions + m.expirations);
+    EXPECT_EQ(cached, cl.cachedContainerCount());
+
+    // 5. No container is left in a transient state.
+    for (const auto &c : cl.allContainers()) {
+        EXPECT_FALSE(c.provisioning()) << "container " << c.id;
+        EXPECT_EQ(c.active, 0u) << "container " << c.id;
+    }
+
+    // 6. Worker memory books balance against live containers.
+    std::vector<std::int64_t> used(cl.workerCount(), 0);
+    for (const auto &c : cl.allContainers()) {
+        if (!c.evicted())
+            used[c.worker] += c.memory_mb;
+    }
+    for (cluster::WorkerId w = 0; w < cl.workerCount(); ++w) {
+        // Layer caches (RainbowCake) may hold extra reservations, so the
+        // container total is a lower bound on the worker's books.
+        EXPECT_LE(used[w], cl.worker(w).usedMb()) << "worker " << w;
+    }
+}
+
+TEST_P(EnginePropertyTest, DeterministicReplay)
+{
+    const trace::Trace workload = randomWorkload(seed());
+    EngineConfig config;
+    config.cluster.workers = 2;
+    config.cluster.total_memory_mb = 3 * 1024;
+
+    auto run_once = [&]() {
+        Engine engine(workload, config,
+                      policies::makePolicy(policyName(), config));
+        return engine.run();
+    };
+    const RunMetrics a = run_once();
+    const RunMetrics b = run_once();
+    EXPECT_EQ(a.count(StartType::Cold), b.count(StartType::Cold));
+    EXPECT_EQ(a.count(StartType::DelayedWarm),
+              b.count(StartType::DelayedWarm));
+    EXPECT_EQ(a.containers_created, b.containers_created);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_DOUBLE_EQ(a.avgOverheadRatioPct(), b.avgOverheadRatioPct());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyBySeed, EnginePropertyTest,
+    ::testing::Combine(
+        ::testing::Values("ttl", "lru", "faascache", "faascache-c",
+                          "rainbowcake", "icebreaker", "codecrunch",
+                          "flame", "ensure", "offline", "cidre",
+                          "cidre-bss", "fixed-queue-1"),
+        ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>> &info) {
+        std::string name = std::get<0>(info.param) + "_seed" +
+            std::to_string(std::get<1>(info.param));
+        for (char &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+/** BSS's §3.2 guarantee: no request waits longer than one cold start
+ *  (plus memory-deferral time), under per-request speculation. */
+TEST(BssGuaranteeProperty, WaitBoundedByColdStart)
+{
+    for (const std::uint64_t seed : {11u, 22u, 33u}) {
+        const trace::Trace workload = randomWorkload(seed);
+        EngineConfig config;
+        config.cluster.workers = 2;
+        // Ample memory: no deferrals, so the pure guarantee applies.
+        config.cluster.total_memory_mb = 64 * 1024;
+        config.speculation_mode = SpeculationMode::PerRequest;
+        config.record_per_request = true;
+
+        Engine engine(workload, config,
+                      policies::makePolicy("bss-alone", config));
+        const RunMetrics m = engine.run();
+        for (std::size_t i = 0; i < m.outcomes.size(); ++i) {
+            const auto &fn = workload.functionOf(workload.requests()[i]);
+            EXPECT_LE(m.outcomes[i].wait_us, fn.cold_start_us)
+                << "seed " << seed << " request " << i;
+        }
+    }
+}
+
+/** The engine's counterfactual bookkeeping is consistent: it is set for
+ *  misses with busy containers and never for warm starts. */
+TEST(CounterfactualProperty, OnlyOnMisses)
+{
+    const trace::Trace workload = randomWorkload(5);
+    EngineConfig config;
+    config.cluster.workers = 2;
+    config.cluster.total_memory_mb = 8 * 1024;
+    config.record_per_request = true;
+
+    Engine engine(workload, config,
+                  policies::makePolicy("faascache", config));
+    const RunMetrics m = engine.run();
+    std::uint64_t with_counterfactual = 0;
+    for (const auto &outcome : m.outcomes) {
+        if (outcome.type == StartType::Warm) {
+            EXPECT_LT(outcome.counterfactual_queue_us, 0);
+        }
+        if (outcome.counterfactual_queue_us >= 0)
+            ++with_counterfactual;
+    }
+    EXPECT_GT(with_counterfactual, 0u);
+}
+
+} // namespace
+} // namespace cidre::core

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Property tests of the simulation substrate: the event queue against a
+ * reference scheduler, and statistical checks on the distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sim/distributions.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace cidre::sim {
+namespace {
+
+class SeededSimTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    Rng rng() const { return Rng(static_cast<std::uint64_t>(GetParam())); }
+};
+
+TEST_P(SeededSimTest, EventQueueMatchesReferenceScheduler)
+{
+    Rng gen = rng();
+    EventQueue queue;
+
+    // Reference model: (time, sequence) pairs minus the cancelled set.
+    struct Planned
+    {
+        SimTime when;
+        int label;
+        bool cancelled = false;
+        EventQueue::EventId id = 0;
+    };
+    std::vector<Planned> planned;
+    std::vector<int> executed;
+
+    for (int i = 0; i < 500; ++i) {
+        Planned p;
+        p.when = static_cast<SimTime>(gen.below(100000));
+        p.label = i;
+        p.id = queue.schedule(p.when, [&executed, i](SimTime) {
+            executed.push_back(i);
+        });
+        planned.push_back(p);
+        // Randomly cancel an earlier still-pending event.
+        if (i > 0 && gen.chance(0.2)) {
+            const auto victim = gen.below(planned.size());
+            if (!planned[victim].cancelled) {
+                queue.cancel(planned[victim].id);
+                planned[victim].cancelled = true;
+            }
+        }
+    }
+    queue.runAll();
+
+    std::vector<int> expected_order;
+    for (const auto &p : planned) {
+        if (!p.cancelled)
+            expected_order.push_back(p.label);
+    }
+    std::stable_sort(expected_order.begin(), expected_order.end(),
+                     [&](int a, int b) {
+                         return planned[static_cast<std::size_t>(a)].when <
+                             planned[static_cast<std::size_t>(b)].when;
+                     });
+    EXPECT_EQ(executed, expected_order);
+}
+
+TEST_P(SeededSimTest, ExponentialMemoryless)
+{
+    // P(X > a + b | X > a) == P(X > b): compare empirical tails.
+    Rng gen = rng();
+    const double rate = 2.0;
+    int beyond_a = 0;
+    int beyond_ab = 0;
+    int beyond_b = 0;
+    const int n = 200000;
+    const double a = 0.5;
+    const double b = 0.4;
+    for (int i = 0; i < n; ++i) {
+        const double x = sampleExponential(gen, rate);
+        beyond_a += x > a;
+        beyond_ab += x > a + b;
+        beyond_b += x > b;
+    }
+    const double conditional =
+        static_cast<double>(beyond_ab) / static_cast<double>(beyond_a);
+    const double unconditional =
+        static_cast<double>(beyond_b) / static_cast<double>(n);
+    EXPECT_NEAR(conditional, unconditional, 0.02);
+}
+
+TEST_P(SeededSimTest, BelowIsUniformChiSquare)
+{
+    Rng gen = rng();
+    const std::uint64_t buckets = 16;
+    const int n = 160000;
+    std::vector<int> counts(buckets, 0);
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.below(buckets)];
+    const double expected = static_cast<double>(n) / buckets;
+    double chi2 = 0.0;
+    for (const int c : counts) {
+        const double d = static_cast<double>(c) - expected;
+        chi2 += d * d / expected;
+    }
+    // 15 degrees of freedom: chi2 < 37.7 at p = 0.001.
+    EXPECT_LT(chi2, 37.7);
+}
+
+TEST_P(SeededSimTest, BoundedParetoMeanMatchesFormula)
+{
+    Rng gen = rng();
+    const double alpha = 1.3;
+    const double lo = 2.0;
+    const double hi = 500.0;
+    double sum = 0.0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i)
+        sum += sampleBoundedPareto(gen, alpha, lo, hi);
+    const double analytic = boundedParetoMean(alpha, lo, hi);
+    EXPECT_NEAR(sum / n, analytic, analytic * 0.03);
+}
+
+TEST_P(SeededSimTest, ZipfSampleMatchesMassEverywhere)
+{
+    Rng gen = rng();
+    ZipfSampler zipf(40, 1.1);
+    std::vector<int> counts(40, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(gen)];
+    for (std::size_t r = 0; r < 40; ++r) {
+        const double empirical =
+            static_cast<double>(counts[r]) / static_cast<double>(n);
+        EXPECT_NEAR(empirical, zipf.massOf(r),
+                    0.01 + zipf.massOf(r) * 0.15)
+            << "rank " << r;
+    }
+}
+
+TEST(BoundedParetoMean, AlphaOneLimit)
+{
+    // The alpha→1 special case must agree with nearby alphas.
+    const double near = boundedParetoMean(1.0 + 1e-7, 2.0, 600.0);
+    const double at = boundedParetoMean(1.0, 2.0, 600.0);
+    EXPECT_NEAR(at, near, near * 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededSimTest, ::testing::Range(1, 5));
+
+} // namespace
+} // namespace cidre::sim

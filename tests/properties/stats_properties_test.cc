@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Property tests of the statistics substrate against naive reference
+ * implementations, under randomized inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stats/cdf.h"
+#include "stats/histogram.h"
+#include "stats/sliding_window.h"
+#include "stats/summary.h"
+
+namespace cidre::stats {
+namespace {
+
+class SeededPropertyTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    sim::Rng rng() const
+    {
+        return sim::Rng(static_cast<std::uint64_t>(GetParam()));
+    }
+};
+
+TEST_P(SeededPropertyTest, HistogramTracksExactCdf)
+{
+    sim::Rng gen = rng();
+    Histogram histogram(0.01);
+    Cdf exact;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        // Mixture: heavy tail plus mass at zero, like latency data.
+        double v = 0.0;
+        if (!gen.chance(0.1))
+            v = std::exp(gen.uniform(0.0, 12.0));
+        histogram.add(v);
+        exact.add(v);
+    }
+    for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        const double approx = histogram.percentile(q);
+        const double truth = exact.percentile(q);
+        if (truth < 1.0)
+            continue; // sub-unit values fall below bucket resolution
+        EXPECT_NEAR(approx, truth, truth * 0.05 + 1.0)
+            << "quantile " << q;
+    }
+    EXPECT_NEAR(histogram.mean(), exact.mean(), std::abs(exact.mean()) * 1e-9);
+    EXPECT_EQ(histogram.count(), exact.count());
+}
+
+TEST_P(SeededPropertyTest, HistogramFractionBelowMatches)
+{
+    sim::Rng gen = rng();
+    Histogram histogram(0.01);
+    Cdf exact;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = gen.uniform(1.0, 10000.0);
+        histogram.add(v);
+        exact.add(v);
+    }
+    for (int i = 0; i < 50; ++i) {
+        const double x = gen.uniform(1.0, 10000.0);
+        EXPECT_NEAR(histogram.fractionBelow(x), exact.fractionBelow(x),
+                    0.03)
+            << "x=" << x;
+    }
+}
+
+TEST_P(SeededPropertyTest, SlidingWindowMatchesReference)
+{
+    sim::Rng gen = rng();
+    const sim::SimTime horizon = sim::sec(30);
+    const std::size_t cap = 64;
+    SlidingWindow window(horizon, cap);
+    std::deque<std::pair<sim::SimTime, double>> reference;
+
+    sim::SimTime now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        now += static_cast<sim::SimTime>(gen.below(sim::sec(2)));
+        const double value = gen.uniform(0.0, 1000.0);
+        window.add(now, value);
+        reference.emplace_back(now, value);
+        if (reference.size() > cap)
+            reference.pop_front();
+        while (!reference.empty() &&
+               reference.front().first < now - horizon) {
+            reference.pop_front();
+        }
+
+        ASSERT_EQ(window.count(), reference.size());
+        if (reference.empty())
+            continue;
+        if (i % 37 == 0) {
+            std::vector<double> values;
+            for (const auto &[when, v] : reference)
+                values.push_back(v);
+            const double q = gen.uniform();
+            const auto rank = static_cast<std::size_t>(
+                q * static_cast<double>(values.size() - 1) + 0.5);
+            std::nth_element(values.begin(),
+                             values.begin() +
+                                 static_cast<std::ptrdiff_t>(rank),
+                             values.end());
+            EXPECT_DOUBLE_EQ(window.percentile(q), values[rank]);
+        }
+    }
+}
+
+TEST_P(SeededPropertyTest, SummaryMatchesTwoPass)
+{
+    sim::Rng gen = rng();
+    OnlineSummary summary;
+    std::vector<double> values;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = gen.uniform(-50.0, 150.0);
+        summary.add(v);
+        values.push_back(v);
+    }
+    double mean = 0.0;
+    for (const double v : values)
+        mean += v;
+    mean /= static_cast<double>(values.size());
+    double var = 0.0;
+    for (const double v : values)
+        var += (v - mean) * (v - mean);
+    var /= static_cast<double>(values.size());
+
+    EXPECT_NEAR(summary.mean(), mean, 1e-9);
+    EXPECT_NEAR(summary.variance(), var, 1e-6);
+    EXPECT_DOUBLE_EQ(summary.min(),
+                     *std::min_element(values.begin(), values.end()));
+    EXPECT_DOUBLE_EQ(summary.max(),
+                     *std::max_element(values.begin(), values.end()));
+}
+
+TEST_P(SeededPropertyTest, SummaryMergeAssociative)
+{
+    sim::Rng gen = rng();
+    OnlineSummary whole;
+    OnlineSummary parts[3];
+    for (int i = 0; i < 3000; ++i) {
+        const double v = std::exp(gen.uniform(0.0, 10.0));
+        whole.add(v);
+        parts[gen.below(3)].add(v);
+    }
+    OnlineSummary merged;
+    for (auto &part : parts)
+        merged.merge(part);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(),
+                std::abs(whole.mean()) * 1e-9);
+    EXPECT_NEAR(merged.variance(), whole.variance(),
+                whole.variance() * 1e-6);
+}
+
+TEST_P(SeededPropertyTest, CdfPercentileFractionRoundTrip)
+{
+    sim::Rng gen = rng();
+    Cdf cdf;
+    for (int i = 0; i < 3000; ++i)
+        cdf.add(gen.uniform(0.0, 100.0));
+    for (const double q : {0.05, 0.3, 0.5, 0.7, 0.95}) {
+        const double value = cdf.percentile(q);
+        // fractionBelow(percentile(q)) ≈ q for continuous data.
+        EXPECT_NEAR(cdf.fractionBelow(value), q, 0.01) << "q=" << q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         ::testing::Range(1, 6));
+
+} // namespace
+} // namespace cidre::stats

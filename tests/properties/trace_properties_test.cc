@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Property tests of the trace substrate: transform algebra, I/O
+ * round-trips under randomized traces, and generator calibration
+ * stability across seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/rng.h"
+#include "trace/generators.h"
+#include "trace/trace_io.h"
+#include "trace/transforms.h"
+
+namespace cidre::trace {
+namespace {
+
+Trace
+randomTrace(std::uint64_t seed)
+{
+    SyntheticSpec spec = azureLikeSpec();
+    spec.functions = 15;
+    spec.duration = sim::minutes(1);
+    spec.total_rps = 30.0;
+    return generate(spec, seed);
+}
+
+class SeededTraceTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    Trace input() const
+    {
+        return randomTrace(static_cast<std::uint64_t>(GetParam()));
+    }
+};
+
+TEST_P(SeededTraceTest, IoRoundTripIsIdentity)
+{
+    const Trace original = input();
+    std::stringstream buffer;
+    writeTrace(original, buffer);
+    const Trace loaded = readTrace(buffer);
+
+    ASSERT_EQ(loaded.requestCount(), original.requestCount());
+    ASSERT_EQ(loaded.functionCount(), original.functionCount());
+    for (std::size_t i = 0; i < original.requestCount(); ++i) {
+        EXPECT_EQ(loaded.requests()[i].function,
+                  original.requests()[i].function);
+        EXPECT_EQ(loaded.requests()[i].arrival_us,
+                  original.requests()[i].arrival_us);
+        EXPECT_EQ(loaded.requests()[i].exec_us,
+                  original.requests()[i].exec_us);
+    }
+    for (std::size_t f = 0; f < original.functionCount(); ++f) {
+        EXPECT_EQ(loaded.functions()[f].memory_mb,
+                  original.functions()[f].memory_mb);
+        EXPECT_EQ(loaded.functions()[f].cold_start_us,
+                  original.functions()[f].cold_start_us);
+        EXPECT_EQ(loaded.functions()[f].runtime,
+                  original.functions()[f].runtime);
+    }
+}
+
+TEST_P(SeededTraceTest, IatScalingInvertsUpToRounding)
+{
+    const Trace original = input();
+    const Trace round_trip = scaleIat(scaleIat(original, 2.0), 0.5);
+    ASSERT_EQ(round_trip.requestCount(), original.requestCount());
+    for (std::size_t i = 0; i < original.requestCount(); ++i) {
+        EXPECT_NEAR(
+            static_cast<double>(round_trip.requests()[i].arrival_us),
+            static_cast<double>(original.requests()[i].arrival_us), 1.0);
+    }
+}
+
+TEST_P(SeededTraceTest, ScalingPreservesCounts)
+{
+    const Trace original = input();
+    EXPECT_EQ(scaleExec(original, 1.7).requestCount(),
+              original.requestCount());
+    EXPECT_EQ(scaleColdStart(original, 0.3).requestCount(),
+              original.requestCount());
+    EXPECT_EQ(scaleIat(original, 3.0).requestCount(),
+              original.requestCount());
+}
+
+TEST_P(SeededTraceTest, SamplePartitionsRequests)
+{
+    const Trace original = input();
+    // Sampling k functions keeps exactly the requests of those k.
+    sim::Rng rng(99);
+    const Trace sampled = sampleFunctions(original, 7, rng);
+    EXPECT_EQ(sampled.functionCount(), 7u);
+    const auto counts = sampled.requestCountByFunction();
+    std::uint64_t total = 0;
+    for (const auto c : counts)
+        total += c;
+    EXPECT_EQ(total, sampled.requestCount());
+    EXPECT_LE(sampled.requestCount(), original.requestCount());
+}
+
+TEST_P(SeededTraceTest, StatsScaleWithIat)
+{
+    const Trace original = input();
+    const Trace slower = scaleIat(original, 2.0);
+    const TraceStats a = original.computeStats();
+    const TraceStats b = slower.computeStats();
+    // Double the duration, same volume → roughly half the average rate.
+    EXPECT_NEAR(b.rps_avg, a.rps_avg / 2.0, a.rps_avg * 0.1);
+    EXPECT_NEAR(b.gbps_avg, a.gbps_avg / 2.0, a.gbps_avg * 0.1);
+}
+
+TEST_P(SeededTraceTest, ArrivalsSortedAndConsistent)
+{
+    const Trace t = input();
+    sim::SimTime prev = 0;
+    for (const auto &req : t.requests()) {
+        EXPECT_GE(req.arrival_us, prev);
+        prev = req.arrival_us;
+    }
+    const auto &by_fn = t.arrivalsByFunction();
+    std::size_t total = 0;
+    for (const auto &list : by_fn) {
+        EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+        total += list.size();
+    }
+    EXPECT_EQ(total, t.requestCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTraceTest, ::testing::Range(1, 7));
+
+TEST(GeneratorCalibration, VolumeStableAcrossSeeds)
+{
+    // Request volume should concentrate around the configured rate for
+    // every seed (law of large numbers on the arrival processes).
+    SyntheticSpec spec = azureLikeSpec();
+    spec.duration = sim::minutes(3);
+    const double expected = spec.total_rps * sim::toSec(spec.duration);
+    for (const std::uint64_t seed : {10u, 20u, 30u, 40u}) {
+        const Trace t = generate(spec, seed);
+        EXPECT_GT(static_cast<double>(t.requestCount()), expected * 0.7)
+            << "seed " << seed;
+        EXPECT_LT(static_cast<double>(t.requestCount()), expected * 1.4)
+            << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace cidre::trace

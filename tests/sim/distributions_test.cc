@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit + statistical tests for the deterministic distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/distributions.h"
+
+namespace cidre::sim {
+namespace {
+
+TEST(Exponential, MeanMatchesRate)
+{
+    Rng rng(1);
+    const double rate = 4.0;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = sampleExponential(rng, rate);
+        ASSERT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Normal, MeanAndStddev)
+{
+    Rng rng(2);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = sampleNormal(rng, 3.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Lognormal, MedianIsParameter)
+{
+    Rng rng(3);
+    const double median = 120.0;
+    int below = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = sampleLognormalMedian(rng, median, 0.7);
+        ASSERT_GT(v, 0.0);
+        below += v < median;
+    }
+    EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.01);
+}
+
+TEST(BoundedPareto, StaysInBounds)
+{
+    Rng rng(4);
+    for (int i = 0; i < 50000; ++i) {
+        const double v = sampleBoundedPareto(rng, 1.1, 2.0, 600.0);
+        ASSERT_GE(v, 2.0);
+        ASSERT_LE(v, 600.0);
+    }
+}
+
+TEST(BoundedPareto, DegenerateRange)
+{
+    Rng rng(5);
+    EXPECT_DOUBLE_EQ(sampleBoundedPareto(rng, 1.5, 7.0, 7.0), 7.0);
+}
+
+TEST(BoundedPareto, HeavyTailReachesUpper)
+{
+    Rng rng(6);
+    double max_seen = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        max_seen = std::max(max_seen,
+                            sampleBoundedPareto(rng, 1.05, 2.0, 6000.0));
+    EXPECT_GT(max_seen, 3000.0);
+}
+
+TEST(Poisson, SmallMean)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(samplePoisson(rng, 3.5));
+    EXPECT_NEAR(sum / n, 3.5, 0.05);
+}
+
+TEST(Poisson, LargeMeanUsesApproximation)
+{
+    Rng rng(8);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(samplePoisson(rng, 250.0));
+    EXPECT_NEAR(sum / n, 250.0, 1.0);
+}
+
+TEST(Poisson, ZeroMeanIsZero)
+{
+    Rng rng(9);
+    EXPECT_EQ(samplePoisson(rng, 0.0), 0u);
+}
+
+TEST(Zipf, MassesSumToOne)
+{
+    ZipfSampler zipf(100, 0.9);
+    double total = 0.0;
+    for (std::size_t i = 0; i < zipf.size(); ++i)
+        total += zipf.massOf(i);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    ZipfSampler zipf(50, 1.1);
+    for (std::size_t i = 1; i < zipf.size(); ++i)
+        EXPECT_GT(zipf.massOf(0), zipf.massOf(i));
+}
+
+TEST(Zipf, EmpiricalMatchesMass)
+{
+    ZipfSampler zipf(10, 1.0);
+    Rng rng(10);
+    std::vector<int> counts(10, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    for (std::size_t r = 0; r < 10; ++r) {
+        EXPECT_NEAR(static_cast<double>(counts[r]) / n, zipf.massOf(r),
+                    0.01);
+    }
+}
+
+TEST(Zipf, RejectsEmpty)
+{
+    EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(Discrete, SamplesOnlyTableValues)
+{
+    DiscreteSampler sampler({1.0, 2.0, 5.0}, {1.0, 1.0, 2.0});
+    Rng rng(11);
+    int fives = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = sampler.sample(rng);
+        ASSERT_TRUE(v == 1.0 || v == 2.0 || v == 5.0);
+        fives += v == 5.0;
+    }
+    EXPECT_NEAR(static_cast<double>(fives) / n, 0.5, 0.01);
+}
+
+TEST(Discrete, RejectsBadTables)
+{
+    EXPECT_THROW(DiscreteSampler({}, {}), std::invalid_argument);
+    EXPECT_THROW(DiscreteSampler({1.0}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(DiscreteSampler({1.0}, {-1.0}), std::invalid_argument);
+    EXPECT_THROW(DiscreteSampler({1.0}, {0.0}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cidre::sim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace cidre::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(msec(30), [&](SimTime) { order.push_back(3); });
+    queue.schedule(msec(10), [&](SimTime) { order.push_back(1); });
+    queue.schedule(msec(20), [&](SimTime) { order.push_back(2); });
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), msec(30));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        queue.schedule(msec(10), [&, i](SimTime) { order.push_back(i); });
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbackSeesEventTime)
+{
+    EventQueue queue;
+    SimTime seen = -1;
+    queue.schedule(sec(2), [&](SimTime now) { seen = now; });
+    queue.runAll();
+    EXPECT_EQ(seen, sec(2));
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue queue;
+    SimTime second = -1;
+    queue.schedule(msec(5), [&](SimTime) {
+        queue.scheduleAfter(msec(7), [&](SimTime now) { second = now; });
+    });
+    queue.runAll();
+    EXPECT_EQ(second, msec(12));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue queue;
+    bool ran = false;
+    const auto id = queue.schedule(msec(1), [&](SimTime) { ran = true; });
+    queue.cancel(id);
+    queue.runAll();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, CancelAfterRunIsNoop)
+{
+    EventQueue queue;
+    const auto id = queue.schedule(msec(1), [](SimTime) {});
+    queue.runAll();
+    queue.cancel(id); // must not throw
+}
+
+TEST(EventQueue, RejectsPastScheduling)
+{
+    EventQueue queue;
+    queue.schedule(msec(10), [](SimTime) {});
+    queue.runAll();
+    EXPECT_THROW(queue.schedule(msec(5), [](SimTime) {}),
+                 std::logic_error);
+}
+
+TEST(EventQueue, RunUntilAdvancesClock)
+{
+    EventQueue queue;
+    int ran = 0;
+    queue.schedule(msec(10), [&](SimTime) { ++ran; });
+    queue.schedule(msec(30), [&](SimTime) { ++ran; });
+    EXPECT_EQ(queue.runUntil(msec(20)), 1u);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(queue.now(), msec(20));
+    EXPECT_EQ(queue.peekTime(), msec(30));
+}
+
+TEST(EventQueue, RunAllHonorsLimit)
+{
+    EventQueue queue;
+    for (int i = 0; i < 10; ++i)
+        queue.schedule(msec(i + 1), [](SimTime) {});
+    EXPECT_EQ(queue.runAll(4), 4u);
+    EXPECT_FALSE(queue.empty());
+}
+
+TEST(EventQueue, PeekEmptyIsInfinity)
+{
+    EventQueue queue;
+    EXPECT_EQ(queue.peekTime(), kTimeInfinity);
+    EXPECT_FALSE(queue.runNext());
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue queue;
+    int depth = 0;
+    std::function<void(SimTime)> chain = [&](SimTime) {
+        if (++depth < 100)
+            queue.scheduleAfter(usec(1), chain);
+    };
+    queue.schedule(0, chain);
+    queue.runAll();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(queue.executedCount(), 100u);
+}
+
+} // namespace
+} // namespace cidre::sim

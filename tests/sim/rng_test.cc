@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG (sim::Rng).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace cidre::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(1234);
+    Rng b(1234);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(5.0, 9.0);
+        ASSERT_GE(u, 5.0);
+        ASSERT_LT(u, 9.0);
+    }
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.below(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    // All 7 residues should appear over 10k draws.
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenIsInclusive)
+{
+    Rng rng(10);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = rng.between(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(42);
+    Rng child = parent.fork();
+    // The child must not replay the parent's stream.
+    Rng parent_copy(42);
+    parent_copy.next(); // account for the fork draw
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += child.next() == parent_copy.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng a(5);
+    Rng b(5);
+    Rng ca = a.fork();
+    Rng cb = b.fork();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(ca.next(), cb.next());
+}
+
+} // namespace
+} // namespace cidre::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the exact empirical CDF.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/cdf.h"
+
+namespace cidre::stats {
+namespace {
+
+TEST(Cdf, PercentilesOfKnownData)
+{
+    Cdf cdf;
+    for (int i = 1; i <= 100; ++i)
+        cdf.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.max(), 100.0);
+    EXPECT_NEAR(cdf.median(), 50.5, 1e-9);
+    EXPECT_NEAR(cdf.percentile(0.25), 25.75, 1e-9);
+    EXPECT_NEAR(cdf.percentile(0.90), 90.1, 1e-9);
+}
+
+TEST(Cdf, SingleSample)
+{
+    Cdf cdf;
+    cdf.add(7.0);
+    EXPECT_DOUBLE_EQ(cdf.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(cdf.percentile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(cdf.percentile(1.0), 7.0);
+}
+
+TEST(Cdf, FractionBelow)
+{
+    Cdf cdf({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(cdf.fractionBelow(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.fractionBelow(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.fractionBelow(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.fractionBelow(10.0), 1.0);
+}
+
+TEST(Cdf, MeanAndCount)
+{
+    Cdf cdf({2.0, 4.0, 6.0});
+    EXPECT_DOUBLE_EQ(cdf.mean(), 4.0);
+    EXPECT_EQ(cdf.count(), 3u);
+}
+
+TEST(Cdf, ErrorsOnEmptyOrBadQ)
+{
+    Cdf cdf;
+    EXPECT_THROW(cdf.percentile(0.5), std::logic_error);
+    cdf.add(1.0);
+    EXPECT_THROW(cdf.percentile(-0.1), std::invalid_argument);
+    EXPECT_THROW(cdf.percentile(1.1), std::invalid_argument);
+}
+
+TEST(Cdf, PointsAreMonotone)
+{
+    Cdf cdf;
+    for (int i = 0; i < 1000; ++i)
+        cdf.add(static_cast<double>((i * 7919) % 1000));
+    const auto pts = cdf.points(50);
+    ASSERT_EQ(pts.size(), 50u);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GE(pts[i].value, pts[i - 1].value);
+        EXPECT_GE(pts[i].fraction, pts[i - 1].fraction);
+    }
+    EXPECT_DOUBLE_EQ(pts.front().fraction, 0.0);
+    EXPECT_DOUBLE_EQ(pts.back().fraction, 1.0);
+}
+
+TEST(Cdf, CrossoverDetected)
+{
+    // A concentrated around 100, B concentrated around 200, with A having
+    // a slow tail: the curves cross between the two modes.
+    Cdf a;
+    Cdf b;
+    for (int i = 0; i < 1000; ++i) {
+        a.add(100.0 + (i % 100));      // 100..199
+        b.add(150.0 + (i % 10));       // 150..159
+    }
+    const auto cross = a.crossover(b);
+    ASSERT_TRUE(cross.has_value());
+    EXPECT_GT(*cross, 100.0);
+    EXPECT_LT(*cross, 200.0);
+}
+
+TEST(Cdf, NoCrossoverWhenDominated)
+{
+    Cdf a({1.0, 2.0, 3.0});
+    Cdf b({10.0, 20.0, 30.0});
+    // a is strictly to the left of b: a's CDF is always >= b's, so no
+    // sign change occurs.
+    EXPECT_FALSE(a.crossover(b).has_value());
+}
+
+TEST(Cdf, SortedAccessor)
+{
+    Cdf cdf({3.0, 1.0, 2.0});
+    const auto &sorted = cdf.sorted();
+    EXPECT_EQ(sorted, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Cdf, DescribeContainsPercentiles)
+{
+    Cdf cdf;
+    for (int i = 0; i <= 100; ++i)
+        cdf.add(static_cast<double>(i));
+    const std::string text = describeCdf(cdf, "ms");
+    EXPECT_NE(text.find("p50=50.00ms"), std::string::npos);
+    EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
+} // namespace
+} // namespace cidre::stats

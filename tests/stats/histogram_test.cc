@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the log-bucketed streaming histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+#include "stats/histogram.h"
+
+namespace cidre::stats {
+namespace {
+
+TEST(Histogram, TracksExactMoments)
+{
+    Histogram h;
+    h.add(1.0);
+    h.add(2.0);
+    h.add(3.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(Histogram, PercentileWithinRelativeError)
+{
+    Histogram h(0.01);
+    for (int i = 1; i <= 100000; ++i)
+        h.add(static_cast<double>(i));
+    for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+        const double expected = q * 100000.0;
+        EXPECT_NEAR(h.percentile(q), expected, expected * 0.03)
+            << "q=" << q;
+    }
+}
+
+TEST(Histogram, WideDynamicRange)
+{
+    Histogram h(0.01);
+    // Microseconds to hours in one histogram.
+    for (int d = 0; d < 10; ++d)
+        for (int i = 0; i < 100; ++i)
+            h.add(std::pow(10.0, d) * (1.0 + i / 100.0));
+    const double p50 = h.percentile(0.5);
+    EXPECT_GT(p50, 1e4 * 0.5);
+    EXPECT_LT(p50, 1e5 * 2.0);
+}
+
+TEST(Histogram, ZerosHandled)
+{
+    Histogram h;
+    for (int i = 0; i < 90; ++i)
+        h.add(0.0);
+    for (int i = 0; i < 10; ++i)
+        h.add(100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_NEAR(h.percentile(0.95), 100.0, 3.0);
+    EXPECT_NEAR(h.fractionBelow(0.0), 0.9, 1e-9);
+}
+
+TEST(Histogram, NegativeClampsToZero)
+{
+    Histogram h;
+    h.add(-5.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, FractionBelowMatchesCdf)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.fractionBelow(500.0), 0.5, 0.02);
+    EXPECT_NEAR(h.fractionBelow(2000.0), 1.0, 1e-9);
+    EXPECT_NEAR(h.fractionBelow(0.5), 0.0, 1e-9);
+}
+
+TEST(Histogram, MergeCombinesStreams)
+{
+    Histogram a(0.01);
+    Histogram b(0.01);
+    sim::Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        a.add(rng.uniform(0.0, 100.0));
+        b.add(rng.uniform(100.0, 200.0));
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), 20000u);
+    EXPECT_NEAR(a.percentile(0.5), 100.0, 5.0);
+    EXPECT_NEAR(a.mean(), 100.0, 2.0);
+}
+
+TEST(Histogram, MergeRejectsMismatchedError)
+{
+    Histogram a(0.01);
+    Histogram b(0.05);
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, ErrorsOnBadArgs)
+{
+    EXPECT_THROW(Histogram(0.0), std::invalid_argument);
+    EXPECT_THROW(Histogram(1.0), std::invalid_argument);
+    Histogram h;
+    EXPECT_THROW(h.percentile(0.5), std::logic_error);
+    h.add(1.0);
+    EXPECT_THROW(h.percentile(2.0), std::invalid_argument);
+}
+
+TEST(Histogram, PointsMonotone)
+{
+    Histogram h;
+    sim::Rng rng(4);
+    for (int i = 0; i < 5000; ++i)
+        h.add(rng.uniform(1.0, 1000.0));
+    const auto pts = h.points(20);
+    ASSERT_EQ(pts.size(), 20u);
+    for (std::size_t i = 1; i < pts.size(); ++i)
+        EXPECT_GE(pts[i].value, pts[i - 1].value);
+}
+
+} // namespace
+} // namespace cidre::stats

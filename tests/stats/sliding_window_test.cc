@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the CSS sliding-window statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/sliding_window.h"
+
+namespace cidre::stats {
+namespace {
+
+using sim::minutes;
+using sim::sec;
+
+TEST(SlidingWindow, MedianOfRetained)
+{
+    SlidingWindow w(minutes(15));
+    w.add(sec(1), 10.0);
+    w.add(sec(2), 30.0);
+    w.add(sec(3), 20.0);
+    EXPECT_DOUBLE_EQ(w.median(), 20.0);
+    EXPECT_DOUBLE_EQ(w.mean(), 20.0);
+    EXPECT_EQ(w.count(), 3u);
+}
+
+TEST(SlidingWindow, ExpiresOldSamples)
+{
+    SlidingWindow w(minutes(1));
+    w.add(sec(0), 100.0);
+    w.add(sec(30), 200.0);
+    w.add(sec(90), 300.0); // triggers expiry of the t=0 sample
+    EXPECT_EQ(w.count(), 2u);
+    // Nearest-rank median takes the upper of two retained samples.
+    EXPECT_DOUBLE_EQ(w.median(), 300.0);
+    w.expire(sec(300));
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(SlidingWindow, InfiniteHorizonKeepsAll)
+{
+    SlidingWindow w(sim::kTimeInfinity, 1000);
+    for (int i = 0; i < 500; ++i)
+        w.add(sec(i), static_cast<double>(i));
+    EXPECT_EQ(w.count(), 500u);
+}
+
+TEST(SlidingWindow, CapDropsOldest)
+{
+    SlidingWindow w(sim::kTimeInfinity, 3);
+    for (int i = 0; i < 10; ++i)
+        w.add(sec(i), static_cast<double>(i));
+    EXPECT_EQ(w.count(), 3u);
+    EXPECT_DOUBLE_EQ(w.median(), 8.0); // retains {7, 8, 9}
+}
+
+TEST(SlidingWindow, PercentileEndpoints)
+{
+    SlidingWindow w(minutes(15));
+    for (int i = 1; i <= 9; ++i)
+        w.add(sec(i), static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(w.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(w.percentile(1.0), 9.0);
+    EXPECT_DOUBLE_EQ(w.percentile(0.5), 5.0);
+}
+
+TEST(SlidingWindow, CachedQueryInvalidatedByAdd)
+{
+    SlidingWindow w(minutes(15));
+    w.add(sec(1), 10.0);
+    EXPECT_DOUBLE_EQ(w.median(), 10.0);
+    w.add(sec(2), 50.0);
+    w.add(sec(3), 60.0);
+    EXPECT_DOUBLE_EQ(w.median(), 50.0);
+}
+
+TEST(SlidingWindow, LatestAndTimes)
+{
+    SlidingWindow w(minutes(15));
+    w.add(sec(5), 1.0);
+    w.add(sec(9), 2.0);
+    EXPECT_DOUBLE_EQ(w.latest(), 2.0);
+    EXPECT_EQ(w.earliestTime(), sec(5));
+    EXPECT_EQ(w.latestTime(), sec(9));
+}
+
+TEST(SlidingWindow, ErrorsOnEmptyQueries)
+{
+    SlidingWindow w;
+    EXPECT_THROW(w.percentile(0.5), std::logic_error);
+    EXPECT_THROW(w.latest(), std::logic_error);
+    EXPECT_THROW(w.earliestTime(), std::logic_error);
+    EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(SlidingWindow, RejectsZeroCap)
+{
+    EXPECT_THROW(SlidingWindow(minutes(1), 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cidre::stats

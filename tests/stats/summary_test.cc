@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for stats::OnlineSummary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.h"
+
+namespace cidre::stats {
+namespace {
+
+TEST(OnlineSummary, EmptyIsZero)
+{
+    OnlineSummary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineSummary, SingleSample)
+{
+    OnlineSummary s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineSummary, KnownMoments)
+{
+    OnlineSummary s;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic Welford example
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.cv(), 0.4);
+}
+
+TEST(OnlineSummary, MergeEqualsSequential)
+{
+    OnlineSummary all;
+    OnlineSummary left;
+    OnlineSummary right;
+    for (int i = 0; i < 100; ++i) {
+        const double v = std::sin(i) * 10.0 + i;
+        all.add(v);
+        (i < 50 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineSummary, MergeWithEmpty)
+{
+    OnlineSummary a;
+    a.add(1.0);
+    a.add(3.0);
+    OnlineSummary empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    OnlineSummary b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(OnlineSummary, SumIsMeanTimesCount)
+{
+    OnlineSummary s;
+    s.add(1.5);
+    s.add(2.5);
+    s.add(6.0);
+    EXPECT_NEAR(s.sum(), 10.0, 1e-12);
+}
+
+TEST(OnlineSummary, CvZeroWhenMeanZero)
+{
+    OnlineSummary s;
+    s.add(-1.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+} // namespace
+} // namespace cidre::stats

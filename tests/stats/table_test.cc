@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for the table/CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/table.h"
+
+namespace cidre::stats {
+namespace {
+
+TEST(Table, PrintsAlignedColumns)
+{
+    Table table({"policy", "overhead"});
+    table.addRow({"cidre", "27.5"});
+    table.addRow({"faascache", "43.2"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("policy"), std::string::npos);
+    EXPECT_NE(text.find("faascache"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, NumericRowHelper)
+{
+    Table table({"name", "a", "b"});
+    table.addRow("x", {1.234, 5.678}, 1);
+    EXPECT_EQ(table.cell(0, 1), "1.2");
+    EXPECT_EQ(table.cell(0, 2), "5.7");
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(table.addRow("x", {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeaders)
+{
+    EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscaping)
+{
+    Table table({"name", "note"});
+    table.addRow({"a,b", "say \"hi\""});
+    std::ostringstream out;
+    table.writeCsv(out);
+    EXPECT_EQ(out.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, FormatFixed)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace cidre::stats

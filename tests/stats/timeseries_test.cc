@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the fixed-bucket time series.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/timeseries.h"
+
+namespace cidre::stats {
+namespace {
+
+using sim::sec;
+
+TEST(TimeSeries, BucketsByTime)
+{
+    TimeSeries ts(sec(10), BucketCombine::Last);
+    ts.record(sec(5), 1.0);
+    ts.record(sec(15), 2.0);
+    ts.record(sec(35), 3.0);
+    ASSERT_EQ(ts.bucketCount(), 4u);
+    EXPECT_DOUBLE_EQ(ts.at(0), 1.0);
+    EXPECT_DOUBLE_EQ(ts.at(1), 2.0);
+    EXPECT_DOUBLE_EQ(ts.at(2), 0.0); // untouched gap
+    EXPECT_DOUBLE_EQ(ts.at(3), 3.0);
+    EXPECT_DOUBLE_EQ(ts.at(99), 0.0); // beyond the series
+}
+
+TEST(TimeSeries, CombineLast)
+{
+    TimeSeries ts(sec(10), BucketCombine::Last);
+    ts.record(sec(1), 5.0);
+    ts.record(sec(2), 3.0);
+    EXPECT_DOUBLE_EQ(ts.at(0), 3.0);
+}
+
+TEST(TimeSeries, CombineMax)
+{
+    TimeSeries ts(sec(10), BucketCombine::Max);
+    ts.record(sec(1), 5.0);
+    ts.record(sec(2), 3.0);
+    ts.record(sec(3), 9.0);
+    EXPECT_DOUBLE_EQ(ts.at(0), 9.0);
+}
+
+TEST(TimeSeries, CombineSum)
+{
+    TimeSeries ts(sec(10), BucketCombine::Sum);
+    for (int i = 0; i < 5; ++i)
+        ts.record(sec(i), 1.0);
+    ts.record(sec(12), 1.0);
+    EXPECT_DOUBLE_EQ(ts.at(0), 5.0);
+    EXPECT_DOUBLE_EQ(ts.at(1), 1.0);
+}
+
+TEST(TimeSeries, MaxAndMean)
+{
+    TimeSeries ts(sec(1), BucketCombine::Last);
+    ts.record(0, 2.0);
+    ts.record(sec(1), 6.0);
+    ts.record(sec(2), 4.0);
+    EXPECT_DOUBLE_EQ(ts.max(), 6.0);
+    EXPECT_DOUBLE_EQ(ts.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(TimeSeries().max(), 0.0);
+    EXPECT_DOUBLE_EQ(TimeSeries().mean(), 0.0);
+}
+
+TEST(TimeSeries, SparklineShape)
+{
+    TimeSeries ts(sec(1), BucketCombine::Last);
+    for (int i = 0; i < 8; ++i)
+        ts.record(sec(i), static_cast<double>(i));
+    const std::string spark = ts.sparkline(8);
+    EXPECT_FALSE(spark.empty());
+    // 8 cells × 3-byte UTF-8 block characters.
+    EXPECT_EQ(spark.size(), 8u * 3u);
+    EXPECT_EQ(TimeSeries().sparkline(), "");
+}
+
+TEST(TimeSeries, SparklineDownsamples)
+{
+    TimeSeries ts(sec(1), BucketCombine::Last);
+    for (int i = 0; i < 100; ++i)
+        ts.record(sec(i), 1.0);
+    const std::string spark = ts.sparkline(10);
+    EXPECT_EQ(spark.size(), 10u * 3u);
+}
+
+TEST(TimeSeries, Validation)
+{
+    EXPECT_THROW(TimeSeries(0), std::invalid_argument);
+    TimeSeries ts(sec(1));
+    EXPECT_THROW(ts.record(-1, 1.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cidre::stats

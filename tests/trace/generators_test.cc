@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators: determinism plus the
+ * calibration targets from the paper's workload tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/concurrency.h"
+#include "trace/generators.h"
+
+namespace cidre::trace {
+namespace {
+
+TEST(Generators, Deterministic)
+{
+    SyntheticSpec spec = azureLikeSpec();
+    spec.duration = sim::minutes(2);
+    const Trace a = generate(spec, 42);
+    const Trace b = generate(spec, 42);
+    ASSERT_EQ(a.requestCount(), b.requestCount());
+    for (std::size_t i = 0; i < a.requestCount(); ++i) {
+        EXPECT_EQ(a.requests()[i].function, b.requests()[i].function);
+        EXPECT_EQ(a.requests()[i].arrival_us, b.requests()[i].arrival_us);
+        EXPECT_EQ(a.requests()[i].exec_us, b.requests()[i].exec_us);
+    }
+}
+
+TEST(Generators, SeedChangesTrace)
+{
+    SyntheticSpec spec = azureLikeSpec();
+    spec.duration = sim::minutes(2);
+    const Trace a = generate(spec, 1);
+    const Trace b = generate(spec, 2);
+    EXPECT_NE(a.requestCount(), b.requestCount());
+}
+
+TEST(Generators, AzureVolumeNearTarget)
+{
+    SyntheticSpec spec = azureLikeSpec();
+    spec.duration = sim::minutes(5);
+    const Trace t = generate(spec, 7);
+    const double expected = spec.total_rps * sim::toSec(spec.duration);
+    EXPECT_GT(static_cast<double>(t.requestCount()), expected * 0.6);
+    EXPECT_LT(static_cast<double>(t.requestCount()), expected * 1.6);
+    EXPECT_EQ(t.functionCount(), spec.functions);
+}
+
+TEST(Generators, AzureColdStartFollowsMemoryRule)
+{
+    SyntheticSpec spec = azureLikeSpec();
+    spec.duration = sim::minutes(1);
+    spec.cold_ms_per_mb = 2.0;
+    const Trace t = generate(spec, 3);
+    for (const auto &fn : t.functions()) {
+        EXPECT_EQ(fn.cold_start_us,
+                  sim::fromMs(static_cast<double>(fn.memory_mb) * 2.0));
+    }
+}
+
+TEST(Generators, FcSpecDiffersFromAzure)
+{
+    const SyntheticSpec azure = azureLikeSpec();
+    const SyntheticSpec fc = fcLikeSpec();
+    EXPECT_EQ(fc.functions, 220u);
+    EXPECT_GT(fc.burst_max, azure.burst_max);
+    EXPECT_EQ(fc.cold_model, ColdStartModel::Lognormal);
+    EXPECT_LT(fc.exec_median_lo_ms, azure.exec_median_lo_ms);
+}
+
+TEST(Generators, FcBurstierThanAzure)
+{
+    const Trace azure = makeAzureLikeTrace(5, 0.3);
+    const Trace fc = makeFcLikeTrace(5, 0.3);
+    const auto azure_cc = analysis::concurrencyPerMinuteCdf(azure);
+    const auto fc_cc = analysis::concurrencyPerMinuteCdf(fc);
+    // The FC tail (p99.5) must reach far beyond Azure's (Fig. 3).
+    EXPECT_GT(fc_cc.percentile(0.995), azure_cc.percentile(0.995));
+}
+
+TEST(Generators, MemoryWithinConfiguredRange)
+{
+    SyntheticSpec spec = azureLikeSpec();
+    spec.duration = sim::minutes(1);
+    const Trace t = generate(spec, 9);
+    for (const auto &fn : t.functions()) {
+        EXPECT_GE(fn.memory_mb,
+                  static_cast<std::int64_t>(spec.memory_lo_mb));
+        EXPECT_LE(fn.memory_mb,
+                  static_cast<std::int64_t>(spec.memory_hi_mb) + 1);
+    }
+}
+
+TEST(Generators, ExecTimesPositiveAndWithinReason)
+{
+    SyntheticSpec spec = fcLikeSpec();
+    spec.duration = sim::minutes(1);
+    const Trace t = generate(spec, 11);
+    for (const auto &req : t.requests()) {
+        EXPECT_GT(req.exec_us, 0);
+        EXPECT_LT(req.exec_us, sim::minutes(5));
+    }
+}
+
+TEST(Generators, ArrivalsWithinDuration)
+{
+    SyntheticSpec spec = azureLikeSpec();
+    spec.duration = sim::minutes(3);
+    const Trace t = generate(spec, 13);
+    EXPECT_LE(t.duration(), spec.duration);
+    EXPECT_GE(t.requests().front().arrival_us, 0);
+}
+
+TEST(Generators, DiurnalModulationSwingsTheRate)
+{
+    SyntheticSpec spec = azureLikeSpec();
+    spec.duration = sim::minutes(20);
+    spec.diurnal_amplitude = 0.8;
+    spec.diurnal_period = sim::minutes(20); // one full cycle
+    spec.burst_fraction = 0.0;              // isolate the base process
+    const Trace t = generate(spec, 17);
+
+    // First half of the cycle (sin > 0) must carry far more traffic
+    // than the second half (sin < 0).
+    std::uint64_t first = 0;
+    std::uint64_t second = 0;
+    for (const auto &req : t.requests())
+        ++(req.arrival_us < sim::minutes(10) ? first : second);
+    EXPECT_GT(static_cast<double>(first),
+              static_cast<double>(second) * 2.0);
+
+    // Total volume stays near the configured average rate.
+    const double expected = spec.total_rps * sim::toSec(spec.duration);
+    EXPECT_NEAR(static_cast<double>(t.requestCount()), expected,
+                expected * 0.25);
+}
+
+TEST(Generators, Azure24hPresetShape)
+{
+    const SyntheticSpec spec = azure24hLikeSpec();
+    EXPECT_EQ(spec.functions, 750u);
+    EXPECT_EQ(spec.duration, sim::minutes(24 * 60));
+    EXPECT_GT(spec.diurnal_amplitude, 0.0);
+    EXPECT_DOUBLE_EQ(spec.total_rps, 170.0);
+}
+
+TEST(Generators, ScaleParameterScalesVolume)
+{
+    const Trace small = makeAzureLikeTrace(21, 0.1);
+    const Trace large = makeAzureLikeTrace(21, 0.4);
+    EXPECT_GT(large.requestCount(), small.requestCount() * 2);
+}
+
+} // namespace
+} // namespace cidre::trace

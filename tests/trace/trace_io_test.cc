@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Round-trip and error tests for trace CSV persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace_io.h"
+
+namespace cidre::trace {
+namespace {
+
+Trace
+sampleTrace()
+{
+    Trace t;
+    FunctionProfile fn;
+    fn.name = "resize";
+    fn.memory_mb = 256;
+    fn.cold_start_us = sim::msec(300);
+    fn.runtime = Runtime::Node;
+    fn.median_exec_us = sim::msec(40);
+    t.addFunction(std::move(fn));
+    t.addRequest(0, sim::msec(5), sim::msec(42));
+    t.addRequest(0, sim::msec(9), sim::msec(38));
+    t.seal();
+    return t;
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    const Trace original = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(original, buffer);
+    const Trace loaded = readTrace(buffer);
+
+    ASSERT_EQ(loaded.functionCount(), original.functionCount());
+    ASSERT_EQ(loaded.requestCount(), original.requestCount());
+    EXPECT_EQ(loaded.functions()[0].name, "resize");
+    EXPECT_EQ(loaded.functions()[0].memory_mb, 256);
+    EXPECT_EQ(loaded.functions()[0].cold_start_us, sim::msec(300));
+    EXPECT_EQ(loaded.functions()[0].runtime, Runtime::Node);
+    EXPECT_EQ(loaded.functions()[0].median_exec_us, sim::msec(40));
+    for (std::size_t i = 0; i < loaded.requestCount(); ++i) {
+        EXPECT_EQ(loaded.requests()[i].arrival_us,
+                  original.requests()[i].arrival_us);
+        EXPECT_EQ(loaded.requests()[i].exec_us,
+                  original.requests()[i].exec_us);
+    }
+}
+
+TEST(TraceIo, CommentsAndBlanksIgnored)
+{
+    std::stringstream in(
+        "# a comment\n"
+        "\n"
+        "F,0,fn0,128,1000,python,500\n"
+        "# another\n"
+        "R,0,10,20\n");
+    const Trace t = readTrace(in);
+    EXPECT_EQ(t.functionCount(), 1u);
+    EXPECT_EQ(t.requestCount(), 1u);
+}
+
+TEST(TraceIo, RejectsUnknownRecord)
+{
+    std::stringstream in("X,1,2\n");
+    EXPECT_THROW(readTrace(in), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadFieldCounts)
+{
+    std::stringstream f("F,0,fn0,128\n");
+    EXPECT_THROW(readTrace(f), std::runtime_error);
+    std::stringstream r(
+        "F,0,fn0,128,1000,python,500\nR,0,10\n");
+    EXPECT_THROW(readTrace(r), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownFunctionReference)
+{
+    std::stringstream in(
+        "F,0,fn0,128,1000,python,500\nR,3,10,20\n");
+    EXPECT_THROW(readTrace(in), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadNumbers)
+{
+    std::stringstream in(
+        "F,0,fn0,abc,1000,python,500\n");
+    EXPECT_THROW(readTrace(in), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsOutOfOrderFunctionIds)
+{
+    std::stringstream in("F,7,fn7,128,1000,python,500\n");
+    EXPECT_THROW(readTrace(in), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownRuntime)
+{
+    std::stringstream in("F,0,fn0,128,1000,lisp,500\n");
+    EXPECT_THROW(readTrace(in), std::runtime_error);
+}
+
+TEST(TraceIo, WriteRequiresSealed)
+{
+    Trace t;
+    t.addFunction({});
+    std::ostringstream out;
+    EXPECT_THROW(writeTrace(t, out), std::logic_error);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const Trace original = sampleTrace();
+    const std::string path = "/tmp/cidre_trace_io_test.csv";
+    writeTraceFile(original, path);
+    const Trace loaded = readTraceFile(path);
+    EXPECT_EQ(loaded.requestCount(), original.requestCount());
+    EXPECT_THROW(readTraceFile("/nonexistent/nope.csv"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace cidre::trace

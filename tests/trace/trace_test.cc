@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the trace container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+
+namespace cidre::trace {
+namespace {
+
+Trace
+makeSmallTrace()
+{
+    Trace t;
+    FunctionProfile a;
+    a.name = "alpha";
+    a.memory_mb = 512;
+    a.cold_start_us = sim::msec(500);
+    t.addFunction(std::move(a));
+    FunctionProfile b;
+    b.name = "beta";
+    b.memory_mb = 1024;
+    b.cold_start_us = sim::msec(900);
+    t.addFunction(std::move(b));
+
+    t.addRequest(1, sim::sec(3), sim::msec(10));
+    t.addRequest(0, sim::sec(1), sim::msec(20));
+    t.addRequest(0, sim::sec(2), sim::msec(30));
+    t.seal();
+    return t;
+}
+
+TEST(Trace, AssignsDenseFunctionIds)
+{
+    Trace t;
+    EXPECT_EQ(t.addFunction({}), 0u);
+    EXPECT_EQ(t.addFunction({}), 1u);
+    EXPECT_EQ(t.functions()[1].id, 1u);
+    EXPECT_FALSE(t.functions()[1].name.empty());
+}
+
+TEST(Trace, SealSortsByArrival)
+{
+    const Trace t = makeSmallTrace();
+    ASSERT_EQ(t.requestCount(), 3u);
+    EXPECT_EQ(t.requests()[0].arrival_us, sim::sec(1));
+    EXPECT_EQ(t.requests()[1].arrival_us, sim::sec(2));
+    EXPECT_EQ(t.requests()[2].arrival_us, sim::sec(3));
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(t.requests()[i].id, i);
+    EXPECT_EQ(t.duration(), sim::sec(3));
+}
+
+TEST(Trace, RejectsMutationAfterSeal)
+{
+    Trace t = makeSmallTrace();
+    EXPECT_THROW(t.addFunction({}), std::logic_error);
+    EXPECT_THROW(t.addRequest(0, 0, 0), std::logic_error);
+}
+
+TEST(Trace, SealValidatesReferences)
+{
+    Trace t;
+    t.addFunction({});
+    t.addRequest(5, 0, 0); // unknown function
+    EXPECT_THROW(t.seal(), std::invalid_argument);
+
+    Trace t2;
+    t2.addFunction({});
+    t2.addRequest(0, -1, 0);
+    EXPECT_THROW(t2.seal(), std::invalid_argument);
+}
+
+TEST(Trace, UnsealedQueriesThrow)
+{
+    Trace t;
+    t.addFunction({});
+    EXPECT_THROW(t.duration(), std::logic_error);
+    EXPECT_THROW(t.computeStats(), std::logic_error);
+    EXPECT_THROW(t.arrivalsByFunction(), std::logic_error);
+}
+
+TEST(Trace, ArrivalsByFunction)
+{
+    const Trace t = makeSmallTrace();
+    const auto &by_fn = t.arrivalsByFunction();
+    ASSERT_EQ(by_fn.size(), 2u);
+    EXPECT_EQ(by_fn[0], (std::vector<sim::SimTime>{sim::sec(1),
+                                                   sim::sec(2)}));
+    EXPECT_EQ(by_fn[1], (std::vector<sim::SimTime>{sim::sec(3)}));
+}
+
+TEST(Trace, RequestCountByFunction)
+{
+    const Trace t = makeSmallTrace();
+    const auto counts = t.requestCountByFunction();
+    EXPECT_EQ(counts, (std::vector<std::uint64_t>{2, 1}));
+}
+
+TEST(Trace, StatsBuckets)
+{
+    const Trace t = makeSmallTrace();
+    const TraceStats stats = t.computeStats();
+    EXPECT_EQ(stats.request_count, 3u);
+    EXPECT_EQ(stats.function_count, 2u);
+    // Buckets cover seconds 0..3: counts {0, 1, 1, 1}.
+    EXPECT_NEAR(stats.rps_avg, 0.75, 1e-9);
+    EXPECT_DOUBLE_EQ(stats.rps_min, 0.0);
+    EXPECT_DOUBLE_EQ(stats.rps_max, 1.0);
+    // GB per bucket: fn0 = 0.5 GB (twice), fn1 = 1 GB.
+    EXPECT_DOUBLE_EQ(stats.gbps_max, 1.0);
+    EXPECT_NEAR(stats.gbps_avg, (0.5 + 0.5 + 1.0) / 4.0, 1e-9);
+}
+
+TEST(Trace, FunctionOf)
+{
+    const Trace t = makeSmallTrace();
+    EXPECT_EQ(t.functionOf(t.requests()[0]).name, "alpha");
+    EXPECT_EQ(t.functionOf(t.requests()[2]).name, "beta");
+}
+
+TEST(Runtime, NamesRoundTrip)
+{
+    for (int i = 0; i < static_cast<int>(Runtime::kCount); ++i) {
+        const auto rt = static_cast<Runtime>(i);
+        EXPECT_EQ(runtimeFromName(runtimeName(rt)), rt);
+    }
+    EXPECT_THROW(runtimeFromName("cobol"), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cidre::trace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for trace transforms (IAT / exec / cold scaling, sampling).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/transforms.h"
+
+namespace cidre::trace {
+namespace {
+
+Trace
+baseTrace()
+{
+    Trace t;
+    for (int i = 0; i < 4; ++i) {
+        FunctionProfile fn;
+        fn.memory_mb = 100 * (i + 1);
+        fn.cold_start_us = sim::msec(100 * (i + 1));
+        fn.median_exec_us = sim::msec(10 * (i + 1));
+        t.addFunction(std::move(fn));
+    }
+    for (int i = 0; i < 20; ++i)
+        t.addRequest(static_cast<FunctionId>(i % 4), sim::msec(10 * i),
+                     sim::msec(5 + i));
+    t.seal();
+    return t;
+}
+
+TEST(Transforms, ScaleIatStretchesArrivals)
+{
+    const Trace base = baseTrace();
+    const Trace doubled = scaleIat(base, 2.0);
+    ASSERT_EQ(doubled.requestCount(), base.requestCount());
+    for (std::size_t i = 0; i < base.requestCount(); ++i) {
+        EXPECT_EQ(doubled.requests()[i].arrival_us,
+                  base.requests()[i].arrival_us * 2);
+        EXPECT_EQ(doubled.requests()[i].exec_us,
+                  base.requests()[i].exec_us);
+    }
+}
+
+TEST(Transforms, ScaleExecOnlyTouchesExec)
+{
+    const Trace base = baseTrace();
+    const Trace scaled = scaleExec(base, 1.5);
+    for (std::size_t i = 0; i < base.requestCount(); ++i) {
+        EXPECT_EQ(scaled.requests()[i].arrival_us,
+                  base.requests()[i].arrival_us);
+        EXPECT_EQ(scaled.requests()[i].exec_us,
+                  base.requests()[i].exec_us * 3 / 2);
+    }
+    EXPECT_EQ(scaled.functions()[0].median_exec_us,
+              base.functions()[0].median_exec_us * 3 / 2);
+    EXPECT_EQ(scaled.functions()[0].cold_start_us,
+              base.functions()[0].cold_start_us);
+}
+
+TEST(Transforms, ScaleColdStartOnlyTouchesCold)
+{
+    const Trace base = baseTrace();
+    const Trace scaled = scaleColdStart(base, 0.25);
+    for (std::size_t f = 0; f < base.functionCount(); ++f) {
+        EXPECT_EQ(scaled.functions()[f].cold_start_us,
+                  base.functions()[f].cold_start_us / 4);
+    }
+    EXPECT_EQ(scaled.requests()[3].exec_us, base.requests()[3].exec_us);
+}
+
+TEST(Transforms, TruncateDropsLateRequests)
+{
+    const Trace base = baseTrace();
+    const Trace cut = truncate(base, sim::msec(95));
+    EXPECT_EQ(cut.requestCount(), 10u);
+    EXPECT_LT(cut.duration(), sim::msec(95));
+    EXPECT_EQ(cut.functionCount(), base.functionCount());
+}
+
+TEST(Transforms, SampleFunctionsKeepsSubset)
+{
+    const Trace base = baseTrace();
+    sim::Rng rng(99);
+    const Trace sampled = sampleFunctions(base, 2, rng);
+    EXPECT_EQ(sampled.functionCount(), 2u);
+    EXPECT_EQ(sampled.requestCount(), 10u); // 5 requests per function
+    for (const auto &req : sampled.requests())
+        EXPECT_LT(req.function, 2u);
+}
+
+TEST(Transforms, SampleAllIsIdentitySized)
+{
+    const Trace base = baseTrace();
+    sim::Rng rng(7);
+    const Trace sampled = sampleFunctions(base, 4, rng);
+    EXPECT_EQ(sampled.requestCount(), base.requestCount());
+}
+
+TEST(Transforms, RejectBadArguments)
+{
+    const Trace base = baseTrace();
+    sim::Rng rng(1);
+    EXPECT_THROW(scaleIat(base, 0.0), std::invalid_argument);
+    EXPECT_THROW(scaleExec(base, -1.0), std::invalid_argument);
+    EXPECT_THROW(scaleColdStart(base, 0.0), std::invalid_argument);
+    EXPECT_THROW(sampleFunctions(base, 0, rng), std::invalid_argument);
+    EXPECT_THROW(sampleFunctions(base, 9, rng), std::invalid_argument);
+
+    Trace unsealed;
+    unsealed.addFunction({});
+    EXPECT_THROW(scaleIat(unsealed, 2.0), std::logic_error);
+}
+
+} // namespace
+} // namespace cidre::trace

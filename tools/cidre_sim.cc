@@ -1,0 +1,19 @@
+/**
+ * @file
+ * cidre_sim — the command-line front end of the CIDRE library.
+ *
+ *   cidre_sim generate --kind fc --out fc.csv
+ *   cidre_sim run --policy cidre --trace fc.csv --cache-gb 80
+ *   cidre_sim compare --policies cidre,faascache,offline --kind azure
+ *   cidre_sim analyze --trace fc.csv
+ */
+
+#include <iostream>
+
+#include "cli/commands.h"
+
+int
+main(int argc, char **argv)
+{
+    return cidre::cli::dispatch(argc, argv, std::cout, std::cerr);
+}
