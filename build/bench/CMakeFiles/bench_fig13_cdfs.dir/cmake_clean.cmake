@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_cdfs.dir/bench_fig13_cdfs.cc.o"
+  "CMakeFiles/bench_fig13_cdfs.dir/bench_fig13_cdfs.cc.o.d"
+  "bench_fig13_cdfs"
+  "bench_fig13_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

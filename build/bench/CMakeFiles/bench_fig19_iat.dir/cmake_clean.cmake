@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_iat.dir/bench_fig19_iat.cc.o"
+  "CMakeFiles/bench_fig19_iat.dir/bench_fig19_iat.cc.o.d"
+  "bench_fig19_iat"
+  "bench_fig19_iat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_iat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

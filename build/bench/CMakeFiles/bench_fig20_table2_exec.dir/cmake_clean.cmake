@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_table2_exec.dir/bench_fig20_table2_exec.cc.o"
+  "CMakeFiles/bench_fig20_table2_exec.dir/bench_fig20_table2_exec.cc.o.d"
+  "bench_fig20_table2_exec"
+  "bench_fig20_table2_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_table2_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_concurrency_evict.dir/bench_fig8_concurrency_evict.cc.o"
+  "CMakeFiles/bench_fig8_concurrency_evict.dir/bench_fig8_concurrency_evict.cc.o.d"
+  "bench_fig8_concurrency_evict"
+  "bench_fig8_concurrency_evict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_concurrency_evict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

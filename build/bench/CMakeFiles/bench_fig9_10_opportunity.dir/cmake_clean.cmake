@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_10_opportunity.dir/bench_fig9_10_opportunity.cc.o"
+  "CMakeFiles/bench_fig9_10_opportunity.dir/bench_fig9_10_opportunity.cc.o.d"
+  "bench_fig9_10_opportunity"
+  "bench_fig9_10_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_10_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_decision.dir/bench_micro_decision.cc.o"
+  "CMakeFiles/bench_micro_decision.dir/bench_micro_decision.cc.o.d"
+  "bench_micro_decision"
+  "bench_micro_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cidre_bench_common.dir/common.cc.o"
+  "CMakeFiles/cidre_bench_common.dir/common.cc.o.d"
+  "libcidre_bench_common.a"
+  "libcidre_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cidre_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

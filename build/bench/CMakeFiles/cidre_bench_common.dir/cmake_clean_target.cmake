@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcidre_bench_common.a"
+)

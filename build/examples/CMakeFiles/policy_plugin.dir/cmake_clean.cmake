@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_plugin.dir/policy_plugin.cpp.o"
+  "CMakeFiles/policy_plugin.dir/policy_plugin.cpp.o.d"
+  "policy_plugin"
+  "policy_plugin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/concurrency.cc" "src/CMakeFiles/cidre.dir/analysis/concurrency.cc.o" "gcc" "src/CMakeFiles/cidre.dir/analysis/concurrency.cc.o.d"
+  "/root/repo/src/analysis/opportunity.cc" "src/CMakeFiles/cidre.dir/analysis/opportunity.cc.o" "gcc" "src/CMakeFiles/cidre.dir/analysis/opportunity.cc.o.d"
+  "/root/repo/src/analysis/tradeoff.cc" "src/CMakeFiles/cidre.dir/analysis/tradeoff.cc.o" "gcc" "src/CMakeFiles/cidre.dir/analysis/tradeoff.cc.o.d"
+  "/root/repo/src/cli/commands.cc" "src/CMakeFiles/cidre.dir/cli/commands.cc.o" "gcc" "src/CMakeFiles/cidre.dir/cli/commands.cc.o.d"
+  "/root/repo/src/cli/options.cc" "src/CMakeFiles/cidre.dir/cli/options.cc.o" "gcc" "src/CMakeFiles/cidre.dir/cli/options.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/cidre.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/cidre.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/container.cc" "src/CMakeFiles/cidre.dir/cluster/container.cc.o" "gcc" "src/CMakeFiles/cidre.dir/cluster/container.cc.o.d"
+  "/root/repo/src/cluster/worker.cc" "src/CMakeFiles/cidre.dir/cluster/worker.cc.o" "gcc" "src/CMakeFiles/cidre.dir/cluster/worker.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/cidre.dir/core/config.cc.o" "gcc" "src/CMakeFiles/cidre.dir/core/config.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/cidre.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/cidre.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/function_state.cc" "src/CMakeFiles/cidre.dir/core/function_state.cc.o" "gcc" "src/CMakeFiles/cidre.dir/core/function_state.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/cidre.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/cidre.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/metrics_io.cc" "src/CMakeFiles/cidre.dir/core/metrics_io.cc.o" "gcc" "src/CMakeFiles/cidre.dir/core/metrics_io.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/cidre.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/cidre.dir/core/policy.cc.o.d"
+  "/root/repo/src/policies/baselines/codecrunch.cc" "src/CMakeFiles/cidre.dir/policies/baselines/codecrunch.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/baselines/codecrunch.cc.o.d"
+  "/root/repo/src/policies/baselines/ensure.cc" "src/CMakeFiles/cidre.dir/policies/baselines/ensure.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/baselines/ensure.cc.o.d"
+  "/root/repo/src/policies/baselines/flame.cc" "src/CMakeFiles/cidre.dir/policies/baselines/flame.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/baselines/flame.cc.o.d"
+  "/root/repo/src/policies/baselines/hybrid.cc" "src/CMakeFiles/cidre.dir/policies/baselines/hybrid.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/baselines/hybrid.cc.o.d"
+  "/root/repo/src/policies/baselines/icebreaker.cc" "src/CMakeFiles/cidre.dir/policies/baselines/icebreaker.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/baselines/icebreaker.cc.o.d"
+  "/root/repo/src/policies/baselines/rainbowcake.cc" "src/CMakeFiles/cidre.dir/policies/baselines/rainbowcake.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/baselines/rainbowcake.cc.o.d"
+  "/root/repo/src/policies/keepalive/belady.cc" "src/CMakeFiles/cidre.dir/policies/keepalive/belady.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/keepalive/belady.cc.o.d"
+  "/root/repo/src/policies/keepalive/cip.cc" "src/CMakeFiles/cidre.dir/policies/keepalive/cip.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/keepalive/cip.cc.o.d"
+  "/root/repo/src/policies/keepalive/gdsf.cc" "src/CMakeFiles/cidre.dir/policies/keepalive/gdsf.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/keepalive/gdsf.cc.o.d"
+  "/root/repo/src/policies/keepalive/lru.cc" "src/CMakeFiles/cidre.dir/policies/keepalive/lru.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/keepalive/lru.cc.o.d"
+  "/root/repo/src/policies/keepalive/ranked.cc" "src/CMakeFiles/cidre.dir/policies/keepalive/ranked.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/keepalive/ranked.cc.o.d"
+  "/root/repo/src/policies/keepalive/ttl.cc" "src/CMakeFiles/cidre.dir/policies/keepalive/ttl.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/keepalive/ttl.cc.o.d"
+  "/root/repo/src/policies/registry.cc" "src/CMakeFiles/cidre.dir/policies/registry.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/registry.cc.o.d"
+  "/root/repo/src/policies/scaling/bss.cc" "src/CMakeFiles/cidre.dir/policies/scaling/bss.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/scaling/bss.cc.o.d"
+  "/root/repo/src/policies/scaling/css.cc" "src/CMakeFiles/cidre.dir/policies/scaling/css.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/scaling/css.cc.o.d"
+  "/root/repo/src/policies/scaling/fixed_queue.cc" "src/CMakeFiles/cidre.dir/policies/scaling/fixed_queue.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/scaling/fixed_queue.cc.o.d"
+  "/root/repo/src/policies/scaling/oracle.cc" "src/CMakeFiles/cidre.dir/policies/scaling/oracle.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/scaling/oracle.cc.o.d"
+  "/root/repo/src/policies/scaling/vanilla.cc" "src/CMakeFiles/cidre.dir/policies/scaling/vanilla.cc.o" "gcc" "src/CMakeFiles/cidre.dir/policies/scaling/vanilla.cc.o.d"
+  "/root/repo/src/sim/distributions.cc" "src/CMakeFiles/cidre.dir/sim/distributions.cc.o" "gcc" "src/CMakeFiles/cidre.dir/sim/distributions.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/cidre.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/cidre.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/cidre.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/cidre.dir/sim/rng.cc.o.d"
+  "/root/repo/src/stats/cdf.cc" "src/CMakeFiles/cidre.dir/stats/cdf.cc.o" "gcc" "src/CMakeFiles/cidre.dir/stats/cdf.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/cidre.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/cidre.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/sliding_window.cc" "src/CMakeFiles/cidre.dir/stats/sliding_window.cc.o" "gcc" "src/CMakeFiles/cidre.dir/stats/sliding_window.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/cidre.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/cidre.dir/stats/summary.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/cidre.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/cidre.dir/stats/table.cc.o.d"
+  "/root/repo/src/stats/timeseries.cc" "src/CMakeFiles/cidre.dir/stats/timeseries.cc.o" "gcc" "src/CMakeFiles/cidre.dir/stats/timeseries.cc.o.d"
+  "/root/repo/src/trace/azure_generator.cc" "src/CMakeFiles/cidre.dir/trace/azure_generator.cc.o" "gcc" "src/CMakeFiles/cidre.dir/trace/azure_generator.cc.o.d"
+  "/root/repo/src/trace/fc_generator.cc" "src/CMakeFiles/cidre.dir/trace/fc_generator.cc.o" "gcc" "src/CMakeFiles/cidre.dir/trace/fc_generator.cc.o.d"
+  "/root/repo/src/trace/function_profile.cc" "src/CMakeFiles/cidre.dir/trace/function_profile.cc.o" "gcc" "src/CMakeFiles/cidre.dir/trace/function_profile.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/cidre.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/cidre.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/cidre.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/cidre.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/transforms.cc" "src/CMakeFiles/cidre.dir/trace/transforms.cc.o" "gcc" "src/CMakeFiles/cidre.dir/trace/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

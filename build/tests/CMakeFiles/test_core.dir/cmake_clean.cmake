@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/engine_edge_test.cc.o"
+  "CMakeFiles/test_core.dir/core/engine_edge_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/engine_features_test.cc.o"
+  "CMakeFiles/test_core.dir/core/engine_features_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/engine_test.cc.o"
+  "CMakeFiles/test_core.dir/core/engine_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cc.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

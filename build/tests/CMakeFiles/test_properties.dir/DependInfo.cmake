@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/properties/engine_properties_test.cc" "tests/CMakeFiles/test_properties.dir/properties/engine_properties_test.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/engine_properties_test.cc.o.d"
+  "/root/repo/tests/properties/sim_properties_test.cc" "tests/CMakeFiles/test_properties.dir/properties/sim_properties_test.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/sim_properties_test.cc.o.d"
+  "/root/repo/tests/properties/stats_properties_test.cc" "tests/CMakeFiles/test_properties.dir/properties/stats_properties_test.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/stats_properties_test.cc.o.d"
+  "/root/repo/tests/properties/trace_properties_test.cc" "tests/CMakeFiles/test_properties.dir/properties/trace_properties_test.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/trace_properties_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cidre.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

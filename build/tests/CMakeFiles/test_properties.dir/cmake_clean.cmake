@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/engine_properties_test.cc.o"
+  "CMakeFiles/test_properties.dir/properties/engine_properties_test.cc.o.d"
+  "CMakeFiles/test_properties.dir/properties/sim_properties_test.cc.o"
+  "CMakeFiles/test_properties.dir/properties/sim_properties_test.cc.o.d"
+  "CMakeFiles/test_properties.dir/properties/stats_properties_test.cc.o"
+  "CMakeFiles/test_properties.dir/properties/stats_properties_test.cc.o.d"
+  "CMakeFiles/test_properties.dir/properties/trace_properties_test.cc.o"
+  "CMakeFiles/test_properties.dir/properties/trace_properties_test.cc.o.d"
+  "test_properties"
+  "test_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cidre_sim.dir/cidre_sim.cc.o"
+  "CMakeFiles/cidre_sim.dir/cidre_sim.cc.o.d"
+  "cidre_sim"
+  "cidre_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cidre_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
