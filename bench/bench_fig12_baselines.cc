@@ -23,18 +23,40 @@ runTrace(const cidre::bench::Options &options, const char *name,
 {
     using namespace cidre;
 
+    const std::vector<int> cache_gbs = {80, 100, 120, 140, 160};
     std::vector<std::string> headers = {"Policy"};
-    for (const int gb : {80, 100, 120, 140, 160})
+    for (const int gb : cache_gbs)
         headers.push_back(std::to_string(gb) + "GB");
     stats::Table overhead(headers);
     stats::Table breakdown({"Policy@100GB", "cold %", "delayed warm %",
                             "warm %"});
 
-    for (const std::string &policy : policies::figure12PolicyNames()) {
+    // Every policy × cache-size point is an independent simulation:
+    // fan the whole grid across the worker pool, then fill the tables
+    // from the submission-ordered results.
+    const auto &policy_names = policies::figure12PolicyNames();
+    std::vector<exp::TrialSpec> specs;
+    specs.reserve(policy_names.size() * cache_gbs.size());
+    for (const std::string &policy : policy_names) {
+        for (const int gb : cache_gbs) {
+            exp::TrialSpec spec;
+            spec.label = policy + "@" + std::to_string(gb) + "GB";
+            spec.workload = &workload;
+            spec.policy = policy;
+            spec.config = bench::defaultConfig(gb);
+            spec.base_seed = options.seed;
+            spec.trial_index = specs.size();
+            specs.push_back(std::move(spec));
+        }
+    }
+    const std::vector<core::RunMetrics> metrics =
+        bench::runTrials(options, specs);
+
+    std::size_t index = 0;
+    for (const std::string &policy : policy_names) {
         std::vector<double> row;
-        for (const int gb : {80, 100, 120, 140, 160}) {
-            const core::RunMetrics m = bench::runPolicy(
-                workload, policy, bench::defaultConfig(gb));
+        for (const int gb : cache_gbs) {
+            const core::RunMetrics &m = metrics[index++];
             row.push_back(m.avgOverheadRatioPct());
             if (gb == 100) {
                 breakdown.addRow(policy,

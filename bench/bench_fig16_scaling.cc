@@ -37,26 +37,49 @@ main(int argc, char **argv)
                         "CIDRE delayed %"});
     // Concurrency levels as load multipliers on the base workload
     // (the paper sweeps 166...498 rps; ours scales its base rate).
-    for (const double load : {0.5, 0.75, 1.0, 1.25, 1.5}) {
-        const trace::Trace workload =
-            trace::makeAzureLikeTrace(options.seed, options.scale * load);
-        const trace::TraceStats stats = workload.computeStats();
+    const std::vector<double> loads = {0.5, 0.75, 1.0, 1.25, 1.5};
+    const std::vector<std::string> policies = {"faascache", "rainbowcake",
+                                               "cidre-bss", "cidre"};
 
-        const auto gb_per_min = [&](const core::RunMetrics &m) {
-            const double minutes = sim::toMin(m.makespan());
-            return minutes > 0.0
-                ? static_cast<double>(m.provisioned_mb) / 1024.0 / minutes
-                : 0.0;
-        };
+    // Generate the per-load traces up front (deterministic per load),
+    // then fan the whole load × policy grid across the worker pool.
+    std::vector<trace::Trace> workloads(loads.size());
+    exp::parallelFor(options.jobs, loads.size(), [&](std::size_t i) {
+        workloads[i] =
+            trace::makeAzureLikeTrace(options.seed,
+                                      options.scale * loads[i]);
+    });
+
+    std::vector<exp::TrialSpec> specs;
+    specs.reserve(loads.size() * policies.size());
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        for (const std::string &policy : policies) {
+            exp::TrialSpec spec;
+            spec.label = policy + "@x" + stats::formatFixed(loads[i], 2);
+            spec.workload = &workloads[i];
+            spec.policy = policy;
+            spec.config = config;
+            spec.base_seed = options.seed;
+            spec.trial_index = specs.size();
+            specs.push_back(std::move(spec));
+        }
+    }
+    const std::vector<core::RunMetrics> metrics =
+        bench::runTrials(options, specs);
+
+    const auto gb_per_min = [](const core::RunMetrics &m) {
+        const double minutes = sim::toMin(m.makespan());
+        return minutes > 0.0
+            ? static_cast<double>(m.provisioned_mb) / 1024.0 / minutes
+            : 0.0;
+    };
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const trace::TraceStats stats = workloads[i].computeStats();
         std::vector<double> row;
-        row.push_back(
-            gb_per_min(bench::runPolicy(workload, "faascache", config)));
-        row.push_back(
-            gb_per_min(bench::runPolicy(workload, "rainbowcake", config)));
-        row.push_back(
-            gb_per_min(bench::runPolicy(workload, "cidre-bss", config)));
-        const core::RunMetrics cidre =
-            bench::runPolicy(workload, "cidre", config);
+        for (std::size_t p = 0; p + 1 < policies.size(); ++p)
+            row.push_back(gb_per_min(metrics[i * policies.size() + p]));
+        const core::RunMetrics &cidre =
+            metrics[i * policies.size() + policies.size() - 1];
         row.push_back(gb_per_min(cidre));
         row.push_back(cidre.coldRatio() * 100.0);
         row.push_back(cidre.delayedRatio() * 100.0);

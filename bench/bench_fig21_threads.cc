@@ -26,14 +26,32 @@ main(int argc, char **argv)
     stats::Table table({"Threads", "FaasCache overhead %",
                         "CIDRE overhead %", "FaasCache cold %",
                         "CIDRE cold %"});
-    for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
-        core::EngineConfig config = bench::defaultConfig(100);
-        config.container_threads = threads;
-        const core::RunMetrics fc =
-            bench::runPolicy(workload, "faascache", config);
-        const core::RunMetrics cidre =
-            bench::runPolicy(workload, "cidre", config);
-        table.addRow(std::to_string(threads) + "-thrd",
+    const std::vector<std::uint32_t> thread_counts = {1, 2, 4, 8};
+
+    // Thread-width × policy grid as one parallel batch.
+    std::vector<exp::TrialSpec> specs;
+    specs.reserve(thread_counts.size() * 2);
+    for (const std::uint32_t threads : thread_counts) {
+        for (const char *policy : {"faascache", "cidre"}) {
+            exp::TrialSpec spec;
+            spec.label =
+                std::string(policy) + "@" + std::to_string(threads) + "t";
+            spec.workload = &workload;
+            spec.policy = policy;
+            spec.config = bench::defaultConfig(100);
+            spec.config.container_threads = threads;
+            spec.base_seed = options.seed;
+            spec.trial_index = specs.size();
+            specs.push_back(std::move(spec));
+        }
+    }
+    const std::vector<core::RunMetrics> metrics =
+        bench::runTrials(options, specs);
+
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+        const core::RunMetrics &fc = metrics[i * 2];
+        const core::RunMetrics &cidre = metrics[i * 2 + 1];
+        table.addRow(std::to_string(thread_counts[i]) + "-thrd",
                      {fc.avgOverheadRatioPct(),
                       cidre.avgOverheadRatioPct(), fc.coldRatio() * 100.0,
                       cidre.coldRatio() * 100.0},

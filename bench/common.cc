@@ -35,9 +35,13 @@ parseOptions(int argc, char **argv, const char *bench_name,
                 static_cast<std::uint64_t>(std::atoll(next_value()));
         } else if (arg == "--csv") {
             options.csv_dir = next_value();
+        } else if (arg == "--jobs") {
+            options.jobs =
+                static_cast<unsigned>(std::atoi(next_value()));
         } else if (arg == "--help" || arg == "-h") {
             std::cout << bench_name << " — " << description << "\n"
-                      << "options: --scale <f> --seed <n> --csv <dir>\n";
+                      << "options: --scale <f> --seed <n> --csv <dir>"
+                         " --jobs <n>\n";
             std::exit(0);
         } else {
             std::cerr << bench_name << ": unknown option " << arg << "\n";
@@ -111,6 +115,21 @@ runPolicy(const trace::Trace &workload, const std::string &policy,
     core::Engine engine(workload, run_config,
                         policies::makePolicy(policy, run_config));
     return engine.run();
+}
+
+std::vector<core::RunMetrics>
+runTrials(const Options &options, const std::vector<exp::TrialSpec> &specs)
+{
+    exp::RunnerOptions runner_options;
+    runner_options.jobs = options.jobs;
+    runner_options.progress = &std::cerr;
+    const exp::ExperimentRunner runner(runner_options);
+    std::vector<exp::TrialResult> results = runner.run(specs);
+    std::vector<core::RunMetrics> metrics;
+    metrics.reserve(results.size());
+    for (auto &result : results)
+        metrics.push_back(std::move(result.metrics));
+    return metrics;
 }
 
 void

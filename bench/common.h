@@ -7,6 +7,7 @@
  *   --scale <f>   workload volume multiplier (default 1.0 = paper scale)
  *   --seed <n>    trace seed (default 42)
  *   --csv <dir>   also dump each printed table as CSV into <dir>
+ *   --jobs <n>    worker threads for sweep-shaped benches (0 = cores)
  */
 
 #ifndef CIDRE_BENCH_COMMON_H
@@ -14,9 +15,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/metrics.h"
+#include "exp/runner.h"
 #include "stats/table.h"
 #include "trace/generators.h"
 #include "trace/trace.h"
@@ -29,6 +32,8 @@ struct Options
     double scale = 1.0;
     std::uint64_t seed = 42;
     std::string csv_dir;
+    /** Sweep worker threads (0 = hardware concurrency). */
+    unsigned jobs = 0;
 };
 
 /** Parse argv; exits with usage on --help or bad arguments. */
@@ -50,6 +55,14 @@ core::RunMetrics runPolicy(const trace::Trace &workload,
                            const std::string &policy,
                            const core::EngineConfig &config,
                            bool record_per_request = false);
+
+/**
+ * Fan a batch of independent trials across `--jobs` worker threads and
+ * return their metrics in submission order (deterministic for any job
+ * count).  Progress/telemetry is printed to stderr.
+ */
+std::vector<core::RunMetrics> runTrials(
+    const Options &options, const std::vector<exp::TrialSpec> &specs);
 
 /** Print a section banner with the paper reference. */
 void banner(const std::string &title, const std::string &paper_ref);

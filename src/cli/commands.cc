@@ -8,7 +8,9 @@
 #include "analysis/tradeoff.h"
 #include "core/engine.h"
 #include "core/metrics_io.h"
+#include "exp/runner.h"
 #include "policies/registry.h"
+#include "sim/rng.h"
 #include "stats/table.h"
 #include "trace/generators.h"
 #include "trace/trace_io.h"
@@ -35,8 +37,15 @@ appendWorkloadSpecs(std::vector<OptionSpec> &specs)
                  kWorkloadSpecs.end());
 }
 
+std::uint64_t
+baseSeed(const Options &options)
+{
+    return static_cast<std::uint64_t>(options.getInt("seed", 42));
+}
+
+/** Load the workload, synthesizing from @p seed when not a CSV trace. */
 trace::Trace
-loadWorkload(const Options &options)
+loadWorkloadWithSeed(const Options &options, std::uint64_t seed)
 {
     trace::Trace workload;
     if (options.has("trace")) {
@@ -44,8 +53,6 @@ loadWorkload(const Options &options)
     } else {
         const std::string kind = options.getString("kind", "azure");
         const double scale = options.getDouble("scale", 1.0);
-        const auto seed =
-            static_cast<std::uint64_t>(options.getInt("seed", 42));
         if (kind == "azure") {
             workload = trace::makeAzureLikeTrace(seed, scale);
         } else if (kind == "fc") {
@@ -61,6 +68,56 @@ loadWorkload(const Options &options)
     if (exec_scale != 1.0)
         workload = trace::scaleExec(workload, exec_scale);
     return workload;
+}
+
+trace::Trace
+loadWorkload(const Options &options)
+{
+    return loadWorkloadWithSeed(options, baseSeed(options));
+}
+
+/** Sweep knobs shared by `run --trials` and `compare`. */
+const std::vector<OptionSpec> kSweepSpecs = {
+    {"trials", "n", "independent trials (seed substreams)", "1"},
+    {"jobs", "n", "sweep worker threads (0 = all cores)", "0"},
+    {"progress", "", "per-trial telemetry on stderr", ""},
+};
+
+void
+appendSweepSpecs(std::vector<OptionSpec> &specs)
+{
+    specs.insert(specs.end(), kSweepSpecs.begin(), kSweepSpecs.end());
+}
+
+exp::RunnerOptions
+runnerOptions(const Options &options, std::ostream &err)
+{
+    exp::RunnerOptions runner;
+    runner.jobs = static_cast<unsigned>(options.getInt("jobs", 0));
+    runner.progress = options.getFlag("progress") ? &err : nullptr;
+    return runner;
+}
+
+/**
+ * The workloads of an n-trial sweep.  A CSV trace is one shared
+ * workload (trials then only vary the engine seed); synthetic trials
+ * replay per-trial traces generated from seed substreams — trial i is
+ * the workload of substreamSeed(base_seed, i), generated in parallel
+ * but fully determined by (base_seed, i).
+ */
+std::vector<trace::Trace>
+loadTrialWorkloads(const Options &options, std::uint64_t trials,
+                   unsigned jobs)
+{
+    if (options.has("trace") || trials <= 1)
+        return {loadWorkload(options)};
+    std::vector<trace::Trace> workloads(trials);
+    const std::uint64_t base = baseSeed(options);
+    exp::parallelFor(jobs, trials, [&](std::size_t i) {
+        workloads[i] = loadWorkloadWithSeed(
+            options, sim::substreamSeed(base, i));
+    });
+    return workloads;
 }
 
 core::EngineConfig
@@ -148,7 +205,7 @@ generateSpecs()
 }
 
 int
-runGenerate(const Options &options, std::ostream &out)
+runGenerate(const Options &options, std::ostream &out, std::ostream &)
 {
     const std::string path = options.getString("out");
     if (path.empty())
@@ -178,25 +235,61 @@ simulateSpecs()
         };
         appendWorkloadSpecs(s);
         appendEngineSpecs(s);
+        appendSweepSpecs(s);
         return s;
     }();
     return specs;
 }
 
 int
-runSimulate(const Options &options, std::ostream &out)
+runSimulate(const Options &options, std::ostream &out, std::ostream &err)
 {
     const std::string policy = options.getString("policy", "cidre");
     const auto top = static_cast<std::size_t>(
         options.getInt("top-functions", 0));
-    const trace::Trace workload = loadWorkload(options);
+    const auto trials =
+        static_cast<std::uint64_t>(options.getInt("trials", 1));
+    if (trials == 0)
+        throw std::invalid_argument("run: --trials must be >= 1");
     core::EngineConfig config = engineConfig(options);
     config.record_per_request = top > 0;
     config.record_timeline = options.getFlag("timeline");
     config.slo_us = sim::msec(options.getInt("slo-ms", 0));
-    core::Engine engine(workload, config,
-                        policies::makePolicy(policy, config));
-    const core::RunMetrics metrics = engine.run();
+
+    // Validate sweep options up front so e.g. a malformed --jobs is
+    // rejected even on the single-trial path that never uses it.
+    const exp::RunnerOptions runner_options = runnerOptions(options, err);
+
+    core::RunMetrics metrics;
+    trace::Trace single_workload;
+    if (trials == 1) {
+        single_workload = loadWorkload(options);
+        core::Engine engine(single_workload, config,
+                            policies::makePolicy(policy, config));
+        metrics = engine.run();
+    } else {
+        if (top > 0 || config.record_timeline) {
+            throw std::invalid_argument(
+                "run: --top-functions/--timeline need --trials 1 (the"
+                " per-request log and timeline are per-trial views)");
+        }
+        const std::vector<trace::Trace> workloads =
+            loadTrialWorkloads(options, trials, runner_options.jobs);
+        std::vector<exp::TrialSpec> specs(trials);
+        for (std::uint64_t i = 0; i < trials; ++i) {
+            exp::TrialSpec &spec = specs[i];
+            spec.label = policy + "/t" + std::to_string(i);
+            spec.workload = &workloads[workloads.size() == 1 ? 0 : i];
+            spec.policy = policy;
+            spec.config = config;
+            spec.base_seed = baseSeed(options);
+            spec.trial_index = i;
+        }
+        const exp::ExperimentRunner runner(runner_options);
+        metrics = exp::mergedMetrics(runner.run(specs));
+        out << "trials: " << trials << " (seed substreams of "
+            << baseSeed(options) << ")\n";
+    }
     reportRun(out, policy, metrics);
     if (config.slo_us > 0) {
         out << "SLO (" << sim::toMs(config.slo_us) << " ms) violations: "
@@ -223,7 +316,7 @@ runSimulate(const Options &options, std::ostream &out)
         stats::Table table({"function", "requests", "cold", "delayed",
                             "total wait s", "avg wait ms"});
         for (const auto &fb :
-             core::perFunctionBreakdown(workload, metrics, top)) {
+             core::perFunctionBreakdown(single_workload, metrics, top)) {
             table.addRow({fb.name, std::to_string(fb.requests),
                           std::to_string(fb.cold),
                           std::to_string(fb.delayed),
@@ -248,27 +341,58 @@ compareSpecs()
         };
         appendWorkloadSpecs(s);
         appendEngineSpecs(s);
+        appendSweepSpecs(s);
         return s;
     }();
     return specs;
 }
 
 int
-runCompare(const Options &options, std::ostream &out)
+runCompare(const Options &options, std::ostream &out, std::ostream &err)
 {
     std::vector<std::string> names = options.getList("policies");
     if (names.empty())
         names = {"cidre", "cidre-bss", "faascache", "ttl"};
-    const trace::Trace workload = loadWorkload(options);
+    const auto trials =
+        static_cast<std::uint64_t>(options.getInt("trials", 1));
+    if (trials == 0)
+        throw std::invalid_argument("compare: --trials must be >= 1");
     const core::EngineConfig config = engineConfig(options);
 
+    // Every policy × trial pair is one independent simulation; fan them
+    // all across the worker pool and reduce per policy in trial order,
+    // so the table is byte-identical for any --jobs value.
+    const exp::RunnerOptions runner_options = runnerOptions(options, err);
+    const std::vector<trace::Trace> workloads =
+        loadTrialWorkloads(options, trials, runner_options.jobs);
+    std::vector<exp::TrialSpec> specs;
+    specs.reserve(names.size() * trials);
+    for (const std::string &name : names) {
+        for (std::uint64_t i = 0; i < trials; ++i) {
+            exp::TrialSpec spec;
+            spec.label = name + "/t" + std::to_string(i);
+            spec.workload = &workloads[workloads.size() == 1 ? 0 : i];
+            spec.policy = name;
+            spec.config = config;
+            spec.base_seed = baseSeed(options);
+            spec.trial_index = i;
+            specs.push_back(std::move(spec));
+        }
+    }
+    const exp::ExperimentRunner runner(runner_options);
+    const std::vector<exp::TrialResult> results = runner.run(specs);
+
+    if (trials > 1) {
+        out << "trials: " << trials << " per policy (seed substreams of "
+            << baseSeed(options) << ")\n";
+    }
     stats::Table table({"policy", "overhead %", "cold %", "delayed %",
                         "warm %", "E2E p50 ms", "created"});
-    for (const std::string &name : names) {
-        core::Engine engine(workload, config,
-                            policies::makePolicy(name, config));
-        const core::RunMetrics m = engine.run();
-        table.addRow(name,
+    for (std::size_t p = 0; p < names.size(); ++p) {
+        core::RunMetrics m = results[p * trials].metrics;
+        for (std::uint64_t i = 1; i < trials; ++i)
+            m.merge(results[p * trials + i].metrics);
+        table.addRow(names[p],
                      {m.avgOverheadRatioPct(), m.coldRatio() * 100.0,
                       m.delayedRatio() * 100.0, m.warmRatio() * 100.0,
                       m.e2eHistogram().percentile(0.5) / 1e3,
@@ -291,7 +415,7 @@ analyzeSpecs()
 }
 
 int
-runAnalyze(const Options &options, std::ostream &out)
+runAnalyze(const Options &options, std::ostream &out, std::ostream &)
 {
     const trace::Trace workload = loadWorkload(options);
     const trace::TraceStats stats = workload.computeStats();
@@ -350,7 +474,7 @@ dispatch(int argc, const char *const *argv, std::ostream &out,
         const char *name;
         const char *synopsis;
         const std::vector<OptionSpec> &(*specs)();
-        int (*run)(const Options &, std::ostream &);
+        int (*run)(const Options &, std::ostream &, std::ostream &);
     };
     const Entry entries[] = {
         {"generate", "--out trace.csv [options]", &generateSpecs,
@@ -374,7 +498,7 @@ dispatch(int argc, const char *const *argv, std::ostream &out,
         try {
             const Options options =
                 Options::parse(argc - 1, argv + 1, entry.specs());
-            return entry.run(options, out);
+            return entry.run(options, out, err);
         } catch (const std::exception &e) {
             err << "cidre_sim " << entry.name << ": " << e.what() << "\n";
             return 2;

@@ -18,11 +18,21 @@
 
 namespace cidre::cli {
 
-/** Exit status of a subcommand (0 = success). */
-int runGenerate(const Options &options, std::ostream &out);
-int runSimulate(const Options &options, std::ostream &out);
-int runCompare(const Options &options, std::ostream &out);
-int runAnalyze(const Options &options, std::ostream &out);
+/**
+ * Exit status of a subcommand (0 = success).
+ *
+ * Results go to @p out; progress/telemetry of multi-trial sweeps (see
+ * `--trials` / `--jobs` / `--progress`) goes to @p err so result output
+ * stays byte-identical for any job count.
+ */
+int runGenerate(const Options &options, std::ostream &out,
+                std::ostream &err);
+int runSimulate(const Options &options, std::ostream &out,
+                std::ostream &err);
+int runCompare(const Options &options, std::ostream &out,
+               std::ostream &err);
+int runAnalyze(const Options &options, std::ostream &out,
+               std::ostream &err);
 
 /** Options accepted by each subcommand (for usage text and parsing). */
 const std::vector<OptionSpec> &generateSpecs();

@@ -67,6 +67,45 @@ RunMetrics::finalize(sim::SimTime now)
     finalized_ = true;
 }
 
+void
+RunMetrics::merge(const RunMetrics &other)
+{
+    if (!finalized_ || !other.finalized_)
+        throw std::logic_error("RunMetrics::merge: both runs must be"
+                               " finalized");
+    if (&other == this)
+        throw std::logic_error("RunMetrics::merge: self-merge");
+
+    containers_created += other.containers_created;
+    provisioned_mb += other.provisioned_mb;
+    evictions += other.evictions;
+    expirations += other.expirations;
+    compressions += other.compressions;
+    prewarms += other.prewarms;
+    wasted_cold_starts += other.wasted_cold_starts;
+    deferred_provisions += other.deferred_provisions;
+    cancelled_provisions += other.cancelled_provisions;
+    slo_violations += other.slo_violations;
+
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i] += other.counts_[i];
+        wait_by_type_[i].merge(other.wait_by_type_[i]);
+    }
+    overhead_ratio_.merge(other.overhead_ratio_);
+    overhead_all_.merge(other.overhead_all_);
+    overhead_us_.merge(other.overhead_us_);
+    e2e_us_.merge(other.e2e_us_);
+
+    outcomes.insert(outcomes.end(), other.outcomes.begin(),
+                    other.outcomes.end());
+
+    mb_time_integral_ += other.mb_time_integral_;
+    peak_used_mb_ = std::max(peak_used_mb_, other.peak_used_mb_);
+    // Total simulated time: keeps avgMemoryGb() the time-weighted mean
+    // of the merged runs.
+    makespan_ += other.makespan_;
+}
+
 std::uint64_t
 RunMetrics::count(StartType type) const
 {

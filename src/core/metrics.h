@@ -78,6 +78,25 @@ class RunMetrics
     /** Close the memory integral and record the makespan. */
     void finalize(sim::SimTime now);
 
+    /**
+     * Absorb the aggregates of another finalized run (sweep reduction).
+     *
+     * Deterministic in the operand order: merging the same sequence of
+     * runs always yields bit-identical aggregates, which is why the
+     * experiment runner reduces trial results strictly in submission
+     * order regardless of which thread finished first.  Semantics of
+     * the merged run:
+     *  - counters, request counts, distributions and outcome logs
+     *    accumulate;
+     *  - makespan() becomes the *total* simulated time across runs, so
+     *    avgMemoryGb() stays the time-weighted mean over all trials;
+     *  - peak memory is the maximum across runs;
+     *  - the timeline is NOT merged (per-trial dynamics do not overlay
+     *    meaningfully); this run's own timeline is kept.
+     * Both runs must be finalized; throws std::logic_error otherwise.
+     */
+    void merge(const RunMetrics &other);
+
     // --- raw counters (engine-maintained) ------------------------------
     std::uint64_t containers_created = 0;
     /** Total memory of all containers ever provisioned (churn volume). */

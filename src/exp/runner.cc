@@ -1,0 +1,110 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "core/engine.h"
+#include "exp/telemetry.h"
+#include "policies/registry.h"
+#include "sim/rng.h"
+
+namespace cidre::exp {
+
+unsigned
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+}
+
+void
+parallelFor(unsigned jobs, std::size_t count,
+            const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs == 0 ? defaultJobs() : jobs, count));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(count);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    return;
+                try {
+                    body(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+    for (const auto &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+std::vector<TrialResult>
+ExperimentRunner::run(const std::vector<TrialSpec> &specs) const
+{
+    std::vector<TrialResult> results(specs.size());
+    ProgressReporter progress(options_.progress, specs.size());
+
+    parallelFor(options_.jobs, specs.size(), [&](std::size_t i) {
+        const TrialSpec &spec = specs[i];
+        if (spec.workload == nullptr) {
+            throw std::invalid_argument(
+                "ExperimentRunner: spec " + std::to_string(i) + " (" +
+                spec.label + ") has no workload");
+        }
+        const auto started = std::chrono::steady_clock::now();
+
+        core::EngineConfig config = spec.config;
+        config.seed = sim::substreamSeed(spec.base_seed, spec.trial_index);
+        core::Engine engine(*spec.workload, config,
+                            policies::makePolicy(spec.policy, config));
+
+        TrialResult &result = results[i];
+        result.metrics = engine.run();
+        result.spec_index = i;
+        result.label = spec.label;
+        result.seed = config.seed;
+        result.wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        progress.trialDone(result.label, result.wall_ms);
+    });
+    return results;
+}
+
+core::RunMetrics
+mergedMetrics(const std::vector<TrialResult> &results)
+{
+    if (results.empty())
+        throw std::invalid_argument("mergedMetrics: no trial results");
+    core::RunMetrics merged = results.front().metrics;
+    for (std::size_t i = 1; i < results.size(); ++i)
+        merged.merge(results[i].metrics);
+    return merged;
+}
+
+} // namespace cidre::exp

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Parallel experiment runner: fan independent Engine::run() trials
+ * across a fixed pool of worker threads with deterministic results.
+ *
+ * Every figure of the paper is a sweep — policies × traces × seeds ×
+ * knobs — of *independent* simulations (each core::Engine owns its
+ * event queue, RNG, cluster and metrics), so trial-level parallelism
+ * is safe as long as three rules hold, and this module enforces them:
+ *
+ *  1. **Inputs are immutable.**  Trials share sealed trace::Trace
+ *     objects read-only; nothing else is shared.
+ *  2. **Randomness is positional.**  A trial's RNG seed is derived as
+ *     sim::substreamSeed(base_seed, trial_index) — a pure function of
+ *     the submission index, never of scheduling order or thread id.
+ *  3. **Reduction is ordered.**  Results land in a pre-sized vector at
+ *     their submission index and mergedMetrics() folds them strictly in
+ *     that order, so aggregate output is bit-identical for any job
+ *     count (--jobs 1 == --jobs 8, byte for byte).
+ *
+ * The pool is deliberately work-stealing-free: workers claim the next
+ * unclaimed submission index from one atomic counter.  Claim order may
+ * vary between runs; results never do.
+ */
+
+#ifndef CIDRE_EXP_RUNNER_H
+#define CIDRE_EXP_RUNNER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "trace/trace.h"
+
+namespace cidre::exp {
+
+/** One independent simulation to run (a point of a sweep). */
+struct TrialSpec
+{
+    /** Display label for progress lines, e.g. "cidre/t3". */
+    std::string label;
+
+    /**
+     * Sealed workload, shared read-only; must outlive the run() call.
+     * Trials replaying different traces simply point at different
+     * (pre-generated) Trace objects.
+     */
+    const trace::Trace *workload = nullptr;
+
+    /** Policy registry name ("cidre", "faascache", ...). */
+    std::string policy;
+
+    /**
+     * Engine configuration for this trial.  config.seed is ignored:
+     * the runner overwrites it with the derived substream seed.
+     */
+    core::EngineConfig config;
+
+    /** Sweep-wide base seed; pair with trial_index for the substream. */
+    std::uint64_t base_seed = 42;
+
+    /** Substream index (conventionally the trial's position). */
+    std::uint64_t trial_index = 0;
+};
+
+/** Outcome of one trial, stored at its submission index. */
+struct TrialResult
+{
+    std::size_t spec_index = 0;
+    std::string label;
+    /** The substream seed the engine actually ran with. */
+    std::uint64_t seed = 0;
+    core::RunMetrics metrics;
+    /** Host wall-clock of this trial in ms (telemetry only). */
+    double wall_ms = 0.0;
+};
+
+struct RunnerOptions
+{
+    /** Worker threads; 0 selects defaultJobs(). */
+    unsigned jobs = 0;
+
+    /**
+     * Stream for per-trial progress/telemetry lines (typically
+     * &std::cerr); nullptr disables.  Telemetry is host-dependent and
+     * therefore never printed to result streams.
+     */
+    std::ostream *progress = nullptr;
+};
+
+/** Default worker count: the hardware concurrency (at least 1). */
+unsigned defaultJobs();
+
+/**
+ * Run body(0) ... body(count-1) on a fixed pool of @p jobs threads
+ * (0 = defaultJobs(); the pool never exceeds @p count).  Blocks until
+ * every index ran.  If bodies throw, the exception of the smallest
+ * failing index is rethrown after the pool drains.
+ *
+ * The scheduling discipline is a single atomic claim counter — no
+ * work stealing, no per-thread queues — so a deterministic body keyed
+ * on its index yields identical results for any job count.
+ */
+void parallelFor(unsigned jobs, std::size_t count,
+                 const std::function<void(std::size_t)> &body);
+
+/** Fans TrialSpecs across worker threads; see the file comment. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunnerOptions options = {})
+        : options_(options)
+    {
+    }
+
+    /**
+     * Run every spec and return results indexed by submission order.
+     * Rethrows the first (by submission index) trial failure.
+     */
+    std::vector<TrialResult> run(const std::vector<TrialSpec> &specs) const;
+
+  private:
+    RunnerOptions options_;
+};
+
+/**
+ * Fold the trial metrics strictly in submission-index order.
+ * @throws std::invalid_argument on an empty result set.
+ */
+core::RunMetrics mergedMetrics(const std::vector<TrialResult> &results);
+
+} // namespace cidre::exp
+
+#endif // CIDRE_EXP_RUNNER_H

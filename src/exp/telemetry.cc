@@ -1,0 +1,50 @@
+#include "exp/telemetry.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace cidre::exp {
+
+std::int64_t
+peakRssMb()
+{
+#ifdef __linux__
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) != 0)
+            continue;
+        std::istringstream fields(line.substr(6));
+        std::int64_t kb = 0;
+        if (fields >> kb)
+            return kb / 1024;
+        break;
+    }
+#endif
+    return -1;
+}
+
+void
+ProgressReporter::trialDone(const std::string &label, double wall_ms)
+{
+    if (out_ == nullptr)
+        return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++done_;
+    // Build the line in one shot so concurrent reporters never
+    // interleave fragments.
+    std::ostringstream line;
+    line << "[exp] " << done_ << "/" << total_ << " trials  last="
+         << label << " ";
+    line.setf(std::ios::fixed);
+    line.precision(1);
+    line << wall_ms << " ms";
+    const std::int64_t rss = peakRssMb();
+    if (rss >= 0)
+        line << "  peak-rss=" << rss << " MB";
+    line << "\n";
+    *out_ << line.str() << std::flush;
+}
+
+} // namespace cidre::exp

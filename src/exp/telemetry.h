@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Host-side telemetry for experiment sweeps: peak RSS probing and a
+ * thread-safe progress reporter.
+ *
+ * Everything here reports to stderr (or any caller-chosen stream) and
+ * reads host clocks / proc files, so it is deliberately kept out of the
+ * deterministic result path: simulation outputs never depend on it.
+ */
+
+#ifndef CIDRE_EXP_TELEMETRY_H
+#define CIDRE_EXP_TELEMETRY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace cidre::exp {
+
+/**
+ * Peak resident set size of this process in MB (Linux VmHWM), or -1
+ * when the platform offers no cheap probe.
+ */
+std::int64_t peakRssMb();
+
+/**
+ * Counts completed trials and prints one progress line per completion:
+ *
+ *   [exp] 3/8 trials  last=cidre/t2 152.4 ms  peak-rss=84 MB
+ *
+ * Thread-safe; a null stream disables reporting entirely.
+ */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(std::ostream *out, std::size_t total)
+        : out_(out), total_(total)
+    {
+    }
+
+    /** Report one finished trial (its label and host wall-clock). */
+    void trialDone(const std::string &label, double wall_ms);
+
+  private:
+    std::ostream *out_;
+    std::size_t total_;
+    std::size_t done_ = 0;
+    std::mutex mutex_;
+};
+
+} // namespace cidre::exp
+
+#endif // CIDRE_EXP_TELEMETRY_H

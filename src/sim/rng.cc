@@ -4,17 +4,33 @@
 
 namespace cidre::sim {
 
+std::uint64_t
+splitmix64(std::uint64_t value)
+{
+    value += 0x9e3779b97f4a7c15ull;
+    value = (value ^ (value >> 30)) * 0xbf58476d1ce4e5b9ull;
+    value = (value ^ (value >> 27)) * 0x94d049bb133111ebull;
+    return value ^ (value >> 31);
+}
+
+std::uint64_t
+substreamSeed(std::uint64_t base_seed, std::uint64_t index)
+{
+    // index + 1 keeps substream 0 distinct from a plain mix of the base
+    // seed; the golden-ratio multiplier spreads consecutive indices far
+    // apart before the second avalanche round.
+    return splitmix64(splitmix64(base_seed) ^
+                      ((index + 1) * 0x9e3779b97f4a7c15ull));
+}
+
 namespace {
 
-/** splitmix64 step, used only to expand the seed into full state. */
+/** splitmix64 counter step, used to expand the seed into full state. */
 std::uint64_t
-splitmix64(std::uint64_t &x)
+splitmixStep(std::uint64_t &x)
 {
     x += 0x9e3779b97f4a7c15ull;
-    std::uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
+    return splitmix64(x - 0x9e3779b97f4a7c15ull);
 }
 
 std::uint64_t
@@ -29,7 +45,7 @@ Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t s = seed;
     for (auto &word : state_)
-        word = splitmix64(s);
+        word = splitmixStep(s);
 }
 
 std::uint64_t

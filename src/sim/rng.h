@@ -18,6 +18,27 @@
 namespace cidre::sim {
 
 /**
+ * Stateless splitmix64 finalizer: one full avalanche round over @p value.
+ *
+ * This is the mixing function the Rng seeding recipe uses internally,
+ * exposed so seed-derivation schemes (see substreamSeed) share one
+ * well-tested bijection.
+ */
+std::uint64_t splitmix64(std::uint64_t value);
+
+/**
+ * Derive the seed of per-trial substream @p index from @p base_seed.
+ *
+ * The derivation is a pure function of (base_seed, index) — no hidden
+ * generator state — so a trial's random stream is fully determined by
+ * its submission index regardless of which thread runs it or in what
+ * order trials are scheduled.  Distinct indices yield decorrelated
+ * seeds (two chained splitmix64 avalanches), and xoshiro256** streams
+ * seeded from distinct values do not overlap in any realistic horizon.
+ */
+std::uint64_t substreamSeed(std::uint64_t base_seed, std::uint64_t index);
+
+/**
  * Deterministic 64-bit PRNG (xoshiro256** 1.0).
  *
  * The full 256-bit state is derived from a single 64-bit seed with

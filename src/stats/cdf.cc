@@ -22,6 +22,23 @@ Cdf::add(double value)
 }
 
 void
+Cdf::merge(const Cdf &other)
+{
+    if (other.samples_.empty())
+        return;
+    if (&other == this) {
+        // Self-merge doubles every sample; copy first so the source
+        // range survives the reallocation.
+        const std::vector<double> copy = samples_;
+        samples_.insert(samples_.end(), copy.begin(), copy.end());
+    } else {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+    }
+    sorted_ = false;
+}
+
+void
 Cdf::ensureSorted() const
 {
     if (!sorted_) {

@@ -37,6 +37,16 @@ class Cdf
     /** Absorb one sample. */
     void add(double value);
 
+    /**
+     * Absorb every sample of @p other.
+     *
+     * Queries depend only on the merged multiset of samples, so merging
+     * the same operands in the same order always reproduces the same
+     * CDF — the order-stable reduction the parallel experiment runner
+     * relies on.
+     */
+    void merge(const Cdf &other);
+
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 

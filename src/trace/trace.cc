@@ -52,7 +52,12 @@ Trace::seal()
     for (std::size_t i = 0; i < requests_.size(); ++i)
         requests_[i].id = i;
     sealed_ = true;
-    arrivals_by_function_.clear();
+    // Build the per-function arrival index eagerly: a sealed trace is
+    // shared read-only across experiment-runner threads, so no lazy
+    // (mutable) state may be populated behind const accessors.
+    arrivals_by_function_.assign(functions_.size(), {});
+    for (const auto &req : requests_)
+        arrivals_by_function_[req.function].push_back(req.arrival_us);
 }
 
 void
@@ -74,11 +79,6 @@ const std::vector<std::vector<sim::SimTime>> &
 Trace::arrivalsByFunction() const
 {
     requireSealed("arrivalsByFunction");
-    if (arrivals_by_function_.empty() && !functions_.empty()) {
-        arrivals_by_function_.resize(functions_.size());
-        for (const auto &req : requests_)
-            arrivals_by_function_[req.function].push_back(req.arrival_us);
-    }
     return arrivals_by_function_;
 }
 

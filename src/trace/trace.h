@@ -85,8 +85,10 @@ class Trace
 
     /**
      * Arrival timestamps per function, each sorted ascending.
-     * Built lazily on first call (sealed traces only).  Used by the
-     * Belady / oracle policies and the opportunity-space analysis.
+     * Built eagerly by seal() so a sealed trace is immutable and safe to
+     * share read-only across concurrent engines (no lazy const-path
+     * state).  Used by the Belady / oracle policies and the
+     * opportunity-space analysis.
      */
     const std::vector<std::vector<sim::SimTime>> &arrivalsByFunction() const;
 
@@ -102,7 +104,7 @@ class Trace
     std::vector<FunctionProfile> functions_;
     std::vector<Request> requests_;
     bool sealed_ = false;
-    mutable std::vector<std::vector<sim::SimTime>> arrivals_by_function_;
+    std::vector<std::vector<sim::SimTime>> arrivals_by_function_;
 };
 
 } // namespace cidre::trace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Determinism property tests for the parallel experiment runner: the
+ * merged metrics of a sweep must be bit-identical for any job count
+ * and across repeated runs with the same base seed.  This is the
+ * contract that makes `--jobs` a pure wall-clock knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/metrics_io.h"
+#include "exp/runner.h"
+#include "sim/rng.h"
+#include "trace/generators.h"
+
+namespace cidre {
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 7;
+
+/** Four tiny Azure-kind and four tiny FC-kind per-trial workloads. */
+const std::vector<trace::Trace> &
+trialWorkloads()
+{
+    static const std::vector<trace::Trace> workloads = [] {
+        std::vector<trace::Trace> w;
+        for (std::uint64_t i = 0; i < 4; ++i) {
+            w.push_back(trace::makeAzureLikeTrace(
+                sim::substreamSeed(kBaseSeed, i), 0.03));
+        }
+        for (std::uint64_t i = 4; i < 8; ++i) {
+            w.push_back(trace::makeFcLikeTrace(
+                sim::substreamSeed(kBaseSeed, i), 0.03));
+        }
+        return w;
+    }();
+    return workloads;
+}
+
+std::vector<exp::TrialSpec>
+sweepSpecs()
+{
+    const auto &workloads = trialWorkloads();
+    core::EngineConfig config;
+    // Generated functions can reach ~4 GB, so give each of the three
+    // workers comfortably more than that.
+    config.cluster.workers = 3;
+    config.cluster.total_memory_mb = 24 * 1024;
+
+    std::vector<exp::TrialSpec> specs;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        exp::TrialSpec spec;
+        spec.policy = i % 2 == 0 ? "cidre" : "faascache";
+        spec.label = spec.policy + "/t" + std::to_string(i);
+        spec.workload = &workloads[i];
+        spec.config = config;
+        spec.base_seed = kBaseSeed;
+        spec.trial_index = i;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+/** Exact textual fingerprint of every trial plus the ordered merge. */
+std::string
+sweepFingerprint(unsigned jobs)
+{
+    exp::RunnerOptions options;
+    options.jobs = jobs;
+    const exp::ExperimentRunner runner(options);
+    const std::vector<exp::TrialResult> results =
+        runner.run(sweepSpecs());
+
+    std::ostringstream fingerprint;
+    for (const auto &result : results) {
+        fingerprint << result.spec_index << " " << result.label << " "
+                    << result.seed << " ";
+        core::writeMetricsJson(result.metrics, fingerprint);
+    }
+    fingerprint << "merged ";
+    core::writeMetricsJson(exp::mergedMetrics(results), fingerprint);
+    return fingerprint.str();
+}
+
+TEST(RunnerDeterminism, BitIdenticalAcrossJobCounts)
+{
+    const std::string serial = sweepFingerprint(1);
+    EXPECT_EQ(serial, sweepFingerprint(2));
+    EXPECT_EQ(serial, sweepFingerprint(8));
+}
+
+TEST(RunnerDeterminism, BitIdenticalAcrossRepeatedRuns)
+{
+    EXPECT_EQ(sweepFingerprint(8), sweepFingerprint(8));
+}
+
+TEST(RunnerDeterminism, ResultsLandAtSubmissionIndex)
+{
+    exp::RunnerOptions options;
+    options.jobs = 8;
+    const std::vector<exp::TrialResult> results =
+        exp::ExperimentRunner(options).run(sweepSpecs());
+    ASSERT_EQ(results.size(), 8u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].spec_index, i);
+        EXPECT_NE(results[i].label.find("/t" + std::to_string(i)),
+                  std::string::npos);
+        EXPECT_EQ(results[i].seed, sim::substreamSeed(kBaseSeed, i));
+        EXPECT_GT(results[i].metrics.total(), 0u);
+    }
+}
+
+TEST(RunnerDeterminism, MergeFoldsInSubmissionOrder)
+{
+    exp::RunnerOptions options;
+    options.jobs = 4;
+    const std::vector<exp::TrialResult> results =
+        exp::ExperimentRunner(options).run(sweepSpecs());
+
+    core::RunMetrics manual = results[0].metrics;
+    for (std::size_t i = 1; i < results.size(); ++i)
+        manual.merge(results[i].metrics);
+
+    std::ostringstream expected;
+    core::writeMetricsJson(manual, expected);
+    std::ostringstream actual;
+    core::writeMetricsJson(exp::mergedMetrics(results), actual);
+    EXPECT_EQ(actual.str(), expected.str());
+
+    std::uint64_t total = 0;
+    for (const auto &result : results)
+        total += result.metrics.total();
+    EXPECT_EQ(manual.total(), total);
+}
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce)
+{
+    for (const unsigned jobs : {1u, 3u, 8u}) {
+        std::vector<std::atomic<int>> hits(97);
+        exp::parallelFor(jobs, hits.size(), [&](std::size_t i) {
+            hits[i].fetch_add(1);
+        });
+        for (const auto &hit : hits)
+            EXPECT_EQ(hit.load(), 1) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelFor, PropagatesSmallestFailingIndex)
+{
+    for (const unsigned jobs : {1u, 4u}) {
+        try {
+            exp::parallelFor(jobs, 16, [](std::size_t i) {
+                if (i == 5 || i == 11)
+                    throw std::runtime_error("boom " + std::to_string(i));
+            });
+            FAIL() << "expected an exception (jobs=" << jobs << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom 5");
+        }
+    }
+}
+
+TEST(RunnerDeterminism, NullWorkloadIsReported)
+{
+    std::vector<exp::TrialSpec> specs(1);
+    specs[0].label = "broken";
+    specs[0].policy = "cidre";
+    EXPECT_THROW(exp::ExperimentRunner().run(specs),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace cidre

@@ -4,8 +4,14 @@
  *
  *   cidre_sim generate --kind fc --out fc.csv
  *   cidre_sim run --policy cidre --trace fc.csv --cache-gb 80
+ *   cidre_sim run --policy cidre --trials 8 --jobs 8 --progress
  *   cidre_sim compare --policies cidre,faascache,offline --kind azure
+ *   cidre_sim compare --policies cidre,ttl --trials 4 --jobs 0
  *   cidre_sim analyze --trace fc.csv
+ *
+ * Multi-trial sweeps fan out across --jobs worker threads; aggregate
+ * output is bit-identical for any job count (see EXPERIMENTS.md,
+ * "Reproducibility").
  */
 
 #include <iostream>
