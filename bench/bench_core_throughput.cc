@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Core simulation throughput: the pooled event queue vs the legacy
+ * allocating design, plus whole-engine events/sec across trace scales.
+ *
+ * Two sections:
+ *
+ *  1. A queue-only microbenchmark replaying a trace-shaped event stream
+ *     (chained arrivals, completion events whose lambdas capture
+ *     owner + two ids exactly like core::Engine's, periodic timeouts
+ *     that are cancelled when the completion beats them, and a 1-second
+ *     maintenance tick) through (a) a faithful copy of the pre-pool
+ *     EventQueue — std::priority_queue + unordered_map<id,
+ *     std::function> — and (b) the current sim::EventQueue.  The same
+ *     deterministic stream runs through both, so the speedup is
+ *     apples-to-apples at any commit.
+ *
+ *  2. Engine end-to-end events/sec for a few policies × trace scales,
+ *     using Engine::eventsExecuted() (the same figure the [exp]
+ *     telemetry line reports).
+ *
+ * Results are printed as tables and written as JSON (default
+ * BENCH_core.json in the working directory; override with --out).
+ * The workload is the 200-function azure-like reference trace at the
+ * --seed option (default 42).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/common.h"
+#include "policies/registry.h"
+#include "sim/event_queue.h"
+
+namespace cidre::bench {
+namespace {
+
+/**
+ * Verbatim re-creation of the event queue this PR replaced: lazy
+ * cancellation, one unordered_map node per event, std::function
+ * callback storage.  Kept here (not in src/) so the comparison baseline
+ * survives in-tree without polluting the simulator.
+ */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void(sim::SimTime)>;
+    using EventId = std::uint64_t;
+
+    EventId schedule(sim::SimTime when, Callback cb)
+    {
+        const EventId id = next_id_++;
+        heap_.push(Entry{when, id});
+        callbacks_.emplace(id, std::move(cb));
+        return id;
+    }
+
+    EventId scheduleAfter(sim::SimTime delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    void cancel(EventId id) { callbacks_.erase(id); }
+
+    bool runNext()
+    {
+        while (!heap_.empty() && !callbacks_.count(heap_.top().id))
+            heap_.pop();
+        if (heap_.empty())
+            return false;
+        const Entry entry = heap_.top();
+        heap_.pop();
+        auto node = callbacks_.extract(entry.id);
+        now_ = entry.when;
+        ++executed_;
+        node.mapped()(now_);
+        return true;
+    }
+
+    std::size_t runAll()
+    {
+        std::size_t count = 0;
+        while (runNext())
+            ++count;
+        return count;
+    }
+
+    sim::SimTime now() const { return now_; }
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        sim::SimTime when;
+        EventId id;
+        bool operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return id > other.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        heap_;
+    std::unordered_map<EventId, Callback> callbacks_;
+    sim::SimTime now_ = 0;
+    EventId next_id_ = 1;
+    std::uint64_t executed_ = 0;
+};
+
+/**
+ * Replays the trace through a queue the way core::Engine drives it:
+ * each arrival chains the next one and schedules a completion whose
+ * lambda captures (driver pointer, u32, u64) — the same 24-byte shape
+ * as the engine's [this, cid, request_index] captures, which is what
+ * defeats libstdc++ std::function's 16-byte inline buffer.  Every 8th
+ * request also arms a timeout event that the completion cancels.
+ */
+template <class Queue>
+class TraceDriver
+{
+  public:
+    explicit TraceDriver(const trace::Trace &workload)
+        : workload_(workload)
+    {
+    }
+
+    std::uint64_t run()
+    {
+        scheduleArrival(0);
+        queue_.schedule(sim::sec(1),
+                        [this](sim::SimTime now) { tick(now); });
+        queue_.runAll();
+        return queue_.executedCount();
+    }
+
+  private:
+    void scheduleArrival(std::uint64_t index)
+    {
+        const auto &requests = workload_.requests();
+        if (index >= requests.size())
+            return;
+        queue_.schedule(requests[index].arrival_us,
+                        [this, index](sim::SimTime now) {
+                            onArrival(index, now);
+                        });
+    }
+
+    void onArrival(std::uint64_t index, sim::SimTime now)
+    {
+        scheduleArrival(index + 1);
+        const trace::Request &request = workload_.requests()[index];
+        const std::uint32_t container =
+            static_cast<std::uint32_t>(index % 4096);
+        typename Queue::EventId timeout = 0;
+        if (index % 8 == 0) {
+            timeout = queue_.schedule(
+                now + request.exec_us + sim::sec(2),
+                [this, container, index](sim::SimTime) { ++timeouts_; });
+        }
+        queue_.schedule(now + request.exec_us,
+                        [this, container, index, timeout](sim::SimTime) {
+                            completed_ += container % 2 == 0 ? 1 : 1;
+                            if (timeout != 0)
+                                queue_.cancel(timeout);
+                        });
+    }
+
+    void tick(sim::SimTime now)
+    {
+        if (now >= workload_.duration())
+            return;
+        queue_.schedule(now + sim::sec(1),
+                        [this](sim::SimTime t) { tick(t); });
+    }
+
+    const trace::Trace &workload_;
+    Queue queue_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t timeouts_ = 0;
+};
+
+struct QueueRun
+{
+    std::uint64_t events = 0;
+    double wall_ms = 0.0;
+    double events_per_sec = 0.0;
+    double ns_per_event = 0.0;
+};
+
+template <class Queue>
+QueueRun
+measureQueue(const trace::Trace &workload, int reps)
+{
+    QueueRun best;
+    for (int rep = 0; rep < reps; ++rep) {
+        TraceDriver<Queue> driver(workload);
+        const auto started = std::chrono::steady_clock::now();
+        const std::uint64_t events = driver.run();
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        if (rep == 0 || wall_ms < best.wall_ms) {
+            best.events = events;
+            best.wall_ms = wall_ms;
+        }
+    }
+    best.events_per_sec =
+        static_cast<double>(best.events) / (best.wall_ms / 1000.0);
+    best.ns_per_event = 1e9 / best.events_per_sec;
+    return best;
+}
+
+struct EngineRun
+{
+    std::string policy;
+    double scale = 1.0;
+    std::uint64_t requests = 0;
+    std::uint64_t events = 0;
+    double wall_ms = 0.0;
+    double events_per_sec = 0.0;
+};
+
+EngineRun
+measureEngine(const std::string &policy, double scale,
+              const trace::Trace &workload)
+{
+    EngineRun run;
+    run.policy = policy;
+    run.scale = scale;
+    run.requests = workload.requestCount();
+
+    core::EngineConfig config = defaultConfig();
+    core::Engine engine(workload, config,
+                        policies::makePolicy(policy, config));
+    const auto started = std::chrono::steady_clock::now();
+    engine.run();
+    run.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
+    run.events = engine.eventsExecuted();
+    run.events_per_sec =
+        static_cast<double>(run.events) / (run.wall_ms / 1000.0);
+    return run;
+}
+
+} // namespace
+} // namespace cidre::bench
+
+int
+main(int argc, char **argv)
+{
+    using namespace cidre;
+    using namespace cidre::bench;
+
+    // Peel --out (specific to this binary) before the shared parser.
+    std::string out_path = "BENCH_core.json";
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+            continue;
+        }
+        rest.push_back(argv[i]);
+    }
+    const Options options = parseOptions(
+        static_cast<int>(rest.size()), rest.data(),
+        "bench_core_throughput",
+        "event-queue and engine throughput (also: --out <json-path>)");
+
+    banner("Core simulation throughput",
+           "the hot-path budget behind every figure");
+
+    // The 200-function reference trace: the azure-like preset trimmed to
+    // 200 functions, at the shared --seed (42 unless overridden).
+    trace::SyntheticSpec spec = trace::azureLikeSpec();
+    spec.functions = 200;
+    const trace::Trace reference = trace::generate(spec, options.seed);
+
+    std::cout << "reference trace: " << reference.functionCount()
+              << " functions, " << reference.requestCount()
+              << " requests, seed " << options.seed << "\n\n";
+
+    const int reps = 5;
+    std::cerr << "[bench] replaying event stream through legacy queue ("
+              << reps << " reps, best kept)...\n";
+    const QueueRun legacy = measureQueue<LegacyEventQueue>(reference, reps);
+    std::cerr << "[bench] replaying event stream through pooled queue...\n";
+    const QueueRun pooled = measureQueue<sim::EventQueue>(reference, reps);
+    const double speedup = pooled.events_per_sec / legacy.events_per_sec;
+
+    stats::Table queue_table(
+        {"queue", "events", "wall_ms", "events_per_sec", "ns_per_event"});
+    queue_table.addRow({"legacy", std::to_string(legacy.events),
+                        stats::formatFixed(legacy.wall_ms, 1),
+                        stats::formatFixed(legacy.events_per_sec, 0),
+                        stats::formatFixed(legacy.ns_per_event, 1)});
+    queue_table.addRow({"pooled", std::to_string(pooled.events),
+                        stats::formatFixed(pooled.wall_ms, 1),
+                        stats::formatFixed(pooled.events_per_sec, 0),
+                        stats::formatFixed(pooled.ns_per_event, 1)});
+    emit(options, "core_throughput_queue", queue_table);
+    std::cout << "pooled/legacy speedup: "
+              << stats::formatFixed(speedup, 2) << "x\n";
+
+    // Engine end-to-end: events/sec across policies and trace scales.
+    const std::vector<std::string> policies = {"ttl", "faascache", "cidre"};
+    const std::vector<double> scales = {0.25, 0.5, 1.0};
+    std::vector<EngineRun> engine_runs;
+    stats::Table engine_table({"policy", "scale", "requests", "events",
+                               "wall_ms", "events_per_sec"});
+    for (const double scale : scales) {
+        const trace::Trace workload =
+            trace::makeAzureLikeTrace(options.seed, scale * options.scale);
+        for (const std::string &policy : policies) {
+            std::cerr << "[bench] engine " << policy << " @ scale "
+                      << scale << "...\n";
+            engine_runs.push_back(measureEngine(policy, scale, workload));
+            const EngineRun &run = engine_runs.back();
+            engine_table.addRow(
+                {run.policy, stats::formatFixed(run.scale, 2),
+                 std::to_string(run.requests), std::to_string(run.events),
+                 stats::formatFixed(run.wall_ms, 1),
+                 stats::formatFixed(run.events_per_sec, 0)});
+        }
+    }
+    emit(options, "core_throughput_engine", engine_table);
+
+    std::ofstream json(out_path);
+    if (!json) {
+        std::cerr << "bench_core_throughput: cannot write " << out_path
+                  << "\n";
+        return 1;
+    }
+    json.precision(1);
+    json.setf(std::ios::fixed);
+    json << "{\n"
+         << "  \"bench\": \"bench_core_throughput\",\n"
+         << "  \"build\": \"" << buildInfo() << "\",\n"
+         << "  \"seed\": " << options.seed << ",\n"
+         << "  \"reference_trace\": {\"functions\": "
+         << reference.functionCount() << ", \"requests\": "
+         << reference.requestCount() << "},\n"
+         << "  \"queue\": {\n"
+         << "    \"legacy\": {\"events\": " << legacy.events
+         << ", \"wall_ms\": " << legacy.wall_ms
+         << ", \"events_per_sec\": " << legacy.events_per_sec
+         << ", \"ns_per_event\": " << legacy.ns_per_event << "},\n"
+         << "    \"pooled\": {\"events\": " << pooled.events
+         << ", \"wall_ms\": " << pooled.wall_ms
+         << ", \"events_per_sec\": " << pooled.events_per_sec
+         << ", \"ns_per_event\": " << pooled.ns_per_event << "},\n";
+    json.precision(2);
+    json << "    \"speedup\": " << speedup << "\n  },\n";
+    json << "  \"engine\": [\n";
+    for (std::size_t i = 0; i < engine_runs.size(); ++i) {
+        const EngineRun &run = engine_runs[i];
+        json.precision(2);
+        json << "    {\"policy\": \"" << run.policy << "\", \"scale\": "
+             << run.scale << ", \"requests\": " << run.requests
+             << ", \"events\": " << run.events;
+        json.precision(1);
+        json << ", \"wall_ms\": " << run.wall_ms
+             << ", \"events_per_sec\": " << run.events_per_sec << "}"
+             << (i + 1 < engine_runs.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+}

@@ -132,12 +132,36 @@ runTrials(const Options &options, const std::vector<exp::TrialSpec> &specs)
     return metrics;
 }
 
+std::string
+buildInfo()
+{
+#if defined(CIDRE_BUILD_TYPE)
+    std::string info = CIDRE_BUILD_TYPE[0] != '\0' ? CIDRE_BUILD_TYPE
+                                                   : "(unset build type)";
+#else
+    std::string info = "unknown";
+#endif
+#if defined(CIDRE_CXX_COMPILER)
+    info += ", ";
+    info += CIDRE_CXX_COMPILER;
+#endif
+#if defined(CIDRE_CXX_FLAGS)
+    const std::string flags = CIDRE_CXX_FLAGS;
+    if (!flags.empty() && flags != " ") {
+        info += ",";
+        info += flags;
+    }
+#endif
+    return info;
+}
+
 void
 banner(const std::string &title, const std::string &paper_ref)
 {
     std::cout << "\n=== " << title << "\n    (reproduces " << paper_ref
               << " of 'Concurrency-Informed Orchestration for Serverless"
-                 " Functions', ASPLOS'25)\n\n";
+                 " Functions', ASPLOS'25)\n    build: " << buildInfo()
+              << "\n\n";
 }
 
 void

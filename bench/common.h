@@ -64,7 +64,14 @@ core::RunMetrics runPolicy(const trace::Trace &workload,
 std::vector<core::RunMetrics> runTrials(
     const Options &options, const std::vector<exp::TrialSpec> &specs);
 
-/** Print a section banner with the paper reference. */
+/**
+ * One-line description of how this binary was compiled, e.g.
+ * "RelWithDebInfo, GNU 13.2.0, -O2 -g -DNDEBUG" (from CMake cache
+ * variables baked in at configure time; "unknown" outside CMake).
+ */
+std::string buildInfo();
+
+/** Print a section banner with the paper reference and build info. */
 void banner(const std::string &title, const std::string &paper_ref);
 
 /** Print the table and, when --csv was given, persist it. */

@@ -8,15 +8,49 @@ namespace cidre::core {
 
 namespace {
 
-/** Worker visiting order for a provision, per the placement policy. */
-std::vector<cluster::WorkerId>
-placementOrder(const cluster::Cluster &cl, PlacementPolicy policy,
-               std::uint64_t round_robin_cursor)
+/**
+ * Borrow a member scratch vector for the duration of a scope: the
+ * buffer is moved out (so a re-entrant callback sees an empty member
+ * and safely allocates its own) and moved back, grown, on scope exit.
+ * Steady-state, non-re-entrant use allocates nothing.
+ */
+template <typename T>
+class ScratchLease
 {
-    std::vector<cluster::WorkerId> order(cl.workerCount());
+  public:
+    explicit ScratchLease(std::vector<T> &owner)
+        : owner_(owner), vec_(std::move(owner))
+    {
+        vec_.clear();
+    }
+    ~ScratchLease() { owner_ = std::move(vec_); }
+    ScratchLease(const ScratchLease &) = delete;
+    ScratchLease &operator=(const ScratchLease &) = delete;
+
+    std::vector<T> &operator*() { return vec_; }
+
+  private:
+    std::vector<T> &owner_;
+    std::vector<T> vec_;
+};
+
+} // namespace
+
+void
+Engine::buildPlacementOrder(std::vector<cluster::WorkerId> &order,
+                            std::uint64_t round_robin_cursor) const
+{
+    const cluster::Cluster &cl = cluster_;
+    order.resize(cl.workerCount());
+    // Single-worker clusters (the common unit-test configuration) have
+    // exactly one visiting order; skip the comparator work entirely.
+    if (order.size() == 1) {
+        order[0] = 0;
+        return;
+    }
     for (cluster::WorkerId i = 0; i < order.size(); ++i)
         order[i] = i;
-    switch (policy) {
+    switch (config_.placement) {
       case PlacementPolicy::MostFree:
         std::sort(order.begin(), order.end(),
                   [&](cluster::WorkerId a, cluster::WorkerId b) {
@@ -45,10 +79,7 @@ placementOrder(const cluster::Cluster &cl, PlacementPolicy policy,
                   });
         break;
     }
-    return order;
 }
-
-} // namespace
 
 Engine::Engine(const trace::Trace &workload, EngineConfig config,
                OrchestrationPolicy policy)
@@ -84,6 +115,7 @@ Engine::Engine(const trace::Trace &workload, EngineConfig config,
                              config_.window_max_samples);
     }
     worker_idle_.resize(cluster_.workerCount());
+    worker_idle_epoch_.assign(cluster_.workerCount(), 0);
     if (config_.record_per_request)
         metrics_.outcomes.resize(trace_.requestCount());
 }
@@ -406,7 +438,8 @@ Engine::handleMaintenance()
 {
     tick_scheduled_ = false;
 
-    std::vector<cluster::ContainerId> expired;
+    ScratchLease<cluster::ContainerId> lease(expired_scratch_);
+    std::vector<cluster::ContainerId> &expired = *lease;
     policy_.keep_alive->collectExpired(*this, now(), expired);
     for (const cluster::ContainerId id : expired) {
         const cluster::Container &c = cluster_.container(id);
@@ -439,9 +472,10 @@ Engine::tryStartProvision(const DeferredProvision &req)
     const trace::FunctionProfile &profile = trace_.functions()[req.function];
     const std::int64_t need = profile.memory_mb;
 
-    for (const cluster::WorkerId wid :
-         placementOrder(cluster_, config_.placement,
-                        round_robin_cursor_++)) {
+    ScratchLease<cluster::WorkerId> lease(placement_scratch_);
+    std::vector<cluster::WorkerId> &order = *lease;
+    buildPlacementOrder(order, round_robin_cursor_++);
+    for (const cluster::WorkerId wid : order) {
         cluster::Worker &host = cluster_.worker(wid);
         double watermark = 0.0;
         if (!ensureFreeOn(wid, need, watermark, cluster::kInvalidContainer,
@@ -503,8 +537,10 @@ Engine::ensureFreeOn(cluster::WorkerId worker, std::int64_t need_mb,
         // matching the excluded container are dropped, not applied.
         std::int64_t reclaimable = 0;
         bool valid = true;
-        std::vector<cluster::ContainerId> to_compress;
-        std::vector<cluster::ContainerId> to_evict;
+        ScratchLease<cluster::ContainerId> compress_lease(compress_scratch_);
+        ScratchLease<cluster::ContainerId> evict_lease(evict_scratch_);
+        std::vector<cluster::ContainerId> &to_compress = *compress_lease;
+        std::vector<cluster::ContainerId> &to_evict = *evict_lease;
         for (const cluster::ContainerId cid : plan.compress) {
             if (cid == exclude)
                 continue;
@@ -701,6 +737,7 @@ Engine::addToWorkerIdle(cluster::Container &c)
     auto &list = worker_idle_[c.worker];
     c.idle_slot = static_cast<std::int32_t>(list.size());
     list.push_back(c.id);
+    ++worker_idle_epoch_[c.worker];
 }
 
 void
@@ -717,6 +754,7 @@ Engine::removeFromWorkerIdle(cluster::Container &c)
     cluster_.slab()[list[idx]].idle_slot = slot;
     list.pop_back();
     c.idle_slot = -1;
+    ++worker_idle_epoch_[c.worker];
 }
 
 void

@@ -86,6 +86,20 @@ class Engine
     }
 
     /**
+     * Modification epoch of @p worker's idle list: bumped on every
+     * membership change.  Policies use it to validate incrementally
+     * maintained eviction rankings (a matching epoch guarantees the
+     * list's membership is unchanged since the ranking was built).
+     */
+    std::uint64_t idleEpoch(cluster::WorkerId worker) const
+    {
+        return worker_idle_epoch_.at(worker);
+    }
+
+    /** Simulation events executed so far (throughput telemetry). */
+    std::uint64_t eventsExecuted() const { return queue_.executedCount(); }
+
+    /**
      * T_e estimate: the configured percentile (or mean) of the recent
      * execution-time window; falls back to the profile's median when no
      * history exists yet.
@@ -158,6 +172,13 @@ class Engine
     bool tryStartProvision(const DeferredProvision &req);
 
     /**
+     * Fill @p order with the worker visiting sequence for a provision,
+     * per the placement policy.  Single-worker clusters skip the sort.
+     */
+    void buildPlacementOrder(std::vector<cluster::WorkerId> &order,
+                             std::uint64_t round_robin_cursor) const;
+
+    /**
      * Reclaim (via the keep-alive policy) until @p need_mb fit on
      * @p worker, in bounded rounds.  @p watermark accumulates the max
      * evicted priority; @p exclude is never reclaimed (used when making
@@ -199,8 +220,18 @@ class Engine
     sim::Rng rng_;
     std::vector<FunctionState> states_;
     std::vector<std::vector<cluster::ContainerId>> worker_idle_;
+    /** Per-worker idle-list modification counters (see idleEpoch()). */
+    std::vector<std::uint64_t> worker_idle_epoch_;
     std::deque<DeferredProvision> deferred_;
     RunMetrics metrics_;
+
+    // Reusable hot-path scratch: leased (moved out and back) by the
+    // functions that fill them, so steady-state operation performs no
+    // per-call vector allocation even if a policy callback re-enters.
+    std::vector<cluster::WorkerId> placement_scratch_;
+    std::vector<cluster::ContainerId> compress_scratch_;
+    std::vector<cluster::ContainerId> evict_scratch_;
+    std::vector<cluster::ContainerId> expired_scratch_;
 
     std::uint64_t arrival_cursor_ = 0;
     std::uint64_t round_robin_cursor_ = 0;

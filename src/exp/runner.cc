@@ -87,11 +87,13 @@ ExperimentRunner::run(const std::vector<TrialSpec> &specs) const
         result.spec_index = i;
         result.label = spec.label;
         result.seed = config.seed;
+        result.events_executed = engine.eventsExecuted();
         result.wall_ms =
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - started)
                 .count();
-        progress.trialDone(result.label, result.wall_ms);
+        progress.trialDone(result.label, result.wall_ms,
+                           result.events_executed);
     });
     return results;
 }

@@ -78,6 +78,8 @@ struct TrialResult
     core::RunMetrics metrics;
     /** Host wall-clock of this trial in ms (telemetry only). */
     double wall_ms = 0.0;
+    /** Simulation events executed by the trial's engine. */
+    std::uint64_t events_executed = 0;
 };
 
 struct RunnerOptions

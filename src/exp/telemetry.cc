@@ -26,7 +26,8 @@ peakRssMb()
 }
 
 void
-ProgressReporter::trialDone(const std::string &label, double wall_ms)
+ProgressReporter::trialDone(const std::string &label, double wall_ms,
+                            std::uint64_t events)
 {
     if (out_ == nullptr)
         return;
@@ -40,6 +41,11 @@ ProgressReporter::trialDone(const std::string &label, double wall_ms)
     line.setf(std::ios::fixed);
     line.precision(1);
     line << wall_ms << " ms";
+    if (events > 0 && wall_ms > 0.0) {
+        line << " "
+             << static_cast<double>(events) / wall_ms / 1000.0
+             << " Mev/s";
+    }
     const std::int64_t rss = peakRssMb();
     if (rss >= 0)
         line << "  peak-rss=" << rss << " MB";

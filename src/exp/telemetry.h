@@ -28,7 +28,7 @@ std::int64_t peakRssMb();
 /**
  * Counts completed trials and prints one progress line per completion:
  *
- *   [exp] 3/8 trials  last=cidre/t2 152.4 ms  peak-rss=84 MB
+ *   [exp] 3/8 trials  last=cidre/t2 152.4 ms 3.1 Mev/s  peak-rss=84 MB
  *
  * Thread-safe; a null stream disables reporting entirely.
  */
@@ -40,8 +40,13 @@ class ProgressReporter
     {
     }
 
-    /** Report one finished trial (its label and host wall-clock). */
-    void trialDone(const std::string &label, double wall_ms);
+    /**
+     * Report one finished trial: its label, host wall-clock, and the
+     * number of simulation events it executed (0 suppresses the
+     * events/sec figure).
+     */
+    void trialDone(const std::string &label, double wall_ms,
+                   std::uint64_t events = 0);
 
   private:
     std::ostream *out_;

@@ -18,15 +18,7 @@ core::ReclaimPlan
 CodeCrunchKeepAlive::planReclaim(core::Engine &engine,
                                  const core::ReclaimRequest &request)
 {
-    std::vector<std::pair<double, cluster::ContainerId>> ranked;
-    for (const cluster::ContainerId cid :
-         engine.idleContainersOn(request.worker)) {
-        if (cid == request.exclude)
-            continue;
-        cluster::Container &c = engine.clusterRef().container(cid);
-        ranked.emplace_back(score(engine, c), cid);
-    }
-    std::sort(ranked.begin(), ranked.end());
+    const Ranking &ranked = rankedIdle(engine, request.worker);
 
     const double ratio = engine.config().compression_ratio;
     core::ReclaimPlan plan;
@@ -35,6 +27,8 @@ CodeCrunchKeepAlive::planReclaim(core::Engine &engine,
     for (const auto &[prio, cid] : ranked) {
         if (freed >= request.need_mb)
             break;
+        if (cid == request.exclude)
+            continue;
         const cluster::Container &c = engine.clusterRef().container(cid);
         if (c.compressed()) {
             plan.evict.push_back(cid);
@@ -56,6 +50,8 @@ CodeCrunchKeepAlive::planReclaim(core::Engine &engine,
     for (const auto &[prio, cid] : ranked) {
         if (freed >= request.need_mb)
             break;
+        if (cid == request.exclude)
+            continue;
         plan.evict.push_back(cid);
         freed += engine.clusterRef().container(cid).memory_mb;
     }

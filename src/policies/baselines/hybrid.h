@@ -98,6 +98,9 @@ class HybridKeepAlive : public RankedKeepAlive
     double score(core::Engine &engine,
                  cluster::Container &container) override;
 
+    /** LRU-style score: frozen while a container is idle. */
+    bool scoreStableWhileIdle() const override { return true; }
+
   private:
     HybridConfig config_;
     IatHistory &history_;

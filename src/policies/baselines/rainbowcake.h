@@ -163,6 +163,9 @@ class RainbowCakeKeepAlive : public RankedKeepAlive
     double score(core::Engine &engine,
                  cluster::Container &container) override;
 
+    /** LRU-style score: frozen while a container is idle. */
+    bool scoreStableWhileIdle() const override { return true; }
+
   private:
     LayerCache &layers_;
     RainbowCakeConfig config_;

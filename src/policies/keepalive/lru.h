@@ -20,6 +20,9 @@ class LruKeepAlive : public RankedKeepAlive
   protected:
     double score(core::Engine &engine,
                  cluster::Container &container) override;
+
+    /** created_at/last_used_at are frozen while a container is idle. */
+    bool scoreStableWhileIdle() const override { return true; }
 };
 
 } // namespace cidre::policies

@@ -1,38 +1,153 @@
 #include "policies/keepalive/ranked.h"
 
 #include <algorithm>
-#include <vector>
 
 #include "core/engine.h"
 
 namespace cidre::policies {
 
+RankedKeepAlive::WorkerCache &
+RankedKeepAlive::cacheFor(core::Engine &engine, cluster::WorkerId worker)
+{
+    if (caches_.size() <= worker)
+        caches_.resize(engine.clusterRef().workerCount());
+    return caches_[worker];
+}
+
+const RankedKeepAlive::Ranking &
+RankedKeepAlive::rankedIdle(core::Engine &engine, cluster::WorkerId worker)
+{
+    if (!scoreStableWhileIdle()) {
+        scratch_.clear();
+        for (const cluster::ContainerId cid :
+             engine.idleContainersOn(worker)) {
+            cluster::Container &c = engine.clusterRef().container(cid);
+            scratch_.emplace_back(score(engine, c), cid);
+        }
+        std::sort(scratch_.begin(), scratch_.end());
+        return scratch_;
+    }
+
+    WorkerCache &cache = cacheFor(engine, worker);
+    const std::uint64_t epoch = engine.idleEpoch(worker);
+    if (!cache.valid || cache.epoch != epoch) {
+        cache.ranking.clear();
+        for (const cluster::ContainerId cid :
+             engine.idleContainersOn(worker)) {
+            cluster::Container &c = engine.clusterRef().container(cid);
+            cache.ranking.emplace_back(score(engine, c), cid);
+        }
+        std::sort(cache.ranking.begin(), cache.ranking.end());
+        cache.epoch = epoch;
+        cache.valid = true;
+    }
+    return cache.ranking;
+}
+
 core::ReclaimPlan
 RankedKeepAlive::planReclaim(core::Engine &engine,
                              const core::ReclaimRequest &request)
 {
-    // Rank every reclaimable container on the pressured worker.
-    std::vector<std::pair<double, cluster::ContainerId>> ranked;
-    for (const cluster::ContainerId cid :
-         engine.idleContainersOn(request.worker)) {
-        if (cid == request.exclude)
-            continue;
-        cluster::Container &c = engine.clusterRef().container(cid);
-        ranked.emplace_back(score(engine, c), cid);
-    }
-    std::sort(ranked.begin(), ranked.end());
+    const Ranking &ranked = rankedIdle(engine, request.worker);
 
     core::ReclaimPlan plan;
     std::int64_t freed = 0;
     for (const auto &[prio, cid] : ranked) {
         if (freed >= request.need_mb)
             break;
+        if (cid == request.exclude)
+            continue;
         plan.evict.push_back(cid);
         freed += engine.clusterRef().container(cid).memory_mb;
     }
     if (freed < request.need_mb)
         plan.evict.clear(); // insufficient: the engine will defer
     return plan;
+}
+
+void
+RankedKeepAlive::onIdle(core::Engine &engine, cluster::Container &container)
+{
+    if (!scoreStableWhileIdle())
+        return;
+    WorkerCache &cache = cacheFor(engine, container.worker);
+    if (!cache.valid)
+        return;
+    // The engine just appended the container to the idle list (one epoch
+    // bump).  If the cache was in sync before, mirror the insertion;
+    // otherwise it is stale and the next rankedIdle() rebuilds.
+    if (cache.epoch + 1 != engine.idleEpoch(container.worker)) {
+        cache.valid = false;
+        return;
+    }
+    const std::pair<double, cluster::ContainerId> entry{
+        score(engine, container), container.id};
+    cache.ranking.insert(std::lower_bound(cache.ranking.begin(),
+                                          cache.ranking.end(), entry),
+                         entry);
+    ++cache.epoch;
+}
+
+void
+RankedKeepAlive::onUse(core::Engine &engine, cluster::Container &container,
+                       core::StartType /*type*/)
+{
+    if (!scoreStableWhileIdle())
+        return;
+    WorkerCache &cache = cacheFor(engine, container.worker);
+    if (!cache.valid)
+        return;
+    const std::uint64_t epoch = engine.idleEpoch(container.worker);
+    if (cache.epoch == epoch)
+        return; // dispatch into a non-idle container: no membership change
+    if (cache.epoch + 1 != epoch) {
+        cache.valid = false;
+        return;
+    }
+    // The single bump was this container leaving the idle list.  Its
+    // cached key is (priority, id): score() is stable while idle and
+    // stores its value in container.priority, which the engine does not
+    // touch, so the stored priority *is* the key it was inserted under
+    // (dispatch already refreshed last_used_at, so re-scoring now would
+    // find a different, wrong key).
+    const std::pair<double, cluster::ContainerId> entry{container.priority,
+                                                        container.id};
+    const auto it = std::lower_bound(cache.ranking.begin(),
+                                     cache.ranking.end(), entry);
+    if (it == cache.ranking.end() || it->second != container.id) {
+        cache.valid = false; // contract violation: fall back to rebuilds
+        return;
+    }
+    cache.ranking.erase(it);
+    ++cache.epoch;
+}
+
+void
+RankedKeepAlive::onEvicted(core::Engine &engine,
+                           const cluster::Container &container)
+{
+    if (!scoreStableWhileIdle())
+        return;
+    WorkerCache &cache = cacheFor(engine, container.worker);
+    if (!cache.valid)
+        return;
+    const std::uint64_t epoch = engine.idleEpoch(container.worker);
+    if (cache.epoch == epoch)
+        return; // was not idle (never entered the ranking)
+    if (cache.epoch + 1 != epoch) {
+        cache.valid = false;
+        return;
+    }
+    const std::pair<double, cluster::ContainerId> entry{container.priority,
+                                                       container.id};
+    const auto it = std::lower_bound(cache.ranking.begin(),
+                                     cache.ranking.end(), entry);
+    if (it == cache.ranking.end() || it->second != container.id) {
+        cache.valid = false;
+        return;
+    }
+    cache.ranking.erase(it);
+    ++cache.epoch;
 }
 
 } // namespace cidre::policies

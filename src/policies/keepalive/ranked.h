@@ -7,10 +7,24 @@
  * score and evict from the lowest score upward until the demand is met.
  * This base implements that plan construction; subclasses provide the
  * score and any bookkeeping.
+ *
+ * Ranking cost is the hot part of reclaim, so the base keeps a reusable
+ * scratch vector (no per-call allocation) and, for policies whose score
+ * is *stable while a container stays idle* (LRU, TTL and friends —
+ * declared via scoreStableWhileIdle()), maintains a per-worker sorted
+ * ranking incrementally: containers are inserted when they become idle
+ * and removed when they are used or evicted, validated against the
+ * engine's idle-list epoch so any membership change the policy did not
+ * observe (e.g. a CodeCrunch restore) forces a full rebuild.  Plans are
+ * bit-identical to a full rescan: entries are ordered by the same total
+ * (score, id) key a sort would produce.
  */
 
 #ifndef CIDRE_POLICIES_KEEPALIVE_RANKED_H
 #define CIDRE_POLICIES_KEEPALIVE_RANKED_H
+
+#include <utility>
+#include <vector>
 
 #include "core/policy.h"
 
@@ -23,7 +37,18 @@ class RankedKeepAlive : public core::KeepAlivePolicy
     core::ReclaimPlan planReclaim(core::Engine &engine,
                                   const core::ReclaimRequest &request) override;
 
+    // Incremental ranking maintenance (no-ops unless the subclass
+    // declares its score stable; overriding subclasses need not chain).
+    void onIdle(core::Engine &engine, cluster::Container &container) override;
+    void onUse(core::Engine &engine, cluster::Container &container,
+               core::StartType type) override;
+    void onEvicted(core::Engine &engine,
+                   const cluster::Container &container) override;
+
   protected:
+    /** Sorted (score, id) pairs, lowest (= first evicted) first. */
+    using Ranking = std::vector<std::pair<double, cluster::ContainerId>>;
+
     /**
      * Keep-alive score of an idle container; *lower scores evict first*.
      * Implementations should also store the value in
@@ -32,6 +57,40 @@ class RankedKeepAlive : public core::KeepAlivePolicy
      */
     virtual double score(core::Engine &engine,
                          cluster::Container &container) = 0;
+
+    /**
+     * Return true if score() of an idle container can never change while
+     * the container remains continuously idle (and container.priority
+     * always holds the last value score() stored).  Enables the
+     * incremental per-worker ranking cache; the default (false) re-ranks
+     * on every reclaim, as time- or cache-state-dependent scores must.
+     */
+    virtual bool scoreStableWhileIdle() const { return false; }
+
+    /**
+     * The ranked idle containers of @p worker, lowest score first.
+     * Served from the incremental cache when valid, otherwise rebuilt
+     * (into a reusable buffer) by scoring every idle container.  The
+     * returned ranking never filters ReclaimRequest::exclude — skip it
+     * while consuming.  Valid until the next engine or hook call.
+     */
+    const Ranking &rankedIdle(core::Engine &engine,
+                              cluster::WorkerId worker);
+
+  private:
+    struct WorkerCache
+    {
+        Ranking ranking;
+        /** Engine idle epoch the ranking mirrors; valid_ gates use. */
+        std::uint64_t epoch = 0;
+        bool valid = false;
+    };
+
+    WorkerCache &cacheFor(core::Engine &engine, cluster::WorkerId worker);
+
+    std::vector<WorkerCache> caches_;
+    /** Rebuild buffer for the non-cacheable (volatile-score) path. */
+    Ranking scratch_;
 };
 
 } // namespace cidre::policies

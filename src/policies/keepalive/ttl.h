@@ -32,6 +32,9 @@ class TtlKeepAlive : public RankedKeepAlive
     double score(core::Engine &engine,
                  cluster::Container &container) override;
 
+    /** idle_since is frozen while a container stays idle. */
+    bool scoreStableWhileIdle() const override { return true; }
+
   private:
     sim::SimTime ttl_;
 };

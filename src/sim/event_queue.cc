@@ -1,21 +1,111 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace cidre::sim {
 
-EventQueue::EventId
-EventQueue::schedule(SimTime when, Callback cb)
+std::uint32_t
+EventQueue::acquireSlot()
+{
+    if (free_head_ != kNoSlot) {
+        const std::uint32_t index = free_head_;
+        free_head_ = slots_[index].next_free;
+        slots_[index].next_free = kNoSlot;
+        return index;
+    }
+    if (slots_.size() > kSlotMask)
+        throw std::length_error("EventQueue: more than 2^24 pending events");
+    const auto index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    return index;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t index) noexcept
+{
+    Slot &slot = slots_[index];
+    slot.callback.reset();
+    slot.armed_key = 0; // invalidates outstanding ids and heap entries
+    slot.next_free = free_head_;
+    free_head_ = index;
+}
+
+void
+EventQueue::siftUp(std::size_t index)
+{
+    HeapEntry entry = heap_[index];
+    while (index > 0) {
+        const std::size_t parent = (index - 1) / 4;
+        if (!earlier(entry, heap_[parent]))
+            break;
+        heap_[index] = heap_[parent];
+        index = parent;
+    }
+    heap_[index] = entry;
+}
+
+void
+EventQueue::siftDown(std::size_t index)
+{
+    const std::size_t size = heap_.size();
+    HeapEntry entry = heap_[index];
+    for (;;) {
+        const std::size_t first = index * 4 + 1;
+        if (first >= size)
+            break;
+        const std::size_t last = std::min(first + 4, size);
+        std::size_t best = first;
+        for (std::size_t child = first + 1; child < last; ++child) {
+            if (earlier(heap_[child], heap_[best]))
+                best = child;
+        }
+        if (!earlier(heap_[best], entry))
+            break;
+        heap_[index] = heap_[best];
+        index = best;
+    }
+    heap_[index] = entry;
+}
+
+void
+EventQueue::popTop()
+{
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+}
+
+std::uint32_t
+EventQueue::beginSchedule(SimTime when)
 {
     if (when < now_)
         throw std::logic_error("EventQueue: scheduling into the past");
+    if (next_seq_ >> (64 - kSlotBits) != 0)
+        throw std::length_error("EventQueue: sequence space exhausted");
+    return acquireSlot();
+}
+
+EventQueue::EventId
+EventQueue::finishSchedule(SimTime when, std::uint32_t slot)
+{
+    const std::uint64_t key = (next_seq_++ << kSlotBits) | slot;
+    slots_[slot].armed_key = key;
+    heap_.push_back(HeapEntry{when, key});
+    siftUp(heap_.size() - 1);
+    return key;
+}
+
+EventQueue::EventId
+EventQueue::schedule(SimTime when, Callback cb)
+{
     if (!cb)
         throw std::invalid_argument("EventQueue: empty callback");
-    const EventId id = next_id_++;
-    heap_.push(Entry{when, id});
-    callbacks_.emplace(id, std::move(cb));
-    return id;
+    const std::uint32_t slot = beginSchedule(when);
+    slots_[slot].callback = std::move(cb);
+    return finishSchedule(when, slot);
 }
 
 EventQueue::EventId
@@ -27,42 +117,79 @@ EventQueue::scheduleAfter(SimTime delay, Callback cb)
 void
 EventQueue::cancel(EventId id)
 {
-    callbacks_.erase(id);
+    if (id == 0)
+        return;
+    const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+    if (slot >= slots_.size() || slots_[slot].armed_key != id)
+        return; // already ran, already cancelled, or never existed
+    releaseSlot(slot);
+    ++cancelled_;
+    // Cancelled-event debt: the dead heap entries are usually cheap to
+    // carry (they pop out in time order), but a cancel-heavy workload
+    // could otherwise grow the heap without bound.  Sweep once they
+    // outnumber the live entries.
+    if (cancelled_ * 2 > heap_.size())
+        compact();
 }
 
 void
-EventQueue::skipCancelled() const
+EventQueue::compact()
 {
-    while (!heap_.empty() && !callbacks_.count(heap_.top().id))
-        heap_.pop();
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const HeapEntry &entry) {
+                                   return dead(entry);
+                               }),
+                heap_.end());
+    cancelled_ = 0;
+    if (heap_.size() > 1) {
+        // Bottom-up heapify: every index that can have a child.
+        for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;)
+            siftDown(i);
+    }
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!heap_.empty() && dead(heap_.front())) {
+        // popTop on the mutable members; const because empty()/peekTime()
+        // must be able to discard dead heads.
+        const_cast<EventQueue *>(this)->popTop();
+        --cancelled_;
+    }
 }
 
 bool
 EventQueue::empty() const
 {
-    skipCancelled();
+    skipDead();
     return heap_.empty();
 }
 
 SimTime
 EventQueue::peekTime() const
 {
-    skipCancelled();
-    return heap_.empty() ? kTimeInfinity : heap_.top().when;
+    skipDead();
+    return heap_.empty() ? kTimeInfinity : heap_.front().when;
 }
 
 bool
 EventQueue::runNext()
 {
-    skipCancelled();
+    skipDead();
     if (heap_.empty())
         return false;
-    const Entry entry = heap_.top();
-    heap_.pop();
-    auto node = callbacks_.extract(entry.id);
-    now_ = entry.when;
+    const HeapEntry top = heap_.front();
+    popTop();
+    const auto slot = static_cast<std::uint32_t>(top.key & kSlotMask);
+    // Move the callback out and release the slot *before* invoking: the
+    // callback may schedule new events (reusing this very slot) or grow
+    // the pool, exactly like the old extract-then-invoke contract.
+    EventCallback callback = std::move(slots_[slot].callback);
+    releaseSlot(slot);
+    now_ = top.when;
     ++executed_;
-    node.mapped()(now_);
+    callback(now_);
     return true;
 }
 
