@@ -19,12 +19,41 @@
 #define CIDRE_CLUSTER_CONTAINER_H
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "sim/time.h"
 #include "trace/function_profile.h"
 
 namespace cidre::cluster {
+
+/**
+ * FIFO of trace request indices bound to one container.
+ *
+ * A std::deque here would cost 80 bytes per container plus an eager
+ * 512-byte node allocation on construction — paid by every container
+ * ever provisioned even though most queues stay empty.  This compact
+ * form is 32 bytes, allocates only on first use, and amortizes
+ * pop_front with a head cursor (storage is recycled once drained).
+ */
+class BoundQueue
+{
+  public:
+    bool empty() const { return head_ == items_.size(); }
+    std::size_t size() const { return items_.size() - head_; }
+    std::uint64_t front() const { return items_[head_]; }
+    void push_back(std::uint64_t v) { items_.push_back(v); }
+    void pop_front()
+    {
+        if (++head_ == items_.size()) {
+            items_.clear();
+            head_ = 0;
+        }
+    }
+
+  private:
+    std::vector<std::uint64_t> items_;
+    std::size_t head_ = 0;
+};
 
 /** Dense container identifier; ids are never reused within a run. */
 using ContainerId = std::uint32_t;
@@ -110,7 +139,7 @@ struct Container
      * Requests bound to this specific container (vanilla fixed-queue
      * dispatch of §2.4's Fig. 7 what-if); stores trace request indices.
      */
-    std::deque<std::uint64_t> bound_queue;
+    BoundQueue bound_queue;
 
     bool provisioning() const { return state == ContainerState::Provisioning; }
     bool live() const { return state == ContainerState::Live; }

@@ -34,6 +34,26 @@ class ScratchLease
     std::vector<T> vec_;
 };
 
+/** ScratchLease for the engine's reusable ReclaimPlan buffer. */
+class PlanLease
+{
+  public:
+    explicit PlanLease(ReclaimPlan &owner)
+        : owner_(owner), plan_(std::move(owner))
+    {
+        plan_.clear();
+    }
+    ~PlanLease() { owner_ = std::move(plan_); }
+    PlanLease(const PlanLease &) = delete;
+    PlanLease &operator=(const PlanLease &) = delete;
+
+    ReclaimPlan &operator*() { return plan_; }
+
+  private:
+    ReclaimPlan &owner_;
+    ReclaimPlan plan_;
+};
+
 } // namespace
 
 void
@@ -116,6 +136,7 @@ Engine::Engine(const trace::Trace &workload, EngineConfig config,
     }
     worker_idle_.resize(cluster_.workerCount());
     worker_idle_epoch_.assign(cluster_.workerCount(), 0);
+    track_busy_ends_ = policy_.scaling->wantsBusyCompletionView();
     if (config_.record_per_request)
         metrics_.outcomes.resize(trace_.requestCount());
 }
@@ -123,12 +144,34 @@ Engine::Engine(const trace::Trace &workload, EngineConfig config,
 RunMetrics
 Engine::run()
 {
+    begin();
+    return finish();
+}
+
+void
+Engine::begin()
+{
     if (ran_)
         throw std::logic_error("Engine::run: single-shot engine reused");
     ran_ = true;
 
     scheduleNextArrival();
     scheduleTickIfNeeded();
+}
+
+std::size_t
+Engine::stepUntil(sim::SimTime until)
+{
+    if (!ran_)
+        throw std::logic_error("Engine::stepUntil: begin() not called");
+    return queue_.runUntil(until);
+}
+
+RunMetrics
+Engine::finish()
+{
+    if (!ran_)
+        throw std::logic_error("Engine::finish: begin() not called");
     queue_.runAll();
 
     if (completed_requests_ != trace_.requestCount()) {
@@ -263,7 +306,8 @@ Engine::dispatch(cluster::Container &c, std::uint64_t request_index,
     assert(c.active < c.threads);
     FunctionState &fs = states_[c.function];
 
-    if (c.active == 0) {
+    const bool was_busy = c.active > 0;
+    if (!was_busy) {
         if (c.idle_slot >= 0)
             removeFromWorkerIdle(c);
         fs.noteBusy(true);
@@ -276,7 +320,16 @@ Engine::dispatch(cluster::Container &c, std::uint64_t request_index,
     assert(wait >= 0);
     c.last_used_at = now();
     ++c.use_count;
+    const sim::SimTime prev_until = c.busy_until;
     c.busy_until = std::max(c.busy_until, now() + req.exec_us);
+    if (track_busy_ends_) {
+        if (!was_busy)
+            fs.busyEndInsert(c.busy_until);
+        else if (c.busy_until != prev_until) {
+            fs.busyEndErase(prev_until);
+            fs.busyEndInsert(c.busy_until);
+        }
+    }
 
     // T_i bookkeeping: first reuse of the tracked speculative container.
     if (fs.tracked_spec_container == c.id)
@@ -383,8 +436,11 @@ Engine::handleExecutionComplete(cluster::ContainerId id,
     const trace::Request &req = trace_.requests()[request_index];
 
     --c.active;
-    if (c.active == 0)
+    if (c.active == 0) {
         fs.noteBusy(false);
+        if (track_busy_ends_)
+            fs.busyEndErase(c.busy_until);
+    }
     ++completed_requests_;
     --outstanding_requests_;
 
@@ -531,7 +587,9 @@ Engine::ensureFreeOn(cluster::WorkerId worker, std::int64_t need_mb,
             return false;
         const ReclaimRequest demand{worker, need_mb - host.freeMb(),
                                     beneficiary, exclude};
-        ReclaimPlan plan = policy_.keep_alive->planReclaim(*this, demand);
+        PlanLease plan_lease(plan_scratch_);
+        ReclaimPlan &plan = *plan_lease;
+        policy_.keep_alive->planReclaim(*this, demand, plan);
 
         // Validate and size the plan before touching anything; entries
         // matching the excluded container are dropped, not applied.
@@ -782,12 +840,21 @@ Engine::estimateExecTime(trace::FunctionId id) const
 {
     const FunctionState &fs = states_.at(id);
     const auto &window = fs.execWindow();
-    if (window.empty())
-        return trace_.functions()[id].median_exec_us;
-    const double value = config_.te_percentile < 0.0
-        ? window.mean()
-        : window.percentile(config_.te_percentile);
-    return static_cast<sim::SimTime>(value);
+    FunctionState::EstimateCache &memo = fs.execEstimateCache();
+    if (memo.epoch == window.changeEpoch())
+        return memo.value;
+    sim::SimTime value;
+    if (window.empty()) {
+        value = trace_.functions()[id].median_exec_us;
+    } else {
+        value = static_cast<sim::SimTime>(
+            config_.te_percentile < 0.0
+                ? window.mean()
+                : window.percentile(config_.te_percentile));
+    }
+    memo.value = value;
+    memo.epoch = window.changeEpoch();
+    return value;
 }
 
 sim::SimTime
@@ -795,9 +862,15 @@ Engine::estimateColdTime(trace::FunctionId id) const
 {
     const FunctionState &fs = states_.at(id);
     const auto &window = fs.coldWindow();
-    if (window.empty())
-        return trace_.functions()[id].cold_start_us;
-    return static_cast<sim::SimTime>(window.median());
+    FunctionState::EstimateCache &memo = fs.coldEstimateCache();
+    if (memo.epoch == window.changeEpoch())
+        return memo.value;
+    const sim::SimTime value = window.empty()
+        ? trace_.functions()[id].cold_start_us
+        : static_cast<sim::SimTime>(window.median());
+    memo.value = value;
+    memo.epoch = window.changeEpoch();
+    return value;
 }
 
 sim::SimTime
@@ -808,18 +881,15 @@ Engine::nextArrivalAfter(trace::FunctionId id, sim::SimTime t) const
     return it == arrivals.end() ? sim::kTimeInfinity : *it;
 }
 
-std::vector<sim::SimTime>
-Engine::busyCompletionTimes(trace::FunctionId id) const
+const std::vector<sim::SimTime> &
+Engine::busyCompletionView(trace::FunctionId id) const
 {
-    std::vector<sim::SimTime> times;
-    const FunctionState &fs = states_.at(id);
-    for (const cluster::ContainerId cid : fs.cached()) {
-        const cluster::Container &c = cluster_.container(cid);
-        if (c.busy())
-            times.push_back(c.busy_until);
+    if (!track_busy_ends_) {
+        throw std::logic_error(
+            "Engine::busyCompletionView: scaling policy did not opt in "
+            "(override wantsBusyCompletionView)");
     }
-    std::sort(times.begin(), times.end());
-    return times;
+    return states_.at(id).busyEndTimes();
 }
 
 } // namespace cidre::core

@@ -57,8 +57,26 @@ class Engine
      * Run the whole trace to completion and return the metrics.
      * Throws std::logic_error if any request failed to complete (which
      * would indicate an engine or policy bug, not a workload property).
+     * Equivalent to begin() + finish().
      */
     RunMetrics run();
+
+    // ---- stepped execution (benchmarks, allocation tests) ----------------
+
+    /**
+     * Arm the simulation (schedules the first arrival and maintenance
+     * tick) without executing any event.  Single-shot, like run().
+     */
+    void begin();
+
+    /**
+     * Execute every event up to and including @p until (simulated time).
+     * @return the number of events executed.
+     */
+    std::size_t stepUntil(sim::SimTime until);
+
+    /** Drain the remaining events and return the metrics (see run()). */
+    RunMetrics finish();
 
     // ---- read access for policies --------------------------------------
 
@@ -114,8 +132,13 @@ class Engine
     /** Next trace arrival of @p id strictly after @p t (or infinity). */
     sim::SimTime nextArrivalAfter(trace::FunctionId id, sim::SimTime t) const;
 
-    /** Sorted completion times of the active executions of @p id. */
-    std::vector<sim::SimTime> busyCompletionTimes(trace::FunctionId id) const;
+    /**
+     * Ascending completion times of the active executions of @p id,
+     * maintained incrementally (no per-call work).  Only available when
+     * the scaling policy opted in via wantsBusyCompletionView().
+     */
+    const std::vector<sim::SimTime> &
+    busyCompletionView(trace::FunctionId id) const;
 
     // ---- agent API ------------------------------------------------------
 
@@ -232,6 +255,7 @@ class Engine
     std::vector<cluster::ContainerId> compress_scratch_;
     std::vector<cluster::ContainerId> evict_scratch_;
     std::vector<cluster::ContainerId> expired_scratch_;
+    ReclaimPlan plan_scratch_;
 
     std::uint64_t arrival_cursor_ = 0;
     std::uint64_t round_robin_cursor_ = 0;
@@ -242,6 +266,8 @@ class Engine
     bool in_retry_ = false;
     bool tick_scheduled_ = false;
     bool ran_ = false;
+    /** Scaling policy opted into the per-function busy-end view. */
+    bool track_busy_ends_ = false;
 };
 
 } // namespace cidre::core

@@ -68,6 +68,7 @@ FunctionState::addCached(cluster::Container &c)
     assert(c.cached_slot < 0);
     c.cached_slot = static_cast<std::int32_t>(cached_.size());
     cached_.push_back(c.id);
+    ++priority_epoch_; // |F(c)| of Eq. 3 changed
 }
 
 void
@@ -75,6 +76,24 @@ FunctionState::removeCached(cluster::Container &c,
                             std::deque<cluster::Container> &slab)
 {
     swapErase<&cluster::Container::cached_slot>(cached_, c, slab);
+    ++priority_epoch_;
+}
+
+void
+FunctionState::busyEndInsert(sim::SimTime t)
+{
+    busy_ends_.insert(
+        std::upper_bound(busy_ends_.begin(), busy_ends_.end(), t), t);
+}
+
+void
+FunctionState::busyEndErase(sim::SimTime t)
+{
+    const auto it =
+        std::lower_bound(busy_ends_.begin(), busy_ends_.end(), t);
+    if (it == busy_ends_.end() || *it != t)
+        throw std::logic_error("FunctionState: busy-end view out of sync");
+    busy_ends_.erase(it);
 }
 
 void
@@ -107,6 +126,7 @@ FunctionState::noteArrival(sim::SimTime now)
     ++total_invocations_;
     if (first_request_at_ < 0)
         first_request_at_ = now;
+    ++priority_epoch_; // n_F of Eq. 4 changed
     arrival_window_.add(now, static_cast<double>(now));
 }
 

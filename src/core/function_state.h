@@ -77,6 +77,21 @@ class FunctionState
     std::deque<PendingRequest> &channel() { return channel_; }
     const std::deque<PendingRequest> &channel() const { return channel_; }
 
+    // --- busy-completion view (oracle scaling) ---------------------------
+
+    /**
+     * Ascending completion times of this function's busy containers,
+     * maintained incrementally by the engine at dispatch/complete (only
+     * when the scaling policy opted in via wantsBusyCompletionView()).
+     */
+    const std::vector<sim::SimTime> &busyEndTimes() const
+    {
+        return busy_ends_;
+    }
+
+    void busyEndInsert(sim::SimTime t);
+    void busyEndErase(sim::SimTime t);
+
     // --- invocation aggregates (Eq. 4) ----------------------------------
 
     /** Total invocations this function ever received (n_F). */
@@ -108,6 +123,29 @@ class FunctionState
     stats::SlidingWindow &coldWindow() { return cold_window_; }
     const stats::SlidingWindow &coldWindow() const { return cold_window_; }
 
+    /**
+     * Memo slot for a window-derived estimate: valid while @c epoch
+     * equals the source window's changeEpoch().  UINT64_MAX (never a
+     * real epoch) marks "not yet computed".
+     */
+    struct EstimateCache
+    {
+        sim::SimTime value = 0;
+        std::uint64_t epoch = UINT64_MAX;
+    };
+
+    /** Memo for Engine::estimateExecTime (T_e). */
+    EstimateCache &execEstimateCache() const { return te_cache_; }
+    /** Memo for Engine::estimateColdTime (T_p). */
+    EstimateCache &coldEstimateCache() const { return tp_cache_; }
+
+    /**
+     * Bumped whenever an input of the Eq. 3 priority bonus other than
+     * time changes (arrival count, cached-container count): CIP reuses
+     * a bonus computed at the same (now, priorityEpoch) pair.
+     */
+    std::uint64_t priorityEpoch() const { return priority_epoch_; }
+
     /** CSS per-function toggle: is the cold-start (BSS) path enabled? */
     bool bss_enabled = true;
 
@@ -138,10 +176,16 @@ class FunctionState
 
     std::uint64_t total_invocations_ = 0;
     sim::SimTime first_request_at_ = -1;
+    std::uint64_t priority_epoch_ = 0;
+
+    std::vector<sim::SimTime> busy_ends_;
 
     stats::SlidingWindow exec_window_;
     stats::SlidingWindow cold_window_;
     stats::SlidingWindow arrival_window_;
+
+    mutable EstimateCache te_cache_;
+    mutable EstimateCache tp_cache_;
 };
 
 } // namespace cidre::core

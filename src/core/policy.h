@@ -101,6 +101,14 @@ class ScalingPolicy
     /** A request began execution; CSS updates T_d on delayed warms. */
     virtual void onDispatch(Engine &engine, const trace::Request &request,
                             StartType type, sim::SimTime wait_us);
+
+    /**
+     * Opt in to Engine::busyCompletionView(): a per-function ordered
+     * list of busy-container completion times, maintained incrementally
+     * at dispatch/complete.  Off by default — the bookkeeping is pure
+     * overhead for policies that never look at it.
+     */
+    virtual bool wantsBusyCompletionView() const { return false; }
 };
 
 /** A worker-local reclaim demand. */
@@ -120,6 +128,12 @@ struct ReclaimPlan
     std::vector<cluster::ContainerId> evict;
     /** CodeCrunch: shrink these instead of evicting (applied first). */
     std::vector<cluster::ContainerId> compress;
+
+    void clear()
+    {
+        evict.clear();
+        compress.clear();
+    }
 };
 
 /** Decides which warm containers to keep, reclaim, or expire. */
@@ -147,11 +161,13 @@ class KeepAlivePolicy
 
     /**
      * Choose idle containers on @p request.worker freeing at least
-     * @p request.need_mb.  The engine applies the plan only if it is
+     * @p request.need_mb, appending them to @p plan (passed in empty —
+     * the engine reuses one plan buffer across reclaims so the hot path
+     * never allocates).  The engine applies the plan only if it is
      * sufficient; otherwise the triggering provision is deferred.
      */
-    virtual ReclaimPlan planReclaim(Engine &engine,
-                                    const ReclaimRequest &request) = 0;
+    virtual void planReclaim(Engine &engine, const ReclaimRequest &request,
+                             ReclaimPlan &plan) = 0;
 
     /** @p container was evicted (for any reason). */
     virtual void onEvicted(Engine &engine,

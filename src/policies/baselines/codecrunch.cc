@@ -14,14 +14,14 @@ CodeCrunchKeepAlive::CodeCrunchKeepAlive()
 {
 }
 
-core::ReclaimPlan
+void
 CodeCrunchKeepAlive::planReclaim(core::Engine &engine,
-                                 const core::ReclaimRequest &request)
+                                 const core::ReclaimRequest &request,
+                                 core::ReclaimPlan &plan)
 {
     const Ranking &ranked = rankedIdle(engine, request.worker);
 
     const double ratio = engine.config().compression_ratio;
-    core::ReclaimPlan plan;
     std::int64_t freed = 0;
     // First pass: compress live idle containers, evict compressed ones.
     for (const auto &[prio, cid] : ranked) {
@@ -41,11 +41,11 @@ CodeCrunchKeepAlive::planReclaim(core::Engine &engine,
         }
     }
     if (freed >= request.need_mb)
-        return plan;
+        return;
 
     // Compression alone cannot satisfy the demand: fall back to evicting
     // from the lowest score upward (compressed or not).
-    plan = core::ReclaimPlan{};
+    plan.clear();
     freed = 0;
     for (const auto &[prio, cid] : ranked) {
         if (freed >= request.need_mb)
@@ -57,7 +57,6 @@ CodeCrunchKeepAlive::planReclaim(core::Engine &engine,
     }
     if (freed < request.need_mb)
         plan.evict.clear();
-    return plan;
 }
 
 core::OrchestrationPolicy

@@ -30,8 +30,9 @@ class CodeCrunchKeepAlive : public GdsfKeepAlive
 
     const char *name() const override { return "codecrunch"; }
 
-    core::ReclaimPlan planReclaim(core::Engine &engine,
-                                  const core::ReclaimRequest &request) override;
+    void planReclaim(core::Engine &engine,
+                     const core::ReclaimRequest &request,
+                     core::ReclaimPlan &plan) override;
 };
 
 /** Assemble the CodeCrunch bundle (vanilla scaling). */

@@ -232,9 +232,10 @@ RainbowCakeKeepAlive::RainbowCakeKeepAlive(LayerCache &layers,
 {
 }
 
-core::ReclaimPlan
+void
 RainbowCakeKeepAlive::planReclaim(core::Engine &engine,
-                                  const core::ReclaimRequest &request)
+                                  const core::ReclaimRequest &request,
+                                  core::ReclaimPlan &plan)
 {
     // Shed cached layers first (side effect: memory is released right
     // away, the engine recomputes the residual demand), then fall back
@@ -242,10 +243,10 @@ RainbowCakeKeepAlive::planReclaim(core::Engine &engine,
     const std::int64_t freed =
         layers_.shed(engine, request.worker, request.need_mb);
     if (freed >= request.need_mb)
-        return {};
+        return;
     core::ReclaimRequest residual = request;
     residual.need_mb -= freed;
-    return RankedKeepAlive::planReclaim(engine, residual);
+    RankedKeepAlive::planReclaim(engine, residual, plan);
 }
 
 void

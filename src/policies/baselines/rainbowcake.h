@@ -154,8 +154,9 @@ class RainbowCakeKeepAlive : public RankedKeepAlive
 
     const char *name() const override { return "rainbowcake"; }
 
-    core::ReclaimPlan planReclaim(core::Engine &engine,
-                                  const core::ReclaimRequest &request) override;
+    void planReclaim(core::Engine &engine,
+                     const core::ReclaimRequest &request,
+                     core::ReclaimPlan &plan) override;
     void collectExpired(core::Engine &engine, sim::SimTime now,
                         std::vector<cluster::ContainerId> &out) override;
 

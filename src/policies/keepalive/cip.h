@@ -14,12 +14,38 @@
  *  - |F(c)| is the number of warm containers the function has cached:
  *    functions hogging many containers lose priority per container, which
  *    yields the balanced evictions of Observation 2.
+ *
+ * Selection is incremental, not a brute-force rescoring.  Eq. 3 has
+ * structure the generic volatile-score path in RankedKeepAlive cannot
+ * exploit: every container of one function shares the same bonus term
+ * Freq·Cost/(Size·|F(c)|), and Clock only changes on use/admit — never
+ * while a container sits idle.  So each worker keeps per-function
+ * buckets of its idle containers ordered by (clock, id); within a
+ * bucket that order *is* the priority order at any instant.  A reclaim
+ * computes one bonus per function with idle containers (O(F_w), cheap
+ * and memoized across same-instant scans) and k-way-merges the bucket
+ * heads through a min-heap keyed by (clock + bonus, id) — popping
+ * victims lowest-priority-first in exactly the (score, id) order a full
+ * rescore-and-sort would produce, but in O(evicted · log F_w).
+ *
+ * Bit-identity with the brute-force path is preserved including its
+ * side effects: the old scan wrote a fresh priority into *every* idle
+ * container, and onUse reads that stale value (clock ← priority).  The
+ * incremental path records, per (worker, function), the bonus of the
+ * most recent scan; when a container leaves the idle list its
+ * scan-time priority is reconstructed as clock + recorded bonus (entries
+ * carry the scan sequence number current at insertion, so "was this
+ * container scanned while idle?" is a single comparison).
  */
 
 #ifndef CIDRE_POLICIES_KEEPALIVE_CIP_H
 #define CIDRE_POLICIES_KEEPALIVE_CIP_H
 
+#include <cstdint>
+#include <vector>
+
 #include "policies/keepalive/ranked.h"
+#include "trace/function_profile.h"
 
 namespace cidre::policies {
 
@@ -33,10 +59,91 @@ class CipKeepAlive : public RankedKeepAlive
                  double eviction_watermark) override;
     void onUse(core::Engine &engine, cluster::Container &container,
                core::StartType type) override;
+    void onIdle(core::Engine &engine, cluster::Container &container) override;
+    void onEvicted(core::Engine &engine,
+                   const cluster::Container &container) override;
+    void planReclaim(core::Engine &engine,
+                     const core::ReclaimRequest &request,
+                     core::ReclaimPlan &plan) override;
 
   protected:
     double score(core::Engine &engine,
                  cluster::Container &container) override;
+
+  private:
+    /** One idle container in its function's clock-ordered bucket. */
+    struct IdleEntry
+    {
+        double clock;
+        cluster::ContainerId id;
+        /** Scan seq of the (worker, function) cell at insertion time. */
+        std::uint64_t scan_mark;
+
+        /** Bucket order (clock, id): the within-function priority order,
+         *  since all containers of one function share the bonus term. */
+        bool operator<(const IdleEntry &o) const
+        {
+            if (clock != o.clock)
+                return clock < o.clock;
+            return id < o.id;
+        }
+    };
+
+    /** A bucket head inside the k-way selection heap. */
+    struct Head
+    {
+        double score; //!< clock + per-function bonus
+        cluster::ContainerId id;
+        trace::FunctionId function;
+        std::uint32_t next; //!< bucket index of the successor entry
+    };
+
+    /** Incremental idle-ranking state of one worker. */
+    struct WorkerState
+    {
+        /** Per-function idle containers, ascending (clock, id). */
+        std::vector<std::vector<IdleEntry>> buckets;
+        /** Functions with a non-empty bucket (swap-erase order). */
+        std::vector<trace::FunctionId> active;
+        /** active position per function, -1 when bucket empty. */
+        std::vector<std::int32_t> active_slot;
+        /** Bonus recorded by the latest scan touching this function. */
+        std::vector<double> scan_bonus;
+        /** Scan seq of that bonus (0 = never scanned). */
+        std::vector<std::uint64_t> scan_seq;
+        /** Selection scratch: the k-way merge heap. */
+        std::vector<Head> heads;
+        /** Engine idle epoch the buckets mirror; valid gates use. */
+        std::uint64_t epoch = 0;
+        bool valid = false;
+    };
+
+    WorkerState &stateFor(core::Engine &engine, cluster::WorkerId worker);
+    void rebuild(core::Engine &engine, cluster::WorkerId worker,
+                 WorkerState &ws);
+    /** The Freq·Cost/(Size·|F|) bonus of Eq. 3, memoized per instant. */
+    double bonusOf(core::Engine &engine, trace::FunctionId function);
+    void insertIdle(WorkerState &ws, const cluster::Container &container);
+    /**
+     * Remove @p container's bucket entry.  When @p stale_priority is
+     * non-null it receives the priority the brute-force scan would have
+     * left in the container.  @return false if the entry was missing
+     * (contract violation: caller invalidates).
+     */
+    bool removeIdle(WorkerState &ws, const cluster::Container &container,
+                    double *stale_priority);
+
+    std::vector<WorkerState> workers_;
+    std::uint64_t scan_counter_ = 0;
+
+    /** bonusOf memo: same (now, priorityEpoch) ⇒ same bonus. */
+    struct BonusCache
+    {
+        sim::SimTime when = -1;
+        std::uint64_t epoch = 0;
+        double bonus = 0.0;
+    };
+    std::vector<BonusCache> bonus_cache_;
 };
 
 } // namespace cidre::policies

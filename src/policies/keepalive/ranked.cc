@@ -44,13 +44,13 @@ RankedKeepAlive::rankedIdle(core::Engine &engine, cluster::WorkerId worker)
     return cache.ranking;
 }
 
-core::ReclaimPlan
+void
 RankedKeepAlive::planReclaim(core::Engine &engine,
-                             const core::ReclaimRequest &request)
+                             const core::ReclaimRequest &request,
+                             core::ReclaimPlan &plan)
 {
     const Ranking &ranked = rankedIdle(engine, request.worker);
 
-    core::ReclaimPlan plan;
     std::int64_t freed = 0;
     for (const auto &[prio, cid] : ranked) {
         if (freed >= request.need_mb)
@@ -62,7 +62,6 @@ RankedKeepAlive::planReclaim(core::Engine &engine,
     }
     if (freed < request.need_mb)
         plan.evict.clear(); // insufficient: the engine will defer
-    return plan;
 }
 
 void

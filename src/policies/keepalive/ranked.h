@@ -34,8 +34,9 @@ namespace cidre::policies {
 class RankedKeepAlive : public core::KeepAlivePolicy
 {
   public:
-    core::ReclaimPlan planReclaim(core::Engine &engine,
-                                  const core::ReclaimRequest &request) override;
+    void planReclaim(core::Engine &engine,
+                     const core::ReclaimRequest &request,
+                     core::ReclaimPlan &plan) override;
 
     // Incremental ranking maintenance (no-ops unless the subclass
     // declares its score stable; overriding subclasses need not chain).

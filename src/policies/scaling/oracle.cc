@@ -11,8 +11,8 @@ OracleScaling::onNoFreeContainer(core::Engine &engine,
                                  const trace::Request &request)
 {
     const auto &fs = engine.functionState(request.function);
-    const std::vector<sim::SimTime> completions =
-        engine.busyCompletionTimes(request.function);
+    const std::vector<sim::SimTime> &completions =
+        engine.busyCompletionView(request.function);
 
     // Requests queued ahead of this one consume the earliest completions.
     const std::size_t position = fs.channel().size();

@@ -24,6 +24,9 @@ class OracleScaling : public core::ScalingPolicy
 
     core::ScalingChoice onNoFreeContainer(
         core::Engine &engine, const trace::Request &request) override;
+
+    /** The oracle reads the engine-maintained busy-completion view. */
+    bool wantsBusyCompletionView() const override { return true; }
 };
 
 } // namespace cidre::policies

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
-#include <vector>
 
 namespace cidre::stats {
 
@@ -15,86 +14,117 @@ SlidingWindow::SlidingWindow(sim::SimTime horizon, std::size_t max_samples)
 }
 
 void
+SlidingWindow::growRing()
+{
+    const std::size_t want =
+        std::min(max_samples_, std::max<std::size_t>(16, ring_.size() * 2));
+    std::vector<Entry> grown;
+    grown.resize(want);
+    for (std::size_t i = 0; i < size_; ++i)
+        grown[i] = at(i);
+    ring_ = std::move(grown);
+    head_ = 0;
+    sorted_.reserve(want);
+}
+
+void
+SlidingWindow::dropFront()
+{
+    assert(size_ > 0);
+    const Entry &front = ring_[head_];
+    sum_ -= front.value;
+    const auto it =
+        std::lower_bound(sorted_.begin(), sorted_.end(), front.value);
+    assert(it != sorted_.end() && *it == front.value);
+    sorted_.erase(it);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    if (size_ == 0) {
+        head_ = 0;
+        sum_ = 0.0; // shed accumulated floating-point drift
+    }
+}
+
+bool
+SlidingWindow::expireUnstamped(sim::SimTime now)
+{
+    if (horizon_ == sim::kTimeInfinity)
+        return false;
+    const sim::SimTime cutoff = now - horizon_;
+    bool dropped = false;
+    while (size_ > 0 && ring_[head_].when < cutoff) {
+        dropFront();
+        dropped = true;
+    }
+    return dropped;
+}
+
+void
 SlidingWindow::add(sim::SimTime now, double value)
 {
-    assert(entries_.empty() || now >= entries_.back().when);
-    entries_.push_back({now, value});
-    if (entries_.size() > max_samples_)
-        entries_.pop_front();
-    expire(now);
-    cache_valid_ = false;
+    assert(size_ == 0 || now >= at(size_ - 1).when);
+    if (size_ == max_samples_)
+        dropFront(); // retention cap: newest wins
+    if (size_ == ring_.size())
+        growRing();
+    ring_[(head_ + size_) % ring_.size()] = {now, value};
+    ++size_;
+    sum_ += value;
+    sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), value),
+                   value);
+    expireUnstamped(now);
+    ++change_epoch_; // exactly one stamp per mutation
 }
 
 void
 SlidingWindow::expire(sim::SimTime now)
 {
-    if (horizon_ == sim::kTimeInfinity)
-        return;
-    const sim::SimTime cutoff = now - horizon_;
-    while (!entries_.empty() && entries_.front().when < cutoff) {
-        entries_.pop_front();
-        cache_valid_ = false;
-    }
+    if (expireUnstamped(now))
+        ++change_epoch_;
 }
 
 double
 SlidingWindow::percentile(double q) const
 {
-    if (entries_.empty())
+    if (size_ == 0)
         throw std::logic_error("SlidingWindow::percentile on empty window");
     if (q < 0.0 || q > 1.0)
         throw std::invalid_argument("SlidingWindow::percentile: bad q");
-    if (cache_valid_ && cache_q_ == q)
-        return cache_value_;
-
-    std::vector<double> values;
-    values.reserve(entries_.size());
-    for (const auto &entry : entries_)
-        values.push_back(entry.value);
     const auto rank = static_cast<std::size_t>(
-        q * static_cast<double>(values.size() - 1) + 0.5);
-    std::nth_element(values.begin(),
-                     values.begin() + static_cast<std::ptrdiff_t>(rank),
-                     values.end());
-    cache_valid_ = true;
-    cache_q_ = q;
-    cache_value_ = values[rank];
-    return cache_value_;
+        q * static_cast<double>(size_ - 1) + 0.5);
+    return sorted_[rank];
 }
 
 double
 SlidingWindow::mean() const
 {
-    if (entries_.empty())
+    if (size_ == 0)
         return 0.0;
-    double total = 0.0;
-    for (const auto &entry : entries_)
-        total += entry.value;
-    return total / static_cast<double>(entries_.size());
+    return sum_ / static_cast<double>(size_);
 }
 
 double
 SlidingWindow::latest() const
 {
-    if (entries_.empty())
+    if (size_ == 0)
         throw std::logic_error("SlidingWindow::latest on empty window");
-    return entries_.back().value;
+    return at(size_ - 1).value;
 }
 
 sim::SimTime
 SlidingWindow::earliestTime() const
 {
-    if (entries_.empty())
+    if (size_ == 0)
         throw std::logic_error("SlidingWindow::earliestTime: empty window");
-    return entries_.front().when;
+    return ring_[head_].when;
 }
 
 sim::SimTime
 SlidingWindow::latestTime() const
 {
-    if (entries_.empty())
+    if (size_ == 0)
         throw std::logic_error("SlidingWindow::latestTime: empty window");
-    return entries_.back().when;
+    return at(size_ - 1).when;
 }
 
 } // namespace cidre::stats

@@ -10,13 +10,22 @@
  * To bound per-decision cost for very hot functions, the window also caps
  * the number of retained samples (newest win); the cap is configurable
  * and the sensitivity bench (Fig. 18) raises it when comparing horizons.
+ *
+ * Statistics are O(1) per query: entries live in a ring buffer (time
+ * order) with a sorted companion array (value order) maintained on every
+ * add/expire, so percentile() indexes directly instead of re-collecting
+ * and nth_element-ing, and mean() reads a running sum.  Both are *exact*
+ * — the companion holds the same multiset a fresh sort would.  A change
+ * epoch stamps every mutation (exactly once per add()/dropping expire())
+ * so consumers can memoize derived estimates against it.
  */
 
 #ifndef CIDRE_STATS_SLIDING_WINDOW_H
 #define CIDRE_STATS_SLIDING_WINDOW_H
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
+#include <vector>
 
 #include "sim/time.h"
 
@@ -40,8 +49,8 @@ class SlidingWindow
     void expire(sim::SimTime now);
 
     /** Number of retained samples (after the last expire/add). */
-    std::size_t count() const { return entries_.size(); }
-    bool empty() const { return entries_.empty(); }
+    std::size_t count() const { return size_; }
+    bool empty() const { return size_ == 0; }
 
     /**
      * Value at quantile @p q over the retained samples.
@@ -63,6 +72,14 @@ class SlidingWindow
 
     sim::SimTime horizon() const { return horizon_; }
 
+    /**
+     * Mutation counter: bumped exactly once per add() and once per
+     * expire() that actually dropped samples.  Consumers memoize
+     * window-derived values against it (equal epoch ⇒ identical
+     * contents, so any derived statistic is still valid).
+     */
+    std::uint64_t changeEpoch() const { return change_epoch_; }
+
   private:
     struct Entry
     {
@@ -70,16 +87,28 @@ class SlidingWindow
         double value;
     };
 
+    const Entry &at(std::size_t i) const
+    {
+        return ring_[(head_ + i) % ring_.size()];
+    }
+
+    /** Drop the oldest entry (ring + sorted companion + sum). */
+    void dropFront();
+
+    /** Expire without stamping; @return true if anything was dropped. */
+    bool expireUnstamped(sim::SimTime now);
+
+    /** Grow the ring (and companion reserve) toward max_samples_. */
+    void growRing();
+
     sim::SimTime horizon_;
     std::size_t max_samples_;
-    std::deque<Entry> entries_;
-
-    // Single-quantile cache: most queries are for the configured T_e
-    // percentile, so caching one (q, answer) pair removes nearly all of
-    // the nth_element work on hot paths.
-    mutable bool cache_valid_ = false;
-    mutable double cache_q_ = -1.0;
-    mutable double cache_value_ = 0.0;
+    std::vector<Entry> ring_; //!< time-ordered, ring_[head_] oldest
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::vector<double> sorted_; //!< ascending companion of the ring
+    double sum_ = 0.0;           //!< running sum (reset when emptied)
+    std::uint64_t change_epoch_ = 0;
 };
 
 } // namespace cidre::stats

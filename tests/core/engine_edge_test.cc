@@ -95,7 +95,9 @@ TEST(EngineEdge, OracleHelpers)
     EXPECT_EQ(engine.nextArrivalAfter(fn, 0), sec(1));
     EXPECT_EQ(engine.nextArrivalAfter(fn, sec(1)), sec(5));
     EXPECT_EQ(engine.nextArrivalAfter(fn, sec(5)), sim::kTimeInfinity);
-    EXPECT_TRUE(engine.busyCompletionTimes(fn).empty());
+    // The busy-completion view requires the scaling policy's opt-in
+    // (vanilla scaling never reads it, so the engine skips upkeep).
+    EXPECT_THROW(engine.busyCompletionView(fn), std::logic_error);
     engine.run();
 }
 

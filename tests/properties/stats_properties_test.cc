@@ -113,6 +113,76 @@ TEST_P(SeededPropertyTest, SlidingWindowMatchesReference)
     }
 }
 
+TEST_P(SeededPropertyTest, SlidingWindowExpireHeavyMatchesReference)
+{
+    // The add-driven property above rarely empties the window; this one
+    // interleaves explicit expire() sweeps (the engine's read path) with
+    // long idle gaps, and also checks mean() and the change-epoch
+    // contract: the epoch moves iff the observable contents changed.
+    sim::Rng gen = rng();
+    const sim::SimTime horizon = sim::sec(10);
+    const std::size_t cap = 32;
+    SlidingWindow window(horizon, cap);
+    std::deque<std::pair<sim::SimTime, double>> reference;
+
+    const auto drop_expired = [&](sim::SimTime now) {
+        while (!reference.empty() &&
+               reference.front().first < now - horizon) {
+            reference.pop_front();
+        }
+    };
+
+    sim::SimTime now = 0;
+    for (int i = 0; i < 3000; ++i) {
+        // 1-in-8 steps jump far ahead, usually past the whole horizon.
+        now += static_cast<sim::SimTime>(
+            gen.chance(0.125) ? gen.below(sim::sec(25))
+                              : gen.below(sim::sec(1)));
+        if (gen.chance(0.4)) {
+            const std::uint64_t before_epoch = window.changeEpoch();
+            const std::size_t before_count = window.count();
+            window.expire(now);
+            drop_expired(now);
+            ASSERT_EQ(window.count(), reference.size());
+            if (reference.size() == before_count)
+                EXPECT_EQ(window.changeEpoch(), before_epoch);
+            else
+                EXPECT_NE(window.changeEpoch(), before_epoch);
+        } else {
+            const std::uint64_t before_epoch = window.changeEpoch();
+            const double value = gen.uniform(0.0, 100.0);
+            window.add(now, value);
+            reference.emplace_back(now, value);
+            if (reference.size() > cap)
+                reference.pop_front();
+            drop_expired(now);
+            ASSERT_EQ(window.count(), reference.size());
+            EXPECT_NE(window.changeEpoch(), before_epoch);
+        }
+        if (reference.empty())
+            continue;
+
+        double sum = 0.0;
+        for (const auto &[when, v] : reference)
+            sum += v;
+        const double mean = sum / static_cast<double>(reference.size());
+        EXPECT_NEAR(window.mean(), mean, 1e-9);
+        EXPECT_EQ(window.earliestTime(), reference.front().first);
+        EXPECT_EQ(window.latestTime(), reference.back().first);
+        if (i % 23 == 0) {
+            std::vector<double> values;
+            for (const auto &[when, v] : reference)
+                values.push_back(v);
+            std::sort(values.begin(), values.end());
+            const double q = gen.uniform();
+            const auto rank = static_cast<std::size_t>(
+                q * static_cast<double>(values.size() - 1) + 0.5);
+            EXPECT_DOUBLE_EQ(window.percentile(q), values[rank]);
+            EXPECT_DOUBLE_EQ(window.median(), values[values.size() / 2]);
+        }
+    }
+}
+
 TEST_P(SeededPropertyTest, SummaryMatchesTwoPass)
 {
     sim::Rng gen = rng();

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Allocation counter shared by the test_sim_alloc binary: the companion
+ * alloc_counter.cc replaces the program-wide operator new/delete with
+ * counting versions (which is why these tests get their own binary).
+ */
+
+#ifndef CIDRE_TESTS_SIM_ALLOC_COUNTER_H
+#define CIDRE_TESTS_SIM_ALLOC_COUNTER_H
+
+#include <cstdint>
+
+namespace cidre::test {
+
+/** Number of global operator-new calls since program start. */
+std::uint64_t allocationCount();
+
+} // namespace cidre::test
+
+#endif // CIDRE_TESTS_SIM_ALLOC_COUNTER_H

@@ -4,66 +4,18 @@
  * pool and heap have grown to a workload's high-water mark, the
  * schedule → fire → reschedule cycle performs no heap allocation.
  *
- * The proof instruments the global allocator (hence this test's own
- * binary: the counting operator new/delete replacements are
- * program-wide) and asserts that the allocation counter does not move
- * across a long steady-state phase.
+ * The proof instruments the global allocator (see alloc_counter.cc —
+ * the counting operator new/delete replacements are program-wide, hence
+ * this test's own binary) and asserts that the allocation counter does
+ * not move across a long steady-state phase.
  */
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstddef>
 #include <cstdint>
-#include <cstdlib>
-#include <new>
 
 #include "sim/event_queue.h"
-
-namespace {
-
-std::atomic<std::uint64_t> g_allocations{0};
-
-} // namespace
-
-void *
-operator new(std::size_t size)
-{
-    g_allocations.fetch_add(1, std::memory_order_relaxed);
-    if (void *p = std::malloc(size))
-        return p;
-    throw std::bad_alloc();
-}
-
-void *
-operator new[](std::size_t size)
-{
-    return ::operator new(size);
-}
-
-void
-operator delete(void *p) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void *p) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete(void *p, std::size_t) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void *p, std::size_t) noexcept
-{
-    std::free(p);
-}
+#include "tests/sim/alloc_counter.h"
 
 namespace cidre::sim {
 namespace {
@@ -88,7 +40,7 @@ TEST(EventQueueAlloc, SteadyStateScheduleFireIsAllocationFree)
     // engine's arrival-chain/completion shape), with a cancelled
     // timeout every few events to exercise the reclaim path too.
     const std::uint64_t before =
-        g_allocations.load(std::memory_order_relaxed);
+        cidre::test::allocationCount();
 
     std::uint64_t chain = 0;
     EventQueue::EventId timeout = 0;
@@ -108,7 +60,7 @@ TEST(EventQueueAlloc, SteadyStateScheduleFireIsAllocationFree)
     }
 
     const std::uint64_t after =
-        g_allocations.load(std::memory_order_relaxed);
+        cidre::test::allocationCount();
     EXPECT_EQ(after - before, 0u)
         << "schedule/fire steady state must not allocate";
     EXPECT_GT(chain, 0u);
@@ -123,7 +75,7 @@ TEST(EventQueueAlloc, InlineCallbackConstructionDoesNotAllocate)
     queue.runAll();
 
     const std::uint64_t before =
-        g_allocations.load(std::memory_order_relaxed);
+        cidre::test::allocationCount();
     std::uint64_t sink = 0;
     std::uint32_t container = 42;
     for (int i = 0; i < 1000; ++i) {
@@ -133,7 +85,7 @@ TEST(EventQueueAlloc, InlineCallbackConstructionDoesNotAllocate)
         queue.runNext();
     }
     const std::uint64_t after =
-        g_allocations.load(std::memory_order_relaxed);
+        cidre::test::allocationCount();
     EXPECT_EQ(after - before, 0u);
     EXPECT_GT(sink, 0u);
 }

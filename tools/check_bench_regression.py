@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Gate CIDRE engine throughput against the committed baseline.
+
+Usage:
+    check_bench_regression.py SMOKE_JSON [--baseline BENCH_core.json]
+                              [--policy cidre] [--scale 0.25]
+                              [--tolerance 0.30]
+
+Compares the policy's events_per_sec at the given trace scale in a
+fresh smoke run (bench_core_throughput --smoke --out SMOKE_JSON)
+against the committed BENCH_core.json and fails when the smoke run is
+more than `tolerance` slower.  Only a *relative* comparison is sound in
+CI: shared runners are slower and noisier than the machine that wrote
+the baseline, so both numbers must come from the same run... which they
+cannot.  The wide default tolerance (30%) therefore catches algorithmic
+regressions (complexity changes show up as 2-10x), not micro drift.
+"""
+
+import argparse
+import json
+import sys
+
+
+def engine_entry(doc, policy, scale):
+    for entry in doc.get("engine", []):
+        if entry["policy"] == policy and abs(entry["scale"] - scale) < 1e-9:
+            return entry
+    raise SystemExit(
+        f"no engine entry for policy={policy} scale={scale} "
+        f"in {doc.get('bench', '<unknown>')} output"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("smoke_json", help="fresh --smoke run output")
+    parser.add_argument("--baseline", default="BENCH_core.json")
+    parser.add_argument("--policy", default="cidre")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="max allowed fractional slowdown (default 0.30)")
+    args = parser.parse_args()
+
+    with open(args.smoke_json) as f:
+        smoke = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    fresh = engine_entry(smoke, args.policy, args.scale)
+    committed = engine_entry(baseline, args.policy, args.scale)
+
+    fresh_eps = float(fresh["events_per_sec"])
+    committed_eps = float(committed["events_per_sec"])
+    floor = committed_eps * (1.0 - args.tolerance)
+
+    print(f"policy={args.policy} scale={args.scale}")
+    print(f"  baseline : {committed_eps:,.0f} events/s")
+    print(f"  smoke    : {fresh_eps:,.0f} events/s")
+    print(f"  floor    : {floor:,.0f} events/s "
+          f"(tolerance {args.tolerance:.0%})")
+
+    if fresh["events"] != committed["events"]:
+        print(f"  note: event counts differ "
+              f"({fresh['events']} vs {committed['events']}) — "
+              f"the workload changed, treat the comparison as advisory")
+
+    if fresh_eps < floor:
+        print("FAIL: engine throughput regressed beyond tolerance")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
