@@ -19,6 +19,14 @@
  *     using Engine::eventsExecuted() (the same figure the [exp]
  *     telemetry line reports).
  *
+ *  3. Intra-trial shard scaling: ONE large partitioned trial
+ *     (shard_cells = 4) executed with 1, 2 and 4 shard threads via
+ *     core::ShardedEngine — the wall-clock payoff of the `--shards`
+ *     knob.  The results are bit-identical across thread counts (the
+ *     golden tests pin that); this section measures only the speedup.
+ *     hw_threads is recorded because the speedup is meaningless on
+ *     fewer cores than shards (CI gates on it conditionally).
+ *
  * Results are printed as tables and written as JSON (default
  * BENCH_core.json in the working directory; override with --out).
  * The workload is the 200-function azure-like reference trace at the
@@ -32,12 +40,15 @@
 #include <iostream>
 #include <queue>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "bench/common.h"
+#include "core/sharded_engine.h"
 #include "policies/registry.h"
 #include "sim/event_queue.h"
+#include "sim/thread_pool.h"
 
 namespace cidre::bench {
 namespace {
@@ -262,6 +273,52 @@ measureEngine(const std::string &policy, double scale,
     return run;
 }
 
+struct ShardRun
+{
+    unsigned shards = 1;
+    std::uint64_t events = 0;
+    double wall_ms = 0.0;
+    double events_per_sec = 0.0;
+    double speedup = 1.0; //!< vs the 1-thread run of the same model
+};
+
+/**
+ * One partitioned trial (shard_cells cells, cidre policy) executed
+ * with @p shards threads, best-of-N.  The pool is built once per call:
+ * its spawn cost is amortized across reps exactly as ExperimentRunner
+ * amortizes it across trials.
+ */
+ShardRun
+measureShardedTrial(const trace::Trace &workload, std::uint32_t cells,
+                    unsigned shards, int reps)
+{
+    core::EngineConfig config = defaultConfig(100, cells);
+    config.shard_cells = cells;
+
+    ShardRun run;
+    run.shards = shards;
+    sim::ThreadPool pool(shards);
+    for (int rep = 0; rep < reps; ++rep) {
+        core::ShardedEngine engine(
+            workload, config, [](const core::EngineConfig &cell_config) {
+                return policies::makePolicy("cidre", cell_config);
+            });
+        const auto started = std::chrono::steady_clock::now();
+        engine.run(shards > 1 ? &pool : nullptr);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        if (rep == 0 || wall_ms < run.wall_ms) {
+            run.wall_ms = wall_ms;
+            run.events = engine.eventsExecuted();
+        }
+    }
+    run.events_per_sec =
+        static_cast<double>(run.events) / (run.wall_ms / 1000.0);
+    return run;
+}
+
 } // namespace
 } // namespace cidre::bench
 
@@ -363,6 +420,37 @@ main(int argc, char **argv)
     }
     emit(options, "core_throughput_engine", engine_table);
 
+    // Intra-trial shard scaling: one large 4-cell trial, 1/2/4 shard
+    // threads.  Results are bit-identical across the three runs (pinned
+    // by test_sharded); only the wall clock moves.
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    const std::uint32_t shard_cells = 4;
+    const double shard_scale = (smoke ? 0.25 : 1.0) * options.scale;
+    const trace::Trace shard_workload =
+        trace::makeAzureLikeTrace(options.seed, shard_scale);
+    const int shard_reps = smoke ? 3 : 5;
+    std::vector<ShardRun> shard_runs;
+    stats::Table shard_table({"shards", "events", "wall_ms",
+                              "events_per_sec", "speedup"});
+    for (const unsigned shards : {1u, 2u, 4u}) {
+        std::cerr << "[bench] sharded trial (" << shard_cells
+                  << " cells) with " << shards << " thread(s)...\n";
+        ShardRun run = measureShardedTrial(shard_workload, shard_cells,
+                                           shards, shard_reps);
+        if (!shard_runs.empty())
+            run.speedup = shard_runs.front().wall_ms / run.wall_ms;
+        shard_runs.push_back(run);
+        shard_table.addRow({std::to_string(run.shards),
+                            std::to_string(run.events),
+                            stats::formatFixed(run.wall_ms, 1),
+                            stats::formatFixed(run.events_per_sec, 0),
+                            stats::formatFixed(run.speedup, 2)});
+    }
+    emit(options, "core_throughput_shard_scaling", shard_table);
+    std::cout << "shard speedup at 4 threads: "
+              << stats::formatFixed(shard_runs.back().speedup, 2)
+              << "x (hardware threads: " << hw_threads << ")\n";
+
     // Policy scaling: how wall time grows as the trace grows.  With
     // per-decision cost independent of cluster/window size, the
     // wall-time ratio across a 4x trace-scale span stays near the event
@@ -447,7 +535,29 @@ main(int argc, char **argv)
              << ", \"events_per_sec\": " << run.events_per_sec << "}"
              << (i + 1 < engine_runs.size() ? "," : "") << "\n";
     }
-    json << "  ]";
+    json << "  ],\n";
+    json << "  \"shard_scaling\": {\n"
+         << "    \"hw_threads\": " << hw_threads << ",\n"
+         << "    \"cells\": " << shard_cells << ",\n"
+         << "    \"policy\": \"cidre\",\n";
+    json.precision(2);
+    json << "    \"scale\": " << shard_scale << ",\n"
+         << "    \"runs\": [\n";
+    for (std::size_t i = 0; i < shard_runs.size(); ++i) {
+        const ShardRun &run = shard_runs[i];
+        json << "      {\"shards\": " << run.shards
+             << ", \"events\": " << run.events;
+        json.precision(1);
+        json << ", \"wall_ms\": " << run.wall_ms
+             << ", \"events_per_sec\": " << run.events_per_sec;
+        json.precision(2);
+        json << ", \"speedup\": " << run.speedup << "}"
+             << (i + 1 < shard_runs.size() ? "," : "") << "\n";
+    }
+    json << "    ],\n"
+         << "    \"speedup_4\": " << shard_runs.back().speedup << "\n"
+         << "  }";
+    json.precision(1);
     if (!smoke) {
         json << ",\n  \"policy_scaling\": [\n";
         for (std::size_t i = 0; i < scaling_rows.size(); ++i) {

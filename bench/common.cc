@@ -38,10 +38,13 @@ parseOptions(int argc, char **argv, const char *bench_name,
         } else if (arg == "--jobs") {
             options.jobs =
                 static_cast<unsigned>(std::atoi(next_value()));
+        } else if (arg == "--shards") {
+            options.shards =
+                static_cast<unsigned>(std::atoi(next_value()));
         } else if (arg == "--help" || arg == "-h") {
             std::cout << bench_name << " — " << description << "\n"
                       << "options: --scale <f> --seed <n> --csv <dir>"
-                         " --jobs <n>\n";
+                         " --jobs <n> --shards <n>\n";
             std::exit(0);
         } else {
             std::cerr << bench_name << ": unknown option " << arg << "\n";
@@ -122,8 +125,9 @@ runTrials(const Options &options, const std::vector<exp::TrialSpec> &specs)
 {
     exp::RunnerOptions runner_options;
     runner_options.jobs = options.jobs;
+    runner_options.shards = options.shards;
     runner_options.progress = &std::cerr;
-    const exp::ExperimentRunner runner(runner_options);
+    exp::ExperimentRunner runner(runner_options);
     std::vector<exp::TrialResult> results = runner.run(specs);
     std::vector<core::RunMetrics> metrics;
     metrics.reserve(results.size());

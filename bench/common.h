@@ -8,6 +8,7 @@
  *   --seed <n>    trace seed (default 42)
  *   --csv <dir>   also dump each printed table as CSV into <dir>
  *   --jobs <n>    worker threads for sweep-shaped benches (0 = cores)
+ *   --shards <n>  threads inside each sharded trial (results-neutral)
  */
 
 #ifndef CIDRE_BENCH_COMMON_H
@@ -34,6 +35,8 @@ struct Options
     std::string csv_dir;
     /** Sweep worker threads (0 = hardware concurrency). */
     unsigned jobs = 0;
+    /** Threads per sharded trial (results-neutral wall-clock knob). */
+    unsigned shards = 1;
 };
 
 /** Parse argv; exits with usage on --help or bad arguments. */

@@ -8,7 +8,9 @@
 #include "analysis/tradeoff.h"
 #include "core/engine.h"
 #include "core/metrics_io.h"
+#include "core/sharded_engine.h"
 #include "exp/runner.h"
+#include "sim/thread_pool.h"
 #include "policies/registry.h"
 #include "sim/rng.h"
 #include "stats/table.h"
@@ -79,7 +81,9 @@ loadWorkload(const Options &options)
 /** Sweep knobs shared by `run --trials` and `compare`. */
 const std::vector<OptionSpec> kSweepSpecs = {
     {"trials", "n", "independent trials (seed substreams)", "1"},
-    {"jobs", "n", "sweep worker threads (0 = all cores)", "0"},
+    {"jobs", "n", "total worker threads (0 = all cores)", "0"},
+    {"shards", "n", "threads per sharded trial (results-neutral; needs"
+                    " --cells > 1)", "1"},
     {"progress", "", "per-trial telemetry on stderr", ""},
 };
 
@@ -94,6 +98,7 @@ runnerOptions(const Options &options, std::ostream &err)
 {
     exp::RunnerOptions runner;
     runner.jobs = static_cast<unsigned>(options.getInt("jobs", 0));
+    runner.shards = static_cast<unsigned>(options.getInt("shards", 1));
     runner.progress = options.getFlag("progress") ? &err : nullptr;
     return runner;
 }
@@ -134,6 +139,8 @@ engineConfig(const Options &options)
     const std::int64_t window_min = options.getInt("window-min", 15);
     config.stats_window = window_min <= 0 ? sim::kTimeInfinity
                                           : sim::minutes(window_min);
+    config.shard_cells = static_cast<std::uint32_t>(
+        options.getInt("cells", 1));
     config.validate();
     return config;
 }
@@ -144,6 +151,8 @@ const std::vector<OptionSpec> kEngineSpecs = {
     {"threads", "n", "intra-container request slots", "1"},
     {"te-percentile", "q", "CSS T_e percentile (<0 = mean)", "0.5"},
     {"window-min", "n", "CSS history window minutes (<=0 = all)", "15"},
+    {"cells", "n", "partition the cluster into n independent cells"
+                   " (model parameter)", "1"},
 };
 
 void
@@ -264,9 +273,24 @@ runSimulate(const Options &options, std::ostream &out, std::ostream &err)
     trace::Trace single_workload;
     if (trials == 1) {
         single_workload = loadWorkload(options);
-        core::Engine engine(single_workload, config,
-                            policies::makePolicy(policy, config));
-        metrics = engine.run();
+        if (config.shard_cells > 1) {
+            core::ShardedEngine engine(
+                single_workload, config,
+                [&policy](const core::EngineConfig &cell_config) {
+                    return policies::makePolicy(policy, cell_config);
+                });
+            const unsigned shards = std::max(1u, runner_options.shards);
+            if (shards > 1) {
+                sim::ThreadPool pool(shards);
+                metrics = engine.run(&pool);
+            } else {
+                metrics = engine.run();
+            }
+        } else {
+            core::Engine engine(single_workload, config,
+                                policies::makePolicy(policy, config));
+            metrics = engine.run();
+        }
     } else {
         if (top > 0 || config.record_timeline) {
             throw std::invalid_argument(
@@ -285,7 +309,7 @@ runSimulate(const Options &options, std::ostream &out, std::ostream &err)
             spec.base_seed = baseSeed(options);
             spec.trial_index = i;
         }
-        const exp::ExperimentRunner runner(runner_options);
+        exp::ExperimentRunner runner(runner_options);
         metrics = exp::mergedMetrics(runner.run(specs));
         out << "trials: " << trials << " (seed substreams of "
             << baseSeed(options) << ")\n";
@@ -379,7 +403,7 @@ runCompare(const Options &options, std::ostream &out, std::ostream &err)
             specs.push_back(std::move(spec));
         }
     }
-    const exp::ExperimentRunner runner(runner_options);
+    exp::ExperimentRunner runner(runner_options);
     const std::vector<exp::TrialResult> results = runner.run(specs);
 
     if (trials > 1) {

@@ -25,6 +25,12 @@ EngineConfig::validate() const
         throw std::invalid_argument("EngineConfig: compression ratio <= 1");
     if (restore_cost_fraction < 0.0 || restore_cost_fraction > 1.0)
         throw std::invalid_argument("EngineConfig: bad restore fraction");
+    if (shard_cells == 0)
+        throw std::invalid_argument("EngineConfig: shard_cells must be >= 1");
+    if (shard_cells > cluster.workers)
+        throw std::invalid_argument(
+            "EngineConfig: shard_cells exceeds the worker count (every "
+            "cell needs at least one worker)");
 }
 
 } // namespace cidre::core

@@ -91,6 +91,23 @@ struct EngineConfig
     /** Seed for any stochastic policy behaviour (placement jitter etc.). */
     std::uint64_t seed = 42;
 
+    /**
+     * Intra-trial sharding: partition the cluster into this many
+     * independent cells (each a contiguous slice of the workers with a
+     * proportional share of the memory) and assign every function to
+     * exactly one cell.  Placement, reclaim, the deferred-provision
+     * queue and the maintenance tick are all cell-local, which is what
+     * makes a sharded trial's result independent of how many threads
+     * execute it (see core::ShardedEngine).
+     *
+     * 1 (the default) is the monolithic cluster of the paper's setup.
+     * Values > 1 are a *model* parameter — a 4-cell cluster is a
+     * different (partitioned) system than a monolithic one — and are
+     * only accepted by ShardedEngine; the plain Engine rejects them so
+     * a partitioned config cannot silently run unpartitioned.
+     */
+    std::uint32_t shard_cells = 1;
+
     /** Retain a per-request outcome log (needed by the what-if studies). */
     bool record_per_request = false;
 

@@ -110,6 +110,11 @@ Engine::Engine(const trace::Trace &workload, EngineConfig config,
       rng_(config_.seed)
 {
     config_.validate();
+    if (config_.shard_cells != 1) {
+        throw std::invalid_argument(
+            "Engine: shard_cells > 1 requires ShardedEngine (the plain "
+            "engine would simulate the monolithic, unpartitioned cluster)");
+    }
     if (!trace_.sealed())
         throw std::invalid_argument("Engine: trace must be sealed");
     if (!policy_.scaling || !policy_.keep_alive)

@@ -78,6 +78,13 @@ class Engine
     /** Drain the remaining events and return the metrics (see run()). */
     RunMetrics finish();
 
+    /**
+     * True once begin() ran and no runnable event remains — i.e. a
+     * stepUntil() loop has fully drained the simulation.  Used by the
+     * sharded runtime to terminate its lockstep epochs.
+     */
+    bool drained() const { return ran_ && queue_.empty(); }
+
     // ---- read access for policies --------------------------------------
 
     sim::SimTime now() const { return queue_.now(); }

@@ -68,14 +68,8 @@ RunMetrics::finalize(sim::SimTime now)
 }
 
 void
-RunMetrics::merge(const RunMetrics &other)
+RunMetrics::mergeAggregates(const RunMetrics &other)
 {
-    if (!finalized_ || !other.finalized_)
-        throw std::logic_error("RunMetrics::merge: both runs must be"
-                               " finalized");
-    if (&other == this)
-        throw std::logic_error("RunMetrics::merge: self-merge");
-
     containers_created += other.containers_created;
     provisioned_mb += other.provisioned_mb;
     evictions += other.evictions;
@@ -96,14 +90,41 @@ RunMetrics::merge(const RunMetrics &other)
     overhead_us_.merge(other.overhead_us_);
     e2e_us_.merge(other.e2e_us_);
 
+    mb_time_integral_ += other.mb_time_integral_;
+}
+
+void
+RunMetrics::merge(const RunMetrics &other)
+{
+    if (!finalized_ || !other.finalized_)
+        throw std::logic_error("RunMetrics::merge: both runs must be"
+                               " finalized");
+    if (&other == this)
+        throw std::logic_error("RunMetrics::merge: self-merge");
+
+    mergeAggregates(other);
     outcomes.insert(outcomes.end(), other.outcomes.begin(),
                     other.outcomes.end());
-
-    mb_time_integral_ += other.mb_time_integral_;
     peak_used_mb_ = std::max(peak_used_mb_, other.peak_used_mb_);
     // Total simulated time: keeps avgMemoryGb() the time-weighted mean
     // of the merged runs.
     makespan_ += other.makespan_;
+}
+
+void
+RunMetrics::mergeConcurrent(const RunMetrics &other)
+{
+    if (!finalized_ || !other.finalized_)
+        throw std::logic_error("RunMetrics::mergeConcurrent: both runs"
+                               " must be finalized");
+    if (&other == this)
+        throw std::logic_error("RunMetrics::mergeConcurrent: self-merge");
+
+    mergeAggregates(other);
+    // Cells coexist in time: the spans overlay (max) and per-cell peaks
+    // can only bound the cluster-wide peak from above (sum).
+    peak_used_mb_ += other.peak_used_mb_;
+    makespan_ = std::max(makespan_, other.makespan_);
 }
 
 std::uint64_t

@@ -97,6 +97,25 @@ class RunMetrics
      */
     void merge(const RunMetrics &other);
 
+    /**
+     * Absorb another finalized run that simulated the SAME time span
+     * concurrently (the cells of one sharded trial), rather than a
+     * disjoint span appended to this one:
+     *  - counters, request counts and distributions accumulate exactly
+     *    as in merge();
+     *  - makespan() becomes the *maximum* across cells (the trial's
+     *    span), and the memory-time integrals sum, so avgMemoryGb() is
+     *    the aggregate occupancy of the whole partitioned cluster;
+     *  - peak memory is the *sum* of cell peaks — an upper bound, since
+     *    cell peaks need not coincide in simulated time;
+     *  - per-request outcome logs are NOT concatenated (sub-trace
+     *    request indices are meaningless in the merged frame); the
+     *    sharded runtime scatters them back to original indices itself;
+     *  - the timeline is not merged (same policy as merge()).
+     * Deterministic in the operand order, like merge().
+     */
+    void mergeConcurrent(const RunMetrics &other);
+
     // --- raw counters (engine-maintained) ------------------------------
     std::uint64_t containers_created = 0;
     /** Total memory of all containers ever provisioned (churn volume). */
@@ -169,6 +188,9 @@ class RunMetrics
     Timeline timeline;
 
   private:
+    /** Shared accumulation of merge()/mergeConcurrent(). */
+    void mergeAggregates(const RunMetrics &other);
+
     std::array<std::uint64_t,
                static_cast<std::size_t>(StartType::kCount)> counts_{};
     std::array<stats::OnlineSummary,

@@ -16,6 +16,17 @@
  * may mutate only their own bookkeeping (plus the per-container clock /
  * priority fields, which exist for them).  All structural mutation goes
  * through the engine's agent API (prewarm / reapContainer).
+ *
+ * ## Shard locality
+ *
+ * Under intra-trial sharding (core::ShardedEngine), every cell of the
+ * partitioned cluster gets its own policy bundle, constructed from the
+ * cell's EngineConfig and bound to the cell's engine.  A policy
+ * therefore only ever observes one cell: its function population, its
+ * workers, its tick.  Keep all policy state instance-local — no
+ * globals, no statics shared across bundles — or concurrent cells
+ * will race and break the shards-are-results-neutral guarantee.  Every
+ * in-tree policy follows this rule.
  */
 
 #ifndef CIDRE_CORE_POLICY_H

@@ -1,0 +1,246 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/rng.h"
+
+namespace cidre::core {
+
+namespace {
+
+/** Per-worker capacities of the full cluster (worker 0 absorbs the
+ *  division remainder, mirroring cluster::Cluster's own split). */
+std::vector<std::int64_t>
+fullClusterCapacities(const cluster::ClusterConfig &cfg)
+{
+    const auto per_worker =
+        cfg.total_memory_mb / static_cast<std::int64_t>(cfg.workers);
+    std::vector<std::int64_t> caps(cfg.workers, per_worker);
+    caps[0] += cfg.total_memory_mb % static_cast<std::int64_t>(cfg.workers);
+    return caps;
+}
+
+} // namespace
+
+ShardPlan
+buildShardPlan(const trace::Trace &workload, const EngineConfig &config)
+{
+    if (!workload.sealed())
+        throw std::invalid_argument("buildShardPlan: trace must be sealed");
+    config.validate();
+
+    const auto cells = config.shard_cells;
+    ShardPlan plan;
+    plan.cells.resize(cells);
+    plan.cell_of_function.assign(workload.functionCount(), 0);
+
+    // Contiguous worker slices; the first (workers % cells) cells take
+    // one extra worker.  Cell memory mirrors the monolithic split: each
+    // worker keeps exactly the capacity it would have in the full
+    // cluster, so partitioning never changes per-worker headroom.
+    const auto caps = fullClusterCapacities(config.cluster);
+    std::uint32_t next_worker = 0;
+    for (std::uint32_t k = 0; k < cells; ++k) {
+        auto &cell = plan.cells[k];
+        cell.first_worker = next_worker;
+        cell.worker_count = config.cluster.workers / cells +
+            (k < config.cluster.workers % cells ? 1U : 0U);
+        next_worker += cell.worker_count;
+
+        cell.cluster.workers = cell.worker_count;
+        cell.cluster.total_memory_mb = 0;
+        for (std::uint32_t w = 0; w < cell.worker_count; ++w)
+            cell.cluster.total_memory_mb += caps[cell.first_worker + w];
+        if (!config.cluster.speed_factors.empty()) {
+            const auto first = config.cluster.speed_factors.begin() +
+                cell.first_worker;
+            cell.cluster.speed_factors.assign(first,
+                                              first + cell.worker_count);
+        }
+    }
+
+    // Longest-processing-time assignment of functions to cells, keyed
+    // by request count: heaviest function first into the least-loaded
+    // cell.  Ties break to the lower function id (sort) and the lower
+    // cell index (scan), keeping the plan a pure function of the trace.
+    const auto counts = workload.requestCountByFunction();
+    std::vector<trace::FunctionId> order(workload.functionCount());
+    std::iota(order.begin(), order.end(), trace::FunctionId{0});
+    std::sort(order.begin(), order.end(),
+              [&counts](trace::FunctionId a, trace::FunctionId b) {
+                  if (counts[a] != counts[b])
+                      return counts[a] > counts[b];
+                  return a < b;
+              });
+    for (const auto fn : order) {
+        std::uint32_t best = 0;
+        for (std::uint32_t k = 1; k < cells; ++k)
+            if (plan.cells[k].request_weight <
+                plan.cells[best].request_weight)
+                best = k;
+        plan.cell_of_function[fn] = best;
+        plan.cells[best].functions.push_back(fn);
+        plan.cells[best].request_weight += counts[fn];
+    }
+    for (auto &cell : plan.cells)
+        std::sort(cell.functions.begin(), cell.functions.end());
+
+    return plan;
+}
+
+ShardedEngine::ShardedEngine(const trace::Trace &workload,
+                             EngineConfig config,
+                             PolicyFactory policy_factory)
+    : trace_(workload), config_(std::move(config))
+{
+    if (!policy_factory)
+        throw std::invalid_argument("ShardedEngine: null policy factory");
+    plan_ = buildShardPlan(trace_, config_);
+
+    cells_.resize(plan_.cells.size());
+
+    if (plan_.cells.size() == 1) {
+        // Pass-through: the original trace, the original seed, the
+        // original cluster — byte-identical to the plain Engine.
+        auto cell_config = config_;
+        cell_config.shard_cells = 1;
+        cells_[0].workload = &trace_;
+        cells_[0].engine = std::make_unique<Engine>(
+            trace_, cell_config, policy_factory(cell_config));
+        return;
+    }
+
+    // Build each cell's sub-trace.  Functions are added in ascending
+    // original-id order; requests in original (sealed) order, so the
+    // sub-trace's stable sort preserves the identity mapping between
+    // a cell request's index and its slot in orig_request.
+    std::vector<trace::FunctionId> local_id(trace_.functionCount(), 0);
+    for (std::size_t k = 0; k < plan_.cells.size(); ++k) {
+        auto &cell = cells_[k];
+        cell.workload = &cell.sub_trace;
+        cell.orig_request.reserve(plan_.cells[k].request_weight);
+        for (const auto fn : plan_.cells[k].functions)
+            local_id[fn] = cell.sub_trace.addFunction(trace_.functions()[fn]);
+    }
+    for (const auto &req : trace_.requests()) {
+        const auto k = plan_.cell_of_function[req.function];
+        cells_[k].sub_trace.addRequest(local_id[req.function],
+                                       req.arrival_us, req.exec_us);
+        cells_[k].orig_request.push_back(req.id);
+    }
+
+    for (std::size_t k = 0; k < cells_.size(); ++k) {
+        auto &cell = cells_[k];
+        cell.sub_trace.seal();
+
+        auto cell_config = config_;
+        cell_config.shard_cells = 1;
+        cell_config.cluster = plan_.cells[k].cluster;
+        // Position-keyed RNG substream, like the runner's per-trial
+        // streams: independent of thread count and of other cells.
+        cell_config.seed = sim::substreamSeed(config_.seed,
+                                              static_cast<std::uint64_t>(k));
+        cell.engine = std::make_unique<Engine>(
+            cell.sub_trace, cell_config, policy_factory(cell_config));
+    }
+}
+
+RunMetrics
+ShardedEngine::run(sim::ThreadPool *pool)
+{
+    begin();
+    return finish(pool);
+}
+
+void
+ShardedEngine::begin()
+{
+    if (ran_)
+        throw std::logic_error("ShardedEngine: begin() is single-shot");
+    ran_ = true;
+    for (auto &cell : cells_)
+        cell.engine->begin();
+}
+
+std::size_t
+ShardedEngine::stepUntil(sim::SimTime until, sim::ThreadPool *pool)
+{
+    if (!ran_)
+        throw std::logic_error("ShardedEngine: begin() first");
+    std::vector<std::size_t> executed(cells_.size(), 0);
+    auto body = [this, until, &executed](std::size_t k) {
+        executed[k] = cells_[k].engine->stepUntil(until);
+    };
+    if (pool != nullptr)
+        pool->parallelFor(cells_.size(), body);
+    else
+        for (std::size_t k = 0; k < cells_.size(); ++k)
+            body(k);
+    return std::accumulate(executed.begin(), executed.end(),
+                           std::size_t{0});
+}
+
+RunMetrics
+ShardedEngine::finish(sim::ThreadPool *pool)
+{
+    if (!ran_)
+        throw std::logic_error("ShardedEngine: begin() first");
+
+    // Drain every cell; each result lands at its cell index, so the
+    // reduction below is independent of completion order.
+    std::vector<RunMetrics> per_cell(cells_.size());
+    auto body = [this, &per_cell](std::size_t k) {
+        per_cell[k] = cells_[k].engine->finish();
+    };
+    if (pool != nullptr)
+        pool->parallelFor(cells_.size(), body);
+    else
+        for (std::size_t k = 0; k < cells_.size(); ++k)
+            body(k);
+
+    if (cells_.size() == 1)
+        return std::move(per_cell[0]);
+
+    // Canonical cell-order fold on the calling thread.
+    RunMetrics merged = std::move(per_cell[0]);
+    std::vector<RequestOutcome> scattered;
+    if (config_.record_per_request) {
+        scattered.resize(trace_.requestCount());
+        for (std::size_t i = 0; i < merged.outcomes.size(); ++i)
+            scattered[cells_[0].orig_request[i]] = merged.outcomes[i];
+    }
+    for (std::size_t k = 1; k < cells_.size(); ++k) {
+        merged.mergeConcurrent(per_cell[k]);
+        if (config_.record_per_request)
+            for (std::size_t i = 0; i < per_cell[k].outcomes.size(); ++i)
+                scattered[cells_[k].orig_request[i]] =
+                    per_cell[k].outcomes[i];
+    }
+    merged.outcomes = std::move(scattered);
+    return merged;
+}
+
+bool
+ShardedEngine::drained() const
+{
+    if (!ran_)
+        return false;
+    for (const auto &cell : cells_)
+        if (!cell.engine->drained())
+            return false;
+    return true;
+}
+
+std::uint64_t
+ShardedEngine::eventsExecuted() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &cell : cells_)
+        sum += cell.engine->eventsExecuted();
+    return sum;
+}
+
+} // namespace cidre::core

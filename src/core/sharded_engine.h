@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Intra-trial sharded simulation: one large trial executed as a set of
+ * independent cluster cells, deterministically, across a thread pool.
+ *
+ * ## The model
+ *
+ * EngineConfig::shard_cells partitions the simulated system itself:
+ * the workers are split into `cells` contiguous slices (each with its
+ * proportional share of the keep-alive budget) and every function is
+ * pinned to exactly one cell — the longest-processing-time assignment
+ * over per-function request counts, so cells carry near-equal event
+ * volume even under Zipf-skewed popularity.  Placement sweeps, memory
+ * reclaim, the deferred-provision FIFO and the maintenance tick are all
+ * cell-local.  This mirrors how production FaaS fleets actually scale
+ * out (placement cells / stamps) and is what makes sharding sound: the
+ * monolithic engine's decision path is globally coupled (every
+ * provision may scan every worker and evict any function's container),
+ * so its exact event interleaving cannot be reproduced by concurrent
+ * shards — but a partitioned cluster factorizes *by construction*.
+ *
+ * ## The determinism contract
+ *
+ * A cell is simulated by an ordinary single-threaded core::Engine on
+ * its sub-trace and sub-cluster, with its RNG substream derived as
+ * sim::substreamSeed(config.seed, cell) — position-keyed, like the
+ * experiment runner's per-trial streams.  Cells share nothing mutable,
+ * results land at their cell index, and the final reduction folds them
+ * in canonical cell order on the calling thread.  Consequently the
+ * number of threads driving the cells (the `--shards` knob) is a pure
+ * wall-clock knob: `--shards 1`, `2` and `4` produce bit-identical
+ * metrics, and with shard_cells == 1 the sharded runtime is a perfect
+ * pass-through of the plain Engine (same trace object, same seed, same
+ * bytes out — pinned by the golden tests).
+ *
+ * What changes results is the *model* parameter shard_cells itself:
+ * a 4-cell cluster is a different (partitioned) system than the
+ * monolithic one, exactly as a 4-stamp deployment differs from one
+ * giant stamp.  Pick cells once per experiment; sweep threads freely.
+ */
+
+#ifndef CIDRE_CORE_SHARDED_ENGINE_H
+#define CIDRE_CORE_SHARDED_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "core/policy.h"
+#include "sim/thread_pool.h"
+#include "trace/trace.h"
+
+namespace cidre::core {
+
+/** Deterministic partition of one trial into independent cells. */
+struct ShardPlan
+{
+    struct Cell
+    {
+        /** First worker (original cluster numbering) of the slice. */
+        std::uint32_t first_worker = 0;
+        std::uint32_t worker_count = 0;
+
+        /** Functions pinned to this cell, ascending original ids. */
+        std::vector<trace::FunctionId> functions;
+
+        /** Total trace requests of those functions (balance weight). */
+        std::uint64_t request_weight = 0;
+
+        /** The cell's sub-cluster (worker slice + memory share). */
+        cluster::ClusterConfig cluster;
+    };
+
+    std::vector<Cell> cells;
+
+    /** Original function id -> owning cell index. */
+    std::vector<std::uint32_t> cell_of_function;
+};
+
+/**
+ * Compute the partition for @p config.shard_cells cells: contiguous
+ * worker slices (per-worker capacity identical to the monolithic
+ * split), functions assigned longest-processing-time by request count
+ * (ties to the lower function id, then the lower cell index).  Pure
+ * function of (trace, config) — never of thread count.
+ */
+ShardPlan buildShardPlan(const trace::Trace &workload,
+                         const EngineConfig &config);
+
+/** Runs one (possibly partitioned) trial; see the file comment. */
+class ShardedEngine
+{
+  public:
+    /**
+     * Builds one policy bundle per cell: policy state (CIP rankings,
+     * busy-completion views, window estimates) is strictly cell-local,
+     * so each cell's engine gets a fresh bundle constructed from the
+     * cell's own EngineConfig.
+     */
+    using PolicyFactory =
+        std::function<OrchestrationPolicy(const EngineConfig &)>;
+
+    /**
+     * @param workload sealed trace (kept by reference; must outlive
+     *        the engine).  config.shard_cells selects the partition;
+     *        with 1 the original trace object is used unpartitioned.
+     */
+    ShardedEngine(const trace::Trace &workload, EngineConfig config,
+                  PolicyFactory policy_factory);
+
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    /**
+     * Run the whole trial and return the merged metrics.  @p pool
+     * supplies the shard threads (nullptr = run cells serially on the
+     * calling thread); the result is bit-identical either way.
+     * Single-shot, like Engine::run().
+     */
+    RunMetrics run(sim::ThreadPool *pool = nullptr);
+
+    // ---- stepped execution (lockstep epochs) --------------------------
+
+    /** Arm every cell without executing events.  Single-shot. */
+    void begin();
+
+    /**
+     * One lockstep epoch: drive every cell up to and including @p until
+     * (simulated time), cells in parallel on @p pool.  The epoch
+     * boundary is a barrier — all cells reach @p until before the call
+     * returns.  @return events executed across cells this epoch.
+     */
+    std::size_t stepUntil(sim::SimTime until,
+                          sim::ThreadPool *pool = nullptr);
+
+    /**
+     * Drain the remaining events of every cell (in parallel on
+     * @p pool), then merge: metrics fold in canonical cell order via
+     * RunMetrics::mergeConcurrent, and per-request outcome logs are
+     * scattered back to original trace request indices.  The merged
+     * timeline is cell 0's (per-cell dynamics do not overlay).
+     */
+    RunMetrics finish(sim::ThreadPool *pool = nullptr);
+
+    /** True once begin() ran and every cell's queue is drained. */
+    bool drained() const;
+
+    /** Simulation events executed so far, summed over cells. */
+    std::uint64_t eventsExecuted() const;
+
+    std::size_t cellCount() const { return cells_.size(); }
+    const ShardPlan &plan() const { return plan_; }
+
+    /** The per-cell engine (tests / telemetry). */
+    const Engine &cellEngine(std::size_t cell) const
+    {
+        return *cells_.at(cell).engine;
+    }
+
+  private:
+    struct CellRuntime
+    {
+        /** Owned sub-trace; unused in the shard_cells == 1 pass-through. */
+        trace::Trace sub_trace;
+        /** &sub_trace, or the original trace when cells == 1. */
+        const trace::Trace *workload = nullptr;
+        /**
+         * Sub-trace request index -> original trace request index
+         * (empty in the pass-through, where they coincide).
+         */
+        std::vector<std::uint64_t> orig_request;
+        std::unique_ptr<Engine> engine;
+    };
+
+    const trace::Trace &trace_;
+    EngineConfig config_;
+    ShardPlan plan_;
+    std::vector<CellRuntime> cells_;
+    bool ran_ = false;
+};
+
+} // namespace cidre::core
+
+#endif // CIDRE_CORE_SHARDED_ENGINE_H

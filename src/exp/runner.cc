@@ -1,13 +1,12 @@
 #include "exp/runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <exception>
 #include <stdexcept>
 #include <thread>
 
 #include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "exp/telemetry.h"
 #include "policies/registry.h"
 #include "sim/rng.h"
@@ -29,72 +28,86 @@ parallelFor(unsigned jobs, std::size_t count,
         return;
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(jobs == 0 ? defaultJobs() : jobs, count));
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
-            body(i);
-        return;
-    }
+    sim::ThreadPool pool(workers);
+    pool.parallelFor(count, body);
+}
 
-    std::atomic<std::size_t> next{0};
-    std::vector<std::exception_ptr> errors(count);
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&] {
-            for (;;) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= count)
-                    return;
-                try {
-                    body(i);
-                } catch (...) {
-                    errors[i] = std::current_exception();
-                }
-            }
-        });
-    }
-    for (auto &thread : pool)
-        thread.join();
-    for (const auto &error : errors) {
-        if (error)
-            std::rethrow_exception(error);
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : options_(options),
+      shard_threads_(std::max(1u, options.shards))
+{
+    const unsigned jobs =
+        options_.jobs == 0 ? defaultJobs() : options_.jobs;
+    const unsigned outer = std::max(1u, jobs / shard_threads_);
+    outer_pool_ = std::make_unique<sim::ThreadPool>(outer);
+    if (shard_threads_ > 1) {
+        inner_pools_.reserve(outer);
+        for (unsigned slot = 0; slot < outer; ++slot)
+            inner_pools_.push_back(
+                std::make_unique<sim::ThreadPool>(shard_threads_));
     }
 }
 
+ExperimentRunner::~ExperimentRunner() = default;
+
+unsigned
+ExperimentRunner::outerThreads() const
+{
+    return outer_pool_->threadCount();
+}
+
 std::vector<TrialResult>
-ExperimentRunner::run(const std::vector<TrialSpec> &specs) const
+ExperimentRunner::run(const std::vector<TrialSpec> &specs)
 {
     std::vector<TrialResult> results(specs.size());
     ProgressReporter progress(options_.progress, specs.size());
 
-    parallelFor(options_.jobs, specs.size(), [&](std::size_t i) {
-        const TrialSpec &spec = specs[i];
-        if (spec.workload == nullptr) {
-            throw std::invalid_argument(
-                "ExperimentRunner: spec " + std::to_string(i) + " (" +
-                spec.label + ") has no workload");
-        }
-        const auto started = std::chrono::steady_clock::now();
+    outer_pool_->parallelFor(
+        specs.size(), [&](std::size_t i, unsigned slot) {
+            const TrialSpec &spec = specs[i];
+            if (spec.workload == nullptr) {
+                throw std::invalid_argument(
+                    "ExperimentRunner: spec " + std::to_string(i) + " (" +
+                    spec.label + ") has no workload");
+            }
+            const auto started = std::chrono::steady_clock::now();
 
-        core::EngineConfig config = spec.config;
-        config.seed = sim::substreamSeed(spec.base_seed, spec.trial_index);
-        core::Engine engine(*spec.workload, config,
-                            policies::makePolicy(spec.policy, config));
+            core::EngineConfig config = spec.config;
+            config.seed =
+                sim::substreamSeed(spec.base_seed, spec.trial_index);
 
-        TrialResult &result = results[i];
-        result.metrics = engine.run();
-        result.spec_index = i;
-        result.label = spec.label;
-        result.seed = config.seed;
-        result.events_executed = engine.eventsExecuted();
-        result.wall_ms =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - started)
-                .count();
-        progress.trialDone(result.label, result.wall_ms,
-                           result.events_executed);
-    });
+            TrialResult &result = results[i];
+            if (config.shard_cells > 1) {
+                // Shard threads only affect wall-clock; the substream
+                // space stays 2-D and positional — cell c of trial t
+                // runs on substreamSeed(substreamSeed(base, t), c).
+                core::ShardedEngine engine(
+                    *spec.workload, config,
+                    [&spec](const core::EngineConfig &cell_config) {
+                        return policies::makePolicy(spec.policy,
+                                                    cell_config);
+                    });
+                result.metrics = engine.run(
+                    inner_pools_.empty() ? nullptr
+                                         : inner_pools_[slot].get());
+                result.events_executed = engine.eventsExecuted();
+            } else {
+                core::Engine engine(*spec.workload, config,
+                                    policies::makePolicy(spec.policy,
+                                                         config));
+                result.metrics = engine.run();
+                result.events_executed = engine.eventsExecuted();
+            }
+            result.spec_index = i;
+            result.label = spec.label;
+            result.seed = config.seed;
+            result.wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+            progress.trialDone(result.label, result.wall_ms,
+                               result.events_executed);
+        });
     return results;
 }
 

@@ -1,7 +1,7 @@
 /**
  * @file
- * Parallel experiment runner: fan independent Engine::run() trials
- * across a fixed pool of worker threads with deterministic results.
+ * Parallel experiment runner: fan independent trials across a fixed
+ * pool of worker threads with deterministic results.
  *
  * Every figure of the paper is a sweep — policies × traces × seeds ×
  * knobs — of *independent* simulations (each core::Engine owns its
@@ -18,9 +18,21 @@
  *     that order, so aggregate output is bit-identical for any job
  *     count (--jobs 1 == --jobs 8, byte for byte).
  *
- * The pool is deliberately work-stealing-free: workers claim the next
- * unclaimed submission index from one atomic counter.  Claim order may
- * vary between runs; results never do.
+ * Scheduling is sim::ThreadPool's single atomic claim counter — no work
+ * stealing, no per-thread queues.  Claim order may vary between runs;
+ * results never do.
+ *
+ * ## Nested parallelism (jobs × shards)
+ *
+ * A trial whose EngineConfig::shard_cells exceeds 1 runs through
+ * core::ShardedEngine, which can itself fan its cells across threads.
+ * The runner owns both layers: a reusable outer pool of
+ * max(1, jobs / shards) threads fans trials, and each outer slot owns a
+ * private inner pool of `shards` threads that its trials' cells run on,
+ * keeping the total thread budget at roughly `jobs`.  Shard threads are
+ * a pure wall-clock knob — ShardedEngine guarantees bit-identical
+ * metrics for any `shards` value — so the determinism contract above is
+ * unchanged: results depend on specs alone, never on jobs or shards.
  */
 
 #ifndef CIDRE_EXP_RUNNER_H
@@ -30,11 +42,13 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
 #include "core/metrics.h"
+#include "sim/thread_pool.h"
 #include "trace/trace.h"
 
 namespace cidre::exp {
@@ -84,8 +98,16 @@ struct TrialResult
 
 struct RunnerOptions
 {
-    /** Worker threads; 0 selects defaultJobs(). */
+    /** Total worker-thread budget; 0 selects defaultJobs(). */
     unsigned jobs = 0;
+
+    /**
+     * Threads applied *inside* each sharded trial (the `--shards`
+     * knob); 0 and 1 both mean "run cells serially".  Purely a
+     * wall-clock knob: any value yields bit-identical results.  Trials
+     * with shard_cells == 1 ignore it.
+     */
+    unsigned shards = 1;
 
     /**
      * Stream for per-trial progress/telemetry lines (typically
@@ -99,14 +121,14 @@ struct RunnerOptions
 unsigned defaultJobs();
 
 /**
- * Run body(0) ... body(count-1) on a fixed pool of @p jobs threads
+ * Run body(0) ... body(count-1) on a transient pool of @p jobs threads
  * (0 = defaultJobs(); the pool never exceeds @p count).  Blocks until
  * every index ran.  If bodies throw, the exception of the smallest
  * failing index is rethrown after the pool drains.
  *
- * The scheduling discipline is a single atomic claim counter — no
- * work stealing, no per-thread queues — so a deterministic body keyed
- * on its index yields identical results for any job count.
+ * One-shot convenience over sim::ThreadPool; code that dispatches many
+ * loops (sweeps, epoch-stepped shards) should hold a pool instead —
+ * ExperimentRunner does.
  */
 void parallelFor(unsigned jobs, std::size_t count,
                  const std::function<void(std::size_t)> &body);
@@ -115,19 +137,34 @@ void parallelFor(unsigned jobs, std::size_t count,
 class ExperimentRunner
 {
   public:
-    explicit ExperimentRunner(RunnerOptions options = {})
-        : options_(options)
-    {
-    }
+    /** Spawns the reusable outer/inner pools per the jobs×shards split. */
+    explicit ExperimentRunner(RunnerOptions options = {});
+
+    ~ExperimentRunner();
+
+    ExperimentRunner(const ExperimentRunner &) = delete;
+    ExperimentRunner &operator=(const ExperimentRunner &) = delete;
 
     /**
      * Run every spec and return results indexed by submission order.
-     * Rethrows the first (by submission index) trial failure.
+     * Rethrows the first (by submission index) trial failure.  Reuses
+     * the owned pools across calls (threads spawn once per runner, not
+     * per trial or per call).
      */
-    std::vector<TrialResult> run(const std::vector<TrialSpec> &specs) const;
+    std::vector<TrialResult> run(const std::vector<TrialSpec> &specs);
+
+    /** Threads fanning trials (the outer pool). */
+    unsigned outerThreads() const;
+    /** Threads applied inside each sharded trial. */
+    unsigned shardThreads() const { return shard_threads_; }
 
   private:
     RunnerOptions options_;
+    unsigned shard_threads_ = 1;
+    /** Fans trials; outer slot s runs its sharded cells on inner s. */
+    std::unique_ptr<sim::ThreadPool> outer_pool_;
+    /** One per outer slot; empty when shard_threads_ == 1. */
+    std::vector<std::unique_ptr<sim::ThreadPool>> inner_pools_;
 };
 
 /**

@@ -1,0 +1,132 @@
+#include "sim/thread_pool.h"
+
+namespace cidre::sim {
+
+ThreadPool::ThreadPool(unsigned threads)
+    : helpers_(threads <= 1 ? 0 : threads - 1)
+{
+    threads_.reserve(helpers_);
+    for (unsigned slot = 1; slot <= helpers_; ++slot)
+        threads_.emplace_back([this, slot] { workerMain(slot); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::drain(Loop &loop, unsigned slot)
+{
+    for (;;) {
+        const std::size_t i =
+            loop.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= loop.count)
+            return;
+        try {
+            (*loop.body)(i, slot);
+        } catch (...) {
+            (*loop.errors)[i] = std::current_exception();
+        }
+        loop.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+}
+
+void
+ThreadPool::workerMain(unsigned slot)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Loop *loop = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return shutdown_ || (active_ != nullptr &&
+                                     generation_ != seen);
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            loop = active_;
+        }
+        drain(*loop, slot);
+        // Wake the caller once this helper runs out of work.  Taking
+        // the mutex first pairs with the caller's predicate check, so
+        // the notification cannot slip into the gap between the caller
+        // testing done() and blocking (a lost wakeup).
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+        }
+        done_cv_.notify_one();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count, const Body &body)
+{
+    if (count == 0)
+        return;
+
+    // Serial paths: no helpers, a single index, or a nested call from
+    // inside an active loop (running it inline is deterministic and
+    // deadlock-free).
+    bool expected = false;
+    if (helpers_ == 0 || count == 1 ||
+        !in_loop_.compare_exchange_strong(expected, true)) {
+        std::vector<std::exception_ptr> errors(count);
+        Loop loop;
+        loop.body = &body;
+        loop.count = count;
+        loop.errors = &errors;
+        drain(loop, 0);
+        for (const auto &error : errors) {
+            if (error)
+                std::rethrow_exception(error);
+        }
+        return;
+    }
+
+    std::vector<std::exception_ptr> errors(count);
+    Loop loop;
+    loop.body = &body;
+    loop.count = count;
+    loop.errors = &errors;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        active_ = &loop;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+
+    // Participate, then wait for the helpers' stragglers.
+    drain(loop, 0);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] {
+            return loop.done.load(std::memory_order_acquire) == count;
+        });
+        active_ = nullptr;
+    }
+    in_loop_.store(false);
+
+    for (const auto &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    parallelFor(count,
+                Body([&body](std::size_t i, unsigned) { body(i); }));
+}
+
+} // namespace cidre::sim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A reusable fixed-size thread pool for deterministic fan-out.
+ *
+ * Both parallel layers of the harness — trial-level fan-out in
+ * exp::ExperimentRunner and intra-trial shard execution in
+ * core::ShardedEngine — need the same primitive: run body(0..count-1)
+ * across a fixed set of threads such that a deterministic body keyed on
+ * its index yields identical results for any thread count.  The pool
+ * provides exactly that, with two properties the transient
+ * thread-per-call design it replaces lacked:
+ *
+ *  - **Threads are hoisted.**  Workers are spawned once and reused
+ *    across parallelFor() calls, so a sweep that dispatches thousands
+ *    of trials (or a sharded trial stepped in epochs) does not pay a
+ *    spawn/join round trip per call.
+ *  - **The caller participates.**  parallelFor() claims indices on the
+ *    calling thread too, so a pool constructed with N threads applies
+ *    exactly N threads of compute, and a pool is usable (serially) even
+ *    with zero helper threads.
+ *
+ * Scheduling is a single atomic claim counter — no work stealing, no
+ * per-thread queues — copied from the discipline exp::parallelFor
+ * established: claim order may vary between runs; results, landing at
+ * their index, never do.
+ */
+
+#ifndef CIDRE_SIM_THREAD_POOL_H
+#define CIDRE_SIM_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cidre::sim {
+
+/** Fixed set of worker threads executing indexed parallel loops. */
+class ThreadPool
+{
+  public:
+    /**
+     * A loop body: receives the claimed index plus the stable slot of
+     * the executing thread (0 = the calling thread, 1..threads()-1 =
+     * helpers).  The slot exists so bodies can select per-slot scratch
+     * (e.g. nested per-slot pools); deterministic bodies must not let
+     * it influence results.
+     */
+    using Body = std::function<void(std::size_t index, unsigned slot)>;
+
+    /**
+     * @param threads total threads applied by parallelFor(), including
+     *        the calling thread; 0 and 1 both mean "no helpers".
+     */
+    explicit ThreadPool(unsigned threads);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Joins the helper threads (after draining any active loop). */
+    ~ThreadPool();
+
+    /** Total threads applied to a loop (helpers + the caller). */
+    unsigned threadCount() const { return helpers_ + 1; }
+
+    /**
+     * Run body(0) ... body(count-1), returning when all ran.  The
+     * calling thread participates; helper threads assist.  If bodies
+     * throw, the exception of the smallest failing index is rethrown
+     * after the loop drains.
+     *
+     * Not reentrant: a nested call from inside a body (same pool) runs
+     * its loop serially on the calling thread rather than deadlocking.
+     */
+    void parallelFor(std::size_t count, const Body &body);
+
+    /** Convenience overload for bodies that ignore the thread slot. */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    struct Loop
+    {
+        const Body *body = nullptr;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::vector<std::exception_ptr> *errors = nullptr;
+    };
+
+    void workerMain(unsigned slot);
+    /** Claim-and-run until the loop is exhausted. */
+    static void drain(Loop &loop, unsigned slot);
+
+    unsigned helpers_ = 0;
+    std::vector<std::thread> threads_;
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;   //!< helpers wait for a loop
+    std::condition_variable done_cv_;   //!< the caller waits for drain
+    Loop *active_ = nullptr;            //!< published under mutex_
+    std::uint64_t generation_ = 0;      //!< bumped per published loop
+    bool shutdown_ = false;
+    /** True while a parallelFor is running (reentrancy detection). */
+    std::atomic<bool> in_loop_{false};
+};
+
+} // namespace cidre::sim
+
+#endif // CIDRE_SIM_THREAD_POOL_H

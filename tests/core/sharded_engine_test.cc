@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Unit and property tests for intra-trial sharding: the partition plan,
+ * the cells == 1 pass-through, thread-count neutrality, outcome
+ * scattering, the lockstep stepping API, and the concurrent metrics
+ * merge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/metrics_io.h"
+#include "core/sharded_engine.h"
+#include "policies/registry.h"
+#include "sim/thread_pool.h"
+#include "trace/generators.h"
+
+namespace cidre {
+namespace {
+
+trace::Trace
+testTrace(double scale = 0.05)
+{
+    return trace::makeAzureLikeTrace(42, scale);
+}
+
+core::EngineConfig
+testConfig(std::uint32_t cells = 1, std::uint32_t workers = 4)
+{
+    core::EngineConfig config;
+    config.cluster.workers = workers;
+    config.cluster.total_memory_mb = workers * 12 * 1024;
+    config.shard_cells = cells;
+    return config;
+}
+
+core::ShardedEngine::PolicyFactory
+factoryFor(const std::string &policy)
+{
+    return [policy](const core::EngineConfig &config) {
+        return policies::makePolicy(policy, config);
+    };
+}
+
+std::string
+metricsFingerprint(const core::RunMetrics &metrics)
+{
+    std::ostringstream out;
+    core::writeMetricsJson(metrics, out);
+    return out.str();
+}
+
+// ---- partition plan ---------------------------------------------------
+
+TEST(ShardPlan, PartitionsWorkersContiguouslyAndCompletely)
+{
+    const trace::Trace workload = testTrace();
+    for (const std::uint32_t cells : {1u, 2u, 3u, 4u}) {
+        const auto plan =
+            core::buildShardPlan(workload, testConfig(cells));
+        ASSERT_EQ(plan.cells.size(), cells);
+        std::uint32_t next = 0;
+        std::int64_t memory = 0;
+        for (const auto &cell : plan.cells) {
+            EXPECT_EQ(cell.first_worker, next);
+            EXPECT_GE(cell.worker_count, 1u);
+            EXPECT_EQ(cell.cluster.workers, cell.worker_count);
+            next += cell.worker_count;
+            memory += cell.cluster.total_memory_mb;
+        }
+        EXPECT_EQ(next, testConfig(cells).cluster.workers);
+        EXPECT_EQ(memory, testConfig(cells).cluster.total_memory_mb);
+    }
+}
+
+TEST(ShardPlan, AssignsEveryFunctionToExactlyOneCell)
+{
+    const trace::Trace workload = testTrace();
+    const auto plan = core::buildShardPlan(workload, testConfig(3));
+    ASSERT_EQ(plan.cell_of_function.size(), workload.functionCount());
+
+    std::vector<int> seen(workload.functionCount(), 0);
+    for (std::size_t k = 0; k < plan.cells.size(); ++k) {
+        const auto &fns = plan.cells[k].functions;
+        EXPECT_TRUE(std::is_sorted(fns.begin(), fns.end()));
+        for (const auto fn : fns) {
+            EXPECT_EQ(plan.cell_of_function[fn], k);
+            ++seen[fn];
+        }
+    }
+    for (std::size_t fn = 0; fn < seen.size(); ++fn)
+        EXPECT_EQ(seen[fn], 1) << "function " << fn;
+}
+
+TEST(ShardPlan, WeightsMatchRequestCountsAndBalance)
+{
+    const trace::Trace workload = testTrace();
+    const auto counts = workload.requestCountByFunction();
+    const auto plan = core::buildShardPlan(workload, testConfig(4));
+
+    std::uint64_t total = 0;
+    std::uint64_t heaviest_fn = 0;
+    for (const auto c : counts) {
+        total += c;
+        heaviest_fn = std::max(heaviest_fn, c);
+    }
+    std::uint64_t max_weight = 0;
+    std::uint64_t min_weight = UINT64_MAX;
+    std::uint64_t sum = 0;
+    for (const auto &cell : plan.cells) {
+        std::uint64_t weight = 0;
+        for (const auto fn : cell.functions)
+            weight += counts[fn];
+        EXPECT_EQ(weight, cell.request_weight);
+        sum += weight;
+        max_weight = std::max(max_weight, weight);
+        min_weight = std::min(min_weight, weight);
+    }
+    EXPECT_EQ(sum, total);
+    // LPT guarantee: no cell exceeds the ideal share by more than the
+    // single heaviest function.
+    EXPECT_LE(max_weight, total / plan.cells.size() + heaviest_fn);
+    EXPECT_GT(min_weight, 0u);
+}
+
+TEST(ShardPlan, IsAPureFunctionOfTraceAndConfig)
+{
+    const trace::Trace workload = testTrace();
+    const auto a = core::buildShardPlan(workload, testConfig(3));
+    const auto b = core::buildShardPlan(workload, testConfig(3));
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    EXPECT_EQ(a.cell_of_function, b.cell_of_function);
+    for (std::size_t k = 0; k < a.cells.size(); ++k) {
+        EXPECT_EQ(a.cells[k].functions, b.cells[k].functions);
+        EXPECT_EQ(a.cells[k].first_worker, b.cells[k].first_worker);
+        EXPECT_EQ(a.cells[k].cluster.total_memory_mb,
+                  b.cells[k].cluster.total_memory_mb);
+    }
+}
+
+// ---- validation -------------------------------------------------------
+
+TEST(ShardedEngine, PlainEngineRejectsPartitionedConfig)
+{
+    const trace::Trace workload = testTrace();
+    const auto config = testConfig(2);
+    EXPECT_THROW(
+        core::Engine(workload, config,
+                     policies::makePolicy("cidre", config)),
+        std::invalid_argument);
+}
+
+TEST(ShardedEngine, ConfigValidatesCellCount)
+{
+    auto config = testConfig();
+    config.shard_cells = 0;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config.shard_cells = config.cluster.workers + 1;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config.shard_cells = config.cluster.workers;
+    EXPECT_NO_THROW(config.validate());
+}
+
+// ---- cells == 1 pass-through ------------------------------------------
+
+TEST(ShardedEngine, SingleCellIsBitIdenticalToPlainEngine)
+{
+    const trace::Trace workload = testTrace();
+    auto config = testConfig(1);
+    config.record_per_request = true;
+
+    core::Engine plain(workload, config,
+                       policies::makePolicy("cidre", config));
+    const core::RunMetrics expected = plain.run();
+
+    core::ShardedEngine sharded(workload, config, factoryFor("cidre"));
+    ASSERT_EQ(sharded.cellCount(), 1u);
+    const core::RunMetrics actual = sharded.run();
+
+    EXPECT_EQ(metricsFingerprint(actual), metricsFingerprint(expected));
+    ASSERT_EQ(actual.outcomes.size(), expected.outcomes.size());
+    for (std::size_t i = 0; i < expected.outcomes.size(); ++i) {
+        EXPECT_EQ(actual.outcomes[i].type, expected.outcomes[i].type);
+        EXPECT_EQ(actual.outcomes[i].wait_us,
+                  expected.outcomes[i].wait_us);
+    }
+}
+
+// ---- thread-count neutrality ------------------------------------------
+
+TEST(ShardedEngine, ShardThreadsAreResultsNeutral)
+{
+    const trace::Trace workload = testTrace();
+    const auto config = testConfig(4);
+
+    const auto runWith = [&](unsigned threads) {
+        core::ShardedEngine engine(workload, config, factoryFor("cidre"));
+        if (threads <= 1)
+            return metricsFingerprint(engine.run());
+        sim::ThreadPool pool(threads);
+        return metricsFingerprint(engine.run(&pool));
+    };
+
+    const std::string serial = runWith(1);
+    EXPECT_EQ(serial, runWith(2));
+    EXPECT_EQ(serial, runWith(4));
+    EXPECT_EQ(serial, runWith(8));
+}
+
+TEST(ShardedEngine, PolicyBundlesAreCellLocalAcrossRegistry)
+{
+    // Every registry policy must produce thread-independent results;
+    // a policy sharing hidden state across bundles would diverge.
+    const trace::Trace workload = testTrace(0.02);
+    const auto config = testConfig(3);
+    for (const char *policy :
+         {"cidre", "cidre-bss", "faascache", "ttl"}) {
+        core::ShardedEngine serial_engine(workload, config,
+                                          factoryFor(policy));
+        const std::string serial =
+            metricsFingerprint(serial_engine.run());
+        sim::ThreadPool pool(3);
+        core::ShardedEngine pooled_engine(workload, config,
+                                          factoryFor(policy));
+        EXPECT_EQ(serial, metricsFingerprint(pooled_engine.run(&pool)))
+            << "policy " << policy;
+    }
+}
+
+// ---- outcome scattering -----------------------------------------------
+
+TEST(ShardedEngine, ScattersOutcomesToOriginalRequestIndices)
+{
+    const trace::Trace workload = testTrace();
+    auto config = testConfig(3);
+    config.record_per_request = true;
+
+    core::ShardedEngine engine(workload, config, factoryFor("cidre"));
+    const core::RunMetrics merged = engine.run();
+
+    ASSERT_EQ(merged.outcomes.size(), workload.requestCount());
+    // Every request executed: the per-type outcome counts must sum to
+    // the merged counters exactly.
+    std::array<std::uint64_t, 4> by_type{};
+    std::uint64_t with_exec = 0;
+    for (const auto &outcome : merged.outcomes) {
+        ++by_type[static_cast<std::size_t>(outcome.type)];
+        if (outcome.exec_us > 0)
+            ++with_exec;
+    }
+    EXPECT_EQ(by_type[0], merged.count(core::StartType::Warm));
+    EXPECT_EQ(by_type[1], merged.count(core::StartType::DelayedWarm));
+    EXPECT_EQ(by_type[2], merged.count(core::StartType::Cold));
+    EXPECT_EQ(by_type[3], merged.count(core::StartType::Restored));
+    EXPECT_EQ(merged.total(), workload.requestCount());
+    EXPECT_GT(with_exec, 0u);
+
+    // Scattering is positional: request i's outcome matches the
+    // exec time the trace prescribed for request i.
+    for (std::size_t i = 0; i < workload.requestCount(); ++i) {
+        ASSERT_EQ(merged.outcomes[i].exec_us,
+                  workload.requests()[i].exec_us)
+            << "request " << i;
+    }
+}
+
+// ---- stepped (epoch) API ----------------------------------------------
+
+TEST(ShardedEngine, BeginFinishMatchesRun)
+{
+    const trace::Trace workload = testTrace();
+    const auto config = testConfig(4);
+
+    core::ShardedEngine oneshot(workload, config, factoryFor("cidre"));
+    const std::string expected = metricsFingerprint(oneshot.run());
+
+    sim::ThreadPool pool(4);
+    core::ShardedEngine split(workload, config, factoryFor("cidre"));
+    split.begin();
+    EXPECT_FALSE(split.drained());
+    const std::string actual = metricsFingerprint(split.finish(&pool));
+    EXPECT_EQ(actual, expected);
+    EXPECT_TRUE(split.drained());
+    EXPECT_EQ(split.eventsExecuted(), oneshot.eventsExecuted());
+}
+
+TEST(ShardedEngine, SteppedExecutionIsDeterministicAcrossPools)
+{
+    // Epoch stepping advances each cell's clock to the epoch boundary
+    // (EventQueue::runUntil semantics, same as the plain engine's
+    // stepped path), so the makespan is epoch-granular; everything
+    // else — every counter, every event — must match the one-shot run,
+    // and the whole stepped result must be bit-identical regardless of
+    // how many threads drive the epochs.
+    const trace::Trace workload = testTrace();
+    const auto config = testConfig(4);
+
+    const auto steppedRun = [&](unsigned threads) {
+        sim::ThreadPool pool(threads);
+        core::ShardedEngine engine(workload, config, factoryFor("cidre"));
+        engine.begin();
+        sim::SimTime until = sim::sec(30);
+        std::size_t events = 0;
+        while (!engine.drained()) {
+            events += engine.stepUntil(until, &pool);
+            until += sim::sec(30);
+        }
+        auto metrics = engine.finish(&pool);
+        return std::make_pair(metricsFingerprint(metrics), events);
+    };
+
+    const auto [serial_doc, serial_events] = steppedRun(1);
+    EXPECT_EQ(steppedRun(2), std::make_pair(serial_doc, serial_events));
+    EXPECT_EQ(steppedRun(4), std::make_pair(serial_doc, serial_events));
+
+    core::ShardedEngine oneshot(workload, config, factoryFor("cidre"));
+    const core::RunMetrics reference = oneshot.run();
+    EXPECT_EQ(serial_events, oneshot.eventsExecuted());
+
+    core::ShardedEngine stepped(workload, config, factoryFor("cidre"));
+    stepped.begin();
+    sim::SimTime until = sim::sec(30);
+    while (!stepped.drained()) {
+        stepped.stepUntil(until);
+        until += sim::sec(30);
+    }
+    const core::RunMetrics actual = stepped.finish();
+    EXPECT_EQ(actual.total(), reference.total());
+    EXPECT_EQ(actual.count(core::StartType::Cold),
+              reference.count(core::StartType::Cold));
+    EXPECT_EQ(actual.count(core::StartType::DelayedWarm),
+              reference.count(core::StartType::DelayedWarm));
+    EXPECT_EQ(actual.containers_created, reference.containers_created);
+    EXPECT_EQ(actual.evictions, reference.evictions);
+    EXPECT_EQ(actual.deferred_provisions, reference.deferred_provisions);
+    // Epoch-granular clock: never earlier than the event-granular one,
+    // never past the boundary following it.
+    EXPECT_GE(actual.makespan(), reference.makespan());
+    EXPECT_LT(actual.makespan(), reference.makespan() + sim::sec(30));
+}
+
+TEST(ShardedEngine, BeginIsSingleShot)
+{
+    const trace::Trace workload = testTrace(0.02);
+    core::ShardedEngine engine(workload, testConfig(2),
+                               factoryFor("ttl"));
+    engine.begin();
+    EXPECT_THROW(engine.begin(), std::logic_error);
+}
+
+// ---- concurrent metrics merge -----------------------------------------
+
+TEST(MergeConcurrent, MakespanIsMaxAndIntegralsSum)
+{
+    core::RunMetrics a;
+    a.recordStart(core::StartType::Cold, 100, 900);
+    a.noteMemoryUsage(0, 1024);
+    a.finalize(sim::sec(10));
+
+    core::RunMetrics b;
+    b.recordStart(core::StartType::Warm, 0, 500);
+    b.recordStart(core::StartType::Warm, 0, 700);
+    b.noteMemoryUsage(0, 2048);
+    b.finalize(sim::sec(40));
+
+    core::RunMetrics concurrent = a;
+    concurrent.mergeConcurrent(b);
+    EXPECT_EQ(concurrent.makespan(), sim::sec(40));
+    EXPECT_EQ(concurrent.total(), 3u);
+    // Peak is the sum of cell peaks (upper bound): 1 GB + 2 GB.
+    EXPECT_DOUBLE_EQ(concurrent.peakMemoryGb(), 3.0);
+    // Integrals sum: (1024 * 10 s + 2048 * 40 s) over the 40 s span.
+    const double expected_avg =
+        (1024.0 * 10.0 + 2048.0 * 40.0) / 40.0 / 1024.0;
+    EXPECT_DOUBLE_EQ(concurrent.avgMemoryGb(), expected_avg);
+
+    // Contrast with sequential merge: makespans add, peaks max.
+    core::RunMetrics sequential = a;
+    sequential.merge(b);
+    EXPECT_EQ(sequential.makespan(), sim::sec(50));
+    EXPECT_DOUBLE_EQ(sequential.peakMemoryGb(), 2.0);
+}
+
+TEST(MergeConcurrent, RequiresFinalizedAndRejectsSelfMerge)
+{
+    core::RunMetrics a;
+    core::RunMetrics b;
+    EXPECT_THROW(a.mergeConcurrent(b), std::logic_error);
+    a.finalize(0);
+    EXPECT_THROW(a.mergeConcurrent(b), std::logic_error);
+    b.finalize(0);
+    EXPECT_THROW(a.mergeConcurrent(a), std::logic_error);
+    EXPECT_NO_THROW(a.mergeConcurrent(b));
+}
+
+} // namespace
+} // namespace cidre

@@ -68,13 +68,17 @@ sweepSpecs()
 
 /** Exact textual fingerprint of every trial plus the ordered merge. */
 std::string
-sweepFingerprint(unsigned jobs)
+sweepFingerprint(unsigned jobs, unsigned shards = 1,
+                 std::uint32_t cells = 1)
 {
     exp::RunnerOptions options;
     options.jobs = jobs;
-    const exp::ExperimentRunner runner(options);
-    const std::vector<exp::TrialResult> results =
-        runner.run(sweepSpecs());
+    options.shards = shards;
+    exp::ExperimentRunner runner(options);
+    auto specs = sweepSpecs();
+    for (auto &spec : specs)
+        spec.config.shard_cells = cells;
+    const std::vector<exp::TrialResult> results = runner.run(specs);
 
     std::ostringstream fingerprint;
     for (const auto &result : results) {
@@ -97,6 +101,17 @@ TEST(RunnerDeterminism, BitIdenticalAcrossJobCounts)
 TEST(RunnerDeterminism, BitIdenticalAcrossRepeatedRuns)
 {
     EXPECT_EQ(sweepFingerprint(8), sweepFingerprint(8));
+}
+
+// Sharded trials (shard_cells > 1 routes through core::ShardedEngine):
+// the shard thread count must be results-neutral, independently and
+// jointly with the job count.
+TEST(RunnerDeterminism, ShardedTrialsBitIdenticalAcrossJobsAndShards)
+{
+    const std::string serial = sweepFingerprint(1, 1, 3);
+    EXPECT_EQ(serial, sweepFingerprint(1, 4, 3));
+    EXPECT_EQ(serial, sweepFingerprint(4, 2, 3));
+    EXPECT_EQ(serial, sweepFingerprint(8, 8, 3));
 }
 
 TEST(RunnerDeterminism, ResultsLandAtSubmissionIndex)

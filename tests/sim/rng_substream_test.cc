@@ -97,6 +97,32 @@ TEST(RngSubstream, DrawsIndependentOfSchedulingOrder)
     }
 }
 
+TEST(RngSubstream, TrialShardGridIsCollisionFree)
+{
+    // The sharded runtime double-derives: cell c of trial t runs on
+    // substreamSeed(substreamSeed(base, t), c).  Every stream of the
+    // 64x64 (trial, shard) grid must be distinct — from each other AND
+    // from the 64 first-level trial streams, which unsharded trials
+    // consume directly.
+    std::unordered_map<std::uint64_t, std::string> seen;
+    const auto expect_fresh = [&seen](std::uint64_t seed,
+                                      const std::string &where) {
+        const auto [it, inserted] = seen.emplace(seed, where);
+        EXPECT_TRUE(inserted) << where << " collides with " << it->second;
+    };
+    constexpr std::uint64_t kBase = 42;
+    for (std::uint64_t trial = 0; trial < 64; ++trial) {
+        const std::uint64_t trial_seed = substreamSeed(kBase, trial);
+        expect_fresh(trial_seed, "trial=" + std::to_string(trial));
+        for (std::uint64_t shard = 0; shard < 64; ++shard) {
+            expect_fresh(substreamSeed(trial_seed, shard),
+                         "trial=" + std::to_string(trial) +
+                             " shard=" + std::to_string(shard));
+        }
+    }
+    EXPECT_EQ(seen.size(), 64u + 64u * 64u);
+}
+
 TEST(RngSubstream, SubstreamZeroDiffersFromBaseStream)
 {
     for (const std::uint64_t base : {0ull, 42ull, 1234567ull}) {

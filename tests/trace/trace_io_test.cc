@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "trace/generators.h"
 #include "trace/trace_io.h"
 
 namespace cidre::trace {
@@ -48,6 +49,41 @@ TEST(TraceIo, RoundTrip)
                   original.requests()[i].arrival_us);
         EXPECT_EQ(loaded.requests()[i].exec_us,
                   original.requests()[i].exec_us);
+    }
+}
+
+TEST(TraceIo, GeneratedAzureTraceRoundTripsExactly)
+{
+    // A realistic generated workload (thousands of requests, Zipf
+    // function mix) must survive write -> read with request-level
+    // equality: same id, function binding, arrival and execution time
+    // for every request, and identical function profiles.
+    const Trace original = makeAzureLikeTrace(42, 0.1);
+    ASSERT_GT(original.requestCount(), 1000u);
+
+    std::stringstream buffer;
+    writeTrace(original, buffer);
+    const Trace loaded = readTrace(buffer);
+
+    ASSERT_EQ(loaded.functionCount(), original.functionCount());
+    for (std::size_t f = 0; f < original.functionCount(); ++f) {
+        const FunctionProfile &a = original.functions()[f];
+        const FunctionProfile &b = loaded.functions()[f];
+        EXPECT_EQ(b.id, a.id);
+        EXPECT_EQ(b.name, a.name);
+        EXPECT_EQ(b.memory_mb, a.memory_mb);
+        EXPECT_EQ(b.cold_start_us, a.cold_start_us);
+        EXPECT_EQ(b.runtime, a.runtime);
+        EXPECT_EQ(b.median_exec_us, a.median_exec_us);
+    }
+    ASSERT_EQ(loaded.requestCount(), original.requestCount());
+    for (std::size_t i = 0; i < original.requestCount(); ++i) {
+        const Request &a = original.requests()[i];
+        const Request &b = loaded.requests()[i];
+        ASSERT_EQ(b.id, a.id) << "request " << i;
+        ASSERT_EQ(b.function, a.function) << "request " << i;
+        ASSERT_EQ(b.arrival_us, a.arrival_us) << "request " << i;
+        ASSERT_EQ(b.exec_us, a.exec_us) << "request " << i;
     }
 }
 

@@ -5,15 +5,36 @@ Usage:
     check_bench_regression.py SMOKE_JSON [--baseline BENCH_core.json]
                               [--policy cidre] [--scale 0.25]
                               [--tolerance 0.30]
+                              [--max-wall-ratio-regression 0.35]
+                              [--min-shard-speedup 2.5]
 
-Compares the policy's events_per_sec at the given trace scale in a
-fresh smoke run (bench_core_throughput --smoke --out SMOKE_JSON)
-against the committed BENCH_core.json and fails when the smoke run is
-more than `tolerance` slower.  Only a *relative* comparison is sound in
-CI: shared runners are slower and noisier than the machine that wrote
-the baseline, so both numbers must come from the same run... which they
-cannot.  The wide default tolerance (30%) therefore catches algorithmic
-regressions (complexity changes show up as 2-10x), not micro drift.
+Three gates:
+
+1. **Throughput** — compares the policy's events_per_sec at the given
+   trace scale in a fresh smoke run (bench_core_throughput --smoke
+   --out SMOKE_JSON) against the committed BENCH_core.json and fails
+   when the smoke run is more than `tolerance` slower.  Only a
+   *relative* comparison is sound in CI: shared runners are slower and
+   noisier than the machine that wrote the baseline, so both numbers
+   must come from the same run... which they cannot.  The wide default
+   tolerance (30%) therefore catches algorithmic regressions
+   (complexity changes show up as 2-10x), not micro drift.
+
+2. **Wall ratio** (--max-wall-ratio-regression) — checks the committed
+   baseline's `policy_scaling` section: each policy's wall-time ratio
+   across the 0.25 -> 1.0 trace-scale span must not exceed its event
+   ratio by more than the given fraction.  This is an internal
+   consistency check of the committed numbers (both sides come from the
+   same machine and run), so it needs no noise allowance: a policy
+   whose decision path stopped being ~O(1) per event balloons this
+   ratio and fails the gate when the baseline is regenerated.
+
+3. **Shard speedup** (--min-shard-speedup) — checks the fresh smoke
+   run's `shard_scaling` section: the 4-thread execution of one
+   partitioned trial must be at least this much faster than the
+   1-thread execution.  Skipped (with a note) when the smoke machine
+   has fewer hardware threads than the shard count — the speedup is
+   meaningless without the cores.
 """
 
 import argparse
@@ -31,33 +52,19 @@ def engine_entry(doc, policy, scale):
     )
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("smoke_json", help="fresh --smoke run output")
-    parser.add_argument("--baseline", default="BENCH_core.json")
-    parser.add_argument("--policy", default="cidre")
-    parser.add_argument("--scale", type=float, default=0.25)
-    parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="max allowed fractional slowdown (default 0.30)")
-    args = parser.parse_args()
-
-    with open(args.smoke_json) as f:
-        smoke = json.load(f)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-
-    fresh = engine_entry(smoke, args.policy, args.scale)
-    committed = engine_entry(baseline, args.policy, args.scale)
+def check_throughput(smoke, baseline, policy, scale, tolerance):
+    fresh = engine_entry(smoke, policy, scale)
+    committed = engine_entry(baseline, policy, scale)
 
     fresh_eps = float(fresh["events_per_sec"])
     committed_eps = float(committed["events_per_sec"])
-    floor = committed_eps * (1.0 - args.tolerance)
+    floor = committed_eps * (1.0 - tolerance)
 
-    print(f"policy={args.policy} scale={args.scale}")
+    print(f"policy={policy} scale={scale}")
     print(f"  baseline : {committed_eps:,.0f} events/s")
     print(f"  smoke    : {fresh_eps:,.0f} events/s")
     print(f"  floor    : {floor:,.0f} events/s "
-          f"(tolerance {args.tolerance:.0%})")
+          f"(tolerance {tolerance:.0%})")
 
     if fresh["events"] != committed["events"]:
         print(f"  note: event counts differ "
@@ -66,9 +73,91 @@ def main():
 
     if fresh_eps < floor:
         print("FAIL: engine throughput regressed beyond tolerance")
-        return 1
+        return False
     print("OK")
-    return 0
+    return True
+
+
+def check_wall_ratio(baseline, max_regression):
+    rows = baseline.get("policy_scaling")
+    if not rows:
+        print("wall ratio: no policy_scaling section in baseline — skipped")
+        return True
+    ok = True
+    for row in rows:
+        policy = row["policy"]
+        wall_ratio = float(row["wall_ratio"])
+        small = engine_entry(baseline, policy, 0.25)
+        large = engine_entry(baseline, policy, 1.0)
+        event_ratio = float(large["events"]) / float(small["events"])
+        ceiling = event_ratio * (1.0 + max_regression)
+        verdict = "ok" if wall_ratio <= ceiling else "FAIL"
+        print(f"wall ratio: {policy}: wall {wall_ratio:.2f}x vs events "
+              f"{event_ratio:.2f}x (ceiling {ceiling:.2f}x) {verdict}")
+        if wall_ratio > ceiling:
+            ok = False
+    if not ok:
+        print("FAIL: per-event decision cost grows with trace scale "
+              "(superlinear policy path)")
+    return ok
+
+
+def check_shard_speedup(smoke, min_speedup):
+    section = smoke.get("shard_scaling")
+    if not section:
+        print("shard speedup: no shard_scaling section in smoke run — "
+              "skipped")
+        return True
+    hw = int(section.get("hw_threads", 0))
+    runs = section.get("runs", [])
+    top = max((int(r["shards"]) for r in runs), default=0)
+    speedup = float(section.get("speedup_4", 0.0))
+    if hw < top:
+        print(f"shard speedup: {speedup:.2f}x at {top} threads — skipped "
+              f"(machine has only {hw} hardware threads)")
+        return True
+    print(f"shard speedup: {speedup:.2f}x at {top} threads "
+          f"(floor {min_speedup:.2f}x, hw_threads {hw})")
+    if speedup < min_speedup:
+        print("FAIL: sharded execution no longer scales across cores")
+        return False
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("smoke_json", help="fresh --smoke run output")
+    parser.add_argument("--baseline", default="BENCH_core.json")
+    parser.add_argument("--policy", default="cidre")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="max allowed fractional slowdown (default 0.30)")
+    parser.add_argument("--max-wall-ratio-regression", type=float,
+                        default=None, metavar="FRAC",
+                        help="gate the baseline's policy_scaling section: "
+                             "wall_ratio may exceed the event ratio by at "
+                             "most this fraction (off unless given)")
+    parser.add_argument("--min-shard-speedup", type=float, default=None,
+                        metavar="X",
+                        help="gate the smoke run's shard_scaling section: "
+                             "require at least this speedup at the highest "
+                             "shard count (off unless given; auto-skipped "
+                             "on machines with too few hardware threads)")
+    args = parser.parse_args()
+
+    with open(args.smoke_json) as f:
+        smoke = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    ok = check_throughput(smoke, baseline, args.policy, args.scale,
+                          args.tolerance)
+    if args.max_wall_ratio_regression is not None:
+        ok = check_wall_ratio(baseline,
+                              args.max_wall_ratio_regression) and ok
+    if args.min_shard_speedup is not None:
+        ok = check_shard_speedup(smoke, args.min_shard_speedup) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
