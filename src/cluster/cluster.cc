@@ -10,7 +10,13 @@ Cluster::Cluster(const ClusterConfig &config)
 {
     if (config.workers == 0)
         throw std::invalid_argument("Cluster: need at least one worker");
-    if (config.total_memory_mb < config.workers)
+    const bool explicit_caps = !config.worker_memory_mb.empty();
+    if (explicit_caps &&
+        config.worker_memory_mb.size() != config.workers) {
+        throw std::invalid_argument(
+            "Cluster: worker_memory_mb size mismatch");
+    }
+    if (!explicit_caps && config.total_memory_mb < config.workers)
         throw std::invalid_argument("Cluster: memory too small");
     if (!config.speed_factors.empty() &&
         config.speed_factors.size() != config.workers) {
@@ -18,17 +24,22 @@ Cluster::Cluster(const ClusterConfig &config)
     }
 
     const std::int64_t per_worker =
-        config.total_memory_mb / config.workers;
+        explicit_caps ? 0 : config.total_memory_mb / config.workers;
     workers_.reserve(config.workers);
     for (std::uint32_t i = 0; i < config.workers; ++i) {
-        // The first worker absorbs the division remainder so the
-        // aggregate matches the requested budget exactly.
+        // Even split: the first worker absorbs the division remainder
+        // so the aggregate matches the requested budget exactly.
         const std::int64_t extra =
-            i == 0 ? config.total_memory_mb % config.workers : 0;
+            i == 0 && !explicit_caps
+                ? config.total_memory_mb % config.workers : 0;
+        const std::int64_t capacity = explicit_caps
+            ? config.worker_memory_mb[i] : per_worker + extra;
+        if (capacity < 1)
+            throw std::invalid_argument("Cluster: memory too small");
         const double speed = config.speed_factors.empty()
             ? 1.0 : config.speed_factors[i];
-        workers_.emplace_back(i, per_worker + extra, speed);
-        total_capacity_mb_ += per_worker + extra;
+        workers_.emplace_back(i, capacity, speed);
+        total_capacity_mb_ += capacity;
     }
 }
 

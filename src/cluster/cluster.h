@@ -34,6 +34,17 @@ struct ClusterConfig
      * (all 1.0).  Must have exactly `workers` entries when non-empty.
      */
     std::vector<double> speed_factors;
+
+    /**
+     * Explicit per-worker memory capacities; empty means "split
+     * total_memory_mb evenly, worker 0 absorbing the remainder".  Must
+     * have exactly `workers` positive entries when non-empty, and then
+     * takes precedence over total_memory_mb for the split (the cluster
+     * capacity becomes the entries' sum).  Lets a slice of a larger
+     * cluster keep exactly the capacities its workers would have in the
+     * whole (core::buildShardPlan relies on this).
+     */
+    std::vector<std::int64_t> worker_memory_mb;
 };
 
 /** Workers + containers + memory accounting. */

@@ -11,6 +11,10 @@ EngineConfig::validate() const
         throw std::invalid_argument("EngineConfig: need >= 1 worker");
     if (cluster.total_memory_mb <= 0)
         throw std::invalid_argument("EngineConfig: memory must be positive");
+    if (!cluster.worker_memory_mb.empty() &&
+        cluster.worker_memory_mb.size() != cluster.workers)
+        throw std::invalid_argument(
+            "EngineConfig: worker_memory_mb must have one entry per worker");
     if (container_threads == 0)
         throw std::invalid_argument("EngineConfig: threads must be >= 1");
     if (maintenance_interval <= 0)

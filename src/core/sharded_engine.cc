@@ -38,10 +38,15 @@ buildShardPlan(const trace::Trace &workload, const EngineConfig &config)
     plan.cell_of_function.assign(workload.functionCount(), 0);
 
     // Contiguous worker slices; the first (workers % cells) cells take
-    // one extra worker.  Cell memory mirrors the monolithic split: each
-    // worker keeps exactly the capacity it would have in the full
-    // cluster, so partitioning never changes per-worker headroom.
-    const auto caps = fullClusterCapacities(config.cluster);
+    // one extra worker.  Cell memory mirrors the monolithic split: the
+    // per-worker capacities are passed to the cell *explicitly* (via
+    // ClusterConfig::worker_memory_mb), so each worker keeps exactly
+    // the capacity it would have in the full cluster — handing the cell
+    // only a total would let cluster::Cluster re-split it and shift the
+    // division remainder onto the cell's first worker.
+    const auto caps = config.cluster.worker_memory_mb.empty()
+        ? fullClusterCapacities(config.cluster)
+        : config.cluster.worker_memory_mb;
     std::uint32_t next_worker = 0;
     for (std::uint32_t k = 0; k < cells; ++k) {
         auto &cell = plan.cells[k];
@@ -51,6 +56,9 @@ buildShardPlan(const trace::Trace &workload, const EngineConfig &config)
         next_worker += cell.worker_count;
 
         cell.cluster.workers = cell.worker_count;
+        const auto first_cap = caps.begin() + cell.first_worker;
+        cell.cluster.worker_memory_mb.assign(
+            first_cap, first_cap + cell.worker_count);
         cell.cluster.total_memory_mb = 0;
         for (std::uint32_t w = 0; w < cell.worker_count; ++w)
             cell.cluster.total_memory_mb += caps[cell.first_worker + w];

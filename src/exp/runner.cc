@@ -33,11 +33,16 @@ parallelFor(unsigned jobs, std::size_t count,
 }
 
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
-    : options_(options),
-      shard_threads_(std::max(1u, options.shards))
+    : options_(options)
 {
     const unsigned jobs =
         options_.jobs == 0 ? defaultJobs() : options_.jobs;
+    // Shard threads come out of the --jobs budget, so they never exceed
+    // it: with shards > jobs the outer width floors at one slot but
+    // that slot's inner pool would still be `shards` wide, blowing the
+    // documented total.  Clamping is free of semantic risk — shard
+    // thread count is a pure wall-clock knob.
+    shard_threads_ = std::min(std::max(1u, options_.shards), jobs);
     const unsigned outer = std::max(1u, jobs / shard_threads_);
     outer_pool_ = std::make_unique<sim::ThreadPool>(outer);
     if (shard_threads_ > 1) {

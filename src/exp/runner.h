@@ -26,10 +26,11 @@
  *
  * A trial whose EngineConfig::shard_cells exceeds 1 runs through
  * core::ShardedEngine, which can itself fan its cells across threads.
- * The runner owns both layers: a reusable outer pool of
- * max(1, jobs / shards) threads fans trials, and each outer slot owns a
- * private inner pool of `shards` threads that its trials' cells run on,
- * keeping the total thread budget at roughly `jobs`.  Shard threads are
+ * The runner owns both layers: shards is first clamped to jobs, then a
+ * reusable outer pool of max(1, jobs / shards) threads fans trials, and
+ * each outer slot owns a private inner pool of `shards` threads that
+ * its trials' cells run on, keeping the total thread count within the
+ * `jobs` budget (outer × shards <= jobs).  Shard threads are
  * a pure wall-clock knob — ShardedEngine guarantees bit-identical
  * metrics for any `shards` value — so the determinism contract above is
  * unchanged: results depend on specs alone, never on jobs or shards.
@@ -103,9 +104,11 @@ struct RunnerOptions
 
     /**
      * Threads applied *inside* each sharded trial (the `--shards`
-     * knob); 0 and 1 both mean "run cells serially".  Purely a
-     * wall-clock knob: any value yields bit-identical results.  Trials
-     * with shard_cells == 1 ignore it.
+     * knob); 0 and 1 both mean "run cells serially".  Clamped to the
+     * effective `jobs` value so the two knobs together never exceed
+     * the total thread budget.  Purely a wall-clock knob: any value
+     * yields bit-identical results.  Trials with shard_cells == 1
+     * ignore it.
      */
     unsigned shards = 1;
 
@@ -155,7 +158,7 @@ class ExperimentRunner
 
     /** Threads fanning trials (the outer pool). */
     unsigned outerThreads() const;
-    /** Threads applied inside each sharded trial. */
+    /** Threads applied inside each sharded trial (post-clamp). */
     unsigned shardThreads() const { return shard_threads_; }
 
   private:

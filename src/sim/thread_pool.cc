@@ -54,14 +54,19 @@ ThreadPool::workerMain(unsigned slot)
                 return;
             seen = generation_;
             loop = active_;
+            // Check in while still holding the mutex: from here on this
+            // helper holds a pointer into the caller's stack frame, and
+            // the caller must not return until we check back out.
+            ++participants_;
         }
         drain(*loop, slot);
-        // Wake the caller once this helper runs out of work.  Taking
-        // the mutex first pairs with the caller's predicate check, so
-        // the notification cannot slip into the gap between the caller
-        // testing done() and blocking (a lost wakeup).
+        // Check out and wake the caller.  Decrementing under the mutex
+        // pairs with the caller's predicate check, so the notification
+        // cannot slip into the gap between the caller testing the
+        // predicate and blocking (a lost wakeup).
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            --participants_;
         }
         done_cv_.notify_one();
     }
@@ -104,12 +109,19 @@ ThreadPool::parallelFor(std::size_t count, const Body &body)
     }
     work_cv_.notify_all();
 
-    // Participate, then wait for the helpers' stragglers.
+    // Participate, then wait for the helpers' stragglers.  Waiting for
+    // done == count alone is not enough: a helper that checked in may
+    // still be inside drain() (re-reading loop.next/loop.count) after
+    // the last body finished, so the caller must also wait for every
+    // participant to check out before destroying the stack-allocated
+    // Loop.  A helper that has not yet checked in when we clear active_
+    // never picks the loop up at all.
     drain(loop, 0);
     {
         std::unique_lock<std::mutex> lock(mutex_);
         done_cv_.wait(lock, [&] {
-            return loop.done.load(std::memory_order_acquire) == count;
+            return loop.done.load(std::memory_order_acquire) == count &&
+                   participants_ == 0;
         });
         active_ = nullptr;
     }

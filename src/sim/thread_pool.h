@@ -104,6 +104,14 @@ class ThreadPool
     std::condition_variable done_cv_;   //!< the caller waits for drain
     Loop *active_ = nullptr;            //!< published under mutex_
     std::uint64_t generation_ = 0;      //!< bumped per published loop
+    /**
+     * Helpers currently holding a pointer into the active loop.  A
+     * helper checks in (under mutex_) when it picks up active_ and
+     * checks out after drain() returns; the caller's completion wait
+     * requires participants_ == 0 so the stack-allocated Loop cannot be
+     * destroyed while a helper can still dereference it.
+     */
+    unsigned participants_ = 0;
     bool shutdown_ = false;
     /** True while a parallelFor is running (reentrancy detection). */
     std::atomic<bool> in_loop_{false};

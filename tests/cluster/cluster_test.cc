@@ -43,7 +43,7 @@ TEST(Worker, ErrorsOnBadAmounts)
 
 TEST(Cluster, SplitsMemoryAcrossWorkers)
 {
-    const ClusterConfig config{3, 3001, {}};
+    const ClusterConfig config{3, 3001, {}, {}};
     Cluster cl(config);
     EXPECT_EQ(cl.workerCount(), 3u);
     EXPECT_EQ(cl.totalCapacityMb(), 3001);
@@ -53,10 +53,34 @@ TEST(Cluster, SplitsMemoryAcrossWorkers)
 
 TEST(Cluster, RejectsBadConfigs)
 {
-    EXPECT_THROW(Cluster(ClusterConfig{0, 100, {}}),
+    EXPECT_THROW(Cluster(ClusterConfig{0, 100, {}, {}}),
                  std::invalid_argument);
-    EXPECT_THROW(Cluster(ClusterConfig{3, 100, {1.0}}),
+    EXPECT_THROW(Cluster(ClusterConfig{3, 100, {1.0}, {}}),
                  std::invalid_argument);
+}
+
+TEST(Cluster, HonorsExplicitWorkerCapacities)
+{
+    ClusterConfig config;
+    config.workers = 3;
+    config.total_memory_mb = 59; // not used for the split
+    config.worker_memory_mb = {19, 30, 10};
+    Cluster cl(config);
+    EXPECT_EQ(cl.totalCapacityMb(), 59);
+    EXPECT_EQ(cl.worker(0).capacityMb(), 19);
+    EXPECT_EQ(cl.worker(1).capacityMb(), 30);
+    EXPECT_EQ(cl.worker(2).capacityMb(), 10);
+}
+
+TEST(Cluster, RejectsBadExplicitCapacities)
+{
+    ClusterConfig config;
+    config.workers = 3;
+    config.total_memory_mb = 3 * 1000;
+    config.worker_memory_mb = {1000, 1000}; // one entry short
+    EXPECT_THROW(Cluster{config}, std::invalid_argument);
+    config.worker_memory_mb = {1000, 1000, 0}; // non-positive entry
+    EXPECT_THROW(Cluster{config}, std::invalid_argument);
 }
 
 TEST(Cluster, CreateAndDestroyContainer)

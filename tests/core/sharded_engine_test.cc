@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "core/engine.h"
 #include "core/metrics_io.h"
 #include "core/sharded_engine.h"
@@ -129,6 +130,34 @@ TEST(ShardPlan, WeightsMatchRequestCountsAndBalance)
     // single heaviest function.
     EXPECT_LE(max_weight, total / plan.cells.size() + heaviest_fn);
     EXPECT_GT(min_weight, 0u);
+}
+
+TEST(ShardPlan, PreservesPerWorkerCapacitiesOfTheMonolithicSplit)
+{
+    // 109 MB over 10 workers: the monolithic split gives worker 0 the
+    // 9 MB remainder ([19, 10 x 9]).  A cell handed only a memory
+    // total would re-split it internally (cell 0: 59 MB / 5 workers ->
+    // [15, 11, 11, 11, 11]), so the plan must carry the capacities
+    // explicitly for per-worker headroom to survive partitioning.
+    const trace::Trace workload = testTrace();
+    auto config = testConfig(2, 10);
+    config.cluster.total_memory_mb = 109;
+    const auto plan = core::buildShardPlan(workload, config);
+
+    std::vector<std::int64_t> expected(10, 10);
+    expected[0] = 19;
+    std::size_t next = 0;
+    for (const auto &cell : plan.cells) {
+        const cluster::Cluster cl(cell.cluster);
+        for (std::size_t w = 0; w < cl.workerCount(); ++w) {
+            EXPECT_EQ(cl.worker(static_cast<cluster::WorkerId>(w))
+                          .capacityMb(),
+                      expected[next])
+                << "worker " << next;
+            ++next;
+        }
+    }
+    EXPECT_EQ(next, expected.size());
 }
 
 TEST(ShardPlan, IsAPureFunctionOfTraceAndConfig)

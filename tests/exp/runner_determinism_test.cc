@@ -114,6 +114,27 @@ TEST(RunnerDeterminism, ShardedTrialsBitIdenticalAcrossJobsAndShards)
     EXPECT_EQ(serial, sweepFingerprint(8, 8, 3));
 }
 
+// The two knobs share one thread budget: shards clamps to jobs, so
+// outer x inner never exceeds --jobs (shards=8 with jobs=4 would
+// otherwise run a 1-wide outer pool over an 8-wide inner pool).
+TEST(RunnerDeterminism, ShardThreadsAreClampedToTheJobsBudget)
+{
+    exp::RunnerOptions options;
+    options.jobs = 4;
+    options.shards = 8;
+    const exp::ExperimentRunner clamped(options);
+    EXPECT_EQ(clamped.shardThreads(), 4u);
+    EXPECT_EQ(clamped.outerThreads(), 1u);
+
+    options.jobs = 10;
+    options.shards = 4;
+    const exp::ExperimentRunner nested(options);
+    EXPECT_EQ(nested.shardThreads(), 4u);
+    EXPECT_EQ(nested.outerThreads(), 2u);
+    EXPECT_LE(nested.outerThreads() * nested.shardThreads(),
+              options.jobs);
+}
+
 TEST(RunnerDeterminism, ResultsLandAtSubmissionIndex)
 {
     exp::RunnerOptions options;
@@ -177,6 +198,24 @@ TEST(ParallelFor, PropagatesSmallestFailingIndex)
         } catch (const std::runtime_error &e) {
             EXPECT_STREQ(e.what(), "boom 5");
         }
+    }
+}
+
+// Back-to-back tiny loops on one reusable pool: each parallelFor's
+// Loop lives on the caller's stack, so a helper that is slow to wake
+// must never touch a loop the caller has already completed and
+// destroyed.  Short bodies plus immediate reuse maximize the window;
+// under TSan (the CI configuration for this suite) a stale access is
+// reported even when it does not crash.
+TEST(ParallelFor, BackToBackLoopsDoNotLeakIntoDeadFrames)
+{
+    sim::ThreadPool pool(4);
+    for (int round = 0; round < 2000; ++round) {
+        std::atomic<int> hits{0};
+        pool.parallelFor(3, [&hits](std::size_t) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+        });
+        ASSERT_EQ(hits.load(), 3) << "round " << round;
     }
 }
 
