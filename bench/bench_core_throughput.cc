@@ -27,6 +27,12 @@
  *     hw_threads is recorded because the speedup is meaningless on
  *     fewer cores than shards (CI gates on it conditionally).
  *
+ *  4. Trace loading: CSV parse (write once, best-of-N reparse) vs
+ *     `.ctrb` mmap open (validation included) on a ~1M-request trace
+ *     (smaller under --smoke).  This is the payoff of the zero-copy
+ *     trace substrate: open cost is one checksum sweep over mapped
+ *     pages instead of per-request parsing plus seal() sorting.
+ *
  * Results are printed as tables and written as JSON (default
  * BENCH_core.json in the working directory; override with --out).
  * The workload is the 200-function azure-like reference trace at the
@@ -35,6 +41,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -49,6 +57,8 @@
 #include "policies/registry.h"
 #include "sim/event_queue.h"
 #include "sim/thread_pool.h"
+#include "trace/trace_image.h"
+#include "trace/trace_io.h"
 
 namespace cidre::bench {
 namespace {
@@ -319,6 +329,93 @@ measureShardedTrial(const trace::Trace &workload, std::uint32_t cells,
     return run;
 }
 
+struct TraceLoadRun
+{
+    std::uint64_t requests = 0;
+    std::uint64_t functions = 0;
+    std::uint64_t csv_bytes = 0;
+    std::uint64_t image_bytes = 0;
+    double csv_parse_ms = 0.0;
+    double csv_parse_mb_per_sec = 0.0;
+    double csv_parse_requests_per_sec = 0.0;
+    double convert_ms = 0.0; //!< CSV-equivalent trace -> .ctrb on disk
+    double image_open_ms = 0.0;
+    double image_open_mb_per_sec = 0.0;
+    double speedup_vs_csv = 0.0; //!< csv_parse_ms / image_open_ms
+};
+
+/**
+ * CSV parse vs mmap open over the same workload, best-of-N each.  The
+ * image open includes full validation (the checksum sweep touches
+ * every payload byte), so both sides deliver the same guarantee: a
+ * ready-to-replay, trusted trace.
+ */
+TraceLoadRun
+measureTraceLoad(const trace::Trace &workload, int reps)
+{
+    namespace fs = std::filesystem;
+    const std::string csv_path =
+        (fs::temp_directory_path() / "cidre_bench_trace_load.csv")
+            .string();
+    const std::string image_path =
+        (fs::temp_directory_path() / "cidre_bench_trace_load.ctrb")
+            .string();
+
+    TraceLoadRun run;
+    run.requests = workload.requestCount();
+    run.functions = workload.functionCount();
+
+    trace::writeTraceFile(workload, csv_path);
+    run.csv_bytes = fs::file_size(csv_path);
+
+    {
+        const auto started = std::chrono::steady_clock::now();
+        trace::writeTraceImageFile(workload, image_path);
+        run.convert_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+    }
+    run.image_bytes = fs::file_size(image_path);
+
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto started = std::chrono::steady_clock::now();
+        const trace::Trace parsed = trace::readTraceFile(csv_path);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        if (parsed.requestCount() != run.requests)
+            std::abort(); // defeats dead-code elimination, too
+        if (rep == 0 || wall_ms < run.csv_parse_ms)
+            run.csv_parse_ms = wall_ms;
+    }
+
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto started = std::chrono::steady_clock::now();
+        const trace::TraceImage image = trace::TraceImage::open(image_path);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        if (image.requestCount() != run.requests)
+            std::abort();
+        if (rep == 0 || wall_ms < run.image_open_ms)
+            run.image_open_ms = wall_ms;
+    }
+
+    run.csv_parse_mb_per_sec = static_cast<double>(run.csv_bytes) / 1e6 /
+        (run.csv_parse_ms / 1000.0);
+    run.csv_parse_requests_per_sec = static_cast<double>(run.requests) /
+        (run.csv_parse_ms / 1000.0);
+    run.image_open_mb_per_sec = static_cast<double>(run.image_bytes) /
+        1e6 / (run.image_open_ms / 1000.0);
+    run.speedup_vs_csv = run.csv_parse_ms / run.image_open_ms;
+
+    std::remove(csv_path.c_str());
+    std::remove(image_path.c_str());
+    return run;
+}
+
 } // namespace
 } // namespace cidre::bench
 
@@ -451,6 +548,36 @@ main(int argc, char **argv)
               << stats::formatFixed(shard_runs.back().speedup, 2)
               << "x (hardware threads: " << hw_threads << ")\n";
 
+    // Trace loading: CSV parse vs `.ctrb` mmap open.  ~1M requests at
+    // the default seed/scale; --smoke shrinks the trace, which shrinks
+    // the absolute times but not the shape of the comparison.
+    const double load_scale = (smoke ? 0.25 : 1.75) * options.scale;
+    std::cerr << "[bench] generating trace-load workload (scale "
+              << load_scale << ")...\n";
+    const trace::Trace load_workload =
+        trace::makeAzureLikeTrace(options.seed, load_scale);
+    std::cerr << "[bench] trace load: CSV parse vs mmap open ("
+              << load_workload.requestCount() << " requests)...\n";
+    const TraceLoadRun load =
+        measureTraceLoad(load_workload, smoke ? 3 : 5);
+    stats::Table load_table(
+        {"requests", "csv_mb", "ctrb_mb", "csv_parse_ms", "csv_mb_per_s",
+         "csv_req_per_s", "convert_ms", "mmap_open_ms", "speedup"});
+    load_table.addRow(
+        {std::to_string(load.requests),
+         stats::formatFixed(static_cast<double>(load.csv_bytes) / 1e6, 1),
+         stats::formatFixed(static_cast<double>(load.image_bytes) / 1e6,
+                            1),
+         stats::formatFixed(load.csv_parse_ms, 1),
+         stats::formatFixed(load.csv_parse_mb_per_sec, 0),
+         stats::formatFixed(load.csv_parse_requests_per_sec, 0),
+         stats::formatFixed(load.convert_ms, 1),
+         stats::formatFixed(load.image_open_ms, 2),
+         stats::formatFixed(load.speedup_vs_csv, 1)});
+    emit(options, "core_throughput_trace_load", load_table);
+    std::cout << "mmap open vs CSV parse: "
+              << stats::formatFixed(load.speedup_vs_csv, 1) << "x\n";
+
     // Policy scaling: how wall time grows as the trace grows.  With
     // per-decision cost independent of cluster/window size, the
     // wall-time ratio across a 4x trace-scale span stays near the event
@@ -556,8 +683,26 @@ main(int argc, char **argv)
     }
     json << "    ],\n"
          << "    \"speedup_4\": " << shard_runs.back().speedup << "\n"
-         << "  }";
+         << "  },\n";
     json.precision(1);
+    json << "  \"trace_load\": {\n"
+         << "    \"requests\": " << load.requests << ",\n"
+         << "    \"functions\": " << load.functions << ",\n"
+         << "    \"csv_bytes\": " << load.csv_bytes << ",\n"
+         << "    \"image_bytes\": " << load.image_bytes << ",\n"
+         << "    \"csv_parse_ms\": " << load.csv_parse_ms << ",\n"
+         << "    \"csv_parse_mb_per_sec\": " << load.csv_parse_mb_per_sec
+         << ",\n"
+         << "    \"csv_parse_requests_per_sec\": "
+         << load.csv_parse_requests_per_sec << ",\n"
+         << "    \"convert_ms\": " << load.convert_ms << ",\n";
+    json.precision(3);
+    json << "    \"image_open_ms\": " << load.image_open_ms << ",\n";
+    json.precision(1);
+    json << "    \"image_open_mb_per_sec\": " << load.image_open_mb_per_sec
+         << ",\n"
+         << "    \"speedup_vs_csv\": " << load.speedup_vs_csv << "\n"
+         << "  }";
     if (!smoke) {
         json << ",\n  \"policy_scaling\": [\n";
         for (std::size_t i = 0; i < scaling_rows.size(); ++i) {

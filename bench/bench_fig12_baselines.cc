@@ -41,7 +41,7 @@ runTrace(const cidre::bench::Options &options, const char *name,
         for (const int gb : cache_gbs) {
             exp::TrialSpec spec;
             spec.label = policy + "@" + std::to_string(gb) + "GB";
-            spec.workload = &workload;
+            spec.workload = trace::TraceView(workload);
             spec.policy = policy;
             spec.config = bench::defaultConfig(gb);
             spec.base_seed = options.seed;

@@ -56,7 +56,7 @@ main(int argc, char **argv)
         for (const std::string &policy : policies) {
             exp::TrialSpec spec;
             spec.label = policy + "@x" + stats::formatFixed(loads[i], 2);
-            spec.workload = &workloads[i];
+            spec.workload = trace::TraceView(workloads[i]);
             spec.policy = policy;
             spec.config = config;
             spec.base_seed = options.seed;

@@ -36,7 +36,7 @@ main(int argc, char **argv)
             exp::TrialSpec spec;
             spec.label =
                 std::string(policy) + "@" + std::to_string(threads) + "t";
-            spec.workload = &workload;
+            spec.workload = trace::TraceView(workload);
             spec.policy = policy;
             spec.config = bench::defaultConfig(100);
             spec.config.container_threads = threads;

@@ -110,7 +110,7 @@ defaultConfig(std::int64_t cache_gb, std::uint32_t workers)
 }
 
 core::RunMetrics
-runPolicy(const trace::Trace &workload, const std::string &policy,
+runPolicy(trace::TraceView workload, const std::string &policy,
           const core::EngineConfig &config, bool record_per_request)
 {
     core::EngineConfig run_config = config;

@@ -54,7 +54,7 @@ core::EngineConfig defaultConfig(std::int64_t cache_gb = 100,
                                  std::uint32_t workers = 3);
 
 /** Run one registry policy over a workload and return its metrics. */
-core::RunMetrics runPolicy(const trace::Trace &workload,
+core::RunMetrics runPolicy(trace::TraceView workload,
                            const std::string &policy,
                            const core::EngineConfig &config,
                            bool record_per_request = false);

@@ -8,29 +8,31 @@
 namespace cidre::analysis {
 
 stats::Cdf
-coldExecRatioCdf(const trace::Trace &trace, double ms_per_mb)
+coldExecRatioCdf(trace::TraceView trace, double ms_per_mb)
 {
     stats::Cdf cdf;
-    for (const auto &req : trace.requests()) {
-        if (req.exec_us <= 0)
+    for (std::uint64_t i = 0; i < trace.requestCount(); ++i) {
+        const auto exec_us = trace.execUs(i);
+        if (exec_us <= 0)
             continue;
-        const auto &fn = trace.functionOf(req);
+        const auto &fn = trace.function(trace.requestFunction(i));
         const double cold_us = ms_per_mb > 0.0
             ? static_cast<double>(fn.memory_mb) * ms_per_mb * 1e3
             : static_cast<double>(fn.cold_start_us);
-        cdf.add(cold_us / static_cast<double>(req.exec_us));
+        cdf.add(cold_us / static_cast<double>(exec_us));
     }
     return cdf;
 }
 
 stats::Cdf
-concurrencyPerMinuteCdf(const trace::Trace &trace)
+concurrencyPerMinuteCdf(trace::TraceView trace)
 {
     // counts[function][minute] over observed (function, minute) pairs.
     std::vector<std::unordered_map<std::int64_t, std::uint64_t>> counts(
         trace.functionCount());
-    for (const auto &req : trace.requests())
-        ++counts[req.function][req.arrival_us / sim::minutes(1)];
+    for (std::uint64_t i = 0; i < trace.requestCount(); ++i)
+        ++counts[trace.requestFunction(i)]
+                [trace.arrivalUs(i) / sim::minutes(1)];
 
     stats::Cdf cdf;
     for (const auto &per_function : counts)
@@ -40,11 +42,12 @@ concurrencyPerMinuteCdf(const trace::Trace &trace)
 }
 
 stats::Cdf
-execTimeCvCdf(const trace::Trace &trace)
+execTimeCvCdf(trace::TraceView trace)
 {
     std::vector<stats::OnlineSummary> summaries(trace.functionCount());
-    for (const auto &req : trace.requests())
-        summaries[req.function].add(static_cast<double>(req.exec_us));
+    for (std::uint64_t i = 0; i < trace.requestCount(); ++i)
+        summaries[trace.requestFunction(i)].add(
+            static_cast<double>(trace.execUs(i)));
 
     stats::Cdf cdf;
     for (const auto &summary : summaries) {

@@ -7,7 +7,7 @@
 #define CIDRE_ANALYSIS_CONCURRENCY_H
 
 #include "stats/cdf.h"
-#include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace cidre::analysis {
 
@@ -17,7 +17,7 @@ namespace cidre::analysis {
  * the Azure estimation rule (memory × factor); pass 0 to use the
  * profiles' own cold-start latencies (the FC curve).
  */
-stats::Cdf coldExecRatioCdf(const trace::Trace &trace,
+stats::Cdf coldExecRatioCdf(trace::TraceView trace,
                             double ms_per_mb = 0.0);
 
 /**
@@ -25,10 +25,10 @@ stats::Cdf coldExecRatioCdf(const trace::Trace &trace,
  * request count within one minute (minutes with zero requests for a
  * function contribute nothing).
  */
-stats::Cdf concurrencyPerMinuteCdf(const trace::Trace &trace);
+stats::Cdf concurrencyPerMinuteCdf(trace::TraceView trace);
 
 /** Coefficient-of-variation of execution time per function (§2.6). */
-stats::Cdf execTimeCvCdf(const trace::Trace &trace);
+stats::Cdf execTimeCvCdf(trace::TraceView trace);
 
 } // namespace cidre::analysis
 

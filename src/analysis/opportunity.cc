@@ -7,26 +7,27 @@
 namespace cidre::analysis {
 
 stats::Cdf
-opportunityCdf(const trace::Trace &trace, double cold_scale,
+opportunityCdf(trace::TraceView trace, double cold_scale,
                double exec_scale)
 {
     // Per function: completion times t_a' + exec_scale * t_e', sorted.
     std::vector<std::vector<double>> completions(trace.functionCount());
-    for (const auto &req : trace.requests()) {
-        completions[req.function].push_back(
-            static_cast<double>(req.arrival_us) +
-            exec_scale * static_cast<double>(req.exec_us));
+    for (std::uint64_t i = 0; i < trace.requestCount(); ++i) {
+        completions[trace.requestFunction(i)].push_back(
+            static_cast<double>(trace.arrivalUs(i)) +
+            exec_scale * static_cast<double>(trace.execUs(i)));
     }
     for (auto &list : completions)
         std::sort(list.begin(), list.end());
 
     stats::Cdf cdf;
-    for (const auto &req : trace.requests()) {
-        const auto &fn = trace.functionOf(req);
-        const double t_a = static_cast<double>(req.arrival_us);
+    for (std::uint64_t i = 0; i < trace.requestCount(); ++i) {
+        const auto function = trace.requestFunction(i);
+        const auto &fn = trace.function(function);
+        const double t_a = static_cast<double>(trace.arrivalUs(i));
         const double t_c =
             cold_scale * static_cast<double>(fn.cold_start_us);
-        const auto &list = completions[req.function];
+        const auto &list = completions[function];
 
         const auto lo = std::lower_bound(list.begin(), list.end(), t_a);
         const auto hi = std::upper_bound(lo, list.end(), t_a + t_c);
@@ -34,7 +35,7 @@ opportunityCdf(const trace::Trace &trace, double cold_scale,
 
         // Exclude the request's own completion if it falls in the window.
         const double own =
-            t_a + exec_scale * static_cast<double>(req.exec_us);
+            t_a + exec_scale * static_cast<double>(trace.execUs(i));
         if (own >= t_a && own <= t_a + t_c && count > 0)
             --count;
 

@@ -14,7 +14,7 @@
 #define CIDRE_ANALYSIS_OPPORTUNITY_H
 
 #include "stats/cdf.h"
-#include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace cidre::analysis {
 
@@ -27,7 +27,7 @@ namespace cidre::analysis {
  *        (Fig. 10 sweeps 1.0×, 1.5×, 2.0× — and, per Observation 3,
  *        should leave the distribution unchanged).
  */
-stats::Cdf opportunityCdf(const trace::Trace &trace, double cold_scale = 1.0,
+stats::Cdf opportunityCdf(trace::TraceView trace, double cold_scale = 1.0,
                           double exec_scale = 1.0);
 
 } // namespace cidre::analysis

@@ -10,7 +10,7 @@
 namespace cidre::analysis {
 
 TradeoffResult
-analyzeTradeoff(const trace::Trace &trace, core::EngineConfig config)
+analyzeTradeoff(trace::TraceView trace, core::EngineConfig config)
 {
     // Replay under vanilla FaasCache and, for every request that cold
     // started while busy warm containers existed, compare the cold-start
@@ -37,7 +37,7 @@ analyzeTradeoff(const trace::Trace &trace, core::EngineConfig config)
             outcome.counterfactual_queue_us < 0) {
             continue;
         }
-        const auto &fn = trace.functionOf(trace.requests()[i]);
+        const auto &fn = trace.function(trace.requestFunction(i));
         result.queuing_ms.add(sim::toMs(outcome.counterfactual_queue_us));
         result.cold_start_ms.add(sim::toMs(fn.cold_start_us));
         ++considered;

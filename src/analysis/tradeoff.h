@@ -21,7 +21,7 @@
 
 #include "core/config.h"
 #include "stats/cdf.h"
-#include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace cidre::analysis {
 
@@ -45,7 +45,7 @@ struct TradeoffResult
  * Run the modified-FaasCache replay and collect the tradeoff CDFs.
  * @param config engine configuration (cache size, workers, ...).
  */
-TradeoffResult analyzeTradeoff(const trace::Trace &trace,
+TradeoffResult analyzeTradeoff(trace::TraceView trace,
                                core::EngineConfig config);
 
 } // namespace cidre::analysis

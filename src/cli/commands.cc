@@ -1,7 +1,9 @@
 #include "cli/commands.h"
 
 #include <iostream>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "analysis/concurrency.h"
 #include "analysis/opportunity.h"
@@ -15,16 +17,18 @@
 #include "sim/rng.h"
 #include "stats/table.h"
 #include "trace/generators.h"
+#include "trace/trace_image.h"
 #include "trace/trace_io.h"
+#include "trace/trace_view.h"
 #include "trace/transforms.h"
 
 namespace cidre::cli {
 
 namespace {
 
-/** Shared workload options: either --trace <csv> or --kind azure|fc. */
+/** Shared workload options: either --trace <file> or --kind azure|fc. */
 const std::vector<OptionSpec> kWorkloadSpecs = {
-    {"trace", "file.csv", "load a trace from CSV", ""},
+    {"trace", "file", "load a trace (CSV or .ctrb image, by content)", ""},
     {"kind", "azure|fc", "synthesize a workload instead", "azure"},
     {"scale", "f", "synthetic volume multiplier", "1.0"},
     {"seed", "n", "synthetic trace seed", "42"},
@@ -45,34 +49,62 @@ baseSeed(const Options &options)
     return static_cast<std::uint64_t>(options.getInt("seed", 42));
 }
 
-/** Load the workload, synthesizing from @p seed when not a CSV trace. */
-trace::Trace
+/**
+ * A loaded workload: either an owned in-memory trace or a shared mmapped
+ * trace image.  view() is computed on demand so the holder stays safe to
+ * move/copy (a cached view would dangle once the Trace relocates).
+ */
+struct Workload
+{
+    trace::Trace trace;
+    std::shared_ptr<const trace::TraceImage> image;
+
+    trace::TraceView view() const
+    {
+        return image ? image->view() : trace::TraceView(trace);
+    }
+};
+
+/** Load the workload, synthesizing from @p seed when not a trace file. */
+Workload
 loadWorkloadWithSeed(const Options &options, std::uint64_t seed)
 {
-    trace::Trace workload;
+    Workload workload;
     if (options.has("trace")) {
-        workload = trace::readTraceFile(options.getString("trace"));
+        const std::string path = options.getString("trace");
+        if (trace::isTraceImageFile(path)) {
+            workload.image = std::make_shared<const trace::TraceImage>(
+                trace::TraceImage::open(path));
+        } else {
+            workload.trace = trace::readTraceFile(path);
+        }
     } else {
         const std::string kind = options.getString("kind", "azure");
         const double scale = options.getDouble("scale", 1.0);
         if (kind == "azure") {
-            workload = trace::makeAzureLikeTrace(seed, scale);
+            workload.trace = trace::makeAzureLikeTrace(seed, scale);
         } else if (kind == "fc") {
-            workload = trace::makeFcLikeTrace(seed, scale);
+            workload.trace = trace::makeFcLikeTrace(seed, scale);
         } else {
             throw std::invalid_argument("--kind must be azure or fc");
         }
     }
+    // Transforms materialize an in-memory trace, so an image-backed
+    // workload loses its zero-copy backing only when actually reshaped.
     const double iat = options.getDouble("iat", 1.0);
-    if (iat != 1.0)
-        workload = trace::scaleIat(workload, iat);
+    if (iat != 1.0) {
+        workload.trace = trace::scaleIat(workload.view(), iat);
+        workload.image.reset();
+    }
     const double exec_scale = options.getDouble("exec-scale", 1.0);
-    if (exec_scale != 1.0)
-        workload = trace::scaleExec(workload, exec_scale);
+    if (exec_scale != 1.0) {
+        workload.trace = trace::scaleExec(workload.view(), exec_scale);
+        workload.image.reset();
+    }
     return workload;
 }
 
-trace::Trace
+Workload
 loadWorkload(const Options &options)
 {
     return loadWorkloadWithSeed(options, baseSeed(options));
@@ -104,19 +136,24 @@ runnerOptions(const Options &options, std::ostream &err)
 }
 
 /**
- * The workloads of an n-trial sweep.  A CSV trace is one shared
- * workload (trials then only vary the engine seed); synthetic trials
- * replay per-trial traces generated from seed substreams — trial i is
- * the workload of substreamSeed(base_seed, i), generated in parallel
- * but fully determined by (base_seed, i).
+ * The workloads of an n-trial sweep.  A trace file is one shared
+ * workload — a `.ctrb` image is mmapped once and its read-only pages
+ * are shared by every trial across all --jobs × --shards workers —
+ * and trials then only vary the engine seed.  Synthetic trials replay
+ * per-trial traces generated from seed substreams — trial i is the
+ * workload of substreamSeed(base_seed, i), generated in parallel but
+ * fully determined by (base_seed, i).
  */
-std::vector<trace::Trace>
+std::vector<Workload>
 loadTrialWorkloads(const Options &options, std::uint64_t trials,
                    unsigned jobs)
 {
-    if (options.has("trace") || trials <= 1)
-        return {loadWorkload(options)};
-    std::vector<trace::Trace> workloads(trials);
+    if (options.has("trace") || trials <= 1) {
+        std::vector<Workload> workloads;
+        workloads.push_back(loadWorkload(options));
+        return workloads;
+    }
+    std::vector<Workload> workloads(trials);
     const std::uint64_t base = baseSeed(options);
     exp::parallelFor(jobs, trials, [&](std::size_t i) {
         workloads[i] = loadWorkloadWithSeed(
@@ -205,7 +242,7 @@ generateSpecs()
 {
     static const std::vector<OptionSpec> specs = [] {
         std::vector<OptionSpec> s = {
-            {"out", "file.csv", "output path (required)", ""},
+            {"out", "file", "output path, .csv or .ctrb (required)", ""},
         };
         appendWorkloadSpecs(s);
         return s;
@@ -218,14 +255,60 @@ runGenerate(const Options &options, std::ostream &out, std::ostream &)
 {
     const std::string path = options.getString("out");
     if (path.empty())
-        throw std::invalid_argument("generate requires --out <file.csv>");
-    const trace::Trace workload = loadWorkload(options);
-    trace::writeTraceFile(workload, path);
-    const trace::TraceStats stats = workload.computeStats();
+        throw std::invalid_argument(
+            "generate requires --out <file.csv|file.ctrb>");
+    const Workload workload = loadWorkload(options);
+    if (path.ends_with(".ctrb"))
+        trace::writeTraceImageFile(workload.view(), path);
+    else
+        trace::writeTraceFile(workload.view(), path);
+    const trace::TraceStats stats = workload.view().computeStats();
     out << "wrote " << stats.request_count << " requests ("
         << stats.function_count << " functions, "
         << stats::formatFixed(stats.rps_avg, 1) << " rps avg) to " << path
         << "\n";
+    return 0;
+}
+
+const std::vector<OptionSpec> &
+convertSpecs()
+{
+    static const std::vector<OptionSpec> specs = {};
+    return specs;
+}
+
+int
+runConvert(const Options &options, std::ostream &out, std::ostream &)
+{
+    const std::vector<std::string> &paths = options.positionals();
+    if (paths.size() != 2) {
+        throw std::invalid_argument(
+            "convert needs exactly two paths: <input> <output>");
+    }
+    const std::string &in_path = paths[0];
+    const std::string &out_path = paths[1];
+    std::uint64_t requests = 0;
+    std::uint64_t functions = 0;
+    const char *direction = nullptr;
+    if (trace::isTraceImageFile(in_path)) {
+        // Binary -> CSV (debugging / interchange).
+        const trace::TraceImage image = trace::TraceImage::open(in_path);
+        trace::writeTraceFile(image.view(), out_path);
+        requests = image.requestCount();
+        functions = image.functionCount();
+        direction = "ctrb -> csv";
+    } else {
+        // CSV -> binary: all seal()-time work (sorting, the per-function
+        // arrival index) is paid here, once; replays then mmap the image.
+        const trace::Trace parsed = trace::readTraceFile(in_path);
+        trace::writeTraceImageFile(parsed, out_path);
+        requests = parsed.requests().size();
+        functions = parsed.functions().size();
+        direction = "csv -> ctrb";
+    }
+    out << "converted " << in_path << " (" << direction << "): "
+        << requests << " requests, " << functions << " functions -> "
+        << out_path << "\n";
     return 0;
 }
 
@@ -270,12 +353,12 @@ runSimulate(const Options &options, std::ostream &out, std::ostream &err)
     const exp::RunnerOptions runner_options = runnerOptions(options, err);
 
     core::RunMetrics metrics;
-    trace::Trace single_workload;
+    Workload single_workload;
     if (trials == 1) {
         single_workload = loadWorkload(options);
         if (config.shard_cells > 1) {
             core::ShardedEngine engine(
-                single_workload, config,
+                single_workload.view(), config,
                 [&policy](const core::EngineConfig &cell_config) {
                     return policies::makePolicy(policy, cell_config);
                 });
@@ -287,7 +370,7 @@ runSimulate(const Options &options, std::ostream &out, std::ostream &err)
                 metrics = engine.run();
             }
         } else {
-            core::Engine engine(single_workload, config,
+            core::Engine engine(single_workload.view(), config,
                                 policies::makePolicy(policy, config));
             metrics = engine.run();
         }
@@ -297,13 +380,14 @@ runSimulate(const Options &options, std::ostream &out, std::ostream &err)
                 "run: --top-functions/--timeline need --trials 1 (the"
                 " per-request log and timeline are per-trial views)");
         }
-        const std::vector<trace::Trace> workloads =
+        const std::vector<Workload> workloads =
             loadTrialWorkloads(options, trials, runner_options.jobs);
         std::vector<exp::TrialSpec> specs(trials);
         for (std::uint64_t i = 0; i < trials; ++i) {
             exp::TrialSpec &spec = specs[i];
             spec.label = policy + "/t" + std::to_string(i);
-            spec.workload = &workloads[workloads.size() == 1 ? 0 : i];
+            spec.workload =
+                workloads[workloads.size() == 1 ? 0 : i].view();
             spec.policy = policy;
             spec.config = config;
             spec.base_seed = baseSeed(options);
@@ -339,8 +423,8 @@ runSimulate(const Options &options, std::ostream &out, std::ostream &err)
     if (top > 0) {
         stats::Table table({"function", "requests", "cold", "delayed",
                             "total wait s", "avg wait ms"});
-        for (const auto &fb :
-             core::perFunctionBreakdown(single_workload, metrics, top)) {
+        for (const auto &fb : core::perFunctionBreakdown(
+                 single_workload.view(), metrics, top)) {
             table.addRow({fb.name, std::to_string(fb.requests),
                           std::to_string(fb.cold),
                           std::to_string(fb.delayed),
@@ -387,7 +471,7 @@ runCompare(const Options &options, std::ostream &out, std::ostream &err)
     // all across the worker pool and reduce per policy in trial order,
     // so the table is byte-identical for any --jobs value.
     const exp::RunnerOptions runner_options = runnerOptions(options, err);
-    const std::vector<trace::Trace> workloads =
+    const std::vector<Workload> workloads =
         loadTrialWorkloads(options, trials, runner_options.jobs);
     std::vector<exp::TrialSpec> specs;
     specs.reserve(names.size() * trials);
@@ -395,7 +479,8 @@ runCompare(const Options &options, std::ostream &out, std::ostream &err)
         for (std::uint64_t i = 0; i < trials; ++i) {
             exp::TrialSpec spec;
             spec.label = name + "/t" + std::to_string(i);
-            spec.workload = &workloads[workloads.size() == 1 ? 0 : i];
+            spec.workload =
+                workloads[workloads.size() == 1 ? 0 : i].view();
             spec.policy = name;
             spec.config = config;
             spec.base_seed = baseSeed(options);
@@ -441,7 +526,8 @@ analyzeSpecs()
 int
 runAnalyze(const Options &options, std::ostream &out, std::ostream &)
 {
-    const trace::Trace workload = loadWorkload(options);
+    const Workload holder = loadWorkload(options);
+    const trace::TraceView workload = holder.view();
     const trace::TraceStats stats = workload.computeStats();
     out << "requests: " << stats.request_count
         << "  functions: " << stats.function_count
@@ -484,7 +570,7 @@ dispatch(int argc, const char *const *argv, std::ostream &out,
          std::ostream &err)
 {
     const auto usage = [&]() {
-        err << "usage: cidre_sim <generate|run|compare|analyze>"
+        err << "usage: cidre_sim <generate|run|compare|analyze|convert>"
                " [options]\n"
                "run `cidre_sim <command> --help` for command options\n";
         return 2;
@@ -508,6 +594,8 @@ dispatch(int argc, const char *const *argv, std::ostream &out,
         {"compare", "--policies a,b,c [options]", &compareSpecs,
          &runCompare},
         {"analyze", "[options]", &analyzeSpecs, &runAnalyze},
+        {"convert", "<input> <output> (CSV <-> .ctrb, by content)",
+         &convertSpecs, &runConvert},
     };
     for (const Entry &entry : entries) {
         if (command != entry.name)

@@ -3,10 +3,12 @@
  * The cidre_sim tool's subcommands, implemented as library functions so
  * they are unit-testable; tools/cidre_sim.cc is a thin dispatcher.
  *
- *   generate — synthesize a workload trace and write it as CSV;
+ *   generate — synthesize a workload trace (CSV or .ctrb image);
  *   run      — simulate one policy over a trace and report metrics;
  *   compare  — race several policies over the same trace;
- *   analyze  — workload characterization (the §2 analyses).
+ *   analyze  — workload characterization (the §2 analyses);
+ *   convert  — translate a trace between CSV and the .ctrb binary
+ *              columnar image (mmap-loadable, zero-copy replay).
  */
 
 #ifndef CIDRE_CLI_COMMANDS_H
@@ -33,12 +35,15 @@ int runCompare(const Options &options, std::ostream &out,
                std::ostream &err);
 int runAnalyze(const Options &options, std::ostream &out,
                std::ostream &err);
+int runConvert(const Options &options, std::ostream &out,
+               std::ostream &err);
 
 /** Options accepted by each subcommand (for usage text and parsing). */
 const std::vector<OptionSpec> &generateSpecs();
 const std::vector<OptionSpec> &simulateSpecs();
 const std::vector<OptionSpec> &compareSpecs();
 const std::vector<OptionSpec> &analyzeSpecs();
+const std::vector<OptionSpec> &convertSpecs();
 
 /**
  * Dispatch `cidre_sim <command> [options]`.

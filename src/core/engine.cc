@@ -101,7 +101,7 @@ Engine::buildPlacementOrder(std::vector<cluster::WorkerId> &order,
     }
 }
 
-Engine::Engine(const trace::Trace &workload, EngineConfig config,
+Engine::Engine(trace::TraceView workload, EngineConfig config,
                OrchestrationPolicy policy)
     : trace_(workload),
       config_(std::move(config)),
@@ -115,8 +115,8 @@ Engine::Engine(const trace::Trace &workload, EngineConfig config,
             "Engine: shard_cells > 1 requires ShardedEngine (the plain "
             "engine would simulate the monolithic, unpartitioned cluster)");
     }
-    if (!trace_.sealed())
-        throw std::invalid_argument("Engine: trace must be sealed");
+    if (!trace_.valid())
+        throw std::invalid_argument("Engine: unbound workload view");
     if (!policy_.scaling || !policy_.keep_alive)
         throw std::invalid_argument("Engine: policy bundle incomplete");
 
@@ -195,7 +195,7 @@ Engine::scheduleNextArrival()
     if (arrival_cursor_ >= trace_.requestCount())
         return;
     const std::uint64_t index = arrival_cursor_++;
-    queue_.schedule(trace_.requests()[index].arrival_us,
+    queue_.schedule(trace_.arrivalUs(index),
                     [this, index](sim::SimTime) { handleArrival(index); });
 }
 
@@ -221,7 +221,7 @@ Engine::hasPendingWork() const
 void
 Engine::handleArrival(std::uint64_t request_index)
 {
-    const trace::Request &req = trace_.requests()[request_index];
+    const trace::Request req = trace_.request(request_index);
     FunctionState &fs = states_[req.function];
     fs.noteArrival(now());
     ++outstanding_requests_;
@@ -305,7 +305,7 @@ void
 Engine::dispatch(cluster::Container &c, std::uint64_t request_index,
                  StartType type)
 {
-    const trace::Request &req = trace_.requests()[request_index];
+    const trace::Request req = trace_.request(request_index);
     assert(c.live());
     assert(c.function == req.function);
     assert(c.active < c.threads);
@@ -438,7 +438,7 @@ Engine::handleExecutionComplete(cluster::ContainerId id,
     cluster::Container &c = cluster_.container(id);
     assert(c.busy());
     FunctionState &fs = states_[c.function];
-    const trace::Request &req = trace_.requests()[request_index];
+    const trace::Request req = trace_.request(request_index);
 
     --c.active;
     if (c.active == 0) {
@@ -480,7 +480,7 @@ Engine::evaluateChannelHead(FunctionState &fs)
         return;
     fs.last_head_evaluated = head;
 
-    const trace::Request &req = trace_.requests()[head];
+    const trace::Request req = trace_.request(head);
     const ScalingChoice choice =
         policy_.scaling->onNoFreeContainer(*this, req);
     const bool wants_provision =
@@ -530,7 +530,7 @@ Engine::provision(trace::FunctionId function,
 bool
 Engine::tryStartProvision(const DeferredProvision &req)
 {
-    const trace::FunctionProfile &profile = trace_.functions()[req.function];
+    const trace::FunctionProfile &profile = trace_.function(req.function);
     const std::int64_t need = profile.memory_mb;
 
     ScratchLease<cluster::WorkerId> lease(placement_scratch_);
@@ -725,7 +725,7 @@ Engine::startRestore(cluster::Container &c, std::uint64_t request_index)
     c.restoring = true;
     fs.noteProvisioning(true);
 
-    const trace::FunctionProfile &profile = trace_.functions()[c.function];
+    const trace::FunctionProfile &profile = trace_.function(c.function);
     const sim::SimTime cost = std::max<sim::SimTime>(
         static_cast<sim::SimTime>(
             static_cast<double>(profile.cold_start_us) *
@@ -850,7 +850,7 @@ Engine::estimateExecTime(trace::FunctionId id) const
         return memo.value;
     sim::SimTime value;
     if (window.empty()) {
-        value = trace_.functions()[id].median_exec_us;
+        value = trace_.function(id).median_exec_us;
     } else {
         value = static_cast<sim::SimTime>(
             config_.te_percentile < 0.0
@@ -871,7 +871,7 @@ Engine::estimateColdTime(trace::FunctionId id) const
     if (memo.epoch == window.changeEpoch())
         return memo.value;
     const sim::SimTime value = window.empty()
-        ? trace_.functions()[id].cold_start_us
+        ? trace_.function(id).cold_start_us
         : static_cast<sim::SimTime>(window.median());
     memo.value = value;
     memo.epoch = window.changeEpoch();
@@ -881,7 +881,7 @@ Engine::estimateColdTime(trace::FunctionId id) const
 sim::SimTime
 Engine::nextArrivalAfter(trace::FunctionId id, sim::SimTime t) const
 {
-    const auto &arrivals = trace_.arrivalsByFunction().at(id);
+    const auto arrivals = trace_.arrivalsOf(id);
     const auto it = std::upper_bound(arrivals.begin(), arrivals.end(), t);
     return it == arrivals.end() ? sim::kTimeInfinity : *it;
 }

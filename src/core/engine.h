@@ -35,7 +35,7 @@
 #include "core/policy.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
-#include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace cidre::core {
 
@@ -44,10 +44,11 @@ class Engine
 {
   public:
     /**
-     * @param workload a sealed trace (kept by reference: must outlive
-     *                 the engine).
+     * @param workload a view of a sealed trace (borrowed: the backing
+     *                 Trace or TraceImage must outlive the engine).
+     *                 Accepts a Trace lvalue via implicit conversion.
      */
-    Engine(const trace::Trace &workload, EngineConfig config,
+    Engine(trace::TraceView workload, EngineConfig config,
            OrchestrationPolicy policy);
 
     Engine(const Engine &) = delete;
@@ -89,7 +90,7 @@ class Engine
 
     sim::SimTime now() const { return queue_.now(); }
     const EngineConfig &config() const { return config_; }
-    const trace::Trace &workload() const { return trace_; }
+    const trace::TraceView &workload() const { return trace_; }
     cluster::Cluster &clusterRef() { return cluster_; }
     const cluster::Cluster &clusterRef() const { return cluster_; }
     RunMetrics &metrics() { return metrics_; }
@@ -242,7 +243,7 @@ class Engine
     void reportSpeculativeOutcome(FunctionState &fs, cluster::Container &c,
                                   bool reused);
 
-    const trace::Trace &trace_;
+    trace::TraceView trace_;
     EngineConfig config_;
     OrchestrationPolicy policy_;
     cluster::Cluster cluster_;

@@ -114,7 +114,7 @@ writeMetricsJsonFile(const RunMetrics &metrics, const std::string &path)
 }
 
 std::vector<FunctionBreakdown>
-perFunctionBreakdown(const trace::Trace &workload,
+perFunctionBreakdown(trace::TraceView workload,
                      const RunMetrics &metrics, std::size_t top)
 {
     if (metrics.outcomes.size() != workload.requestCount()) {
@@ -123,10 +123,10 @@ perFunctionBreakdown(const trace::Trace &workload,
     }
     std::vector<FunctionBreakdown> all(workload.functionCount());
     for (std::size_t i = 0; i < metrics.outcomes.size(); ++i) {
-        const trace::Request &req = workload.requests()[i];
+        const trace::FunctionId function = workload.requestFunction(i);
         const RequestOutcome &outcome = metrics.outcomes[i];
-        FunctionBreakdown &fb = all[req.function];
-        fb.function = req.function;
+        FunctionBreakdown &fb = all[function];
+        fb.function = function;
         ++fb.requests;
         fb.cold += outcome.type == StartType::Cold;
         fb.delayed += outcome.type == StartType::DelayedWarm;
@@ -134,7 +134,7 @@ perFunctionBreakdown(const trace::Trace &workload,
     }
     for (auto &fb : all) {
         if (fb.function != trace::kInvalidFunction) {
-            fb.name = workload.functions()[fb.function].name;
+            fb.name = workload.function(fb.function).name;
             fb.avg_wait_ms = fb.requests
                 ? fb.total_wait_ms / static_cast<double>(fb.requests)
                 : 0.0;

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/metrics.h"
-#include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace cidre::core {
 
@@ -47,7 +47,7 @@ struct FunctionBreakdown
  * @p top entries.
  */
 std::vector<FunctionBreakdown> perFunctionBreakdown(
-    const trace::Trace &workload, const RunMetrics &metrics,
+    trace::TraceView workload, const RunMetrics &metrics,
     std::size_t top = 10);
 
 } // namespace cidre::core

@@ -26,10 +26,10 @@ fullClusterCapacities(const cluster::ClusterConfig &cfg)
 } // namespace
 
 ShardPlan
-buildShardPlan(const trace::Trace &workload, const EngineConfig &config)
+buildShardPlan(trace::TraceView workload, const EngineConfig &config)
 {
-    if (!workload.sealed())
-        throw std::invalid_argument("buildShardPlan: trace must be sealed");
+    if (!workload.valid())
+        throw std::invalid_argument("buildShardPlan: unbound workload view");
     config.validate();
 
     const auto cells = config.shard_cells;
@@ -99,7 +99,7 @@ buildShardPlan(const trace::Trace &workload, const EngineConfig &config)
     return plan;
 }
 
-ShardedEngine::ShardedEngine(const trace::Trace &workload,
+ShardedEngine::ShardedEngine(trace::TraceView workload,
                              EngineConfig config,
                              PolicyFactory policy_factory)
     : trace_(workload), config_(std::move(config))
@@ -108,14 +108,18 @@ ShardedEngine::ShardedEngine(const trace::Trace &workload,
         throw std::invalid_argument("ShardedEngine: null policy factory");
     plan_ = buildShardPlan(trace_, config_);
 
+    // Sized exactly once: sub-traces (and the views the engines borrow
+    // over them) live inside the cells, so the vector must never
+    // reallocate after this point.
     cells_.resize(plan_.cells.size());
 
     if (plan_.cells.size() == 1) {
-        // Pass-through: the original trace, the original seed, the
-        // original cluster — byte-identical to the plain Engine.
+        // Pass-through: the original workload view, the original seed,
+        // the original cluster — byte-identical to the plain Engine,
+        // and zero-copy (the cell borrows the same backing pages).
         auto cell_config = config_;
         cell_config.shard_cells = 1;
-        cells_[0].workload = &trace_;
+        cells_[0].workload = trace_;
         cells_[0].engine = std::make_unique<Engine>(
             trace_, cell_config, policy_factory(cell_config));
         return;
@@ -128,21 +132,22 @@ ShardedEngine::ShardedEngine(const trace::Trace &workload,
     std::vector<trace::FunctionId> local_id(trace_.functionCount(), 0);
     for (std::size_t k = 0; k < plan_.cells.size(); ++k) {
         auto &cell = cells_[k];
-        cell.workload = &cell.sub_trace;
         cell.orig_request.reserve(plan_.cells[k].request_weight);
         for (const auto fn : plan_.cells[k].functions)
-            local_id[fn] = cell.sub_trace.addFunction(trace_.functions()[fn]);
+            local_id[fn] = cell.sub_trace.addFunction(trace_.function(fn));
     }
-    for (const auto &req : trace_.requests()) {
-        const auto k = plan_.cell_of_function[req.function];
-        cells_[k].sub_trace.addRequest(local_id[req.function],
-                                       req.arrival_us, req.exec_us);
-        cells_[k].orig_request.push_back(req.id);
+    for (std::uint64_t i = 0; i < trace_.requestCount(); ++i) {
+        const auto fn = trace_.requestFunction(i);
+        const auto k = plan_.cell_of_function[fn];
+        cells_[k].sub_trace.addRequest(local_id[fn], trace_.arrivalUs(i),
+                                       trace_.execUs(i));
+        cells_[k].orig_request.push_back(i);
     }
 
     for (std::size_t k = 0; k < cells_.size(); ++k) {
         auto &cell = cells_[k];
         cell.sub_trace.seal();
+        cell.workload = trace::TraceView(cell.sub_trace);
 
         auto cell_config = config_;
         cell_config.shard_cells = 1;
@@ -152,7 +157,7 @@ ShardedEngine::ShardedEngine(const trace::Trace &workload,
         cell_config.seed = sim::substreamSeed(config_.seed,
                                               static_cast<std::uint64_t>(k));
         cell.engine = std::make_unique<Engine>(
-            cell.sub_trace, cell_config, policy_factory(cell_config));
+            cell.workload, cell_config, policy_factory(cell_config));
     }
 }
 

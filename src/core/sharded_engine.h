@@ -52,7 +52,7 @@
 #include "core/metrics.h"
 #include "core/policy.h"
 #include "sim/thread_pool.h"
-#include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace cidre::core {
 
@@ -88,7 +88,7 @@ struct ShardPlan
  * (ties to the lower function id, then the lower cell index).  Pure
  * function of (trace, config) — never of thread count.
  */
-ShardPlan buildShardPlan(const trace::Trace &workload,
+ShardPlan buildShardPlan(trace::TraceView workload,
                          const EngineConfig &config);
 
 /** Runs one (possibly partitioned) trial; see the file comment. */
@@ -105,11 +105,12 @@ class ShardedEngine
         std::function<OrchestrationPolicy(const EngineConfig &)>;
 
     /**
-     * @param workload sealed trace (kept by reference; must outlive
-     *        the engine).  config.shard_cells selects the partition;
-     *        with 1 the original trace object is used unpartitioned.
+     * @param workload view of a sealed trace (borrowed; the backing
+     *        store must outlive the engine).  config.shard_cells
+     *        selects the partition; with 1 the original backing data
+     *        is used unpartitioned (zero-copy pass-through).
      */
-    ShardedEngine(const trace::Trace &workload, EngineConfig config,
+    ShardedEngine(trace::TraceView workload, EngineConfig config,
                   PolicyFactory policy_factory);
 
     ShardedEngine(const ShardedEngine &) = delete;
@@ -166,8 +167,8 @@ class ShardedEngine
     {
         /** Owned sub-trace; unused in the shard_cells == 1 pass-through. */
         trace::Trace sub_trace;
-        /** &sub_trace, or the original trace when cells == 1. */
-        const trace::Trace *workload = nullptr;
+        /** View of sub_trace, or of the original workload (cells == 1). */
+        trace::TraceView workload;
         /**
          * Sub-trace request index -> original trace request index
          * (empty in the pass-through, where they coincide).
@@ -176,7 +177,7 @@ class ShardedEngine
         std::unique_ptr<Engine> engine;
     };
 
-    const trace::Trace &trace_;
+    trace::TraceView trace_;
     EngineConfig config_;
     ShardPlan plan_;
     std::vector<CellRuntime> cells_;

@@ -70,7 +70,7 @@ ExperimentRunner::run(const std::vector<TrialSpec> &specs)
     outer_pool_->parallelFor(
         specs.size(), [&](std::size_t i, unsigned slot) {
             const TrialSpec &spec = specs[i];
-            if (spec.workload == nullptr) {
+            if (!spec.workload.valid()) {
                 throw std::invalid_argument(
                     "ExperimentRunner: spec " + std::to_string(i) + " (" +
                     spec.label + ") has no workload");
@@ -87,7 +87,7 @@ ExperimentRunner::run(const std::vector<TrialSpec> &specs)
                 // space stays 2-D and positional — cell c of trial t
                 // runs on substreamSeed(substreamSeed(base, t), c).
                 core::ShardedEngine engine(
-                    *spec.workload, config,
+                    spec.workload, config,
                     [&spec](const core::EngineConfig &cell_config) {
                         return policies::makePolicy(spec.policy,
                                                     cell_config);
@@ -97,7 +97,7 @@ ExperimentRunner::run(const std::vector<TrialSpec> &specs)
                                          : inner_pools_[slot].get());
                 result.events_executed = engine.eventsExecuted();
             } else {
-                core::Engine engine(*spec.workload, config,
+                core::Engine engine(spec.workload, config,
                                     policies::makePolicy(spec.policy,
                                                          config));
                 result.metrics = engine.run();

@@ -8,8 +8,8 @@
  * event queue, RNG, cluster and metrics), so trial-level parallelism
  * is safe as long as three rules hold, and this module enforces them:
  *
- *  1. **Inputs are immutable.**  Trials share sealed trace::Trace
- *     objects read-only; nothing else is shared.
+ *  1. **Inputs are immutable.**  Trials share views of sealed traces
+ *     (in-memory or mmapped) read-only; nothing else is shared.
  *  2. **Randomness is positional.**  A trial's RNG seed is derived as
  *     sim::substreamSeed(base_seed, trial_index) — a pure function of
  *     the submission index, never of scheduling order or thread id.
@@ -50,7 +50,7 @@
 #include "core/config.h"
 #include "core/metrics.h"
 #include "sim/thread_pool.h"
-#include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace cidre::exp {
 
@@ -61,11 +61,13 @@ struct TrialSpec
     std::string label;
 
     /**
-     * Sealed workload, shared read-only; must outlive the run() call.
-     * Trials replaying different traces simply point at different
-     * (pre-generated) Trace objects.
+     * View of the sealed workload, shared read-only; the backing Trace
+     * or TraceImage must outlive the run() call.  Trials replaying
+     * different traces simply view different (pre-generated) backing
+     * stores — a whole sweep can share one mmapped image with zero
+     * copies.  Assign a Trace lvalue directly (implicit conversion).
      */
-    const trace::Trace *workload = nullptr;
+    trace::TraceView workload;
 
     /** Policy registry name ("cidre", "faascache", ...). */
     std::string policy;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "stats/summary.h"
+#include "trace/trace_view.h"
 
 namespace cidre::trace {
 
@@ -86,48 +86,14 @@ std::vector<std::uint64_t>
 Trace::requestCountByFunction() const
 {
     requireSealed("requestCountByFunction");
-    std::vector<std::uint64_t> counts(functions_.size(), 0);
-    for (const auto &req : requests_)
-        ++counts[req.function];
-    return counts;
+    return TraceView(*this).requestCountByFunction();
 }
 
 TraceStats
 Trace::computeStats() const
 {
     requireSealed("computeStats");
-    TraceStats stats;
-    stats.request_count = requests_.size();
-    stats.function_count = functions_.size();
-    stats.duration = duration();
-    if (requests_.empty())
-        return stats;
-
-    const auto buckets = static_cast<std::size_t>(
-        stats.duration / sim::sec(1)) + 1;
-    std::vector<double> rps(buckets, 0.0);
-    std::vector<double> gbps(buckets, 0.0);
-    for (const auto &req : requests_) {
-        const auto bucket = static_cast<std::size_t>(
-            req.arrival_us / sim::sec(1));
-        rps[bucket] += 1.0;
-        gbps[bucket] +=
-            static_cast<double>(functions_[req.function].memory_mb) / 1024.0;
-    }
-
-    stats::OnlineSummary rps_summary;
-    stats::OnlineSummary gbps_summary;
-    for (std::size_t i = 0; i < buckets; ++i) {
-        rps_summary.add(rps[i]);
-        gbps_summary.add(gbps[i]);
-    }
-    stats.rps_avg = rps_summary.mean();
-    stats.rps_min = rps_summary.min();
-    stats.rps_max = rps_summary.max();
-    stats.gbps_avg = gbps_summary.mean();
-    stats.gbps_min = gbps_summary.min();
-    stats.gbps_max = gbps_summary.max();
-    return stats;
+    return TraceView(*this).computeStats();
 }
 
 } // namespace cidre::trace

@@ -1,0 +1,365 @@
+#include "trace/trace_image.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace cidre::trace {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t
+align8(std::uint64_t n)
+{
+    return (n + 7) & ~std::uint64_t{7};
+}
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &why)
+{
+    throw std::runtime_error("TraceImage: " + path + ": " + why);
+}
+
+template <typename T>
+void
+appendPod(std::vector<std::byte> &buf, const T &value)
+{
+    const auto offset = buf.size();
+    buf.resize(offset + sizeof(T));
+    std::memcpy(buf.data() + offset, &value, sizeof(T));
+}
+
+void
+padTo8(std::vector<std::byte> &buf)
+{
+    buf.resize(align8(buf.size()), std::byte{0});
+}
+
+} // namespace
+
+std::uint64_t
+traceImageChecksum(const std::byte *data, std::size_t size)
+{
+    // Four interleaved FNV-1a-64 lanes over 32-byte strides: the same
+    // mixing per byte as scalar FNV but with four independent multiply
+    // chains, so the hash runs at memory speed and never dominates an
+    // open().  Lanes fold into a fifth chain; the tail is byte-wise.
+    std::uint64_t lane[4] = {kFnvOffset, kFnvOffset + 1, kFnvOffset + 2,
+                             kFnvOffset + 3};
+    std::size_t i = 0;
+    for (; i + 32 <= size; i += 32) {
+        for (std::size_t l = 0; l < 4; ++l) {
+            std::uint64_t word;
+            std::memcpy(&word, data + i + 8 * l, 8);
+            lane[l] = (lane[l] ^ word) * kFnvPrime;
+        }
+    }
+    std::uint64_t folded = kFnvOffset;
+    for (std::size_t l = 0; l < 4; ++l)
+        folded = (folded ^ lane[l]) * kFnvPrime;
+    for (; i < size; ++i)
+        folded =
+            (folded ^ std::to_integer<std::uint64_t>(data[i])) * kFnvPrime;
+    return folded;
+}
+
+void
+writeTraceImageFile(TraceView workload, const std::string &path)
+{
+    TraceImageHeader header{};
+    std::memcpy(header.magic, kTraceImageMagic, sizeof(header.magic));
+    header.version = kTraceImageVersion;
+    header.header_bytes = sizeof(TraceImageHeader);
+    header.function_count = workload.functionCount();
+    header.request_count = workload.requestCount();
+
+    const auto request_count = workload.requestCount();
+    const auto function_count = workload.functionCount();
+    const std::uint64_t base = sizeof(TraceImageHeader);
+
+    std::vector<std::byte> payload;
+    payload.reserve(static_cast<std::size_t>(request_count) * 32 +
+                    function_count * 64 + 64);
+
+    header.profiles_offset = base + payload.size();
+    for (const auto &fn : workload.functions()) {
+        appendPod(payload, static_cast<std::uint32_t>(fn.name.size()));
+        appendPod(payload, static_cast<std::uint8_t>(fn.runtime));
+        const std::uint8_t pad[3] = {0, 0, 0};
+        appendPod(payload, pad);
+        appendPod(payload, static_cast<std::int64_t>(fn.memory_mb));
+        appendPod(payload, static_cast<std::int64_t>(fn.cold_start_us));
+        appendPod(payload, static_cast<std::int64_t>(fn.median_exec_us));
+        const auto offset = payload.size();
+        payload.resize(offset + fn.name.size());
+        std::memcpy(payload.data() + offset, fn.name.data(),
+                    fn.name.size());
+        padTo8(payload);
+    }
+
+    header.functions_col_offset = base + payload.size();
+    for (std::uint64_t i = 0; i < request_count; ++i)
+        appendPod(payload, workload.requestFunction(i));
+    padTo8(payload);
+
+    header.arrivals_col_offset = base + payload.size();
+    for (std::uint64_t i = 0; i < request_count; ++i)
+        appendPod(payload, workload.arrivalUs(i));
+
+    header.exec_col_offset = base + payload.size();
+    for (std::uint64_t i = 0; i < request_count; ++i)
+        appendPod(payload, workload.execUs(i));
+
+    header.index_offsets_offset = base + payload.size();
+    std::uint64_t running = 0;
+    for (FunctionId fn = 0; fn < function_count; ++fn) {
+        appendPod(payload, running);
+        running += workload.arrivalsOf(fn).size();
+    }
+    appendPod(payload, running);
+
+    header.index_values_offset = base + payload.size();
+    for (FunctionId fn = 0; fn < function_count; ++fn)
+        for (const auto arrival : workload.arrivalsOf(fn))
+            appendPod(payload, arrival);
+
+    header.file_bytes = base + payload.size();
+    header.payload_checksum =
+        traceImageChecksum(payload.data(), payload.size());
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("writeTraceImageFile: cannot open " + path);
+    out.write(reinterpret_cast<const char *>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char *>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out)
+        throw std::runtime_error("writeTraceImageFile: write failed for " +
+                                 path);
+}
+
+bool
+isTraceImageFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    char magic[sizeof(kTraceImageMagic)] = {};
+    in.read(magic, sizeof(magic));
+    return in.gcount() == sizeof(magic) &&
+           std::memcmp(magic, kTraceImageMagic, sizeof(magic)) == 0;
+}
+
+TraceImage
+TraceImage::open(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        fail(path, std::string("cannot open: ") + std::strerror(errno));
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fail(path, "fstat failed");
+    }
+    const auto actual = static_cast<std::size_t>(st.st_size);
+    if (actual < sizeof(TraceImageHeader)) {
+        ::close(fd);
+        fail(path, "truncated trace image (file smaller than header)");
+    }
+    void *map = ::mmap(nullptr, actual, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping holds its own reference to the file
+    if (map == MAP_FAILED)
+        fail(path, std::string("mmap failed: ") + std::strerror(errno));
+
+    // The image owns the mapping from here: any validation failure below
+    // throws through ~TraceImage, which unmaps.
+    TraceImage image;
+    image.map_ = map;
+    image.map_bytes_ = actual;
+
+    const auto *bytes = static_cast<const std::byte *>(map);
+
+    // Prime the page cache for the sequential checksum sweep; after
+    // open the pages stay resident, read-only, shared by every thread.
+    ::madvise(map, actual, MADV_SEQUENTIAL);
+    ::madvise(map, actual, MADV_WILLNEED);
+
+    TraceImageHeader header;
+    std::memcpy(&header, bytes, sizeof(header));
+    if (std::memcmp(header.magic, kTraceImageMagic, sizeof(header.magic)) !=
+        0)
+        fail(path, "not a .ctrb trace image (bad magic)");
+    if (header.version != kTraceImageVersion)
+        fail(path,
+             "unsupported .ctrb version " + std::to_string(header.version) +
+                 " (expected " + std::to_string(kTraceImageVersion) + ")");
+    if (header.header_bytes != sizeof(TraceImageHeader))
+        fail(path, "malformed trace image (header size mismatch)");
+    if (header.file_bytes > actual)
+        fail(path, "truncated trace image (file shorter than header "
+                   "claims)");
+    if (header.file_bytes < actual)
+        fail(path, "malformed trace image (file longer than header "
+                   "claims)");
+
+    const std::uint64_t function_count = header.function_count;
+    const std::uint64_t request_count = header.request_count;
+    // Bounds below multiply the counts; reject absurd values first so
+    // the products cannot wrap around std::uint64_t.
+    if (function_count > (std::uint64_t{1} << 32) ||
+        request_count > (std::uint64_t{1} << 48))
+        fail(path, "malformed trace image (implausible counts)");
+
+    const auto checkSection = [&](std::uint64_t offset, std::uint64_t size,
+                                  std::uint64_t alignment,
+                                  const char *what) {
+        if (offset < header.header_bytes || offset % alignment != 0 ||
+            offset + size > header.file_bytes)
+            fail(path, std::string("malformed trace image (") + what +
+                           " section out of bounds)");
+    };
+    checkSection(header.profiles_offset, 0, 8, "profile");
+    checkSection(header.functions_col_offset, request_count * 4, 4,
+                 "function column");
+    checkSection(header.arrivals_col_offset, request_count * 8, 8,
+                 "arrival column");
+    checkSection(header.exec_col_offset, request_count * 8, 8,
+                 "exec column");
+    checkSection(header.index_offsets_offset, (function_count + 1) * 8, 8,
+                 "index offset");
+    checkSection(header.index_values_offset, request_count * 8, 8,
+                 "index value");
+
+    const auto payload_checksum = traceImageChecksum(
+        bytes + header.header_bytes, actual - header.header_bytes);
+    if (payload_checksum != header.payload_checksum)
+        fail(path, "checksum mismatch (corrupt trace image)");
+
+    // Materialize the (small, variable-length) profile table; the
+    // request columns and arrival index stay on the mapped pages.
+    image.functions_.reserve(function_count);
+    std::uint64_t cursor = header.profiles_offset;
+    const std::uint64_t profiles_end = header.functions_col_offset;
+    for (std::uint64_t i = 0; i < function_count; ++i) {
+        if (cursor + 32 > profiles_end)
+            fail(path, "malformed trace image (profile table overruns "
+                       "its section)");
+        std::uint32_t name_len;
+        std::uint8_t runtime_raw;
+        std::memcpy(&name_len, bytes + cursor, 4);
+        std::memcpy(&runtime_raw, bytes + cursor + 4, 1);
+        FunctionProfile fn;
+        fn.id = static_cast<FunctionId>(i);
+        std::memcpy(&fn.memory_mb, bytes + cursor + 8, 8);
+        std::memcpy(&fn.cold_start_us, bytes + cursor + 16, 8);
+        std::memcpy(&fn.median_exec_us, bytes + cursor + 24, 8);
+        if (runtime_raw >= static_cast<std::uint8_t>(Runtime::kCount))
+            fail(path, "malformed trace image (unknown runtime in "
+                       "profile table)");
+        fn.runtime = static_cast<Runtime>(runtime_raw);
+        if (cursor + 32 + name_len > profiles_end)
+            fail(path, "malformed trace image (profile name out of "
+                       "bounds)");
+        fn.name.assign(reinterpret_cast<const char *>(bytes + cursor + 32),
+                       name_len);
+        image.functions_.push_back(std::move(fn));
+        cursor = align8(cursor + 32 + name_len);
+    }
+
+    const auto *function_col = reinterpret_cast<const std::uint32_t *>(
+        bytes + header.functions_col_offset);
+    const auto *arrival_col = reinterpret_cast<const sim::SimTime *>(
+        bytes + header.arrivals_col_offset);
+    const auto *index_offsets = reinterpret_cast<const std::uint64_t *>(
+        bytes + header.index_offsets_offset);
+
+    // Structural invariants the engines rely on: every request names a
+    // known function, arrivals are sorted (binary-searchable), and the
+    // index partitions exactly the request set.  One linear pass each —
+    // cheap next to the checksum sweep that already touched the pages.
+    for (std::uint64_t i = 0; i < request_count; ++i)
+        if (function_col[i] >= function_count)
+            fail(path, "malformed trace image (request references "
+                       "unknown function)");
+    for (std::uint64_t i = 1; i < request_count; ++i)
+        if (arrival_col[i] < arrival_col[i - 1])
+            fail(path, "malformed trace image (arrival column not "
+                       "sorted)");
+    if (index_offsets[function_count] != request_count)
+        fail(path, "malformed trace image (arrival index does not cover "
+                   "all requests)");
+    for (std::uint64_t i = 0; i < function_count; ++i)
+        if (index_offsets[i] > index_offsets[i + 1])
+            fail(path, "malformed trace image (arrival index offsets "
+                       "not monotonic)");
+
+    image.columns_.functions = {image.functions_.data(),
+                                image.functions_.size()};
+    image.columns_.function = function_col;
+    image.columns_.arrival_us = arrival_col;
+    image.columns_.exec_us = reinterpret_cast<const sim::SimTime *>(
+        bytes + header.exec_col_offset);
+    image.columns_.request_count = request_count;
+    image.columns_.index_offsets = index_offsets;
+    image.columns_.index_values = reinterpret_cast<const sim::SimTime *>(
+        bytes + header.index_values_offset);
+    return image;
+}
+
+TraceImage::~TraceImage()
+{
+    reset();
+}
+
+TraceImage::TraceImage(TraceImage &&other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_bytes_(std::exchange(other.map_bytes_, 0)),
+      functions_(std::move(other.functions_)),
+      columns_(std::exchange(other.columns_, {}))
+{
+    // columns_.functions spans functions_'s heap buffer, which the
+    // vector move transferred intact — the span stays valid.
+}
+
+TraceImage &
+TraceImage::operator=(TraceImage &&other) noexcept
+{
+    if (this != &other) {
+        reset();
+        map_ = std::exchange(other.map_, nullptr);
+        map_bytes_ = std::exchange(other.map_bytes_, 0);
+        functions_ = std::move(other.functions_);
+        columns_ = std::exchange(other.columns_, {});
+    }
+    return *this;
+}
+
+void
+TraceImage::reset() noexcept
+{
+    if (map_ != nullptr)
+        ::munmap(map_, map_bytes_);
+    map_ = nullptr;
+    map_bytes_ = 0;
+    functions_.clear();
+    columns_ = {};
+}
+
+TraceView
+TraceImage::view() const
+{
+    return TraceView(columns_);
+}
+
+} // namespace cidre::trace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The `.ctrb` binary columnar trace format and its mmap-backed loader.
+ *
+ * ## Why a binary format
+ *
+ * The CSV path re-does O(requests) parsing and seal() sorting on every
+ * load.  A `.ctrb` file stores the *sealed* representation — requests
+ * already arrival-sorted, the per-function arrival index already built
+ * — as flat little-endian columns, so loading is mmap + validate: the
+ * kernel shares the read-only pages across every thread (and forked
+ * process) of a sweep, and no per-request work happens at open time.
+ *
+ * ## File layout (version 1, little-endian, offsets 8-byte aligned)
+ *
+ *   [0,  96)  TraceImageHeader   magic "CIDRETRB", version, section
+ *                                offsets, payload checksum
+ *   profiles  F variable-length records:
+ *               u32 name_len, u8 runtime, u8 pad[3],
+ *               i64 memory_mb, i64 cold_start_us, i64 median_exec_us,
+ *               name bytes, pad to 8
+ *             (function ids are implicit: records are dense, in order)
+ *   columns   u32 function[R]           (pad to 8)
+ *             i64 arrival_us[R]         arrival-sorted, ties in
+ *                                       insertion order (== seal())
+ *             i64 exec_us[R]
+ *   index     u64 offsets[F+1]          exclusive prefix sums
+ *             i64 values[R]             arrivals grouped by function,
+ *                                       each group ascending
+ *
+ * The checksum is a 4-lane FNV-1a-64 over the payload (everything past
+ * the header), fast enough (>GB/s) that validation never dominates an
+ * open.  The format assumes a little-endian host, which covers every
+ * platform this harness targets; loaders reject foreign files via the
+ * magic/checksum rather than byte-swapping.
+ */
+
+#ifndef CIDRE_TRACE_TRACE_IMAGE_H
+#define CIDRE_TRACE_TRACE_IMAGE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_view.h"
+
+namespace cidre::trace {
+
+inline constexpr char kTraceImageMagic[8] = {'C', 'I', 'D', 'R',
+                                             'E', 'T', 'R', 'B'};
+inline constexpr std::uint32_t kTraceImageVersion = 1;
+
+/** On-disk header; all offsets are absolute file offsets in bytes. */
+struct TraceImageHeader
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t header_bytes;
+    std::uint64_t function_count;
+    std::uint64_t request_count;
+    /** Total file size; a shorter actual file means truncation. */
+    std::uint64_t file_bytes;
+    /** 4-lane FNV-1a-64 over bytes [header_bytes, file_bytes). */
+    std::uint64_t payload_checksum;
+    std::uint64_t profiles_offset;
+    std::uint64_t functions_col_offset;
+    std::uint64_t arrivals_col_offset;
+    std::uint64_t exec_col_offset;
+    std::uint64_t index_offsets_offset;
+    std::uint64_t index_values_offset;
+};
+static_assert(sizeof(TraceImageHeader) == 96,
+              "on-disk header layout must not change silently");
+
+/** The payload checksum function (exposed for tests). */
+std::uint64_t traceImageChecksum(const std::byte *data, std::size_t size);
+
+/**
+ * Serialize a sealed workload into a `.ctrb` file.
+ * @throws std::runtime_error on I/O failure.
+ */
+void writeTraceImageFile(TraceView workload, const std::string &path);
+
+/** True if the file exists and starts with the `.ctrb` magic. */
+bool isTraceImageFile(const std::string &path);
+
+/**
+ * A memory-mapped `.ctrb` trace: owns the mapping, hands out zero-copy
+ * TraceViews over it.
+ *
+ * open() maps the file read-only (mmap, then MADV_WILLNEED +
+ * MADV_SEQUENTIAL to prime the page cache for the checksum sweep) and
+ * validates magic, version, section bounds and the payload checksum, so
+ * a view over a successfully opened image never faults on bad data.
+ * Function profiles are materialized into a small owned vector (names
+ * are variable-length); the request columns and arrival index stay on
+ * the mapped pages.  Views borrow from the image: keep it alive (and
+ * unmoved) for as long as any view is in use.
+ */
+class TraceImage
+{
+  public:
+    /**
+     * Map and validate @p path.
+     * @throws std::runtime_error naming the file and the defect (bad
+     *         magic, unsupported version, truncation, checksum
+     *         mismatch, malformed sections).
+     */
+    static TraceImage open(const std::string &path);
+
+    ~TraceImage();
+
+    TraceImage(TraceImage &&other) noexcept;
+    TraceImage &operator=(TraceImage &&other) noexcept;
+    TraceImage(const TraceImage &) = delete;
+    TraceImage &operator=(const TraceImage &) = delete;
+
+    /** A zero-copy view over the mapped columns. */
+    TraceView view() const;
+
+    std::size_t functionCount() const { return functions_.size(); }
+    std::uint64_t requestCount() const { return columns_.request_count; }
+    /** Size of the mapping in bytes (telemetry). */
+    std::size_t fileBytes() const { return map_bytes_; }
+
+  private:
+    TraceImage() = default;
+    void reset() noexcept;
+
+    void *map_ = nullptr;
+    std::size_t map_bytes_ = 0;
+    std::vector<FunctionProfile> functions_;
+    TraceView::Columns columns_;
+};
+
+} // namespace cidre::trace
+
+#endif // CIDRE_TRACE_TRACE_IMAGE_H

@@ -1,30 +1,15 @@
 #include "trace/trace_io.h"
 
+#include <array>
+#include <charconv>
 #include <fstream>
-#include <sstream>
+#include <iterator>
 #include <stdexcept>
-#include <vector>
+#include <string_view>
 
 namespace cidre::trace {
 
 namespace {
-
-std::vector<std::string>
-splitCsv(const std::string &line)
-{
-    std::vector<std::string> fields;
-    std::string field;
-    for (const char ch : line) {
-        if (ch == ',') {
-            fields.push_back(field);
-            field.clear();
-        } else {
-            field += ch;
-        }
-    }
-    fields.push_back(field);
-    return fields;
-}
 
 [[noreturn]] void
 fail(std::size_t line_no, const std::string &why)
@@ -34,70 +19,71 @@ fail(std::size_t line_no, const std::string &why)
 }
 
 std::int64_t
-parseInt(const std::string &text, std::size_t line_no)
+parseInt(std::string_view text, std::size_t line_no)
 {
-    try {
-        std::size_t used = 0;
-        const std::int64_t value = std::stoll(text, &used);
-        if (used != text.size())
-            fail(line_no, "trailing characters in number '" + text + "'");
-        return value;
-    } catch (const std::logic_error &) {
-        fail(line_no, "bad number '" + text + "'");
-    }
+    std::int64_t value = 0;
+    const char *last = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+    if (ec != std::errc{})
+        fail(line_no, "bad number '" + std::string(text) + "'");
+    if (ptr != last)
+        fail(line_no,
+             "trailing characters in number '" + std::string(text) + "'");
+    return value;
 }
 
-} // namespace
-
-void
-writeTrace(const Trace &trace, std::ostream &out)
+/**
+ * Split @p line at commas into @p fields (in place, zero copies).
+ * Returns the true field count, which may exceed fields.size(); the
+ * overflow fields are dropped and the count alone flags the error.
+ */
+std::size_t
+splitFields(std::string_view line, std::array<std::string_view, 8> &fields)
 {
-    if (!trace.sealed())
-        throw std::logic_error("writeTrace: trace must be sealed");
-    out << "# cidre trace v1: " << trace.functionCount() << " functions, "
-        << trace.requestCount() << " requests\n";
-    for (const auto &fn : trace.functions()) {
-        out << "F," << fn.id << ',' << fn.name << ',' << fn.memory_mb << ','
-            << fn.cold_start_us << ',' << runtimeName(fn.runtime) << ','
-            << fn.median_exec_us << '\n';
+    std::size_t count = 0;
+    std::size_t start = 0;
+    for (;;) {
+        const auto comma = line.find(',', start);
+        const auto field = comma == std::string_view::npos
+            ? line.substr(start)
+            : line.substr(start, comma - start);
+        if (count < fields.size())
+            fields[count] = field;
+        ++count;
+        if (comma == std::string_view::npos)
+            return count;
+        start = comma + 1;
     }
-    for (const auto &req : trace.requests()) {
-        out << "R," << req.function << ',' << req.arrival_us << ','
-            << req.exec_us << '\n';
-    }
-}
-
-void
-writeTraceFile(const Trace &trace, const std::string &path)
-{
-    std::ofstream out(path);
-    if (!out)
-        throw std::runtime_error("writeTraceFile: cannot open " + path);
-    writeTrace(trace, out);
-    if (!out)
-        throw std::runtime_error("writeTraceFile: write failed for " + path);
 }
 
 Trace
-readTrace(std::istream &in)
+parseTrace(std::string_view text)
 {
     Trace trace;
-    std::string line;
+    std::array<std::string_view, 8> fields;
     std::size_t line_no = 0;
-    while (std::getline(in, line)) {
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const auto eol = text.find('\n', pos);
+        auto line = eol == std::string_view::npos
+            ? text.substr(pos)
+            : text.substr(pos, eol - pos);
+        pos = eol == std::string_view::npos ? text.size() : eol + 1;
         ++line_no;
-        if (line.empty() || line[0] == '#')
+        if (!line.empty() && line.back() == '\r')
+            line.remove_suffix(1);
+        if (line.empty() || line.front() == '#')
             continue;
-        const auto fields = splitCsv(line);
+        const auto count = splitFields(line, fields);
         if (fields[0] == "F") {
-            if (fields.size() != 7)
+            if (count != 7)
                 fail(line_no, "function record needs 7 fields");
             FunctionProfile fn;
-            fn.name = fields[2];
+            fn.name = std::string(fields[2]);
             fn.memory_mb = parseInt(fields[3], line_no);
             fn.cold_start_us = parseInt(fields[4], line_no);
             try {
-                fn.runtime = runtimeFromName(fields[5]);
+                fn.runtime = runtimeFromName(std::string(fields[5]));
             } catch (const std::invalid_argument &e) {
                 fail(line_no, e.what());
             }
@@ -106,7 +92,7 @@ readTrace(std::istream &in)
             if (assigned != parseInt(fields[1], line_no))
                 fail(line_no, "function ids must be dense and in order");
         } else if (fields[0] == "R") {
-            if (fields.size() != 4)
+            if (count != 4)
                 fail(line_no, "request record needs 4 fields");
             const auto func = parseInt(fields[1], line_no);
             if (func < 0 ||
@@ -117,17 +103,56 @@ readTrace(std::istream &in)
                              parseInt(fields[2], line_no),
                              parseInt(fields[3], line_no));
         } else {
-            fail(line_no, "unknown record kind '" + fields[0] + "'");
+            fail(line_no,
+                 "unknown record kind '" + std::string(fields[0]) + "'");
         }
     }
     trace.seal();
     return trace;
 }
 
+} // namespace
+
+void
+writeTrace(TraceView workload, std::ostream &out)
+{
+    out << "# cidre trace v1: " << workload.functionCount()
+        << " functions, " << workload.requestCount() << " requests\n";
+    for (const auto &fn : workload.functions()) {
+        out << "F," << fn.id << ',' << fn.name << ',' << fn.memory_mb << ','
+            << fn.cold_start_us << ',' << runtimeName(fn.runtime) << ','
+            << fn.median_exec_us << '\n';
+    }
+    for (std::uint64_t i = 0; i < workload.requestCount(); ++i) {
+        out << "R," << workload.requestFunction(i) << ','
+            << workload.arrivalUs(i) << ',' << workload.execUs(i) << '\n';
+    }
+}
+
+void
+writeTraceFile(TraceView workload, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("writeTraceFile: cannot open " + path);
+    writeTrace(workload, out);
+    if (!out)
+        throw std::runtime_error("writeTraceFile: write failed for " + path);
+}
+
+Trace
+readTrace(std::istream &in)
+{
+    // Slurp once, then parse string_views in place: the hot loop never
+    // allocates per field (names aside) or per line.
+    const std::string text(std::istreambuf_iterator<char>(in), {});
+    return parseTrace(text);
+}
+
 Trace
 readTraceFile(const std::string &path)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in)
         throw std::runtime_error("readTraceFile: cannot open " + path);
     return readTrace(in);

@@ -10,6 +10,10 @@
  *
  * Lines starting with '#' are comments.  Function records must precede
  * the request records that reference them.
+ *
+ * The text format is the interchange format; for repeated replay of
+ * large traces, pre-convert to the binary `.ctrb` image (trace_image.h)
+ * and mmap it instead of re-parsing.
  */
 
 #ifndef CIDRE_TRACE_TRACE_IO_H
@@ -19,14 +23,15 @@
 #include <string>
 
 #include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace cidre::trace {
 
-/** Serialize a sealed trace to a stream. */
-void writeTrace(const Trace &trace, std::ostream &out);
+/** Serialize a sealed workload to a stream. */
+void writeTrace(TraceView workload, std::ostream &out);
 
-/** Serialize a sealed trace to a file; throws std::runtime_error on I/O. */
-void writeTraceFile(const Trace &trace, const std::string &path);
+/** Serialize a sealed workload to a file; throws std::runtime_error on I/O. */
+void writeTraceFile(TraceView workload, const std::string &path);
 
 /**
  * Parse a trace from a stream; returns a sealed trace.

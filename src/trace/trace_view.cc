@@ -1,0 +1,90 @@
+#include "trace/trace_view.h"
+
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace cidre::trace {
+
+TraceView::TraceView(const Trace &trace)
+{
+    // invalid_argument (a logic_error) keeps both caller contracts:
+    // the engines document invalid_argument, the transforms logic_error.
+    if (!trace.sealed())
+        throw std::invalid_argument("TraceView: trace must be sealed");
+    const auto &requests = trace.requests();
+    const auto *base =
+        reinterpret_cast<const std::byte *>(requests.data());
+    functions_ = {trace.functions().data(), trace.functions().size()};
+    function_col_ = {base + offsetof(Request, function), sizeof(Request)};
+    arrival_col_ = {base + offsetof(Request, arrival_us), sizeof(Request)};
+    exec_col_ = {base + offsetof(Request, exec_us), sizeof(Request)};
+    request_count_ = requests.size();
+    duration_ = requests.empty() ? 0 : requests.back().arrival_us;
+    nested_arrivals_ = &trace.arrivalsByFunction();
+    bound_ = true;
+}
+
+TraceView::TraceView(const Columns &columns)
+{
+    functions_ = columns.functions;
+    function_col_ = {columns.function, sizeof(std::uint32_t)};
+    arrival_col_ = {columns.arrival_us, sizeof(sim::SimTime)};
+    exec_col_ = {columns.exec_us, sizeof(sim::SimTime)};
+    request_count_ = columns.request_count;
+    duration_ = request_count_ == 0
+        ? 0
+        : columns.arrival_us[request_count_ - 1];
+    index_offsets_ = columns.index_offsets;
+    index_values_ = columns.index_values;
+    bound_ = true;
+}
+
+std::vector<std::uint64_t>
+TraceView::requestCountByFunction() const
+{
+    std::vector<std::uint64_t> counts(functions_.size(), 0);
+    for (FunctionId fn = 0; fn < functions_.size(); ++fn)
+        counts[fn] = arrivalsOf(fn).size();
+    return counts;
+}
+
+TraceStats
+TraceView::computeStats() const
+{
+    TraceStats stats;
+    stats.request_count = request_count_;
+    stats.function_count = functions_.size();
+    stats.duration = duration_;
+    if (request_count_ == 0)
+        return stats;
+
+    const auto buckets = static_cast<std::size_t>(
+        stats.duration / sim::sec(1)) + 1;
+    std::vector<double> rps(buckets, 0.0);
+    std::vector<double> gbps(buckets, 0.0);
+    for (std::uint64_t i = 0; i < request_count_; ++i) {
+        const auto bucket = static_cast<std::size_t>(
+            arrival_col_[i] / sim::sec(1));
+        rps[bucket] += 1.0;
+        gbps[bucket] +=
+            static_cast<double>(functions_[function_col_[i]].memory_mb) /
+            1024.0;
+    }
+
+    stats::OnlineSummary rps_summary;
+    stats::OnlineSummary gbps_summary;
+    for (std::size_t i = 0; i < buckets; ++i) {
+        rps_summary.add(rps[i]);
+        gbps_summary.add(gbps[i]);
+    }
+    stats.rps_avg = rps_summary.mean();
+    stats.rps_min = rps_summary.min();
+    stats.rps_max = rps_summary.max();
+    stats.gbps_avg = gbps_summary.mean();
+    stats.gbps_min = gbps_summary.min();
+    stats.gbps_max = gbps_summary.max();
+    return stats;
+}
+
+} // namespace cidre::trace

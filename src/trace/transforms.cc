@@ -9,16 +9,8 @@ namespace cidre::trace {
 
 namespace {
 
-void
-requireSealed(const Trace &input, const char *what)
-{
-    if (!input.sealed())
-        throw std::logic_error(std::string(what) +
-                               ": input trace must be sealed");
-}
-
 Trace
-copyFunctions(const Trace &input)
+copyFunctions(TraceView input)
 {
     Trace out;
     for (const auto &fn : input.functions()) {
@@ -39,24 +31,23 @@ scaleTime(sim::SimTime t, double factor)
 } // namespace
 
 Trace
-scaleIat(const Trace &input, double factor)
+scaleIat(TraceView input, double factor)
 {
-    requireSealed(input, "scaleIat");
     if (factor <= 0.0)
         throw std::invalid_argument("scaleIat: factor must be > 0");
     Trace out = copyFunctions(input);
-    for (const auto &req : input.requests()) {
-        out.addRequest(req.function, scaleTime(req.arrival_us, factor),
-                       req.exec_us);
+    for (std::uint64_t i = 0; i < input.requestCount(); ++i) {
+        out.addRequest(input.requestFunction(i),
+                       scaleTime(input.arrivalUs(i), factor),
+                       input.execUs(i));
     }
     out.seal();
     return out;
 }
 
 Trace
-scaleExec(const Trace &input, double factor)
+scaleExec(TraceView input, double factor)
 {
-    requireSealed(input, "scaleExec");
     if (factor <= 0.0)
         throw std::invalid_argument("scaleExec: factor must be > 0");
     Trace out;
@@ -66,18 +57,17 @@ scaleExec(const Trace &input, double factor)
         copy.median_exec_us = scaleTime(fn.median_exec_us, factor);
         out.addFunction(std::move(copy));
     }
-    for (const auto &req : input.requests()) {
-        out.addRequest(req.function, req.arrival_us,
-                       scaleTime(req.exec_us, factor));
+    for (std::uint64_t i = 0; i < input.requestCount(); ++i) {
+        out.addRequest(input.requestFunction(i), input.arrivalUs(i),
+                       scaleTime(input.execUs(i), factor));
     }
     out.seal();
     return out;
 }
 
 Trace
-scaleColdStart(const Trace &input, double factor)
+scaleColdStart(TraceView input, double factor)
 {
-    requireSealed(input, "scaleColdStart");
     if (factor <= 0.0)
         throw std::invalid_argument("scaleColdStart: factor must be > 0");
     Trace out;
@@ -87,29 +77,29 @@ scaleColdStart(const Trace &input, double factor)
         copy.cold_start_us = scaleTime(fn.cold_start_us, factor);
         out.addFunction(std::move(copy));
     }
-    for (const auto &req : input.requests())
-        out.addRequest(req.function, req.arrival_us, req.exec_us);
+    for (std::uint64_t i = 0; i < input.requestCount(); ++i)
+        out.addRequest(input.requestFunction(i), input.arrivalUs(i),
+                       input.execUs(i));
     out.seal();
     return out;
 }
 
 Trace
-truncate(const Trace &input, sim::SimTime deadline)
+truncate(TraceView input, sim::SimTime deadline)
 {
-    requireSealed(input, "truncate");
     Trace out = copyFunctions(input);
-    for (const auto &req : input.requests()) {
-        if (req.arrival_us < deadline)
-            out.addRequest(req.function, req.arrival_us, req.exec_us);
+    for (std::uint64_t i = 0; i < input.requestCount(); ++i) {
+        if (input.arrivalUs(i) < deadline)
+            out.addRequest(input.requestFunction(i), input.arrivalUs(i),
+                           input.execUs(i));
     }
     out.seal();
     return out;
 }
 
 Trace
-sampleFunctions(const Trace &input, std::size_t keep, sim::Rng &rng)
+sampleFunctions(TraceView input, std::size_t keep, sim::Rng &rng)
 {
-    requireSealed(input, "sampleFunctions");
     if (keep == 0 || keep > input.functionCount())
         throw std::invalid_argument("sampleFunctions: bad keep count");
 
@@ -128,14 +118,14 @@ sampleFunctions(const Trace &input, std::size_t keep, sim::Rng &rng)
     std::vector<FunctionId> remap(input.functionCount(), kInvalidFunction);
     Trace out;
     for (const FunctionId old_id : ids) {
-        FunctionProfile copy = input.functions()[old_id];
+        FunctionProfile copy = input.function(old_id);
         copy.id = kInvalidFunction;
         remap[old_id] = out.addFunction(std::move(copy));
     }
-    for (const auto &req : input.requests()) {
-        if (remap[req.function] != kInvalidFunction) {
-            out.addRequest(remap[req.function], req.arrival_us,
-                           req.exec_us);
+    for (std::uint64_t i = 0; i < input.requestCount(); ++i) {
+        const auto fn = input.requestFunction(i);
+        if (remap[fn] != kInvalidFunction) {
+            out.addRequest(remap[fn], input.arrivalUs(i), input.execUs(i));
         }
     }
     out.seal();

@@ -2,7 +2,8 @@
  * @file
  * Trace transforms backing the paper's sensitivity studies.
  *
- * Each transform produces a fresh sealed trace:
+ * Each transform reads any sealed workload view (in-memory trace or
+ * mmapped image) and produces a fresh sealed in-memory trace:
  *  - scaleIat      — stretch/compress inter-arrival times (Fig. 19);
  *  - scaleExec     — multiply execution times (Figs. 10, 20, Table 2);
  *  - scaleColdStart— multiply cold-start latencies (Fig. 9);
@@ -16,7 +17,7 @@
 #include <cstddef>
 
 #include "sim/rng.h"
-#include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace cidre::trace {
 
@@ -25,22 +26,22 @@ namespace cidre::trace {
  * Implemented as scaling absolute arrival times, which is equivalent for
  * a trace starting at t=0.
  */
-Trace scaleIat(const Trace &input, double factor);
+Trace scaleIat(TraceView input, double factor);
 
 /** Multiply every request's execution time by @p factor. */
-Trace scaleExec(const Trace &input, double factor);
+Trace scaleExec(TraceView input, double factor);
 
 /** Multiply every function's cold-start latency by @p factor. */
-Trace scaleColdStart(const Trace &input, double factor);
+Trace scaleColdStart(TraceView input, double factor);
 
 /** Keep only requests with arrival < @p deadline. */
-Trace truncate(const Trace &input, sim::SimTime deadline);
+Trace truncate(TraceView input, sim::SimTime deadline);
 
 /**
  * Keep a uniformly random subset of @p keep functions (with all their
  * requests); function ids are re-densified.
  */
-Trace sampleFunctions(const Trace &input, std::size_t keep, sim::Rng &rng);
+Trace sampleFunctions(TraceView input, std::size_t keep, sim::Rng &rng);
 
 } // namespace cidre::trace
 

@@ -57,7 +57,8 @@ TEST(CidreSim, HelpPerCommand)
 
 TEST(CidreSim, GenerateRunAnalyzeRoundTrip)
 {
-    const std::string path = "/tmp/cidre_sim_test_trace.csv";
+    const std::string path =
+        ::testing::TempDir() + "cidre_sim_test_trace.csv";
     const RunResult gen = invoke({"generate", "--out", path.c_str(),
                                   "--kind", "fc", "--scale", "0.03",
                                   "--seed", "5"});
@@ -77,6 +78,76 @@ TEST(CidreSim, GenerateRunAnalyzeRoundTrip)
     EXPECT_NE(analyze.out.find("cold/exec ratio"), std::string::npos);
 
     std::remove(path.c_str());
+}
+
+TEST(CidreSim, ConvertedImageRunsIdentically)
+{
+    const std::string csv =
+        ::testing::TempDir() + "cidre_sim_convert.csv";
+    const std::string ctrb =
+        ::testing::TempDir() + "cidre_sim_convert.ctrb";
+    const RunResult gen = invoke({"generate", "--out", csv.c_str(),
+                                  "--kind", "azure", "--scale", "0.03",
+                                  "--seed", "9"});
+    ASSERT_EQ(gen.status, 0) << gen.err;
+
+    const RunResult convert =
+        invoke({"convert", csv.c_str(), ctrb.c_str()});
+    ASSERT_EQ(convert.status, 0) << convert.err;
+    EXPECT_NE(convert.out.find("csv -> ctrb"), std::string::npos);
+
+    // --trace auto-detects the format by content; both substrates must
+    // produce byte-identical reports.
+    const RunResult from_csv = invoke({"run", "--trace", csv.c_str(),
+                                       "--policy", "cidre",
+                                       "--cache-gb", "20"});
+    ASSERT_EQ(from_csv.status, 0) << from_csv.err;
+    const RunResult from_image = invoke({"run", "--trace", ctrb.c_str(),
+                                         "--policy", "cidre",
+                                         "--cache-gb", "20"});
+    ASSERT_EQ(from_image.status, 0) << from_image.err;
+    EXPECT_EQ(from_image.out, from_csv.out);
+
+    // And back: ctrb -> csv must parse and simulate identically too.
+    const std::string csv2 =
+        ::testing::TempDir() + "cidre_sim_convert_back.csv";
+    const RunResult back = invoke({"convert", ctrb.c_str(), csv2.c_str()});
+    ASSERT_EQ(back.status, 0) << back.err;
+    EXPECT_NE(back.out.find("ctrb -> csv"), std::string::npos);
+    const RunResult from_csv2 = invoke({"run", "--trace", csv2.c_str(),
+                                        "--policy", "cidre",
+                                        "--cache-gb", "20"});
+    ASSERT_EQ(from_csv2.status, 0) << from_csv2.err;
+    EXPECT_EQ(from_csv2.out, from_csv.out);
+
+    std::remove(csv.c_str());
+    std::remove(csv2.c_str());
+    std::remove(ctrb.c_str());
+}
+
+TEST(CidreSim, GenerateWritesImageWhenAsked)
+{
+    const std::string ctrb =
+        ::testing::TempDir() + "cidre_sim_generated.ctrb";
+    const RunResult gen = invoke({"generate", "--out", ctrb.c_str(),
+                                  "--kind", "fc", "--scale", "0.02",
+                                  "--seed", "3"});
+    ASSERT_EQ(gen.status, 0) << gen.err;
+    EXPECT_NE(gen.out.find("wrote"), std::string::npos);
+    const RunResult analyze = invoke({"analyze", "--trace", ctrb.c_str()});
+    EXPECT_EQ(analyze.status, 0) << analyze.err;
+    std::remove(ctrb.c_str());
+}
+
+TEST(CidreSim, ConvertErrorsAreReported)
+{
+    const RunResult missing_args = invoke({"convert", "only-one"});
+    EXPECT_EQ(missing_args.status, 2);
+    EXPECT_NE(missing_args.err.find("two paths"), std::string::npos);
+
+    const RunResult missing_file = invoke(
+        {"convert", "/nonexistent/in.csv", "/nonexistent/out.ctrb"});
+    EXPECT_EQ(missing_file.status, 2);
 }
 
 TEST(CidreSim, CompareListsEveryPolicy)

@@ -57,7 +57,7 @@ sweepSpecs()
         exp::TrialSpec spec;
         spec.policy = i % 2 == 0 ? "cidre" : "faascache";
         spec.label = spec.policy + "/t" + std::to_string(i);
-        spec.workload = &workloads[i];
+        spec.workload = trace::TraceView(workloads[i]);
         spec.config = config;
         spec.base_seed = kBaseSeed;
         spec.trial_index = i;
@@ -219,7 +219,7 @@ TEST(ParallelFor, BackToBackLoopsDoNotLeakIntoDeadFrames)
     }
 }
 
-TEST(RunnerDeterminism, NullWorkloadIsReported)
+TEST(RunnerDeterminism, UnboundWorkloadIsReported)
 {
     std::vector<exp::TrialSpec> specs(1);
     specs[0].label = "broken";

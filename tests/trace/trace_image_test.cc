@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the `.ctrb` binary columnar trace format: CSV <-> binary
+ * round-trip equality, corruption rejection (magic, version,
+ * truncation, checksum), and empty/degenerate traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/generators.h"
+#include "trace/trace.h"
+#include "trace/trace_image.h"
+#include "trace/trace_io.h"
+#include "trace/trace_view.h"
+
+namespace cidre::trace {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::vector<char>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeAll(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << path;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/** The open() error message for @p path, or "" if open succeeded. */
+std::string
+openError(const std::string &path)
+{
+    try {
+        const TraceImage image = TraceImage::open(path);
+        return "";
+    } catch (const std::runtime_error &e) {
+        return e.what();
+    }
+}
+
+void
+expectViewsEqual(TraceView expected, TraceView actual)
+{
+    ASSERT_EQ(actual.functionCount(), expected.functionCount());
+    for (FunctionId f = 0; f < expected.functionCount(); ++f) {
+        const FunctionProfile &a = expected.function(f);
+        const FunctionProfile &b = actual.function(f);
+        EXPECT_EQ(b.id, a.id);
+        EXPECT_EQ(b.name, a.name);
+        EXPECT_EQ(b.memory_mb, a.memory_mb);
+        EXPECT_EQ(b.cold_start_us, a.cold_start_us);
+        EXPECT_EQ(b.runtime, a.runtime);
+        EXPECT_EQ(b.median_exec_us, a.median_exec_us);
+    }
+    ASSERT_EQ(actual.requestCount(), expected.requestCount());
+    for (std::uint64_t i = 0; i < expected.requestCount(); ++i) {
+        ASSERT_EQ(actual.requestFunction(i), expected.requestFunction(i))
+            << "request " << i;
+        ASSERT_EQ(actual.arrivalUs(i), expected.arrivalUs(i))
+            << "request " << i;
+        ASSERT_EQ(actual.execUs(i), expected.execUs(i)) << "request " << i;
+    }
+    for (FunctionId f = 0; f < expected.functionCount(); ++f) {
+        const auto a = expected.arrivalsOf(f);
+        const auto b = actual.arrivalsOf(f);
+        ASSERT_EQ(b.size(), a.size()) << "function " << f;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            ASSERT_EQ(b[i], a[i]) << "function " << f << " arrival " << i;
+    }
+    EXPECT_EQ(actual.duration(), expected.duration());
+}
+
+TEST(TraceImage, GeneratedTraceRoundTripsExactly)
+{
+    const Trace original = makeAzureLikeTrace(42, 0.05);
+    ASSERT_GT(original.requestCount(), 1000u);
+    const std::string path = tempPath("cidre_image_roundtrip.ctrb");
+    writeTraceImageFile(original, path);
+
+    const TraceImage image = TraceImage::open(path);
+    EXPECT_EQ(image.requestCount(), original.requestCount());
+    EXPECT_EQ(image.functionCount(), original.functionCount());
+    expectViewsEqual(TraceView(original), image.view());
+}
+
+TEST(TraceImage, CsvAndImagePathsAgree)
+{
+    // CSV -> Trace -> image must load back to exactly the CSV's data.
+    const Trace original = makeFcLikeTrace(7, 0.05);
+    const std::string csv = tempPath("cidre_image_agree.csv");
+    const std::string ctrb = tempPath("cidre_image_agree.ctrb");
+    writeTraceFile(original, csv);
+    const Trace reparsed = readTraceFile(csv);
+    writeTraceImageFile(reparsed, ctrb);
+    const TraceImage image = TraceImage::open(ctrb);
+    expectViewsEqual(TraceView(reparsed), image.view());
+}
+
+TEST(TraceImage, DetectsFormatByMagic)
+{
+    const Trace trace = makeAzureLikeTrace(1, 0.01);
+    const std::string csv = tempPath("cidre_image_detect.csv");
+    const std::string ctrb = tempPath("cidre_image_detect.ctrb");
+    writeTraceFile(trace, csv);
+    writeTraceImageFile(trace, ctrb);
+    EXPECT_TRUE(isTraceImageFile(ctrb));
+    EXPECT_FALSE(isTraceImageFile(csv));
+    EXPECT_FALSE(isTraceImageFile(tempPath("cidre_image_nope.ctrb")));
+}
+
+TEST(TraceImage, RejectsBadMagic)
+{
+    const std::string path = tempPath("cidre_image_badmagic.ctrb");
+    writeTraceImageFile(makeAzureLikeTrace(1, 0.01), path);
+    std::vector<char> bytes = readAll(path);
+    bytes[0] = 'X';
+    writeAll(path, bytes);
+    const std::string error = openError(path);
+    EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+    EXPECT_NE(error.find(path), std::string::npos) << error;
+}
+
+TEST(TraceImage, RejectsUnsupportedVersion)
+{
+    const std::string path = tempPath("cidre_image_badversion.ctrb");
+    writeTraceImageFile(makeAzureLikeTrace(1, 0.01), path);
+    std::vector<char> bytes = readAll(path);
+    const std::uint32_t bogus = kTraceImageVersion + 9;
+    std::memcpy(bytes.data() + offsetof(TraceImageHeader, version),
+                &bogus, sizeof bogus);
+    writeAll(path, bytes);
+    const std::string error = openError(path);
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(TraceImage, RejectsTruncatedFile)
+{
+    const std::string path = tempPath("cidre_image_truncated.ctrb");
+    writeTraceImageFile(makeAzureLikeTrace(1, 0.01), path);
+    std::vector<char> bytes = readAll(path);
+    bytes.resize(bytes.size() - 128);
+    writeAll(path, bytes);
+    const std::string error = openError(path);
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+    // Shorter than even the header.
+    bytes.resize(17);
+    writeAll(path, bytes);
+    const std::string header_error = openError(path);
+    EXPECT_NE(header_error.find("truncated"), std::string::npos)
+        << header_error;
+}
+
+TEST(TraceImage, RejectsChecksumMismatch)
+{
+    const std::string path = tempPath("cidre_image_badsum.ctrb");
+    writeTraceImageFile(makeAzureLikeTrace(1, 0.01), path);
+    std::vector<char> bytes = readAll(path);
+    // Flip one payload bit (past the header) without changing sizes.
+    bytes[sizeof(TraceImageHeader) + 40] ^= 0x10;
+    writeAll(path, bytes);
+    const std::string error = openError(path);
+    EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+}
+
+TEST(TraceImage, RejectsMissingFile)
+{
+    const std::string error =
+        openError(tempPath("cidre_image_missing.ctrb"));
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+TEST(TraceImage, EmptyTraceRoundTrips)
+{
+    Trace empty;
+    empty.seal();
+    const std::string path = tempPath("cidre_image_empty.ctrb");
+    writeTraceImageFile(empty, path);
+    const TraceImage image = TraceImage::open(path);
+    EXPECT_EQ(image.functionCount(), 0u);
+    EXPECT_EQ(image.requestCount(), 0u);
+    EXPECT_TRUE(image.view().valid());
+    EXPECT_TRUE(image.view().empty());
+    EXPECT_EQ(image.view().duration(), 0);
+}
+
+TEST(TraceImage, FunctionsWithZeroRequestsRoundTrip)
+{
+    Trace trace;
+    for (int i = 0; i < 3; ++i) {
+        FunctionProfile fn;
+        fn.name = "fn" + std::to_string(i);
+        fn.cold_start_us = sim::msec(100 + i);
+        fn.median_exec_us = sim::msec(10);
+        trace.addFunction(std::move(fn));
+    }
+    trace.addRequest(1, sim::msec(5), sim::msec(20));
+    trace.seal();
+
+    const std::string path = tempPath("cidre_image_sparse.ctrb");
+    writeTraceImageFile(trace, path);
+    const TraceImage image = TraceImage::open(path);
+    const TraceView view = image.view();
+    ASSERT_EQ(view.functionCount(), 3u);
+    ASSERT_EQ(view.requestCount(), 1u);
+    EXPECT_EQ(view.arrivalsOf(0).size(), 0u);
+    ASSERT_EQ(view.arrivalsOf(1).size(), 1u);
+    EXPECT_EQ(view.arrivalsOf(1)[0], sim::msec(5));
+    EXPECT_EQ(view.arrivalsOf(2).size(), 0u);
+    EXPECT_EQ(view.requestCountByFunction(),
+              (std::vector<std::uint64_t>{0, 1, 0}));
+}
+
+TEST(TraceImage, ViewSurvivesImageMove)
+{
+    const std::string path = tempPath("cidre_image_move.ctrb");
+    writeTraceImageFile(makeAzureLikeTrace(3, 0.01), path);
+    TraceImage first = TraceImage::open(path);
+    const std::uint64_t requests = first.requestCount();
+    TraceImage second = std::move(first);
+    EXPECT_EQ(second.requestCount(), requests);
+    EXPECT_TRUE(second.view().valid());
+    EXPECT_EQ(second.view().requestCount(), requests);
+    EXPECT_FALSE(second.view().function(0).name.empty());
+}
+
+TEST(TraceImage, ChecksumIsStableAndPositionSensitive)
+{
+    const std::byte data[] = {std::byte{1}, std::byte{2}, std::byte{3},
+                              std::byte{4}, std::byte{5}};
+    const std::byte swapped[] = {std::byte{2}, std::byte{1}, std::byte{3},
+                                 std::byte{4}, std::byte{5}};
+    EXPECT_EQ(traceImageChecksum(data, sizeof data),
+              traceImageChecksum(data, sizeof data));
+    EXPECT_NE(traceImageChecksum(data, sizeof data),
+              traceImageChecksum(swapped, sizeof swapped));
+    EXPECT_NE(traceImageChecksum(data, sizeof data),
+              traceImageChecksum(data, sizeof data - 1));
+}
+
+} // namespace
+} // namespace cidre::trace

@@ -152,7 +152,8 @@ TEST(TraceIo, WriteRequiresSealed)
 TEST(TraceIo, FileRoundTrip)
 {
     const Trace original = sampleTrace();
-    const std::string path = "/tmp/cidre_trace_io_test.csv";
+    const std::string path =
+        ::testing::TempDir() + "cidre_trace_io_test.csv";
     writeTraceFile(original, path);
     const Trace loaded = readTraceFile(path);
     EXPECT_EQ(loaded.requestCount(), original.requestCount());

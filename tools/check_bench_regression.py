@@ -7,8 +7,9 @@ Usage:
                               [--tolerance 0.30]
                               [--max-wall-ratio-regression 0.35]
                               [--min-shard-speedup 2.5]
+                              [--min-trace-load-speedup 10.0]
 
-Three gates:
+Four gates:
 
 1. **Throughput** — compares the policy's events_per_sec at the given
    trace scale in a fresh smoke run (bench_core_throughput --smoke
@@ -38,6 +39,16 @@ Three gates:
    `shards` hardware threads is usually SMT over half as many physical
    cores (GitHub shared runners report 4 threads on 2 cores) with no
    headroom for the harness itself, which makes the gate flaky.
+
+4. **Trace load** (--min-trace-load-speedup) — two checks on the
+   `trace_load` section.  (a) CSV parse throughput (MB/s, roughly
+   scale-independent) in the fresh smoke run must stay within
+   `tolerance` of the committed baseline — this pins the rewritten
+   string_view/from_chars CSV ingest.  (b) The committed baseline's
+   mmap-open-vs-CSV-parse speedup must be at least the given floor;
+   like the wall-ratio gate this is an internal consistency check of
+   same-machine numbers (the committed ~1M-request run), so it needs
+   no noise allowance.
 """
 
 import argparse
@@ -128,6 +139,36 @@ def check_shard_speedup(smoke, min_speedup):
     return True
 
 
+def check_trace_load(smoke, baseline, tolerance, min_speedup):
+    fresh = smoke.get("trace_load")
+    committed = baseline.get("trace_load")
+    if not fresh or not committed:
+        print("trace load: section missing from smoke run or baseline — "
+              "skipped")
+        return True
+    ok = True
+
+    fresh_mbps = float(fresh["csv_parse_mb_per_sec"])
+    committed_mbps = float(committed["csv_parse_mb_per_sec"])
+    floor = committed_mbps * (1.0 - tolerance)
+    print(f"trace load: CSV parse {fresh_mbps:,.0f} MB/s vs baseline "
+          f"{committed_mbps:,.0f} MB/s (floor {floor:,.0f}, tolerance "
+          f"{tolerance:.0%})")
+    if fresh_mbps < floor:
+        print("FAIL: CSV parse throughput regressed beyond tolerance")
+        ok = False
+
+    speedup = float(committed.get("speedup_vs_csv", 0.0))
+    requests = int(committed.get("requests", 0))
+    print(f"trace load: baseline mmap open is {speedup:.1f}x faster than "
+          f"CSV parse ({requests:,} requests; floor {min_speedup:.1f}x)")
+    if speedup < min_speedup:
+        print("FAIL: mmap trace-image open no longer beats CSV parse by "
+              "the required factor")
+        ok = False
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("smoke_json", help="fresh --smoke run output")
@@ -148,6 +189,12 @@ def main():
                              "shard count (off unless given; auto-skipped "
                              "unless the machine reports strictly more "
                              "hardware threads than that shard count)")
+    parser.add_argument("--min-trace-load-speedup", type=float,
+                        default=None, metavar="X",
+                        help="gate the trace_load sections: smoke CSV "
+                             "parse MB/s within --tolerance of baseline, "
+                             "and baseline mmap open at least this much "
+                             "faster than CSV parse (off unless given)")
     args = parser.parse_args()
 
     with open(args.smoke_json) as f:
@@ -162,6 +209,9 @@ def main():
                               args.max_wall_ratio_regression) and ok
     if args.min_shard_speedup is not None:
         ok = check_shard_speedup(smoke, args.min_shard_speedup) and ok
+    if args.min_trace_load_speedup is not None:
+        ok = check_trace_load(smoke, baseline, args.tolerance,
+                              args.min_trace_load_speedup) and ok
     return 0 if ok else 1
 
 
