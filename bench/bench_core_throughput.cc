@@ -22,10 +22,16 @@
  *  3. Intra-trial shard scaling: ONE large partitioned trial
  *     (shard_cells = 4) executed with 1, 2 and 4 shard threads via
  *     core::ShardedEngine — the wall-clock payoff of the `--shards`
- *     knob.  The results are bit-identical across thread counts (the
- *     golden tests pin that); this section measures only the speedup.
- *     hw_threads is recorded because the speedup is meaningless on
- *     fewer cores than shards (CI gates on it conditionally).
+ *     knob.  Workers are pinned per --pin (default auto: one worker
+ *     per physical core when the machine has enough; off otherwise).
+ *     The results are bit-identical across thread counts and pin modes
+ *     (the golden tests pin that); this section measures only the
+ *     speedup.  The machine's *full* topology — physical cores, SMT,
+ *     NUMA nodes, sockets, not just hw_threads — is recorded in the
+ *     banner and JSON, because a shard speedup is only meaningful
+ *     relative to real parallelism: 4 shards on 4 hw_threads of a
+ *     2-core SMT laptop cannot reach 2x, and CI gates on the speedup
+ *     only when physical_cores exceeds the shard count.
  *
  *  4. Trace loading: CSV parse (write once, best-of-N reparse) vs
  *     `.ctrb` mmap open (validation included) on a ~1M-request trace
@@ -47,6 +53,7 @@
 #include <functional>
 #include <iostream>
 #include <queue>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -57,6 +64,7 @@
 #include "policies/registry.h"
 #include "sim/event_queue.h"
 #include "sim/thread_pool.h"
+#include "sim/topology.h"
 #include "trace/trace_image.h"
 #include "trace/trace_io.h"
 
@@ -286,6 +294,7 @@ measureEngine(const std::string &policy, double scale,
 struct ShardRun
 {
     unsigned shards = 1;
+    bool pinned = false; //!< shard workers pinned to physical cores
     std::uint64_t events = 0;
     double wall_ms = 0.0;
     double events_per_sec = 0.0;
@@ -296,25 +305,31 @@ struct ShardRun
  * One partitioned trial (shard_cells cells, cidre policy) executed
  * with @p shards threads, best-of-N.  The pool is built once per call:
  * its spawn cost is amortized across reps exactly as ExperimentRunner
- * amortizes it across trials.
+ * amortizes it across trials.  @p pin_cpus (may be empty) pins shard
+ * workers exactly as the CLI's --pin would; results are bit-identical
+ * either way, only the wall clock moves.
  */
 ShardRun
 measureShardedTrial(const trace::Trace &workload, std::uint32_t cells,
-                    unsigned shards, int reps)
+                    unsigned shards, const std::vector<int> &pin_cpus,
+                    int reps)
 {
     core::EngineConfig config = defaultConfig(100, cells);
     config.shard_cells = cells;
 
     ShardRun run;
     run.shards = shards;
-    sim::ThreadPool pool(shards);
+    sim::ThreadPool pool(
+        sim::ThreadPoolOptions{shards, sim::kDefaultPoolSpin, pin_cpus});
+    core::ShardExecOptions exec;
+    exec.pin_cpus = pin_cpus;
     for (int rep = 0; rep < reps; ++rep) {
         core::ShardedEngine engine(
             workload, config, [](const core::EngineConfig &cell_config) {
                 return policies::makePolicy("cidre", cell_config);
             });
         const auto started = std::chrono::steady_clock::now();
-        engine.run(shards > 1 ? &pool : nullptr);
+        engine.run(shards > 1 ? &pool : nullptr, exec);
         const double wall_ms =
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - started)
@@ -430,6 +445,7 @@ main(int argc, char **argv)
     // CI regression gate (tools/check_bench_regression.py).
     std::string out_path = "BENCH_core.json";
     bool smoke = false;
+    sim::PinMode pin_mode = sim::PinMode::Auto;
     std::vector<char *> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -441,13 +457,24 @@ main(int argc, char **argv)
             smoke = true;
             continue;
         }
+        if (std::string(argv[i]) == "--pin" && i + 1 < argc) {
+            try {
+                pin_mode = sim::parsePinMode(argv[i + 1]);
+            } catch (const std::invalid_argument &) {
+                std::cerr << "bench_core_throughput: bad --pin value '"
+                          << argv[i + 1] << "' (want auto|off|physical)\n";
+                return 1;
+            }
+            ++i;
+            continue;
+        }
         rest.push_back(argv[i]);
     }
     const Options options = parseOptions(
         static_cast<int>(rest.size()), rest.data(),
         "bench_core_throughput",
         "event-queue and engine throughput "
-        "(also: --out <json-path>, --smoke)");
+        "(also: --out <json-path>, --smoke, --pin auto|off|physical)");
 
     banner("Core simulation throughput",
            "the hot-path budget behind every figure");
@@ -519,25 +546,44 @@ main(int argc, char **argv)
 
     // Intra-trial shard scaling: one large 4-cell trial, 1/2/4 shard
     // threads.  Results are bit-identical across the three runs (pinned
-    // by test_sharded); only the wall clock moves.
+    // by test_sharded); only the wall clock moves.  The detected CPU
+    // topology is printed and recorded in the JSON so the speedup can be
+    // judged against *physical* parallelism, not hw_threads: the gate in
+    // tools/check_bench_regression.py only applies when physical_cores
+    // exceeds the shard count.
     const unsigned hw_threads = std::thread::hardware_concurrency();
+    const sim::CpuTopology topology = sim::CpuTopology::detect();
     const std::uint32_t shard_cells = 4;
     const double shard_scale = (smoke ? 0.25 : 1.0) * options.scale;
     const trace::Trace shard_workload =
         trace::makeAzureLikeTrace(options.seed, shard_scale);
     const int shard_reps = smoke ? 3 : 5;
+    std::cout << "topology: " << topology.physicalCores()
+              << " physical core(s), " << hw_threads << " hw thread(s), "
+              << topology.packages() << " socket(s), "
+              << topology.numaNodes() << " NUMA node(s), SMT "
+              << (topology.smt() ? "on" : "off") << ", pin mode "
+              << sim::pinModeName(pin_mode) << "\n";
     std::vector<ShardRun> shard_runs;
-    stats::Table shard_table({"shards", "events", "wall_ms",
+    bool any_pinned = false;
+    stats::Table shard_table({"shards", "pinned", "events", "wall_ms",
                               "events_per_sec", "speedup"});
     for (const unsigned shards : {1u, 2u, 4u}) {
+        const std::vector<int> pin_cpus =
+            shards > 1 ? sim::resolvePinCpus(pin_mode, topology, shards)
+                       : std::vector<int>{};
+        any_pinned = any_pinned || !pin_cpus.empty();
         std::cerr << "[bench] sharded trial (" << shard_cells
-                  << " cells) with " << shards << " thread(s)...\n";
+                  << " cells) with " << shards << " thread(s)"
+                  << (pin_cpus.empty() ? "" : ", pinned") << "...\n";
         ShardRun run = measureShardedTrial(shard_workload, shard_cells,
-                                           shards, shard_reps);
+                                           shards, pin_cpus, shard_reps);
+        run.pinned = !pin_cpus.empty();
         if (!shard_runs.empty())
             run.speedup = shard_runs.front().wall_ms / run.wall_ms;
         shard_runs.push_back(run);
         shard_table.addRow({std::to_string(run.shards),
+                            run.pinned ? "yes" : "no",
                             std::to_string(run.events),
                             stats::formatFixed(run.wall_ms, 1),
                             stats::formatFixed(run.events_per_sec, 0),
@@ -546,7 +592,8 @@ main(int argc, char **argv)
     emit(options, "core_throughput_shard_scaling", shard_table);
     std::cout << "shard speedup at 4 threads: "
               << stats::formatFixed(shard_runs.back().speedup, 2)
-              << "x (hardware threads: " << hw_threads << ")\n";
+              << "x (physical cores: " << topology.physicalCores()
+              << ", hardware threads: " << hw_threads << ")\n";
 
     // Trace loading: CSV parse vs `.ctrb` mmap open.  ~1M requests at
     // the default seed/scale; --smoke shrinks the trace, which shrinks
@@ -665,6 +712,12 @@ main(int argc, char **argv)
     json << "  ],\n";
     json << "  \"shard_scaling\": {\n"
          << "    \"hw_threads\": " << hw_threads << ",\n"
+         << "    \"physical_cores\": " << topology.physicalCores() << ",\n"
+         << "    \"smt\": " << (topology.smt() ? "true" : "false") << ",\n"
+         << "    \"numa_nodes\": " << topology.numaNodes() << ",\n"
+         << "    \"sockets\": " << topology.packages() << ",\n"
+         << "    \"pin\": \"" << sim::pinModeName(pin_mode) << "\",\n"
+         << "    \"pinned\": " << (any_pinned ? "true" : "false") << ",\n"
          << "    \"cells\": " << shard_cells << ",\n"
          << "    \"policy\": \"cidre\",\n";
     json.precision(2);
@@ -672,7 +725,8 @@ main(int argc, char **argv)
          << "    \"runs\": [\n";
     for (std::size_t i = 0; i < shard_runs.size(); ++i) {
         const ShardRun &run = shard_runs[i];
-        json << "      {\"shards\": " << run.shards
+        json << "      {\"shards\": " << run.shards << ", \"pinned\": "
+             << (run.pinned ? "true" : "false")
              << ", \"events\": " << run.events;
         json.precision(1);
         json << ", \"wall_ms\": " << run.wall_ms

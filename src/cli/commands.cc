@@ -13,6 +13,7 @@
 #include "core/sharded_engine.h"
 #include "exp/runner.h"
 #include "sim/thread_pool.h"
+#include "sim/topology.h"
 #include "policies/registry.h"
 #include "sim/rng.h"
 #include "stats/table.h"
@@ -116,6 +117,10 @@ const std::vector<OptionSpec> kSweepSpecs = {
     {"jobs", "n", "total worker threads (0 = all cores)", "0"},
     {"shards", "n", "threads per sharded trial (results-neutral; needs"
                     " --cells > 1)", "1"},
+    {"pin", "mode", "shard-worker CPU pinning: auto|off|physical"
+                    " (results-neutral)", "auto"},
+    {"epoch-events", "n", "target events per lockstep epoch in sharded"
+                          " trials (results-neutral; 0 = one-shot)", "0"},
     {"progress", "", "per-trial telemetry on stderr", ""},
 };
 
@@ -132,6 +137,9 @@ runnerOptions(const Options &options, std::ostream &err)
     runner.jobs = static_cast<unsigned>(options.getInt("jobs", 0));
     runner.shards = static_cast<unsigned>(options.getInt("shards", 1));
     runner.progress = options.getFlag("progress") ? &err : nullptr;
+    runner.pin = sim::parsePinMode(options.getString("pin", "auto"));
+    runner.epoch_events = static_cast<std::uint64_t>(
+        options.getInt("epoch-events", 0));
     return runner;
 }
 
@@ -176,10 +184,40 @@ engineConfig(const Options &options)
     const std::int64_t window_min = options.getInt("window-min", 15);
     config.stats_window = window_min <= 0 ? sim::kTimeInfinity
                                           : sim::minutes(window_min);
-    config.shard_cells = static_cast<std::uint32_t>(
-        options.getInt("cells", 1));
+    // "--cells auto" is a placement decision, not a number: it needs
+    // the workload and the machine, so it is resolved by the command
+    // (resolveAutoCells) once the trace is loaded.  Until then the
+    // config carries the valid provisional value 1.
+    config.shard_cells = options.getString("cells", "1") == "auto"
+        ? 1
+        : static_cast<std::uint32_t>(options.getInt("cells", 1));
     config.validate();
     return config;
+}
+
+/**
+ * Resolve `--cells auto` against the loaded workload and the detected
+ * topology (core::autoCellCount), recording the decision in
+ * config.shard_cells and announcing it on @p err — the recorded count
+ * is what makes the run reproducible elsewhere (rerun with
+ * `--cells N`).  Explicit `--cells N` passes through untouched.
+ */
+void
+resolveAutoCells(const Options &options, trace::TraceView workload,
+                 core::EngineConfig &config, unsigned shards,
+                 std::ostream &err)
+{
+    if (options.getString("cells", "1") != "auto")
+        return;
+    const auto topology = sim::CpuTopology::detect();
+    config.shard_cells = core::autoCellCount(workload, config,
+                                             std::max(1u, shards),
+                                             topology);
+    config.validate();
+    err << "cells auto: " << config.shard_cells << " (physical cores "
+        << topology.physicalCores() << ", shards "
+        << std::max(1u, shards) << "; rerun with --cells "
+        << config.shard_cells << " to reproduce)\n";
 }
 
 const std::vector<OptionSpec> kEngineSpecs = {
@@ -188,8 +226,9 @@ const std::vector<OptionSpec> kEngineSpecs = {
     {"threads", "n", "intra-container request slots", "1"},
     {"te-percentile", "q", "CSS T_e percentile (<0 = mean)", "0.5"},
     {"window-min", "n", "CSS history window minutes (<=0 = all)", "15"},
-    {"cells", "n", "partition the cluster into n independent cells"
-                   " (model parameter)", "1"},
+    {"cells", "n|auto", "partition the cluster into n independent cells"
+                        " (model parameter; auto = plan from trace size,"
+                        " workers and detected topology)", "1"},
 };
 
 void
@@ -356,18 +395,30 @@ runSimulate(const Options &options, std::ostream &out, std::ostream &err)
     Workload single_workload;
     if (trials == 1) {
         single_workload = loadWorkload(options);
+        resolveAutoCells(options, single_workload.view(), config,
+                         runner_options.shards, err);
         if (config.shard_cells > 1) {
+            if (single_workload.image)
+                single_workload.image->adviseShardedGather();
             core::ShardedEngine engine(
                 single_workload.view(), config,
                 [&policy](const core::EngineConfig &cell_config) {
                     return policies::makePolicy(policy, cell_config);
                 });
             const unsigned shards = std::max(1u, runner_options.shards);
+            core::ShardExecOptions exec;
+            exec.epoch_events = runner_options.epoch_events;
+            exec.barrier_spin = runner_options.spin_iterations;
             if (shards > 1) {
-                sim::ThreadPool pool(shards);
-                metrics = engine.run(&pool);
+                exec.pin_cpus = sim::resolvePinCpus(
+                    runner_options.pin, sim::CpuTopology::detect(),
+                    shards);
+                sim::ThreadPool pool(sim::ThreadPoolOptions{
+                    shards, runner_options.spin_iterations,
+                    exec.pin_cpus});
+                metrics = engine.run(&pool, exec);
             } else {
-                metrics = engine.run();
+                metrics = engine.run(nullptr, exec);
             }
         } else {
             core::Engine engine(single_workload.view(), config,
@@ -382,6 +433,13 @@ runSimulate(const Options &options, std::ostream &out, std::ostream &err)
         }
         const std::vector<Workload> workloads =
             loadTrialWorkloads(options, trials, runner_options.jobs);
+        resolveAutoCells(options, workloads[0].view(), config,
+                         runner_options.shards, err);
+        if (config.shard_cells > 1) {
+            for (const Workload &workload : workloads)
+                if (workload.image)
+                    workload.image->adviseShardedGather();
+        }
         std::vector<exp::TrialSpec> specs(trials);
         for (std::uint64_t i = 0; i < trials; ++i) {
             exp::TrialSpec &spec = specs[i];
@@ -465,7 +523,7 @@ runCompare(const Options &options, std::ostream &out, std::ostream &err)
         static_cast<std::uint64_t>(options.getInt("trials", 1));
     if (trials == 0)
         throw std::invalid_argument("compare: --trials must be >= 1");
-    const core::EngineConfig config = engineConfig(options);
+    core::EngineConfig config = engineConfig(options);
 
     // Every policy × trial pair is one independent simulation; fan them
     // all across the worker pool and reduce per policy in trial order,
@@ -473,6 +531,13 @@ runCompare(const Options &options, std::ostream &out, std::ostream &err)
     const exp::RunnerOptions runner_options = runnerOptions(options, err);
     const std::vector<Workload> workloads =
         loadTrialWorkloads(options, trials, runner_options.jobs);
+    resolveAutoCells(options, workloads[0].view(), config,
+                     runner_options.shards, err);
+    if (config.shard_cells > 1) {
+        for (const Workload &workload : workloads)
+            if (workload.image)
+                workload.image->adviseShardedGather();
+    }
     std::vector<exp::TrialSpec> specs;
     specs.reserve(names.size() * trials);
     for (const std::string &name : names) {

@@ -185,7 +185,11 @@ Engine::finish()
             std::to_string(trace_.requestCount()) +
             " requests completed — orchestration deadlock");
     }
-    metrics_.finalize(now());
+    // Finalize at the last *executed* event, not at now(): a stepped
+    // driver's final epoch deadline may overshoot the last event, and
+    // the time-integral metrics (makespan, average memory) must not
+    // depend on where the epoch boundaries fell.
+    metrics_.finalize(queue_.lastEventTime());
     return std::move(metrics_);
 }
 

@@ -126,6 +126,13 @@ class Engine
     std::uint64_t eventsExecuted() const { return queue_.executedCount(); }
 
     /**
+     * Timestamp of the next runnable event, or sim::kTimeInfinity when
+     * drained.  Lets a stepped driver jump its epoch boundary straight
+     * to the next event instead of sweeping empty simulated time.
+     */
+    sim::SimTime nextEventTime() const { return queue_.peekTime(); }
+
+    /**
      * T_e estimate: the configured percentile (or mean) of the recent
      * execution-time window; falls back to the profile's median when no
      * history exists yet.

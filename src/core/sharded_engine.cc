@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/rng.h"
+#include "sim/time.h"
 
 namespace cidre::core {
 
@@ -23,7 +24,45 @@ fullClusterCapacities(const cluster::ClusterConfig &cfg)
     return caps;
 }
 
+/** First simulated epoch length (~1 s); adaptation converges from here. */
+constexpr sim::SimTime kInitialEpochUs = 1 << 20;
+
+/** Ceiling on the adaptive epoch length (keeps `until` far from
+ *  overflow even on degenerate all-idle traces). */
+constexpr sim::SimTime kMaxEpochUs = sim::SimTime{1} << 40;
+
+int
+pinCpuFor(const ShardExecOptions &exec, std::size_t index)
+{
+    if (exec.pin_cpus.empty())
+        return -1;
+    return exec.pin_cpus[index % exec.pin_cpus.size()];
+}
+
 } // namespace
+
+std::uint32_t
+autoCellCount(trace::TraceView workload, const EngineConfig &config,
+              unsigned shard_threads, const sim::CpuTopology &topology)
+{
+    if (!workload.valid())
+        throw std::invalid_argument("autoCellCount: unbound workload view");
+
+    // One cell per unit of real parallelism the run can apply: the
+    // machine's physical cores when wider than the requested team.
+    std::uint64_t want = std::max<std::uint64_t>(
+        shard_threads, topology.physicalCores());
+
+    // Clamps, in decreasing order of authority: the partition cannot
+    // exceed the cluster's workers (each cell needs a worker slice) or
+    // the trace's functions (a functionless cell simulates nothing),
+    // and tiny traces do not amortize partition overhead.
+    want = std::min<std::uint64_t>(want, config.cluster.workers);
+    want = std::min<std::uint64_t>(want, workload.functionCount());
+    want = std::min<std::uint64_t>(
+        want, workload.requestCount() / kMinRequestsPerCell);
+    return static_cast<std::uint32_t>(std::max<std::uint64_t>(want, 1));
+}
 
 ShardPlan
 buildShardPlan(trace::TraceView workload, const EngineConfig &config)
@@ -102,70 +141,224 @@ buildShardPlan(trace::TraceView workload, const EngineConfig &config)
 ShardedEngine::ShardedEngine(trace::TraceView workload,
                              EngineConfig config,
                              PolicyFactory policy_factory)
-    : trace_(workload), config_(std::move(config))
+    : trace_(workload), config_(std::move(config)),
+      policy_factory_(std::move(policy_factory))
 {
-    if (!policy_factory)
+    if (!policy_factory_)
         throw std::invalid_argument("ShardedEngine: null policy factory");
     plan_ = buildShardPlan(trace_, config_);
 
     // Sized exactly once: sub-traces (and the views the engines borrow
     // over them) live inside the cells, so the vector must never
-    // reallocate after this point.
+    // reallocate after this point.  The cells themselves stay *empty*
+    // until buildCell() — run() materializes each one on the thread
+    // that simulates it, so the expensive state (sub-trace columns,
+    // cluster, metrics) is first-touched NUMA-locally.
     cells_.resize(plan_.cells.size());
+    if (plan_.cells.size() == 1)
+        return; // pass-through: nothing to precompute
 
-    if (plan_.cells.size() == 1) {
+    // Cheap index maps, computed eagerly so buildCell(k) is a pure
+    // gather.  A function's local id is its rank within its cell's
+    // ascending function list — exactly what Trace::addFunction will
+    // return when buildCell adds them in that order.
+    local_id_.assign(trace_.functionCount(), 0);
+    for (std::size_t k = 0; k < plan_.cells.size(); ++k) {
+        const auto &functions = plan_.cells[k].functions;
+        for (std::size_t j = 0; j < functions.size(); ++j)
+            local_id_[functions[j]] =
+                static_cast<trace::FunctionId>(j);
+        cells_[k].orig_request.reserve(plan_.cells[k].request_weight);
+    }
+    for (std::uint64_t i = 0; i < trace_.requestCount(); ++i) {
+        const auto k = plan_.cell_of_function[trace_.requestFunction(i)];
+        cells_[k].orig_request.push_back(i);
+    }
+}
+
+void
+ShardedEngine::buildCell(std::size_t k)
+{
+    auto &cell = cells_[k];
+    if (cell.engine)
+        return;
+
+    if (cells_.size() == 1) {
         // Pass-through: the original workload view, the original seed,
         // the original cluster — byte-identical to the plain Engine,
         // and zero-copy (the cell borrows the same backing pages).
         auto cell_config = config_;
         cell_config.shard_cells = 1;
-        cells_[0].workload = trace_;
-        cells_[0].engine = std::make_unique<Engine>(
-            trace_, cell_config, policy_factory(cell_config));
+        cell.engine = std::make_unique<Engine>(
+            trace_, cell_config, policy_factory_(cell_config));
+        cell.workload = trace_;
         return;
     }
 
-    // Build each cell's sub-trace.  Functions are added in ascending
-    // original-id order; requests in original (sealed) order, so the
-    // sub-trace's stable sort preserves the identity mapping between
-    // a cell request's index and its slot in orig_request.
-    std::vector<trace::FunctionId> local_id(trace_.functionCount(), 0);
-    for (std::size_t k = 0; k < plan_.cells.size(); ++k) {
-        auto &cell = cells_[k];
-        cell.orig_request.reserve(plan_.cells[k].request_weight);
-        for (const auto fn : plan_.cells[k].functions)
-            local_id[fn] = cell.sub_trace.addFunction(trace_.function(fn));
-    }
-    for (std::uint64_t i = 0; i < trace_.requestCount(); ++i) {
-        const auto fn = trace_.requestFunction(i);
-        const auto k = plan_.cell_of_function[fn];
-        cells_[k].sub_trace.addRequest(local_id[fn], trace_.arrivalUs(i),
-                                       trace_.execUs(i));
-        cells_[k].orig_request.push_back(i);
-    }
+    // Gather the cell's sub-trace: functions in ascending original-id
+    // order (matching local_id_), requests in original sealed order, so
+    // the sub-trace's stable sort preserves the identity mapping
+    // between a cell request's index and its slot in orig_request.
+    for (const auto fn : plan_.cells[k].functions)
+        cell.sub_trace.addFunction(trace_.function(fn));
+    for (const auto i : cell.orig_request)
+        cell.sub_trace.addRequest(local_id_[trace_.requestFunction(i)],
+                                  trace_.arrivalUs(i), trace_.execUs(i));
+    cell.sub_trace.seal();
+    cell.workload = trace::TraceView(cell.sub_trace);
 
-    for (std::size_t k = 0; k < cells_.size(); ++k) {
-        auto &cell = cells_[k];
-        cell.sub_trace.seal();
-        cell.workload = trace::TraceView(cell.sub_trace);
-
-        auto cell_config = config_;
-        cell_config.shard_cells = 1;
-        cell_config.cluster = plan_.cells[k].cluster;
-        // Position-keyed RNG substream, like the runner's per-trial
-        // streams: independent of thread count and of other cells.
-        cell_config.seed = sim::substreamSeed(config_.seed,
-                                              static_cast<std::uint64_t>(k));
-        cell.engine = std::make_unique<Engine>(
-            cell.workload, cell_config, policy_factory(cell_config));
-    }
+    auto cell_config = config_;
+    cell_config.shard_cells = 1;
+    cell_config.cluster = plan_.cells[k].cluster;
+    // Position-keyed RNG substream, like the runner's per-trial
+    // streams: independent of thread count and of other cells.
+    cell_config.seed = sim::substreamSeed(config_.seed,
+                                          static_cast<std::uint64_t>(k));
+    cell.engine = std::make_unique<Engine>(
+        cell.workload, cell_config, policy_factory_(cell_config));
 }
 
 RunMetrics
-ShardedEngine::run(sim::ThreadPool *pool)
+ShardedEngine::run(sim::ThreadPool *pool, const ShardExecOptions &exec)
 {
-    begin();
-    return finish(pool);
+    if (ran_)
+        throw std::logic_error("ShardedEngine: run() is single-shot");
+    ran_ = true;
+
+    // Stepped mode needs the pool's full team concurrently (bodies
+    // meet at a barrier), so a pool already inside a loop — whose
+    // nested dispatches run serially — must fall back to one-shot.
+    // The fallback is bit-identical; only the epoch spine differs.
+    if (exec.epoch_events > 0 && pool != nullptr && cells_.size() > 1 &&
+        !pool->busy())
+        return merge(runStepped(*pool, exec));
+
+    // One-shot mode: each cell is built *and* run inside its loop body
+    // (pin, first-touch, simulate — one thread, one cell, one node).
+    std::vector<RunMetrics> per_cell(cells_.size());
+    auto body = [this, &per_cell, &exec](std::size_t k) {
+        sim::ScopedAffinity pin(pinCpuFor(exec, k));
+        buildCell(k);
+        per_cell[k] = cells_[k].engine->run();
+    };
+    if (pool != nullptr)
+        pool->parallelFor(cells_.size(), body);
+    else
+        for (std::size_t k = 0; k < cells_.size(); ++k)
+            body(k);
+    return merge(std::move(per_cell));
+}
+
+std::vector<RunMetrics>
+ShardedEngine::runStepped(sim::ThreadPool &pool,
+                          const ShardExecOptions &exec)
+{
+    const unsigned team = pool.threadCount();
+    const std::uint64_t target = exec.epoch_events;
+    sim::EpochBarrier barrier(team, exec.barrier_spin);
+
+    std::vector<RunMetrics> per_cell(cells_.size());
+
+    // Per-worker epoch accounting, one padded slot per team index so
+    // concurrent writers never share a cache line.
+    struct alignas(64) WorkerEpoch
+    {
+        std::uint64_t events = 0;
+        sim::SimTime next_event = sim::kTimeInfinity;
+    };
+    std::vector<WorkerEpoch> slots(team);
+
+    // The shared epoch plan.  Written only by team index 0 between the
+    // two barrier crossings of an epoch; read by everyone after the
+    // second crossing.  The barrier's sense word orders the accesses
+    // (leader writes happen-before its arrival, which happens-before
+    // every wake), so no additional atomics are needed.
+    struct alignas(64) EpochPlan
+    {
+        sim::SimTime until = 0;
+        sim::SimTime epoch_len = kInitialEpochUs;
+        std::uint64_t epochs_planned = 0;
+        bool done = false;
+    };
+    EpochPlan plan;
+
+    auto body = [&](std::size_t index) {
+        const auto w = static_cast<unsigned>(index);
+        sim::ScopedAffinity pin(pinCpuFor(exec, w));
+        sim::EpochBarrier::Waiter waiter;
+
+        // Build and arm the statically owned cells (k % team == w) on
+        // this thread: ownership never migrates, so the pages stay with
+        // the worker that keeps touching them.
+        auto &slot = slots[w];
+        for (std::size_t k = w; k < cells_.size(); k += team) {
+            buildCell(k);
+            cells_[k].engine->begin();
+            slot.next_event = std::min(slot.next_event,
+                                       cells_[k].engine->nextEventTime());
+        }
+
+        for (;;) {
+            barrier.arriveAndWait(waiter);
+            // Team index 0 — never "whoever arrived last", that is
+            // scheduling-dependent — plans the next epoch from global
+            // sums, so the plan sequence is a pure function of the
+            // workload no matter how many workers execute it.
+            if (w == 0) {
+                std::uint64_t events = 0;
+                auto next = sim::kTimeInfinity;
+                for (const auto &s : slots) {
+                    events += s.events;
+                    next = std::min(next, s.next_event);
+                }
+                if (next == sim::kTimeInfinity) {
+                    plan.done = true;
+                } else {
+                    // Adapt toward the events-per-epoch target (skip
+                    // the arming pass — nothing has executed yet).
+                    if (plan.epochs_planned > 0) {
+                        if (events < target / 2)
+                            plan.epoch_len =
+                                std::min(plan.epoch_len * 2, kMaxEpochUs);
+                        else if (events > target * 2)
+                            plan.epoch_len = std::max(plan.epoch_len / 2,
+                                                      sim::SimTime{1});
+                    }
+                    // Start the epoch at the next runnable event, not
+                    // at the previous boundary: idle gaps are jumped,
+                    // not swept.
+                    plan.until =
+                        std::max(plan.until, next) + plan.epoch_len;
+                    ++plan.epochs_planned;
+                }
+            }
+            barrier.arriveAndWait(waiter);
+            if (plan.done)
+                break;
+
+            slot.events = 0;
+            slot.next_event = sim::kTimeInfinity;
+            for (std::size_t k = w; k < cells_.size(); k += team) {
+                auto &engine = *cells_[k].engine;
+                if (engine.drained())
+                    continue;
+                slot.events += engine.stepUntil(plan.until);
+                slot.next_event = std::min(slot.next_event,
+                                           engine.nextEventTime());
+            }
+        }
+
+        for (std::size_t k = w; k < cells_.size(); k += team)
+            per_cell[k] = cells_[k].engine->finish();
+    };
+
+    // One dispatch for the whole trial: the team is resident.  With
+    // count == threadCount() and bodies that block on the barrier,
+    // every pool thread ends up owning exactly one team index (no
+    // thread can claim a second body before all bodies started).
+    pool.parallelFor(team, sim::ThreadPool::Body(
+        [&body](std::size_t index, unsigned) { body(index); }));
+    return per_cell;
 }
 
 void
@@ -174,8 +367,10 @@ ShardedEngine::begin()
     if (ran_)
         throw std::logic_error("ShardedEngine: begin() is single-shot");
     ran_ = true;
-    for (auto &cell : cells_)
-        cell.engine->begin();
+    for (std::size_t k = 0; k < cells_.size(); ++k) {
+        buildCell(k);
+        cells_[k].engine->begin();
+    }
 }
 
 std::size_t
@@ -183,17 +378,19 @@ ShardedEngine::stepUntil(sim::SimTime until, sim::ThreadPool *pool)
 {
     if (!ran_)
         throw std::logic_error("ShardedEngine: begin() first");
-    std::vector<std::size_t> executed(cells_.size(), 0);
+    std::vector<PaddedCount> executed(cells_.size());
     auto body = [this, until, &executed](std::size_t k) {
-        executed[k] = cells_[k].engine->stepUntil(until);
+        executed[k].value = cells_[k].engine->stepUntil(until);
     };
     if (pool != nullptr)
         pool->parallelFor(cells_.size(), body);
     else
         for (std::size_t k = 0; k < cells_.size(); ++k)
             body(k);
-    return std::accumulate(executed.begin(), executed.end(),
-                           std::size_t{0});
+    std::size_t total = 0;
+    for (const auto &count : executed)
+        total += count.value;
+    return total;
 }
 
 RunMetrics
@@ -213,7 +410,12 @@ ShardedEngine::finish(sim::ThreadPool *pool)
     else
         for (std::size_t k = 0; k < cells_.size(); ++k)
             body(k);
+    return merge(std::move(per_cell));
+}
 
+RunMetrics
+ShardedEngine::merge(std::vector<RunMetrics> per_cell)
+{
     if (cells_.size() == 1)
         return std::move(per_cell[0]);
 
@@ -242,7 +444,7 @@ ShardedEngine::drained() const
     if (!ran_)
         return false;
     for (const auto &cell : cells_)
-        if (!cell.engine->drained())
+        if (!cell.engine || !cell.engine->drained())
             return false;
     return true;
 }
@@ -252,7 +454,8 @@ ShardedEngine::eventsExecuted() const
 {
     std::uint64_t sum = 0;
     for (const auto &cell : cells_)
-        sum += cell.engine->eventsExecuted();
+        if (cell.engine)
+            sum += cell.engine->eventsExecuted();
     return sum;
 }
 

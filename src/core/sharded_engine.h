@@ -37,6 +37,32 @@
  * a 4-cell cluster is a different (partitioned) system than the
  * monolithic one, exactly as a 4-stamp deployment differs from one
  * giant stamp.  Pick cells once per experiment; sweep threads freely.
+ *
+ * ## Execution (wall-clock only — never results)
+ *
+ * ShardExecOptions carries the knobs that make the sharded run *fast*
+ * without touching what it computes:
+ *
+ *  - **Placement.**  pin_cpus maps cell (one-shot mode) or team index
+ *    (stepped mode) to a CPU; bodies pin via sim::ScopedAffinity before
+ *    touching cell state.  Cells are built lazily *on the thread that
+ *    runs them* (first-touch), so a cell's sub-trace, cluster state and
+ *    metrics pages are allocated on the NUMA node of the worker that
+ *    will simulate it.  CellRuntime is cache-line aligned and per-cell
+ *    counters are padded, so neighbouring cells never false-share.
+ *
+ *  - **Epochs.**  epoch_events > 0 selects lockstep-epoch execution on
+ *    a resident worker team: one parallelFor dispatch for the whole
+ *    trial, workers statically own cells (team index w owns cells
+ *    k % W == w) and meet at a sense-reversing EpochBarrier between
+ *    epochs.  The epoch length adapts toward the events-per-epoch
+ *    target from *global* per-epoch sums, so the sequence of epoch
+ *    boundaries — like everything else — is a pure function of the
+ *    workload and config, never of the thread count.  Since cells are
+ *    mutually independent, epoch boundaries cannot change results at
+ *    all; they exist so future cross-cell couplings (and progress
+ *    telemetry) have a deterministic synchronization spine that costs
+ *    nanoseconds, not futex round trips, per crossing.
  */
 
 #ifndef CIDRE_CORE_SHARDED_ENGINE_H
@@ -51,10 +77,57 @@
 #include "core/engine.h"
 #include "core/metrics.h"
 #include "core/policy.h"
+#include "sim/epoch_barrier.h"
 #include "sim/thread_pool.h"
+#include "sim/topology.h"
 #include "trace/trace_view.h"
 
 namespace cidre::core {
+
+/** Floor of requests per cell enforced by autoCellCount(). */
+inline constexpr std::uint64_t kMinRequestsPerCell = 4096;
+
+/** Default adaptive target of `--epoch-events` stepped execution. */
+inline constexpr std::uint64_t kDefaultEpochEvents = 1ull << 15;
+
+/**
+ * The `--cells auto` planner: derive a cell count from the workload,
+ * the config and the machine.  Aims for one cell per unit of real
+ * parallelism — max(shard_threads, physical cores) — then clamps so
+ * the partition stays sound: at most one cell per cluster worker, per
+ * trace function, and per kMinRequestsPerCell requests (tiny traces
+ * do not amortize partition overhead).  Always >= 1.
+ *
+ * The returned count is machine-dependent *by design* (that is the
+ * point of auto); determinism is preserved because the count is
+ * resolved once, recorded in EngineConfig::shard_cells, and the
+ * partition is a pure function of (trace, shard_cells) from there —
+ * identical machines or an explicit `--cells N` reproduce it exactly.
+ */
+std::uint32_t autoCellCount(trace::TraceView workload,
+                            const EngineConfig &config,
+                            unsigned shard_threads,
+                            const sim::CpuTopology &topology);
+
+/** Wall-clock execution knobs of a sharded run; see the file comment. */
+struct ShardExecOptions
+{
+    /**
+     * CPU per cell (one-shot) / team index (stepped): entry [i % size].
+     * Empty = run unpinned.  Typically sim::resolvePinCpus(...).
+     */
+    std::vector<int> pin_cpus;
+
+    /**
+     * Target events per lockstep epoch; 0 = one-shot execution (each
+     * cell runs to completion in a single pass, the fastest mode for
+     * fully independent cells).
+     */
+    std::uint64_t epoch_events = 0;
+
+    /** Spin budget of the epoch barrier (stepped mode only). */
+    unsigned barrier_spin = sim::kDefaultBarrierSpin;
+};
 
 /** Deterministic partition of one trial into independent cells. */
 struct ShardPlan
@@ -119,14 +192,24 @@ class ShardedEngine
     /**
      * Run the whole trial and return the merged metrics.  @p pool
      * supplies the shard threads (nullptr = run cells serially on the
-     * calling thread); the result is bit-identical either way.
-     * Single-shot, like Engine::run().
+     * calling thread); the result is bit-identical either way, and for
+     * every @p exec (pinning, epoch mode): execution options are pure
+     * wall-clock knobs.  Single-shot, like Engine::run().
+     *
+     * Cells are built inside the loop bodies (first-touch placement);
+     * exec.epoch_events > 0 selects the resident-team stepped mode.
      */
-    RunMetrics run(sim::ThreadPool *pool = nullptr);
+    RunMetrics run(sim::ThreadPool *pool = nullptr,
+                   const ShardExecOptions &exec = {});
 
     // ---- stepped execution (lockstep epochs) --------------------------
 
-    /** Arm every cell without executing events.  Single-shot. */
+    /**
+     * Arm every cell without executing events.  Single-shot.  Builds
+     * any not-yet-built cell on the calling thread (the manual stepping
+     * API trades first-touch placement for external control; run()
+     * keeps both).
+     */
     void begin();
 
     /**
@@ -156,14 +239,19 @@ class ShardedEngine
     std::size_t cellCount() const { return cells_.size(); }
     const ShardPlan &plan() const { return plan_; }
 
-    /** The per-cell engine (tests / telemetry). */
+    /** The per-cell engine (tests / telemetry; cell must be built). */
     const Engine &cellEngine(std::size_t cell) const
     {
         return *cells_.at(cell).engine;
     }
 
   private:
-    struct CellRuntime
+    /**
+     * Cache-line aligned so neighbouring cells' hot state (engine
+     * pointer, sub-trace headers) never shares a line — shard workers
+     * write their own cell's state concurrently.
+     */
+    struct alignas(64) CellRuntime
     {
         /** Owned sub-trace; unused in the shard_cells == 1 pass-through. */
         trace::Trace sub_trace;
@@ -177,10 +265,35 @@ class ShardedEngine
         std::unique_ptr<Engine> engine;
     };
 
+    /** Padded counter slot: one writer per slot, no false sharing. */
+    struct alignas(64) PaddedCount
+    {
+        std::uint64_t value = 0;
+    };
+
+    /**
+     * Materialize cell @p k (gather + seal its sub-trace, construct its
+     * engine) on the *calling* thread — the first-touch half of NUMA
+     * placement: run() invokes it from the loop body that will simulate
+     * the cell, so the cell's pages are local to that worker's node.
+     * Idempotent; never called concurrently for the same k.
+     */
+    void buildCell(std::size_t k);
+
+    /** Canonical cell-order fold of per-cell results (see finish()). */
+    RunMetrics merge(std::vector<RunMetrics> per_cell);
+
+    /** Resident-team lockstep-epoch execution (see the file comment). */
+    std::vector<RunMetrics> runStepped(sim::ThreadPool &pool,
+                                       const ShardExecOptions &exec);
+
     trace::TraceView trace_;
     EngineConfig config_;
+    PolicyFactory policy_factory_; //!< kept for lazy cell builds
     ShardPlan plan_;
     std::vector<CellRuntime> cells_;
+    /** Original function id -> id within its cell's sub-trace. */
+    std::vector<trace::FunctionId> local_id_;
     bool ran_ = false;
 };
 

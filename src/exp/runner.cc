@@ -44,12 +44,26 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options)
     // thread count is a pure wall-clock knob.
     shard_threads_ = std::min(std::max(1u, options_.shards), jobs);
     const unsigned outer = std::max(1u, jobs / shard_threads_);
-    outer_pool_ = std::make_unique<sim::ThreadPool>(outer);
+
+    // Pin shard workers only when there is exactly one shard team:
+    // concurrent teams resolved against the same physical-core order
+    // would stack onto the same CPUs.  A single team pinned one worker
+    // per physical core is the topology-honest layout.
+    if (options_.pin != sim::PinMode::Off && shard_threads_ > 1 &&
+        outer == 1) {
+        pin_cpus_ = sim::resolvePinCpus(
+            options_.pin, sim::CpuTopology::detect(), shard_threads_);
+    }
+
+    outer_pool_ = std::make_unique<sim::ThreadPool>(sim::ThreadPoolOptions{
+        outer, options_.spin_iterations, {}});
     if (shard_threads_ > 1) {
         inner_pools_.reserve(outer);
         for (unsigned slot = 0; slot < outer; ++slot)
-            inner_pools_.push_back(
-                std::make_unique<sim::ThreadPool>(shard_threads_));
+            inner_pools_.push_back(std::make_unique<sim::ThreadPool>(
+                sim::ThreadPoolOptions{shard_threads_,
+                                       options_.spin_iterations,
+                                       pin_cpus_}));
     }
 }
 
@@ -92,9 +106,14 @@ ExperimentRunner::run(const std::vector<TrialSpec> &specs)
                         return policies::makePolicy(spec.policy,
                                                     cell_config);
                     });
+                core::ShardExecOptions exec;
+                exec.pin_cpus = pin_cpus_;
+                exec.epoch_events = options_.epoch_events;
+                exec.barrier_spin = options_.spin_iterations;
                 result.metrics = engine.run(
                     inner_pools_.empty() ? nullptr
-                                         : inner_pools_[slot].get());
+                                         : inner_pools_[slot].get(),
+                    exec);
                 result.events_executed = engine.eventsExecuted();
             } else {
                 core::Engine engine(spec.workload, config,

@@ -50,6 +50,7 @@
 #include "core/config.h"
 #include "core/metrics.h"
 #include "sim/thread_pool.h"
+#include "sim/topology.h"
 #include "trace/trace_view.h"
 
 namespace cidre::exp {
@@ -120,6 +121,25 @@ struct RunnerOptions
      * therefore never printed to result streams.
      */
     std::ostream *progress = nullptr;
+
+    /**
+     * Shard-worker CPU pinning (the `--pin` knob).  Applied only when
+     * a single shard team exists (outer width 1): concurrent teams
+     * pinned to the same physical-core order would stack on the same
+     * CPUs and fight.  Auto additionally requires enough physical
+     * cores (sim::resolvePinCpus).  Purely wall-clock.
+     */
+    sim::PinMode pin = sim::PinMode::Auto;
+
+    /**
+     * Target events per lockstep epoch inside sharded trials (the
+     * `--epoch-events` knob); 0 = one-shot cell execution.  Purely
+     * wall-clock (core::ShardExecOptions::epoch_events).
+     */
+    std::uint64_t epoch_events = 0;
+
+    /** Spin budget of pool waits and epoch barriers (iterations). */
+    unsigned spin_iterations = sim::kDefaultPoolSpin;
 };
 
 /** Default worker count: the hardware concurrency (at least 1). */
@@ -162,10 +182,14 @@ class ExperimentRunner
     unsigned outerThreads() const;
     /** Threads applied inside each sharded trial (post-clamp). */
     unsigned shardThreads() const { return shard_threads_; }
+    /** Resolved shard-worker pin order (empty = running unpinned). */
+    const std::vector<int> &pinCpus() const { return pin_cpus_; }
 
   private:
     RunnerOptions options_;
     unsigned shard_threads_ = 1;
+    /** CPU per cell/team index, per options_.pin (empty = unpinned). */
+    std::vector<int> pin_cpus_;
     /** Fans trials; outer slot s runs its sharded cells on inner s. */
     std::unique_ptr<sim::ThreadPool> outer_pool_;
     /** One per outer slot; empty when shard_threads_ == 1. */

@@ -1,0 +1,67 @@
+#include "sim/epoch_barrier.h"
+
+#include <stdexcept>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace cidre::sim {
+
+namespace {
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+}
+
+} // namespace
+
+EpochBarrier::EpochBarrier(unsigned parties, unsigned spin_iterations)
+    : parties_(parties), spin_(spin_iterations)
+{
+    if (parties == 0)
+        throw std::invalid_argument("EpochBarrier: parties must be >= 1");
+}
+
+bool
+EpochBarrier::arriveAndWait(Waiter &waiter)
+{
+    const bool my_sense = !waiter.sense;
+    waiter.sense = my_sense;
+
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        parties_) {
+        // Last arrival: reset for the next crossing, then flip the
+        // sense.  The count reset happens strictly before the flip
+        // releases the waiters, so no party of the *next* crossing can
+        // observe a stale count.  The flip is published under the park
+        // mutex so a parked waiter cannot miss it between its predicate
+        // check and its wait (the classic lost-wakeup pairing).
+        arrived_.store(0, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            sense_.store(my_sense, std::memory_order_release);
+        }
+        wake_.notify_all();
+        return true;
+    }
+
+    for (unsigned i = 0; i < spin_; ++i) {
+        if (sense_.load(std::memory_order_acquire) == my_sense)
+            return false;
+        cpuRelax();
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_.wait(lock, [&] {
+        return sense_.load(std::memory_order_acquire) == my_sense;
+    });
+    return false;
+}
+
+} // namespace cidre::sim

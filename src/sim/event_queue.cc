@@ -188,6 +188,7 @@ EventQueue::runNext()
     EventCallback callback = std::move(slots_[slot].callback);
     releaseSlot(slot);
     now_ = top.when;
+    last_event_ = top.when;
     ++executed_;
     callback(now_);
     return true;

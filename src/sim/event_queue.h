@@ -308,6 +308,16 @@ class EventQueue
     /** Current simulated time (time of the last executed event). */
     SimTime now() const { return now_; }
 
+    /**
+     * Timestamp of the most recently *executed* event (0 before any).
+     * Unlike now(), never fast-forwarded by runUntil(): a stepped
+     * driver whose final deadline overshoots the last event still reads
+     * the same value here as a drain-in-one-go run — which is what
+     * makes epoch-stepped execution result-identical to run-to-
+     * completion for time-integral metrics (makespan, memory).
+     */
+    SimTime lastEventTime() const { return last_event_; }
+
     /** Timestamp of the next runnable event, or kTimeInfinity. */
     SimTime peekTime() const;
 
@@ -395,6 +405,7 @@ class EventQueue
     /** Cancelled entries still occupying heap storage. */
     mutable std::size_t cancelled_ = 0;
     SimTime now_ = 0;
+    SimTime last_event_ = 0; //!< see lastEventTime()
     std::uint64_t next_seq_ = 1;
     std::uint64_t executed_ = 0;
 };

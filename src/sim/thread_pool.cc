@@ -1,20 +1,46 @@
 #include "sim/thread_pool.h"
 
+#include "sim/topology.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
 namespace cidre::sim {
 
-ThreadPool::ThreadPool(unsigned threads)
-    : helpers_(threads <= 1 ? 0 : threads - 1)
+namespace {
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(const ThreadPoolOptions &options)
+    : helpers_(options.threads <= 1 ? 0 : options.threads - 1),
+      spin_(options.spin_iterations)
 {
     threads_.reserve(helpers_);
-    for (unsigned slot = 1; slot <= helpers_; ++slot)
-        threads_.emplace_back([this, slot] { workerMain(slot); });
+    for (unsigned slot = 1; slot <= helpers_; ++slot) {
+        const int pin_cpu = options.pin_cpus.empty()
+            ? -1
+            : options.pin_cpus[slot % options.pin_cpus.size()];
+        threads_.emplace_back(
+            [this, slot, pin_cpu] { workerMain(slot, pin_cpu); });
+    }
 }
 
 ThreadPool::~ThreadPool()
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        shutdown_ = true;
+        shutdown_.store(true, std::memory_order_release);
     }
     work_cv_.notify_all();
     for (auto &thread : threads_)
@@ -39,25 +65,39 @@ ThreadPool::drain(Loop &loop, unsigned slot)
 }
 
 void
-ThreadPool::workerMain(unsigned slot)
+ThreadPool::workerMain(unsigned slot, int pin_cpu)
 {
+    if (pin_cpu >= 0 && pinCurrentThread(pin_cpu))
+        pinned_helpers_.fetch_add(1, std::memory_order_relaxed);
+
     std::uint64_t seen = 0;
     for (;;) {
+        // Spin-then-park: a loop published within the spin budget is
+        // picked up without any futex traffic; the park path below
+        // re-checks the same predicate under the mutex.
+        for (unsigned i = 0; i < spin_; ++i) {
+            if (shutdown_.load(std::memory_order_acquire) ||
+                generation_.load(std::memory_order_acquire) != seen)
+                break;
+            cpuRelax();
+        }
         Loop *loop = nullptr;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_cv_.wait(lock, [&] {
-                return shutdown_ || (active_ != nullptr &&
-                                     generation_ != seen);
+                return shutdown_.load(std::memory_order_relaxed) ||
+                       (active_ != nullptr &&
+                        generation_.load(std::memory_order_relaxed) !=
+                            seen);
             });
-            if (shutdown_)
+            if (shutdown_.load(std::memory_order_relaxed))
                 return;
-            seen = generation_;
+            seen = generation_.load(std::memory_order_relaxed);
             loop = active_;
             // Check in while still holding the mutex: from here on this
             // helper holds a pointer into the caller's stack frame, and
             // the caller must not return until we check back out.
-            ++participants_;
+            participants_.fetch_add(1, std::memory_order_relaxed);
         }
         drain(*loop, slot);
         // Check out and wake the caller.  Decrementing under the mutex
@@ -66,7 +106,7 @@ ThreadPool::workerMain(unsigned slot)
         // predicate and blocking (a lost wakeup).
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            --participants_;
+            participants_.fetch_sub(1, std::memory_order_release);
         }
         done_cv_.notify_one();
     }
@@ -105,7 +145,7 @@ ThreadPool::parallelFor(std::size_t count, const Body &body)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         active_ = &loop;
-        ++generation_;
+        generation_.fetch_add(1, std::memory_order_release);
     }
     work_cv_.notify_all();
 
@@ -117,12 +157,15 @@ ThreadPool::parallelFor(std::size_t count, const Body &body)
     // Loop.  A helper that has not yet checked in when we clear active_
     // never picks the loop up at all.
     drain(loop, 0);
+    const auto finished = [&] {
+        return loop.done.load(std::memory_order_acquire) == count &&
+               participants_.load(std::memory_order_acquire) == 0;
+    };
+    for (unsigned i = 0; i < spin_ && !finished(); ++i)
+        cpuRelax();
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        done_cv_.wait(lock, [&] {
-            return loop.done.load(std::memory_order_acquire) == count &&
-                   participants_ == 0;
-        });
+        done_cv_.wait(lock, finished);
         active_ = nullptr;
     }
     in_loop_.store(false);

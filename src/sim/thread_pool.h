@@ -23,6 +23,21 @@
  * per-thread queues — copied from the discipline exp::parallelFor
  * established: claim order may vary between runs; results, landing at
  * their index, never do.
+ *
+ * ## Wake-up latency (spin-then-park)
+ *
+ * An epoch-stepped sharded trial dispatches thousands of short loops,
+ * and a helper that parked on the condvar between epochs pays a futex
+ * wake plus scheduler latency before it can claim its first index —
+ * easily longer than the epoch itself.  Helpers therefore spin on the
+ * (atomic) generation counter for a bounded number of iterations after
+ * finishing a loop before parking, and the caller's completion wait
+ * spins the same way before blocking.  The budget is a constructor
+ * knob (ThreadPoolOptions::spin_iterations): 0 restores the pure
+ * condvar behaviour, the default covers inter-epoch gaps of a few
+ * microseconds.  Spinning only ever costs the idle helper's own CPU
+ * time; correctness is untouched (the park path re-checks the
+ * predicate under the mutex that publishes it).
  */
 
 #ifndef CIDRE_SIM_THREAD_POOL_H
@@ -31,6 +46,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -38,6 +54,28 @@
 #include <vector>
 
 namespace cidre::sim {
+
+/** Default spin budget before a helper/caller parks (iterations). */
+inline constexpr unsigned kDefaultPoolSpin = 1u << 12;
+
+/** Construction-time knobs of a ThreadPool. */
+struct ThreadPoolOptions
+{
+    /** Total threads applied by parallelFor(), caller included. */
+    unsigned threads = 1;
+
+    /** Polls of the wake predicate before parking; 0 = park at once. */
+    unsigned spin_iterations = kDefaultPoolSpin;
+
+    /**
+     * Default CPU affinity of the helper threads: helper slot s pins
+     * itself to pin_cpus[s % size] at spawn (sim::pinCurrentThread
+     * semantics — failure is a silent no-op).  Empty = inherit.  The
+     * calling thread is never pinned by the pool; bodies that need an
+     * exact per-index placement use sim::ScopedAffinity themselves.
+     */
+    std::vector<int> pin_cpus;
+};
 
 /** Fixed set of worker threads executing indexed parallel loops. */
 class ThreadPool
@@ -56,7 +94,13 @@ class ThreadPool
      * @param threads total threads applied by parallelFor(), including
      *        the calling thread; 0 and 1 both mean "no helpers".
      */
-    explicit ThreadPool(unsigned threads);
+    explicit ThreadPool(unsigned threads)
+        : ThreadPool(ThreadPoolOptions{threads, kDefaultPoolSpin, {}})
+    {
+    }
+
+    /** Full-knob constructor (spin budget, helper affinity). */
+    explicit ThreadPool(const ThreadPoolOptions &options);
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
@@ -66,6 +110,23 @@ class ThreadPool
 
     /** Total threads applied to a loop (helpers + the caller). */
     unsigned threadCount() const { return helpers_ + 1; }
+
+    /** Configured spin budget (tests, telemetry). */
+    unsigned spinIterations() const { return spin_; }
+
+    /** Helpers whose spawn-time pin succeeded (telemetry only). */
+    unsigned pinnedHelpers() const
+    {
+        return pinned_helpers_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * True while a parallelFor is active on this pool.  A caller about
+     * to dispatch a loop whose bodies *synchronize with each other*
+     * (resident teams) must check this: a nested dispatch runs
+     * serially, which deadlocks inter-body barriers.
+     */
+    bool busy() const { return in_loop_.load(std::memory_order_acquire); }
 
     /**
      * Run body(0) ... body(count-1), returning when all ran.  The
@@ -92,27 +153,35 @@ class ThreadPool
         std::vector<std::exception_ptr> *errors = nullptr;
     };
 
-    void workerMain(unsigned slot);
+    void workerMain(unsigned slot, int pin_cpu);
     /** Claim-and-run until the loop is exhausted. */
     static void drain(Loop &loop, unsigned slot);
 
     unsigned helpers_ = 0;
+    unsigned spin_ = kDefaultPoolSpin;
     std::vector<std::thread> threads_;
+    std::atomic<unsigned> pinned_helpers_{0};
 
     std::mutex mutex_;
     std::condition_variable work_cv_;   //!< helpers wait for a loop
     std::condition_variable done_cv_;   //!< the caller waits for drain
     Loop *active_ = nullptr;            //!< published under mutex_
-    std::uint64_t generation_ = 0;      //!< bumped per published loop
+    /**
+     * Bumped (under mutex_) per published loop.  Atomic so idle helpers
+     * can spin on it outside the mutex before parking; the mutex-held
+     * store still pairs with the condvar predicate for the park path.
+     */
+    std::atomic<std::uint64_t> generation_{0};
     /**
      * Helpers currently holding a pointer into the active loop.  A
      * helper checks in (under mutex_) when it picks up active_ and
      * checks out after drain() returns; the caller's completion wait
      * requires participants_ == 0 so the stack-allocated Loop cannot be
-     * destroyed while a helper can still dereference it.
+     * destroyed while a helper can still dereference it.  Atomic so the
+     * caller's pre-park spin can poll it outside the mutex.
      */
-    unsigned participants_ = 0;
-    bool shutdown_ = false;
+    std::atomic<unsigned> participants_{0};
+    std::atomic<bool> shutdown_{false};
     /** True while a parallelFor is running (reentrancy detection). */
     std::atomic<bool> in_loop_{false};
 };

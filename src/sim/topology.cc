@@ -1,0 +1,315 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace cidre::sim {
+
+namespace {
+
+/** First line of @p path, or empty when unreadable. */
+std::string
+readLine(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return {};
+    std::string line;
+    std::getline(in, line);
+    return line;
+}
+
+/** Integer file content, or @p fallback when missing/malformed. */
+int
+readInt(const std::string &path, int fallback)
+{
+    const std::string line = readLine(path);
+    int value = 0;
+    const auto *begin = line.data();
+    const auto *end = begin + line.size();
+    const auto result = std::from_chars(begin, end, value);
+    if (result.ec != std::errc{})
+        return fallback;
+    return value;
+}
+
+/** Enumerate "<dir>/<prefix>N" entries, ascending N. */
+std::vector<int>
+numberedEntries(const std::string &dir, const std::string &prefix)
+{
+    namespace fs = std::filesystem;
+    std::vector<int> ids;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind(prefix, 0) != 0)
+            continue;
+        const std::string digits = name.substr(prefix.size());
+        if (digits.empty() ||
+            !std::all_of(digits.begin(), digits.end(), [](unsigned char c) {
+                return std::isdigit(c);
+            }))
+            continue;
+        ids.push_back(std::stoi(digits));
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+} // namespace
+
+PinMode
+parsePinMode(const std::string &text)
+{
+    if (text == "auto")
+        return PinMode::Auto;
+    if (text == "off")
+        return PinMode::Off;
+    if (text == "physical")
+        return PinMode::Physical;
+    throw std::invalid_argument("pin mode must be auto, off or physical"
+                                " (got '" + text + "')");
+}
+
+const char *
+pinModeName(PinMode mode)
+{
+    switch (mode) {
+    case PinMode::Off:
+        return "off";
+    case PinMode::Auto:
+        return "auto";
+    case PinMode::Physical:
+        return "physical";
+    }
+    return "?";
+}
+
+std::vector<int>
+parseCpuList(const std::string &text)
+{
+    std::vector<int> cpus;
+    std::string token;
+    std::istringstream stream(text);
+    while (std::getline(stream, token, ',')) {
+        // Trim whitespace (the kernel terminates the list with '\n').
+        const auto first = token.find_first_not_of(" \t\n\r");
+        if (first == std::string::npos)
+            continue;
+        const auto last = token.find_last_not_of(" \t\n\r");
+        token = token.substr(first, last - first + 1);
+
+        int lo = 0;
+        int hi = 0;
+        const auto dash = token.find('-');
+        const auto parse = [](const std::string &s, int &out) {
+            const auto r =
+                std::from_chars(s.data(), s.data() + s.size(), out);
+            return r.ec == std::errc{} &&
+                   r.ptr == s.data() + s.size() && out >= 0;
+        };
+        if (dash == std::string::npos) {
+            if (!parse(token, lo))
+                return {};
+            hi = lo;
+        } else {
+            if (!parse(token.substr(0, dash), lo) ||
+                !parse(token.substr(dash + 1), hi) || hi < lo)
+                return {};
+        }
+        for (int cpu = lo; cpu <= hi; ++cpu)
+            cpus.push_back(cpu);
+    }
+    std::sort(cpus.begin(), cpus.end());
+    cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+    return cpus;
+}
+
+unsigned
+CpuTopology::physicalCores() const
+{
+    std::set<std::pair<int, int>> cores;
+    for (const auto &cpu : cpus)
+        cores.emplace(cpu.package, cpu.core);
+    return static_cast<unsigned>(cores.size());
+}
+
+unsigned
+CpuTopology::packages() const
+{
+    std::set<int> ids;
+    for (const auto &cpu : cpus)
+        ids.insert(cpu.package);
+    return static_cast<unsigned>(ids.size());
+}
+
+unsigned
+CpuTopology::numaNodes() const
+{
+    std::set<int> ids;
+    for (const auto &cpu : cpus)
+        ids.insert(cpu.node);
+    return static_cast<unsigned>(ids.size());
+}
+
+bool
+CpuTopology::smt() const
+{
+    for (const auto &cpu : cpus)
+        if (cpu.smt_sibling)
+            return true;
+    return false;
+}
+
+std::vector<int>
+CpuTopology::pinOrder() const
+{
+    // Sort (node, package, core, id); primaries of each core before any
+    // sibling.  This fills physical cores NUMA node by NUMA node and
+    // only then doubles up on SMT — the order that keeps a growing team
+    // on distinct execution resources for as long as possible.
+    std::vector<const Cpu *> order;
+    order.reserve(cpus.size());
+    for (const auto &cpu : cpus)
+        order.push_back(&cpu);
+    std::sort(order.begin(), order.end(),
+              [](const Cpu *a, const Cpu *b) {
+                  if (a->smt_sibling != b->smt_sibling)
+                      return !a->smt_sibling;
+                  if (a->node != b->node)
+                      return a->node < b->node;
+                  if (a->package != b->package)
+                      return a->package < b->package;
+                  if (a->core != b->core)
+                      return a->core < b->core;
+                  return a->id < b->id;
+              });
+    std::vector<int> ids;
+    ids.reserve(order.size());
+    for (const auto *cpu : order)
+        ids.push_back(cpu->id);
+    return ids;
+}
+
+CpuTopology
+CpuTopology::detect()
+{
+    return fromSysfs("/sys/devices/system");
+}
+
+CpuTopology
+CpuTopology::fromSysfs(const std::string &root)
+{
+    CpuTopology topology;
+    const std::string cpu_dir = root + "/cpu";
+
+    // Online CPU set: the kernel's list, else every cpuN directory.
+    std::vector<int> online = parseCpuList(readLine(cpu_dir + "/online"));
+    if (online.empty())
+        online = numberedEntries(cpu_dir, "cpu");
+    if (online.empty())
+        online = {0}; // synthetic single CPU: never return an empty table
+
+    // NUMA node of each CPU from the node tree (absent -> node 0).
+    std::map<int, int> node_of;
+    for (const int node : numberedEntries(root + "/node", "node")) {
+        const auto cpus_of_node = parseCpuList(
+            readLine(root + "/node/node" + std::to_string(node) +
+                     "/cpulist"));
+        for (const int cpu : cpus_of_node)
+            node_of[cpu] = node;
+    }
+
+    topology.cpus.reserve(online.size());
+    for (const int id : online) {
+        Cpu cpu;
+        cpu.id = id;
+        const std::string topo =
+            cpu_dir + "/cpu" + std::to_string(id) + "/topology";
+        // Fallbacks make every CPU its own physical core on package 0,
+        // which is the conservative reading (no SMT assumed).
+        cpu.core = readInt(topo + "/core_id", id);
+        cpu.package = readInt(topo + "/physical_package_id", 0);
+        const auto node_it = node_of.find(id);
+        cpu.node = node_it == node_of.end() ? 0 : node_it->second;
+        topology.cpus.push_back(cpu);
+    }
+
+    // The lowest-numbered CPU of each (package, core) is the primary;
+    // the rest are SMT siblings.  Online order is ascending, so the
+    // first occurrence wins.
+    std::set<std::pair<int, int>> seen;
+    for (auto &cpu : topology.cpus)
+        cpu.smt_sibling = !seen.emplace(cpu.package, cpu.core).second;
+
+    return topology;
+}
+
+bool
+pinCurrentThread(int cpu)
+{
+#if defined(__linux__)
+    if (cpu < 0 || cpu >= CPU_SETSIZE)
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    return ::sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+ScopedAffinity::ScopedAffinity(int cpu)
+{
+    if (cpu < 0)
+        return;
+#if defined(__linux__)
+    static_assert(sizeof(saved_mask_) >= sizeof(cpu_set_t));
+    cpu_set_t previous;
+    CPU_ZERO(&previous);
+    if (::sched_getaffinity(0, sizeof(previous), &previous) == 0) {
+        std::copy_n(reinterpret_cast<const unsigned char *>(&previous),
+                    sizeof(previous), saved_mask_);
+        saved_ = true;
+    }
+    pinned_ = pinCurrentThread(cpu);
+#endif
+}
+
+ScopedAffinity::~ScopedAffinity()
+{
+#if defined(__linux__)
+    if (pinned_ && saved_) {
+        cpu_set_t previous;
+        std::copy_n(saved_mask_, sizeof(previous),
+                    reinterpret_cast<unsigned char *>(&previous));
+        ::sched_setaffinity(0, sizeof(previous), &previous);
+    }
+#endif
+}
+
+std::vector<int>
+resolvePinCpus(PinMode mode, const CpuTopology &topology, unsigned width)
+{
+    if (mode == PinMode::Off || width <= 1)
+        return {};
+    if (mode == PinMode::Auto && topology.physicalCores() < width)
+        return {};
+    return topology.pinOrder();
+}
+
+} // namespace cidre::sim

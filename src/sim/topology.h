@@ -1,0 +1,159 @@
+/**
+ * @file
+ * CPU topology detection and thread affinity for shard workers.
+ *
+ * The sharded engine's wall-clock payoff depends on where its worker
+ * threads land: two shard workers sharing one physical core via SMT
+ * fight over execution ports, and a worker whose cell state lives on a
+ * remote NUMA node pays cross-socket latency on every container and
+ * metrics touch.  This module gives the execution layer the facts it
+ * needs to place threads deliberately:
+ *
+ *  - CpuTopology reads the kernel's sysfs description
+ *    (/sys/devices/system/cpu + /sys/devices/system/node) into a flat
+ *    per-CPU table: physical core, package (socket), NUMA node, and
+ *    whether the CPU is a secondary SMT sibling.  The reader is rooted
+ *    at a path so tests can parse fixture trees, and degrades
+ *    gracefully: missing files collapse to "every CPU its own core,
+ *    one node" rather than failing.
+ *
+ *  - pinOrder() linearizes the table into the order shard workers
+ *    should be pinned: one CPU per *physical* core first (ascending
+ *    NUMA node, then package, then core), SMT siblings only after
+ *    every physical core is taken — the Physical/NUMAAware orderings
+ *    of mxtasking's core_set, which this mirrors.
+ *
+ *  - pinCurrentThread() / ScopedAffinity apply the placement via
+ *    sched_setaffinity and report (not throw) failure, so containers
+ *    and CI sandboxes that forbid the syscall silently run unpinned.
+ *    Pinning never changes simulation results — the determinism
+ *    contract keys results on indices, never on placement — so a
+ *    failed pin is a performance note, not an error.
+ */
+
+#ifndef CIDRE_SIM_TOPOLOGY_H
+#define CIDRE_SIM_TOPOLOGY_H
+
+#include <string>
+#include <vector>
+
+namespace cidre::sim {
+
+/** How shard workers are pinned to CPUs (the `--pin` knob). */
+enum class PinMode
+{
+    /** Never pin. */
+    Off,
+    /**
+     * Pin when it can help: the topology reports at least as many
+     * physical cores as the team has workers.  Otherwise run unpinned
+     * (oversubscribed or single-core machines, failed detection).
+     */
+    Auto,
+    /** Always request pinning in physical-core order. */
+    Physical,
+};
+
+/** Parse "auto" | "off" | "physical"; throws std::invalid_argument. */
+PinMode parsePinMode(const std::string &text);
+
+/** The knob value back as text (banners, JSON). */
+const char *pinModeName(PinMode mode);
+
+/**
+ * Parse a kernel cpulist ("0-3,8,10-11") into ascending CPU ids.
+ * Whitespace/newline around the list is ignored; malformed input
+ * yields an empty vector (detection then falls back, it never throws).
+ */
+std::vector<int> parseCpuList(const std::string &text);
+
+/** Per-CPU topology table; see the file comment. */
+struct CpuTopology
+{
+    struct Cpu
+    {
+        int id = 0;      //!< kernel CPU number (cpuN)
+        int core = 0;    //!< physical core id within the package
+        int package = 0; //!< physical package (socket) id
+        int node = 0;    //!< NUMA node
+        /** True if a lower-numbered CPU shares this physical core. */
+        bool smt_sibling = false;
+    };
+
+    /** Online CPUs, ascending id. */
+    std::vector<Cpu> cpus;
+
+    /** Distinct (package, core) pairs — the real parallelism budget. */
+    unsigned physicalCores() const;
+    /** Distinct packages (sockets). */
+    unsigned packages() const;
+    /** Distinct NUMA nodes. */
+    unsigned numaNodes() const;
+    /** True if any physical core carries more than one CPU. */
+    bool smt() const;
+
+    /**
+     * CPU ids in pinning order: primary CPU of every physical core
+     * (ascending node, package, core), then the SMT siblings in the
+     * same order.  Worker w of a team pins to pinOrder()[w % size].
+     */
+    std::vector<int> pinOrder() const;
+
+    /** Read the live system (root "/sys/devices/system"). */
+    static CpuTopology detect();
+
+    /**
+     * Read a sysfs-style tree under @p root (expects "<root>/cpu" and
+     * optionally "<root>/node").  Missing or malformed pieces degrade:
+     * no online list -> enumerate cpuN directories; no core/package
+     * files -> each CPU its own core on package 0; no node tree ->
+     * everything on node 0.  An empty tree yields one synthetic CPU so
+     * callers never divide by zero.
+     */
+    static CpuTopology fromSysfs(const std::string &root);
+};
+
+/**
+ * Pin the calling thread to @p cpu.  Returns false (without throwing)
+ * when the kernel refuses (sandbox, cpuset, bad id) or on non-Linux
+ * builds; callers treat a failed pin as "run unpinned".
+ */
+bool pinCurrentThread(int cpu);
+
+/**
+ * RAII pin: applies pinCurrentThread(cpu) and restores the thread's
+ * previous affinity mask on destruction.  cpu < 0 is an explicit
+ * no-op, so call sites can pass "no pin requested" unconditionally.
+ */
+class ScopedAffinity
+{
+  public:
+    explicit ScopedAffinity(int cpu);
+    ~ScopedAffinity();
+
+    ScopedAffinity(const ScopedAffinity &) = delete;
+    ScopedAffinity &operator=(const ScopedAffinity &) = delete;
+
+    /** True if the pin was requested and the kernel accepted it. */
+    bool pinned() const { return pinned_; }
+
+  private:
+    bool pinned_ = false;
+    bool saved_ = false;
+    /** Opaque storage for the previous cpu_set_t (sized generously). */
+    unsigned char saved_mask_[128] = {};
+};
+
+/**
+ * Resolve @p mode against @p topology for a team of @p width workers:
+ * the CPU list to pin to (empty = run unpinned).  Off and single-width
+ * teams always resolve to empty; Auto requires physicalCores() >=
+ * width; Physical always returns the order (wrapping if the team is
+ * wider than the machine).
+ */
+std::vector<int> resolvePinCpus(PinMode mode, const CpuTopology &topology,
+                                unsigned width);
+
+} // namespace cidre::sim
+
+#endif // CIDRE_SIM_TOPOLOGY_H

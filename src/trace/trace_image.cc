@@ -362,4 +362,28 @@ TraceImage::view() const
     return TraceView(columns_);
 }
 
+void
+TraceImage::adviseShardedGather() const
+{
+#if defined(__linux__)
+    if (map_ == nullptr || columns_.request_count == 0)
+        return;
+    const long page_size = ::sysconf(_SC_PAGESIZE);
+    const auto page = page_size > 0 ? static_cast<std::uintptr_t>(page_size)
+                                    : std::uintptr_t{4096};
+    const auto advise = [page](const void *begin, std::size_t bytes) {
+        const auto addr = reinterpret_cast<std::uintptr_t>(begin);
+        const auto aligned = addr & ~(page - 1);
+        auto *start = reinterpret_cast<void *>(aligned);
+        const std::size_t span = bytes + (addr - aligned);
+        ::madvise(start, span, MADV_NORMAL);
+        ::madvise(start, span, MADV_WILLNEED);
+    };
+    const auto n = static_cast<std::size_t>(columns_.request_count);
+    advise(columns_.function, n * sizeof(*columns_.function));
+    advise(columns_.arrival_us, n * sizeof(*columns_.arrival_us));
+    advise(columns_.exec_us, n * sizeof(*columns_.exec_us));
+#endif
+}
+
 } // namespace cidre::trace

@@ -124,6 +124,18 @@ class TraceImage
     /** Size of the mapping in bytes (telemetry). */
     std::size_t fileBytes() const { return map_bytes_; }
 
+    /**
+     * Re-advise the request columns for a sharded gather.  open()'s
+     * MADV_SEQUENTIAL suits the one-pass checksum sweep; cell builders
+     * instead read the columns as concurrent interleaved strides (each
+     * cell picks out its own requests), so this resets those ranges to
+     * MADV_NORMAL and asks for them up front with MADV_WILLNEED —
+     * faulting the column pages once, before the workers fan out,
+     * instead of serially inside every cell's first pass.  A hint only:
+     * results and correctness never depend on it; no-op off Linux.
+     */
+    void adviseShardedGather() const;
+
   private:
     TraceImage() = default;
     void reset() noexcept;

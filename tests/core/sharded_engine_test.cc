@@ -22,6 +22,7 @@
 #include "core/sharded_engine.h"
 #include "policies/registry.h"
 #include "sim/thread_pool.h"
+#include "sim/topology.h"
 #include "trace/generators.h"
 
 namespace cidre {
@@ -374,6 +375,153 @@ TEST(ShardedEngine, SteppedExecutionIsDeterministicAcrossPools)
     // never past the boundary following it.
     EXPECT_GE(actual.makespan(), reference.makespan());
     EXPECT_LT(actual.makespan(), reference.makespan() + sim::sec(30));
+}
+
+// ---- execution options are wall-clock only ----------------------------
+
+TEST(ShardedEngine, PinningIsResultsNeutral)
+{
+    // Pinned and unpinned executions must be bit-identical: placement
+    // is a pure wall-clock knob.  Physical mode always resolves a pin
+    // list (wrapping over the machine), so this exercises the pinned
+    // code path even on a single-core builder, where the pins may be
+    // refused — also covered by the contract.
+    const trace::Trace workload = testTrace();
+    const auto config = testConfig(4);
+    const auto topology = sim::CpuTopology::detect();
+
+    const auto runWith = [&](const std::vector<int> &pin_cpus,
+                             unsigned threads) {
+        sim::ThreadPool pool(sim::ThreadPoolOptions{
+            threads, sim::kDefaultPoolSpin, pin_cpus});
+        core::ShardExecOptions exec;
+        exec.pin_cpus = pin_cpus;
+        core::ShardedEngine engine(workload, config, factoryFor("cidre"));
+        return metricsFingerprint(engine.run(&pool, exec));
+    };
+
+    const std::string unpinned = runWith({}, 2);
+    const auto pins =
+        sim::resolvePinCpus(sim::PinMode::Physical, topology, 2);
+    ASSERT_FALSE(pins.empty());
+    EXPECT_EQ(unpinned, runWith(pins, 2));
+    EXPECT_EQ(unpinned, runWith(pins, 4));
+}
+
+TEST(ShardedEngine, EpochModeIsBitIdenticalToOneShot)
+{
+    // Lockstep-epoch execution (resident team, adaptive epoch length)
+    // against the one-shot run: same bytes out for every epoch target
+    // and team width.  This is the result-neutrality half of the
+    // barrier-overhead work; the makespan and the memory integral are
+    // covered too because finalize() keys on the last *executed* event,
+    // never on an overshooting epoch boundary.
+    const trace::Trace workload = testTrace();
+    auto config = testConfig(4);
+    config.record_per_request = true;
+
+    core::ShardedEngine oneshot(workload, config, factoryFor("cidre"));
+    const std::string expected = metricsFingerprint(oneshot.run());
+
+    for (const std::uint64_t target : {500ull, 20000ull, 1ull << 20}) {
+        for (const unsigned threads : {2u, 4u}) {
+            sim::ThreadPool pool(threads);
+            core::ShardExecOptions exec;
+            exec.epoch_events = target;
+            core::ShardedEngine stepped(workload, config,
+                                        factoryFor("cidre"));
+            EXPECT_EQ(metricsFingerprint(stepped.run(&pool, exec)),
+                      expected)
+                << "epoch target " << target << ", " << threads
+                << " threads";
+            EXPECT_EQ(stepped.eventsExecuted(), oneshot.eventsExecuted());
+        }
+    }
+}
+
+TEST(ShardedEngine, EpochModeOnBusyPoolFallsBackInsteadOfDeadlocking)
+{
+    // A resident team's bodies block on a barrier, so dispatching one
+    // onto a pool already inside a parallelFor (which runs nested loops
+    // serially) would deadlock at the first crossing.  run() probes
+    // busy() and falls back to the bit-identical one-shot path.
+    const trace::Trace workload = testTrace(0.02);
+    const auto config = testConfig(2);
+
+    core::ShardedEngine reference(workload, config, factoryFor("ttl"));
+    const std::string expected = metricsFingerprint(reference.run());
+
+    sim::ThreadPool pool(2);
+    std::string nested;
+    pool.parallelFor(1, [&](std::size_t) {
+        core::ShardExecOptions exec;
+        exec.epoch_events = 1000;
+        core::ShardedEngine engine(workload, config, factoryFor("ttl"));
+        nested = metricsFingerprint(engine.run(&pool, exec));
+    });
+    EXPECT_EQ(nested, expected);
+}
+
+// ---- auto cell planning -----------------------------------------------
+
+TEST(AutoCellCount, ClampsToWorkersFunctionsAndRequestFloor)
+{
+    // Big enough that the request floor (kMinRequestsPerCell per cell)
+    // allows at least 8 cells, so the machine/thread clamps are what
+    // bites in each case below.
+    const trace::Trace workload = testTrace(2.0);
+    ASSERT_GE(workload.requestCount(), 8 * core::kMinRequestsPerCell);
+    ASSERT_GE(workload.functionCount(), 8u);
+
+    sim::CpuTopology one_core;
+    one_core.cpus.push_back({});
+    sim::CpuTopology eight_core;
+    for (int id = 0; id < 8; ++id)
+        eight_core.cpus.push_back({id, id, 0, 0, false});
+
+    // Shard threads set the floor of the target...
+    EXPECT_EQ(core::autoCellCount(workload, testConfig(1, 8), 4,
+                                  one_core),
+              4u);
+    // ...physical cores raise it past the thread count...
+    EXPECT_EQ(core::autoCellCount(workload, testConfig(1, 8), 2,
+                                  eight_core),
+              8u);
+    // ...and the worker count caps it.
+    EXPECT_EQ(core::autoCellCount(workload, testConfig(1, 3), 8,
+                                  eight_core),
+              3u);
+
+    // The request floor bites on tiny traces: never fewer than
+    // kMinRequestsPerCell requests per cell, never less than one cell.
+    const trace::Trace tiny = testTrace(0.001);
+    const auto cells = core::autoCellCount(tiny, testConfig(1, 8), 8,
+                                           eight_core);
+    EXPECT_GE(cells, 1u);
+    EXPECT_LE(static_cast<std::uint64_t>(cells) *
+                  core::kMinRequestsPerCell,
+              std::max<std::uint64_t>(tiny.requestCount(),
+                                      core::kMinRequestsPerCell));
+}
+
+TEST(AutoCellCount, IsDeterministicForFixedInputs)
+{
+    const trace::Trace workload = testTrace();
+    sim::CpuTopology topology;
+    for (int id = 0; id < 4; ++id)
+        topology.cpus.push_back({id, id, 0, 0, false});
+    const auto first =
+        core::autoCellCount(workload, testConfig(1, 8), 4, topology);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(core::autoCellCount(workload, testConfig(1, 8), 4,
+                                      topology),
+                  first);
+    // And the resolved count yields a valid, reproducible partition.
+    auto config = testConfig(first, 8);
+    EXPECT_NO_THROW(config.validate());
+    const auto plan_a = core::buildShardPlan(workload, config);
+    const auto plan_b = core::buildShardPlan(workload, config);
+    EXPECT_EQ(plan_a.cell_of_function, plan_b.cell_of_function);
 }
 
 TEST(ShardedEngine, BeginIsSingleShot)

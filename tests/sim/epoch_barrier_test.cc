@@ -1,0 +1,96 @@
+/**
+ * @file
+ * EpochBarrier tests: lockstep correctness across threads and epochs,
+ * exactly one serializing arrival per crossing, the single-party
+ * degenerate case, and both waiting regimes (pure park with spin 0,
+ * pure spin with a huge budget).  Part of the TSan suite: these tests
+ * are exactly the access pattern the sharded engine's resident teams
+ * rely on for their happens-before edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sim/epoch_barrier.h"
+
+namespace cidre {
+namespace {
+
+/**
+ * Drives @p parties threads through @p epochs double-crossings: each
+ * thread bumps its own (plain, non-atomic) counter, crosses, verifies
+ * every counter — the barrier must order the plain writes — then
+ * crosses again so nobody races ahead into the next bump.  Returns the
+ * number of serializing (true) returns seen on first crossings, which
+ * must be exactly @p epochs.
+ */
+std::uint64_t
+lockstepRounds(unsigned parties, unsigned spin, unsigned epochs)
+{
+    sim::EpochBarrier barrier(parties, spin);
+    std::vector<std::uint64_t> counts(parties, 0);
+    std::atomic<std::uint64_t> serializers{0};
+    std::atomic<bool> mismatch{false};
+
+    const auto worker = [&](unsigned self) {
+        sim::EpochBarrier::Waiter waiter;
+        for (unsigned epoch = 0; epoch < epochs; ++epoch) {
+            ++counts[self];
+            if (barrier.arriveAndWait(waiter))
+                serializers.fetch_add(1, std::memory_order_relaxed);
+            for (unsigned p = 0; p < parties; ++p)
+                if (counts[p] != epoch + 1)
+                    mismatch.store(true, std::memory_order_relaxed);
+            barrier.arriveAndWait(waiter);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    for (unsigned p = 1; p < parties; ++p)
+        threads.emplace_back(worker, p);
+    worker(0);
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_FALSE(mismatch.load()) << parties << " parties, spin " << spin;
+    for (unsigned p = 0; p < parties; ++p)
+        EXPECT_EQ(counts[p], epochs) << "party " << p;
+    return serializers.load();
+}
+
+TEST(EpochBarrier, LockstepAcrossThreadsAndEpochs)
+{
+    EXPECT_EQ(lockstepRounds(4, sim::kDefaultBarrierSpin, 200), 200u);
+}
+
+TEST(EpochBarrier, ZeroSpinParksOnTheCondvar)
+{
+    EXPECT_EQ(lockstepRounds(3, 0, 50), 50u);
+}
+
+TEST(EpochBarrier, HugeSpinNeverParks)
+{
+    // A budget far beyond any crossing's wait: the park path is never
+    // taken, so this pins the pure-spin regime.
+    EXPECT_EQ(lockstepRounds(2, 1u << 24, 100), 100u);
+}
+
+TEST(EpochBarrier, SinglePartyIsAlwaysTheSerializer)
+{
+    sim::EpochBarrier barrier(1);
+    sim::EpochBarrier::Waiter waiter;
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(barrier.arriveAndWait(waiter));
+}
+
+TEST(EpochBarrier, ReportsParties)
+{
+    EXPECT_EQ(sim::EpochBarrier(3).parties(), 3u);
+}
+
+} // namespace
+} // namespace cidre

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * CPU topology reader and affinity tests: cpulist parsing, fixture
+ * sysfs trees (SMT pairs, multi-socket/multi-NUMA, single core,
+ * missing files), the pinning order, pin-mode resolution, and the
+ * affinity RAII wrapper's graceful-failure contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace cidre {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- cpulist parsing --------------------------------------------------
+
+TEST(ParseCpuList, RangesSinglesAndKernelNewline)
+{
+    EXPECT_EQ(sim::parseCpuList("0-3,8,10-11\n"),
+              (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+    EXPECT_EQ(sim::parseCpuList("5"), (std::vector<int>{5}));
+    EXPECT_EQ(sim::parseCpuList(" 0-1 , 4 \n"),
+              (std::vector<int>{0, 1, 4}));
+}
+
+TEST(ParseCpuList, DeduplicatesAndSorts)
+{
+    EXPECT_EQ(sim::parseCpuList("4,0-2,1"),
+              (std::vector<int>{0, 1, 2, 4}));
+}
+
+TEST(ParseCpuList, MalformedInputYieldsEmptyNotThrow)
+{
+    EXPECT_TRUE(sim::parseCpuList("").empty());
+    EXPECT_TRUE(sim::parseCpuList("\n").empty());
+    EXPECT_TRUE(sim::parseCpuList("garbage").empty());
+    EXPECT_TRUE(sim::parseCpuList("3-1").empty());   // descending range
+    EXPECT_TRUE(sim::parseCpuList("-2").empty());    // negative
+    EXPECT_TRUE(sim::parseCpuList("1,x,2").empty()); // partial garbage
+}
+
+// ---- pin mode ---------------------------------------------------------
+
+TEST(PinMode, ParseAndNameRoundTrip)
+{
+    EXPECT_EQ(sim::parsePinMode("auto"), sim::PinMode::Auto);
+    EXPECT_EQ(sim::parsePinMode("off"), sim::PinMode::Off);
+    EXPECT_EQ(sim::parsePinMode("physical"), sim::PinMode::Physical);
+    EXPECT_STREQ(sim::pinModeName(sim::PinMode::Auto), "auto");
+    EXPECT_STREQ(sim::pinModeName(sim::PinMode::Off), "off");
+    EXPECT_STREQ(sim::pinModeName(sim::PinMode::Physical), "physical");
+    EXPECT_THROW(sim::parsePinMode("yes"), std::invalid_argument);
+    EXPECT_THROW(sim::parsePinMode(""), std::invalid_argument);
+}
+
+// ---- fixture sysfs trees ----------------------------------------------
+
+/** Builds a /sys/devices/system-shaped tree in a per-test temp dir. */
+class SysfsFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        root_ = fs::path(::testing::TempDir()) /
+                (std::string("cidre_sysfs_") + info->name());
+        fs::remove_all(root_);
+        fs::create_directories(root_);
+    }
+
+    void TearDown() override { fs::remove_all(root_); }
+
+    void write(const std::string &rel, const std::string &content)
+    {
+        const fs::path path = root_ / rel;
+        fs::create_directories(path.parent_path());
+        std::ofstream out(path);
+        out << content;
+    }
+
+    void addCpu(int id, int core, int package)
+    {
+        const std::string base =
+            "cpu/cpu" + std::to_string(id) + "/topology/";
+        write(base + "core_id", std::to_string(core) + "\n");
+        write(base + "physical_package_id",
+              std::to_string(package) + "\n");
+    }
+
+    std::string root() const { return root_.string(); }
+
+  private:
+    fs::path root_;
+};
+
+TEST_F(SysfsFixture, SmtPairsMarkSecondSiblingAndHalveCores)
+{
+    // 4 hardware threads over 2 physical cores: cpu0/cpu1 share core 0,
+    // cpu2/cpu3 share core 1 (the common desktop enumeration).
+    write("cpu/online", "0-3\n");
+    addCpu(0, 0, 0);
+    addCpu(1, 0, 0);
+    addCpu(2, 1, 0);
+    addCpu(3, 1, 0);
+
+    const auto topology = sim::CpuTopology::fromSysfs(root());
+    ASSERT_EQ(topology.cpus.size(), 4u);
+    EXPECT_EQ(topology.physicalCores(), 2u);
+    EXPECT_EQ(topology.packages(), 1u);
+    EXPECT_EQ(topology.numaNodes(), 1u);
+    EXPECT_TRUE(topology.smt());
+    EXPECT_FALSE(topology.cpus[0].smt_sibling);
+    EXPECT_TRUE(topology.cpus[1].smt_sibling);
+    EXPECT_FALSE(topology.cpus[2].smt_sibling);
+    EXPECT_TRUE(topology.cpus[3].smt_sibling);
+    // Primaries of both cores before any sibling.
+    EXPECT_EQ(topology.pinOrder(), (std::vector<int>{0, 2, 1, 3}));
+}
+
+TEST_F(SysfsFixture, MultiSocketNumaOrdersPinningNodeFirst)
+{
+    // Two sockets, two cores each, one NUMA node per socket, and the
+    // interleaved CPU numbering some BIOSes use: even CPUs on socket 0,
+    // odd on socket 1.
+    write("cpu/online", "0-3\n");
+    addCpu(0, 0, 0);
+    addCpu(1, 0, 1);
+    addCpu(2, 1, 0);
+    addCpu(3, 1, 1);
+    write("node/node0/cpulist", "0,2\n");
+    write("node/node1/cpulist", "1,3\n");
+
+    const auto topology = sim::CpuTopology::fromSysfs(root());
+    EXPECT_EQ(topology.physicalCores(), 4u);
+    EXPECT_EQ(topology.packages(), 2u);
+    EXPECT_EQ(topology.numaNodes(), 2u);
+    EXPECT_FALSE(topology.smt());
+    EXPECT_EQ(topology.cpus[0].node, 0);
+    EXPECT_EQ(topology.cpus[1].node, 1);
+    // Fill node 0's cores before node 1's: 0,2 then 1,3.
+    EXPECT_EQ(topology.pinOrder(), (std::vector<int>{0, 2, 1, 3}));
+}
+
+TEST_F(SysfsFixture, SingleCoreMachine)
+{
+    write("cpu/online", "0\n");
+    addCpu(0, 0, 0);
+
+    const auto topology = sim::CpuTopology::fromSysfs(root());
+    ASSERT_EQ(topology.cpus.size(), 1u);
+    EXPECT_EQ(topology.physicalCores(), 1u);
+    EXPECT_FALSE(topology.smt());
+    EXPECT_EQ(topology.pinOrder(), (std::vector<int>{0}));
+}
+
+TEST_F(SysfsFixture, MissingOnlineListEnumeratesCpuDirectories)
+{
+    // No "online" file: fall back to the cpuN directories present.
+    addCpu(0, 0, 0);
+    addCpu(1, 1, 0);
+    addCpu(2, 2, 0);
+
+    const auto topology = sim::CpuTopology::fromSysfs(root());
+    ASSERT_EQ(topology.cpus.size(), 3u);
+    EXPECT_EQ(topology.physicalCores(), 3u);
+}
+
+TEST_F(SysfsFixture, MissingTopologyFilesMakeEveryCpuItsOwnCore)
+{
+    // Online list but no per-CPU topology directories: the conservative
+    // reading is one physical core per CPU (no SMT assumed), package 0.
+    write("cpu/online", "0-2\n");
+
+    const auto topology = sim::CpuTopology::fromSysfs(root());
+    ASSERT_EQ(topology.cpus.size(), 3u);
+    EXPECT_EQ(topology.physicalCores(), 3u);
+    EXPECT_EQ(topology.packages(), 1u);
+    EXPECT_EQ(topology.numaNodes(), 1u);
+    EXPECT_FALSE(topology.smt());
+}
+
+TEST_F(SysfsFixture, EmptyTreeYieldsOneSyntheticCpu)
+{
+    const auto topology = sim::CpuTopology::fromSysfs(root());
+    ASSERT_EQ(topology.cpus.size(), 1u);
+    EXPECT_EQ(topology.physicalCores(), 1u);
+    EXPECT_EQ(topology.numaNodes(), 1u);
+    EXPECT_EQ(topology.pinOrder(), (std::vector<int>{0}));
+}
+
+TEST(CpuTopology, DetectLiveSystemIsSane)
+{
+    const auto topology = sim::CpuTopology::detect();
+    ASSERT_FALSE(topology.cpus.empty());
+    EXPECT_GE(topology.physicalCores(), 1u);
+    EXPECT_GE(topology.packages(), 1u);
+    EXPECT_GE(topology.numaNodes(), 1u);
+    EXPECT_EQ(topology.pinOrder().size(), topology.cpus.size());
+}
+
+// ---- pin-mode resolution ----------------------------------------------
+
+TEST_F(SysfsFixture, ResolvePinCpusHonorsModeAndWidth)
+{
+    write("cpu/online", "0-3\n");
+    addCpu(0, 0, 0);
+    addCpu(1, 0, 0);
+    addCpu(2, 1, 0);
+    addCpu(3, 1, 0); // 2 physical cores, SMT
+    const auto topology = sim::CpuTopology::fromSysfs(root());
+
+    // Off and single-width teams never pin.
+    EXPECT_TRUE(
+        sim::resolvePinCpus(sim::PinMode::Off, topology, 4).empty());
+    EXPECT_TRUE(
+        sim::resolvePinCpus(sim::PinMode::Auto, topology, 1).empty());
+
+    // Auto pins only when the physical cores cover the team.
+    EXPECT_EQ(sim::resolvePinCpus(sim::PinMode::Auto, topology, 2),
+              (std::vector<int>{0, 2, 1, 3}));
+    EXPECT_TRUE(
+        sim::resolvePinCpus(sim::PinMode::Auto, topology, 4).empty());
+
+    // Physical always returns the order (workers wrap over it).
+    EXPECT_EQ(sim::resolvePinCpus(sim::PinMode::Physical, topology, 4),
+              (std::vector<int>{0, 2, 1, 3}));
+}
+
+// ---- affinity ---------------------------------------------------------
+
+TEST(Affinity, InvalidCpuIdsFailWithoutThrowing)
+{
+    EXPECT_FALSE(sim::pinCurrentThread(-1));
+    EXPECT_FALSE(sim::pinCurrentThread(1 << 20));
+}
+
+TEST(Affinity, ScopedAffinityNegativeIsExplicitNoOp)
+{
+    sim::ScopedAffinity pin(-1);
+    EXPECT_FALSE(pin.pinned());
+}
+
+TEST(Affinity, ScopedAffinityPinsAndRestores)
+{
+    // Pinning may be refused in sandboxes; the contract is only that
+    // refusal is reported, never thrown, and that a successful pin is
+    // undone on scope exit (observable as: a second pin still works).
+    const auto topology = sim::CpuTopology::detect();
+    const int cpu = topology.cpus.front().id;
+    bool first = false;
+    {
+        sim::ScopedAffinity pin(cpu);
+        first = pin.pinned();
+    }
+    sim::ScopedAffinity again(cpu);
+    EXPECT_EQ(again.pinned(), first);
+}
+
+} // namespace
+} // namespace cidre

@@ -33,12 +33,16 @@ Four gates:
 3. **Shard speedup** (--min-shard-speedup) — checks the fresh smoke
    run's `shard_scaling` section: the 4-thread execution of one
    partitioned trial must be at least this much faster than the
-   1-thread execution.  Skipped (with a note) unless the smoke machine
-   reports *strictly more* hardware threads than the shard count: the
-   speedup is meaningless without the cores, and a machine with exactly
-   `shards` hardware threads is usually SMT over half as many physical
-   cores (GitHub shared runners report 4 threads on 2 cores) with no
-   headroom for the harness itself, which makes the gate flaky.
+   1-thread execution.  Topology-conditional: skipped (with a note)
+   unless the smoke machine reports *strictly more* physical cores
+   than the shard count.  The bench records `physical_cores` (from
+   /sys cpu topology) next to `hw_threads` exactly for this gate: a
+   machine with `shards` hardware threads is usually SMT over half as
+   many physical cores (GitHub shared runners report 4 threads on 2
+   cores), where the speedup is capped by memory ports, not by the
+   engine, and gating on it is flaky.  Old baselines without
+   `physical_cores` fall back to hw_threads, which only ever *skips
+   more* (hw_threads >= physical_cores).
 
 4. **Trace load** (--min-trace-load-speedup) — two checks on the
    `trace_load` section.  (a) CSV parse throughput (MB/s, roughly
@@ -123,16 +127,23 @@ def check_shard_speedup(smoke, min_speedup):
               "skipped")
         return True
     hw = int(section.get("hw_threads", 0))
+    # Prefer the real core count; old baselines only recorded hw_threads,
+    # which is an upper bound on physical cores, so the fallback can only
+    # skip in more situations, never gate in fewer-core ones.
+    cores = int(section.get("physical_cores", 0)) or hw
     runs = section.get("runs", [])
     top = max((int(r["shards"]) for r in runs), default=0)
     speedup = float(section.get("speedup_4", 0.0))
-    if hw <= top:
+    pinned = bool(section.get("pinned", False))
+    if cores <= top:
         print(f"shard speedup: {speedup:.2f}x at {top} threads — skipped "
-              f"(machine reports {hw} hardware threads; the gate needs "
-              f"more than {top} for physical headroom)")
+              f"(machine reports {cores} physical cores, {hw} hardware "
+              f"threads; the gate needs more than {top} physical cores "
+              f"for headroom)")
         return True
     print(f"shard speedup: {speedup:.2f}x at {top} threads "
-          f"(floor {min_speedup:.2f}x, hw_threads {hw})")
+          f"(floor {min_speedup:.2f}x, physical cores {cores}, "
+          f"hw_threads {hw}, pinned {'yes' if pinned else 'no'})")
     if speedup < min_speedup:
         print("FAIL: sharded execution no longer scales across cores")
         return False
@@ -188,7 +199,7 @@ def main():
                              "require at least this speedup at the highest "
                              "shard count (off unless given; auto-skipped "
                              "unless the machine reports strictly more "
-                             "hardware threads than that shard count)")
+                             "physical cores than that shard count)")
     parser.add_argument("--min-trace-load-speedup", type=float,
                         default=None, metavar="X",
                         help="gate the trace_load sections: smoke CSV "
