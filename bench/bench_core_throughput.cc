@@ -61,6 +61,7 @@
 
 #include "bench/common.h"
 #include "core/sharded_engine.h"
+#include "exp/telemetry.h"
 #include "policies/registry.h"
 #include "sim/event_queue.h"
 #include "sim/thread_pool.h"
@@ -489,10 +490,15 @@ main(int argc, char **argv)
               << " functions, " << reference.requestCount()
               << " requests, seed " << options.seed << "\n\n";
 
+    // Peak RSS is sampled after each section; the probe is
+    // process-monotone, so each sample is the high-water mark up to and
+    // including that section (the per-size isolation lives in
+    // bench_out_of_core, which forks one process per measurement).
     const int reps = 5;
     QueueRun legacy;
     QueueRun pooled;
     double speedup = 0.0;
+    std::int64_t rss_queue_mb = -1;
     if (!smoke) {
         std::cerr << "[bench] replaying event stream through legacy queue ("
                   << reps << " reps, best kept)...\n";
@@ -515,6 +521,7 @@ main(int argc, char **argv)
         emit(options, "core_throughput_queue", queue_table);
         std::cout << "pooled/legacy speedup: "
                   << stats::formatFixed(speedup, 2) << "x\n";
+        rss_queue_mb = exp::peakRssMb();
     }
 
     // Engine end-to-end: events/sec across policies and trace scales.
@@ -543,6 +550,7 @@ main(int argc, char **argv)
         }
     }
     emit(options, "core_throughput_engine", engine_table);
+    const std::int64_t rss_engine_mb = exp::peakRssMb();
 
     // Intra-trial shard scaling: one large 4-cell trial, 1/2/4 shard
     // threads.  Results are bit-identical across the three runs (pinned
@@ -590,6 +598,7 @@ main(int argc, char **argv)
                             stats::formatFixed(run.speedup, 2)});
     }
     emit(options, "core_throughput_shard_scaling", shard_table);
+    const std::int64_t rss_shard_mb = exp::peakRssMb();
     std::cout << "shard speedup at 4 threads: "
               << stats::formatFixed(shard_runs.back().speedup, 2)
               << "x (physical cores: " << topology.physicalCores()
@@ -622,6 +631,7 @@ main(int argc, char **argv)
          stats::formatFixed(load.image_open_ms, 2),
          stats::formatFixed(load.speedup_vs_csv, 1)});
     emit(options, "core_throughput_trace_load", load_table);
+    const std::int64_t rss_load_mb = exp::peakRssMb();
     std::cout << "mmap open vs CSV parse: "
               << stats::formatFixed(load.speedup_vs_csv, 1) << "x\n";
 
@@ -694,7 +704,8 @@ main(int argc, char **argv)
              << ", \"events_per_sec\": " << pooled.events_per_sec
              << ", \"ns_per_event\": " << pooled.ns_per_event << "},\n";
         json.precision(2);
-        json << "    \"speedup\": " << speedup << "\n  },\n";
+        json << "    \"speedup\": " << speedup << ",\n"
+             << "    \"peak_rss_mb\": " << rss_queue_mb << "\n  },\n";
         json.precision(1);
     }
     json << "  \"engine\": [\n";
@@ -710,6 +721,7 @@ main(int argc, char **argv)
              << (i + 1 < engine_runs.size() ? "," : "") << "\n";
     }
     json << "  ],\n";
+    json << "  \"engine_peak_rss_mb\": " << rss_engine_mb << ",\n";
     json << "  \"shard_scaling\": {\n"
          << "    \"hw_threads\": " << hw_threads << ",\n"
          << "    \"physical_cores\": " << topology.physicalCores() << ",\n"
@@ -736,7 +748,8 @@ main(int argc, char **argv)
              << (i + 1 < shard_runs.size() ? "," : "") << "\n";
     }
     json << "    ],\n"
-         << "    \"speedup_4\": " << shard_runs.back().speedup << "\n"
+         << "    \"speedup_4\": " << shard_runs.back().speedup << ",\n"
+         << "    \"peak_rss_mb\": " << rss_shard_mb << "\n"
          << "  },\n";
     json.precision(1);
     json << "  \"trace_load\": {\n"
@@ -755,7 +768,8 @@ main(int argc, char **argv)
     json.precision(1);
     json << "    \"image_open_mb_per_sec\": " << load.image_open_mb_per_sec
          << ",\n"
-         << "    \"speedup_vs_csv\": " << load.speedup_vs_csv << "\n"
+         << "    \"speedup_vs_csv\": " << load.speedup_vs_csv << ",\n"
+         << "    \"peak_rss_mb\": " << rss_load_mb << "\n"
          << "  }";
     if (!smoke) {
         json << ",\n  \"policy_scaling\": [\n";
@@ -773,6 +787,7 @@ main(int argc, char **argv)
         }
         json << "  ]";
     }
+    json << ",\n  \"peak_rss_mb\": " << exp::peakRssMb();
     json << "\n}\n";
     std::cout << "wrote " << out_path << "\n";
     return 0;

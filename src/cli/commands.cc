@@ -1,23 +1,30 @@
 #include "cli/commands.h"
 
+#include <algorithm>
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "analysis/concurrency.h"
 #include "analysis/opportunity.h"
 #include "analysis/tradeoff.h"
+#include "core/checkpoint.h"
 #include "core/engine.h"
 #include "core/metrics_io.h"
 #include "core/sharded_engine.h"
 #include "exp/runner.h"
+#include "exp/telemetry.h"
+#include "sim/serialize.h"
 #include "sim/thread_pool.h"
 #include "sim/topology.h"
 #include "policies/registry.h"
 #include "sim/rng.h"
 #include "stats/table.h"
 #include "trace/generators.h"
+#include "trace/replay_window.h"
 #include "trace/trace_image.h"
 #include "trace/trace_io.h"
 #include "trace/trace_view.h"
@@ -68,14 +75,15 @@ struct Workload
 
 /** Load the workload, synthesizing from @p seed when not a trace file. */
 Workload
-loadWorkloadWithSeed(const Options &options, std::uint64_t seed)
+loadWorkloadWithSeed(const Options &options, std::uint64_t seed,
+                     trace::TraceOpenMode mode = trace::TraceOpenMode::Resident)
 {
     Workload workload;
     if (options.has("trace")) {
         const std::string path = options.getString("trace");
         if (trace::isTraceImageFile(path)) {
             workload.image = std::make_shared<const trace::TraceImage>(
-                trace::TraceImage::open(path));
+                trace::TraceImage::open(path, mode));
         } else {
             workload.trace = trace::readTraceFile(path);
         }
@@ -106,9 +114,10 @@ loadWorkloadWithSeed(const Options &options, std::uint64_t seed)
 }
 
 Workload
-loadWorkload(const Options &options)
+loadWorkload(const Options &options,
+             trace::TraceOpenMode mode = trace::TraceOpenMode::Resident)
 {
-    return loadWorkloadWithSeed(options, baseSeed(options));
+    return loadWorkloadWithSeed(options, baseSeed(options), mode);
 }
 
 /** Sweep knobs shared by `run --trials` and `compare`. */
@@ -237,6 +246,246 @@ appendEngineSpecs(std::vector<OptionSpec> &specs)
     specs.insert(specs.end(), kEngineSpecs.begin(), kEngineSpecs.end());
 }
 
+// ---- stepped replay (out-of-core streaming + checkpoint/restore) --------
+
+/**
+ * The `run` knobs that switch from one-shot execution to the stepped
+ * driver: windowed streaming replay, periodic checkpoints, resume and
+ * early stop.  All of them are results-neutral — the stepped loop's
+ * epoch boundaries never change metrics (pinned by the golden tests),
+ * so a resumed run is bit-identical to an uninterrupted one.
+ */
+struct SteppedKnobs
+{
+    sim::SimTime stream_window = 0;  //!< 0 = no windowed advice
+    std::string checkpoint_path;     //!< empty = never write
+    sim::SimTime checkpoint_every = 0;
+    std::string resume_path;         //!< empty = fresh run
+    sim::SimTime stop_at = 0;        //!< 0 = run to completion
+
+    bool enabled() const
+    {
+        return stream_window > 0 || !checkpoint_path.empty() ||
+               !resume_path.empty() || stop_at > 0;
+    }
+};
+
+SteppedKnobs
+steppedKnobs(const Options &options)
+{
+    const std::int64_t window_sec = options.getInt("stream-window-sec", 0);
+    const std::int64_t every_sec =
+        options.getInt("checkpoint-every-sec", 0);
+    const std::int64_t stop_sec = options.getInt("stop-at-sec", 0);
+    if (window_sec < 0 || every_sec < 0 || stop_sec < 0) {
+        throw std::invalid_argument(
+            "run: --stream-window-sec/--checkpoint-every-sec/--stop-at-sec"
+            " must be >= 0");
+    }
+    SteppedKnobs knobs;
+    knobs.stream_window = sim::sec(window_sec);
+    knobs.checkpoint_every = sim::sec(every_sec);
+    knobs.stop_at = sim::sec(stop_sec);
+    knobs.checkpoint_path = options.getString("checkpoint");
+    knobs.resume_path = options.getString("resume-from");
+    if (knobs.checkpoint_path.empty() &&
+        (knobs.checkpoint_every > 0 || knobs.stop_at > 0)) {
+        throw std::invalid_argument(
+            "run: --checkpoint-every-sec/--stop-at-sec need --checkpoint"
+            " <file>");
+    }
+    if (!knobs.checkpoint_path.empty() && knobs.checkpoint_every == 0 &&
+        knobs.stop_at == 0) {
+        throw std::invalid_argument(
+            "run: --checkpoint needs --checkpoint-every-sec and/or"
+            " --stop-at-sec (a checkpoint is written at those boundaries)");
+    }
+    return knobs;
+}
+
+struct SteppedOutcome
+{
+    /** True when --stop-at-sec ended the run before the trace drained. */
+    bool stopped_early = false;
+    sim::SimTime stop_time = 0;
+    core::RunMetrics metrics;
+};
+
+/** Engine-kind byte of the CLI checkpoint payload preamble. */
+constexpr std::uint8_t kCkptEngineSingle = 0;
+constexpr std::uint8_t kCkptEngineSharded = 1;
+
+/**
+ * Run one trial through the stepped driver.  The loop steps the engine
+ * to the next enabled boundary — window advice, periodic checkpoint,
+ * or --stop-at-sec — in simulated-time order; boundaries are absolute
+ * multiples of their cadence, so a resumed run visits exactly the
+ * boundaries the uninterrupted run would have.
+ */
+SteppedOutcome
+runSteppedTrial(const SteppedKnobs &knobs, const std::string &policy,
+                const core::EngineConfig &config, const Workload &workload,
+                const exp::RunnerOptions &runner_options, std::ostream &err)
+{
+    const trace::TraceView view = workload.view();
+    const std::uint64_t fingerprint =
+        core::checkpointFingerprint(config, policy, view);
+
+    // The window advises along the mmapped image; an in-memory workload
+    // (CSV or synthetic) has no pages to manage, so the knob is inert.
+    std::optional<trace::ReplayWindow> window;
+    if (knobs.stream_window > 0 && workload.image)
+        window.emplace(*workload.image, knobs.stream_window);
+
+    const bool sharded = config.shard_cells > 1;
+    const std::uint8_t kind =
+        sharded ? kCkptEngineSharded : kCkptEngineSingle;
+
+    // Restore preamble: driver simulated time, then the engine kind.
+    // The fingerprint already pins shard_cells; the kind byte keeps the
+    // payload self-describing.
+    sim::SimTime start_time = 0;
+    std::vector<std::byte> resume_payload;
+    std::optional<sim::StateReader> reader;
+    if (!knobs.resume_path.empty()) {
+        resume_payload =
+            core::readCheckpointFile(knobs.resume_path, fingerprint);
+        reader.emplace(resume_payload);
+        start_time =
+            static_cast<sim::SimTime>(reader->get<std::uint64_t>());
+        if (reader->get<std::uint8_t>() != kind) {
+            throw std::runtime_error(
+                "run: checkpoint engine kind does not match this"
+                " configuration");
+        }
+    }
+    if (knobs.stop_at > 0 && knobs.stop_at <= start_time) {
+        throw std::invalid_argument(
+            "run: --stop-at-sec must lie past the resume point");
+    }
+
+    std::optional<sim::ThreadPool> pool;
+    sim::ThreadPool *pool_ptr = nullptr;
+    const unsigned shards = std::max(1u, runner_options.shards);
+    if (sharded && shards > 1) {
+        pool.emplace(sim::ThreadPoolOptions{
+            shards, runner_options.spin_iterations, {}});
+        pool_ptr = &*pool;
+    }
+
+    // One loop drives both engine shapes through these callbacks.
+    std::optional<core::Engine> single;
+    std::optional<core::ShardedEngine> cells;
+    std::function<void(sim::SimTime)> step;
+    std::function<core::RunMetrics()> finish;
+    std::function<bool()> drained;
+    std::function<void(sim::StateWriter &)> save;
+    if (sharded) {
+        cells.emplace(view, config,
+                      [&policy](const core::EngineConfig &cell_config) {
+                          return policies::makePolicy(policy, cell_config);
+                      });
+        if (reader)
+            cells->loadState(*reader);
+        else
+            cells->begin();
+        step = [&](sim::SimTime t) { cells->stepUntil(t, pool_ptr); };
+        finish = [&]() { return cells->finish(pool_ptr); };
+        drained = [&]() { return cells->drained(); };
+        save = [&](sim::StateWriter &w) { cells->saveState(w); };
+    } else {
+        single.emplace(view, config, policies::makePolicy(policy, config));
+        if (reader)
+            single->loadState(*reader);
+        else
+            single->begin();
+        step = [&](sim::SimTime t) { single->stepUntil(t); };
+        finish = [&]() { return single->finish(); };
+        drained = [&]() { return single->drained(); };
+        save = [&](sim::StateWriter &w) { single->saveState(w); };
+    }
+
+    const auto writeCkpt = [&](sim::SimTime now) {
+        sim::StateWriter writer;
+        writer.put<std::uint64_t>(static_cast<std::uint64_t>(now));
+        writer.put<std::uint8_t>(kind);
+        save(writer);
+        core::writeCheckpointFile(knobs.checkpoint_path, fingerprint,
+                                  writer.release());
+        err << "checkpoint @ " << sim::toSec(now) << " s -> "
+            << knobs.checkpoint_path << "\n";
+    };
+
+    // Next boundary of each cadence: the smallest absolute multiple
+    // strictly past the current position.
+    const auto nextBoundary = [](sim::SimTime t, sim::SimTime cadence) {
+        return (t / cadence + 1) * cadence;
+    };
+    sim::SimTime next_window = sim::kTimeInfinity;
+    if (window) {
+        window->advanceTo(start_time); // prefetch the opening window
+        next_window = nextBoundary(start_time, knobs.stream_window);
+    }
+    sim::SimTime next_ckpt = knobs.checkpoint_every > 0
+        ? nextBoundary(start_time, knobs.checkpoint_every)
+        : sim::kTimeInfinity;
+
+    for (;;) {
+        sim::SimTime target = std::min(next_window, next_ckpt);
+        if (knobs.stop_at > 0)
+            target = std::min(target, knobs.stop_at);
+        if (target == sim::kTimeInfinity)
+            break; // no cadence left: drain in one shot below
+        step(target);
+        if (window && target >= next_window) {
+            window->advanceTo(target);
+            next_window += knobs.stream_window;
+        }
+        if (target >= next_ckpt) {
+            writeCkpt(target);
+            next_ckpt += knobs.checkpoint_every;
+        }
+        if (knobs.stop_at > 0 && target >= knobs.stop_at) {
+            writeCkpt(target);
+            SteppedOutcome outcome;
+            outcome.stopped_early = true;
+            outcome.stop_time = target;
+            return outcome;
+        }
+        if (drained())
+            break;
+    }
+    SteppedOutcome outcome;
+    outcome.metrics = finish();
+    return outcome;
+}
+
+/**
+ * The --max-rss-mb gate: report host peak RSS and fail the run when it
+ * exceeds the budget.  This is what lets CI assert the out-of-core
+ * contract (peak RSS tracks the window, not the trace).
+ */
+int
+checkMaxRss(const Options &options, std::ostream &err)
+{
+    const std::int64_t budget_mb = options.getInt("max-rss-mb", 0);
+    if (budget_mb <= 0)
+        return 0;
+    const std::int64_t rss_mb = exp::peakRssMb();
+    if (rss_mb < 0) {
+        err << "max-rss-mb: no peak-RSS probe on this platform; gate"
+               " skipped\n";
+        return 0;
+    }
+    err << "peak RSS " << rss_mb << " MB (budget " << budget_mb
+        << " MB)\n";
+    if (rss_mb > budget_mb) {
+        err << "run: peak RSS exceeded the --max-rss-mb budget\n";
+        return 1;
+    }
+    return 0;
+}
+
 void
 reportRun(std::ostream &out, const std::string &policy,
           const core::RunMetrics &m)
@@ -339,15 +588,150 @@ runConvert(const Options &options, std::ostream &out, std::ostream &)
     } else {
         // CSV -> binary: all seal()-time work (sorting, the per-function
         // arrival index) is paid here, once; replays then mmap the image.
-        const trace::Trace parsed = trace::readTraceFile(in_path);
-        trace::writeTraceImageFile(parsed, out_path);
-        requests = parsed.requests().size();
-        functions = parsed.functions().size();
+        // Arrival-sorted CSVs stream straight through the incremental
+        // writer, so conversion is bounded-memory at any trace size.
+        const trace::CsvConvertStats stats =
+            trace::convertTraceCsvToImage(in_path, out_path);
+        requests = stats.requests;
+        functions = stats.functions;
         direction = "csv -> ctrb";
     }
     out << "converted " << in_path << " (" << direction << "): "
         << requests << " requests, " << functions << " functions -> "
         << out_path << "\n";
+    return 0;
+}
+
+const std::vector<OptionSpec> &
+synthSpecs()
+{
+    static const std::vector<OptionSpec> specs = {
+        {"out", "file", "output .ctrb image (required)", ""},
+        {"copies", "n", "concatenate n time-shifted copies of the merged"
+                        " inputs", "1"},
+        {"gap-sec", "n", "idle simulated seconds between copies", "0"},
+    };
+    return specs;
+}
+
+int
+runSynth(const Options &options, std::ostream &out, std::ostream &)
+{
+    const std::string out_path = options.getString("out");
+    if (out_path.empty())
+        throw std::invalid_argument("synth requires --out <file.ctrb>");
+    const std::vector<std::string> &in_paths = options.positionals();
+    if (in_paths.empty()) {
+        throw std::invalid_argument(
+            "synth needs at least one input .ctrb image (use `convert`"
+            " for CSV traces first)");
+    }
+    const std::int64_t copies = options.getInt("copies", 1);
+    if (copies < 1)
+        throw std::invalid_argument("synth: --copies must be >= 1");
+    const std::int64_t gap_sec = options.getInt("gap-sec", 0);
+    if (gap_sec < 0)
+        throw std::invalid_argument("synth: --gap-sec must be >= 0");
+
+    // Open every input in streaming mode: the merge walks each image
+    // front to back exactly once, so even large inputs never have to be
+    // resident all at once — and the output goes through the streaming
+    // writer, so the whole synthesis runs on a bounded heap.
+    std::vector<trace::TraceImage> images;
+    images.reserve(in_paths.size());
+    for (const std::string &path : in_paths) {
+        if (!trace::isTraceImageFile(path)) {
+            throw std::invalid_argument("synth: " + path +
+                                        " is not a .ctrb image");
+        }
+        images.push_back(
+            trace::TraceImage::open(path, trace::TraceOpenMode::Streaming));
+    }
+
+    // Copies are time-shifted replicas sharing one function table, so
+    // every input must declare the same profiles (ids are positional).
+    const trace::TraceView first = images[0].view();
+    for (std::size_t i = 1; i < images.size(); ++i) {
+        const trace::TraceView other = images[i].view();
+        bool same = other.functionCount() == first.functionCount();
+        for (std::size_t f = 0; same && f < first.functionCount(); ++f) {
+            const trace::FunctionProfile &a = first.functions()[f];
+            const trace::FunctionProfile &b = other.functions()[f];
+            same = a.name == b.name && a.memory_mb == b.memory_mb &&
+                   a.cold_start_us == b.cold_start_us &&
+                   a.runtime == b.runtime &&
+                   a.median_exec_us == b.median_exec_us;
+        }
+        if (!same) {
+            throw std::invalid_argument(
+                "synth: " + in_paths[i] + " and " + in_paths[0] +
+                " have different function tables");
+        }
+    }
+
+    // Shape of the output: per-copy totals, and a period long enough
+    // that consecutive copies never overlap in time.
+    std::uint64_t per_copy = 0;
+    sim::SimTime span = 0;
+    std::vector<std::uint64_t> counts(first.functionCount(), 0);
+    for (const trace::TraceImage &image : images) {
+        const trace::TraceView view = image.view();
+        per_copy += view.requestCount();
+        span = std::max(span, view.duration());
+        const std::vector<std::uint64_t> by_function =
+            view.requestCountByFunction();
+        for (std::size_t f = 0; f < counts.size(); ++f)
+            counts[f] += by_function[f];
+    }
+    if (per_copy == 0)
+        throw std::invalid_argument("synth: the inputs have no requests");
+    const std::uint64_t total =
+        per_copy * static_cast<std::uint64_t>(copies);
+    for (std::uint64_t &count : counts)
+        count *= static_cast<std::uint64_t>(copies);
+    const sim::SimTime period = span + sim::sec(gap_sec) + 1;
+
+    const std::vector<trace::FunctionProfile> profiles(
+        first.functions().begin(), first.functions().end());
+    trace::TraceImageStreamWriter writer(out_path, profiles, total, counts);
+
+    // Per copy: k-way merge of the inputs by arrival (ties to the lower
+    // input index — a deterministic total order), shifted by the copy's
+    // period multiple.
+    std::vector<std::uint64_t> cursor(images.size());
+    std::vector<trace::TraceView> views;
+    views.reserve(images.size());
+    for (const trace::TraceImage &image : images)
+        views.push_back(image.view());
+    for (std::int64_t copy = 0; copy < copies; ++copy) {
+        const sim::SimTime shift = period * copy;
+        std::fill(cursor.begin(), cursor.end(), 0);
+        for (;;) {
+            std::size_t best = images.size();
+            sim::SimTime best_arrival = 0;
+            for (std::size_t i = 0; i < views.size(); ++i) {
+                if (cursor[i] >= views[i].requestCount())
+                    continue;
+                const sim::SimTime arrival =
+                    views[i].arrivalUs(cursor[i]);
+                if (best == images.size() || arrival < best_arrival) {
+                    best = i;
+                    best_arrival = arrival;
+                }
+            }
+            if (best == images.size())
+                break;
+            const std::uint64_t row = cursor[best]++;
+            writer.append(views[best].requestFunction(row),
+                          best_arrival + shift,
+                          views[best].execUs(row));
+        }
+    }
+    writer.finish();
+
+    out << "synthesized " << total << " requests ("
+        << first.functionCount() << " functions, " << copies
+        << " x " << per_copy << ") to " << out_path << "\n";
     return 0;
 }
 
@@ -363,6 +747,25 @@ simulateSpecs()
             {"timeline", "", "print memory/cold-start sparklines", ""},
             {"slo-ms", "n", "count waits above this as SLO violations",
              "0"},
+            {"stream-window-sec", "n", "windowed streaming replay of a"
+                                       " .ctrb trace: advise the OS along"
+                                       " an n-second window so peak RSS"
+                                       " tracks the window, not the trace"
+                                       " (results-neutral; needs --cells 1,"
+                                       " --trials 1)", "0"},
+            {"checkpoint", "file", "write engine state to this .ckpt at"
+                                   " checkpoint boundaries", ""},
+            {"checkpoint-every-sec", "n", "simulated seconds between"
+                                          " periodic checkpoints (needs"
+                                          " --checkpoint)", "0"},
+            {"resume-from", "file", "restore engine state from a .ckpt"
+                                    " and continue (bit-identical to the"
+                                    " uninterrupted run)", ""},
+            {"stop-at-sec", "n", "stop at this simulated time right"
+                                 " after writing the checkpoint, skipping"
+                                 " metrics (needs --checkpoint)", "0"},
+            {"max-rss-mb", "n", "exit 1 if host peak RSS exceeds n MB"
+                                " (0 = off)", "0"},
         };
         appendWorkloadSpecs(s);
         appendEngineSpecs(s);
@@ -390,10 +793,38 @@ runSimulate(const Options &options, std::ostream &out, std::ostream &err)
     // Validate sweep options up front so e.g. a malformed --jobs is
     // rejected even on the single-trial path that never uses it.
     const exp::RunnerOptions runner_options = runnerOptions(options, err);
+    const SteppedKnobs stepped = steppedKnobs(options);
 
     core::RunMetrics metrics;
     Workload single_workload;
-    if (trials == 1) {
+    if (stepped.enabled()) {
+        if (trials != 1) {
+            throw std::invalid_argument(
+                "run: --stream-window-sec/--checkpoint/--resume-from/"
+                "--stop-at-sec need --trials 1 (one engine, one cursor)");
+        }
+        single_workload = loadWorkload(
+            options, stepped.stream_window > 0
+                         ? trace::TraceOpenMode::Streaming
+                         : trace::TraceOpenMode::Resident);
+        resolveAutoCells(options, single_workload.view(), config,
+                         runner_options.shards, err);
+        if (stepped.stream_window > 0 && config.shard_cells > 1) {
+            throw std::invalid_argument(
+                "run: --stream-window-sec needs --cells 1 (cell builders"
+                " gather the columns out of arrival order, so a windowed"
+                " cursor cannot bound their residency)");
+        }
+        const SteppedOutcome outcome = runSteppedTrial(
+            stepped, policy, config, single_workload, runner_options, err);
+        if (outcome.stopped_early) {
+            out << "stopped at " << sim::toSec(outcome.stop_time)
+                << " s (checkpoint " << stepped.checkpoint_path
+                << "); resume with --resume-from\n";
+            return checkMaxRss(options, err);
+        }
+        metrics = outcome.metrics;
+    } else if (trials == 1) {
         single_workload = loadWorkload(options);
         resolveAutoCells(options, single_workload.view(), config,
                          runner_options.shards, err);
@@ -494,7 +925,7 @@ runSimulate(const Options &options, std::ostream &out, std::ostream &err)
     }
     if (options.has("json"))
         core::writeMetricsJsonFile(metrics, options.getString("json"));
-    return 0;
+    return checkMaxRss(options, err);
 }
 
 const std::vector<OptionSpec> &
@@ -635,7 +1066,8 @@ dispatch(int argc, const char *const *argv, std::ostream &out,
          std::ostream &err)
 {
     const auto usage = [&]() {
-        err << "usage: cidre_sim <generate|run|compare|analyze|convert>"
+        err << "usage: cidre_sim"
+               " <generate|run|compare|analyze|convert|synth>"
                " [options]\n"
                "run `cidre_sim <command> --help` for command options\n";
         return 2;
@@ -661,6 +1093,8 @@ dispatch(int argc, const char *const *argv, std::ostream &out,
         {"analyze", "[options]", &analyzeSpecs, &runAnalyze},
         {"convert", "<input> <output> (CSV <-> .ctrb, by content)",
          &convertSpecs, &runConvert},
+        {"synth", "--out big.ctrb --copies n [options] <in.ctrb ...>",
+         &synthSpecs, &runSynth},
     };
     for (const Entry &entry : entries) {
         if (command != entry.name)

@@ -8,7 +8,9 @@
  *   compare  — race several policies over the same trace;
  *   analyze  — workload characterization (the §2 analyses);
  *   convert  — translate a trace between CSV and the .ctrb binary
- *              columnar image (mmap-loadable, zero-copy replay).
+ *              columnar image (mmap-loadable, zero-copy replay);
+ *   synth    — merge + time-shift .ctrb images into one much larger
+ *              image through the streaming writer (bounded memory).
  */
 
 #ifndef CIDRE_CLI_COMMANDS_H
@@ -37,6 +39,8 @@ int runAnalyze(const Options &options, std::ostream &out,
                std::ostream &err);
 int runConvert(const Options &options, std::ostream &out,
                std::ostream &err);
+int runSynth(const Options &options, std::ostream &out,
+             std::ostream &err);
 
 /** Options accepted by each subcommand (for usage text and parsing). */
 const std::vector<OptionSpec> &generateSpecs();
@@ -44,6 +48,7 @@ const std::vector<OptionSpec> &simulateSpecs();
 const std::vector<OptionSpec> &compareSpecs();
 const std::vector<OptionSpec> &analyzeSpecs();
 const std::vector<OptionSpec> &convertSpecs();
+const std::vector<OptionSpec> &synthSpecs();
 
 /**
  * Dispatch `cidre_sim <command> [options]`.

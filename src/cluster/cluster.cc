@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/serialize.h"
+
 namespace cidre::cluster {
 
 Cluster::Cluster(const ClusterConfig &config)
@@ -93,8 +95,18 @@ Cluster::createContainer(trace::FunctionId function, WorkerId worker_id,
     Worker &host = worker(worker_id);
     host.reserve(memory_mb); // throws if over capacity
 
-    Container c;
-    c.id = static_cast<ContainerId>(containers_.size());
+    ContainerId id;
+    if (!free_slots_.empty()) {
+        id = free_slots_.back();
+        free_slots_.pop_back();
+        containers_[id] = Container{}; // scrub the evicted record
+    } else {
+        id = static_cast<ContainerId>(containers_.size());
+        containers_.emplace_back();
+    }
+    Container &c = containers_[id];
+    c.id = id;
+    c.seq = next_seq_++;
     c.function = function;
     c.worker = worker_id;
     c.state = ContainerState::Provisioning;
@@ -103,10 +115,9 @@ Cluster::createContainer(trace::FunctionId function, WorkerId worker_id,
     c.full_memory_mb = memory_mb;
     c.threads = threads;
     c.created_at = now;
-    containers_.push_back(std::move(c));
     host.noteContainerAdded();
     ++cached_count_;
-    return containers_.back().id;
+    return id;
 }
 
 void
@@ -122,6 +133,9 @@ Cluster::destroyContainer(ContainerId id)
     c.memory_mb = 0;
     c.state = ContainerState::Evicted;
     --cached_count_;
+    // The record stays readable (eviction hooks, metrics) until the
+    // next createContainer() recycles the slot.
+    free_slots_.push_back(id);
 }
 
 std::int64_t
@@ -154,6 +168,104 @@ Cluster::decompressContainer(ContainerId id)
     worker(c.worker).reserve(grow); // throws if it no longer fits
     c.memory_mb = c.full_memory_mb;
     c.state = ContainerState::Live;
+}
+
+namespace {
+
+void
+saveContainer(sim::StateWriter &writer, const Container &c)
+{
+    writer.put(c.id);
+    writer.put(c.seq);
+    writer.put(c.function);
+    writer.put(c.worker);
+    writer.put(c.state);
+    writer.put(c.reason);
+    writer.put(c.memory_mb);
+    writer.put(c.full_memory_mb);
+    writer.put(c.threads);
+    writer.put(c.active);
+    writer.put(c.created_at);
+    writer.put(c.provision_ends_at);
+    writer.put(c.idle_since);
+    writer.put(c.last_used_at);
+    writer.put(c.busy_until);
+    writer.put(c.use_count);
+    writer.put(c.restoring);
+    writer.put(c.clock);
+    writer.put(c.priority);
+    writer.put(c.avail_slot);
+    writer.put(c.cached_slot);
+    writer.put(c.idle_slot);
+    c.bound_queue.saveState(writer);
+}
+
+void
+loadContainer(sim::StateReader &reader, Container &c)
+{
+    c.id = reader.get<ContainerId>();
+    c.seq = reader.get<std::uint64_t>();
+    c.function = reader.get<trace::FunctionId>();
+    c.worker = reader.get<WorkerId>();
+    c.state = reader.get<ContainerState>();
+    c.reason = reader.get<ProvisionReason>();
+    c.memory_mb = reader.get<std::int64_t>();
+    c.full_memory_mb = reader.get<std::int64_t>();
+    c.threads = reader.get<std::uint32_t>();
+    c.active = reader.get<std::uint32_t>();
+    c.created_at = reader.get<sim::SimTime>();
+    c.provision_ends_at = reader.get<sim::SimTime>();
+    c.idle_since = reader.get<sim::SimTime>();
+    c.last_used_at = reader.get<sim::SimTime>();
+    c.busy_until = reader.get<sim::SimTime>();
+    c.use_count = reader.get<std::uint64_t>();
+    c.restoring = reader.get<bool>();
+    c.clock = reader.get<double>();
+    c.priority = reader.get<double>();
+    c.avail_slot = reader.get<std::int32_t>();
+    c.cached_slot = reader.get<std::int32_t>();
+    c.idle_slot = reader.get<std::int32_t>();
+    c.bound_queue.loadState(reader);
+}
+
+} // namespace
+
+void
+Cluster::saveState(sim::StateWriter &writer) const
+{
+    writer.put<std::uint64_t>(workers_.size());
+    for (const Worker &worker : workers_)
+        worker.saveState(writer);
+    writer.put<std::uint64_t>(containers_.size());
+    for (const Container &container : containers_)
+        saveContainer(writer, container);
+    writer.putVector(free_slots_);
+    writer.put(next_seq_);
+    writer.put<std::uint64_t>(cached_count_);
+}
+
+void
+Cluster::loadState(sim::StateReader &reader)
+{
+    const auto worker_count = reader.get<std::uint64_t>();
+    if (worker_count != workers_.size())
+        throw std::runtime_error("Cluster: checkpoint worker count mismatch");
+    for (Worker &worker : workers_)
+        worker.loadState(reader);
+    const auto container_count = reader.get<std::uint64_t>();
+    containers_.clear();
+    for (std::uint64_t i = 0; i < container_count; ++i) {
+        loadContainer(reader, containers_.emplace_back());
+        if (containers_.back().id != i)
+            throw std::runtime_error("Cluster: corrupt container slab");
+    }
+    free_slots_ = reader.getVector<ContainerId>();
+    for (const ContainerId slot : free_slots_) {
+        if (slot >= containers_.size() || !containers_[slot].evicted())
+            throw std::runtime_error("Cluster: corrupt free list");
+    }
+    next_seq_ = reader.get<std::uint64_t>();
+    cached_count_ = static_cast<std::size_t>(reader.get<std::uint64_t>());
 }
 
 } // namespace cidre::cluster

@@ -2,10 +2,15 @@
  * @file
  * The cluster: a set of workers plus the container population.
  *
- * Containers are stored in a slab indexed by ContainerId; ids are never
- * reused so historical containers remain inspectable (and policies can
- * hold ids without generation counters).  The orchestration engine is the
- * only writer of container state; policies read through const access.
+ * Containers are stored in a slab indexed by ContainerId.  Evicted
+ * slots are recycled (LIFO free list), so the slab — and with it the
+ * engine's resident footprint — is bounded by the peak *live*
+ * population, not by the total churn: a 100M-request replay creates
+ * tens of millions of containers but only ever holds the memory
+ * budget's worth of them.  An evicted record stays inspectable only
+ * until its slot is reused; Container::seq is the identity that
+ * survives recycling.  The orchestration engine is the only writer of
+ * container state; policies read through const access.
  */
 
 #ifndef CIDRE_CLUSTER_CLUSTER_H
@@ -17,6 +22,11 @@
 
 #include "cluster/container.h"
 #include "cluster/worker.h"
+
+namespace cidre::sim {
+class StateReader;
+class StateWriter;
+} // namespace cidre::sim
 
 namespace cidre::cluster {
 
@@ -102,12 +112,20 @@ class Cluster
         return containers_.at(id);
     }
 
+    /** Slab size: peak simultaneous container population so far. */
     std::size_t containerCount() const { return containers_.size(); }
+
+    /** Containers ever created (monotone; evicted ones included). */
+    std::uint64_t createdTotal() const { return next_seq_; }
 
     /** Live or compressed (i.e. memory-occupying, reusable) containers. */
     std::size_t cachedContainerCount() const { return cached_count_; }
 
-    /** Iterate all containers ever created (including evicted). */
+    /**
+     * Iterate the container slab: every live/compressed/provisioning
+     * container, plus evicted records whose slot has not been recycled
+     * yet.
+     */
     const std::deque<Container> &allContainers() const { return containers_; }
 
     /**
@@ -116,9 +134,23 @@ class Cluster
      */
     std::deque<Container> &slab() { return containers_; }
 
+    /**
+     * Checkpoint/restore: serializes the container slab, the free list
+     * (its LIFO order decides future id assignment, so it is part of
+     * bit-identical resume) and the per-worker memory accounting.  The
+     * cluster must have been constructed from the same ClusterConfig
+     * before loading.
+     */
+    void saveState(sim::StateWriter &writer) const;
+    void loadState(sim::StateReader &reader);
+
   private:
     std::vector<Worker> workers_;
     std::deque<Container> containers_; // stable addresses, id == index
+    /** Slots of evicted containers, reused LIFO by createContainer. */
+    std::vector<ContainerId> free_slots_;
+    /** Next Container::seq (== containers ever created). */
+    std::uint64_t next_seq_ = 0;
     std::int64_t total_capacity_mb_ = 0;
     std::size_t cached_count_ = 0;
 };

@@ -50,12 +50,34 @@ class BoundQueue
         }
     }
 
+    /** Checkpoint/restore (only the live suffix is kept). */
+    template <typename Writer> void saveState(Writer &writer) const
+    {
+        writer.template put<std::uint64_t>(size());
+        for (std::size_t i = head_; i < items_.size(); ++i)
+            writer.put(items_[i]);
+    }
+    template <typename Reader> void loadState(Reader &reader)
+    {
+        const auto count = reader.template get<std::uint64_t>();
+        head_ = 0;
+        items_.clear();
+        items_.reserve(static_cast<std::size_t>(count));
+        for (std::uint64_t i = 0; i < count; ++i)
+            items_.push_back(reader.template get<std::uint64_t>());
+    }
+
   private:
     std::vector<std::uint64_t> items_;
     std::size_t head_ = 0;
 };
 
-/** Dense container identifier; ids are never reused within a run. */
+/**
+ * Dense container identifier — the container's *slot* in the cluster
+ * slab.  Slots of evicted containers are recycled, so an id alone does
+ * not name a container across evictions; Container::seq is the stable
+ * (monotone, never reused) birth stamp for ordering and identity.
+ */
 using ContainerId = std::uint32_t;
 
 inline constexpr ContainerId kInvalidContainer = UINT32_MAX;
@@ -92,6 +114,13 @@ enum class ProvisionReason : std::uint8_t
 struct Container
 {
     ContainerId id = kInvalidContainer;
+    /**
+     * Monotone creation sequence, unique for the whole run (never
+     * recycled, unlike the slot id).  Ascending seq is creation order,
+     * which is what every (score, id) tie-break actually meant back
+     * when ids were append-only — policies must order by seq, not id.
+     */
+    std::uint64_t seq = 0;
     trace::FunctionId function = trace::kInvalidFunction;
     WorkerId worker = 0;
 

@@ -7,6 +7,7 @@
 #define CIDRE_CLUSTER_WORKER_H
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "cluster/container.h"
 
@@ -48,6 +49,27 @@ class Worker
     std::uint32_t containerCount() const { return container_count_; }
     void noteContainerAdded() { ++container_count_; }
     void noteContainerRemoved();
+
+    /**
+     * Checkpoint/restore of the mutable accounting; identity fields
+     * (id, capacity, speed) come from the cluster config and are
+     * verified rather than overwritten.
+     */
+    template <typename Writer> void saveState(Writer &writer) const
+    {
+        writer.put(capacity_mb_);
+        writer.put(used_mb_);
+        writer.put(container_count_);
+    }
+    template <typename Reader> void loadState(Reader &reader)
+    {
+        const auto capacity = reader.template get<std::int64_t>();
+        if (capacity != capacity_mb_)
+            throw std::logic_error(
+                "Worker: checkpoint capacity mismatch");
+        used_mb_ = reader.template get<std::int64_t>();
+        container_count_ = reader.template get<std::uint32_t>();
+    }
 
   private:
     WorkerId id_;

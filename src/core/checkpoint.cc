@@ -1,0 +1,144 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "sim/serialize.h"
+#include "trace/trace_image.h"
+
+namespace cidre::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'I', 'D', 'R', 'E', 'C', 'K', 'P'};
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &why)
+{
+    throw std::runtime_error("Checkpoint: " + path + ": " + why);
+}
+
+} // namespace
+
+std::uint64_t
+checkpointFingerprint(const EngineConfig &config,
+                      const std::string &policy_name,
+                      trace::TraceView workload)
+{
+    // Serialize every run-defining input into a flat buffer and digest
+    // it with the same checksum the payload uses.  Field order is part
+    // of the format: changing it invalidates old checkpoints, which is
+    // exactly what bumping kCheckpointVersion is for.
+    sim::StateWriter writer;
+    writer.put(config.cluster.workers);
+    writer.put(config.cluster.total_memory_mb);
+    writer.putVector(config.cluster.speed_factors);
+    writer.putVector(config.cluster.worker_memory_mb);
+    writer.put(static_cast<std::uint8_t>(config.speculation_mode));
+    writer.put(static_cast<std::uint8_t>(config.placement));
+    writer.put<std::uint8_t>(config.cancel_stale_speculation ? 1 : 0);
+    writer.put(config.container_threads);
+    writer.put(config.maintenance_interval);
+    writer.put(config.stats_window);
+    writer.put<std::uint64_t>(config.window_max_samples);
+    writer.put(config.te_percentile);
+    writer.put(config.seed);
+    writer.put(config.shard_cells);
+    writer.put<std::uint8_t>(config.record_per_request ? 1 : 0);
+    writer.put<std::uint8_t>(config.record_timeline ? 1 : 0);
+    writer.put(config.slo_us);
+    writer.put(config.compression_ratio);
+    writer.put(config.restore_cost_fraction);
+    writer.putString(policy_name);
+    writer.put<std::uint64_t>(workload.functionCount());
+    writer.put<std::uint64_t>(workload.requestCount());
+    const std::vector<std::byte> bytes = writer.release();
+    return trace::traceImageChecksum(bytes.data(), bytes.size());
+}
+
+void
+writeCheckpointFile(const std::string &path, std::uint64_t fingerprint,
+                    const std::vector<std::byte> &payload)
+{
+    CheckpointHeader header{};
+    std::memcpy(header.magic, kMagic, sizeof kMagic);
+    header.version = kCheckpointVersion;
+    header.header_bytes = sizeof(CheckpointHeader);
+    header.file_bytes = sizeof(CheckpointHeader) + payload.size();
+    header.payload_checksum =
+        trace::traceImageChecksum(payload.data(), payload.size());
+    header.fingerprint = fingerprint;
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            fail(path, "cannot open for writing");
+        out.write(reinterpret_cast<const char *>(&header), sizeof header);
+        out.write(reinterpret_cast<const char *>(payload.data()),
+                  static_cast<std::streamsize>(payload.size()));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            fail(path, "write failed");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fail(path, "rename failed");
+    }
+}
+
+std::vector<std::byte>
+readCheckpointFile(const std::string &path,
+                   std::uint64_t expected_fingerprint)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        fail(path, "cannot open");
+    const std::uint64_t file_bytes =
+        static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0);
+
+    if (file_bytes < sizeof(CheckpointHeader))
+        fail(path, "truncated checkpoint (file smaller than header)");
+
+    CheckpointHeader header{};
+    in.read(reinterpret_cast<char *>(&header), sizeof header);
+    if (!in)
+        fail(path, "truncated checkpoint (file smaller than header)");
+    if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0)
+        fail(path, "not a .ckpt checkpoint (bad magic)");
+    if (header.version != kCheckpointVersion) {
+        fail(path, "unsupported .ckpt version " +
+                       std::to_string(header.version) + " (expected " +
+                       std::to_string(kCheckpointVersion) + ")");
+    }
+    if (header.header_bytes != sizeof(CheckpointHeader))
+        fail(path, "malformed checkpoint (header size mismatch)");
+    if (file_bytes < header.file_bytes)
+        fail(path, "truncated checkpoint (file shorter than header claims)");
+    if (file_bytes > header.file_bytes)
+        fail(path, "malformed checkpoint (file longer than header claims)");
+
+    std::vector<std::byte> payload(header.file_bytes -
+                                   sizeof(CheckpointHeader));
+    in.read(reinterpret_cast<char *>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+    if (!in)
+        fail(path, "truncated checkpoint (file shorter than header claims)");
+
+    if (trace::traceImageChecksum(payload.data(), payload.size()) !=
+        header.payload_checksum) {
+        fail(path, "checksum mismatch (corrupt checkpoint)");
+    }
+    if (header.fingerprint != expected_fingerprint) {
+        fail(path, "fingerprint mismatch (checkpoint was written by a "
+                   "different run configuration)");
+    }
+    return payload;
+}
+
+} // namespace cidre::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The `.ckpt` checkpoint container: a versioned, checksummed envelope
+ * around an engine state payload (see Engine::saveState).
+ *
+ * Layout (little-endian, like `.ctrb`):
+ *
+ *   [CheckpointHeader — 40 bytes]
+ *   [payload — opaque StateWriter bytes]
+ *
+ * The header carries a whole-payload checksum (same 4-lane FNV as the
+ * trace image) and a *fingerprint*: a digest of everything the payload
+ * is only meaningful against — engine configuration, policy name and
+ * workload shape.  Restoring a checkpoint into a run with a different
+ * seed, cluster, policy or trace is rejected up front instead of
+ * diverging silently.
+ *
+ * Writes are atomic (tmp file + rename) so an interrupted checkpoint
+ * never clobbers the previous good one.
+ */
+
+#ifndef CIDRE_CORE_CHECKPOINT_H
+#define CIDRE_CORE_CHECKPOINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "trace/trace_view.h"
+
+namespace cidre::core {
+
+/** On-disk header of a `.ckpt` file. */
+struct CheckpointHeader
+{
+    char magic[8];                  //!< "CIDRECKP"
+    std::uint32_t version;          //!< kCheckpointVersion
+    std::uint32_t header_bytes;     //!< sizeof(CheckpointHeader)
+    std::uint64_t file_bytes;       //!< header + payload
+    std::uint64_t payload_checksum; //!< traceImageChecksum(payload)
+    std::uint64_t fingerprint;      //!< checkpointFingerprint(...)
+};
+static_assert(sizeof(CheckpointHeader) == 40,
+              "on-disk checkpoint header layout must not change silently");
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/**
+ * Digest of the run configuration a checkpoint belongs to: engine
+ * config (cluster shape, seeds, knobs), policy bundle name and the
+ * workload's function/request counts.  Two runs that would diverge
+ * produce different fingerprints; restore refuses on mismatch.
+ */
+std::uint64_t checkpointFingerprint(const EngineConfig &config,
+                                    const std::string &policy_name,
+                                    trace::TraceView workload);
+
+/**
+ * Write @p payload to @p path atomically (tmp + rename).
+ * @throws std::runtime_error on I/O failure.
+ */
+void writeCheckpointFile(const std::string &path, std::uint64_t fingerprint,
+                         const std::vector<std::byte> &payload);
+
+/**
+ * Read and validate a `.ckpt` file, returning its payload.
+ * @throws std::runtime_error on a missing/truncated/corrupt file or a
+ *         fingerprint mismatch, with the offending path in the message.
+ */
+std::vector<std::byte> readCheckpointFile(const std::string &path,
+                                          std::uint64_t expected_fingerprint);
+
+} // namespace cidre::core
+
+#endif // CIDRE_CORE_CHECKPOINT_H

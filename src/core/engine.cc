@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/serialize.h"
+
 namespace cidre::core {
 
 namespace {
@@ -53,6 +55,13 @@ class PlanLease
     ReclaimPlan &owner_;
     ReclaimPlan plan_;
 };
+
+// Checkpoint event-tag kinds: every pending event the engine schedules
+// carries one so a restored queue can rebuild the callback closures.
+constexpr std::uint32_t kEvArrival = 1;           //!< b = request index
+constexpr std::uint32_t kEvMaintenance = 2;       //!< no payload
+constexpr std::uint32_t kEvExecComplete = 3;      //!< a = cid, b = request
+constexpr std::uint32_t kEvProvisionComplete = 4; //!< a = cid
 
 } // namespace
 
@@ -200,6 +209,7 @@ Engine::scheduleNextArrival()
         return;
     const std::uint64_t index = arrival_cursor_++;
     queue_.schedule(trace_.arrivalUs(index),
+                    sim::EventTag{kEvArrival, 0, index},
                     [this, index](sim::SimTime) { handleArrival(index); });
 }
 
@@ -210,6 +220,7 @@ Engine::scheduleTickIfNeeded()
         return;
     tick_scheduled_ = true;
     queue_.scheduleAfter(config_.maintenance_interval,
+                         sim::EventTag{kEvMaintenance, 0, 0},
                          [this](sim::SimTime) { handleMaintenance(); });
 }
 
@@ -363,9 +374,11 @@ Engine::dispatch(cluster::Container &c, std::uint64_t request_index,
     policy_.scaling->onDispatch(*this, req, type, wait);
 
     const cluster::ContainerId cid = c.id;
-    queue_.scheduleAfter(req.exec_us, [this, cid, request_index](sim::SimTime) {
-        handleExecutionComplete(cid, request_index);
-    });
+    queue_.scheduleAfter(req.exec_us,
+                         sim::EventTag{kEvExecComplete, cid, request_index},
+                         [this, cid, request_index](sim::SimTime) {
+                             handleExecutionComplete(cid, request_index);
+                         });
 }
 
 void
@@ -573,9 +586,11 @@ Engine::tryStartProvision(const DeferredProvision &req)
         policy_.keep_alive->onAdmit(*this, c, watermark);
         noteMemory();
 
-        queue_.schedule(c.provision_ends_at, [this, cid](sim::SimTime) {
-            handleProvisionComplete(cid);
-        });
+        queue_.schedule(c.provision_ends_at,
+                        sim::EventTag{kEvProvisionComplete, cid, 0},
+                        [this, cid](sim::SimTime) {
+                            handleProvisionComplete(cid);
+                        });
         return true;
     }
     return false;
@@ -741,9 +756,11 @@ Engine::startRestore(cluster::Container &c, std::uint64_t request_index)
     noteMemory();
 
     const cluster::ContainerId cid = c.id;
-    queue_.schedule(c.provision_ends_at, [this, cid](sim::SimTime) {
-        handleProvisionComplete(cid);
-    });
+    queue_.schedule(c.provision_ends_at,
+                    sim::EventTag{kEvProvisionComplete, cid, 0},
+                    [this, cid](sim::SimTime) {
+                        handleProvisionComplete(cid);
+                    });
 }
 
 void
@@ -888,6 +905,148 @@ Engine::nextArrivalAfter(trace::FunctionId id, sim::SimTime t) const
     const auto arrivals = trace_.arrivalsOf(id);
     const auto it = std::upper_bound(arrivals.begin(), arrivals.end(), t);
     return it == arrivals.end() ? sim::kTimeInfinity : *it;
+}
+
+sim::EventCallback
+Engine::eventFromTag(const sim::EventTag &tag)
+{
+    switch (tag.kind) {
+      case kEvArrival: {
+        const std::uint64_t index = tag.b;
+        return [this, index](sim::SimTime) { handleArrival(index); };
+      }
+      case kEvMaintenance:
+        return [this](sim::SimTime) { handleMaintenance(); };
+      case kEvExecComplete: {
+        const cluster::ContainerId cid = tag.a;
+        const std::uint64_t request_index = tag.b;
+        return [this, cid, request_index](sim::SimTime) {
+            handleExecutionComplete(cid, request_index);
+        };
+      }
+      case kEvProvisionComplete: {
+        const cluster::ContainerId cid = tag.a;
+        return [this, cid](sim::SimTime) { handleProvisionComplete(cid); };
+      }
+      default:
+        return sim::EventCallback{};
+    }
+}
+
+void
+Engine::saveState(sim::StateWriter &writer) const
+{
+    writer.put<std::uint8_t>(ran_ ? 1 : 0);
+    writer.put<std::uint8_t>(tick_scheduled_ ? 1 : 0);
+    writer.put<std::uint8_t>(in_retry_ ? 1 : 0);
+    writer.put(arrival_cursor_);
+    writer.put(round_robin_cursor_);
+    writer.put(compressed_live_);
+    writer.put(outstanding_requests_);
+    writer.put(completed_requests_);
+
+    std::uint64_t rng_state[4];
+    rng_.saveState(rng_state);
+    writer.putBytes(rng_state, sizeof rng_state);
+
+    queue_.saveState(writer);
+    cluster_.saveState(writer);
+
+    writer.put<std::uint64_t>(worker_idle_.size());
+    for (const auto &list : worker_idle_)
+        writer.putVector(list);
+    writer.putVector(worker_idle_epoch_);
+
+    writer.put<std::uint64_t>(states_.size());
+    for (const FunctionState &fs : states_)
+        fs.saveState(writer);
+
+    writer.put<std::uint64_t>(deferred_.size());
+    for (const DeferredProvision &d : deferred_) {
+        writer.put(d.function);
+        writer.put(static_cast<std::uint8_t>(d.reason));
+        writer.put(d.bound_request);
+    }
+
+    metrics_.saveState(writer);
+    policy_.scaling->saveState(writer);
+    policy_.keep_alive->saveState(writer);
+    writer.put<std::uint8_t>(policy_.agent ? 1 : 0);
+    if (policy_.agent)
+        policy_.agent->saveState(writer);
+}
+
+void
+Engine::loadState(sim::StateReader &reader)
+{
+    if (ran_)
+        throw std::logic_error(
+            "Engine::loadState: restore requires a fresh engine");
+
+    ran_ = reader.get<std::uint8_t>() != 0;
+    tick_scheduled_ = reader.get<std::uint8_t>() != 0;
+    in_retry_ = reader.get<std::uint8_t>() != 0;
+    arrival_cursor_ = reader.get<std::uint64_t>();
+    round_robin_cursor_ = reader.get<std::uint64_t>();
+    compressed_live_ = reader.get<std::int64_t>();
+    outstanding_requests_ = reader.get<std::uint64_t>();
+    completed_requests_ = reader.get<std::uint64_t>();
+    if (arrival_cursor_ > trace_.requestCount() ||
+        completed_requests_ > trace_.requestCount()) {
+        throw std::runtime_error(
+            "Engine: checkpoint does not match the workload "
+            "(request cursor out of range)");
+    }
+
+    std::uint64_t rng_state[4];
+    reader.getBytes(rng_state, sizeof rng_state);
+    rng_.loadState(rng_state);
+
+    queue_.loadState(reader, [this](const sim::EventTag &tag) {
+        return eventFromTag(tag);
+    });
+    cluster_.loadState(reader);
+
+    const std::uint64_t idle_lists = reader.get<std::uint64_t>();
+    if (idle_lists != worker_idle_.size())
+        throw std::runtime_error(
+            "Engine: checkpoint does not match the cluster "
+            "(worker count mismatch)");
+    for (auto &list : worker_idle_)
+        list = reader.getVector<cluster::ContainerId>();
+    worker_idle_epoch_ = reader.getVector<std::uint64_t>();
+    if (worker_idle_epoch_.size() != worker_idle_.size())
+        throw std::runtime_error("Engine: corrupt worker idle epochs");
+
+    const std::uint64_t function_count = reader.get<std::uint64_t>();
+    if (function_count != states_.size())
+        throw std::runtime_error(
+            "Engine: checkpoint does not match the workload "
+            "(function count mismatch)");
+    for (FunctionState &fs : states_)
+        fs.loadState(reader);
+
+    deferred_.clear();
+    const std::uint64_t deferred_count = reader.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < deferred_count; ++i) {
+        DeferredProvision d;
+        d.function = reader.get<trace::FunctionId>();
+        d.reason =
+            static_cast<cluster::ProvisionReason>(reader.get<std::uint8_t>());
+        d.bound_request = reader.get<std::int64_t>();
+        deferred_.push_back(d);
+    }
+
+    metrics_.loadState(reader);
+    policy_.scaling->loadState(reader);
+    policy_.keep_alive->loadState(reader);
+    const bool had_agent = reader.get<std::uint8_t>() != 0;
+    if (had_agent != (policy_.agent != nullptr))
+        throw std::runtime_error(
+            "Engine: checkpoint does not match the policy bundle "
+            "(agent presence mismatch)");
+    if (policy_.agent)
+        policy_.agent->loadState(reader);
 }
 
 const std::vector<sim::SimTime> &

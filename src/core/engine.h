@@ -166,6 +166,31 @@ class Engine
     /** Evict an idle container (agent-driven deactivation / expiry). */
     void reapContainer(cluster::ContainerId id, bool expired);
 
+    // ---- checkpoint/restore ---------------------------------------------
+
+    /** Trace requests whose arrival event has been scheduled so far. */
+    std::uint64_t arrivalCursor() const { return arrival_cursor_; }
+
+    /**
+     * Serialize the complete mutable simulation state — cursors, RNG,
+     * pending events, cluster, per-function state, metrics and the
+     * policy bundle — such that loadState() on a freshly-constructed
+     * engine (same workload, config and policy) resumes bit-identically
+     * to the uninterrupted run.  Must be called at a quiescent point
+     * (between events, i.e. outside stepUntil()).
+     */
+    void saveState(sim::StateWriter &writer) const;
+
+    /**
+     * Restore a checkpoint written by saveState().  The engine must be
+     * freshly constructed (begin() not called) with the same workload,
+     * config and policy bundle; afterwards stepUntil()/finish() continue
+     * exactly where the checkpointed run left off.  Throws
+     * std::logic_error on reuse and std::runtime_error on a payload
+     * that does not match this engine's shape.
+     */
+    void loadState(sim::StateReader &reader);
+
   private:
     struct DeferredProvision
     {
@@ -173,6 +198,9 @@ class Engine
         cluster::ProvisionReason reason;
         std::int64_t bound_request; //!< trace request index or -1
     };
+
+    /** Rebuild the callback of a checkpointed pending event. */
+    sim::EventCallback eventFromTag(const sim::EventTag &tag);
 
     // Event handlers.
     void handleArrival(std::uint64_t request_index);

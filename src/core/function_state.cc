@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/serialize.h"
+
 namespace cidre::core {
 
 namespace {
@@ -140,6 +142,59 @@ FunctionState::freqPerMinute(sim::SimTime now) const
     const double mins =
         std::max(1.0, sim::toMin(now - first_request_at_));
     return static_cast<double>(total_invocations_) / mins;
+}
+
+void
+FunctionState::saveState(sim::StateWriter &writer) const
+{
+    writer.put(bss_enabled);
+    writer.put(t_i_us);
+    writer.put(t_d_us);
+    writer.put(tracked_spec_container);
+    writer.put(tracked_spec_ready_at);
+    writer.put(last_head_evaluated);
+    writer.putVector(available_);
+    writer.putVector(cached_);
+    writer.put(busy_count_);
+    writer.put(provisioning_count_);
+    writer.put<std::uint64_t>(channel_.size());
+    for (const PendingRequest &pending : channel_)
+        writer.put(pending);
+    writer.put(total_invocations_);
+    writer.put(first_request_at_);
+    writer.put(priority_epoch_);
+    writer.putVector(busy_ends_);
+    exec_window_.saveState(writer);
+    cold_window_.saveState(writer);
+    arrival_window_.saveState(writer);
+}
+
+void
+FunctionState::loadState(sim::StateReader &reader)
+{
+    bss_enabled = reader.get<bool>();
+    t_i_us = reader.get<double>();
+    t_d_us = reader.get<double>();
+    tracked_spec_container = reader.get<cluster::ContainerId>();
+    tracked_spec_ready_at = reader.get<sim::SimTime>();
+    last_head_evaluated = reader.get<std::uint64_t>();
+    available_ = reader.getVector<cluster::ContainerId>();
+    cached_ = reader.getVector<cluster::ContainerId>();
+    busy_count_ = reader.get<std::uint32_t>();
+    provisioning_count_ = reader.get<std::uint32_t>();
+    const auto pending_count = reader.get<std::uint64_t>();
+    channel_.clear();
+    for (std::uint64_t i = 0; i < pending_count; ++i)
+        channel_.push_back(reader.get<PendingRequest>());
+    total_invocations_ = reader.get<std::uint64_t>();
+    first_request_at_ = reader.get<sim::SimTime>();
+    priority_epoch_ = reader.get<std::uint64_t>();
+    busy_ends_ = reader.getVector<sim::SimTime>();
+    exec_window_.loadState(reader);
+    cold_window_.loadState(reader);
+    arrival_window_.loadState(reader);
+    te_cache_ = EstimateCache{};
+    tp_cache_ = EstimateCache{};
 }
 
 } // namespace cidre::core

@@ -20,6 +20,11 @@
 #include "stats/sliding_window.h"
 #include "trace/function_profile.h"
 
+namespace cidre::sim {
+class StateReader;
+class StateWriter;
+} // namespace cidre::sim
+
 namespace cidre::core {
 
 /** One entry in a function's pending-request channel. */
@@ -165,6 +170,15 @@ class FunctionState
      * same head is re-evaluated across events).
      */
     std::uint64_t last_head_evaluated = UINT64_MAX;
+
+    /**
+     * Checkpoint/restore of all mutable state.  The estimate memos are
+     * deliberately dropped (they re-validate against the windows'
+     * change epochs, so the first post-restore query recomputes the
+     * same value).
+     */
+    void saveState(sim::StateWriter &writer) const;
+    void loadState(sim::StateReader &reader);
 
   private:
     trace::FunctionId id_;

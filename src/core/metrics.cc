@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/serialize.h"
+
 namespace cidre::core {
 
 const char *
@@ -187,6 +189,74 @@ double
 RunMetrics::peakMemoryGb() const
 {
     return static_cast<double>(peak_used_mb_) / 1024.0;
+}
+
+void
+RunMetrics::saveState(sim::StateWriter &writer) const
+{
+    writer.put(containers_created);
+    writer.put(provisioned_mb);
+    writer.put(evictions);
+    writer.put(expirations);
+    writer.put(compressions);
+    writer.put(prewarms);
+    writer.put(wasted_cold_starts);
+    writer.put(deferred_provisions);
+    writer.put(cancelled_provisions);
+    writer.put(slo_violations);
+    for (const std::uint64_t count : counts_)
+        writer.put(count);
+    for (const stats::OnlineSummary &summary : wait_by_type_)
+        summary.saveState(writer);
+    overhead_ratio_.saveState(writer);
+    overhead_all_.saveState(writer);
+    overhead_us_.saveState(writer);
+    e2e_us_.saveState(writer);
+    writer.put(mb_time_integral_);
+    writer.put(current_used_mb_);
+    writer.put(peak_used_mb_);
+    writer.put(last_memory_change_);
+    writer.put(makespan_);
+    writer.put(finalized_);
+    writer.putVector(outcomes);
+    timeline.memory_mb.saveState(writer);
+    timeline.cold_starts.saveState(writer);
+    timeline.delayed_warms.saveState(writer);
+    timeline.provisions.saveState(writer);
+}
+
+void
+RunMetrics::loadState(sim::StateReader &reader)
+{
+    containers_created = reader.get<std::uint64_t>();
+    provisioned_mb = reader.get<std::uint64_t>();
+    evictions = reader.get<std::uint64_t>();
+    expirations = reader.get<std::uint64_t>();
+    compressions = reader.get<std::uint64_t>();
+    prewarms = reader.get<std::uint64_t>();
+    wasted_cold_starts = reader.get<std::uint64_t>();
+    deferred_provisions = reader.get<std::uint64_t>();
+    cancelled_provisions = reader.get<std::uint64_t>();
+    slo_violations = reader.get<std::uint64_t>();
+    for (std::uint64_t &count : counts_)
+        count = reader.get<std::uint64_t>();
+    for (stats::OnlineSummary &summary : wait_by_type_)
+        summary.loadState(reader);
+    overhead_ratio_.loadState(reader);
+    overhead_all_.loadState(reader);
+    overhead_us_.loadState(reader);
+    e2e_us_.loadState(reader);
+    mb_time_integral_ = reader.get<double>();
+    current_used_mb_ = reader.get<std::int64_t>();
+    peak_used_mb_ = reader.get<std::int64_t>();
+    last_memory_change_ = reader.get<sim::SimTime>();
+    makespan_ = reader.get<sim::SimTime>();
+    finalized_ = reader.get<bool>();
+    outcomes = reader.getVector<RequestOutcome>();
+    timeline.memory_mb.loadState(reader);
+    timeline.cold_starts.loadState(reader);
+    timeline.delayed_warms.loadState(reader);
+    timeline.provisions.loadState(reader);
 }
 
 } // namespace cidre::core

@@ -15,6 +15,11 @@
 #include "stats/summary.h"
 #include "stats/timeseries.h"
 
+namespace cidre::sim {
+class StateReader;
+class StateWriter;
+} // namespace cidre::sim
+
 namespace cidre::core {
 
 /**
@@ -186,6 +191,13 @@ class RunMetrics
                                      stats::BucketCombine::Sum};
     };
     Timeline timeline;
+
+    /**
+     * Checkpoint/restore of the full accumulator state (counters,
+     * distributions, memory integral, outcome log and timeline).
+     */
+    void saveState(sim::StateWriter &writer) const;
+    void loadState(sim::StateReader &reader);
 
   private:
     /** Shared accumulation of merge()/mergeConcurrent(). */

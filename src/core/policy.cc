@@ -65,4 +65,34 @@ ClusterAgent::onContainerEvicted(Engine &, const cluster::Container &)
 {
 }
 
+void
+ScalingPolicy::saveState(sim::StateWriter &) const
+{
+}
+
+void
+ScalingPolicy::loadState(sim::StateReader &)
+{
+}
+
+void
+KeepAlivePolicy::saveState(sim::StateWriter &) const
+{
+}
+
+void
+KeepAlivePolicy::loadState(sim::StateReader &)
+{
+}
+
+void
+ClusterAgent::saveState(sim::StateWriter &) const
+{
+}
+
+void
+ClusterAgent::loadState(sim::StateReader &)
+{
+}
+
 } // namespace cidre::core

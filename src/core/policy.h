@@ -42,6 +42,11 @@
 #include "trace/function_profile.h"
 #include "trace/request.h"
 
+namespace cidre::sim {
+class StateReader;
+class StateWriter;
+} // namespace cidre::sim
+
 namespace cidre::core {
 
 class Engine;
@@ -120,6 +125,15 @@ class ScalingPolicy
      * overhead for policies that never look at it.
      */
     virtual bool wantsBusyCompletionView() const { return false; }
+
+    /**
+     * Checkpoint/restore of policy-internal state.  Default: no state.
+     * Stateful policies must serialize everything a resumed run needs
+     * to stay bit-identical to an uninterrupted one; pure caches that
+     * re-validate against engine epochs may be dropped.
+     */
+    virtual void saveState(sim::StateWriter &writer) const;
+    virtual void loadState(sim::StateReader &reader);
 };
 
 /** A worker-local reclaim demand. */
@@ -190,6 +204,15 @@ class KeepAlivePolicy
      */
     virtual void collectExpired(Engine &engine, sim::SimTime now,
                                 std::vector<cluster::ContainerId> &out);
+
+    /**
+     * Checkpoint/restore of policy-internal state.  Default: no state.
+     * Stateful policies must serialize everything a resumed run needs
+     * to stay bit-identical to an uninterrupted one; pure caches that
+     * re-validate against engine epochs may be dropped.
+     */
+    virtual void saveState(sim::StateWriter &writer) const;
+    virtual void loadState(sim::StateReader &reader);
 };
 
 /** Optional proactive component (pre-warming, autoscaling, layers). */
@@ -219,6 +242,15 @@ class ClusterAgent
     /** A container was evicted (layer caches may salvage pieces). */
     virtual void onContainerEvicted(Engine &engine,
                                     const cluster::Container &container);
+
+    /**
+     * Checkpoint/restore of policy-internal state.  Default: no state.
+     * Stateful policies must serialize everything a resumed run needs
+     * to stay bit-identical to an uninterrupted one; pure caches that
+     * re-validate against engine epochs may be dropped.
+     */
+    virtual void saveState(sim::StateWriter &writer) const;
+    virtual void loadState(sim::StateReader &reader);
 };
 
 /** A complete, named orchestration policy bundle. */

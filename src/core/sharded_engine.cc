@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/rng.h"
+#include "sim/serialize.h"
 #include "sim/time.h"
 
 namespace cidre::core {
@@ -371,6 +372,36 @@ ShardedEngine::begin()
         buildCell(k);
         cells_[k].engine->begin();
     }
+}
+
+void
+ShardedEngine::saveState(sim::StateWriter &writer) const
+{
+    if (!ran_)
+        throw std::logic_error("ShardedEngine::saveState: begin() first");
+    writer.put<std::uint64_t>(cells_.size());
+    for (const auto &cell : cells_)
+        cell.engine->saveState(writer);
+}
+
+void
+ShardedEngine::loadState(sim::StateReader &reader)
+{
+    if (ran_)
+        throw std::logic_error(
+            "ShardedEngine::loadState: restore requires a fresh engine");
+    // The partition and every cell's sub-trace are deterministic
+    // functions of (trace, config); only the engines carry run state.
+    for (std::size_t k = 0; k < cells_.size(); ++k)
+        buildCell(k);
+    const std::uint64_t cell_count = reader.get<std::uint64_t>();
+    if (cell_count != cells_.size())
+        throw std::runtime_error(
+            "ShardedEngine: checkpoint does not match the partition "
+            "(cell count mismatch)");
+    for (auto &cell : cells_)
+        cell.engine->loadState(reader);
+    ran_ = true;
 }
 
 std::size_t

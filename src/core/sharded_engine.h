@@ -239,6 +239,24 @@ class ShardedEngine
     std::size_t cellCount() const { return cells_.size(); }
     const ShardPlan &plan() const { return plan_; }
 
+    // ---- checkpoint/restore -------------------------------------------
+
+    /**
+     * Serialize every cell's engine state (canonical cell order) after
+     * begin(); see Engine::saveState.  The partition itself is not
+     * saved — it is a pure function of (trace, config) and is rebuilt
+     * deterministically on restore.
+     */
+    void saveState(sim::StateWriter &writer) const;
+
+    /**
+     * Restore a checkpoint into a freshly-constructed sharded engine
+     * (same workload, config, policy factory): builds every cell, loads
+     * each cell's engine state, and leaves the run ready for
+     * stepUntil()/finish().  Throws like Engine::loadState.
+     */
+    void loadState(sim::StateReader &reader);
+
     /** The per-cell engine (tests / telemetry; cell must be built). */
     const Engine &cellEngine(std::size_t cell) const
     {

@@ -4,11 +4,28 @@
 #include <ostream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace cidre::exp {
 
 std::int64_t
 peakRssMb()
 {
+    // getrusage first: one syscall, no proc parsing, and portable to
+    // every unix this harness runs on.  ru_maxrss is KB on Linux/BSD
+    // but bytes on macOS.
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage{};
+    if (::getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+        return usage.ru_maxrss / (1024 * 1024);
+#else
+        return usage.ru_maxrss / 1024;
+#endif
+    }
+#endif
 #ifdef __linux__
     std::ifstream status("/proc/self/status");
     std::string line;

@@ -20,8 +20,11 @@
 namespace cidre::exp {
 
 /**
- * Peak resident set size of this process in MB (Linux VmHWM), or -1
- * when the platform offers no cheap probe.
+ * Peak resident set size of this process in MB — getrusage ru_maxrss,
+ * with /proc VmHWM as the Linux fallback — or -1 when the platform
+ * offers no cheap probe.  Process-monotone: it never decreases, so
+ * per-phase attribution needs one process per phase (see
+ * bench_out_of_core).
  */
 std::int64_t peakRssMb();
 

@@ -24,7 +24,8 @@ CodeCrunchKeepAlive::planReclaim(core::Engine &engine,
     const double ratio = engine.config().compression_ratio;
     std::int64_t freed = 0;
     // First pass: compress live idle containers, evict compressed ones.
-    for (const auto &[prio, cid] : ranked) {
+    for (const RankEntry &entry : ranked) {
+        const cluster::ContainerId cid = entry.id;
         if (freed >= request.need_mb)
             break;
         if (cid == request.exclude)
@@ -47,13 +48,13 @@ CodeCrunchKeepAlive::planReclaim(core::Engine &engine,
     // from the lowest score upward (compressed or not).
     plan.clear();
     freed = 0;
-    for (const auto &[prio, cid] : ranked) {
+    for (const RankEntry &entry : ranked) {
         if (freed >= request.need_mb)
             break;
-        if (cid == request.exclude)
+        if (entry.id == request.exclude)
             continue;
-        plan.evict.push_back(cid);
-        freed += engine.clusterRef().container(cid).memory_mb;
+        plan.evict.push_back(entry.id);
+        freed += engine.clusterRef().container(entry.id).memory_mb;
     }
     if (freed < request.need_mb)
         plan.evict.clear();

@@ -8,6 +8,8 @@
 #include "policies/keepalive/lru.h"
 #include "policies/scaling/vanilla.h"
 
+#include "sim/serialize.h"
+
 namespace cidre::policies {
 
 EnsureAgent::EnsureAgent(const EnsureConfig &config)
@@ -102,6 +104,18 @@ makeEnsure(const EnsureConfig &config)
     policy.keep_alive = std::make_unique<LruKeepAlive>();
     policy.agent = std::make_unique<EnsureAgent>(config);
     return policy;
+}
+
+void
+EnsureAgent::saveState(sim::StateWriter &writer) const
+{
+    writer.putVector(surplus_since_);
+}
+
+void
+EnsureAgent::loadState(sim::StateReader &reader)
+{
+    surplus_since_ = reader.getVector<sim::SimTime>();
 }
 
 } // namespace cidre::policies

@@ -50,6 +50,10 @@ class EnsureAgent : public core::ClusterAgent
     std::uint32_t targetPoolSize(core::Engine &engine,
                                  trace::FunctionId function) const;
 
+    /** Checkpoint/restore: per-function surplus cooldown clocks. */
+    void saveState(sim::StateWriter &writer) const override;
+    void loadState(sim::StateReader &reader) override;
+
   private:
     EnsureConfig config_;
     /** Since when each function has been above target (-1 = not). */

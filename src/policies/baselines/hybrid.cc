@@ -6,6 +6,8 @@
 #include "core/engine.h"
 #include "policies/scaling/vanilla.h"
 
+#include "sim/serialize.h"
+
 namespace cidre::policies {
 
 // ------------------------------------------------------------- IatHistory
@@ -156,6 +158,43 @@ makeHybridHistogram(const HybridConfig &config)
     policy.keep_alive = std::move(keep_alive);
     policy.agent = std::move(agent);
     return policy;
+}
+
+void
+IatHistory::saveState(sim::StateWriter &writer) const
+{
+    writer.put<std::uint64_t>(entries_.size());
+    for (const Entry &entry : entries_) {
+        writer.put(entry.last_arrival);
+        writer.putVector(entry.gaps);
+        writer.put<std::uint64_t>(entry.next_slot);
+    }
+}
+
+void
+IatHistory::loadState(sim::StateReader &reader)
+{
+    const auto count = reader.get<std::uint64_t>();
+    entries_.clear();
+    entries_.resize(static_cast<std::size_t>(count));
+    for (Entry &entry : entries_) {
+        entry.last_arrival = reader.get<sim::SimTime>();
+        entry.gaps = reader.getVector<double>();
+        entry.next_slot =
+            static_cast<std::size_t>(reader.get<std::uint64_t>());
+    }
+}
+
+void
+HybridAgent::saveState(sim::StateWriter &writer) const
+{
+    history_.saveState(writer);
+}
+
+void
+HybridAgent::loadState(sim::StateReader &reader)
+{
+    history_.loadState(reader);
 }
 
 } // namespace cidre::policies

@@ -69,6 +69,10 @@ class IatHistory
     /** Last observed arrival (or -1). */
     sim::SimTime lastArrival(trace::FunctionId function) const;
 
+    /** Checkpoint/restore of every function's gap ring. */
+    void saveState(sim::StateWriter &writer) const;
+    void loadState(sim::StateReader &reader);
+
   private:
     struct Entry
     {
@@ -119,6 +123,11 @@ class HybridAgent : public core::ClusterAgent
     void onRequestObserved(core::Engine &engine,
                            const trace::Request &request) override;
     void onTick(core::Engine &engine, sim::SimTime now) override;
+
+    /** Checkpoint/restore: the owned IAT history (the keep-alive half
+     *  reads it by reference, so this covers the whole bundle). */
+    void saveState(sim::StateWriter &writer) const override;
+    void loadState(sim::StateReader &reader) override;
 
   private:
     HybridConfig config_;

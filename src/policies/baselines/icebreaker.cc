@@ -8,6 +8,8 @@
 #include "policies/keepalive/gdsf.h"
 #include "policies/scaling/vanilla.h"
 
+#include "sim/serialize.h"
+
 namespace cidre::policies {
 
 namespace {
@@ -124,6 +126,30 @@ makeIceBreaker(const IceBreakerConfig &config)
     policy.keep_alive = std::make_unique<GdsfKeepAlive>(false);
     policy.agent = std::make_unique<IceBreakerAgent>(config);
     return policy;
+}
+
+void
+IceBreakerAgent::saveState(sim::StateWriter &writer) const
+{
+    writer.put<std::uint64_t>(history_.size());
+    for (const History &h : history_) {
+        writer.put(h.last_arrival);
+        writer.putVector(h.gaps);
+        writer.put<std::uint64_t>(h.next_slot);
+    }
+}
+
+void
+IceBreakerAgent::loadState(sim::StateReader &reader)
+{
+    const auto count = reader.get<std::uint64_t>();
+    history_.clear();
+    history_.resize(static_cast<std::size_t>(count));
+    for (History &h : history_) {
+        h.last_arrival = reader.get<sim::SimTime>();
+        h.gaps = reader.getVector<double>();
+        h.next_slot = static_cast<std::size_t>(reader.get<std::uint64_t>());
+    }
 }
 
 } // namespace cidre::policies

@@ -67,6 +67,10 @@ class IceBreakerAgent : public core::ClusterAgent
      */
     sim::SimTime predictNextArrival(trace::FunctionId function) const;
 
+    /** Checkpoint/restore: per-function arrival-gap histories. */
+    void saveState(sim::StateWriter &writer) const override;
+    void loadState(sim::StateReader &reader) override;
+
   private:
     struct History
     {

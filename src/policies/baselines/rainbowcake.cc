@@ -7,6 +7,8 @@
 #include "core/engine.h"
 #include "policies/scaling/vanilla.h"
 
+#include "sim/serialize.h"
+
 namespace cidre::policies {
 
 namespace {
@@ -287,6 +289,73 @@ makeRainbowCake(const RainbowCakeConfig &config, std::size_t workers)
     policy.keep_alive = std::move(keep_alive);
     policy.agent = std::move(agent);
     return policy;
+}
+
+void
+LayerCache::saveState(sim::StateWriter &writer) const
+{
+    writer.put<std::uint64_t>(workers_.size());
+    for (const WorkerLayers &wl : workers_) {
+        writer.put(wl.bare);
+        // Unordered maps iterate in a hash-dependent order; serialize
+        // in sorted key order so checkpoint bytes are deterministic.
+        std::vector<std::uint8_t> langs;
+        langs.reserve(wl.lang.size());
+        for (const auto &[key, layer] : wl.lang)
+            langs.push_back(key);
+        std::sort(langs.begin(), langs.end());
+        writer.put<std::uint64_t>(langs.size());
+        for (const std::uint8_t key : langs) {
+            writer.put(key);
+            writer.put(wl.lang.at(key));
+        }
+        std::vector<trace::FunctionId> fns;
+        fns.reserve(wl.user.size());
+        for (const auto &[key, layer] : wl.user)
+            fns.push_back(key);
+        std::sort(fns.begin(), fns.end());
+        writer.put<std::uint64_t>(fns.size());
+        for (const trace::FunctionId key : fns) {
+            writer.put(key);
+            writer.put(wl.user.at(key));
+        }
+    }
+}
+
+void
+LayerCache::loadState(sim::StateReader &reader)
+{
+    const auto worker_count = reader.get<std::uint64_t>();
+    if (worker_count != workers_.size())
+        throw std::runtime_error(
+            "LayerCache: checkpoint worker count mismatch");
+    for (WorkerLayers &wl : workers_) {
+        wl.bare = reader.get<Layer>();
+        wl.lang.clear();
+        const auto lang_count = reader.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < lang_count; ++i) {
+            const auto key = reader.get<std::uint8_t>();
+            wl.lang[key] = reader.get<Layer>();
+        }
+        wl.user.clear();
+        const auto user_count = reader.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < user_count; ++i) {
+            const auto key = reader.get<trace::FunctionId>();
+            wl.user[key] = reader.get<Layer>();
+        }
+    }
+}
+
+void
+RainbowCakeAgent::saveState(sim::StateWriter &writer) const
+{
+    layers_.saveState(writer);
+}
+
+void
+RainbowCakeAgent::loadState(sim::StateReader &reader)
+{
+    layers_.loadState(reader);
 }
 
 } // namespace cidre::policies

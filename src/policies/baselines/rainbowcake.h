@@ -100,6 +100,10 @@ class LayerCache
     /** Total layer memory currently charged on @p worker. */
     std::int64_t layerMemoryMb(cluster::WorkerId worker) const;
 
+    /** Checkpoint/restore (maps serialized in sorted key order). */
+    void saveState(sim::StateWriter &writer) const;
+    void loadState(sim::StateReader &reader);
+
   private:
     struct Layer
     {
@@ -141,6 +145,11 @@ class RainbowCakeAgent : public core::ClusterAgent
                                sim::SimTime base_cost) override;
     void onContainerEvicted(core::Engine &engine,
                             const cluster::Container &container) override;
+
+    /** Checkpoint/restore: the owned layer cache (shared with the
+     *  keep-alive half by reference, so this covers the bundle). */
+    void saveState(sim::StateWriter &writer) const override;
+    void loadState(sim::StateReader &reader) override;
 
   private:
     LayerCache layers_;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/engine.h"
+#include "sim/serialize.h"
 
 namespace cidre::policies {
 
@@ -137,7 +138,8 @@ CipKeepAlive::insertIdle(WorkerState &ws, const cluster::Container &container)
     // The entry remembers the scan seq current at insertion: a later
     // larger seq on this (worker, function) cell means a reclaim scan
     // saw the container while idle and re-wrote its priority.
-    const IdleEntry entry{container.clock, container.id, ws.scan_seq[f]};
+    const IdleEntry entry{container.clock, container.seq, container.id,
+                          ws.scan_seq[f]};
     bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), entry),
                   entry);
 }
@@ -150,9 +152,9 @@ CipKeepAlive::removeIdle(WorkerState &ws, const cluster::Container &container,
     if (f >= ws.buckets.size())
         return false;
     std::vector<IdleEntry> &bucket = ws.buckets[f];
-    const IdleEntry key{container.clock, container.id, 0};
+    const IdleEntry key{container.clock, container.seq, container.id, 0};
     const auto it = std::lower_bound(bucket.begin(), bucket.end(), key);
-    if (it == bucket.end() || it->id != container.id ||
+    if (it == bucket.end() || it->seq != container.seq ||
         it->clock != container.clock) {
         return false;
     }
@@ -193,7 +195,7 @@ CipKeepAlive::rebuild(core::Engine &engine, cluster::WorkerId worker,
         // Mark 0 (never a live scan seq): the scan that follows in
         // planReclaim re-records every bonus, so reconstruction always
         // routes through it — exactly the brute-force full-scan effect.
-        bucket.push_back({c.clock, cid, 0});
+        bucket.push_back({c.clock, c.seq, cid, 0});
     }
     for (const trace::FunctionId f : ws.active)
         std::sort(ws.buckets[f].begin(), ws.buckets[f].end());
@@ -221,15 +223,15 @@ CipKeepAlive::planReclaim(core::Engine &engine,
         ws.scan_bonus[f] = bonus;
         ws.scan_seq[f] = seq;
         const IdleEntry &head = ws.buckets[f].front();
-        ws.heads.push_back({head.clock + bonus, head.id, f, 1});
+        ws.heads.push_back({head.clock + bonus, head.seq, head.id, f, 1});
     }
 
     // K-way merge of the bucket heads: pops come out in exactly the
-    // ascending (score, id) order a full rescore-and-sort would yield.
+    // ascending (score, seq) order a full rescore-and-sort would yield.
     const auto heap_after = [](const Head &a, const Head &b) {
         if (a.score != b.score)
             return a.score > b.score;
-        return a.id > b.id;
+        return a.seq > b.seq;
     };
     std::make_heap(ws.heads.begin(), ws.heads.end(), heap_after);
 
@@ -250,13 +252,55 @@ CipKeepAlive::planReclaim(core::Engine &engine,
         const std::vector<IdleEntry> &bucket = ws.buckets[h.function];
         if (h.next < bucket.size()) {
             const IdleEntry &e = bucket[h.next];
-            ws.heads.push_back({e.clock + ws.scan_bonus[h.function], e.id,
-                                h.function, h.next + 1});
+            ws.heads.push_back({e.clock + ws.scan_bonus[h.function], e.seq,
+                                e.id, h.function, h.next + 1});
             std::push_heap(ws.heads.begin(), ws.heads.end(), heap_after);
         }
     }
     if (freed < request.need_mb)
         plan.evict.clear(); // insufficient: the engine will defer
+}
+
+void
+CipKeepAlive::saveState(sim::StateWriter &writer) const
+{
+    writer.put(scan_counter_);
+    writer.put<std::uint64_t>(workers_.size());
+    for (const WorkerState &ws : workers_) {
+        writer.put<std::uint64_t>(ws.buckets.size());
+        for (const std::vector<IdleEntry> &bucket : ws.buckets)
+            writer.putVector(bucket);
+        writer.putVector(ws.active);
+        writer.putVector(ws.active_slot);
+        writer.putVector(ws.scan_bonus);
+        writer.putVector(ws.scan_seq);
+        writer.put(ws.epoch);
+        writer.put(ws.valid);
+    }
+}
+
+void
+CipKeepAlive::loadState(sim::StateReader &reader)
+{
+    scan_counter_ = reader.get<std::uint64_t>();
+    const auto worker_count = reader.get<std::uint64_t>();
+    workers_.clear();
+    workers_.resize(static_cast<std::size_t>(worker_count));
+    for (WorkerState &ws : workers_) {
+        const auto bucket_count = reader.get<std::uint64_t>();
+        ws.buckets.resize(static_cast<std::size_t>(bucket_count));
+        for (std::vector<IdleEntry> &bucket : ws.buckets)
+            bucket = reader.getVector<IdleEntry>();
+        ws.active = reader.getVector<trace::FunctionId>();
+        ws.active_slot = reader.getVector<std::int32_t>();
+        ws.scan_bonus = reader.getVector<double>();
+        ws.scan_seq = reader.getVector<std::uint64_t>();
+        ws.epoch = reader.get<std::uint64_t>();
+        ws.valid = reader.get<bool>();
+        ws.heads.clear();
+    }
+    bonus_cache_.clear(); // pure memo: recomputes to the same values
+    invalidateRankingCaches();
 }
 
 } // namespace cidre::policies

@@ -20,13 +20,15 @@
  * exploit: every container of one function shares the same bonus term
  * Freq·Cost/(Size·|F(c)|), and Clock only changes on use/admit — never
  * while a container sits idle.  So each worker keeps per-function
- * buckets of its idle containers ordered by (clock, id); within a
+ * buckets of its idle containers ordered by (clock, seq); within a
  * bucket that order *is* the priority order at any instant.  A reclaim
  * computes one bonus per function with idle containers (O(F_w), cheap
  * and memoized across same-instant scans) and k-way-merges the bucket
- * heads through a min-heap keyed by (clock + bonus, id) — popping
- * victims lowest-priority-first in exactly the (score, id) order a full
- * rescore-and-sort would produce, but in O(evicted · log F_w).
+ * heads through a min-heap keyed by (clock + bonus, seq) — popping
+ * victims lowest-priority-first in exactly the (score, seq) order a full
+ * rescore-and-sort would produce, but in O(evicted · log F_w).  (The
+ * tie-break is Container::seq, not the recyclable slot id; seq is the
+ * creation order ids used to encode when the slab was append-only.)
  *
  * Bit-identity with the brute-force path is preserved including its
  * side effects: the old scan wrote a fresh priority into *every* idle
@@ -66,6 +68,16 @@ class CipKeepAlive : public RankedKeepAlive
                      const core::ReclaimRequest &request,
                      core::ReclaimPlan &plan) override;
 
+    /**
+     * Checkpoint/restore.  The incremental buckets, recorded scan
+     * bonuses/seqs and the scan counter are real state: onUse
+     * reconstructs the stale scan-time priority of a container from
+     * them, so dropping any of it would diverge from an uninterrupted
+     * run.  The selection heap and the bonus memo are scratch.
+     */
+    void saveState(sim::StateWriter &writer) const override;
+    void loadState(sim::StateReader &reader) override;
+
   protected:
     double score(core::Engine &engine,
                  cluster::Container &container) override;
@@ -75,24 +87,26 @@ class CipKeepAlive : public RankedKeepAlive
     struct IdleEntry
     {
         double clock;
+        std::uint64_t seq; //!< Container::seq (stable across slot reuse)
         cluster::ContainerId id;
         /** Scan seq of the (worker, function) cell at insertion time. */
         std::uint64_t scan_mark;
 
-        /** Bucket order (clock, id): the within-function priority order,
+        /** Bucket order (clock, seq): the within-function priority order,
          *  since all containers of one function share the bonus term. */
         bool operator<(const IdleEntry &o) const
         {
             if (clock != o.clock)
                 return clock < o.clock;
-            return id < o.id;
+            return seq < o.seq;
         }
     };
 
     /** A bucket head inside the k-way selection heap. */
     struct Head
     {
-        double score; //!< clock + per-function bonus
+        double score;      //!< clock + per-function bonus
+        std::uint64_t seq; //!< Container::seq tie-break
         cluster::ContainerId id;
         trace::FunctionId function;
         std::uint32_t next; //!< bucket index of the successor entry
@@ -101,7 +115,7 @@ class CipKeepAlive : public RankedKeepAlive
     /** Incremental idle-ranking state of one worker. */
     struct WorkerState
     {
-        /** Per-function idle containers, ascending (clock, id). */
+        /** Per-function idle containers, ascending (clock, seq). */
         std::vector<std::vector<IdleEntry>> buckets;
         /** Functions with a non-empty bucket (swap-erase order). */
         std::vector<trace::FunctionId> active;

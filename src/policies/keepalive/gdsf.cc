@@ -4,6 +4,8 @@
 
 #include "core/engine.h"
 
+#include "sim/serialize.h"
+
 namespace cidre::policies {
 
 GdsfKeepAlive::GdsfKeepAlive(bool concurrency_aware)
@@ -68,6 +70,21 @@ GdsfKeepAlive::score(core::Engine &engine, cluster::Container &container)
     }
     container.priority = container.clock + freq * cost / denom;
     return container.priority;
+}
+
+void
+GdsfKeepAlive::saveState(sim::StateWriter &writer) const
+{
+    writer.put(watermark_);
+    writer.putVector(freq_);
+}
+
+void
+GdsfKeepAlive::loadState(sim::StateReader &reader)
+{
+    watermark_ = reader.get<double>();
+    freq_ = reader.getVector<std::uint64_t>();
+    invalidateRankingCaches();
 }
 
 } // namespace cidre::policies

@@ -49,6 +49,10 @@ class GdsfKeepAlive : public RankedKeepAlive
     /** Current cache-wide clock watermark (visible for tests). */
     double watermark() const { return watermark_; }
 
+    /** Checkpoint/restore: clock watermark + while-cached frequencies. */
+    void saveState(sim::StateWriter &writer) const override;
+    void loadState(sim::StateReader &reader) override;
+
   protected:
     double score(core::Engine &engine,
                  cluster::Container &container) override;

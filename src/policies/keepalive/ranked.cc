@@ -22,7 +22,7 @@ RankedKeepAlive::rankedIdle(core::Engine &engine, cluster::WorkerId worker)
         for (const cluster::ContainerId cid :
              engine.idleContainersOn(worker)) {
             cluster::Container &c = engine.clusterRef().container(cid);
-            scratch_.emplace_back(score(engine, c), cid);
+            scratch_.push_back({score(engine, c), c.seq, cid});
         }
         std::sort(scratch_.begin(), scratch_.end());
         return scratch_;
@@ -35,7 +35,7 @@ RankedKeepAlive::rankedIdle(core::Engine &engine, cluster::WorkerId worker)
         for (const cluster::ContainerId cid :
              engine.idleContainersOn(worker)) {
             cluster::Container &c = engine.clusterRef().container(cid);
-            cache.ranking.emplace_back(score(engine, c), cid);
+            cache.ranking.push_back({score(engine, c), c.seq, cid});
         }
         std::sort(cache.ranking.begin(), cache.ranking.end());
         cache.epoch = epoch;
@@ -52,13 +52,13 @@ RankedKeepAlive::planReclaim(core::Engine &engine,
     const Ranking &ranked = rankedIdle(engine, request.worker);
 
     std::int64_t freed = 0;
-    for (const auto &[prio, cid] : ranked) {
+    for (const RankEntry &entry : ranked) {
         if (freed >= request.need_mb)
             break;
-        if (cid == request.exclude)
+        if (entry.id == request.exclude)
             continue;
-        plan.evict.push_back(cid);
-        freed += engine.clusterRef().container(cid).memory_mb;
+        plan.evict.push_back(entry.id);
+        freed += engine.clusterRef().container(entry.id).memory_mb;
     }
     if (freed < request.need_mb)
         plan.evict.clear(); // insufficient: the engine will defer
@@ -79,8 +79,8 @@ RankedKeepAlive::onIdle(core::Engine &engine, cluster::Container &container)
         cache.valid = false;
         return;
     }
-    const std::pair<double, cluster::ContainerId> entry{
-        score(engine, container), container.id};
+    const RankEntry entry{score(engine, container), container.seq,
+                          container.id};
     cache.ranking.insert(std::lower_bound(cache.ranking.begin(),
                                           cache.ranking.end(), entry),
                          entry);
@@ -104,16 +104,15 @@ RankedKeepAlive::onUse(core::Engine &engine, cluster::Container &container,
         return;
     }
     // The single bump was this container leaving the idle list.  Its
-    // cached key is (priority, id): score() is stable while idle and
+    // cached key is (priority, seq): score() is stable while idle and
     // stores its value in container.priority, which the engine does not
     // touch, so the stored priority *is* the key it was inserted under
     // (dispatch already refreshed last_used_at, so re-scoring now would
     // find a different, wrong key).
-    const std::pair<double, cluster::ContainerId> entry{container.priority,
-                                                        container.id};
+    const RankEntry entry{container.priority, container.seq, container.id};
     const auto it = std::lower_bound(cache.ranking.begin(),
                                      cache.ranking.end(), entry);
-    if (it == cache.ranking.end() || it->second != container.id) {
+    if (it == cache.ranking.end() || it->seq != container.seq) {
         cache.valid = false; // contract violation: fall back to rebuilds
         return;
     }
@@ -137,11 +136,10 @@ RankedKeepAlive::onEvicted(core::Engine &engine,
         cache.valid = false;
         return;
     }
-    const std::pair<double, cluster::ContainerId> entry{container.priority,
-                                                       container.id};
+    const RankEntry entry{container.priority, container.seq, container.id};
     const auto it = std::lower_bound(cache.ranking.begin(),
                                      cache.ranking.end(), entry);
-    if (it == cache.ranking.end() || it->second != container.id) {
+    if (it == cache.ranking.end() || it->seq != container.seq) {
         cache.valid = false;
         return;
     }

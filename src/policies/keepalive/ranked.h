@@ -17,13 +17,17 @@
  * engine's idle-list epoch so any membership change the policy did not
  * observe (e.g. a CodeCrunch restore) forces a full rebuild.  Plans are
  * bit-identical to a full rescan: entries are ordered by the same total
- * (score, id) key a sort would produce.
+ * (score, seq) key a sort would produce.  The tie-break is the birth
+ * sequence, not the ContainerId: slot ids are recycled after eviction,
+ * while seq is monotone — exactly the creation order ids had back when
+ * the slab was append-only, so recycling is invisible to results.
  */
 
 #ifndef CIDRE_POLICIES_KEEPALIVE_RANKED_H
 #define CIDRE_POLICIES_KEEPALIVE_RANKED_H
 
-#include <utility>
+#include <cstdint>
+#include <tuple>
 #include <vector>
 
 #include "core/policy.h"
@@ -47,8 +51,21 @@ class RankedKeepAlive : public core::KeepAlivePolicy
                    const cluster::Container &container) override;
 
   protected:
-    /** Sorted (score, id) pairs, lowest (= first evicted) first. */
-    using Ranking = std::vector<std::pair<double, cluster::ContainerId>>;
+    /** One ranked idle container; ordered by (score, seq), never id. */
+    struct RankEntry
+    {
+        double score;
+        std::uint64_t seq;
+        cluster::ContainerId id;
+
+        friend bool operator<(const RankEntry &a, const RankEntry &b)
+        {
+            return std::tie(a.score, a.seq) < std::tie(b.score, b.seq);
+        }
+    };
+
+    /** Sorted entries, lowest (= first evicted) first. */
+    using Ranking = std::vector<RankEntry>;
 
     /**
      * Keep-alive score of an idle container; *lower scores evict first*.
@@ -77,6 +94,13 @@ class RankedKeepAlive : public core::KeepAlivePolicy
      */
     const Ranking &rankedIdle(core::Engine &engine,
                               cluster::WorkerId worker);
+
+    /**
+     * Drop the incremental per-worker rankings (checkpoint restore):
+     * the next reclaim rebuilds them by rescoring, which for stable
+     * scores reproduces the exact pre-drop ranking.
+     */
+    void invalidateRankingCaches() { caches_.clear(); }
 
   private:
     struct WorkerCache

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/serialize.h"
+
 namespace cidre::sim {
 
 std::uint32_t
@@ -29,6 +31,7 @@ EventQueue::releaseSlot(std::uint32_t index) noexcept
     slot.callback.reset();
     slot.armed_key = 0; // invalidates outstanding ids and heap entries
     slot.next_free = free_head_;
+    slot.tag = EventTag{};
     free_head_ = index;
 }
 
@@ -203,6 +206,59 @@ EventQueue::runUntil(SimTime deadline)
     if (now_ < deadline)
         now_ = deadline;
     return count;
+}
+
+void
+EventQueue::saveState(StateWriter &writer) const
+{
+    writer.put(now_);
+    writer.put(last_event_);
+    writer.put(next_seq_);
+    writer.put(executed_);
+    writer.put(free_head_);
+    writer.put<std::uint64_t>(cancelled_);
+    writer.putVector(heap_);
+    writer.put<std::uint64_t>(slots_.size());
+    for (const Slot &slot : slots_) {
+        if (slot.armed_key != 0 && slot.tag.kind == 0)
+            throw std::logic_error(
+                "EventQueue: cannot checkpoint an untagged pending event");
+        writer.put(slot.armed_key);
+        writer.put(slot.next_free);
+        writer.put(slot.tag);
+    }
+}
+
+void
+EventQueue::loadState(StateReader &reader, const EventFactory &factory)
+{
+    now_ = reader.get<SimTime>();
+    last_event_ = reader.get<SimTime>();
+    next_seq_ = reader.get<std::uint64_t>();
+    executed_ = reader.get<std::uint64_t>();
+    free_head_ = reader.get<std::uint32_t>();
+    cancelled_ = static_cast<std::size_t>(reader.get<std::uint64_t>());
+    heap_ = reader.getVector<HeapEntry>();
+    const auto slot_count = reader.get<std::uint64_t>();
+    slots_.clear();
+    slots_.resize(static_cast<std::size_t>(slot_count));
+    for (Slot &slot : slots_) {
+        slot.armed_key = reader.get<std::uint64_t>();
+        slot.next_free = reader.get<std::uint32_t>();
+        slot.tag = reader.get<EventTag>();
+        if (slot.armed_key != 0) {
+            slot.callback = factory(slot.tag);
+            if (!slot.callback)
+                throw std::runtime_error(
+                    "EventQueue: no callback for checkpointed event kind " +
+                    std::to_string(slot.tag.kind));
+        }
+    }
+    for (const HeapEntry &entry : heap_) {
+        if ((entry.key & kSlotMask) >= slots_.size())
+            throw std::runtime_error(
+                "EventQueue: checkpointed heap references invalid slot");
+    }
 }
 
 std::size_t

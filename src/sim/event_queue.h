@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <new>
 #include <stdexcept>
 #include <type_traits>
@@ -39,6 +40,25 @@
 #include "sim/time.h"
 
 namespace cidre::sim {
+
+class StateReader;
+class StateWriter;
+
+/**
+ * Serializable identity of a pending event, used by checkpoint/restore.
+ *
+ * Closures cannot be serialized, so a checkpointable scheduler tags
+ * every event with a small POD describing how to rebuild its callback
+ * (an event kind plus two operand words — e.g. a container id and a
+ * request index).  kind 0 means "untagged": such events cannot cross a
+ * checkpoint and make saveState() throw while pending.
+ */
+struct EventTag
+{
+    std::uint32_t kind = 0;
+    std::uint32_t a = 0;
+    std::uint64_t b = 0;
+};
 
 /**
  * A move-only callable of signature void(SimTime) with small-buffer
@@ -259,6 +279,41 @@ class EventQueue
         return finishSchedule(when, slot);
     }
 
+    /**
+     * Tagged hot-path schedule: identical to schedule(when, fn) but
+     * records @p tag as the event's serializable identity, making the
+     * event checkpointable (see saveState()).  @p tag.kind must be
+     * non-zero.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_v<std::decay_t<F> &, SimTime>>>
+    EventId schedule(SimTime when, EventTag tag, F &&fn)
+    {
+        if (tag.kind == 0)
+            throw std::invalid_argument("EventQueue: tag.kind must be != 0");
+        const std::uint32_t slot = beginSchedule(when);
+        try {
+            slots_[slot].callback.emplace(std::forward<F>(fn));
+        } catch (...) {
+            releaseSlot(slot);
+            throw;
+        }
+        slots_[slot].tag = tag;
+        return finishSchedule(when, slot);
+    }
+
+    /** Tagged relative-time schedule, mirroring scheduleAfter(). */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_v<std::decay_t<F> &, SimTime>>>
+    EventId scheduleAfter(SimTime delay, EventTag tag, F &&fn)
+    {
+        return schedule(now_ + delay, tag, std::forward<F>(fn));
+    }
+
     /** Schedule @p cb to run @p delay after the current time. */
     EventId scheduleAfter(SimTime delay, Callback cb);
 
@@ -335,6 +390,31 @@ class EventQueue
     /** Pooled slots ever created (the high-water mark of pending events). */
     std::size_t slotPoolSize() const { return slots_.size(); }
 
+    // ---- checkpoint/restore ---------------------------------------------
+
+    /**
+     * Rebuilds a callback from the EventTag it was scheduled with.
+     * Returning an empty callback makes loadState() throw.
+     */
+    using EventFactory = std::function<EventCallback(const EventTag &)>;
+
+    /**
+     * Serialize the queue's full state (clock, counters, heap and the
+     * tag of every pending event).  Callbacks themselves are not
+     * serialized: loadState() rebuilds them from the tags, so every
+     * pending event must have been scheduled through a tagged overload
+     * — an armed untagged slot throws std::logic_error.
+     */
+    void saveState(StateWriter &writer) const;
+
+    /**
+     * Restore state saved by saveState(), rebuilding each pending
+     * callback via @p factory.  Replaces the queue's entire contents;
+     * the restored queue then produces the exact event sequence of the
+     * original (keys, FIFO ties and slot reuse included).
+     */
+    void loadState(StateReader &reader, const EventFactory &factory);
+
   private:
     static constexpr std::uint32_t kNoSlot = UINT32_MAX;
 
@@ -356,6 +436,8 @@ class EventQueue
         std::uint64_t armed_key = 0;
         /** Free-list link (kNoSlot when armed or at the list tail). */
         std::uint32_t next_free = kNoSlot;
+        /** Serializable identity; kind 0 for untagged events. */
+        EventTag tag;
     };
 
     /**

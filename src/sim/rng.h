@@ -78,6 +78,22 @@ class Rng
      */
     Rng fork();
 
+    /**
+     * Checkpoint/restore access to the raw 256-bit state.  Restoring a
+     * saved state resumes the exact stream, which checkpointed runs
+     * rely on for bit-identical replay.
+     */
+    void saveState(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+    void loadState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+
   private:
     std::uint64_t state_[4];
 };

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/serialize.h"
+
 namespace cidre::stats {
 
 Histogram::Histogram(double relative_error)
@@ -107,6 +109,27 @@ Histogram::points(std::size_t max_points) const
         out.push_back({percentile(q), q});
     }
     return out;
+}
+
+void
+Histogram::saveState(sim::StateWriter &writer) const
+{
+    writer.put(growth_);
+    writer.put(zeros_);
+    writer.putVector(buckets_);
+    summary_.saveState(writer);
+}
+
+void
+Histogram::loadState(sim::StateReader &reader)
+{
+    const double growth = reader.get<double>();
+    if (growth != growth_)
+        throw std::runtime_error(
+            "Histogram: checkpoint bucket geometry mismatch");
+    zeros_ = reader.get<std::uint64_t>();
+    buckets_ = reader.getVector<std::uint64_t>();
+    summary_.loadState(reader);
 }
 
 } // namespace cidre::stats

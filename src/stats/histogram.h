@@ -16,6 +16,11 @@
 #include "stats/cdf.h"
 #include "stats/summary.h"
 
+namespace cidre::sim {
+class StateReader;
+class StateWriter;
+} // namespace cidre::sim
+
 namespace cidre::stats {
 
 /**
@@ -50,6 +55,10 @@ class Histogram
 
     /** Downsample into explicit CDF points for reporting. */
     std::vector<CdfPoint> points(std::size_t max_points = 100) const;
+
+    /** Checkpoint/restore; bucket geometry must match on load. */
+    void saveState(sim::StateWriter &writer) const;
+    void loadState(sim::StateReader &reader);
 
   private:
     std::size_t bucketOf(double value) const;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/serialize.h"
+
 namespace cidre::stats {
 
 SlidingWindow::SlidingWindow(sim::SimTime horizon, std::size_t max_samples)
@@ -125,6 +127,43 @@ SlidingWindow::latestTime() const
     if (size_ == 0)
         throw std::logic_error("SlidingWindow::latestTime: empty window");
     return at(size_ - 1).when;
+}
+
+void
+SlidingWindow::saveState(sim::StateWriter &writer) const
+{
+    writer.put(horizon_);
+    writer.put<std::uint64_t>(max_samples_);
+    writer.put(sum_);
+    writer.put(change_epoch_);
+    writer.put<std::uint64_t>(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        writer.put(at(i));
+}
+
+void
+SlidingWindow::loadState(sim::StateReader &reader)
+{
+    horizon_ = reader.get<sim::SimTime>();
+    max_samples_ = static_cast<std::size_t>(reader.get<std::uint64_t>());
+    if (max_samples_ == 0)
+        throw std::runtime_error("SlidingWindow: corrupt checkpoint");
+    sum_ = reader.get<double>();
+    change_epoch_ = reader.get<std::uint64_t>();
+    const auto count = reader.get<std::uint64_t>();
+    if (count > max_samples_)
+        throw std::runtime_error("SlidingWindow: corrupt checkpoint");
+    ring_.clear();
+    ring_.resize(static_cast<std::size_t>(count));
+    sorted_.clear();
+    sorted_.reserve(ring_.size());
+    for (Entry &entry : ring_) {
+        entry = reader.get<Entry>();
+        sorted_.push_back(entry.value);
+    }
+    std::sort(sorted_.begin(), sorted_.end());
+    head_ = 0;
+    size_ = ring_.size();
 }
 
 } // namespace cidre::stats

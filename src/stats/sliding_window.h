@@ -29,6 +29,11 @@
 
 #include "sim/time.h"
 
+namespace cidre::sim {
+class StateReader;
+class StateWriter;
+} // namespace cidre::sim
+
 namespace cidre::stats {
 
 /** Sliding time window of scalar samples with percentile queries. */
@@ -79,6 +84,15 @@ class SlidingWindow
      * contents, so any derived statistic is still valid).
      */
     std::uint64_t changeEpoch() const { return change_epoch_; }
+
+    /**
+     * Checkpoint the live samples (time order), running sum and change
+     * epoch.  The restored window is observationally identical — same
+     * samples, percentiles, sum drift and epoch — though its ring
+     * capacity trajectory may differ (not observable).
+     */
+    void saveState(sim::StateWriter &writer) const;
+    void loadState(sim::StateReader &reader);
 
   private:
     struct Entry

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/serialize.h"
+
 namespace cidre::stats {
 
 void
@@ -58,6 +60,26 @@ double
 OnlineSummary::cv() const
 {
     return mean_ == 0.0 ? 0.0 : stddev() / mean_;
+}
+
+void
+OnlineSummary::saveState(sim::StateWriter &writer) const
+{
+    writer.put(count_);
+    writer.put(mean_);
+    writer.put(m2_);
+    writer.put(min_);
+    writer.put(max_);
+}
+
+void
+OnlineSummary::loadState(sim::StateReader &reader)
+{
+    count_ = reader.get<std::uint64_t>();
+    mean_ = reader.get<double>();
+    m2_ = reader.get<double>();
+    min_ = reader.get<double>();
+    max_ = reader.get<double>();
 }
 
 } // namespace cidre::stats

@@ -8,6 +8,11 @@
 
 #include <cstdint>
 
+namespace cidre::sim {
+class StateReader;
+class StateWriter;
+} // namespace cidre::sim
+
 namespace cidre::stats {
 
 /**
@@ -39,6 +44,10 @@ class OnlineSummary
 
     /** Coefficient of variation (stddev / mean); 0 if mean is 0. */
     double cv() const;
+
+    /** Checkpoint/restore of the exact accumulator state. */
+    void saveState(sim::StateWriter &writer) const;
+    void loadState(sim::StateReader &reader);
 
   private:
     std::uint64_t count_ = 0;

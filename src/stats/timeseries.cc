@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/serialize.h"
+
 namespace cidre::stats {
 
 TimeSeries::TimeSeries(sim::SimTime bucket_width, BucketCombine combine)
@@ -97,6 +99,29 @@ TimeSeries::sparkline(std::size_t width) const
         out += kLevels[level];
     }
     return out;
+}
+
+void
+TimeSeries::saveState(sim::StateWriter &writer) const
+{
+    writer.put(bucket_width_);
+    writer.put(combine_);
+    writer.putVector(buckets_);
+    writer.putBoolVector(touched_);
+}
+
+void
+TimeSeries::loadState(sim::StateReader &reader)
+{
+    const auto width = reader.get<sim::SimTime>();
+    const auto combine = reader.get<BucketCombine>();
+    if (width != bucket_width_ || combine != combine_)
+        throw std::runtime_error(
+            "TimeSeries: checkpoint bucket layout mismatch");
+    buckets_ = reader.getVector<double>();
+    touched_ = reader.getBoolVector();
+    if (touched_.size() != buckets_.size())
+        throw std::runtime_error("TimeSeries: corrupt checkpoint");
 }
 
 } // namespace cidre::stats

@@ -18,6 +18,11 @@
 
 #include "sim/time.h"
 
+namespace cidre::sim {
+class StateReader;
+class StateWriter;
+} // namespace cidre::sim
+
 namespace cidre::stats {
 
 /** How samples landing in the same bucket combine. */
@@ -63,6 +68,10 @@ class TimeSeries
      * (buckets are down-sampled by max).  Empty series render as "".
      */
     std::string sparkline(std::size_t width = 60) const;
+
+    /** Checkpoint/restore; bucket width/combine rule must match. */
+    void saveState(sim::StateWriter &writer) const;
+    void loadState(sim::StateReader &reader);
 
   private:
     sim::SimTime bucket_width_;

@@ -1,0 +1,200 @@
+#include "trace/replay_window.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace cidre::trace {
+
+ReplayAdvicePlanner::ReplayAdvicePlanner(const TraceImageHeader &header,
+                                         std::uint64_t page_size)
+    : header_(header), page_(page_size)
+{
+    if (page_ == 0 || (page_ & (page_ - 1)) != 0)
+        throw std::invalid_argument(
+            "ReplayAdvicePlanner: page size must be a power of two");
+}
+
+void
+ReplayAdvicePlanner::pushOutward(std::uint64_t offset, std::uint64_t length,
+                                 std::vector<AdviceSpan> &out) const
+{
+    if (length == 0)
+        return;
+    const std::uint64_t a = offset & ~(page_ - 1);
+    const std::uint64_t b =
+        (offset + length + page_ - 1) & ~(page_ - 1);
+    out.push_back({a, b - a, /*willneed=*/true});
+}
+
+void
+ReplayAdvicePlanner::pushInward(std::uint64_t offset, std::uint64_t length,
+                                std::vector<AdviceSpan> &out) const
+{
+    const std::uint64_t a = (offset + page_ - 1) & ~(page_ - 1);
+    const std::uint64_t b = (offset + length) & ~(page_ - 1);
+    if (b > a)
+        out.push_back({a, b - a, /*willneed=*/false});
+}
+
+void
+ReplayAdvicePlanner::planPrefetch(std::uint64_t begin, std::uint64_t end,
+                                  std::vector<AdviceSpan> &out) const
+{
+    if (end <= begin)
+        return;
+    pushOutward(header_.functions_col_offset + begin * 4, (end - begin) * 4,
+                out);
+    pushOutward(header_.arrivals_col_offset + begin * 8, (end - begin) * 8,
+                out);
+    pushOutward(header_.exec_col_offset + begin * 8, (end - begin) * 8,
+                out);
+}
+
+void
+ReplayAdvicePlanner::planRelease(std::uint64_t begin, std::uint64_t end,
+                                 std::vector<AdviceSpan> &out) const
+{
+    if (end <= begin)
+        return;
+    pushInward(header_.functions_col_offset + begin * 4, (end - begin) * 4,
+               out);
+    pushInward(header_.arrivals_col_offset + begin * 8, (end - begin) * 8,
+               out);
+    pushInward(header_.exec_col_offset + begin * 8, (end - begin) * 8, out);
+}
+
+void
+ReplayAdvicePlanner::planIndexRelease(std::uint64_t begin, std::uint64_t end,
+                                      std::vector<AdviceSpan> &out) const
+{
+    if (end <= begin)
+        return;
+    pushInward(header_.index_values_offset + begin * 8, (end - begin) * 8,
+               out);
+}
+
+namespace {
+
+std::uint64_t
+runtimePageSize()
+{
+    const long ps = ::sysconf(_SC_PAGESIZE);
+    return ps > 0 ? static_cast<std::uint64_t>(ps) : 4096;
+}
+
+} // namespace
+
+ReplayWindow::ReplayWindow(const TraceImage &image, sim::SimTime window_us)
+    : image_(image),
+      planner_(image.header(), runtimePageSize()),
+      window_us_(window_us)
+{
+    if (window_us_ <= 0)
+        throw std::invalid_argument(
+            "ReplayWindow: window length must be positive");
+    const TraceImageHeader &header = image.header();
+    const std::byte *base = image.mapData();
+    arrivals_ = reinterpret_cast<const sim::SimTime *>(
+        base + header.arrivals_col_offset);
+    functions_ = reinterpret_cast<const std::uint32_t *>(
+        base + header.functions_col_offset);
+    index_offsets_ = reinterpret_cast<const std::uint64_t *>(
+        base + header.index_offsets_offset);
+    request_count_ = header.request_count;
+    index_released_.assign(header.function_count, 0);
+    pending_.assign(header.function_count, 0);
+}
+
+std::uint64_t
+ReplayWindow::lowerBoundArrival(sim::SimTime t) const
+{
+    // Gallop from the cursor instead of bisecting the whole remainder:
+    // a plain binary search would fault O(log R) pages scattered far
+    // ahead of the window, defeating the bounded-residency contract.
+    std::uint64_t lo = cursor_;
+    if (lo >= request_count_ || arrivals_[lo] >= t)
+        return lo;
+    std::uint64_t step = 1;
+    std::uint64_t hi;
+    for (;;) {
+        hi = lo + step;
+        if (hi >= request_count_) {
+            hi = request_count_;
+            break;
+        }
+        if (arrivals_[hi] >= t)
+            break;
+        lo = hi;
+        step *= 2;
+    }
+    const sim::SimTime *found =
+        std::lower_bound(arrivals_ + lo, arrivals_ + hi, t);
+    return static_cast<std::uint64_t>(found - arrivals_);
+}
+
+void
+ReplayWindow::applySpans()
+{
+    auto *base = const_cast<std::byte *>(image_.mapData());
+    for (const AdviceSpan &span : spans_) {
+        ::madvise(base + span.offset, span.length,
+                  span.willneed ? MADV_WILLNEED : MADV_DONTNEED);
+    }
+    spans_.clear();
+}
+
+void
+ReplayWindow::advanceTo(sim::SimTime now)
+{
+    // Prefetch the rows arriving in [now, now + window).
+    const std::uint64_t target = lowerBoundArrival(now + window_us_);
+    if (target > cursor_) {
+        planner_.planPrefetch(cursor_, target, spans_);
+        cursor_ = target;
+    }
+    history_.push_back({now, cursor_});
+
+    // Release everything prefetched at boundaries >= 2 windows ago:
+    // those requests arrived before now - window.
+    std::uint64_t release_through = released_;
+    while (!history_.empty() &&
+           history_.front().time + 2 * window_us_ <= now) {
+        release_through = history_.front().cursor;
+        history_.pop_front();
+    }
+    if (release_through > released_) {
+        // Tally the arrival-index slots going cold, reading the function
+        // column *before* its pages are dropped (they are still
+        // resident: the replay just consumed them).
+        for (std::uint64_t i = released_; i < release_through; ++i) {
+            const std::uint32_t fn = functions_[i];
+            if (pending_[fn]++ == 0)
+                touched_.push_back(fn);
+        }
+        for (const std::uint32_t fn : touched_) {
+            const std::uint64_t begin =
+                index_offsets_[fn] + index_released_[fn];
+            planner_.planIndexRelease(begin, begin + pending_[fn], spans_);
+            index_released_[fn] += pending_[fn];
+            pending_[fn] = 0;
+        }
+        touched_.clear();
+        planner_.planRelease(released_, release_through, spans_);
+        released_ = release_through;
+    }
+
+    // Backlogged dispatches refault released pages, and a one-shot
+    // release would leave them resident forever; periodically re-drop
+    // the whole released prefix (cheap: the zap walk skips the PTEs
+    // already empty).
+    if (++boundaries_ % kResweepPeriod == 0 && released_ > 0) {
+        planner_.planRelease(0, released_, spans_);
+        ++resweeps_;
+    }
+    applySpans();
+}
+
+} // namespace cidre::trace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Windowed streaming replay over an mmapped `.ctrb` image: bounded
+ * residency for traces far larger than memory.
+ *
+ * ## The cursor model
+ *
+ * The engine replays a `.ctrb` image as a time-ordered cursor: arrival
+ * events walk the three request columns front to back, and almost all
+ * other accesses (dispatch, completion) touch requests near that
+ * cursor.  ReplayWindow exploits this: a stepped driver announces each
+ * window boundary (simulated time `now`, window length `w`), and the
+ * window
+ *
+ *  - MADV_WILLNEEDs the column rows of requests arriving in
+ *    [now, now + w) — the pages the engine is about to fault — and
+ *  - MADV_DONTNEEDs the rows of requests that arrived before now - w
+ *    (two windows behind the prefetch edge), plus their slots of the
+ *    per-function arrival index.
+ *
+ * Peak RSS then tracks the *window's* request volume, not the trace's.
+ * The two-window lag keeps still-queued stragglers cheap: a request
+ * dispatched late re-reads its row from the page cache (a minor fault)
+ * rather than from disk.
+ *
+ * ## Overload re-sweep
+ *
+ * Under overload, dispatch can lag arrival by far more than two
+ * windows: the engine refaults column pages long after their rows left
+ * the release horizon, and a one-shot release would let those pages
+ * accumulate until most of the image is resident again.  Every
+ * kResweepPeriod boundaries the window therefore re-issues the release
+ * over the *entire* already-released prefix.  Refaulted backlog rows
+ * are dropped again and, if still needed, refault once more from the
+ * page cache — RSS stays bounded by the live working set plus one
+ * re-sweep period of refaults, at the cost of extra minor faults.
+ *
+ * ## Strictly a hint
+ *
+ * MADV_DONTNEED on a read-only MAP_PRIVATE file mapping drops page
+ * table entries; a later touch refaults identical bytes from the page
+ * cache (or disk).  Results are bit-identical with and without a
+ * ReplayWindow, on any window length — pinned by the golden tests.
+ *
+ * The span arithmetic lives in ReplayAdvicePlanner, a pure class with
+ * no syscalls: tests assert releases are inward-aligned (a page shared
+ * with the header, profile table or index-offsets section is never
+ * dropped) and strictly behind the cursor.
+ */
+
+#ifndef CIDRE_TRACE_REPLAY_WINDOW_H
+#define CIDRE_TRACE_REPLAY_WINDOW_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/time.h"
+#include "trace/trace_image.h"
+
+namespace cidre::trace {
+
+/** One madvise instruction (absolute file offsets). */
+struct AdviceSpan
+{
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    /** true = MADV_WILLNEED (prefetch), false = MADV_DONTNEED (drop). */
+    bool willneed = false;
+};
+
+/**
+ * Pure span arithmetic of the windowed replay (no syscalls; testable).
+ *
+ * Prefetch spans are aligned *outward* (covering pages), release spans
+ * *inward* (fully-contained pages only) — so a release can never touch
+ * a page holding the header, the profile table, the index-offsets
+ * section or a neighbouring column's live edge.
+ */
+class ReplayAdvicePlanner
+{
+  public:
+    ReplayAdvicePlanner(const TraceImageHeader &header,
+                        std::uint64_t page_size);
+
+    /** Prefetch the column rows of requests [begin, end). */
+    void planPrefetch(std::uint64_t begin, std::uint64_t end,
+                      std::vector<AdviceSpan> &out) const;
+
+    /** Release the column rows of requests [begin, end). */
+    void planRelease(std::uint64_t begin, std::uint64_t end,
+                     std::vector<AdviceSpan> &out) const;
+
+    /** Release arrival-index value slots [begin, end) (absolute slots). */
+    void planIndexRelease(std::uint64_t begin, std::uint64_t end,
+                          std::vector<AdviceSpan> &out) const;
+
+  private:
+    void pushOutward(std::uint64_t offset, std::uint64_t length,
+                     std::vector<AdviceSpan> &out) const;
+    void pushInward(std::uint64_t offset, std::uint64_t length,
+                    std::vector<AdviceSpan> &out) const;
+
+    TraceImageHeader header_;
+    std::uint64_t page_;
+};
+
+/**
+ * The runtime half: owns the replay cursor over one TraceImage and
+ * issues the planner's spans as madvise calls.  Drive it from a
+ * stepped loop by calling advanceTo(t) at every window boundary t
+ * (multiples of the window length, starting at 0).
+ */
+class ReplayWindow
+{
+  public:
+    /** @param window_us window length in simulated µs (> 0). */
+    ReplayWindow(const TraceImage &image, sim::SimTime window_us);
+
+    /**
+     * Announce the window boundary at simulated time @p now
+     * (non-decreasing across calls): prefetch requests arriving in
+     * [now, now + window), release requests that arrived before
+     * now - window along with their arrival-index slots.
+     */
+    void advanceTo(sim::SimTime now);
+
+    sim::SimTime windowUs() const { return window_us_; }
+
+    // Telemetry (and test hooks).
+    std::uint64_t prefetchedRequests() const { return cursor_; }
+    std::uint64_t releasedRequests() const { return released_; }
+    std::uint64_t resweeps() const { return resweeps_; }
+
+    /** Boundaries between full-prefix re-releases (overload refaults). */
+    static constexpr std::uint64_t kResweepPeriod = 16;
+
+  private:
+    struct Boundary
+    {
+        sim::SimTime time;
+        std::uint64_t cursor; //!< requests prefetched at this boundary
+    };
+
+    /** First request index >= @p t, galloping forward from the cursor
+     *  (never touches pages behind it, bounded pages ahead of it). */
+    std::uint64_t lowerBoundArrival(sim::SimTime t) const;
+
+    void applySpans();
+
+    const TraceImage &image_;
+    ReplayAdvicePlanner planner_;
+    sim::SimTime window_us_;
+
+    const sim::SimTime *arrivals_;
+    const std::uint32_t *functions_;
+    const std::uint64_t *index_offsets_;
+    std::uint64_t request_count_;
+
+    std::uint64_t cursor_ = 0;
+    std::uint64_t released_ = 0;
+    std::uint64_t boundaries_ = 0;
+    std::uint64_t resweeps_ = 0;
+    std::deque<Boundary> history_;
+    /** Arrival-index slots already released, per function. */
+    std::vector<std::uint64_t> index_released_;
+    /** Per-function release counts of the range in flight (scratch). */
+    std::vector<std::uint64_t> pending_;
+    std::vector<std::uint32_t> touched_;
+    std::vector<AdviceSpan> spans_;
+};
+
+} // namespace cidre::trace
+
+#endif // CIDRE_TRACE_REPLAY_WINDOW_H

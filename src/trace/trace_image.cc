@@ -1,8 +1,11 @@
 #include "trace/trace_image.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -45,6 +48,32 @@ padTo8(std::vector<std::byte> &buf)
     buf.resize(align8(buf.size()), std::byte{0});
 }
 
+/** Streaming-open sweep granularity (page-multiple). */
+constexpr std::uint64_t kSweepChunkBytes = 8ull << 20;
+
+std::uint64_t
+pageSize()
+{
+    const long ps = ::sysconf(_SC_PAGESIZE);
+    return ps > 0 ? static_cast<std::uint64_t>(ps) : 4096;
+}
+
+/**
+ * Drop the PTEs of the fully-contained pages of [begin, end) (absolute
+ * file offsets): inward alignment, so a page shared with a neighbouring
+ * byte range is never touched.  A residency hint only — MAP_PRIVATE
+ * read-only pages refault from the page cache with identical contents.
+ */
+void
+releaseRange(void *map, std::uint64_t begin, std::uint64_t end,
+             std::uint64_t page)
+{
+    const std::uint64_t a = (begin + page - 1) & ~(page - 1);
+    const std::uint64_t b = end & ~(page - 1);
+    if (b > a)
+        ::madvise(static_cast<std::byte *>(map) + a, b - a, MADV_DONTNEED);
+}
+
 } // namespace
 
 std::uint64_t
@@ -70,6 +99,59 @@ traceImageChecksum(const std::byte *data, std::size_t size)
     for (; i < size; ++i)
         folded =
             (folded ^ std::to_integer<std::uint64_t>(data[i])) * kFnvPrime;
+    return folded;
+}
+
+TraceChecksummer::TraceChecksummer()
+    : lane_{kFnvOffset, kFnvOffset + 1, kFnvOffset + 2, kFnvOffset + 3}
+{
+}
+
+void
+TraceChecksummer::block(const std::byte *data)
+{
+    for (std::size_t l = 0; l < 4; ++l) {
+        std::uint64_t word;
+        std::memcpy(&word, data + 8 * l, 8);
+        lane_[l] = (lane_[l] ^ word) * kFnvPrime;
+    }
+}
+
+void
+TraceChecksummer::update(const std::byte *data, std::size_t size)
+{
+    // Top up a buffered partial block first so lane boundaries fall at
+    // the same absolute byte positions as the one-shot digest.
+    if (pending_size_ > 0) {
+        const std::size_t take =
+            std::min(size, sizeof(pending_) - pending_size_);
+        std::memcpy(pending_ + pending_size_, data, take);
+        pending_size_ += take;
+        data += take;
+        size -= take;
+        if (pending_size_ < sizeof(pending_))
+            return;
+        block(pending_);
+        pending_size_ = 0;
+    }
+    std::size_t i = 0;
+    for (; i + 32 <= size; i += 32)
+        block(data + i);
+    if (i < size) {
+        std::memcpy(pending_, data + i, size - i);
+        pending_size_ = size - i;
+    }
+}
+
+std::uint64_t
+TraceChecksummer::finish() const
+{
+    std::uint64_t folded = kFnvOffset;
+    for (std::size_t l = 0; l < 4; ++l)
+        folded = (folded ^ lane_[l]) * kFnvPrime;
+    for (std::size_t i = 0; i < pending_size_; ++i)
+        folded = (folded ^ std::to_integer<std::uint64_t>(pending_[i])) *
+                 kFnvPrime;
     return folded;
 }
 
@@ -149,6 +231,257 @@ writeTraceImageFile(TraceView workload, const std::string &path)
                                  path);
 }
 
+namespace {
+
+/** Column flush granularity of the streaming writer. */
+constexpr std::size_t kColumnBufferBytes = 1u << 20;
+/** Per-function arrival-index flush granularity (entries). */
+constexpr std::size_t kIndexBufferEntries = 512;
+
+} // namespace
+
+TraceImageStreamWriter::TraceImageStreamWriter(
+    const std::string &path, const std::vector<FunctionProfile> &profiles,
+    std::uint64_t request_count,
+    const std::vector<std::uint64_t> &per_function_counts)
+    : path_(path),
+      tmp_path_(path + ".tmp"),
+      last_arrival_(std::numeric_limits<sim::SimTime>::min())
+{
+    if (per_function_counts.size() != profiles.size()) {
+        throw std::logic_error(
+            "TraceImageStreamWriter: per-function count table does not "
+            "match the profile table");
+    }
+    std::uint64_t total = 0;
+    for (const std::uint64_t count : per_function_counts)
+        total += count;
+    if (total != request_count) {
+        throw std::logic_error(
+            "TraceImageStreamWriter: per-function counts do not sum to "
+            "the request count");
+    }
+
+    // The declared counts fix every section offset up front — identical
+    // arithmetic to writeTraceImageFile, so the files are byte-equal.
+    std::vector<std::byte> profile_bytes;
+    for (const auto &fn : profiles) {
+        appendPod(profile_bytes, static_cast<std::uint32_t>(fn.name.size()));
+        appendPod(profile_bytes, static_cast<std::uint8_t>(fn.runtime));
+        const std::uint8_t pad[3] = {0, 0, 0};
+        appendPod(profile_bytes, pad);
+        appendPod(profile_bytes, static_cast<std::int64_t>(fn.memory_mb));
+        appendPod(profile_bytes, static_cast<std::int64_t>(fn.cold_start_us));
+        appendPod(profile_bytes,
+                  static_cast<std::int64_t>(fn.median_exec_us));
+        const auto offset = profile_bytes.size();
+        profile_bytes.resize(offset + fn.name.size());
+        std::memcpy(profile_bytes.data() + offset, fn.name.data(),
+                    fn.name.size());
+        padTo8(profile_bytes);
+    }
+
+    const std::uint64_t base = sizeof(TraceImageHeader);
+    const std::uint64_t function_count = profiles.size();
+    std::memcpy(header_.magic, kTraceImageMagic, sizeof(header_.magic));
+    header_.version = kTraceImageVersion;
+    header_.header_bytes = sizeof(TraceImageHeader);
+    header_.function_count = function_count;
+    header_.request_count = request_count;
+    header_.profiles_offset = base;
+    header_.functions_col_offset = base + profile_bytes.size();
+    header_.arrivals_col_offset =
+        align8(header_.functions_col_offset + request_count * 4);
+    header_.exec_col_offset = header_.arrivals_col_offset + request_count * 8;
+    header_.index_offsets_offset =
+        header_.exec_col_offset + request_count * 8;
+    header_.index_values_offset =
+        header_.index_offsets_offset + (function_count + 1) * 8;
+    header_.file_bytes = header_.index_values_offset + request_count * 8;
+
+    fd_ = ::open(tmp_path_.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0)
+        ioFail(std::string("cannot open for writing: ") +
+               std::strerror(errno));
+
+    // Header (checksum patched by finish()), profiles and the arrival
+    // index offsets are all known now; only the columns stream.
+    pwriteAll(&header_, sizeof(header_), 0);
+    if (!profile_bytes.empty()) {
+        pwriteAll(profile_bytes.data(), profile_bytes.size(),
+                  header_.profiles_offset);
+    }
+
+    index_base_.resize(function_count + 1);
+    std::uint64_t running = 0;
+    for (std::uint64_t fn = 0; fn < function_count; ++fn) {
+        index_base_[fn] = running;
+        running += per_function_counts[fn];
+    }
+    index_base_[function_count] = running;
+    pwriteAll(index_base_.data(), index_base_.size() * 8,
+              header_.index_offsets_offset);
+
+    function_col_ = {header_.functions_col_offset, 4, 0, {}};
+    arrival_col_ = {header_.arrivals_col_offset, 8, 0, {}};
+    exec_col_ = {header_.exec_col_offset, 8, 0, {}};
+    index_flushed_.assign(function_count, 0);
+    index_buffer_.resize(function_count);
+}
+
+TraceImageStreamWriter::~TraceImageStreamWriter()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    if (!finished_)
+        ::unlink(tmp_path_.c_str());
+}
+
+void
+TraceImageStreamWriter::ioFail(const std::string &why)
+{
+    throw std::runtime_error("TraceImageStreamWriter: " + path_ + ": " +
+                             why);
+}
+
+void
+TraceImageStreamWriter::pwriteAll(const void *data, std::uint64_t size,
+                                  std::uint64_t offset)
+{
+    const char *cursor = static_cast<const char *>(data);
+    while (size > 0) {
+        const ssize_t n =
+            ::pwrite(fd_, cursor, size, static_cast<off_t>(offset));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ioFail(std::string("write failed: ") + std::strerror(errno));
+        }
+        cursor += n;
+        offset += static_cast<std::uint64_t>(n);
+        size -= static_cast<std::uint64_t>(n);
+    }
+}
+
+void
+TraceImageStreamWriter::flushColumn(ColumnStream &col)
+{
+    if (col.buffer.empty())
+        return;
+    pwriteAll(col.buffer.data(), col.buffer.size(),
+              col.section_offset + col.elem_size * col.flushed);
+    col.flushed += col.buffer.size() / col.elem_size;
+    col.buffer.clear();
+}
+
+void
+TraceImageStreamWriter::flushIndex(FunctionId function)
+{
+    auto &buffer = index_buffer_[function];
+    if (buffer.empty())
+        return;
+    pwriteAll(buffer.data(), buffer.size() * 8,
+              header_.index_values_offset +
+                  8 * (index_base_[function] + index_flushed_[function]));
+    index_flushed_[function] += buffer.size();
+    buffer.clear();
+}
+
+void
+TraceImageStreamWriter::append(FunctionId function, sim::SimTime arrival_us,
+                               sim::SimTime exec_us)
+{
+    if (finished_)
+        throw std::logic_error("TraceImageStreamWriter: append after "
+                               "finish");
+    if (function >= index_buffer_.size())
+        throw std::logic_error("TraceImageStreamWriter: unknown function "
+                               "id");
+    if (appended_ == header_.request_count)
+        throw std::logic_error("TraceImageStreamWriter: more rows than "
+                               "declared");
+    if (arrival_us < last_arrival_)
+        throw std::logic_error("TraceImageStreamWriter: arrivals must be "
+                               "non-decreasing");
+    auto &index = index_buffer_[function];
+    if (index_flushed_[function] + index.size() ==
+        index_base_[function + 1] - index_base_[function]) {
+        throw std::logic_error("TraceImageStreamWriter: function exceeds "
+                               "its declared request count");
+    }
+
+    last_arrival_ = arrival_us;
+    ++appended_;
+    appendPod(function_col_.buffer, static_cast<std::uint32_t>(function));
+    appendPod(arrival_col_.buffer, arrival_us);
+    appendPod(exec_col_.buffer, exec_us);
+    if (function_col_.buffer.size() >= kColumnBufferBytes)
+        flushColumn(function_col_);
+    if (arrival_col_.buffer.size() >= kColumnBufferBytes)
+        flushColumn(arrival_col_);
+    if (exec_col_.buffer.size() >= kColumnBufferBytes)
+        flushColumn(exec_col_);
+
+    index.push_back(arrival_us);
+    if (index.size() >= kIndexBufferEntries)
+        flushIndex(function);
+}
+
+void
+TraceImageStreamWriter::finish()
+{
+    if (finished_)
+        throw std::logic_error("TraceImageStreamWriter: finish called "
+                               "twice");
+    if (appended_ != header_.request_count)
+        throw std::logic_error("TraceImageStreamWriter: fewer rows than "
+                               "declared");
+    flushColumn(function_col_);
+    flushColumn(arrival_col_);
+    flushColumn(exec_col_);
+    for (FunctionId fn = 0; fn < index_buffer_.size(); ++fn)
+        flushIndex(fn);
+
+    // Materialize the alignment pad (and any never-written zero column)
+    // as real zero bytes, exactly like the in-memory writer's padTo8.
+    if (::ftruncate(fd_, static_cast<off_t>(header_.file_bytes)) != 0)
+        ioFail(std::string("ftruncate failed: ") + std::strerror(errno));
+
+    // One sequential read-back sweep digests the payload; the file is
+    // still unpublished, so a crash mid-checksum leaves no bad image.
+    TraceChecksummer checksummer;
+    std::vector<std::byte> chunk(1u << 20);
+    std::uint64_t offset = header_.header_bytes;
+    while (offset < header_.file_bytes) {
+        const std::uint64_t want = std::min<std::uint64_t>(
+            chunk.size(), header_.file_bytes - offset);
+        std::uint64_t got = 0;
+        while (got < want) {
+            const ssize_t n =
+                ::pread(fd_, chunk.data() + got, want - got,
+                        static_cast<off_t>(offset + got));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                ioFail("short read during checksum sweep");
+            got += static_cast<std::uint64_t>(n);
+        }
+        checksummer.update(chunk.data(), want);
+        offset += want;
+    }
+    header_.payload_checksum = checksummer.finish();
+    pwriteAll(&header_, sizeof(header_), 0);
+
+    if (::fsync(fd_) != 0)
+        ioFail(std::string("fsync failed: ") + std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0)
+        ioFail(std::string("rename failed: ") + std::strerror(errno));
+    finished_ = true;
+}
+
 bool
 isTraceImageFile(const std::string &path)
 {
@@ -162,8 +495,9 @@ isTraceImageFile(const std::string &path)
 }
 
 TraceImage
-TraceImage::open(const std::string &path)
+TraceImage::open(const std::string &path, TraceOpenMode mode)
 {
+    const bool streaming = mode == TraceOpenMode::Streaming;
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0)
         fail(path, std::string("cannot open: ") + std::strerror(errno));
@@ -190,10 +524,15 @@ TraceImage::open(const std::string &path)
 
     const auto *bytes = static_cast<const std::byte *>(map);
 
-    // Prime the page cache for the sequential checksum sweep; after
-    // open the pages stay resident, read-only, shared by every thread.
+    // Prime the page cache for the sequential checksum sweep.  Resident
+    // mode additionally asks for the whole file up front: after open the
+    // pages stay hot, read-only, shared by every thread.  Streaming mode
+    // must not — bounded residency is its whole point — so its sweeps
+    // below drop each chunk's pages behind themselves instead.
     ::madvise(map, actual, MADV_SEQUENTIAL);
-    ::madvise(map, actual, MADV_WILLNEED);
+    if (!streaming)
+        ::madvise(map, actual, MADV_WILLNEED);
+    const std::uint64_t page = pageSize();
 
     TraceImageHeader header;
     std::memcpy(&header, bytes, sizeof(header));
@@ -241,8 +580,24 @@ TraceImage::open(const std::string &path)
     checkSection(header.index_values_offset, request_count * 8, 8,
                  "index value");
 
-    const auto payload_checksum = traceImageChecksum(
-        bytes + header.header_bytes, actual - header.header_bytes);
+    std::uint64_t payload_checksum;
+    if (!streaming) {
+        payload_checksum = traceImageChecksum(
+            bytes + header.header_bytes, actual - header.header_bytes);
+    } else {
+        // Same digest, bounded residency: checksum in chunks, dropping
+        // each chunk's pages once consumed.
+        TraceChecksummer checksummer;
+        std::uint64_t offset = header.header_bytes;
+        while (offset < actual) {
+            const std::uint64_t take =
+                std::min<std::uint64_t>(kSweepChunkBytes, actual - offset);
+            checksummer.update(bytes + offset, take);
+            releaseRange(map, offset, offset + take, page);
+            offset += take;
+        }
+        payload_checksum = checksummer.finish();
+    }
     if (payload_checksum != header.payload_checksum)
         fail(path, "checksum mismatch (corrupt trace image)");
 
@@ -288,14 +643,36 @@ TraceImage::open(const std::string &path)
     // known function, arrivals are sorted (binary-searchable), and the
     // index partitions exactly the request set.  One linear pass each —
     // cheap next to the checksum sweep that already touched the pages.
-    for (std::uint64_t i = 0; i < request_count; ++i)
-        if (function_col[i] >= function_count)
-            fail(path, "malformed trace image (request references "
-                       "unknown function)");
-    for (std::uint64_t i = 1; i < request_count; ++i)
-        if (arrival_col[i] < arrival_col[i - 1])
-            fail(path, "malformed trace image (arrival column not "
-                       "sorted)");
+    // Streaming mode chunks the passes and drops the pages behind them,
+    // exactly like the checksum sweep.
+    {
+        const std::uint64_t stride = kSweepChunkBytes / 4;
+        for (std::uint64_t i = 0; i < request_count;) {
+            const std::uint64_t end = std::min(request_count, i + stride);
+            const std::uint64_t begin = i;
+            for (; i < end; ++i)
+                if (function_col[i] >= function_count)
+                    fail(path, "malformed trace image (request references "
+                               "unknown function)");
+            if (streaming)
+                releaseRange(map, header.functions_col_offset + begin * 4,
+                             header.functions_col_offset + end * 4, page);
+        }
+    }
+    {
+        const std::uint64_t stride = kSweepChunkBytes / 8;
+        for (std::uint64_t i = 1; i < request_count;) {
+            const std::uint64_t end = std::min(request_count, i + stride);
+            const std::uint64_t begin = i;
+            for (; i < end; ++i)
+                if (arrival_col[i] < arrival_col[i - 1])
+                    fail(path, "malformed trace image (arrival column not "
+                               "sorted)");
+            if (streaming)
+                releaseRange(map, header.arrivals_col_offset + begin * 8,
+                             header.arrivals_col_offset + end * 8, page);
+        }
+    }
     if (index_offsets[function_count] != request_count)
         fail(path, "malformed trace image (arrival index does not cover "
                    "all requests)");
@@ -304,6 +681,14 @@ TraceImage::open(const std::string &path)
             fail(path, "malformed trace image (arrival index offsets "
                        "not monotonic)");
 
+    if (streaming) {
+        // Validation is done; hand residency control to the caller's
+        // replay cursor (MADV_SEQUENTIAL would over-read ahead of the
+        // arrival-index binary searches).
+        ::madvise(map, actual, MADV_NORMAL);
+    }
+
+    image.header_ = header;
     image.columns_.functions = {image.functions_.data(),
                                 image.functions_.size()};
     image.columns_.function = function_col;
@@ -326,7 +711,8 @@ TraceImage::TraceImage(TraceImage &&other) noexcept
     : map_(std::exchange(other.map_, nullptr)),
       map_bytes_(std::exchange(other.map_bytes_, 0)),
       functions_(std::move(other.functions_)),
-      columns_(std::exchange(other.columns_, {}))
+      columns_(std::exchange(other.columns_, {})),
+      header_(std::exchange(other.header_, {}))
 {
     // columns_.functions spans functions_'s heap buffer, which the
     // vector move transferred intact — the span stays valid.
@@ -341,6 +727,7 @@ TraceImage::operator=(TraceImage &&other) noexcept
         map_bytes_ = std::exchange(other.map_bytes_, 0);
         functions_ = std::move(other.functions_);
         columns_ = std::exchange(other.columns_, {});
+        header_ = std::exchange(other.header_, {});
     }
     return *this;
 }
@@ -354,6 +741,7 @@ TraceImage::reset() noexcept
     map_bytes_ = 0;
     functions_.clear();
     columns_ = {};
+    header_ = {};
 }
 
 TraceView

@@ -77,10 +77,104 @@ static_assert(sizeof(TraceImageHeader) == 96,
 std::uint64_t traceImageChecksum(const std::byte *data, std::size_t size);
 
 /**
+ * Incremental form of traceImageChecksum(): feed the payload in chunks
+ * of any size; finish() returns exactly the digest the one-shot
+ * function computes over the concatenation.  Partial 32-byte blocks
+ * are buffered so chunk boundaries never change the result.  Used by
+ * the streaming writer, which checksums a multi-GB file it cannot
+ * (and must not) hold in memory.
+ */
+class TraceChecksummer
+{
+  public:
+    void update(const std::byte *data, std::size_t size);
+    std::uint64_t finish() const;
+
+  private:
+    void block(const std::byte *data);
+
+    std::uint64_t lane_[4];
+    std::byte pending_[32];
+    std::size_t pending_size_ = 0;
+
+  public:
+    TraceChecksummer();
+};
+
+/**
  * Serialize a sealed workload into a `.ctrb` file.
  * @throws std::runtime_error on I/O failure.
  */
 void writeTraceImageFile(TraceView workload, const std::string &path);
+
+/**
+ * Streaming `.ctrb` writer: emits a byte-identical file to
+ * writeTraceImageFile() without ever materializing the trace — request
+ * rows are appended one at a time and land in the three column sections
+ * (and the per-function arrival index) through small reusable buffers.
+ * Peak memory is a function of the buffer sizes and the function count,
+ * never of the request count, which is what lets `cidre_sim synth`
+ * produce 100M-request images on a bounded heap.
+ *
+ * Contract: the profile table and exact per-function request counts are
+ * declared up front (they fix every section offset); append() must then
+ * be called exactly request_count times with non-decreasing arrivals.
+ * finish() verifies the declared counts, checksums the file in one
+ * sequential sweep and atomically publishes it (tmp + rename).  An
+ * unfinished writer leaves no file at @p path.
+ */
+class TraceImageStreamWriter
+{
+  public:
+    TraceImageStreamWriter(const std::string &path,
+                           const std::vector<FunctionProfile> &profiles,
+                           std::uint64_t request_count,
+                           const std::vector<std::uint64_t> &per_function_counts);
+    ~TraceImageStreamWriter();
+
+    TraceImageStreamWriter(const TraceImageStreamWriter &) = delete;
+    TraceImageStreamWriter &operator=(const TraceImageStreamWriter &) = delete;
+
+    /** Append one request row (arrival-sorted; ties keep append order). */
+    void append(FunctionId function, sim::SimTime arrival_us,
+                sim::SimTime exec_us);
+
+    /** Flush, checksum, patch the header and publish the file. */
+    void finish();
+
+  private:
+    struct ColumnStream
+    {
+        std::uint64_t section_offset = 0; //!< absolute file offset
+        std::uint64_t elem_size = 0;
+        std::uint64_t flushed = 0; //!< elements already on disk
+        std::vector<std::byte> buffer;
+    };
+
+    void flushColumn(ColumnStream &col);
+    void flushIndex(FunctionId function);
+    void pwriteAll(const void *data, std::uint64_t size,
+                   std::uint64_t offset);
+    [[noreturn]] void ioFail(const std::string &why);
+
+    std::string path_;
+    std::string tmp_path_;
+    int fd_ = -1;
+    bool finished_ = false;
+
+    TraceImageHeader header_{};
+    std::uint64_t appended_ = 0;
+    sim::SimTime last_arrival_;
+
+    ColumnStream function_col_;
+    ColumnStream arrival_col_;
+    ColumnStream exec_col_;
+
+    /** Exclusive prefix sums of the declared per-function counts. */
+    std::vector<std::uint64_t> index_base_;
+    std::vector<std::uint64_t> index_flushed_;
+    std::vector<std::vector<sim::SimTime>> index_buffer_;
+};
 
 /** True if the file exists and starts with the `.ctrb` magic. */
 bool isTraceImageFile(const std::string &path);
@@ -98,6 +192,24 @@ bool isTraceImageFile(const std::string &path);
  * the mapped pages.  Views borrow from the image: keep it alive (and
  * unmoved) for as long as any view is in use.
  */
+/**
+ * How TraceImage::open primes (or does not prime) the mapping.
+ *
+ * Resident — the default: MADV_WILLNEED the whole file so the columns
+ * stay hot for random access.  Right for images that fit in memory.
+ *
+ * Streaming — out-of-core replay: validation (checksum + structural
+ * scans) runs in bounded chunks, dropping each chunk's pages behind the
+ * sweep, so opening a 100M-request image never faults more than a few
+ * MB into residency.  The caller is expected to manage residency along
+ * its replay cursor afterwards (see trace/replay_window.h).
+ */
+enum class TraceOpenMode : std::uint8_t
+{
+    Resident,
+    Streaming,
+};
+
 class TraceImage
 {
   public:
@@ -105,9 +217,11 @@ class TraceImage
      * Map and validate @p path.
      * @throws std::runtime_error naming the file and the defect (bad
      *         magic, unsupported version, truncation, checksum
-     *         mismatch, malformed sections).
+     *         mismatch, malformed sections).  Identical validation —
+     *         and identical error text — in both open modes.
      */
-    static TraceImage open(const std::string &path);
+    static TraceImage open(const std::string &path,
+                           TraceOpenMode mode = TraceOpenMode::Resident);
 
     ~TraceImage();
 
@@ -123,6 +237,15 @@ class TraceImage
     std::uint64_t requestCount() const { return columns_.request_count; }
     /** Size of the mapping in bytes (telemetry). */
     std::size_t fileBytes() const { return map_bytes_; }
+
+    /** The validated on-disk header (section geometry for advisers). */
+    const TraceImageHeader &header() const { return header_; }
+
+    /** Base address of the mapping (file offset 0). */
+    const std::byte *mapData() const
+    {
+        return static_cast<const std::byte *>(map_);
+    }
 
     /**
      * Re-advise the request columns for a sharded gather.  open()'s
@@ -144,6 +267,7 @@ class TraceImage
     std::size_t map_bytes_ = 0;
     std::vector<FunctionProfile> functions_;
     TraceView::Columns columns_;
+    TraceImageHeader header_{};
 };
 
 } // namespace cidre::trace

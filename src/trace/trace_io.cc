@@ -4,8 +4,12 @@
 #include <charconv>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <stdexcept>
 #include <string_view>
+#include <vector>
+
+#include "trace/trace_image.h"
 
 namespace cidre::trace {
 
@@ -156,6 +160,122 @@ readTraceFile(const std::string &path)
     if (!in)
         throw std::runtime_error("readTraceFile: cannot open " + path);
     return readTrace(in);
+}
+
+namespace {
+
+/**
+ * One getline-driven pass over a CSV trace.  @p on_function receives
+ * each parsed profile (in id order); @p on_request each request row,
+ * in file order.  Validation (field counts, dense ids, known
+ * functions, line-numbered errors) matches parseTrace exactly.
+ */
+template <typename FunctionFn, typename RequestFn>
+void
+scanCsvTrace(const std::string &path, FunctionFn &&on_function,
+             RequestFn &&on_request)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("readTraceFile: cannot open " + path);
+
+    std::array<std::string_view, 8> fields;
+    std::string line;
+    std::size_t line_no = 0;
+    std::size_t function_count = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::string_view view(line);
+        if (!view.empty() && view.back() == '\r')
+            view.remove_suffix(1);
+        if (view.empty() || view.front() == '#')
+            continue;
+        const auto count = splitFields(view, fields);
+        if (fields[0] == "F") {
+            if (count != 7)
+                fail(line_no, "function record needs 7 fields");
+            FunctionProfile fn;
+            fn.name = std::string(fields[2]);
+            fn.memory_mb = parseInt(fields[3], line_no);
+            fn.cold_start_us = parseInt(fields[4], line_no);
+            try {
+                fn.runtime = runtimeFromName(std::string(fields[5]));
+            } catch (const std::invalid_argument &e) {
+                fail(line_no, e.what());
+            }
+            fn.median_exec_us = parseInt(fields[6], line_no);
+            fn.id = static_cast<FunctionId>(function_count);
+            if (static_cast<std::size_t>(parseInt(fields[1], line_no)) !=
+                function_count) {
+                fail(line_no, "function ids must be dense and in order");
+            }
+            ++function_count;
+            on_function(std::move(fn));
+        } else if (fields[0] == "R") {
+            if (count != 4)
+                fail(line_no, "request record needs 4 fields");
+            const auto func = parseInt(fields[1], line_no);
+            if (func < 0 ||
+                static_cast<std::size_t>(func) >= function_count) {
+                fail(line_no, "request references unknown function");
+            }
+            on_request(static_cast<FunctionId>(func),
+                       parseInt(fields[2], line_no),
+                       parseInt(fields[3], line_no));
+        } else {
+            fail(line_no,
+                 "unknown record kind '" + std::string(fields[0]) + "'");
+        }
+    }
+}
+
+} // namespace
+
+CsvConvertStats
+convertTraceCsvToImage(const std::string &csv_path,
+                       const std::string &image_path)
+{
+    // Pass 1: profiles, per-function counts, and whether the rows are
+    // already in seal() order (arrival-sorted, ties in file order).
+    std::vector<FunctionProfile> profiles;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t request_count = 0;
+    sim::SimTime last_arrival = std::numeric_limits<sim::SimTime>::min();
+    bool sorted = true;
+    scanCsvTrace(
+        csv_path,
+        [&](FunctionProfile fn) {
+            profiles.push_back(std::move(fn));
+            counts.push_back(0);
+        },
+        [&](FunctionId function, sim::SimTime arrival_us, sim::SimTime) {
+            ++counts[function];
+            ++request_count;
+            if (arrival_us < last_arrival)
+                sorted = false;
+            last_arrival = arrival_us;
+        });
+
+    const CsvConvertStats stats{request_count, profiles.size()};
+    if (!sorted) {
+        // seal() must reorder the rows, which requires materializing
+        // them; unsorted CSVs are the exception, not the rule.
+        const Trace trace = readTraceFile(csv_path);
+        writeTraceImageFile(trace, image_path);
+        return stats;
+    }
+
+    // Pass 2: stream the rows straight into the image.
+    TraceImageStreamWriter writer(image_path, profiles, request_count,
+                                  counts);
+    scanCsvTrace(
+        csv_path, [](FunctionProfile) {},
+        [&](FunctionId function, sim::SimTime arrival_us,
+            sim::SimTime exec_us) {
+            writer.append(function, arrival_us, exec_us);
+        });
+    writer.finish();
+    return stats;
 }
 
 } // namespace cidre::trace

@@ -42,6 +42,25 @@ Trace readTrace(std::istream &in);
 /** Parse a trace from a file. */
 Trace readTraceFile(const std::string &path);
 
+/** What convertTraceCsvToImage() wrote (reporting, without a re-open). */
+struct CsvConvertStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t functions = 0;
+};
+
+/**
+ * Convert a CSV trace file straight into a `.ctrb` image through the
+ * streaming writer: two line-by-line passes (count/validate, then
+ * append), so peak memory is bounded by the function table — never by
+ * the request count.  Falls back to the materializing path (parse,
+ * seal, write) only when the CSV's requests are not already
+ * arrival-sorted.  Parse errors carry the offending line number,
+ * exactly like readTraceFile.
+ */
+CsvConvertStats convertTraceCsvToImage(const std::string &csv_path,
+                                       const std::string &image_path);
+
 } // namespace cidre::trace
 
 #endif // CIDRE_TRACE_TRACE_IO_H

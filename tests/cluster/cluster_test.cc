@@ -102,6 +102,54 @@ TEST(Cluster, CreateAndDestroyContainer)
     EXPECT_THROW(cl.destroyContainer(id), std::logic_error);
 }
 
+TEST(Cluster, RecyclesEvictedSlots)
+{
+    Cluster cl(smallConfig());
+    // Churn one container many times: the slab must stay at one record
+    // (bounded by peak live population, not total churn) while the
+    // creation counter and seq keep advancing.
+    ContainerId last = kInvalidContainer;
+    for (int i = 0; i < 100; ++i) {
+        const ContainerId id = cl.createContainer(
+            0, 0, 100, 1, ProvisionReason::Demand, sim::sec(i));
+        EXPECT_EQ(cl.container(id).seq, static_cast<std::uint64_t>(i));
+        if (i > 0)
+            EXPECT_EQ(id, last); // LIFO reuse of the freed slot
+        last = id;
+        cl.destroyContainer(id);
+    }
+    EXPECT_EQ(cl.containerCount(), 1u);
+    EXPECT_EQ(cl.createdTotal(), 100u);
+    EXPECT_EQ(cl.cachedContainerCount(), 0u);
+}
+
+TEST(Cluster, RecycledSlotIsScrubbed)
+{
+    Cluster cl(smallConfig());
+    const ContainerId id = cl.createContainer(
+        0, 0, 100, 2, ProvisionReason::Prewarm, sim::sec(1));
+    Container &c = cl.container(id);
+    c.state = ContainerState::Live;
+    c.use_count = 7;
+    c.priority = 3.5;
+    c.bound_queue.push_back(42);
+    c.bound_queue.pop_front();
+    c.active = 0;
+    cl.destroyContainer(id);
+
+    const ContainerId reused = cl.createContainer(
+        1, 2, 200, 1, ProvisionReason::Demand, sim::sec(9));
+    ASSERT_EQ(reused, id);
+    const Container &r = cl.container(reused);
+    EXPECT_EQ(r.seq, 1u);
+    EXPECT_EQ(r.function, 1u);
+    EXPECT_EQ(r.worker, 2u);
+    EXPECT_EQ(r.use_count, 0u); // no state leaks from the prior tenant
+    EXPECT_EQ(r.priority, 0.0);
+    EXPECT_EQ(r.created_at, sim::sec(9));
+    EXPECT_TRUE(r.bound_queue.empty());
+}
+
 TEST(Cluster, CannotDestroyBusyContainer)
 {
     Cluster cl(smallConfig());

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the `.ckpt` checkpoint container (corruption rejection
+ * mirroring the `.ctrb` suite: magic, version, truncation both ways,
+ * checksum, fingerprint) and for resume bit-identity: an engine
+ * restored from a mid-run checkpoint must finish with metrics exactly
+ * equal to the uninterrupted run — single-shard and sharded.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "policies/registry.h"
+#include "sim/serialize.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+#include "trace/trace_view.h"
+
+namespace cidre::core {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::vector<char>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeAll(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << path;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/** The readCheckpointFile error for @p path, or "" if it succeeded. */
+std::string
+readError(const std::string &path, std::uint64_t fingerprint)
+{
+    try {
+        (void)readCheckpointFile(path, fingerprint);
+        return "";
+    } catch (const std::runtime_error &e) {
+        return e.what();
+    }
+}
+
+std::vector<std::byte>
+samplePayload()
+{
+    std::vector<std::byte> payload(1000);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::byte>((i * 37 + 11) & 0xFF);
+    return payload;
+}
+
+constexpr std::uint64_t kFingerprint = 0x1234ABCD5678EF09ull;
+
+std::string
+sampleCheckpoint(const std::string &name)
+{
+    const std::string path = tempPath(name);
+    writeCheckpointFile(path, kFingerprint, samplePayload());
+    return path;
+}
+
+TEST(CheckpointFile, RoundTripsPayloadExactly)
+{
+    const std::string path = sampleCheckpoint("cidre_ckpt_roundtrip.ckpt");
+    EXPECT_EQ(readCheckpointFile(path, kFingerprint), samplePayload());
+}
+
+TEST(CheckpointFile, RejectsMissingFile)
+{
+    const std::string error =
+        readError(tempPath("cidre_ckpt_missing.ckpt"), kFingerprint);
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+TEST(CheckpointFile, RejectsBadMagic)
+{
+    const std::string path = sampleCheckpoint("cidre_ckpt_badmagic.ckpt");
+    std::vector<char> bytes = readAll(path);
+    bytes[0] = 'X';
+    writeAll(path, bytes);
+    const std::string error = readError(path, kFingerprint);
+    EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+    EXPECT_NE(error.find(path), std::string::npos) << error;
+}
+
+TEST(CheckpointFile, RejectsUnsupportedVersion)
+{
+    const std::string path = sampleCheckpoint("cidre_ckpt_badversion.ckpt");
+    std::vector<char> bytes = readAll(path);
+    const std::uint32_t bogus = kCheckpointVersion + 5;
+    std::memcpy(bytes.data() + offsetof(CheckpointHeader, version), &bogus,
+                sizeof bogus);
+    writeAll(path, bytes);
+    const std::string error = readError(path, kFingerprint);
+    EXPECT_NE(error.find("unsupported .ckpt version"), std::string::npos)
+        << error;
+}
+
+TEST(CheckpointFile, RejectsFileSmallerThanHeader)
+{
+    const std::string path = sampleCheckpoint("cidre_ckpt_tiny.ckpt");
+    std::vector<char> bytes = readAll(path);
+    bytes.resize(sizeof(CheckpointHeader) / 2);
+    writeAll(path, bytes);
+    const std::string error = readError(path, kFingerprint);
+    EXPECT_NE(error.find("file smaller than header"), std::string::npos)
+        << error;
+}
+
+TEST(CheckpointFile, RejectsTruncatedPayload)
+{
+    const std::string path = sampleCheckpoint("cidre_ckpt_short.ckpt");
+    std::vector<char> bytes = readAll(path);
+    bytes.resize(bytes.size() - 100);
+    writeAll(path, bytes);
+    const std::string error = readError(path, kFingerprint);
+    EXPECT_NE(error.find("shorter than header claims"), std::string::npos)
+        << error;
+}
+
+TEST(CheckpointFile, RejectsTrailingGarbage)
+{
+    const std::string path = sampleCheckpoint("cidre_ckpt_long.ckpt");
+    std::vector<char> bytes = readAll(path);
+    bytes.push_back('\0');
+    writeAll(path, bytes);
+    const std::string error = readError(path, kFingerprint);
+    EXPECT_NE(error.find("longer than header claims"), std::string::npos)
+        << error;
+}
+
+TEST(CheckpointFile, RejectsChecksumMismatch)
+{
+    const std::string path = sampleCheckpoint("cidre_ckpt_corrupt.ckpt");
+    std::vector<char> bytes = readAll(path);
+    bytes[bytes.size() - 5] ^= 0x01;
+    writeAll(path, bytes);
+    const std::string error = readError(path, kFingerprint);
+    EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+}
+
+TEST(CheckpointFile, RejectsFingerprintMismatch)
+{
+    const std::string path = sampleCheckpoint("cidre_ckpt_foreign.ckpt");
+    const std::string error = readError(path, kFingerprint + 1);
+    EXPECT_NE(error.find("fingerprint mismatch"), std::string::npos)
+        << error;
+}
+
+TEST(CheckpointFile, WriteLeavesNoTmpFileBehind)
+{
+    const std::string path = sampleCheckpoint("cidre_ckpt_clean.ckpt");
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+}
+
+// ---- fingerprint sensitivity --------------------------------------------
+
+TEST(CheckpointFingerprint, ChangesWithRunDefiningInputs)
+{
+    const trace::Trace a = trace::makeAzureLikeTrace(42, 0.01);
+    const trace::Trace b = trace::makeAzureLikeTrace(43, 0.012);
+    EngineConfig config;
+    const std::uint64_t base =
+        checkpointFingerprint(config, "cidre", trace::TraceView(a));
+
+    EngineConfig seeded = config;
+    seeded.seed = config.seed + 1;
+    EXPECT_NE(checkpointFingerprint(seeded, "cidre", trace::TraceView(a)),
+              base);
+    EXPECT_NE(checkpointFingerprint(config, "ttl", trace::TraceView(a)),
+              base);
+    EXPECT_NE(checkpointFingerprint(config, "cidre", trace::TraceView(b)),
+              base);
+    EXPECT_EQ(checkpointFingerprint(config, "cidre", trace::TraceView(a)),
+              base);
+}
+
+// ---- resume bit-identity ------------------------------------------------
+
+void
+expectMetricsIdentical(const RunMetrics &a, const RunMetrics &b)
+{
+    EXPECT_EQ(b.total(), a.total());
+    EXPECT_EQ(b.coldRatio(), a.coldRatio());
+    EXPECT_EQ(b.makespan(), a.makespan());
+    EXPECT_EQ(b.avgMemoryGb(), a.avgMemoryGb());
+    EXPECT_EQ(b.e2eHistogram().percentile(0.5),
+              a.e2eHistogram().percentile(0.5));
+    EXPECT_EQ(b.e2eHistogram().percentile(0.99),
+              a.e2eHistogram().percentile(0.99));
+    EXPECT_EQ(b.overheadHistogram().percentile(0.5),
+              a.overheadHistogram().percentile(0.5));
+    EXPECT_EQ(b.overheadHistogram().percentile(0.99),
+              a.overheadHistogram().percentile(0.99));
+}
+
+const trace::Trace &
+resumeTrace()
+{
+    static const trace::Trace trace = trace::makeAzureLikeTrace(42, 0.05);
+    return trace;
+}
+
+TEST(CheckpointResume, SingleShardResumeIsBitIdentical)
+{
+    const trace::TraceView view(resumeTrace());
+    EngineConfig config;
+    config.cluster.workers = 2;
+    config.cluster.total_memory_mb = 8 * 1024;
+
+    Engine uninterrupted(view, config,
+                         policies::makePolicy("cidre", config));
+    const RunMetrics golden = uninterrupted.run();
+
+    // Run to the midpoint, checkpoint, and restore into a fresh engine.
+    Engine first_half(view, config, policies::makePolicy("cidre", config));
+    first_half.begin();
+    first_half.stepUntil(view.duration() / 2);
+    sim::StateWriter writer;
+    first_half.saveState(writer);
+    const std::vector<std::byte> state = writer.release();
+
+    Engine resumed(view, config, policies::makePolicy("cidre", config));
+    sim::StateReader reader(state);
+    resumed.loadState(reader);
+    expectMetricsIdentical(golden, resumed.finish());
+}
+
+TEST(CheckpointResume, SingleShardResumeSurvivesTheCkptContainer)
+{
+    // Same flow, but the state crosses an actual .ckpt file.
+    const trace::TraceView view(resumeTrace());
+    EngineConfig config;
+    config.cluster.workers = 2;
+    config.cluster.total_memory_mb = 8 * 1024;
+    const std::uint64_t fingerprint =
+        checkpointFingerprint(config, "ttl", view);
+
+    Engine uninterrupted(view, config, policies::makePolicy("ttl", config));
+    const RunMetrics golden = uninterrupted.run();
+
+    Engine first_half(view, config, policies::makePolicy("ttl", config));
+    first_half.begin();
+    first_half.stepUntil(view.duration() / 3);
+    sim::StateWriter writer;
+    first_half.saveState(writer);
+    const std::string path = tempPath("cidre_ckpt_resume.ckpt");
+    writeCheckpointFile(path, fingerprint, writer.release());
+
+    const std::vector<std::byte> state =
+        readCheckpointFile(path, fingerprint);
+    Engine resumed(view, config, policies::makePolicy("ttl", config));
+    sim::StateReader reader(state);
+    resumed.loadState(reader);
+    expectMetricsIdentical(golden, resumed.finish());
+}
+
+TEST(CheckpointResume, ShardedResumeIsBitIdentical)
+{
+    const trace::TraceView view(resumeTrace());
+    EngineConfig config;
+    config.cluster.workers = 4;
+    config.cluster.total_memory_mb = 16 * 1024;
+    config.shard_cells = 2;
+    const auto factory = [](const EngineConfig &cell_config) {
+        return policies::makePolicy("cidre", cell_config);
+    };
+
+    ShardedEngine uninterrupted(view, config, factory);
+    const RunMetrics golden = uninterrupted.run();
+
+    ShardedEngine first_half(view, config, factory);
+    first_half.begin();
+    first_half.stepUntil(view.duration() / 2);
+    sim::StateWriter writer;
+    first_half.saveState(writer);
+    const std::vector<std::byte> state = writer.release();
+
+    ShardedEngine resumed(view, config, factory);
+    sim::StateReader reader(state);
+    resumed.loadState(reader);
+    expectMetricsIdentical(golden, resumed.finish());
+}
+
+TEST(CheckpointResume, LoadRejectsAForeignEngineShape)
+{
+    // State saved against one workload must not restore into an engine
+    // over a different one.
+    const trace::TraceView view(resumeTrace());
+    EngineConfig config;
+    config.cluster.workers = 2;
+    config.cluster.total_memory_mb = 8 * 1024;
+
+    Engine source(view, config, policies::makePolicy("ttl", config));
+    source.begin();
+    source.stepUntil(view.duration() / 4);
+    sim::StateWriter writer;
+    source.saveState(writer);
+    const std::vector<std::byte> state = writer.release();
+
+    const trace::Trace other = trace::makeAzureLikeTrace(7, 0.01);
+    Engine target(trace::TraceView(other), config,
+                  policies::makePolicy("ttl", config));
+    sim::StateReader reader(state);
+    EXPECT_THROW(target.loadState(reader), std::runtime_error);
+}
+
+} // namespace
+} // namespace cidre::core

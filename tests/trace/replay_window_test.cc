@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Tests for the out-of-core replay substrate: the pure advice-span
+ * planner (outward-aligned prefetch, inward-aligned release that can
+ * never touch the header/profile/index-offset pages), the ReplayWindow
+ * cursor (releases strictly two windows behind), the streaming `.ctrb`
+ * writer (byte-identical to the one-shot writer), the incremental
+ * checksummer, and Streaming-mode open (identical views and identical
+ * error text to Resident mode).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "policies/registry.h"
+#include "sim/time.h"
+#include "trace/generators.h"
+#include "trace/replay_window.h"
+#include "trace/trace.h"
+#include "trace/trace_image.h"
+#include "trace/trace_view.h"
+
+namespace cidre::trace {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::vector<char>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeAll(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << path;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string
+openError(const std::string &path, TraceOpenMode mode)
+{
+    try {
+        const TraceImage image = TraceImage::open(path, mode);
+        return "";
+    } catch (const std::runtime_error &e) {
+        return e.what();
+    }
+}
+
+// ---- ReplayAdvicePlanner (pure span arithmetic) -------------------------
+
+/** Synthetic geometry with a deliberately page-misaligned column start. */
+TraceImageHeader
+plannerHeader()
+{
+    TraceImageHeader header{};
+    header.function_count = 4;
+    header.request_count = 1000;
+    header.functions_col_offset = 4104; // 8-aligned, NOT 64-aligned
+    header.arrivals_col_offset = 8200;
+    header.exec_col_offset = 16392;
+    header.index_offsets_offset = 24584;
+    header.index_values_offset = 24624;
+    return header;
+}
+
+constexpr std::uint64_t kPage = 64;
+
+TEST(ReplayAdvicePlanner, RejectsNonPowerOfTwoPage)
+{
+    EXPECT_THROW(ReplayAdvicePlanner(plannerHeader(), 0),
+                 std::invalid_argument);
+    EXPECT_THROW(ReplayAdvicePlanner(plannerHeader(), 48),
+                 std::invalid_argument);
+}
+
+TEST(ReplayAdvicePlanner, PrefetchAlignsOutwardAndCoversEveryRow)
+{
+    const TraceImageHeader header = plannerHeader();
+    const ReplayAdvicePlanner planner(header, kPage);
+    std::vector<AdviceSpan> spans;
+    planner.planPrefetch(10, 20, spans);
+    ASSERT_EQ(spans.size(), 3u); // functions, arrivals, exec
+    const std::uint64_t row_begin[3] = {header.functions_col_offset + 10 * 4,
+                                        header.arrivals_col_offset + 10 * 8,
+                                        header.exec_col_offset + 10 * 8};
+    const std::uint64_t row_end[3] = {header.functions_col_offset + 20 * 4,
+                                      header.arrivals_col_offset + 20 * 8,
+                                      header.exec_col_offset + 20 * 8};
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(spans[i].willneed);
+        EXPECT_EQ(spans[i].offset % kPage, 0u);
+        EXPECT_EQ(spans[i].length % kPage, 0u);
+        // Outward: the span must cover the rows (may overhang them).
+        EXPECT_LE(spans[i].offset, row_begin[i]);
+        EXPECT_GE(spans[i].offset + spans[i].length, row_end[i]);
+    }
+}
+
+TEST(ReplayAdvicePlanner, ReleaseAlignsInwardAndNeverTouchesNeighbours)
+{
+    const TraceImageHeader header = plannerHeader();
+    const ReplayAdvicePlanner planner(header, kPage);
+    std::vector<AdviceSpan> spans;
+    planner.planRelease(0, header.request_count, spans);
+    ASSERT_EQ(spans.size(), 3u);
+    const std::uint64_t row_begin[3] = {header.functions_col_offset,
+                                        header.arrivals_col_offset,
+                                        header.exec_col_offset};
+    const std::uint64_t row_end[3] = {
+        header.functions_col_offset + header.request_count * 4,
+        header.arrivals_col_offset + header.request_count * 8,
+        header.exec_col_offset + header.request_count * 8};
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_FALSE(spans[i].willneed);
+        EXPECT_EQ(spans[i].offset % kPage, 0u);
+        EXPECT_EQ(spans[i].length % kPage, 0u);
+        // Inward: strictly inside the released rows.  With the column
+        // start page-misaligned, the first page (shared with the
+        // profile table) must survive.
+        EXPECT_GE(spans[i].offset, row_begin[i]);
+        EXPECT_LE(spans[i].offset + spans[i].length, row_end[i]);
+    }
+    EXPECT_GT(spans[0].offset, header.functions_col_offset);
+}
+
+TEST(ReplayAdvicePlanner, PartialPageReleasePlansNothing)
+{
+    // Fewer rows than a page on either side: inward alignment collapses
+    // the span to empty rather than dropping a shared page.
+    const ReplayAdvicePlanner planner(plannerHeader(), 4096);
+    std::vector<AdviceSpan> spans;
+    planner.planRelease(0, 10, spans);
+    EXPECT_TRUE(spans.empty());
+    planner.planRelease(5, 5, spans);
+    planner.planPrefetch(5, 5, spans);
+    planner.planIndexRelease(5, 5, spans);
+    EXPECT_TRUE(spans.empty());
+}
+
+TEST(ReplayAdvicePlanner, IndexReleaseStaysInsideTheValuesSection)
+{
+    const TraceImageHeader header = plannerHeader();
+    const ReplayAdvicePlanner planner(header, kPage);
+    std::vector<AdviceSpan> spans;
+    planner.planIndexRelease(0, 100, spans);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_FALSE(spans[0].willneed);
+    // 24624 is not 64-aligned: the first page is shared with the
+    // index-offsets section and must never be released.
+    EXPECT_GE(spans[0].offset, header.index_values_offset);
+    EXPECT_GT(spans[0].offset, header.index_offsets_offset);
+    EXPECT_LE(spans[0].offset + spans[0].length,
+              header.index_values_offset + 100 * 8);
+}
+
+// ---- ReplayWindow (cursor over a real image) ----------------------------
+
+std::string
+smallImage()
+{
+    static const std::string path = [] {
+        const std::string p = tempPath("cidre_replay_window.ctrb");
+        writeTraceImageFile(makeAzureLikeTrace(3, 0.02), p);
+        return p;
+    }();
+    return path;
+}
+
+TEST(ReplayWindow, CursorPrefetchesAheadAndReleasesTwoWindowsBehind)
+{
+    const TraceImage image =
+        TraceImage::open(smallImage(), TraceOpenMode::Streaming);
+    const TraceView view = image.view();
+    const sim::SimTime w = sim::sec(60);
+    ReplayWindow window(image, w);
+
+    const auto arrivalsBefore = [&](sim::SimTime t) {
+        std::uint64_t n = 0;
+        while (n < view.requestCount() && view.arrivalUs(n) < t)
+            ++n;
+        return n;
+    };
+
+    window.advanceTo(0);
+    EXPECT_EQ(window.prefetchedRequests(), arrivalsBefore(w));
+    EXPECT_EQ(window.releasedRequests(), 0u);
+
+    window.advanceTo(w);
+    EXPECT_EQ(window.prefetchedRequests(), arrivalsBefore(2 * w));
+    EXPECT_EQ(window.releasedRequests(), 0u);
+
+    // At t=2w the t=0 boundary ages out: everything prefetched then
+    // (arrivals < w) is released — and nothing newer.
+    window.advanceTo(2 * w);
+    EXPECT_EQ(window.releasedRequests(), arrivalsBefore(w));
+
+    // Walk far past the end: everything ends up prefetched + released.
+    for (sim::SimTime t = 3 * w; t <= view.duration() + 4 * w; t += w) {
+        window.advanceTo(t);
+        EXPECT_LE(window.releasedRequests(), window.prefetchedRequests());
+    }
+    EXPECT_EQ(window.prefetchedRequests(), view.requestCount());
+    EXPECT_EQ(window.releasedRequests(), view.requestCount());
+}
+
+TEST(ReplayWindow, ResweepsReleasedPrefixPeriodically)
+{
+    // Under overload, dispatch refaults pages behind the release
+    // horizon; the window must keep re-dropping the released prefix on
+    // a fixed boundary cadence, not release each row only once.
+    const TraceImage image =
+        TraceImage::open(smallImage(), TraceOpenMode::Streaming);
+    const sim::SimTime w = sim::sec(60);
+    ReplayWindow window(image, w);
+
+    const std::uint64_t period = ReplayWindow::kResweepPeriod;
+    for (std::uint64_t i = 0; i < 3 * period; ++i)
+        window.advanceTo(static_cast<sim::SimTime>(i) * w);
+    // Boundaries 0..period-1 contain one resweep (at the period-th
+    // call); released_ is nonzero by then, so every period fires.
+    EXPECT_EQ(window.resweeps(), 3u);
+}
+
+TEST(ReplayWindow, WindowedReplayIsBitIdenticalToResidentRun)
+{
+    core::EngineConfig config;
+    config.cluster.workers = 2;
+    config.cluster.total_memory_mb = 8 * 1024;
+
+    const TraceImage resident = TraceImage::open(smallImage());
+    core::Engine baseline(resident.view(), config,
+                          policies::makePolicy("ttl", config));
+    const core::RunMetrics a = baseline.run();
+
+    const TraceImage streamed =
+        TraceImage::open(smallImage(), TraceOpenMode::Streaming);
+    core::Engine engine(streamed.view(), config,
+                        policies::makePolicy("ttl", config));
+    const sim::SimTime w = sim::sec(60);
+    ReplayWindow window(streamed, w);
+    engine.begin();
+    window.advanceTo(0);
+    sim::SimTime now = 0;
+    while (!engine.drained()) {
+        now += w;
+        engine.stepUntil(now);
+        window.advanceTo(now);
+    }
+    const core::RunMetrics b = engine.finish();
+
+    EXPECT_EQ(b.total(), a.total());
+    EXPECT_EQ(b.coldRatio(), a.coldRatio());
+    EXPECT_EQ(b.makespan(), a.makespan());
+    EXPECT_EQ(b.avgMemoryGb(), a.avgMemoryGb());
+    EXPECT_EQ(b.e2eHistogram().percentile(0.5),
+              a.e2eHistogram().percentile(0.5));
+    EXPECT_EQ(b.e2eHistogram().percentile(0.99),
+              a.e2eHistogram().percentile(0.99));
+    EXPECT_EQ(b.overheadHistogram().percentile(0.99),
+              a.overheadHistogram().percentile(0.99));
+}
+
+// ---- TraceChecksummer / streaming writer / Streaming open ---------------
+
+TEST(TraceChecksummer, ChunkedFeedMatchesOneShotChecksum)
+{
+    std::vector<std::byte> data(100'000);
+    std::uint64_t x = 0x243F6A8885A308D3ull;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        data[i] = static_cast<std::byte>(x & 0xFF);
+    }
+    const std::uint64_t expected = traceImageChecksum(data.data(), data.size());
+
+    // Feed in awkward chunk sizes so 32-byte block boundaries are
+    // crossed every which way.
+    TraceChecksummer chunked;
+    std::size_t offset = 0;
+    std::size_t chunk = 1;
+    while (offset < data.size()) {
+        const std::size_t n = std::min(chunk, data.size() - offset);
+        chunked.update(data.data() + offset, n);
+        offset += n;
+        chunk = chunk * 2 + 3;
+    }
+    EXPECT_EQ(chunked.finish(), expected);
+
+    TraceChecksummer one_shot;
+    one_shot.update(data.data(), data.size());
+    EXPECT_EQ(one_shot.finish(), expected);
+}
+
+TEST(TraceImageStreamWriter, ByteIdenticalToOneShotWriter)
+{
+    const Trace trace = makeAzureLikeTrace(11, 0.02);
+    const TraceView view(trace);
+    const std::string one_shot = tempPath("cidre_stream_oneshot.ctrb");
+    const std::string streamed = tempPath("cidre_stream_streamed.ctrb");
+    writeTraceImageFile(view, one_shot);
+
+    const std::vector<FunctionProfile> profiles(view.functions().begin(),
+                                                view.functions().end());
+    TraceImageStreamWriter writer(streamed, profiles, view.requestCount(),
+                                  view.requestCountByFunction());
+    for (std::uint64_t i = 0; i < view.requestCount(); ++i)
+        writer.append(view.requestFunction(i), view.arrivalUs(i),
+                      view.execUs(i));
+    writer.finish();
+
+    EXPECT_EQ(readAll(streamed), readAll(one_shot));
+}
+
+TEST(TraceImageStreamWriter, UnfinishedOrShortWriterPublishesNothing)
+{
+    const Trace trace = makeAzureLikeTrace(11, 0.01);
+    const TraceView view(trace);
+    const std::string path = tempPath("cidre_stream_unfinished.ctrb");
+    {
+        const std::vector<FunctionProfile> profiles(view.functions().begin(),
+                                                    view.functions().end());
+        TraceImageStreamWriter writer(path, profiles, view.requestCount(),
+                                      view.requestCountByFunction());
+        writer.append(view.requestFunction(0), view.arrivalUs(0),
+                      view.execUs(0));
+        // finish() must refuse: fewer rows appended than declared.
+        EXPECT_ANY_THROW(writer.finish());
+    }
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(TraceImage, StreamingOpenLoadsTheIdenticalView)
+{
+    const TraceImage resident = TraceImage::open(smallImage());
+    const TraceImage streamed =
+        TraceImage::open(smallImage(), TraceOpenMode::Streaming);
+    const TraceView a = resident.view();
+    const TraceView b = streamed.view();
+    ASSERT_EQ(b.requestCount(), a.requestCount());
+    ASSERT_EQ(b.functionCount(), a.functionCount());
+    for (std::uint64_t i = 0; i < a.requestCount(); ++i) {
+        ASSERT_EQ(b.requestFunction(i), a.requestFunction(i)) << i;
+        ASSERT_EQ(b.arrivalUs(i), a.arrivalUs(i)) << i;
+        ASSERT_EQ(b.execUs(i), a.execUs(i)) << i;
+    }
+    for (FunctionId f = 0; f < a.functionCount(); ++f) {
+        const auto ia = a.arrivalsOf(f);
+        const auto ib = b.arrivalsOf(f);
+        ASSERT_EQ(ib.size(), ia.size()) << f;
+        for (std::size_t i = 0; i < ia.size(); ++i)
+            ASSERT_EQ(ib[i], ia[i]) << f << "/" << i;
+    }
+}
+
+TEST(TraceImage, StreamingOpenRejectsCorruptionWithIdenticalErrors)
+{
+    const std::string path = tempPath("cidre_stream_corrupt.ctrb");
+    writeTraceImageFile(makeAzureLikeTrace(1, 0.01), path);
+    std::vector<char> bytes = readAll(path);
+    bytes[bytes.size() - 7] ^= 0x20; // flip a payload byte
+    writeAll(path, bytes);
+    const std::string resident_error =
+        openError(path, TraceOpenMode::Resident);
+    const std::string streaming_error =
+        openError(path, TraceOpenMode::Streaming);
+    EXPECT_NE(resident_error.find("checksum mismatch"), std::string::npos)
+        << resident_error;
+    EXPECT_EQ(streaming_error, resident_error);
+}
+
+} // namespace
+} // namespace cidre::trace

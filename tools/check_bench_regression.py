@@ -2,14 +2,16 @@
 """Gate CIDRE engine throughput against the committed baseline.
 
 Usage:
-    check_bench_regression.py SMOKE_JSON [--baseline BENCH_core.json]
+    check_bench_regression.py [SMOKE_JSON] [--baseline BENCH_core.json]
                               [--policy cidre] [--scale 0.25]
                               [--tolerance 0.30]
                               [--max-wall-ratio-regression 0.35]
                               [--min-shard-speedup 2.5]
                               [--min-trace-load-speedup 10.0]
+                              [--max-rss-regression 0.15]
+                              [--out-of-core-baseline BENCH_out_of_core.json]
 
-Four gates:
+Five gates:
 
 1. **Throughput** — compares the policy's events_per_sec at the given
    trace scale in a fresh smoke run (bench_core_throughput --smoke
@@ -53,6 +55,22 @@ Four gates:
    like the wall-ratio gate this is an internal consistency check of
    same-machine numbers (the committed ~1M-request run), so it needs
    no noise allowance.
+
+5. **Out-of-core RSS** (--max-rss-regression) — checks the committed
+   BENCH_out_of_core.json (override with --out-of-core-baseline): peak
+   RSS of the windowed streaming replay must stay flat across the trace
+   size span (max/min <= 1 + the given fraction) and wall time per
+   request must stay ~linear (largest/smallest ratio <= 2.0, override
+   with --max-wall-linearity).  Both ratios are recomputed from the
+   recorded runs, never trusted from the file's own summary fields.
+   Internal consistency of same-machine numbers, like gates 2 and 4b:
+   a replay whose residency starts tracking the trace instead of the
+   window balloons the RSS ratio and fails when the baseline is
+   regenerated.
+
+SMOKE_JSON may be omitted when only baseline-internal gates are
+requested (gates 2 and 5); gates that need a fresh smoke run are then
+skipped with a note.
 """
 
 import argparse
@@ -180,9 +198,48 @@ def check_trace_load(smoke, baseline, tolerance, min_speedup):
     return ok
 
 
+def check_out_of_core(ooc, max_rss_regression, max_wall_linearity):
+    runs = ooc.get("runs", [])
+    if len(runs) < 2:
+        print("out-of-core: fewer than two runs in the baseline — skipped")
+        return True
+    ok = True
+
+    rss = [int(r["peak_rss_mb"]) for r in runs]
+    if min(rss) <= 0:
+        print("out-of-core: baseline recorded no peak RSS — skipped")
+        return True
+    flatness = max(rss) / min(rss)
+    ceiling = 1.0 + max_rss_regression
+    span = max(int(r["requests"]) for r in runs) // min(
+        int(r["requests"]) for r in runs)
+    print(f"out-of-core: peak RSS {min(rss)}..{max(rss)} MB across a "
+          f"{span}x request span — max/min {flatness:.2f} "
+          f"(ceiling {ceiling:.2f})")
+    if flatness > ceiling:
+        print("FAIL: peak RSS grows with trace size — windowed replay "
+              "residency is no longer bounded by the window")
+        ok = False
+
+    by_requests = sorted(runs, key=lambda r: int(r["requests"]))
+    small, large = by_requests[0], by_requests[-1]
+    per_request = [float(r["replay_ms"]) / int(r["requests"])
+                   for r in (small, large)]
+    linearity = per_request[1] / per_request[0]
+    print(f"out-of-core: wall per request {linearity:.2f}x from "
+          f"{int(small['requests']):,} to {int(large['requests']):,} "
+          f"requests (ceiling {max_wall_linearity:.2f}x)")
+    if linearity > max_wall_linearity:
+        print("FAIL: replay wall time grows superlinearly with trace size")
+        ok = False
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("smoke_json", help="fresh --smoke run output")
+    parser.add_argument("smoke_json", nargs="?", default=None,
+                        help="fresh --smoke run output (omit to run only "
+                             "baseline-internal gates)")
     parser.add_argument("--baseline", default="BENCH_core.json")
     parser.add_argument("--policy", default="cidre")
     parser.add_argument("--scale", type=float, default=0.25)
@@ -206,23 +263,53 @@ def main():
                              "parse MB/s within --tolerance of baseline, "
                              "and baseline mmap open at least this much "
                              "faster than CSV parse (off unless given)")
+    parser.add_argument("--max-rss-regression", type=float, default=None,
+                        metavar="FRAC",
+                        help="gate the out-of-core baseline: peak RSS "
+                             "max/min across trace sizes may exceed 1.0 "
+                             "by at most this fraction (off unless given)")
+    parser.add_argument("--out-of-core-baseline",
+                        default="BENCH_out_of_core.json",
+                        help="out-of-core bench JSON for "
+                             "--max-rss-regression")
+    parser.add_argument("--max-wall-linearity", type=float, default=2.0,
+                        metavar="X",
+                        help="out-of-core gate: largest/smallest wall time "
+                             "per request ceiling (default 2.0)")
     args = parser.parse_args()
 
-    with open(args.smoke_json) as f:
-        smoke = json.load(f)
+    smoke = None
+    if args.smoke_json is not None:
+        with open(args.smoke_json) as f:
+            smoke = json.load(f)
     with open(args.baseline) as f:
         baseline = json.load(f)
 
-    ok = check_throughput(smoke, baseline, args.policy, args.scale,
-                          args.tolerance)
+    ok = True
+    if smoke is not None:
+        ok = check_throughput(smoke, baseline, args.policy, args.scale,
+                              args.tolerance)
+    else:
+        print("throughput: no smoke run given — skipped")
     if args.max_wall_ratio_regression is not None:
         ok = check_wall_ratio(baseline,
                               args.max_wall_ratio_regression) and ok
     if args.min_shard_speedup is not None:
-        ok = check_shard_speedup(smoke, args.min_shard_speedup) and ok
+        if smoke is not None:
+            ok = check_shard_speedup(smoke, args.min_shard_speedup) and ok
+        else:
+            print("shard speedup: no smoke run given — skipped")
     if args.min_trace_load_speedup is not None:
-        ok = check_trace_load(smoke, baseline, args.tolerance,
-                              args.min_trace_load_speedup) and ok
+        if smoke is not None:
+            ok = check_trace_load(smoke, baseline, args.tolerance,
+                                  args.min_trace_load_speedup) and ok
+        else:
+            print("trace load: no smoke run given — skipped")
+    if args.max_rss_regression is not None:
+        with open(args.out_of_core_baseline) as f:
+            ooc = json.load(f)
+        ok = check_out_of_core(ooc, args.max_rss_regression,
+                               args.max_wall_linearity) and ok
     return 0 if ok else 1
 
 
