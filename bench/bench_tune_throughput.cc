@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tune-sweep throughput: trials/sec of the shared warm-start fast path
+ * versus cold full replay, plus the bit-identity check that makes the
+ * comparison honest.
+ *
+ * The claim under test is the tentpole contract of the tune subsystem:
+ * when every trial of a sweep shares its warm-up prefix (here 90% of
+ * the trace), simulating that prefix once per shape class and forking
+ * every trial from the in-memory snapshot must (a) produce metrics
+ * byte-identical to cold full replay per trial and (b) raise sweep
+ * throughput by at least the CI-gated 3x (the analytic bound for a
+ * 16-trial sweep at a 90% prefix is ~6x: 16 full runs vs one prefix
+ * plus 16 suffixes).
+ *
+ * Method: run the same exhaustive grid twice through TuneEvaluator —
+ * cold (warm=false: every trial replays from t=0) and warm (warm=true:
+ * one snapshot, 16 forks) — on one runner thread so the ratio measures
+ * the algorithmic saving rather than scheduler behaviour, then compare
+ * the serialized metrics of every trial across the two paths.
+ *
+ * Results are printed as a table and written as JSON (default
+ * BENCH_tune.json; override with --out).  --smoke shrinks the trace
+ * and the grid for CI.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/metrics_io.h"
+#include "exp/telemetry.h"
+#include "trace/trace_view.h"
+#include "tune/evaluator.h"
+#include "tune/search.h"
+#include "tune/space.h"
+
+namespace cidre::bench {
+namespace {
+
+double
+wallSecSince(std::chrono::steady_clock::time_point started)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started)
+        .count();
+}
+
+/** Serialized metrics of every evaluated trial, keyed by point id. */
+std::map<std::uint64_t, std::string>
+metricsById(const tune::TuneEvaluator &evaluator)
+{
+    std::map<std::uint64_t, std::string> fingerprints;
+    for (const tune::TrialOutcome &outcome : evaluator.outcomes()) {
+        std::ostringstream json;
+        core::writeMetricsJson(outcome.metrics, json);
+        fingerprints.emplace(outcome.id, json.str());
+    }
+    return fingerprints;
+}
+
+struct SweepRun
+{
+    double wall_s = 0.0;
+    double trials_per_sec = 0.0;
+    std::size_t trials = 0;
+    std::size_t snapshots = 0;
+    std::map<std::uint64_t, std::string> fingerprints;
+};
+
+/** Evaluate the full grid of @p space, cold or warm, and time it. */
+SweepRun
+runSweep(const tune::ParameterSpace &space, trace::TraceView workload,
+         const tune::TuneOptions &base_options, bool warm)
+{
+    tune::TuneOptions options = base_options;
+    options.warm = warm;
+    const auto started = std::chrono::steady_clock::now();
+    tune::TuneEvaluator evaluator(space, workload, options);
+    const auto driver = tune::makeDriver("grid", space, 0, 1);
+    for (;;) {
+        const std::vector<tune::Point> batch = driver->nextBatch();
+        if (batch.empty())
+            break;
+        driver->report(evaluator.evaluate(batch));
+    }
+    SweepRun run;
+    run.wall_s = wallSecSince(started);
+    run.trials = evaluator.trialsRun();
+    run.snapshots = evaluator.snapshotsBuilt();
+    run.trials_per_sec = run.wall_s > 0.0
+        ? static_cast<double>(run.trials) / run.wall_s
+        : 0.0;
+    run.fingerprints = metricsById(evaluator);
+    return run;
+}
+
+} // namespace
+} // namespace cidre::bench
+
+int
+main(int argc, char **argv)
+{
+    using namespace cidre;
+    using namespace cidre::bench;
+
+    std::string out_path = "BENCH_tune.json";
+    bool smoke = false;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+            continue;
+        }
+        if (std::string(argv[i]) == "--smoke") {
+            smoke = true;
+            continue;
+        }
+        rest.push_back(argv[i]);
+    }
+    const Options options = parseOptions(
+        static_cast<int>(rest.size()), rest.data(),
+        "bench_tune_throughput",
+        "tune-sweep trials/sec: shared warm-start forking vs cold full"
+        " replay (also: --out <json-path>, --smoke)");
+
+    banner("Tune-sweep throughput",
+           "shared warm-start fast path vs cold full replay");
+
+    // A fork-knob-only grid: one shape class, one shared snapshot.
+    const std::string policy = "ttl";
+    const std::string space_spec =
+        smoke ? "ttl-sec=30:360:30" : "ttl-sec=30:480:30";
+    const double trace_scale = (smoke ? 0.05 : 0.2) * options.scale;
+    const tune::ParameterSpace space =
+        tune::ParameterSpace::parse(space_spec);
+
+    std::cerr << "[bench] generating trace (scale " << trace_scale
+              << ")...\n";
+    const trace::Trace trace =
+        trace::makeAzureLikeTrace(options.seed, trace_scale);
+    const trace::TraceView workload(trace);
+
+    tune::TuneOptions tune_options;
+    tune_options.base_policy = policy;
+    tune_options.base_config = defaultConfig();
+    tune_options.base_seed = options.seed;
+    // The paper-shaped sweep: trials differ only in their tail, so the
+    // fork boundary sits at 90% of the trace.
+    tune_options.fork_time = workload.duration() / 10 * 9;
+    // One runner thread: the ratio should measure the per-trial work
+    // saved by forking, not how the two paths happen to schedule.
+    tune_options.runner.jobs = 1;
+
+    std::cout << "workload: " << workload.requestCount() << " requests, "
+              << workload.functionCount() << " functions; space "
+              << space_spec << " (" << space.pointCount()
+              << " trials), warm-up prefix 90%\n\n";
+
+    std::cerr << "[bench] cold sweep (full replay per trial)...\n";
+    const SweepRun cold =
+        runSweep(space, workload, tune_options, /*warm=*/false);
+    std::cerr << "[bench] warm sweep (fork from shared snapshot)...\n";
+    const SweepRun warm =
+        runSweep(space, workload, tune_options, /*warm=*/true);
+
+    const bool identical = cold.fingerprints == warm.fingerprints;
+    const double speedup = cold.trials_per_sec > 0.0
+        ? warm.trials_per_sec / cold.trials_per_sec
+        : 0.0;
+    const std::int64_t peak_rss_mb = exp::peakRssMb();
+
+    stats::Table table(
+        {"path", "trials", "snapshots", "wall_s", "trials_per_sec"});
+    table.addRow({"cold", std::to_string(cold.trials),
+                  std::to_string(cold.snapshots),
+                  stats::formatFixed(cold.wall_s, 2),
+                  stats::formatFixed(cold.trials_per_sec, 2)});
+    table.addRow({"warm", std::to_string(warm.trials),
+                  std::to_string(warm.snapshots),
+                  stats::formatFixed(warm.wall_s, 2),
+                  stats::formatFixed(warm.trials_per_sec, 2)});
+    emit(options, "tune_throughput", table);
+
+    std::cout << "warm vs cold speedup: " << stats::formatFixed(speedup, 2)
+              << "x  metrics bit-identical: "
+              << (identical ? "yes" : "NO") << "  peak RSS: "
+              << peak_rss_mb << " MB\n";
+    if (!identical) {
+        std::cerr << "bench_tune_throughput: warm-forked metrics diverge"
+                     " from cold replay\n";
+        return 1;
+    }
+
+    std::ofstream json(out_path);
+    if (!json) {
+        std::cerr << "bench_tune_throughput: cannot write " << out_path
+                  << "\n";
+        return 1;
+    }
+    json.precision(3);
+    json.setf(std::ios::fixed);
+    json << "{\n"
+         << "  \"bench\": \"bench_tune_throughput\",\n"
+         << "  \"build\": \"" << buildInfo() << "\",\n"
+         << "  \"seed\": " << options.seed << ",\n"
+         << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+         << "  \"policy\": \"" << policy << "\",\n"
+         << "  \"space\": \"" << space_spec << "\",\n"
+         << "  \"requests\": " << workload.requestCount() << ",\n"
+         << "  \"warmup_frac\": 0.9,\n"
+         << "  \"tune_throughput\": {\n"
+         << "    \"trials\": " << cold.trials << ",\n"
+         << "    \"snapshots\": " << warm.snapshots << ",\n"
+         << "    \"wall_s_cold\": " << cold.wall_s << ",\n"
+         << "    \"wall_s_warm\": " << warm.wall_s << ",\n"
+         << "    \"trials_per_sec_cold\": " << cold.trials_per_sec
+         << ",\n"
+         << "    \"trials_per_sec_warm\": " << warm.trials_per_sec
+         << ",\n"
+         << "    \"speedup\": " << speedup << ",\n"
+         << "    \"identical\": " << (identical ? "true" : "false")
+         << ",\n"
+         << "    \"peak_rss_mb\": " << peak_rss_mb << "\n"
+         << "  }\n"
+         << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+}

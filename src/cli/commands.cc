@@ -8,6 +8,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include <fstream>
+#include <iomanip>
+
 #include "analysis/concurrency.h"
 #include "analysis/opportunity.h"
 #include "analysis/tradeoff.h"
@@ -29,6 +32,10 @@
 #include "trace/trace_io.h"
 #include "trace/trace_view.h"
 #include "trace/transforms.h"
+#include "tune/evaluator.h"
+#include "tune/pareto.h"
+#include "tune/search.h"
+#include "tune/space.h"
 
 namespace cidre::cli {
 
@@ -1061,13 +1068,204 @@ runAnalyze(const Options &options, std::ostream &out, std::ostream &)
     return 0;
 }
 
+const std::vector<OptionSpec> &
+tuneSpecs()
+{
+    static const std::vector<OptionSpec> specs = [] {
+        std::vector<OptionSpec> s = {
+            {"space", "spec", "parameter space, knob=v1|v2|... or"
+                              " knob=lo:hi:step, comma-separated; shape"
+                              " knobs: workers, cache-gb, cells,"
+                              " window-min; fork knobs: policy, ttl-sec,"
+                              " cip-weight, te-percentile (required)", ""},
+            {"policy", "name", "base policy: runs the shared warm-up"
+                               " prefix and is the fork default", "cidre"},
+            {"driver", "name", "search driver: grid|random|anneal",
+             "grid"},
+            {"budget", "n", "trial budget of the random/anneal drivers",
+             "64"},
+            {"warmup-sec", "n", "simulated seconds of warm-up prefix"
+                                " shared by every trial (-1 = half the"
+                                " trace duration, 0 = fork at t=0)", "-1"},
+            {"search-seed", "n", "seed of the search driver's own walk"
+                                 " (trial substreams key on --seed and"
+                                 " the stable point id)", "1"},
+            {"cold", "", "disable the shared warm-snapshot fast path:"
+                         " every trial replays its prefix (bit-identical"
+                         " results, slower)", ""},
+            {"json", "file", "also write the tune JSON to this file", ""},
+        };
+        appendWorkloadSpecs(s);
+        appendEngineSpecs(s);
+        // Parallelism knobs only: tune derives its trial list from the
+        // search driver, so the sweep's --trials knob does not apply.
+        s.push_back({"jobs", "n", "total worker threads (0 = all cores)",
+                     "0"});
+        s.push_back({"shards", "n", "threads per sharded trial"
+                                    " (results-neutral; needs cells > 1)",
+                     "1"});
+        s.push_back({"pin", "mode", "shard-worker CPU pinning:"
+                                    " auto|off|physical (results-neutral)",
+                     "auto"});
+        s.push_back({"epoch-events", "n", "target events per lockstep"
+                                          " epoch in sharded trials"
+                                          " (results-neutral; 0 ="
+                                          " one-shot)", "0"});
+        s.push_back({"progress", "", "per-trial telemetry on stderr", ""});
+        return s;
+    }();
+    return specs;
+}
+
+int
+runTune(const Options &options, std::ostream &out, std::ostream &err)
+{
+    const std::string space_spec = options.getString("space");
+    if (space_spec.empty()) {
+        throw std::invalid_argument(
+            "tune requires --space \"knob=v1|v2,...\"");
+    }
+    const tune::ParameterSpace space =
+        tune::ParameterSpace::parse(space_spec);
+
+    const std::string driver_name = options.getString("driver", "grid");
+    const auto budget =
+        static_cast<std::uint64_t>(options.getInt("budget", 64));
+    const auto search_seed =
+        static_cast<std::uint64_t>(options.getInt("search-seed", 1));
+
+    core::EngineConfig config = engineConfig(options);
+    const exp::RunnerOptions runner_options = runnerOptions(options, err);
+    const Workload workload = loadWorkload(options);
+    resolveAutoCells(options, workload.view(), config,
+                     runner_options.shards, err);
+
+    bool may_shard = config.shard_cells > 1;
+    for (const tune::Knob &knob : space.knobs())
+        may_shard = may_shard || knob.name == "cells";
+    if (may_shard && workload.image)
+        workload.image->adviseShardedGather();
+
+    const std::int64_t warmup_sec = options.getInt("warmup-sec", -1);
+    const sim::SimTime fork_time = warmup_sec < 0
+        ? workload.view().duration() / 2
+        : sim::sec(warmup_sec);
+
+    exp::Heartbeat heartbeat(
+        &err, "tune",
+        static_cast<std::size_t>(driver_name == "grid" ? space.pointCount()
+                                                       : budget));
+
+    tune::TuneOptions tune_options;
+    tune_options.base_policy = options.getString("policy", "cidre");
+    tune_options.base_config = config;
+    tune_options.base_seed = baseSeed(options);
+    tune_options.fork_time = fork_time;
+    tune_options.warm = !options.getFlag("cold");
+    tune_options.runner = runner_options;
+    tune_options.heartbeat = &heartbeat;
+
+    tune::TuneEvaluator evaluator(space, workload.view(), tune_options);
+    const std::unique_ptr<tune::SearchDriver> driver =
+        tune::makeDriver(driver_name, space, budget, search_seed);
+
+    const auto frontIndices = [&evaluator]() {
+        std::vector<std::vector<double>> objectives;
+        objectives.reserve(evaluator.outcomes().size());
+        for (const tune::TrialOutcome &outcome : evaluator.outcomes())
+            objectives.push_back(outcome.objectives);
+        return tune::paretoFront(objectives);
+    };
+
+    std::vector<tune::Point> batch;
+    std::vector<std::size_t> front;
+    while (!(batch = driver->nextBatch()).empty()) {
+        driver->report(evaluator.evaluate(batch));
+        front = frontIndices();
+        heartbeat.tick(evaluator.outcomes().size(),
+                       "pareto " + std::to_string(front.size()));
+    }
+    front = frontIndices();
+    heartbeat.finish(evaluator.outcomes().size(),
+                     "pareto " + std::to_string(front.size()));
+    if (evaluator.outcomes().empty())
+        throw std::runtime_error("tune: the search evaluated no trials");
+
+    // Stable presentation order: latency, then memory, then point id.
+    std::sort(front.begin(), front.end(),
+              [&evaluator](std::size_t a, std::size_t b) {
+                  const tune::TrialOutcome &oa = evaluator.outcomes()[a];
+                  const tune::TrialOutcome &ob = evaluator.outcomes()[b];
+                  if (oa.objectives[0] != ob.objectives[0])
+                      return oa.objectives[0] < ob.objectives[0];
+                  if (oa.objectives[1] != ob.objectives[1])
+                      return oa.objectives[1] < ob.objectives[1];
+                  return oa.id < ob.id;
+              });
+
+    err << "pareto front: " << front.size() << " of "
+        << evaluator.outcomes().size() << " evaluated points ("
+        << evaluator.snapshotsBuilt() << " warm snapshots)\n";
+    stats::Table table({"params", "E2E p99 ms", "GB*s"});
+    for (const std::size_t i : front) {
+        const tune::TrialOutcome &o = evaluator.outcomes()[i];
+        table.addRow({o.label, stats::formatFixed(o.objectives[0], 2),
+                      stats::formatFixed(o.objectives[1], 2)});
+    }
+    table.print(err);
+
+    // The JSON is a pure function of (workload, space, driver, seeds):
+    // no host timings, no warm/cold mode — a warm and a --cold run of
+    // the same search emit byte-identical files (the CI smoke `cmp`s
+    // them, which is what pins warm==cold end to end).
+    const auto writeJson = [&](std::ostream &js) {
+        const auto escape = [](const std::string &text) {
+            std::string escaped;
+            for (const char c : text) {
+                if (c == '"' || c == '\\')
+                    escaped += '\\';
+                escaped += c;
+            }
+            return escaped;
+        };
+        js << std::fixed << std::setprecision(6);
+        js << "{\n  \"tune\": {\n";
+        js << "    \"driver\": \"" << escape(driver_name) << "\",\n";
+        js << "    \"policy\": \"" << escape(tune_options.base_policy)
+           << "\",\n";
+        js << "    \"space\": \"" << escape(space_spec) << "\",\n";
+        js << "    \"warmup_sec\": " << sim::toSec(fork_time) << ",\n";
+        js << "    \"evaluated\": " << evaluator.outcomes().size()
+           << ",\n";
+        js << "    \"pareto\": [\n";
+        for (std::size_t n = 0; n < front.size(); ++n) {
+            const tune::TrialOutcome &o = evaluator.outcomes()[front[n]];
+            js << "      {\"id\": \"" << std::hex << o.id << std::dec
+               << "\", \"params\": \"" << escape(o.label)
+               << "\", \"p99_ms\": " << o.objectives[0]
+               << ", \"gb_s\": " << o.objectives[1] << "}"
+               << (n + 1 < front.size() ? "," : "") << "\n";
+        }
+        js << "    ]\n  }\n}\n";
+    };
+    writeJson(out);
+    if (options.has("json")) {
+        const std::string path = options.getString("json");
+        std::ofstream file(path, std::ios::trunc);
+        if (!file)
+            throw std::runtime_error("tune: cannot write " + path);
+        writeJson(file);
+    }
+    return 0;
+}
+
 int
 dispatch(int argc, const char *const *argv, std::ostream &out,
          std::ostream &err)
 {
     const auto usage = [&]() {
         err << "usage: cidre_sim"
-               " <generate|run|compare|analyze|convert|synth>"
+               " <generate|run|compare|analyze|tune|convert|synth>"
                " [options]\n"
                "run `cidre_sim <command> --help` for command options\n";
         return 2;
@@ -1091,6 +1289,8 @@ dispatch(int argc, const char *const *argv, std::ostream &out,
         {"compare", "--policies a,b,c [options]", &compareSpecs,
          &runCompare},
         {"analyze", "[options]", &analyzeSpecs, &runAnalyze},
+        {"tune", "--space \"knob=v1|v2,...\" [options]", &tuneSpecs,
+         &runTune},
         {"convert", "<input> <output> (CSV <-> .ctrb, by content)",
          &convertSpecs, &runConvert},
         {"synth", "--out big.ctrb --copies n [options] <in.ctrb ...>",

@@ -7,6 +7,9 @@
  *   run      — simulate one policy over a trace and report metrics;
  *   compare  — race several policies over the same trace;
  *   analyze  — workload characterization (the §2 analyses);
+ *   tune     — policy/cluster parameter search over a knob space with
+ *              a shared warm-start fast path; reports a Pareto front
+ *              (p99 latency vs GB·s memory cost);
  *   convert  — translate a trace between CSV and the .ctrb binary
  *              columnar image (mmap-loadable, zero-copy replay);
  *   synth    — merge + time-shift .ctrb images into one much larger
@@ -37,6 +40,8 @@ int runCompare(const Options &options, std::ostream &out,
                std::ostream &err);
 int runAnalyze(const Options &options, std::ostream &out,
                std::ostream &err);
+int runTune(const Options &options, std::ostream &out,
+            std::ostream &err);
 int runConvert(const Options &options, std::ostream &out,
                std::ostream &err);
 int runSynth(const Options &options, std::ostream &out,
@@ -47,6 +52,7 @@ const std::vector<OptionSpec> &generateSpecs();
 const std::vector<OptionSpec> &simulateSpecs();
 const std::vector<OptionSpec> &compareSpecs();
 const std::vector<OptionSpec> &analyzeSpecs();
+const std::vector<OptionSpec> &tuneSpecs();
 const std::vector<OptionSpec> &convertSpecs();
 const std::vector<OptionSpec> &synthSpecs();
 

@@ -91,6 +91,59 @@ writeCheckpointFile(const std::string &path, std::uint64_t fingerprint,
     }
 }
 
+CheckpointBuffer
+makeCheckpointBuffer(std::uint64_t fingerprint,
+                     std::vector<std::byte> payload)
+{
+    CheckpointBuffer buffer;
+    std::memcpy(buffer.header.magic, kMagic, sizeof kMagic);
+    buffer.header.version = kCheckpointVersion;
+    buffer.header.header_bytes = sizeof(CheckpointHeader);
+    buffer.header.file_bytes = sizeof(CheckpointHeader) + payload.size();
+    buffer.header.payload_checksum =
+        trace::traceImageChecksum(payload.data(), payload.size());
+    buffer.header.fingerprint = fingerprint;
+    buffer.payload = std::move(payload);
+    return buffer;
+}
+
+const std::vector<std::byte> &
+openCheckpointBuffer(const CheckpointBuffer &buffer,
+                     std::uint64_t expected_fingerprint)
+{
+    // Same validation ladder as the file path: the buffer is typically
+    // long-lived and shared across worker threads, so a stray write
+    // anywhere in it must be caught here rather than surface as silent
+    // divergence downstream.
+    const CheckpointHeader &header = buffer.header;
+    if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0)
+        fail("<memory>", "not a checkpoint buffer (bad magic)");
+    if (header.version != kCheckpointVersion) {
+        fail("<memory>", "unsupported checkpoint version " +
+                             std::to_string(header.version) +
+                             " (expected " +
+                             std::to_string(kCheckpointVersion) + ")");
+    }
+    if (header.header_bytes != sizeof(CheckpointHeader))
+        fail("<memory>", "malformed checkpoint (header size mismatch)");
+    if (header.file_bytes !=
+        sizeof(CheckpointHeader) + buffer.payload.size()) {
+        fail("<memory>",
+             "malformed checkpoint (payload size does not match header)");
+    }
+    if (trace::traceImageChecksum(buffer.payload.data(),
+                                  buffer.payload.size()) !=
+        header.payload_checksum) {
+        fail("<memory>", "checksum mismatch (corrupt checkpoint)");
+    }
+    if (header.fingerprint != expected_fingerprint) {
+        fail("<memory>",
+             "fingerprint mismatch (checkpoint was written by a "
+             "different run configuration)");
+    }
+    return buffer.payload;
+}
+
 std::vector<std::byte>
 readCheckpointFile(const std::string &path,
                    std::uint64_t expected_fingerprint)

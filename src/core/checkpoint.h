@@ -72,6 +72,38 @@ void writeCheckpointFile(const std::string &path, std::uint64_t fingerprint,
 std::vector<std::byte> readCheckpointFile(const std::string &path,
                                           std::uint64_t expected_fingerprint);
 
+/**
+ * An in-memory checkpoint: the same envelope as a `.ckpt` file (header
+ * with checksum + fingerprint, then the payload) held in a buffer
+ * instead of on disk.  This is what lets a `tune` sweep fork thousands
+ * of trials from one shared warm snapshot without any file I/O — the
+ * buffer is built once per (cluster-shape, workload) equivalence class
+ * and read concurrently by every trial in the class.  Immutable after
+ * construction, so concurrent openCheckpointBuffer() calls are safe.
+ */
+struct CheckpointBuffer
+{
+    CheckpointHeader header{};
+    std::vector<std::byte> payload;
+};
+
+/**
+ * Seal @p payload into a validated in-memory checkpoint (the buffer
+ * analogue of writeCheckpointFile).
+ */
+CheckpointBuffer makeCheckpointBuffer(std::uint64_t fingerprint,
+                                      std::vector<std::byte> payload);
+
+/**
+ * Validate @p buffer exactly like readCheckpointFile validates a file —
+ * magic, version, sizes, payload checksum, fingerprint — and return its
+ * payload for a StateReader.  @throws std::runtime_error on corruption
+ * or a fingerprint mismatch.
+ */
+const std::vector<std::byte> &
+openCheckpointBuffer(const CheckpointBuffer &buffer,
+                     std::uint64_t expected_fingerprint);
+
 } // namespace cidre::core
 
 #endif // CIDRE_CORE_CHECKPOINT_H

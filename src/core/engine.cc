@@ -1049,6 +1049,43 @@ Engine::loadState(sim::StateReader &reader)
         policy_.agent->loadState(reader);
 }
 
+void
+Engine::swapPolicy(OrchestrationPolicy policy)
+{
+    if (!policy.scaling || !policy.keep_alive)
+        throw std::invalid_argument(
+            "Engine::swapPolicy: policy bundle incomplete");
+    if (policy.scaling->wantsBusyCompletionView() && !track_busy_ends_) {
+        throw std::logic_error(
+            "Engine::swapPolicy: the new scaling policy needs the "
+            "busy-completion view, which the outgoing policy did not "
+            "maintain (per-function busy-end history is unrecoverable)");
+    }
+    policy_ = std::move(policy);
+    // A narrower view requirement is fine: the history keeps being
+    // maintained (track_busy_ends_ stays as constructed) so a later
+    // swap back would still be sound.
+}
+
+void
+Engine::reseed(std::uint64_t seed)
+{
+    rng_ = sim::Rng(seed);
+}
+
+void
+Engine::setTePercentile(double percentile)
+{
+    config_.te_percentile = percentile;
+    // Drop every memoized estimate: the memo epoch only tracks window
+    // *content* changes, so a value computed under the old percentile
+    // would otherwise survive until the next window mutation.
+    for (const FunctionState &fs : states_) {
+        fs.execEstimateCache() = FunctionState::EstimateCache{};
+        fs.coldEstimateCache() = FunctionState::EstimateCache{};
+    }
+}
+
 const std::vector<sim::SimTime> &
 Engine::busyCompletionView(trace::FunctionId id) const
 {

@@ -191,6 +191,37 @@ class Engine
      */
     void loadState(sim::StateReader &reader);
 
+    // ---- fork-point mutation (tune sweeps) ------------------------------
+
+    /**
+     * Replace the policy bundle mid-run (the `tune` fork point): the new
+     * bundle starts with fresh internal state and rebuilds its rankings
+     * lazily from the engine-owned idle lists and windows, exactly as if
+     * it had been restored from a checkpoint with empty policy state.
+     * Deterministic: a warm-forked trial and a cold trial that swap at
+     * the same instant see identical engine state, so their suffixes are
+     * bit-identical.  Must be called at a quiescent point (between
+     * events).  Throws std::invalid_argument on an incomplete bundle and
+     * std::logic_error when the new scaling policy wants the
+     * busy-completion view but the outgoing one did not maintain it
+     * (the per-function busy-end history cannot be reconstructed).
+     */
+    void swapPolicy(OrchestrationPolicy policy);
+
+    /**
+     * Reseed the engine RNG (tune forks: per-trial substreams keyed by
+     * the *stable trial id*, applied identically on the warm and cold
+     * paths so the two stay bit-identical).
+     */
+    void reseed(std::uint64_t seed);
+
+    /**
+     * Change the T_e percentile knob mid-run (tune fork knob).  The
+     * memoized window estimates are invalidated so no value computed
+     * under the old percentile survives.
+     */
+    void setTePercentile(double percentile);
+
   private:
     struct DeferredProvision
     {

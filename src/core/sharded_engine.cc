@@ -404,6 +404,17 @@ ShardedEngine::loadState(sim::StateReader &reader)
     ran_ = true;
 }
 
+void
+ShardedEngine::forEachCell(
+    const std::function<void(Engine &, std::uint32_t)> &fn)
+{
+    if (!ran_)
+        throw std::logic_error(
+            "ShardedEngine::forEachCell: begin() or loadState() first");
+    for (std::size_t k = 0; k < cells_.size(); ++k)
+        fn(*cells_[k].engine, static_cast<std::uint32_t>(k));
+}
+
 std::size_t
 ShardedEngine::stepUntil(sim::SimTime until, sim::ThreadPool *pool)
 {

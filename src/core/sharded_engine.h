@@ -263,6 +263,15 @@ class ShardedEngine
         return *cells_.at(cell).engine;
     }
 
+    /**
+     * Visit every cell engine in canonical cell order (the `tune` fork
+     * point: swap policies / reseed each cell between epochs).  Requires
+     * the cells to be built — true after begin() or loadState().  Runs
+     * on the calling thread; call at a quiescent point (between
+     * stepUntil() epochs).
+     */
+    void forEachCell(const std::function<void(Engine &, std::uint32_t)> &fn);
+
   private:
     /**
      * Cache-line aligned so neighbouring cells' hot state (engine

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
+#include "core/checkpoint.h"
 #include "core/engine.h"
 #include "core/sharded_engine.h"
 #include "exp/telemetry.h"
 #include "policies/registry.h"
 #include "sim/rng.h"
+#include "sim/serialize.h"
 
 namespace cidre::exp {
 
@@ -91,12 +94,69 @@ ExperimentRunner::run(const std::vector<TrialSpec> &specs)
             }
             const auto started = std::chrono::steady_clock::now();
 
+            // Fork-protocol trials keep config.seed as given: the seed
+            // is part of the warm snapshot's fingerprint, so trials of
+            // one equivalence class must construct identically; their
+            // per-trial substream is injected by at_fork instead
+            // (keyed by the stable trial id).
+            const bool fork_trial =
+                spec.fork_time > 0 || spec.at_fork != nullptr;
             core::EngineConfig config = spec.config;
-            config.seed =
-                sim::substreamSeed(spec.base_seed, spec.trial_index);
+            if (!fork_trial) {
+                config.seed =
+                    sim::substreamSeed(spec.base_seed, spec.trial_index);
+            }
 
             TrialResult &result = results[i];
-            if (config.shard_cells > 1) {
+            if (fork_trial) {
+                // Warm path: restore the prefix snapshot.  Cold path:
+                // simulate the prefix.  Both then apply the identical
+                // fork hook, so their suffixes are bit-identical.
+                std::optional<sim::StateReader> reader;
+                if (spec.warm) {
+                    const std::vector<std::byte> &payload =
+                        core::openCheckpointBuffer(*spec.warm,
+                                                   spec.warm_fingerprint);
+                    reader.emplace(payload);
+                }
+                if (config.shard_cells > 1) {
+                    core::ShardedEngine engine(
+                        spec.workload, config,
+                        [&spec](const core::EngineConfig &cell_config) {
+                            return policies::makePolicy(spec.policy,
+                                                        cell_config);
+                        });
+                    sim::ThreadPool *pool = inner_pools_.empty()
+                        ? nullptr
+                        : inner_pools_[slot].get();
+                    if (reader) {
+                        engine.loadState(*reader);
+                    } else {
+                        engine.begin();
+                        if (spec.fork_time > 0)
+                            engine.stepUntil(spec.fork_time, pool);
+                    }
+                    if (spec.at_fork)
+                        engine.forEachCell(spec.at_fork);
+                    result.metrics = engine.finish(pool);
+                    result.events_executed = engine.eventsExecuted();
+                } else {
+                    core::Engine engine(
+                        spec.workload, config,
+                        policies::makePolicy(spec.policy, config));
+                    if (reader) {
+                        engine.loadState(*reader);
+                    } else {
+                        engine.begin();
+                        if (spec.fork_time > 0)
+                            engine.stepUntil(spec.fork_time);
+                    }
+                    if (spec.at_fork)
+                        spec.at_fork(engine, 0);
+                    result.metrics = engine.finish();
+                    result.events_executed = engine.eventsExecuted();
+                }
+            } else if (config.shard_cells > 1) {
                 // Shard threads only affect wall-clock; the substream
                 // space stays 2-D and positional — cell c of trial t
                 // runs on substreamSeed(substreamSeed(base, t), c).

@@ -10,9 +10,12 @@
  *
  *  1. **Inputs are immutable.**  Trials share views of sealed traces
  *     (in-memory or mmapped) read-only; nothing else is shared.
- *  2. **Randomness is positional.**  A trial's RNG seed is derived as
- *     sim::substreamSeed(base_seed, trial_index) — a pure function of
- *     the submission index, never of scheduling order or thread id.
+ *  2. **Randomness is keyed by identity.**  A trial's RNG seed is
+ *     derived as sim::substreamSeed(base_seed, trial_index), where
+ *     trial_index is a *stable* trial id — a pure function of what the
+ *     trial is (its position in a static sweep, a parameter-assignment
+ *     hash in a dynamic search), never of scheduling order, enqueue
+ *     order or thread id.
  *  3. **Reduction is ordered.**  Results land in a pre-sized vector at
  *     their submission index and mergedMetrics() folds them strictly in
  *     that order, so aggregate output is bit-identical for any job
@@ -50,8 +53,14 @@
 #include "core/config.h"
 #include "core/metrics.h"
 #include "sim/thread_pool.h"
+#include "sim/time.h"
 #include "sim/topology.h"
 #include "trace/trace_view.h"
+
+namespace cidre::core {
+class Engine;
+struct CheckpointBuffer;
+} // namespace cidre::core
 
 namespace cidre::exp {
 
@@ -74,16 +83,67 @@ struct TrialSpec
     std::string policy;
 
     /**
-     * Engine configuration for this trial.  config.seed is ignored:
-     * the runner overwrites it with the derived substream seed.
+     * Engine configuration for this trial.  For ordinary trials
+     * config.seed is ignored: the runner overwrites it with the derived
+     * substream seed.  For fork-protocol trials (see below) config.seed
+     * is used *as given* — it is part of the warm snapshot's
+     * fingerprint, so every trial of an equivalence class must share
+     * it; per-trial randomness is injected at the fork instead.
      */
     core::EngineConfig config;
 
     /** Sweep-wide base seed; pair with trial_index for the substream. */
     std::uint64_t base_seed = 42;
 
-    /** Substream index (conventionally the trial's position). */
+    /**
+     * Substream key: a STABLE identifier of the trial, not its
+     * submission position.  For static sweeps (run/compare) the
+     * position is a stable id, so using it is fine; dynamic drivers
+     * (simulated annealing, random search) must key this by trial
+     * *identity* (e.g. a hash of the parameter assignment) so the
+     * random stream a trial sees never depends on the order trials
+     * happened to be enqueued — that is what keeps search sweeps
+     * bit-reproducible across `--jobs` and across driver scheduling
+     * changes.
+     */
     std::uint64_t trial_index = 0;
+
+    // ---- fork protocol (tune sweeps) ----------------------------------
+    //
+    // A fork-protocol trial (fork_time > 0 or at_fork set) simulates a
+    // warm-up prefix [0, fork_time) under the spec's base policy and
+    // config, then applies the trial's parameter overrides through
+    // at_fork at the fork boundary, then runs to completion.  When a
+    // warm snapshot is supplied the prefix is *restored* instead of
+    // simulated; both paths then apply the identical fork hook, so the
+    // warm-forked metrics are bit-identical to the cold run's (pinned
+    // by the warm-equivalence goldens).
+
+    /**
+     * Simulated time of the fork boundary; 0 with no at_fork hook means
+     * an ordinary (non-fork) trial.
+     */
+    sim::SimTime fork_time = 0;
+
+    /**
+     * Warm snapshot of the prefix: engine state saved at fork_time by a
+     * run with this spec's config and policy.  Null = cold path
+     * (simulate the prefix).  Shared read-only across the trials of an
+     * equivalence class.
+     */
+    std::shared_ptr<const core::CheckpointBuffer> warm;
+
+    /** Expected fingerprint of the warm snapshot (validation). */
+    std::uint64_t warm_fingerprint = 0;
+
+    /**
+     * Applied to every cell engine at the fork boundary (cell 0 of a
+     * single-cell trial): swap the policy bundle, reseed the per-trial
+     * RNG substream, mutate fork-safe knobs.  Must be a pure function
+     * of the spec (no shared mutable state) — it runs on a worker
+     * thread.
+     */
+    std::function<void(core::Engine &, std::uint32_t)> at_fork;
 };
 
 /** Outcome of one trial, stored at its submission index. */

@@ -70,4 +70,64 @@ ProgressReporter::trialDone(const std::string &label, double wall_ms,
     *out_ << line.str() << std::flush;
 }
 
+Heartbeat::Heartbeat(std::ostream *out, std::string tag, std::size_t total,
+                     double interval_sec)
+    : out_(out),
+      tag_(std::move(tag)),
+      total_(total),
+      interval_sec_(interval_sec),
+      started_(std::chrono::steady_clock::now()),
+      last_print_(started_ - std::chrono::hours(1))
+{
+}
+
+void
+Heartbeat::tick(std::size_t done, const std::string &status)
+{
+    if (out_ == nullptr)
+        return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    const double since_print =
+        std::chrono::duration<double>(now - last_print_).count();
+    if (since_print < interval_sec_)
+        return;
+    last_print_ = now;
+    emit(done, status);
+}
+
+void
+Heartbeat::finish(std::size_t done, const std::string &status)
+{
+    if (out_ == nullptr)
+        return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    last_print_ = std::chrono::steady_clock::now();
+    emit(done, status);
+}
+
+void
+Heartbeat::emit(std::size_t done, const std::string &status)
+{
+    // One string, one write: concurrent tickers never interleave.
+    std::ostringstream line;
+    line << "[" << tag_ << "] " << done;
+    if (total_ > 0)
+        line << "/" << total_;
+    line << " trials";
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - started_)
+                               .count();
+    if (done > 0 && elapsed > 0.0) {
+        line.setf(std::ios::fixed);
+        line.precision(1);
+        line << "  " << static_cast<double>(done) / elapsed
+             << " trials/s";
+    }
+    if (!status.empty())
+        line << "  " << status;
+    line << "\n";
+    *out_ << line.str() << std::flush;
+}
+
 } // namespace cidre::exp

@@ -11,6 +11,7 @@
 #ifndef CIDRE_EXP_TELEMETRY_H
 #define CIDRE_EXP_TELEMETRY_H
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -55,6 +56,51 @@ class ProgressReporter
     std::ostream *out_;
     std::size_t total_;
     std::size_t done_ = 0;
+    std::mutex mutex_;
+};
+
+/**
+ * Throttled progress heartbeat for long sweeps (`tune`, large search
+ * drivers): at most one line per interval of host wall-clock, so a
+ * thousand-trial sweep stays observable without drowning stderr:
+ *
+ *   [tune] 128/512 trials  9.6 trials/s  pareto 7
+ *
+ * tick() is thread-safe and cheap when suppressed (one clock read under
+ * the lock).  finish() prints one unconditional closing line so the
+ * final count always appears.  A null stream disables everything.
+ */
+class Heartbeat
+{
+  public:
+    /**
+     * @param tag      line prefix, e.g. "tune"
+     * @param total    expected completions (0 = open-ended: the line
+     *                 shows the bare count)
+     * @param interval minimum host seconds between printed lines
+     */
+    Heartbeat(std::ostream *out, std::string tag, std::size_t total,
+              double interval_sec = 1.0);
+
+    /**
+     * Report progress: @p done completions so far, plus a caller status
+     * suffix (e.g. "pareto 7"; empty omits it).  Prints only when the
+     * throttle interval has elapsed since the last printed line.
+     */
+    void tick(std::size_t done, const std::string &status = "");
+
+    /** Print one final (unthrottled) line. */
+    void finish(std::size_t done, const std::string &status = "");
+
+  private:
+    void emit(std::size_t done, const std::string &status);
+
+    std::ostream *out_;
+    std::string tag_;
+    std::size_t total_;
+    double interval_sec_;
+    std::chrono::steady_clock::time_point started_;
+    std::chrono::steady_clock::time_point last_print_;
     std::mutex mutex_;
 };
 

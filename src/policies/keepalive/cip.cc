@@ -106,7 +106,7 @@ CipKeepAlive::bonusOf(core::Engine &engine, trace::FunctionId function)
         static_cast<double>(std::max<std::uint32_t>(fs.cachedCount(), 1));
     memo.when = now;
     memo.epoch = fs.priorityEpoch();
-    memo.bonus = freq * cost / (size * k);
+    memo.bonus = bonus_weight_ * (freq * cost / (size * k));
     return memo.bonus;
 }
 

@@ -55,6 +55,21 @@ namespace cidre::policies {
 class CipKeepAlive : public RankedKeepAlive
 {
   public:
+    /**
+     * @param bonus_weight multiplier on the Eq. 3 bonus term
+     *        Freq·Cost/(Size·|F(c)|) — a tuning knob (cidre_sim tune
+     *        "cip-weight"): 0 degenerates to pure clock ordering, large
+     *        values approach frequency/cost-dominated eviction.  The
+     *        default 1.0 is the paper's formula, bit-identical to the
+     *        unweighted implementation.  Configuration, not state: it is
+     *        not serialized by saveState (the checkpoint fingerprint
+     *        already pins the policy construction).
+     */
+    explicit CipKeepAlive(double bonus_weight = 1.0)
+        : bonus_weight_(bonus_weight)
+    {
+    }
+
     const char *name() const override { return "cip"; }
 
     void onAdmit(core::Engine &engine, cluster::Container &container,
@@ -149,6 +164,7 @@ class CipKeepAlive : public RankedKeepAlive
 
     std::vector<WorkerState> workers_;
     std::uint64_t scan_counter_ = 0;
+    double bonus_weight_ = 1.0;
 
     /** bonusOf memo: same (now, priorityEpoch) ⇒ same bonus. */
     struct BonusCache

@@ -1,0 +1,185 @@
+#include "tune/evaluator.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "exp/telemetry.h"
+#include "policies/registry.h"
+#include "sim/rng.h"
+#include "sim/serialize.h"
+
+namespace cidre::tune {
+
+namespace {
+
+/** Trials dispatched per runner call between heartbeat ticks. */
+constexpr std::size_t kDispatchChunk = 32;
+
+std::vector<double>
+objectivesOf(const core::RunMetrics &metrics)
+{
+    return {metrics.e2eHistogram().percentile(0.99) / 1e3,
+            metrics.avgMemoryGb() * sim::toSec(metrics.makespan())};
+}
+
+} // namespace
+
+TuneEvaluator::TuneEvaluator(const ParameterSpace &space,
+                             trace::TraceView workload, TuneOptions options)
+    : space_(space),
+      workload_(workload),
+      options_(std::move(options)),
+      runner_(options_.runner)
+{
+    if (!workload_.valid())
+        throw std::invalid_argument("TuneEvaluator: unbound workload view");
+    if (options_.fork_time < 0)
+        throw std::invalid_argument("TuneEvaluator: negative fork time");
+}
+
+const TuneEvaluator::ClassSnapshot &
+TuneEvaluator::snapshotFor(const core::EngineConfig &config,
+                           std::uint64_t class_key)
+{
+    const auto found = snapshots_.find(class_key);
+    if (found != snapshots_.end())
+        return found->second;
+
+    // Simulate the class's shared prefix once, under the base policy,
+    // and freeze it.  Serial execution is fine: this runs once per
+    // shape class while the forked suffixes run once per trial.
+    ClassSnapshot snapshot;
+    snapshot.fingerprint = core::checkpointFingerprint(
+        config, options_.base_policy, workload_);
+    sim::StateWriter writer;
+    if (config.shard_cells > 1) {
+        core::ShardedEngine engine(
+            workload_, config,
+            [this](const core::EngineConfig &cell_config) {
+                return policies::makePolicy(options_.base_policy,
+                                            cell_config);
+            });
+        engine.begin();
+        engine.stepUntil(options_.fork_time, nullptr);
+        engine.saveState(writer);
+    } else {
+        core::Engine engine(
+            workload_, config,
+            policies::makePolicy(options_.base_policy, config));
+        engine.begin();
+        engine.stepUntil(options_.fork_time);
+        engine.saveState(writer);
+    }
+    snapshot.buffer = std::make_shared<const core::CheckpointBuffer>(
+        core::makeCheckpointBuffer(snapshot.fingerprint, writer.release()));
+    ++snapshots_built_;
+    return snapshots_.emplace(class_key, std::move(snapshot)).first->second;
+}
+
+exp::TrialSpec
+TuneEvaluator::makeSpec(const Point &point, std::uint64_t id)
+{
+    core::EngineConfig config = options_.base_config;
+    space_.applyShape(point, config);
+    config.validate();
+
+    const ParameterSpace::ForkOverrides overrides =
+        space_.forkOverrides(point);
+    const std::string policy_name =
+        overrides.policy.empty() ? options_.base_policy : overrides.policy;
+    // Fail on inapplicable knob combinations before burning simulation
+    // time on the batch (makeTunedPolicy re-runs at the fork).
+    makeTunedPolicy(policy_name, config, overrides);
+
+    exp::TrialSpec spec;
+    spec.label = space_.label(point);
+    spec.workload = workload_;
+    spec.policy = options_.base_policy; // the prefix policy
+    spec.config = config;
+    spec.base_seed = options_.base_seed;
+    spec.trial_index = id; // stable point id, not submission order
+    spec.fork_time = options_.fork_time;
+
+    // The per-trial stream is keyed (base_seed, point id) and re-split
+    // per cell — identical on the warm and cold paths by construction.
+    const std::uint64_t trial_seed =
+        sim::substreamSeed(options_.base_seed, id);
+    spec.at_fork = [policy_name, overrides, trial_seed](
+                       core::Engine &engine, std::uint32_t cell) {
+        engine.swapPolicy(
+            makeTunedPolicy(policy_name, engine.config(), overrides));
+        if (overrides.te_percentile)
+            engine.setTePercentile(*overrides.te_percentile);
+        engine.reseed(sim::substreamSeed(trial_seed, cell));
+    };
+
+    if (options_.warm && options_.fork_time > 0) {
+        const ClassSnapshot &snapshot =
+            snapshotFor(config, space_.classKey(point));
+        spec.warm = snapshot.buffer;
+        spec.warm_fingerprint = snapshot.fingerprint;
+    }
+    return spec;
+}
+
+std::vector<Observation>
+TuneEvaluator::evaluate(const std::vector<Point> &batch)
+{
+    // Collect the points this batch actually has to simulate: not in
+    // the result cache and not repeated within the batch.
+    std::vector<std::uint64_t> ids(batch.size());
+    std::vector<exp::TrialSpec> specs;
+    std::vector<std::uint64_t> spec_ids;
+    std::vector<const Point *> spec_points;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        ids[i] = space_.pointId(batch[i]);
+        if (by_id_.count(ids[i]) != 0)
+            continue;
+        exp::TrialSpec spec = makeSpec(batch[i], ids[i]); // may throw
+        by_id_.emplace(ids[i], outcomes_.size());
+        outcomes_.emplace_back(); // reserved; filled after the run
+        specs.push_back(std::move(spec));
+        spec_ids.push_back(ids[i]);
+        spec_points.push_back(&batch[i]);
+    }
+
+    // Run in fixed-size chunks so long batches stay observable through
+    // the heartbeat.  Chunking cannot change results: trials are
+    // independent and land in the cache keyed by id.
+    for (std::size_t start = 0; start < specs.size();
+         start += kDispatchChunk) {
+        const std::size_t count =
+            std::min(kDispatchChunk, specs.size() - start);
+        const std::vector<exp::TrialSpec> chunk(
+            specs.begin() + static_cast<std::ptrdiff_t>(start),
+            specs.begin() + static_cast<std::ptrdiff_t>(start + count));
+        const std::vector<exp::TrialResult> results = runner_.run(chunk);
+        for (std::size_t j = 0; j < results.size(); ++j) {
+            const std::uint64_t id = spec_ids[start + j];
+            TrialOutcome &outcome = outcomes_[by_id_.at(id)];
+            outcome.point = *spec_points[start + j];
+            outcome.id = id;
+            outcome.label = chunk[j].label;
+            outcome.metrics = results[j].metrics;
+            outcome.objectives = objectivesOf(outcome.metrics);
+            ++trials_run_;
+        }
+        if (options_.heartbeat != nullptr)
+            options_.heartbeat->tick(outcomes_.size());
+    }
+
+    std::vector<Observation> observations(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const TrialOutcome &outcome = outcomes_[by_id_.at(ids[i])];
+        observations[i].point = batch[i];
+        observations[i].id = ids[i];
+        observations[i].objectives = outcome.objectives;
+    }
+    return observations;
+}
+
+} // namespace cidre::tune

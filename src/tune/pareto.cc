@@ -1,0 +1,39 @@
+#include "tune/pareto.h"
+
+#include <stdexcept>
+
+namespace cidre::tune {
+
+bool
+dominates(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.empty() || a.size() != b.size()) {
+        throw std::invalid_argument(
+            "dominates: objective vectors must be non-empty and equally"
+            " sized");
+    }
+    bool strictly_better = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i])
+            return false;
+        if (a[i] < b[i])
+            strictly_better = true;
+    }
+    return strictly_better;
+}
+
+std::vector<std::size_t>
+paretoFront(const std::vector<std::vector<double>> &points)
+{
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated; ++j)
+            dominated = j != i && dominates(points[j], points[i]);
+        if (!dominated)
+            front.push_back(i);
+    }
+    return front;
+}
+
+} // namespace cidre::tune

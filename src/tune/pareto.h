@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Pareto dominance over minimized objective vectors.
+ *
+ * The `tune` subcommand reports its search result as a Pareto front in
+ * (p99 end-to-end latency, GB·s memory cost) space: no point of the
+ * front can improve one objective without paying on the other.  The
+ * helpers here are objective-count agnostic so ablation studies can add
+ * axes (cold-start ratio, wasted provisions) without touching them.
+ *
+ * All objectives are minimized.  Callers that want to maximize an axis
+ * negate it before calling.
+ */
+
+#ifndef CIDRE_TUNE_PARETO_H
+#define CIDRE_TUNE_PARETO_H
+
+#include <cstddef>
+#include <vector>
+
+namespace cidre::tune {
+
+/**
+ * True iff @p a dominates @p b: a is <= b on every objective and
+ * strictly < on at least one.  Identical vectors do not dominate each
+ * other (both survive front extraction — duplicates are kept).
+ * @throws std::invalid_argument on empty or mismatched sizes.
+ */
+bool dominates(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * Indices of the non-dominated points of @p points, ascending.  A point
+ * is on the front iff no other point dominates it; ties (bit-identical
+ * vectors) all stay.  O(n²) pairwise — fronts here are search results
+ * (hundreds of points), not datasets.
+ * @throws std::invalid_argument if the vectors disagree on size.
+ */
+std::vector<std::size_t>
+paretoFront(const std::vector<std::vector<double>> &points);
+
+} // namespace cidre::tune
+
+#endif // CIDRE_TUNE_PARETO_H

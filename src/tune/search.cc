@@ -1,0 +1,245 @@
+#include "tune/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sim/rng.h"
+
+namespace cidre::tune {
+
+namespace {
+
+/**
+ * Scalarize a minimized objective vector for annealing: the sum of
+ * logs (= log of the product), so axes with very different scales
+ * (p99 in ms, memory in GB·s) contribute proportional, unit-free
+ * improvements.  The floor keeps degenerate zero objectives finite.
+ */
+double
+scalarCost(const std::vector<double> &objectives)
+{
+    double cost = 0.0;
+    for (const double value : objectives)
+        cost += std::log(std::max(value, 1e-9));
+    return cost;
+}
+
+/** Exhaustive enumeration in mixed-radix (knob-order) sequence. */
+class GridDriver final : public SearchDriver
+{
+  public:
+    explicit GridDriver(const ParameterSpace &space) : space_(space) {}
+
+    const char *name() const override { return "grid"; }
+
+    std::vector<Point> nextBatch() override
+    {
+        if (done_)
+            return {};
+        done_ = true;
+        std::vector<Point> batch;
+        batch.reserve(space_.pointCount());
+        Point point(space_.knobs().size(), 0);
+        for (;;) {
+            batch.push_back(point);
+            // Odometer increment, last knob fastest.
+            std::size_t k = point.size();
+            while (k > 0) {
+                --k;
+                if (++point[k] < space_.knobs()[k].values.size())
+                    break;
+                point[k] = 0;
+                if (k == 0)
+                    return batch;
+            }
+        }
+    }
+
+    void report(const std::vector<Observation> &) override {}
+
+  private:
+    const ParameterSpace &space_;
+    bool done_ = false;
+};
+
+/** Up to `budget` distinct uniform samples, proposed as one batch. */
+class RandomDriver final : public SearchDriver
+{
+  public:
+    RandomDriver(const ParameterSpace &space, std::uint64_t budget,
+                 std::uint64_t seed)
+        : space_(space), budget_(budget), rng_(seed)
+    {
+        if (budget_ == 0)
+            throw std::invalid_argument(
+                "tune: the random driver needs --budget >= 1");
+    }
+
+    const char *name() const override { return "random"; }
+
+    std::vector<Point> nextBatch() override
+    {
+        if (done_)
+            return {};
+        done_ = true;
+        std::vector<Point> batch;
+        std::unordered_set<std::uint64_t> seen;
+        // Sampling with replacement, deduplicated: a draw landing on an
+        // already-proposed point still consumes budget, which bounds the
+        // loop even when the budget exceeds the space.
+        for (std::uint64_t i = 0; i < budget_; ++i) {
+            Point point(space_.knobs().size(), 0);
+            for (std::size_t k = 0; k < point.size(); ++k)
+                point[k] = static_cast<std::uint32_t>(
+                    rng_.below(space_.knobs()[k].values.size()));
+            if (seen.insert(space_.pointId(point)).second)
+                batch.push_back(std::move(point));
+        }
+        return batch;
+    }
+
+    void report(const std::vector<Observation> &) override {}
+
+  private:
+    const ParameterSpace &space_;
+    std::uint64_t budget_;
+    sim::Rng rng_;
+    bool done_ = false;
+};
+
+/**
+ * Simulated annealing, SET-style: a few independent chains walk the
+ * space concurrently, each proposing one neighbour per round (so a
+ * round is an embarrassingly parallel batch for the evaluator), with
+ * Metropolis acceptance on the scalarized cost and geometric cooling.
+ * Each chain's walk runs on its own seed substream, so the whole
+ * search is a pure function of (space, seed, budget, objectives).
+ */
+class AnnealDriver final : public SearchDriver
+{
+  public:
+    AnnealDriver(const ParameterSpace &space, std::uint64_t budget,
+                 std::uint64_t seed)
+        : space_(space), budget_(budget)
+    {
+        if (budget_ == 0)
+            throw std::invalid_argument(
+                "tune: the anneal driver needs --budget >= 1");
+        const std::uint64_t chain_count = std::min<std::uint64_t>(
+            kMaxChains, std::max<std::uint64_t>(1, budget_ / 2));
+        chains_.reserve(chain_count);
+        for (std::uint64_t c = 0; c < chain_count; ++c)
+            chains_.push_back(Chain{sim::Rng(sim::substreamSeed(seed, c)),
+                                    Point(), 0.0, false});
+    }
+
+    const char *name() const override { return "anneal"; }
+
+    std::vector<Point> nextBatch() override
+    {
+        if (spent_ >= budget_)
+            return {};
+        std::vector<Point> batch;
+        batch.reserve(chains_.size());
+        for (Chain &chain : chains_) {
+            if (spent_ >= budget_)
+                break;
+            batch.push_back(chain.seeded ? neighbour(chain)
+                                         : randomPoint(chain.rng));
+            ++spent_;
+        }
+        pending_ = batch;
+        return batch;
+    }
+
+    void report(const std::vector<Observation> &observations) override
+    {
+        if (observations.size() != pending_.size())
+            throw std::logic_error(
+                "tune anneal: report size does not match the last batch");
+        for (std::size_t c = 0; c < observations.size(); ++c) {
+            Chain &chain = chains_[c];
+            const double cost = scalarCost(observations[c].objectives);
+            if (!chain.seeded) {
+                chain.point = observations[c].point;
+                chain.cost = cost;
+                chain.seeded = true;
+                continue;
+            }
+            // Metropolis: always take improvements, take regressions
+            // with probability exp(-delta / T).
+            const double delta = cost - chain.cost;
+            if (delta <= 0.0 ||
+                chain.rng.uniform() < std::exp(-delta / temperature_)) {
+                chain.point = observations[c].point;
+                chain.cost = cost;
+            }
+        }
+        temperature_ *= kCooling;
+        pending_.clear();
+    }
+
+  private:
+    struct Chain
+    {
+        sim::Rng rng;
+        Point point;
+        double cost = 0.0;
+        bool seeded = false;
+    };
+
+    static constexpr std::uint64_t kMaxChains = 8;
+    static constexpr double kCooling = 0.85;
+
+    Point randomPoint(sim::Rng &rng) const
+    {
+        Point point(space_.knobs().size(), 0);
+        for (std::size_t k = 0; k < point.size(); ++k)
+            point[k] = static_cast<std::uint32_t>(
+                rng.below(space_.knobs()[k].values.size()));
+        return point;
+    }
+
+    /** One-knob move: step the chosen knob's index by ±1, wrapping. */
+    Point neighbour(Chain &chain)
+    {
+        Point point = chain.point;
+        const std::size_t k =
+            static_cast<std::size_t>(chain.rng.below(point.size()));
+        const std::size_t size = space_.knobs()[k].values.size();
+        if (size > 1) {
+            const std::uint32_t step =
+                chain.rng.chance(0.5) ? 1u : static_cast<std::uint32_t>(
+                                                 size - 1);
+            point[k] = static_cast<std::uint32_t>((point[k] + step) % size);
+        }
+        return point;
+    }
+
+    const ParameterSpace &space_;
+    std::uint64_t budget_;
+    std::uint64_t spent_ = 0;
+    double temperature_ = 1.0;
+    std::vector<Chain> chains_;
+    std::vector<Point> pending_;
+};
+
+} // namespace
+
+std::unique_ptr<SearchDriver>
+makeDriver(const std::string &name, const ParameterSpace &space,
+           std::uint64_t budget, std::uint64_t seed)
+{
+    if (name == "grid")
+        return std::make_unique<GridDriver>(space);
+    if (name == "random")
+        return std::make_unique<RandomDriver>(space, budget, seed);
+    if (name == "anneal")
+        return std::make_unique<AnnealDriver>(space, budget, seed);
+    throw std::invalid_argument(
+        "tune: unknown driver '" + name + "' (grid, random, anneal)");
+}
+
+} // namespace cidre::tune

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Pluggable search drivers over a ParameterSpace: exhaustive grid,
+ * seeded random sampling, and simulated annealing.
+ *
+ * Drivers run an **ask-tell batch protocol**: nextBatch() proposes a
+ * set of points, the evaluator runs them (possibly in parallel, via
+ * the shared warm-start fast path), and report() feeds the observed
+ * objectives back before the next proposal round.  Because proposals
+ * depend only on (space, search seed, previously reported objectives)
+ * — all deterministic — a search is bit-reproducible for any `--jobs`
+ * value: parallelism changes *when* trials run, never *which* trials
+ * run or what random substream each one sees (per-trial streams are
+ * keyed by the stable point id, see ParameterSpace::pointId).
+ */
+
+#ifndef CIDRE_TUNE_SEARCH_H
+#define CIDRE_TUNE_SEARCH_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tune/space.h"
+
+namespace cidre::tune {
+
+/** One evaluated point fed back to a driver. */
+struct Observation
+{
+    Point point;
+    /** ParameterSpace::pointId of the point. */
+    std::uint64_t id = 0;
+    /** Minimized objectives, e.g. {p99_ms, gb_s}. */
+    std::vector<double> objectives;
+};
+
+/** Ask-tell search driver; see the file comment for the protocol. */
+class SearchDriver
+{
+  public:
+    virtual ~SearchDriver() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * The next points to evaluate; an empty batch ends the search.
+     * Batches may repeat earlier points (the evaluator's result cache
+     * makes repeats free) — they still count against the budget, which
+     * is what bounds adaptive drivers.
+     */
+    virtual std::vector<Point> nextBatch() = 0;
+
+    /** Observed objectives of the last batch, in batch order. */
+    virtual void report(const std::vector<Observation> &observations) = 0;
+};
+
+/**
+ * Build a driver by CLI name: "grid" (exhaustive; ignores the budget),
+ * "random" (up to @p budget distinct seeded samples, one batch), or
+ * "anneal" (simulated annealing: independent chains on per-chain seed
+ * substreams, one proposal per chain per round, Metropolis acceptance
+ * on the scalarized objective product, geometric cooling).
+ * @throws std::invalid_argument for unknown names or a zero budget on
+ *         the budgeted drivers.
+ */
+std::unique_ptr<SearchDriver> makeDriver(const std::string &name,
+                                         const ParameterSpace &space,
+                                         std::uint64_t budget,
+                                         std::uint64_t seed);
+
+} // namespace cidre::tune
+
+#endif // CIDRE_TUNE_SEARCH_H

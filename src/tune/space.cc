@@ -1,0 +1,387 @@
+#include "tune/space.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "policies/keepalive/cip.h"
+#include "policies/keepalive/ttl.h"
+#include "policies/registry.h"
+#include "policies/scaling/bss.h"
+#include "policies/scaling/css.h"
+#include "policies/scaling/vanilla.h"
+#include "sim/time.h"
+
+namespace cidre::tune {
+
+namespace {
+
+/** How a knob's value tokens are validated at parse time. */
+enum class ValueRule : std::uint8_t
+{
+    PositiveInt,  //!< integer >= 1
+    PositiveReal, //!< double > 0
+    AnyInt,       //!< any integer (window-min: <= 0 means unbounded)
+    Percentile,   //!< double <= 1 (negative selects the mean)
+    PolicyName,   //!< a policy registry name
+};
+
+struct KnobInfo
+{
+    const char *name;
+    KnobKind kind;
+    ValueRule rule;
+};
+
+/** Every knob `tune` understands.  Kept sorted by name for the error. */
+constexpr KnobInfo kKnownKnobs[] = {
+    {"cache-gb", KnobKind::Shape, ValueRule::PositiveReal},
+    {"cells", KnobKind::Shape, ValueRule::PositiveInt},
+    {"cip-weight", KnobKind::Fork, ValueRule::PositiveReal},
+    {"policy", KnobKind::Fork, ValueRule::PolicyName},
+    {"te-percentile", KnobKind::Fork, ValueRule::Percentile},
+    {"ttl-sec", KnobKind::Fork, ValueRule::PositiveReal},
+    {"window-min", KnobKind::Shape, ValueRule::AnyInt},
+    {"workers", KnobKind::Shape, ValueRule::PositiveInt},
+};
+
+[[noreturn]] void
+fail(const std::string &why)
+{
+    throw std::invalid_argument("tune space: " + why);
+}
+
+const KnobInfo &
+knobInfo(const std::string &name)
+{
+    for (const KnobInfo &info : kKnownKnobs)
+        if (name == info.name)
+            return info;
+    std::string known;
+    for (const KnobInfo &info : kKnownKnobs) {
+        if (!known.empty())
+            known += ", ";
+        known += info.name;
+    }
+    fail("unknown knob '" + name + "' (known: " + known + ")");
+}
+
+double
+parseNumber(const std::string &knob, const std::string &token)
+{
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(token, &used);
+    } catch (const std::logic_error &) {
+        used = 0;
+    }
+    if (used == 0 || used != token.size())
+        fail("knob '" + knob + "': '" + token + "' is not a number");
+    return value;
+}
+
+bool
+isInteger(double value)
+{
+    return value == static_cast<double>(static_cast<std::int64_t>(value));
+}
+
+void
+validateToken(const std::string &knob, ValueRule rule,
+              const std::string &token)
+{
+    switch (rule) {
+    case ValueRule::PositiveInt: {
+        const double v = parseNumber(knob, token);
+        if (!isInteger(v) || v < 1.0)
+            fail("knob '" + knob + "': '" + token +
+                 "' must be an integer >= 1");
+        break;
+    }
+    case ValueRule::PositiveReal:
+        if (parseNumber(knob, token) <= 0.0)
+            fail("knob '" + knob + "': '" + token + "' must be > 0");
+        break;
+    case ValueRule::AnyInt:
+        if (!isInteger(parseNumber(knob, token)))
+            fail("knob '" + knob + "': '" + token +
+                 "' must be an integer");
+        break;
+    case ValueRule::Percentile:
+        if (parseNumber(knob, token) > 1.0)
+            fail("knob '" + knob + "': '" + token +
+                 "' must be <= 1 (negative selects the mean)");
+        break;
+    case ValueRule::PolicyName: {
+        const std::vector<std::string> &names =
+            policies::allPolicyNames();
+        const bool known =
+            std::find(names.begin(), names.end(), token) != names.end() ||
+            token.rfind("fixed-queue-", 0) == 0;
+        if (!known)
+            fail("knob 'policy': unknown policy '" + token + "'");
+        break;
+    }
+    }
+}
+
+/**
+ * Canonical token of an expanded range value: shortest round-trip form
+ * ("%.10g"), so 300.0 and 300 both print as "300" and point ids never
+ * depend on how the range endpoints were spelled.
+ */
+std::string
+formatValue(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.10g", value);
+    return buffer;
+}
+
+std::vector<std::string>
+splitTrimmed(const std::string &text, char separator)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find(separator, start);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string part = text.substr(start, end - start);
+        const std::size_t first = part.find_first_not_of(" \t");
+        const std::size_t last = part.find_last_not_of(" \t");
+        parts.push_back(first == std::string::npos
+                            ? std::string()
+                            : part.substr(first, last - first + 1));
+        start = end + 1;
+    }
+    return parts;
+}
+
+std::vector<std::string>
+expandValues(const std::string &knob, const std::string &spec)
+{
+    if (spec.find('|') != std::string::npos) {
+        std::vector<std::string> values = splitTrimmed(spec, '|');
+        for (const std::string &value : values)
+            if (value.empty())
+                fail("knob '" + knob + "': empty value");
+        return values;
+    }
+    if (spec.find(':') != std::string::npos) {
+        const std::vector<std::string> parts = splitTrimmed(spec, ':');
+        if (parts.size() != 3)
+            fail("knob '" + knob + "': ranges are lo:hi:step");
+        const double lo = parseNumber(knob, parts[0]);
+        const double hi = parseNumber(knob, parts[1]);
+        const double step = parseNumber(knob, parts[2]);
+        if (step <= 0.0 || hi < lo)
+            fail("knob '" + knob + "': range needs hi >= lo and step > 0");
+        std::vector<std::string> values;
+        // Index-based expansion keeps the count exact under floating
+        // accumulation; the half-step slack admits hi itself.
+        const auto count = static_cast<std::uint64_t>(
+            (hi - lo) / step + 0.5) + 1;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const double value = lo + static_cast<double>(i) * step;
+            if (value > hi + step * 1e-9)
+                break;
+            values.push_back(formatValue(value));
+        }
+        return values;
+    }
+    if (spec.empty())
+        fail("knob '" + knob + "': empty value");
+    return {spec};
+}
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+fnvMix(std::uint64_t &hash, const std::string &text)
+{
+    for (const char c : text) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= kFnvPrime;
+    }
+    hash ^= 0x1f; // unit separator: "ab"+"c" never collides with "a"+"bc"
+    hash *= kFnvPrime;
+}
+
+} // namespace
+
+ParameterSpace
+ParameterSpace::parse(const std::string &spec)
+{
+    ParameterSpace space;
+    for (const std::string &entry : splitTrimmed(spec, ',')) {
+        if (entry.empty())
+            continue; // tolerate trailing commas
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fail("'" + entry + "' is not knob=values");
+        Knob knob;
+        knob.name = entry.substr(0, eq);
+        const KnobInfo &info = knobInfo(knob.name);
+        knob.kind = info.kind;
+        knob.values = expandValues(knob.name, entry.substr(eq + 1));
+        for (std::size_t i = 0; i < knob.values.size(); ++i)
+            for (std::size_t j = i + 1; j < knob.values.size(); ++j)
+                if (knob.values[i] == knob.values[j])
+                    fail("knob '" + knob.name + "': duplicate value '" +
+                         knob.values[i] + "'");
+        for (const std::string &value : knob.values)
+            validateToken(knob.name, info.rule, value);
+        space.knobs_.push_back(std::move(knob));
+    }
+    if (space.knobs_.empty())
+        fail("the space has no knobs (--space \"knob=v1|v2,...\")");
+    std::sort(space.knobs_.begin(), space.knobs_.end(),
+              [](const Knob &a, const Knob &b) { return a.name < b.name; });
+    for (std::size_t i = 1; i < space.knobs_.size(); ++i)
+        if (space.knobs_[i].name == space.knobs_[i - 1].name)
+            fail("duplicate knob '" + space.knobs_[i].name + "'");
+    return space;
+}
+
+std::uint64_t
+ParameterSpace::pointCount() const
+{
+    std::uint64_t count = 1;
+    for (const Knob &knob : knobs_)
+        count *= knob.values.size();
+    return count;
+}
+
+std::uint64_t
+ParameterSpace::hashAssignment(const Point &point, bool shape_only) const
+{
+    if (point.size() != knobs_.size())
+        fail("point has " + std::to_string(point.size()) +
+             " choices for " + std::to_string(knobs_.size()) + " knobs");
+    std::uint64_t hash = kFnvOffset;
+    for (std::size_t k = 0; k < knobs_.size(); ++k) {
+        const Knob &knob = knobs_[k];
+        if (shape_only && knob.kind != KnobKind::Shape)
+            continue;
+        if (point[k] >= knob.values.size())
+            fail("point index " + std::to_string(point[k]) +
+                 " out of range for knob '" + knob.name + "'");
+        fnvMix(hash, knob.name);
+        fnvMix(hash, knob.values[point[k]]);
+    }
+    return hash;
+}
+
+std::uint64_t
+ParameterSpace::pointId(const Point &point) const
+{
+    return hashAssignment(point, false);
+}
+
+std::uint64_t
+ParameterSpace::classKey(const Point &point) const
+{
+    return hashAssignment(point, true);
+}
+
+std::string
+ParameterSpace::label(const Point &point) const
+{
+    std::string text;
+    for (std::size_t k = 0; k < knobs_.size(); ++k) {
+        if (!text.empty())
+            text += ' ';
+        text += knobs_[k].name;
+        text += '=';
+        text += knobs_[k].values.at(point.at(k));
+    }
+    return text;
+}
+
+const std::string *
+ParameterSpace::chosen(const Point &point, const std::string &name) const
+{
+    for (std::size_t k = 0; k < knobs_.size(); ++k)
+        if (knobs_[k].name == name)
+            return &knobs_[k].values.at(point.at(k));
+    return nullptr;
+}
+
+void
+ParameterSpace::applyShape(const Point &point,
+                           core::EngineConfig &config) const
+{
+    if (const std::string *v = chosen(point, "workers")) {
+        config.cluster.workers =
+            static_cast<std::uint32_t>(parseNumber("workers", *v));
+    }
+    if (const std::string *v = chosen(point, "cache-gb")) {
+        config.cluster.total_memory_mb = static_cast<std::int64_t>(
+            parseNumber("cache-gb", *v) * 1024.0 + 0.5);
+    }
+    if (const std::string *v = chosen(point, "cells")) {
+        config.shard_cells =
+            static_cast<std::uint32_t>(parseNumber("cells", *v));
+    }
+    if (const std::string *v = chosen(point, "window-min")) {
+        const auto window_min =
+            static_cast<std::int64_t>(parseNumber("window-min", *v));
+        config.stats_window = window_min <= 0 ? sim::kTimeInfinity
+                                              : sim::minutes(window_min);
+    }
+}
+
+ParameterSpace::ForkOverrides
+ParameterSpace::forkOverrides(const Point &point) const
+{
+    ForkOverrides overrides;
+    if (const std::string *v = chosen(point, "policy"))
+        overrides.policy = *v;
+    if (const std::string *v = chosen(point, "ttl-sec"))
+        overrides.ttl_sec = parseNumber("ttl-sec", *v);
+    if (const std::string *v = chosen(point, "cip-weight"))
+        overrides.cip_weight = parseNumber("cip-weight", *v);
+    if (const std::string *v = chosen(point, "te-percentile"))
+        overrides.te_percentile = parseNumber("te-percentile", *v);
+    return overrides;
+}
+
+core::OrchestrationPolicy
+makeTunedPolicy(const std::string &name, const core::EngineConfig &config,
+                const ParameterSpace::ForkOverrides &overrides)
+{
+    if (overrides.ttl_sec) {
+        if (name != "ttl")
+            fail("knob 'ttl-sec' applies to policy 'ttl' only, not '" +
+                 name + "' (add policy=ttl or drop the knob)");
+        core::OrchestrationPolicy policy;
+        policy.name = name;
+        policy.scaling = std::make_unique<policies::VanillaScaling>();
+        policy.keep_alive = std::make_unique<policies::TtlKeepAlive>(
+            sim::fromSec(*overrides.ttl_sec));
+        return policy;
+    }
+    if (overrides.cip_weight) {
+        core::OrchestrationPolicy policy;
+        policy.name = name;
+        if (name == "cidre")
+            policy.scaling = std::make_unique<policies::CssScaling>();
+        else if (name == "cidre-bss")
+            policy.scaling = std::make_unique<policies::BssScaling>();
+        else if (name == "cip-alone")
+            policy.scaling = std::make_unique<policies::VanillaScaling>();
+        else
+            fail("knob 'cip-weight' applies to CIP policies (cidre,"
+                 " cidre-bss, cip-alone), not '" + name + "'");
+        policy.keep_alive = std::make_unique<policies::CipKeepAlive>(
+            *overrides.cip_weight);
+        return policy;
+    }
+    return policies::makePolicy(name, config);
+}
+
+} // namespace cidre::tune

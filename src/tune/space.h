@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The `tune` parameter space: named policy/cluster knobs, each with an
+ * explicit finite value list, parsed from a compact spec string.
+ *
+ * ## Spec syntax
+ *
+ *     --space "knob=v1|v2|v3,knob2=lo:hi:step"
+ *
+ * Comma separates knobs; a knob's values are either an explicit
+ * pipe-separated list or an inclusive numeric range expanded at parse
+ * time.  Knobs are sorted by name during parsing, so the space — and
+ * everything derived from it (point ids, labels, class keys) — is a
+ * canonical function of the *set* of knobs, never of spelling order.
+ *
+ * ## Knob taxonomy: shape vs fork
+ *
+ * Every knob is either a **shape** knob or a **fork** knob, and the
+ * distinction is what makes the shared warm-start fast path sound:
+ *
+ *  - Shape knobs (`workers`, `cache-gb`, `cells`, `window-min`) are
+ *    baked into the engine at construction — they define the simulated
+ *    system.  Trials agreeing on every shape knob form an *equivalence
+ *    class*: their warm-up prefixes are identical, so one prefix
+ *    simulation (snapshotted in memory) serves the whole class.
+ *  - Fork knobs (`policy`, `ttl-sec`, `cip-weight`, `te-percentile`)
+ *    are applied at the fork boundary via Engine::swapPolicy /
+ *    setTePercentile — they change only the suffix, so they never
+ *    invalidate a class snapshot.
+ *
+ * ## Stable point ids
+ *
+ * pointId() hashes the canonical (knob, value) assignment — never the
+ * order points were proposed in — so dynamic search drivers stay
+ * bit-reproducible: the RNG substream a trial sees is a pure function
+ * of *what* the trial is (exp::TrialSpec::trial_index documents the
+ * contract this feeds).
+ */
+
+#ifndef CIDRE_TUNE_SPACE_H
+#define CIDRE_TUNE_SPACE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/policy.h"
+
+namespace cidre::tune {
+
+/** Whether a knob defines the simulated system or only the suffix. */
+enum class KnobKind : std::uint8_t
+{
+    Shape,
+    Fork,
+};
+
+/** One named knob and its finite, parse-time-expanded value list. */
+struct Knob
+{
+    std::string name;
+    KnobKind kind = KnobKind::Fork;
+    /** Canonical value tokens (range specs are expanded at parse). */
+    std::vector<std::string> values;
+};
+
+/** One point of the space: a chosen value index per knob, in knob order. */
+using Point = std::vector<std::uint32_t>;
+
+/** A parsed, canonically ordered parameter space; see the file comment. */
+class ParameterSpace
+{
+  public:
+    /**
+     * Parse a spec string (see the file comment for the syntax).
+     * @throws std::invalid_argument on unknown knobs, duplicate knobs,
+     *         duplicate values, empty value lists or malformed numbers.
+     */
+    static ParameterSpace parse(const std::string &spec);
+
+    /** The knobs, sorted by name (canonical order for Point indices). */
+    const std::vector<Knob> &knobs() const { return knobs_; }
+
+    /** Cartesian size of the space (product of value-list sizes). */
+    std::uint64_t pointCount() const;
+
+    /**
+     * Stable id of @p point: FNV-1a over the canonical knob=value
+     * assignment.  Invariant to spec spelling order and to the order a
+     * search driver proposed the point in — this is what keys the
+     * trial's RNG substream and the result cache.
+     */
+    std::uint64_t pointId(const Point &point) const;
+
+    /**
+     * Equivalence-class key of @p point: the same hash restricted to
+     * shape knobs.  Points sharing a class key construct bit-identical
+     * engines, so they can fork from one shared warm snapshot.  A space
+     * with no shape knobs has a single class.
+     */
+    std::uint64_t classKey(const Point &point) const;
+
+    /** Human label, e.g. "cache-gb=50 ttl-sec=300" (knob order). */
+    std::string label(const Point &point) const;
+
+    /** Chosen value of @p name at @p point, or null if no such knob. */
+    const std::string *chosen(const Point &point,
+                              const std::string &name) const;
+
+    /**
+     * Bake the shape knobs of @p point into @p config (workers,
+     * cache-gb as total_memory_mb, cells as shard_cells, window-min as
+     * stats_window).  Fork knobs are untouched — they apply at the
+     * fork boundary, not at construction.
+     */
+    void applyShape(const Point &point, core::EngineConfig &config) const;
+
+    /** The fork-knob assignment of a point (unset = keep the base). */
+    struct ForkOverrides
+    {
+        /** Policy registry name; empty keeps the sweep's base policy. */
+        std::string policy;
+        std::optional<double> ttl_sec;
+        std::optional<double> cip_weight;
+        std::optional<double> te_percentile;
+    };
+
+    ForkOverrides forkOverrides(const Point &point) const;
+
+  private:
+    std::uint64_t hashAssignment(const Point &point, bool shape_only) const;
+
+    std::vector<Knob> knobs_;
+};
+
+/**
+ * Build the policy bundle a fork-protocol trial swaps in: the named
+ * registry policy, with the parameterized keep-alive variants built
+ * directly when their knob is set (`ttl-sec` requires policy "ttl";
+ * `cip-weight` requires a CIP policy: "cidre", "cidre-bss" or
+ * "cip-alone").
+ * @throws std::invalid_argument when a knob does not apply to @p name.
+ */
+core::OrchestrationPolicy
+makeTunedPolicy(const std::string &name, const core::EngineConfig &config,
+                const ParameterSpace::ForkOverrides &overrides);
+
+} // namespace cidre::tune
+
+#endif // CIDRE_TUNE_SPACE_H

@@ -176,6 +176,98 @@ TEST(CheckpointFile, WriteLeavesNoTmpFileBehind)
     EXPECT_FALSE(tmp.good());
 }
 
+// ---- in-memory checkpoint buffers (the tune warm-snapshot carrier) ------
+
+/** The openCheckpointBuffer error for @p buffer, or "" on success. */
+std::string
+openError(const CheckpointBuffer &buffer, std::uint64_t fingerprint)
+{
+    try {
+        (void)openCheckpointBuffer(buffer, fingerprint);
+        return "";
+    } catch (const std::runtime_error &e) {
+        return e.what();
+    }
+}
+
+TEST(CheckpointBuffer, RoundTripsPayloadExactly)
+{
+    const CheckpointBuffer buffer =
+        makeCheckpointBuffer(kFingerprint, samplePayload());
+    EXPECT_EQ(openCheckpointBuffer(buffer, kFingerprint),
+              samplePayload());
+}
+
+TEST(CheckpointBuffer, MatchesTheFileEnvelopeBitForBit)
+{
+    // The buffer is the file format minus the file: writing header +
+    // payload to disk must yield a .ckpt readCheckpointFile accepts.
+    const CheckpointBuffer buffer =
+        makeCheckpointBuffer(kFingerprint, samplePayload());
+    const std::string path = tempPath("cidre_ckpt_buffer_as_file.ckpt");
+    std::vector<char> bytes(sizeof(CheckpointHeader) +
+                            buffer.payload.size());
+    std::memcpy(bytes.data(), &buffer.header, sizeof(CheckpointHeader));
+    std::memcpy(bytes.data() + sizeof(CheckpointHeader),
+                buffer.payload.data(), buffer.payload.size());
+    writeAll(path, bytes);
+    EXPECT_EQ(readCheckpointFile(path, kFingerprint), samplePayload());
+}
+
+TEST(CheckpointBuffer, RejectsBadMagic)
+{
+    CheckpointBuffer buffer =
+        makeCheckpointBuffer(kFingerprint, samplePayload());
+    buffer.header.magic[0] = 'X';
+    EXPECT_NE(openError(buffer, kFingerprint).find("bad magic"),
+              std::string::npos);
+}
+
+TEST(CheckpointBuffer, RejectsUnsupportedVersion)
+{
+    CheckpointBuffer buffer =
+        makeCheckpointBuffer(kFingerprint, samplePayload());
+    buffer.header.version = kCheckpointVersion + 5;
+    EXPECT_NE(
+        openError(buffer, kFingerprint).find("unsupported checkpoint"),
+        std::string::npos);
+}
+
+TEST(CheckpointBuffer, RejectsPayloadSizeDrift)
+{
+    CheckpointBuffer truncated =
+        makeCheckpointBuffer(kFingerprint, samplePayload());
+    truncated.payload.resize(truncated.payload.size() - 1);
+    EXPECT_NE(openError(truncated, kFingerprint)
+                  .find("payload size does not match"),
+              std::string::npos);
+
+    CheckpointBuffer grown =
+        makeCheckpointBuffer(kFingerprint, samplePayload());
+    grown.payload.push_back(std::byte{0});
+    EXPECT_NE(openError(grown, kFingerprint)
+                  .find("payload size does not match"),
+              std::string::npos);
+}
+
+TEST(CheckpointBuffer, RejectsStrayPayloadWrite)
+{
+    CheckpointBuffer buffer =
+        makeCheckpointBuffer(kFingerprint, samplePayload());
+    buffer.payload[buffer.payload.size() / 2] ^= std::byte{0x01};
+    EXPECT_NE(openError(buffer, kFingerprint).find("checksum mismatch"),
+              std::string::npos);
+}
+
+TEST(CheckpointBuffer, RejectsFingerprintMismatch)
+{
+    const CheckpointBuffer buffer =
+        makeCheckpointBuffer(kFingerprint, samplePayload());
+    EXPECT_NE(
+        openError(buffer, kFingerprint + 1).find("fingerprint mismatch"),
+        std::string::npos);
+}
+
 // ---- fingerprint sensitivity --------------------------------------------
 
 TEST(CheckpointFingerprint, ChangesWithRunDefiningInputs)

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the Pareto-dominance helpers: strict and weak dominance,
+ * duplicate points (both survive), the single-objective degenerate
+ * case, and argument validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "tune/pareto.h"
+
+namespace cidre::tune {
+namespace {
+
+TEST(Dominates, StrictlyBetterOnEveryObjective)
+{
+    EXPECT_TRUE(dominates({1.0, 2.0}, {3.0, 4.0}));
+    EXPECT_FALSE(dominates({3.0, 4.0}, {1.0, 2.0}));
+}
+
+TEST(Dominates, WeaklyBetterNeedsOneStrictObjective)
+{
+    // Equal on one axis, better on the other: dominates.
+    EXPECT_TRUE(dominates({1.0, 2.0}, {1.0, 3.0}));
+    EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 2.0}));
+    // Equal on every axis: neither dominates the other.
+    EXPECT_FALSE(dominates({1.0, 2.0}, {1.0, 2.0}));
+}
+
+TEST(Dominates, TradeoffsDoNotDominateEitherWay)
+{
+    EXPECT_FALSE(dominates({1.0, 4.0}, {2.0, 3.0}));
+    EXPECT_FALSE(dominates({2.0, 3.0}, {1.0, 4.0}));
+}
+
+TEST(Dominates, SingleObjectiveIsPlainLessThan)
+{
+    EXPECT_TRUE(dominates({1.0}, {2.0}));
+    EXPECT_FALSE(dominates({2.0}, {1.0}));
+    EXPECT_FALSE(dominates({1.0}, {1.0}));
+}
+
+TEST(Dominates, RejectsEmptyAndMismatchedArity)
+{
+    EXPECT_THROW(dominates({}, {}), std::invalid_argument);
+    EXPECT_THROW(dominates({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ParetoFront, KeepsExactlyTheNonDominatedPoints)
+{
+    const std::vector<std::vector<double>> points = {
+        {1.0, 9.0}, // front
+        {5.0, 5.0}, // front
+        {9.0, 1.0}, // front
+        {6.0, 6.0}, // dominated by {5,5}
+        {1.0, 9.5}, // dominated by {1,9}
+    };
+    EXPECT_EQ(paretoFront(points),
+              (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParetoFront, DuplicateOptimaAllSurvive)
+{
+    // Equal points do not dominate each other, so every copy stays.
+    const std::vector<std::vector<double>> points = {
+        {1.0, 2.0},
+        {1.0, 2.0},
+        {3.0, 3.0},
+    };
+    EXPECT_EQ(paretoFront(points), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ParetoFront, SingleObjectiveDegeneratesToTheMinimum)
+{
+    const std::vector<std::vector<double>> points = {
+        {4.0}, {2.0}, {7.0}, {2.0}};
+    // Both copies of the minimum survive.
+    EXPECT_EQ(paretoFront(points), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(ParetoFront, EmptyAndSingletonInputs)
+{
+    EXPECT_TRUE(paretoFront({}).empty());
+    EXPECT_EQ(paretoFront({{1.0, 2.0}}), (std::vector<std::size_t>{0}));
+}
+
+TEST(ParetoFront, IndicesComeBackAscending)
+{
+    const std::vector<std::vector<double>> points = {
+        {9.0, 1.0}, {5.0, 5.0}, {1.0, 9.0}};
+    EXPECT_EQ(paretoFront(points),
+              (std::vector<std::size_t>{0, 1, 2}));
+}
+
+} // namespace
+} // namespace cidre::tune

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the tune parameter space: spec parsing (lists, ranges,
+ * validation errors), canonical knob ordering, stable point ids and
+ * class keys, shape application onto an EngineConfig, fork overrides,
+ * and the knob-compatibility rules of makeTunedPolicy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "sim/time.h"
+#include "tune/space.h"
+
+namespace cidre::tune {
+namespace {
+
+std::vector<std::string>
+knobNames(const ParameterSpace &space)
+{
+    std::vector<std::string> names;
+    for (const Knob &knob : space.knobs())
+        names.push_back(knob.name);
+    return names;
+}
+
+TEST(SpaceParse, ExplicitListAndCartesianCount)
+{
+    const ParameterSpace space =
+        ParameterSpace::parse("ttl-sec=60|300|600,cache-gb=10|20");
+    EXPECT_EQ(space.pointCount(), 6u);
+    // Knobs are sorted by name regardless of spelling order.
+    EXPECT_EQ(knobNames(space),
+              (std::vector<std::string>{"cache-gb", "ttl-sec"}));
+    EXPECT_EQ(space.knobs()[1].values,
+              (std::vector<std::string>{"60", "300", "600"}));
+}
+
+TEST(SpaceParse, RangeExpandsInclusively)
+{
+    const ParameterSpace space = ParameterSpace::parse("ttl-sec=60:300:60");
+    EXPECT_EQ(space.knobs()[0].values,
+              (std::vector<std::string>{"60", "120", "180", "240", "300"}));
+}
+
+TEST(SpaceParse, KnobKindsFollowTheRegistry)
+{
+    const ParameterSpace space =
+        ParameterSpace::parse("workers=2|4,policy=ttl|cidre");
+    EXPECT_EQ(space.knobs()[0].name, "policy");
+    EXPECT_EQ(space.knobs()[0].kind, KnobKind::Fork);
+    EXPECT_EQ(space.knobs()[1].name, "workers");
+    EXPECT_EQ(space.knobs()[1].kind, KnobKind::Shape);
+}
+
+TEST(SpaceParse, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(ParameterSpace::parse(""), std::invalid_argument);
+    EXPECT_THROW(ParameterSpace::parse("nope=1|2"), std::invalid_argument);
+    EXPECT_THROW(ParameterSpace::parse("ttl-sec=60,ttl-sec=120"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParameterSpace::parse("ttl-sec=60|60"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParameterSpace::parse("ttl-sec="), std::invalid_argument);
+    EXPECT_THROW(ParameterSpace::parse("ttl-sec=abc"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParameterSpace::parse("workers=0"), std::invalid_argument);
+    EXPECT_THROW(ParameterSpace::parse("cache-gb=-1"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParameterSpace::parse("te-percentile=1.5"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParameterSpace::parse("policy=not-a-policy"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParameterSpace::parse("ttl-sec=300:60:30"),
+                 std::invalid_argument);
+}
+
+TEST(SpacePointId, InvariantToSpecSpellingOrder)
+{
+    const ParameterSpace a =
+        ParameterSpace::parse("ttl-sec=60|300,cache-gb=10|20");
+    const ParameterSpace b =
+        ParameterSpace::parse("cache-gb=10|20,ttl-sec=60|300");
+    // Both spaces canonicalize to [cache-gb, ttl-sec], so the same
+    // index vector names the same assignment — and the same id.
+    for (std::uint32_t i = 0; i < 2; ++i) {
+        for (std::uint32_t j = 0; j < 2; ++j) {
+            const Point point{i, j};
+            EXPECT_EQ(a.pointId(point), b.pointId(point));
+            EXPECT_EQ(a.label(point), b.label(point));
+        }
+    }
+}
+
+TEST(SpacePointId, DistinctAssignmentsGetDistinctIds)
+{
+    const ParameterSpace space =
+        ParameterSpace::parse("ttl-sec=60|300,cache-gb=10|20");
+    std::vector<std::uint64_t> ids;
+    for (std::uint32_t i = 0; i < 2; ++i)
+        for (std::uint32_t j = 0; j < 2; ++j)
+            ids.push_back(space.pointId({i, j}));
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        for (std::size_t j = i + 1; j < ids.size(); ++j)
+            EXPECT_NE(ids[i], ids[j]) << i << " vs " << j;
+}
+
+TEST(SpaceClassKey, DependsOnlyOnShapeKnobs)
+{
+    // knob order: cache-gb (shape), ttl-sec (fork).
+    const ParameterSpace space =
+        ParameterSpace::parse("cache-gb=10|20,ttl-sec=60|300");
+    // Same shape, different fork knob: same class.
+    EXPECT_EQ(space.classKey({0, 0}), space.classKey({0, 1}));
+    // Different shape: different class.
+    EXPECT_NE(space.classKey({0, 0}), space.classKey({1, 0}));
+    // But still distinct points.
+    EXPECT_NE(space.pointId({0, 0}), space.pointId({0, 1}));
+}
+
+TEST(SpaceApplyShape, BakesShapeKnobsIntoTheConfig)
+{
+    // knob order: cache-gb, cells, ttl-sec, window-min, workers.
+    const ParameterSpace space = ParameterSpace::parse(
+        "workers=2|4,cache-gb=8,cells=2,window-min=5|0,ttl-sec=60");
+    core::EngineConfig config;
+    space.applyShape({0, 0, 0, 0, 1}, config);
+    EXPECT_EQ(config.cluster.total_memory_mb, 8 * 1024);
+    EXPECT_EQ(config.shard_cells, 2u);
+    EXPECT_EQ(config.stats_window, sim::minutes(5));
+    EXPECT_EQ(config.cluster.workers, 4u);
+
+    // window-min <= 0 selects the unbounded window.
+    space.applyShape({0, 0, 0, 1, 0}, config);
+    EXPECT_EQ(config.stats_window, sim::kTimeInfinity);
+    EXPECT_EQ(config.cluster.workers, 2u);
+}
+
+TEST(SpaceForkOverrides, CarriesExactlyTheSetKnobs)
+{
+    const ParameterSpace space = ParameterSpace::parse(
+        "policy=ttl|cidre,ttl-sec=60|300,workers=2");
+    // knob order: policy, ttl-sec, workers.
+    const ParameterSpace::ForkOverrides overrides =
+        space.forkOverrides({0, 1, 0});
+    EXPECT_EQ(overrides.policy, "ttl");
+    ASSERT_TRUE(overrides.ttl_sec.has_value());
+    EXPECT_DOUBLE_EQ(*overrides.ttl_sec, 300.0);
+    EXPECT_FALSE(overrides.cip_weight.has_value());
+    EXPECT_FALSE(overrides.te_percentile.has_value());
+}
+
+TEST(MakeTunedPolicy, ParameterizedVariantsAndCompatibility)
+{
+    core::EngineConfig config;
+    ParameterSpace::ForkOverrides overrides;
+
+    // No knobs: any registry policy passes through.
+    EXPECT_EQ(makeTunedPolicy("cidre", config, overrides).name, "cidre");
+
+    // ttl-sec applies only to the ttl policy.
+    overrides.ttl_sec = 120.0;
+    EXPECT_EQ(makeTunedPolicy("ttl", config, overrides).name, "ttl");
+    EXPECT_THROW(makeTunedPolicy("cidre", config, overrides),
+                 std::invalid_argument);
+    overrides.ttl_sec.reset();
+
+    // cip-weight applies only to the CIP family.
+    overrides.cip_weight = 2.0;
+    EXPECT_EQ(makeTunedPolicy("cidre", config, overrides).name, "cidre");
+    EXPECT_EQ(makeTunedPolicy("cidre-bss", config, overrides).name,
+              "cidre-bss");
+    EXPECT_EQ(makeTunedPolicy("cip-alone", config, overrides).name,
+              "cip-alone");
+    EXPECT_THROW(makeTunedPolicy("ttl", config, overrides),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace cidre::tune

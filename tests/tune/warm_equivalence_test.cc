@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The warm-start equivalence goldens: a trial forked from a shared
+ * in-memory warm snapshot must produce metrics bit-identical to a cold
+ * full replay of the same trial — single-cell and sharded — and the
+ * result of a sweep must be invariant to `--jobs` because per-trial
+ * RNG substreams are keyed by the stable point id, not by submission
+ * order.  These tests pin the contract that makes the tune fast path a
+ * pure wall-clock optimization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics_io.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+#include "trace/trace_view.h"
+#include "tune/evaluator.h"
+#include "tune/search.h"
+#include "tune/space.h"
+
+namespace cidre::tune {
+namespace {
+
+const trace::Trace &
+sweepTrace()
+{
+    static const trace::Trace trace = trace::makeAzureLikeTrace(42, 0.03);
+    return trace;
+}
+
+core::EngineConfig
+sweepConfig()
+{
+    core::EngineConfig config;
+    // Generated functions can reach ~4 GB; give each worker headroom.
+    config.cluster.workers = 3;
+    config.cluster.total_memory_mb = 24 * 1024;
+    return config;
+}
+
+/** Exact textual fingerprint of every evaluated trial, keyed by id. */
+std::map<std::uint64_t, std::string>
+metricsById(const TuneEvaluator &evaluator)
+{
+    std::map<std::uint64_t, std::string> fingerprints;
+    for (const TrialOutcome &outcome : evaluator.outcomes()) {
+        std::ostringstream json;
+        core::writeMetricsJson(outcome.metrics, json);
+        fingerprints.emplace(outcome.id, json.str());
+    }
+    return fingerprints;
+}
+
+/** Evaluate the full grid of @p spec and fingerprint every trial. */
+std::map<std::uint64_t, std::string>
+sweepFingerprint(const std::string &spec, const std::string &base_policy,
+                 bool warm, unsigned jobs, std::size_t classes = 1)
+{
+    const ParameterSpace space = ParameterSpace::parse(spec);
+    const trace::TraceView view(sweepTrace());
+
+    TuneOptions options;
+    options.base_policy = base_policy;
+    options.base_config = sweepConfig();
+    options.fork_time = view.duration() / 2;
+    options.warm = warm;
+    options.runner.jobs = jobs;
+
+    TuneEvaluator evaluator(space, view, options);
+    const auto driver = makeDriver("grid", space, 0, 1);
+    for (;;) {
+        const std::vector<Point> batch = driver->nextBatch();
+        if (batch.empty())
+            break;
+        driver->report(evaluator.evaluate(batch));
+    }
+    EXPECT_EQ(evaluator.trialsRun(), space.pointCount());
+    EXPECT_EQ(evaluator.snapshotsBuilt(), warm ? classes : 0u)
+        << "one shared snapshot per shape class";
+    return metricsById(evaluator);
+}
+
+TEST(WarmEquivalence, SingleCellWarmForkEqualsColdReplay)
+{
+    const std::string spec = "ttl-sec=60|300|900";
+    const auto warm = sweepFingerprint(spec, "ttl", true, 1);
+    const auto cold = sweepFingerprint(spec, "ttl", false, 1);
+    ASSERT_EQ(warm.size(), 3u);
+    EXPECT_EQ(warm, cold);
+}
+
+TEST(WarmEquivalence, ShardedWarmForkEqualsColdReplay)
+{
+    const ParameterSpace space =
+        ParameterSpace::parse("cip-weight=0.5|2,te-percentile=0.5|0.9");
+    const trace::TraceView view(sweepTrace());
+
+    core::EngineConfig config = sweepConfig();
+    config.cluster.workers = 4;
+    config.cluster.total_memory_mb = 32 * 1024;
+    config.shard_cells = 2;
+
+    std::map<std::uint64_t, std::string> fingerprints[2];
+    for (const bool warm : {true, false}) {
+        TuneOptions options;
+        options.base_policy = "cidre";
+        options.base_config = config;
+        options.fork_time = view.duration() / 2;
+        options.warm = warm;
+
+        TuneEvaluator evaluator(space, view, options);
+        const auto driver = makeDriver("grid", space, 0, 1);
+        for (;;) {
+            const std::vector<Point> batch = driver->nextBatch();
+            if (batch.empty())
+                break;
+            driver->report(evaluator.evaluate(batch));
+        }
+        fingerprints[warm ? 0 : 1] = metricsById(evaluator);
+    }
+    ASSERT_EQ(fingerprints[0].size(), 4u);
+    EXPECT_EQ(fingerprints[0], fingerprints[1]);
+}
+
+TEST(WarmEquivalence, MixedShapeClassesEachGetOneSnapshot)
+{
+    const ParameterSpace space =
+        ParameterSpace::parse("cache-gb=24|32,ttl-sec=60|300");
+    const trace::TraceView view(sweepTrace());
+
+    TuneOptions options;
+    options.base_policy = "ttl";
+    options.base_config = sweepConfig();
+    options.fork_time = view.duration() / 2;
+
+    TuneEvaluator evaluator(space, view, options);
+    const auto driver = makeDriver("grid", space, 0, 1);
+    for (;;) {
+        const std::vector<Point> batch = driver->nextBatch();
+        if (batch.empty())
+            break;
+        driver->report(evaluator.evaluate(batch));
+    }
+    EXPECT_EQ(evaluator.trialsRun(), 4u);
+    EXPECT_EQ(evaluator.snapshotsBuilt(), 2u)
+        << "one warm prefix per cache-gb class";
+}
+
+// ---- stable-id substreams (the --jobs determinism property) -------------
+
+TEST(StableSubstreams, SweepResultsAreInvariantToJobs)
+{
+    const std::string spec = "ttl-sec=60|300|900,cache-gb=24|32";
+    const auto serial = sweepFingerprint(spec, "ttl", true, 1, 2);
+    const auto parallel = sweepFingerprint(spec, "ttl", true, 4, 2);
+    ASSERT_EQ(serial.size(), 6u);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(StableSubstreams, SubmissionOrderDoesNotChangeAnyTrial)
+{
+    // Evaluate the same points in two different submission orders (and
+    // batch shapes): every per-id result must match, because the RNG
+    // substream is keyed by the stable point id alone.
+    const ParameterSpace space =
+        ParameterSpace::parse("ttl-sec=60|300|900");
+    const trace::TraceView view(sweepTrace());
+
+    TuneOptions options;
+    options.base_policy = "ttl";
+    options.base_config = sweepConfig();
+    options.fork_time = view.duration() / 2;
+
+    TuneEvaluator forward(space, view, options);
+    forward.evaluate({{0}, {1}, {2}});
+
+    TuneEvaluator reversed(space, view, options);
+    reversed.evaluate({{2}});
+    reversed.evaluate({{1}, {0}});
+
+    EXPECT_EQ(metricsById(forward), metricsById(reversed));
+}
+
+TEST(EvaluatorCache, RepeatedPointsDoNotRerun)
+{
+    const ParameterSpace space = ParameterSpace::parse("ttl-sec=60|300");
+    const trace::TraceView view(sweepTrace());
+
+    TuneOptions options;
+    options.base_policy = "ttl";
+    options.base_config = sweepConfig();
+    options.fork_time = view.duration() / 2;
+
+    TuneEvaluator evaluator(space, view, options);
+    const auto first = evaluator.evaluate({{0}, {1}, {0}});
+    const auto again = evaluator.evaluate({{1}, {0}});
+    EXPECT_EQ(evaluator.trialsRun(), 2u);
+    ASSERT_EQ(first.size(), 3u);
+    EXPECT_EQ(first[0].objectives, first[2].objectives);
+    EXPECT_EQ(again[1].objectives, first[0].objectives);
+    EXPECT_EQ(again[0].id, first[1].id);
+}
+
+} // namespace
+} // namespace cidre::tune

@@ -10,8 +10,10 @@ Usage:
                               [--min-trace-load-speedup 10.0]
                               [--max-rss-regression 0.15]
                               [--out-of-core-baseline BENCH_out_of_core.json]
+                              [--min-tune-speedup 3.0]
+                              [--tune-baseline BENCH_tune.json]
 
-Five gates:
+Six gates:
 
 1. **Throughput** — compares the policy's events_per_sec at the given
    trace scale in a fresh smoke run (bench_core_throughput --smoke
@@ -68,9 +70,20 @@ Five gates:
    window balloons the RSS ratio and fails when the baseline is
    regenerated.
 
+6. **Tune throughput** (--min-tune-speedup) — checks the tune bench
+   JSON (committed BENCH_tune.json or a fresh --smoke run, override
+   with --tune-baseline): the warm-start fast path's trials/sec must
+   beat cold full replay by at least the given factor, *and* the run
+   must report the warm-forked metrics bit-identical to cold replay —
+   a fast path that changes results is a bug, not a speedup.  The
+   ratio is recomputed from the recorded per-path trials/sec, never
+   trusted from the file's own `speedup` field.  Internal consistency
+   of same-run numbers (both paths come from the same process on the
+   same machine), so it needs no noise allowance.
+
 SMOKE_JSON may be omitted when only baseline-internal gates are
-requested (gates 2 and 5); gates that need a fresh smoke run are then
-skipped with a note.
+requested (gates 2, 5 and 6); gates that need a fresh smoke run are
+then skipped with a note.
 """
 
 import argparse
@@ -235,6 +248,39 @@ def check_out_of_core(ooc, max_rss_regression, max_wall_linearity):
     return ok
 
 
+def check_tune(tune, min_speedup):
+    section = tune.get("tune_throughput")
+    if not section:
+        print("tune: no tune_throughput section in the tune baseline — "
+              "skipped")
+        return True
+    ok = True
+
+    cold = float(section.get("trials_per_sec_cold", 0.0))
+    warm = float(section.get("trials_per_sec_warm", 0.0))
+    trials = int(section.get("trials", 0))
+    if cold <= 0.0 or trials < 2:
+        print("tune: baseline recorded no usable cold run — skipped")
+        return True
+    speedup = warm / cold
+    print(f"tune: {trials} trials, cold {cold:.2f} -> warm {warm:.2f} "
+          f"trials/s — speedup {speedup:.2f}x "
+          f"(floor {min_speedup:.2f}x)")
+    if speedup < min_speedup:
+        print("FAIL: warm-start forking no longer beats cold replay by "
+              "the required factor")
+        ok = False
+
+    identical = section.get("identical", False)
+    print(f"tune: warm-forked metrics bit-identical to cold replay: "
+          f"{'yes' if identical else 'NO'}")
+    if not identical:
+        print("FAIL: the warm fast path diverges from cold replay — "
+              "speed at the cost of correctness")
+        ok = False
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("smoke_json", nargs="?", default=None,
@@ -276,6 +322,14 @@ def main():
                         metavar="X",
                         help="out-of-core gate: largest/smallest wall time "
                              "per request ceiling (default 2.0)")
+    parser.add_argument("--min-tune-speedup", type=float, default=None,
+                        metavar="X",
+                        help="gate the tune baseline's tune_throughput "
+                             "section: warm trials/sec must beat cold by "
+                             "at least this factor and the run must report "
+                             "bit-identical metrics (off unless given)")
+    parser.add_argument("--tune-baseline", default="BENCH_tune.json",
+                        help="tune bench JSON for --min-tune-speedup")
     args = parser.parse_args()
 
     smoke = None
@@ -310,6 +364,10 @@ def main():
             ooc = json.load(f)
         ok = check_out_of_core(ooc, args.max_rss_regression,
                                args.max_wall_linearity) and ok
+    if args.min_tune_speedup is not None:
+        with open(args.tune_baseline) as f:
+            tune = json.load(f)
+        ok = check_tune(tune, args.min_tune_speedup) and ok
     return 0 if ok else 1
 
 
