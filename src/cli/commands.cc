@@ -1,11 +1,13 @@
 #include "cli/commands.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include <fstream>
@@ -20,6 +22,9 @@
 #include "core/sharded_engine.h"
 #include "exp/runner.h"
 #include "exp/telemetry.h"
+#include "live/ingest_ring.h"
+#include "live/orchestrator.h"
+#include "live/producer.h"
 #include "sim/serialize.h"
 #include "sim/thread_pool.h"
 #include "sim/topology.h"
@@ -936,6 +941,184 @@ runSimulate(const Options &options, std::ostream &out, std::ostream &err)
 }
 
 const std::vector<OptionSpec> &
+liveSpecs()
+{
+    static const std::vector<OptionSpec> specs = [] {
+        std::vector<OptionSpec> s = {
+            {"policy", "name", "orchestration policy", "cidre"},
+            {"rate", "f", "wall-clock replay speed as a multiple of"
+                          " recorded time (results-neutral: pacing only"
+                          " shapes delivery; 0 = as fast as the ring"
+                          " accepts)", "0"},
+            {"duration-sec", "n", "stream only arrivals in the first n"
+                                  " simulated seconds (0 = whole trace)",
+             "0"},
+            {"ring-capacity", "n", "ingest ring slots (rounded up to a"
+                                   " power of two)", "65536"},
+            {"batch", "n", "max requests admitted per ring drain", "256"},
+            {"pin-cpu", "n", "pin the admission thread to this CPU"
+                             " (-1 = unpinned)", "-1"},
+            {"open-loop", "", "synthetic open-loop producers instead of"
+                              " trace replay (functions drawn from the"
+                              " loaded workload; ignores --rate/"
+                              "--duration-sec)", ""},
+            {"producers", "n", "open-loop producer threads", "1"},
+            {"open-loop-requests", "n", "total open-loop requests",
+             "1000000"},
+            {"open-loop-iat-us", "n", "virtual microseconds between"
+                                      " consecutive open-loop arrivals",
+             "1"},
+            {"open-loop-exec-ms", "n", "execution time of every open-loop"
+                                       " request", "100"},
+            {"json", "file", "also dump metrics as JSON", ""},
+            {"max-rss-mb", "n", "exit 1 if host peak RSS exceeds n MB"
+                                " (0 = off)", "0"},
+        };
+        appendWorkloadSpecs(s);
+        appendEngineSpecs(s);
+        return s;
+    }();
+    return specs;
+}
+
+int
+runLive(const Options &options, std::ostream &out, std::ostream &err)
+{
+    const std::string policy = options.getString("policy", "cidre");
+    core::EngineConfig config = engineConfig(options);
+
+    const double rate = options.getDouble("rate", 0.0);
+    const std::int64_t duration_sec = options.getInt("duration-sec", 0);
+    if (duration_sec < 0)
+        throw std::invalid_argument("live: --duration-sec must be >= 0");
+    const std::int64_t ring_capacity =
+        options.getInt("ring-capacity", 65536);
+    if (ring_capacity < 2)
+        throw std::invalid_argument("live: --ring-capacity must be >= 2");
+    const std::int64_t batch = options.getInt("batch", 256);
+    if (batch < 1)
+        throw std::invalid_argument("live: --batch must be >= 1");
+    live::OrchestratorOptions orch;
+    orch.batch = static_cast<std::size_t>(batch);
+    orch.pin_cpu = static_cast<int>(options.getInt("pin-cpu", -1));
+
+    const Workload workload = loadWorkload(options);
+    const trace::TraceView view = workload.view();
+    resolveAutoCells(options, view, config, 1, err);
+
+    live::IngestRing ring(static_cast<std::size_t>(ring_capacity));
+    live::ProducerStats producer_stats;
+    std::atomic<bool> done{false};
+
+    // Ingest source: replay the loaded trace's arrival sequence
+    // (optionally wall-clock paced) or run the synthetic open-loop
+    // generator over the loaded function table.
+    const bool open_loop = options.getFlag("open-loop");
+    live::PacerOptions pacer_options;
+    pacer_options.rate = rate;
+    if (duration_sec > 0)
+        pacer_options.until_us = sim::sec(duration_sec);
+    live::SyntheticOptions synth_options;
+    if (open_loop) {
+        const std::int64_t producers = options.getInt("producers", 1);
+        if (producers < 1)
+            throw std::invalid_argument("live: --producers must be >= 1");
+        const std::int64_t total =
+            options.getInt("open-loop-requests", 1'000'000);
+        if (total < 1) {
+            throw std::invalid_argument(
+                "live: --open-loop-requests must be >= 1");
+        }
+        const std::int64_t iat = options.getInt("open-loop-iat-us", 1);
+        if (iat < 1) {
+            throw std::invalid_argument(
+                "live: --open-loop-iat-us must be >= 1");
+        }
+        const std::int64_t exec_ms =
+            options.getInt("open-loop-exec-ms", 100);
+        if (exec_ms < 0) {
+            throw std::invalid_argument(
+                "live: --open-loop-exec-ms must be >= 0");
+        }
+        synth_options.producers = static_cast<unsigned>(producers);
+        synth_options.requests_per_producer = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(total) /
+                   static_cast<std::uint64_t>(producers));
+        synth_options.inter_arrival_us = iat;
+        synth_options.exec_us = sim::msec(exec_ms);
+        synth_options.function_count =
+            static_cast<std::uint32_t>(view.functionCount());
+        synth_options.seed = baseSeed(options);
+    }
+
+    // The consumer (this thread) drains until the producers have joined;
+    // a closer thread flips the done flag after the final push so the
+    // orchestrator's empty-ring re-drain check is race-free.
+    live::LiveStats live_stats;
+    const auto consume = [&](auto &engine) {
+        engine.beginLive();
+        if (open_loop) {
+            live::SyntheticProducers producers(ring, producer_stats,
+                                               synth_options);
+            producers.start();
+            std::thread closer([&] {
+                producers.join();
+                done.store(true, std::memory_order_release);
+            });
+            live_stats = live::runLive(engine, ring, done, orch);
+            closer.join();
+        } else {
+            live::TracePacer pacer(view, ring, producer_stats,
+                                   pacer_options);
+            pacer.start();
+            std::thread closer([&] {
+                pacer.join();
+                done.store(true, std::memory_order_release);
+            });
+            live_stats = live::runLive(engine, ring, done, orch);
+            closer.join();
+        }
+    };
+
+    core::RunMetrics metrics;
+    if (config.shard_cells > 1) {
+        if (workload.image)
+            workload.image->adviseShardedGather();
+        core::ShardedEngine engine(
+            view, config,
+            [&policy](const core::EngineConfig &cell_config) {
+                return policies::makePolicy(policy, cell_config);
+            });
+        consume(engine);
+        metrics = engine.finish(nullptr);
+    } else {
+        core::Engine engine(view, config,
+                            policies::makePolicy(policy, config));
+        consume(engine);
+        metrics = engine.finish();
+    }
+
+    const stats::LatencyHistogram &h = live_stats.decision_ns;
+    out << "live: admitted " << live_stats.admitted << " requests in "
+        << stats::formatFixed(live_stats.wall_seconds, 3) << " s ("
+        << stats::formatFixed(live_stats.admitRate() / 1e6, 3)
+        << " M req/s sustained)\n"
+        << "decision latency ns: p50 " << h.percentile(0.5) << "  p99 "
+        << h.percentile(0.99) << "  p999 " << h.percentile(0.999)
+        << "  max " << h.maxValue() << "  mean "
+        << stats::formatFixed(h.mean(), 0) << "\n"
+        << "ingest: produced "
+        << producer_stats.produced.load(std::memory_order_relaxed)
+        << ", backpressure retries "
+        << producer_stats.backpressure.load(std::memory_order_relaxed)
+        << ", reordered arrivals " << live_stats.reordered << "\n";
+    reportRun(out, policy, metrics);
+    if (options.has("json"))
+        core::writeMetricsJsonFile(metrics, options.getString("json"));
+    return checkMaxRss(options, err);
+}
+
+const std::vector<OptionSpec> &
 compareSpecs()
 {
     static const std::vector<OptionSpec> specs = [] {
@@ -1093,6 +1276,9 @@ tuneSpecs()
             {"cold", "", "disable the shared warm-snapshot fast path:"
                          " every trial replays its prefix (bit-identical"
                          " results, slower)", ""},
+            {"objectives", "a,b,...", "minimized objectives, comma list:"
+                                      " p99-ms, gbs, cold-starts",
+             "p99-ms,gbs"},
             {"json", "file", "also write the tune JSON to this file", ""},
         };
         appendWorkloadSpecs(s);
@@ -1164,6 +1350,10 @@ runTune(const Options &options, std::ostream &out, std::ostream &err)
     tune_options.warm = !options.getFlag("cold");
     tune_options.runner = runner_options;
     tune_options.heartbeat = &heartbeat;
+    tune_options.objectives =
+        tune::parseObjectives(options.getString("objectives", ""));
+    const std::vector<tune::ObjectiveDef> &objectives =
+        tune_options.objectives;
 
     tune::TuneEvaluator evaluator(space, workload.view(), tune_options);
     const std::unique_ptr<tune::SearchDriver> driver =
@@ -1191,26 +1381,32 @@ runTune(const Options &options, std::ostream &out, std::ostream &err)
     if (evaluator.outcomes().empty())
         throw std::runtime_error("tune: the search evaluated no trials");
 
-    // Stable presentation order: latency, then memory, then point id.
+    // Stable presentation order: objectives lexicographically (first
+    // objective first), then point id.
     std::sort(front.begin(), front.end(),
               [&evaluator](std::size_t a, std::size_t b) {
                   const tune::TrialOutcome &oa = evaluator.outcomes()[a];
                   const tune::TrialOutcome &ob = evaluator.outcomes()[b];
-                  if (oa.objectives[0] != ob.objectives[0])
-                      return oa.objectives[0] < ob.objectives[0];
-                  if (oa.objectives[1] != ob.objectives[1])
-                      return oa.objectives[1] < ob.objectives[1];
+                  for (std::size_t j = 0; j < oa.objectives.size(); ++j)
+                      if (oa.objectives[j] != ob.objectives[j])
+                          return oa.objectives[j] < ob.objectives[j];
                   return oa.id < ob.id;
               });
 
     err << "pareto front: " << front.size() << " of "
         << evaluator.outcomes().size() << " evaluated points ("
         << evaluator.snapshotsBuilt() << " warm snapshots)\n";
-    stats::Table table({"params", "E2E p99 ms", "GB*s"});
+    std::vector<std::string> headers = {"params"};
+    for (const tune::ObjectiveDef &objective : objectives)
+        headers.emplace_back(objective.column);
+    stats::Table table(headers);
     for (const std::size_t i : front) {
         const tune::TrialOutcome &o = evaluator.outcomes()[i];
-        table.addRow({o.label, stats::formatFixed(o.objectives[0], 2),
-                      stats::formatFixed(o.objectives[1], 2)});
+        std::vector<std::string> row = {o.label};
+        for (std::size_t j = 0; j < objectives.size(); ++j)
+            row.push_back(stats::formatFixed(o.objectives[j],
+                                             objectives[j].decimals));
+        table.addRow(row);
     }
     table.print(err);
 
@@ -1241,10 +1437,11 @@ runTune(const Options &options, std::ostream &out, std::ostream &err)
         for (std::size_t n = 0; n < front.size(); ++n) {
             const tune::TrialOutcome &o = evaluator.outcomes()[front[n]];
             js << "      {\"id\": \"" << std::hex << o.id << std::dec
-               << "\", \"params\": \"" << escape(o.label)
-               << "\", \"p99_ms\": " << o.objectives[0]
-               << ", \"gb_s\": " << o.objectives[1] << "}"
-               << (n + 1 < front.size() ? "," : "") << "\n";
+               << "\", \"params\": \"" << escape(o.label) << "\"";
+            for (std::size_t j = 0; j < objectives.size(); ++j)
+                js << ", \"" << objectives[j].json_key
+                   << "\": " << o.objectives[j];
+            js << "}" << (n + 1 < front.size() ? "," : "") << "\n";
         }
         js << "    ]\n  }\n}\n";
     };
@@ -1265,7 +1462,7 @@ dispatch(int argc, const char *const *argv, std::ostream &out,
 {
     const auto usage = [&]() {
         err << "usage: cidre_sim"
-               " <generate|run|compare|analyze|tune|convert|synth>"
+               " <generate|run|live|compare|analyze|tune|convert|synth>"
                " [options]\n"
                "run `cidre_sim <command> --help` for command options\n";
         return 2;
@@ -1286,6 +1483,8 @@ dispatch(int argc, const char *const *argv, std::ostream &out,
          &runGenerate},
         {"run", "--policy cidre [options]", &simulateSpecs,
          &runSimulate},
+        {"live", "--trace x.ctrb [--rate f] [--duration-sec n]"
+                 " [options]", &liveSpecs, &runLive},
         {"compare", "--policies a,b,c [options]", &compareSpecs,
          &runCompare},
         {"analyze", "[options]", &analyzeSpecs, &runAnalyze},

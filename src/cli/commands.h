@@ -5,6 +5,10 @@
  *
  *   generate — synthesize a workload trace (CSV or .ctrb image);
  *   run      — simulate one policy over a trace and report metrics;
+ *   live     — stream-driven orchestration: producer threads feed a
+ *              lock-free ingest ring, the admission loop makes one
+ *              synchronous decision per request and reports per-decision
+ *              wall latency; a replayed trace is bit-identical to `run`;
  *   compare  — race several policies over the same trace;
  *   analyze  — workload characterization (the §2 analyses);
  *   tune     — policy/cluster parameter search over a knob space with
@@ -36,6 +40,8 @@ int runGenerate(const Options &options, std::ostream &out,
                 std::ostream &err);
 int runSimulate(const Options &options, std::ostream &out,
                 std::ostream &err);
+int runLive(const Options &options, std::ostream &out,
+            std::ostream &err);
 int runCompare(const Options &options, std::ostream &out,
                std::ostream &err);
 int runAnalyze(const Options &options, std::ostream &out,
@@ -50,6 +56,7 @@ int runSynth(const Options &options, std::ostream &out,
 /** Options accepted by each subcommand (for usage text and parsing). */
 const std::vector<OptionSpec> &generateSpecs();
 const std::vector<OptionSpec> &simulateSpecs();
+const std::vector<OptionSpec> &liveSpecs();
 const std::vector<OptionSpec> &compareSpecs();
 const std::vector<OptionSpec> &analyzeSpecs();
 const std::vector<OptionSpec> &tuneSpecs();

@@ -173,6 +173,64 @@ Engine::begin()
     scheduleTickIfNeeded();
 }
 
+void
+Engine::beginLive()
+{
+    if (ran_)
+        throw std::logic_error("Engine::run: single-shot engine reused");
+    if (config_.record_per_request)
+        throw std::logic_error(
+            "Engine: live mode does not support per-request recording "
+            "(outcome storage is sized by the trace, not the stream)");
+    live_ = true;
+    ran_ = true;
+
+    // Mirrors begin() exactly: the first admission's queue position is
+    // claimed here, where trace mode schedules arrival 0, and the
+    // maintenance tick chain starts right after it.
+    scheduleNextArrival();
+    scheduleTickIfNeeded();
+}
+
+std::uint64_t
+Engine::admit(sim::SimTime when, trace::FunctionId function,
+              sim::SimTime exec_us)
+{
+    if (!live_)
+        throw std::logic_error("Engine::admit: beginLive() first");
+    if (stream_closed_)
+        throw std::logic_error("Engine::admit: stream already closed");
+    if (function >= states_.size())
+        throw std::out_of_range("Engine::admit: unknown function id");
+    if (exec_us < 0)
+        throw std::invalid_argument("Engine::admit: negative exec time");
+    if (when < queue_.now())
+        throw std::logic_error(
+            "Engine::admit: admission behind the virtual clock (the "
+            "driver must not step past an arrival before admitting it)");
+
+    const std::uint64_t index = live_requests_.size();
+    live_requests_.push_back(LiveRequest{function, when, exec_us});
+    const auto id = queue_.scheduleReserved(
+        when, live_next_seq_, sim::EventTag{kEvArrival, 0, index},
+        [this, index](sim::SimTime) { handleArrival(index); });
+    // Run every event ordered before the admission, then the admission
+    // itself (handleArrival re-reserves live_next_seq_ for the next
+    // one).  Events *after* the arrival — even at the same timestamp —
+    // stay pending, so the interleaving matches trace mode no matter
+    // where the stream pauses.
+    queue_.runTo(id);
+    return index;
+}
+
+void
+Engine::closeStream()
+{
+    if (!live_)
+        throw std::logic_error("Engine::closeStream: beginLive() first");
+    stream_closed_ = true;
+}
+
 std::size_t
 Engine::stepUntil(sim::SimTime until)
 {
@@ -186,12 +244,16 @@ Engine::finish()
 {
     if (!ran_)
         throw std::logic_error("Engine::finish: begin() not called");
+    if (live_ && !stream_closed_)
+        throw std::logic_error("Engine::finish: closeStream() first");
     queue_.runAll();
 
-    if (completed_requests_ != trace_.requestCount()) {
+    const std::uint64_t expected =
+        live_ ? live_requests_.size() : trace_.requestCount();
+    if (completed_requests_ != expected) {
         throw std::logic_error(
             "Engine: only " + std::to_string(completed_requests_) + " of " +
-            std::to_string(trace_.requestCount()) +
+            std::to_string(expected) +
             " requests completed — orchestration deadlock");
     }
     // Finalize at the last *executed* event, not at now(): a stepped
@@ -205,6 +267,14 @@ Engine::finish()
 void
 Engine::scheduleNextArrival()
 {
+    if (live_) {
+        // The next admission's payload is unknown, but its place in the
+        // FIFO order among equal-time events is decided *here* — the
+        // exact point where trace mode allocates the next arrival's
+        // sequence number.  admit() spends the reservation.
+        live_next_seq_ = queue_.reserveSeq();
+        return;
+    }
     if (arrival_cursor_ >= trace_.requestCount())
         return;
     const std::uint64_t index = arrival_cursor_++;
@@ -229,14 +299,28 @@ Engine::hasPendingWork() const
 {
     // Ticks must keep running until the very last request completed —
     // TTL expiry and pre-warm agents stay active through idle gaps in
-    // the arrival stream.
+    // the arrival stream.  A live run cannot know its request count
+    // until the stream closes, so the tick chain stays armed while it
+    // remains open.
+    if (live_)
+        return !stream_closed_ ||
+            completed_requests_ < live_requests_.size();
     return completed_requests_ < trace_.requestCount();
+}
+
+trace::Request
+Engine::requestAt(std::uint64_t index) const
+{
+    if (!live_)
+        return trace_.request(index);
+    const LiveRequest &r = live_requests_[index];
+    return trace::Request{index, r.function, r.arrival_us, r.exec_us};
 }
 
 void
 Engine::handleArrival(std::uint64_t request_index)
 {
-    const trace::Request req = trace_.request(request_index);
+    const trace::Request req = requestAt(request_index);
     FunctionState &fs = states_[req.function];
     fs.noteArrival(now());
     ++outstanding_requests_;
@@ -320,7 +404,7 @@ void
 Engine::dispatch(cluster::Container &c, std::uint64_t request_index,
                  StartType type)
 {
-    const trace::Request req = trace_.request(request_index);
+    const trace::Request req = requestAt(request_index);
     assert(c.live());
     assert(c.function == req.function);
     assert(c.active < c.threads);
@@ -455,7 +539,7 @@ Engine::handleExecutionComplete(cluster::ContainerId id,
     cluster::Container &c = cluster_.container(id);
     assert(c.busy());
     FunctionState &fs = states_[c.function];
-    const trace::Request req = trace_.request(request_index);
+    const trace::Request req = requestAt(request_index);
 
     --c.active;
     if (c.active == 0) {
@@ -497,7 +581,7 @@ Engine::evaluateChannelHead(FunctionState &fs)
         return;
     fs.last_head_evaluated = head;
 
-    const trace::Request req = trace_.request(head);
+    const trace::Request req = requestAt(head);
     const ScalingChoice choice =
         policy_.scaling->onNoFreeContainer(*this, req);
     const bool wants_provision =
@@ -936,6 +1020,9 @@ Engine::eventFromTag(const sim::EventTag &tag)
 void
 Engine::saveState(sim::StateWriter &writer) const
 {
+    if (live_)
+        throw std::logic_error(
+            "Engine: live (stream-driven) runs cannot be checkpointed");
     writer.put<std::uint8_t>(ran_ ? 1 : 0);
     writer.put<std::uint8_t>(tick_scheduled_ ? 1 : 0);
     writer.put<std::uint8_t>(in_retry_ ? 1 : 0);

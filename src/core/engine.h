@@ -86,6 +86,50 @@ class Engine
      */
     bool drained() const { return ran_ && queue_.empty(); }
 
+    // ---- live (stream-driven) execution ---------------------------------
+
+    /**
+     * Arm the engine for stream-driven execution: requests are not read
+     * from the trace's request columns but admitted one at a time via
+     * admit(), in arrival order.  The workload view still provides the
+     * function table and profiles.  Single-shot, mutually exclusive
+     * with begin()/run(); per-request recording and checkpointing are
+     * not supported in live mode.
+     *
+     * Determinism bridge: a live run admitted a trace's exact arrival
+     * sequence executes the exact event interleaving of begin()/
+     * finish() on that trace — the admission's place among equal-time
+     * events is *reserved* at the same program point where trace mode
+     * schedules the next arrival (see sim::EventQueue::reserveSeq), so
+     * metrics and RNG draws are bit-identical.
+     */
+    void beginLive();
+
+    /**
+     * Admit one request into the live simulation: the orchestration
+     * decision (placement, scaling, queueing) runs synchronously before
+     * this returns, as do any pending simulated events (completions,
+     * maintenance ticks) ordered before the admission.  @p when must be
+     * nondecreasing across admissions and not behind the virtual clock.
+     * @return the admitted request's index.
+     */
+    std::uint64_t admit(sim::SimTime when, trace::FunctionId function,
+                        sim::SimTime exec_us);
+
+    /**
+     * Declare the stream finished: no further admit() calls.  Pending
+     * simulated work (in-flight executions, queued requests) then
+     * drains through stepUntil()/finish() exactly like a trace run
+     * whose arrivals ran out.
+     */
+    void closeStream();
+
+    /** True when the engine was armed with beginLive(). */
+    bool liveMode() const { return live_; }
+
+    /** Requests admitted so far (live mode). */
+    std::uint64_t admittedCount() const { return live_requests_.size(); }
+
     // ---- read access for policies --------------------------------------
 
     sim::SimTime now() const { return queue_.now(); }
@@ -230,8 +274,23 @@ class Engine
         std::int64_t bound_request; //!< trace request index or -1
     };
 
+    /** One admitted request of a live run (see beginLive()). */
+    struct LiveRequest
+    {
+        trace::FunctionId function;
+        sim::SimTime arrival_us;
+        sim::SimTime exec_us;
+    };
+
     /** Rebuild the callback of a checkpointed pending event. */
     sim::EventCallback eventFromTag(const sim::EventTag &tag);
+
+    /**
+     * The request at @p index: a trace request column read in trace
+     * mode, an admitted record in live mode.  The single seam through
+     * which every handler resolves request payloads.
+     */
+    trace::Request requestAt(std::uint64_t index) const;
 
     // Event handlers.
     void handleArrival(std::uint64_t request_index);
@@ -331,6 +390,11 @@ class Engine
     std::vector<cluster::ContainerId> expired_scratch_;
     ReclaimPlan plan_scratch_;
 
+    /** Admitted requests of a live run (indexed like trace requests). */
+    std::vector<LiveRequest> live_requests_;
+    /** Reserved queue position of the next admission (live mode). */
+    std::uint64_t live_next_seq_ = 0;
+
     std::uint64_t arrival_cursor_ = 0;
     std::uint64_t round_robin_cursor_ = 0;
     /** Live compressed containers (gates the restore-path scan). */
@@ -340,6 +404,10 @@ class Engine
     bool in_retry_ = false;
     bool tick_scheduled_ = false;
     bool ran_ = false;
+    /** Stream-driven run (beginLive()). */
+    bool live_ = false;
+    /** closeStream() was called: the live arrival stream has ended. */
+    bool stream_closed_ = false;
     /** Scaling policy opted into the per-function busy-end view. */
     bool track_busy_ends_ = false;
 };

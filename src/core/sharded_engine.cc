@@ -375,6 +375,37 @@ ShardedEngine::begin()
 }
 
 void
+ShardedEngine::beginLive()
+{
+    if (ran_)
+        throw std::logic_error("ShardedEngine: beginLive() is single-shot");
+    ran_ = true;
+    for (std::size_t k = 0; k < cells_.size(); ++k) {
+        buildCell(k);
+        cells_[k].engine->beginLive();
+    }
+}
+
+std::uint64_t
+ShardedEngine::admit(sim::SimTime when, trace::FunctionId function,
+                     sim::SimTime exec_us)
+{
+    if (function >= plan_.cell_of_function.size())
+        throw std::out_of_range("ShardedEngine::admit: unknown function");
+    const auto k = plan_.cell_of_function[function];
+    const trace::FunctionId local =
+        cells_.size() == 1 ? function : local_id_[function];
+    return cells_[k].engine->admit(when, local, exec_us);
+}
+
+void
+ShardedEngine::closeStream()
+{
+    for (auto &cell : cells_)
+        cell.engine->closeStream();
+}
+
+void
 ShardedEngine::saveState(sim::StateWriter &writer) const
 {
     if (!ran_)
@@ -420,15 +451,19 @@ ShardedEngine::stepUntil(sim::SimTime until, sim::ThreadPool *pool)
 {
     if (!ran_)
         throw std::logic_error("ShardedEngine: begin() first");
+    if (pool == nullptr) {
+        // Serial path, allocation-free: the live orchestrator steps
+        // between every admission, so this runs per request.
+        std::size_t total = 0;
+        for (auto &cell : cells_)
+            total += cell.engine->stepUntil(until);
+        return total;
+    }
     std::vector<PaddedCount> executed(cells_.size());
     auto body = [this, until, &executed](std::size_t k) {
         executed[k].value = cells_[k].engine->stepUntil(until);
     };
-    if (pool != nullptr)
-        pool->parallelFor(cells_.size(), body);
-    else
-        for (std::size_t k = 0; k < cells_.size(); ++k)
-            body(k);
+    pool->parallelFor(cells_.size(), body);
     std::size_t total = 0;
     for (const auto &count : executed)
         total += count.value;

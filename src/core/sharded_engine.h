@@ -230,6 +230,31 @@ class ShardedEngine
      */
     RunMetrics finish(sim::ThreadPool *pool = nullptr);
 
+    // ---- live (stream-driven) execution -------------------------------
+
+    /**
+     * Arm every cell for stream-driven admission (Engine::beginLive):
+     * requests enter via admit(), routed to their owning cell.  The
+     * partition (and each cell's RNG substream) is the same pure
+     * function of (trace, config) as a trace-driven run, so a live run
+     * fed the trace's exact arrival sequence merges bit-identical
+     * metrics.  Cells are built serially on the calling thread.
+     * Single-shot, mutually exclusive with run()/begin().
+     */
+    void beginLive();
+
+    /**
+     * Admit one request into the owning cell (see Engine::admit): the
+     * decision runs synchronously on the calling thread.  Function ids
+     * are *original* trace ids; translation to the cell's local id
+     * happens here.  @return the request's index within its cell.
+     */
+    std::uint64_t admit(sim::SimTime when, trace::FunctionId function,
+                        sim::SimTime exec_us);
+
+    /** Close the stream of every cell (see Engine::closeStream). */
+    void closeStream();
+
     /** True once begin() ran and every cell's queue is drained. */
     bool drained() const;
 

@@ -90,7 +90,10 @@ Heartbeat::tick(std::size_t done, const std::string &status)
     const auto now = std::chrono::steady_clock::now();
     const double since_print =
         std::chrono::duration<double>(now - last_print_).count();
-    if (since_print < interval_sec_)
+    // The final update always prints: a sweep that completes inside one
+    // throttle interval of the last line must still show 100%.
+    const bool final_update = total_ > 0 && done >= total_;
+    if (since_print < interval_sec_ && !final_update)
         return;
     last_print_ = now;
     emit(done, status);

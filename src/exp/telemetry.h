@@ -85,7 +85,9 @@ class Heartbeat
     /**
      * Report progress: @p done completions so far, plus a caller status
      * suffix (e.g. "pareto 7"; empty omits it).  Prints only when the
-     * throttle interval has elapsed since the last printed line.
+     * throttle interval has elapsed since the last printed line — except
+     * the final update (done >= total, with a known total), which always
+     * prints so the 100% line never goes missing.
      */
     void tick(std::size_t done, const std::string &status = "");
 

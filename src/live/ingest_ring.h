@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Bounded lock-free MPSC ring buffer carrying ingest requests from
+ * producer threads (trace pacer, synthetic generators, eventually a
+ * socket) to the single orchestrator thread.
+ *
+ * The design is the classic bounded MPMC queue specialized for one
+ * consumer:
+ *
+ *  - Every slot carries its own sequence word.  A producer claims a
+ *    position with one fetch-on-CAS of the tail, writes the payload,
+ *    and *publishes* it by storing position+1 into the slot's sequence
+ *    with release ordering; the consumer's acquire load of the same
+ *    word is the only synchronization on the fast path.
+ *  - Slots are cache-line padded so two producers claiming adjacent
+ *    positions never false-share, and the tail lives on its own line
+ *    away from the slots.
+ *  - The single consumer owns the head without atomics and drains in
+ *    batches: one acquire load per slot, no CAS, no head publication
+ *    (producers learn of freed slots through the slot sequences).
+ *
+ * A full ring fails tryPush() rather than blocking or dropping
+ * silently — backpressure is the *producer's* to count and handle
+ * (see pushBlocking), mirroring what a production ingest front end
+ * would do.
+ */
+
+#ifndef CIDRE_LIVE_INGEST_RING_H
+#define CIDRE_LIVE_INGEST_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cidre::live {
+
+/** One streamed invocation: the wire-format analog of trace::Request. */
+struct IngestRequest
+{
+    std::uint32_t function = 0;
+    sim::SimTime arrival_us = 0;
+    sim::SimTime exec_us = 0;
+};
+
+/** Bounded lock-free multi-producer single-consumer ring. */
+class IngestRing
+{
+  public:
+    /** @param capacity slots; rounded up to a power of two (min 2). */
+    explicit IngestRing(std::size_t capacity);
+
+    IngestRing(const IngestRing &) = delete;
+    IngestRing &operator=(const IngestRing &) = delete;
+
+    /** Usable slot count (the rounded-up capacity). */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /**
+     * Publish @p req if a slot is free.  Multi-producer safe, lock-free.
+     * @return false when the ring is full (nothing is written).
+     */
+    bool tryPush(const IngestRequest &req);
+
+    /**
+     * tryPush() in a spin/yield loop until space frees.  Every failed
+     * attempt bumps @p backpressure — the count of times the ingest
+     * front end found the orchestrator behind, which the live report
+     * surfaces instead of silently dropping load.
+     */
+    void pushBlocking(const IngestRequest &req,
+                      std::atomic<std::uint64_t> &backpressure);
+
+    /**
+     * Single-consumer batch drain: pop up to @p max published requests
+     * into @p out, in publication order per producer (and in claim
+     * order globally).
+     * @return the number of requests popped.
+     */
+    std::size_t drain(IngestRequest *out, std::size_t max);
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> seq{0};
+        IngestRequest value;
+    };
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    /** Producer claim counter, padded away from the slot array. */
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    /** Consumer position: single-threaded by contract, no atomics. */
+    alignas(64) std::uint64_t head_ = 0;
+};
+
+} // namespace cidre::live
+
+#endif // CIDRE_LIVE_INGEST_RING_H

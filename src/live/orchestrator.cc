@@ -1,0 +1,23 @@
+#include "live/orchestrator.h"
+
+namespace cidre::live {
+
+LiveStats
+runLive(core::Engine &engine, IngestRing &ring,
+        const std::atomic<bool> &producers_done,
+        const OrchestratorOptions &options)
+{
+    SingleCellDriver driver{engine};
+    return consumeStream(driver, ring, producers_done, options);
+}
+
+LiveStats
+runLive(core::ShardedEngine &engine, IngestRing &ring,
+        const std::atomic<bool> &producers_done,
+        const OrchestratorOptions &options)
+{
+    ShardedDriver driver{engine};
+    return consumeStream(driver, ring, producers_done, options);
+}
+
+} // namespace cidre::live

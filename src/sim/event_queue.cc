@@ -94,11 +94,26 @@ EventQueue::beginSchedule(SimTime when)
 EventQueue::EventId
 EventQueue::finishSchedule(SimTime when, std::uint32_t slot)
 {
-    const std::uint64_t key = (next_seq_++ << kSlotBits) | slot;
+    return finishScheduleReserved(when, slot, next_seq_++);
+}
+
+EventQueue::EventId
+EventQueue::finishScheduleReserved(SimTime when, std::uint32_t slot,
+                                   std::uint64_t seq)
+{
+    const std::uint64_t key = (seq << kSlotBits) | slot;
     slots_[slot].armed_key = key;
     heap_.push_back(HeapEntry{when, key});
     siftUp(heap_.size() - 1);
     return key;
+}
+
+std::uint64_t
+EventQueue::reserveSeq()
+{
+    if (next_seq_ >> (64 - kSlotBits) != 0)
+        throw std::length_error("EventQueue: sequence space exhausted");
+    return next_seq_++;
 }
 
 EventQueue::EventId
@@ -195,6 +210,25 @@ EventQueue::runNext()
     ++executed_;
     callback(now_);
     return true;
+}
+
+std::size_t
+EventQueue::runTo(EventId id)
+{
+    const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+    if (id == 0 || slot >= slots_.size() || slots_[slot].armed_key != id)
+        throw std::logic_error("EventQueue: runTo target is not pending");
+    std::size_t count = 0;
+    for (;;) {
+        skipDead();
+        // The target is pending, so the heap cannot drain before we
+        // reach it; its key bounds everything we pop along the way.
+        const bool target = heap_.front().key == id;
+        runNext();
+        ++count;
+        if (target)
+            return count;
+    }
 }
 
 std::size_t

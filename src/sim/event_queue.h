@@ -314,6 +314,56 @@ class EventQueue
         return schedule(now_ + delay, tag, std::forward<F>(fn));
     }
 
+    /**
+     * Reserve the next sequence number without scheduling anything.
+     *
+     * The FIFO tie-break among equal-time events is the allocation
+     * order of sequence numbers, so a caller that *knows* an event is
+     * coming — but not yet its payload — can claim the event's place in
+     * line now and attach the payload later with scheduleReserved().
+     * This is what lets a stream-driven engine admit requests one at a
+     * time yet replay the exact event interleaving of a trace-driven
+     * run: the arrival's slot in the total order is reserved at the
+     * same program point where trace mode would have scheduled it.
+     *
+     * Sequence numbers are never reused; an unused reservation merely
+     * shifts every later sequence number up by one, which cannot change
+     * the relative order of subsequently scheduled events.
+     */
+    std::uint64_t reserveSeq();
+
+    /**
+     * Tagged schedule using a sequence number from reserveSeq().
+     *
+     * Identical to schedule(when, tag, fn) except the event's position
+     * among equal-time events is @p seq's allocation point, not the
+     * present.  Each reservation can be spent at most once (enforced
+     * only by the caller; spending one twice would create duplicate
+     * keys and corrupt cancellation).
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_v<std::decay_t<F> &, SimTime>>>
+    EventId scheduleReserved(SimTime when, std::uint64_t seq, EventTag tag,
+                             F &&fn)
+    {
+        if (tag.kind == 0)
+            throw std::invalid_argument("EventQueue: tag.kind must be != 0");
+        if (seq == 0 || seq >= next_seq_)
+            throw std::logic_error(
+                "EventQueue: sequence number was never reserved");
+        const std::uint32_t slot = beginSchedule(when);
+        try {
+            slots_[slot].callback.emplace(std::forward<F>(fn));
+        } catch (...) {
+            releaseSlot(slot);
+            throw;
+        }
+        slots_[slot].tag = tag;
+        return finishScheduleReserved(when, slot, seq);
+    }
+
     /** Schedule @p cb to run @p delay after the current time. */
     EventId scheduleAfter(SimTime delay, Callback cb);
 
@@ -353,6 +403,16 @@ class EventQueue
      * @return the number of events executed.
      */
     std::size_t runUntil(SimTime deadline);
+
+    /**
+     * Run pending events in order up to *and including* the event with
+     * handle @p id, then stop — even if later events share its
+     * timestamp.  Unlike runUntil(), the clock is never fast-forwarded
+     * past the last executed event.  Throws if @p id is not pending
+     * (already ran, cancelled, or never scheduled).
+     * @return the number of events executed.
+     */
+    std::size_t runTo(EventId id);
 
     /**
      * Run until the queue drains or @p max_events were executed.
@@ -470,6 +530,9 @@ class EventQueue
     std::uint32_t beginSchedule(SimTime when);
     /** Arm the slot's key and push its heap entry; returns the id. */
     EventId finishSchedule(SimTime when, std::uint32_t slot);
+    /** finishSchedule() with a caller-reserved sequence number. */
+    EventId finishScheduleReserved(SimTime when, std::uint32_t slot,
+                                   std::uint64_t seq);
 
     void siftUp(std::size_t index);
     void siftDown(std::size_t index);

@@ -1,0 +1,93 @@
+#include "stats/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace cidre::stats {
+
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<std::size_t>(value);
+    // Exponent of the value's power-of-two range, then the top
+    // kSubBucketBits bits below the leading one pick the sub-bucket.
+    const unsigned exp = std::bit_width(value) - 1; // >= kSubBucketBits
+    const auto sub = static_cast<std::size_t>(
+        (value >> (exp - kSubBucketBits)) & (kSubBuckets - 1));
+    return (exp - kSubBucketBits + 1) * kSubBuckets + sub;
+}
+
+std::uint64_t
+LatencyHistogram::bucketLowerBound(std::size_t index)
+{
+    if (index < kSubBuckets)
+        return index;
+    const unsigned exp = kSubBucketBits +
+        static_cast<unsigned>(index / kSubBuckets) - 1;
+    const std::uint64_t sub = index % kSubBuckets;
+    return (kSubBuckets + sub) << (exp - kSubBucketBits);
+}
+
+std::uint64_t
+LatencyHistogram::bucketUpperBound(std::size_t index)
+{
+    if (index < kSubBuckets)
+        return index;
+    const unsigned exp = kSubBucketBits +
+        static_cast<unsigned>(index / kSubBuckets) - 1;
+    const std::uint64_t width = std::uint64_t{1} << (exp - kSubBucketBits);
+    return bucketLowerBound(index) + width - 1;
+}
+
+void
+LatencyHistogram::record(std::uint64_t value, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    counts_[bucketIndex(value)] += count;
+    total_ += count;
+    sum_ += value * count;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < kBucketCount; ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return total_ == 0
+        ? 0.0
+        : static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+std::uint64_t
+LatencyHistogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(clamped * static_cast<double>(total_))));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        seen += counts_[i];
+        if (seen >= rank)
+            return std::min(bucketUpperBound(i), max_);
+    }
+    return max_;
+}
+
+} // namespace cidre::stats

@@ -19,14 +19,76 @@ namespace {
 /** Trials dispatched per runner call between heartbeat ticks. */
 constexpr std::size_t kDispatchChunk = 32;
 
-std::vector<double>
-objectivesOf(const core::RunMetrics &metrics)
+double
+objectiveP99Ms(const core::RunMetrics &metrics)
 {
-    return {metrics.e2eHistogram().percentile(0.99) / 1e3,
-            metrics.avgMemoryGb() * sim::toSec(metrics.makespan())};
+    return metrics.e2eHistogram().percentile(0.99) / 1e3;
+}
+
+double
+objectiveGbSeconds(const core::RunMetrics &metrics)
+{
+    return metrics.avgMemoryGb() * sim::toSec(metrics.makespan());
+}
+
+double
+objectiveColdStarts(const core::RunMetrics &metrics)
+{
+    return static_cast<double>(metrics.count(core::StartType::Cold));
+}
+
+std::vector<double>
+objectivesOf(const core::RunMetrics &metrics,
+             const std::vector<ObjectiveDef> &objectives)
+{
+    std::vector<double> values;
+    values.reserve(objectives.size());
+    for (const ObjectiveDef &objective : objectives)
+        values.push_back(objective.value(metrics));
+    return values;
 }
 
 } // namespace
+
+const std::vector<ObjectiveDef> &
+objectiveRegistry()
+{
+    static const std::vector<ObjectiveDef> registry = {
+        {"p99-ms", "p99_ms", "E2E p99 ms", 2, &objectiveP99Ms},
+        {"gbs", "gb_s", "GB*s", 2, &objectiveGbSeconds},
+        {"cold-starts", "cold_starts", "cold starts", 0,
+         &objectiveColdStarts},
+    };
+    return registry;
+}
+
+std::vector<ObjectiveDef>
+parseObjectives(const std::string &list)
+{
+    if (list.empty())
+        return {objectiveRegistry()[0], objectiveRegistry()[1]};
+    std::vector<ObjectiveDef> selected;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string name = list.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        const auto found = std::find_if(
+            objectiveRegistry().begin(), objectiveRegistry().end(),
+            [&name](const ObjectiveDef &o) { return name == o.name; });
+        if (found == objectiveRegistry().end()) {
+            throw std::invalid_argument(
+                "tune: unknown objective \"" + name +
+                "\" (try p99-ms, gbs, cold-starts)");
+        }
+        selected.push_back(*found);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return selected;
+}
 
 TuneEvaluator::TuneEvaluator(const ParameterSpace &space,
                              trace::TraceView workload, TuneOptions options)
@@ -39,6 +101,8 @@ TuneEvaluator::TuneEvaluator(const ParameterSpace &space,
         throw std::invalid_argument("TuneEvaluator: unbound workload view");
     if (options_.fork_time < 0)
         throw std::invalid_argument("TuneEvaluator: negative fork time");
+    if (options_.objectives.empty())
+        options_.objectives = parseObjectives("");
 }
 
 const TuneEvaluator::ClassSnapshot &
@@ -165,7 +229,8 @@ TuneEvaluator::evaluate(const std::vector<Point> &batch)
             outcome.id = id;
             outcome.label = chunk[j].label;
             outcome.metrics = results[j].metrics;
-            outcome.objectives = objectivesOf(outcome.metrics);
+            outcome.objectives =
+                objectivesOf(outcome.metrics, options_.objectives);
             ++trials_run_;
         }
         if (options_.heartbeat != nullptr)

@@ -52,6 +52,30 @@ class Heartbeat;
 
 namespace cidre::tune {
 
+/**
+ * One minimized tune objective: how the CLI names it, how the report
+ * and the tune JSON label it, and how it is read off a trial's metrics.
+ */
+struct ObjectiveDef
+{
+    const char *name;     //!< CLI name (`--objectives p99-ms,gbs,...`)
+    const char *json_key; //!< key of the tune JSON pareto entries
+    const char *column;   //!< report table header
+    int decimals;         //!< table formatting precision
+    double (*value)(const core::RunMetrics &metrics);
+};
+
+/** Every selectable objective: p99-ms, gbs, cold-starts. */
+const std::vector<ObjectiveDef> &objectiveRegistry();
+
+/**
+ * Resolve a comma-separated list of objective names against the
+ * registry.  An empty list selects the default pair {p99-ms, gbs} —
+ * the paper's latency/memory trade-off.  Throws std::invalid_argument
+ * on unknown names.
+ */
+std::vector<ObjectiveDef> parseObjectives(const std::string &list);
+
 struct TuneOptions
 {
     /** Policy the warm-up prefix runs under (and the fork default). */
@@ -77,6 +101,9 @@ struct TuneOptions
 
     /** Optional throttled heartbeat, ticked as batches complete. */
     exp::Heartbeat *heartbeat = nullptr;
+
+    /** Minimized objectives; empty selects the default {p99-ms, gbs}. */
+    std::vector<ObjectiveDef> objectives;
 };
 
 /** One evaluated point with its full metrics (outcomes() order). */
@@ -85,7 +112,7 @@ struct TrialOutcome
     Point point;
     std::uint64_t id = 0;
     std::string label;
-    /** Minimized objectives: {e2e p99 ms, avg GB x makespan s}. */
+    /** Minimized objectives, in TuneOptions::objectives order. */
     std::vector<double> objectives;
     core::RunMetrics metrics;
 };

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Heartbeat semantics: the wall-clock throttle suppresses mid-sweep
+ * ticks, but the final update (done == total) always prints — a sweep
+ * finishing inside one throttle interval must still show 100%.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "exp/telemetry.h"
+
+namespace cidre::exp {
+namespace {
+
+std::size_t
+lineCount(const std::ostringstream &out)
+{
+    const std::string text = out.str();
+    return static_cast<std::size_t>(
+        std::count(text.begin(), text.end(), '\n'));
+}
+
+TEST(Heartbeat, ThrottleSuppressesRapidTicks)
+{
+    std::ostringstream out;
+    Heartbeat heartbeat(&out, "test", 10, /*interval_sec=*/3600.0);
+    heartbeat.tick(1);
+    heartbeat.tick(2);
+    heartbeat.tick(3);
+    // The first tick prints (the last-print mark starts in the past);
+    // the rest fall inside the hour-long interval.
+    EXPECT_EQ(lineCount(out), 1u);
+    EXPECT_NE(out.str().find("[test] 1/10 trials"), std::string::npos);
+}
+
+TEST(Heartbeat, FinalUpdateBypassesTheThrottle)
+{
+    std::ostringstream out;
+    Heartbeat heartbeat(&out, "test", 4, /*interval_sec=*/3600.0);
+    heartbeat.tick(1);
+    heartbeat.tick(2);
+    heartbeat.tick(4); // done == total: must print even when throttled
+    EXPECT_EQ(lineCount(out), 2u);
+    EXPECT_NE(out.str().find("[test] 4/4 trials"), std::string::npos);
+}
+
+TEST(Heartbeat, OpenEndedSweepStaysThrottled)
+{
+    // total == 0 means "open-ended": there is no final count to force
+    // out, so the throttle applies to every tick.
+    std::ostringstream out;
+    Heartbeat heartbeat(&out, "test", 0, /*interval_sec=*/3600.0);
+    heartbeat.tick(1);
+    heartbeat.tick(100);
+    EXPECT_EQ(lineCount(out), 1u);
+}
+
+TEST(Heartbeat, FinishAlwaysPrints)
+{
+    std::ostringstream out;
+    Heartbeat heartbeat(&out, "test", 2, /*interval_sec=*/3600.0);
+    heartbeat.tick(1);
+    heartbeat.finish(2, "pareto 7");
+    EXPECT_EQ(lineCount(out), 2u);
+    EXPECT_NE(out.str().find("pareto 7"), std::string::npos);
+}
+
+TEST(Heartbeat, NullStreamDisablesEverything)
+{
+    Heartbeat heartbeat(nullptr, "test", 2, 0.0);
+    heartbeat.tick(1);
+    heartbeat.tick(2);
+    heartbeat.finish(2);
+    // Reaching here without dereferencing the null stream is the test.
+    SUCCEED();
+}
+
+} // namespace
+} // namespace cidre::exp

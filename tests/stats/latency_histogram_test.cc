@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The log-bucketed latency histogram behind the live orchestrator's
+ * decision-latency report: bucket-boundary exactness, merge
+ * associativity, and percentile agreement (within one bucket) against
+ * a sorted-vector reference on random samples.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stats/latency_histogram.h"
+
+namespace cidre::stats {
+namespace {
+
+TEST(LatencyHistogram, EmptyHistogramIsInert)
+{
+    LatencyHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.maxValue(), 0u);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact)
+{
+    // Values below the sub-bucket count get a bucket each: recording
+    // them is lossless, so every percentile is exact.
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 32u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 31u);
+    EXPECT_EQ(h.percentile(0.5), 15u);
+    EXPECT_EQ(h.percentile(1.0), 31u);
+    for (std::uint64_t v = 0; v < 32; ++v) {
+        EXPECT_EQ(LatencyHistogram::bucketLowerBound(
+                      LatencyHistogram::bucketIndex(v)),
+                  v);
+        EXPECT_EQ(LatencyHistogram::bucketUpperBound(
+                      LatencyHistogram::bucketIndex(v)),
+                  v);
+    }
+}
+
+TEST(LatencyHistogram, BucketBoundsBracketEveryValue)
+{
+    // Walk boundary-heavy values: powers of two, their neighbours, and
+    // the sub-bucket edges around them.  Every value must land in a
+    // bucket whose bounds bracket it with <= 1/32 relative width.
+    std::vector<std::uint64_t> values;
+    for (unsigned exp = 0; exp < 63; ++exp) {
+        const std::uint64_t base = std::uint64_t{1} << exp;
+        for (std::int64_t delta : {-1, 0, 1})
+            if (delta >= 0 || base > 0)
+                values.push_back(base + static_cast<std::uint64_t>(delta));
+    }
+    values.push_back(UINT64_MAX);
+    for (const std::uint64_t v : values) {
+        const std::size_t index = LatencyHistogram::bucketIndex(v);
+        ASSERT_LT(index, LatencyHistogram::kBucketCount);
+        const std::uint64_t lo = LatencyHistogram::bucketLowerBound(index);
+        const std::uint64_t hi = LatencyHistogram::bucketUpperBound(index);
+        ASSERT_LE(lo, v) << v;
+        ASSERT_GE(hi, v) << v;
+        // Buckets partition the domain: the bounds map back to the
+        // same bucket, and the width obeys the resolution contract.
+        EXPECT_EQ(LatencyHistogram::bucketIndex(lo), index) << v;
+        EXPECT_EQ(LatencyHistogram::bucketIndex(hi), index) << v;
+        if (v >= 32)
+            EXPECT_LE(hi - lo + 1, std::max<std::uint64_t>(1, lo / 32))
+                << v;
+    }
+}
+
+TEST(LatencyHistogram, BucketsAreContiguous)
+{
+    for (std::size_t i = 0; i + 1 < LatencyHistogram::kBucketCount; ++i) {
+        EXPECT_EQ(LatencyHistogram::bucketUpperBound(i) + 1,
+                  LatencyHistogram::bucketLowerBound(i + 1))
+            << i;
+    }
+}
+
+LatencyHistogram
+randomHistogram(std::uint64_t seed, std::size_t n)
+{
+    sim::Rng rng(seed);
+    LatencyHistogram h;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Log-uniform: exercise every magnitude, not just the mean.
+        const unsigned exp = static_cast<unsigned>(rng.below(40));
+        h.record(rng.below((std::uint64_t{1} << exp) + 1));
+    }
+    return h;
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndOrderFree)
+{
+    const LatencyHistogram a = randomHistogram(1, 5'000);
+    const LatencyHistogram b = randomHistogram(2, 3'000);
+    const LatencyHistogram c = randomHistogram(3, 7'000);
+
+    LatencyHistogram left = a;
+    left.merge(b);
+    left.merge(c);
+    LatencyHistogram right = b;
+    right.merge(c);
+    LatencyHistogram right_into_a = a;
+    right_into_a.merge(right);
+
+    EXPECT_EQ(left.count(), right_into_a.count());
+    EXPECT_EQ(left.minValue(), right_into_a.minValue());
+    EXPECT_EQ(left.maxValue(), right_into_a.maxValue());
+    EXPECT_EQ(left.mean(), right_into_a.mean());
+    for (const double q :
+         {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0})
+        EXPECT_EQ(left.percentile(q), right_into_a.percentile(q)) << q;
+}
+
+TEST(LatencyHistogram, PercentileAgreesWithSortedVectorWithinOneBucket)
+{
+    sim::Rng rng(2026);
+    std::vector<std::uint64_t> samples;
+    LatencyHistogram h;
+    for (std::size_t i = 0; i < 50'000; ++i) {
+        const unsigned exp = static_cast<unsigned>(rng.below(34));
+        const std::uint64_t v = rng.below((std::uint64_t{1} << exp) + 1);
+        samples.push_back(v);
+        h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+
+    for (const double q : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        const auto rank = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   std::ceil(q * static_cast<double>(samples.size()))));
+        const std::uint64_t reference = samples[rank - 1];
+        const std::uint64_t reported = h.percentile(q);
+        // The histogram answers with the upper bound of the bucket the
+        // true rank-statistic falls in (clamped to the observed max):
+        // never below the truth, never more than one bucket above.
+        const std::size_t bucket =
+            LatencyHistogram::bucketIndex(reference);
+        EXPECT_GE(reported, reference) << q;
+        EXPECT_LE(reported, LatencyHistogram::bucketUpperBound(bucket))
+            << q;
+    }
+    EXPECT_EQ(h.percentile(1.0), samples.back());
+}
+
+TEST(LatencyHistogram, WeightedRecordMatchesRepeatedRecord)
+{
+    LatencyHistogram repeated;
+    for (int i = 0; i < 100; ++i)
+        repeated.record(4096);
+    repeated.record(7);
+    LatencyHistogram weighted;
+    weighted.record(4096, 100);
+    weighted.record(7, 1);
+    EXPECT_EQ(repeated.count(), weighted.count());
+    EXPECT_EQ(repeated.mean(), weighted.mean());
+    for (const double q : {0.0, 0.005, 0.01, 0.5, 1.0})
+        EXPECT_EQ(repeated.percentile(q), weighted.percentile(q)) << q;
+}
+
+} // namespace
+} // namespace cidre::stats

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Selectable tune objectives: registry lookup, the default pair, and a
+ * sweep minimizing cold starts — the evaluator must report the chosen
+ * objectives in order and the Pareto front over a single objective must
+ * collapse to its minimum.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+#include "trace/trace_view.h"
+#include "tune/evaluator.h"
+#include "tune/pareto.h"
+#include "tune/search.h"
+#include "tune/space.h"
+
+namespace cidre::tune {
+namespace {
+
+const trace::Trace &
+sweepTrace()
+{
+    static const trace::Trace trace = trace::makeAzureLikeTrace(7, 0.02);
+    return trace;
+}
+
+core::EngineConfig
+sweepConfig()
+{
+    core::EngineConfig config;
+    config.cluster.workers = 3;
+    config.cluster.total_memory_mb = 24 * 1024;
+    return config;
+}
+
+TEST(TuneObjectives, RegistryAndParsing)
+{
+    // Empty selects the default pair: the paper's latency/memory axes.
+    const std::vector<ObjectiveDef> defaults = parseObjectives("");
+    ASSERT_EQ(defaults.size(), 2u);
+    EXPECT_STREQ(defaults[0].name, "p99-ms");
+    EXPECT_STREQ(defaults[1].name, "gbs");
+
+    // Explicit lists resolve in the order given.
+    const std::vector<ObjectiveDef> picked =
+        parseObjectives("cold-starts,p99-ms");
+    ASSERT_EQ(picked.size(), 2u);
+    EXPECT_STREQ(picked[0].name, "cold-starts");
+    EXPECT_STREQ(picked[0].json_key, "cold_starts");
+    EXPECT_STREQ(picked[1].name, "p99-ms");
+
+    EXPECT_THROW(parseObjectives("p99-ms,frobs"), std::invalid_argument);
+    EXPECT_THROW(parseObjectives("p99-ms,"), std::invalid_argument);
+}
+
+TEST(TuneObjectives, ColdStartSweepReportsAndMinimizesColdStarts)
+{
+    const ParameterSpace space =
+        ParameterSpace::parse("ttl-sec=30|120|600");
+    const trace::TraceView view(sweepTrace());
+
+    TuneOptions options;
+    options.base_policy = "ttl";
+    options.base_config = sweepConfig();
+    options.fork_time = view.duration() / 2;
+    options.objectives = parseObjectives("cold-starts");
+
+    TuneEvaluator evaluator(space, view, options);
+    const auto driver = makeDriver("grid", space, 0, 1);
+    for (;;) {
+        const std::vector<Point> batch = driver->nextBatch();
+        if (batch.empty())
+            break;
+        driver->report(evaluator.evaluate(batch));
+    }
+    ASSERT_EQ(evaluator.outcomes().size(), space.pointCount());
+
+    // The reported objective is exactly the trial's cold-start count.
+    std::vector<std::vector<double>> objectives;
+    double best = -1.0;
+    for (const TrialOutcome &outcome : evaluator.outcomes()) {
+        ASSERT_EQ(outcome.objectives.size(), 1u);
+        const double cold = static_cast<double>(
+            outcome.metrics.count(core::StartType::Cold));
+        EXPECT_EQ(outcome.objectives[0], cold);
+        EXPECT_GT(cold, 0.0);
+        objectives.push_back(outcome.objectives);
+        if (best < 0.0 || cold < best)
+            best = cold;
+    }
+
+    // A single-objective Pareto front is the set of minima.
+    const std::vector<std::size_t> front = paretoFront(objectives);
+    ASSERT_FALSE(front.empty());
+    for (const std::size_t i : front)
+        EXPECT_EQ(objectives[i][0], best);
+
+    // The objective must discriminate between TTL settings (keep-alive
+    // length genuinely moves cold starts on this workload).
+    bool varies = false;
+    for (const auto &value : objectives)
+        varies = varies || value[0] != objectives[0][0];
+    EXPECT_TRUE(varies);
+}
+
+TEST(TuneObjectives, ObjectiveOrderFollowsSelection)
+{
+    const ParameterSpace space = ParameterSpace::parse("ttl-sec=60|300");
+    const trace::TraceView view(sweepTrace());
+
+    TuneOptions options;
+    options.base_policy = "ttl";
+    options.base_config = sweepConfig();
+    options.fork_time = view.duration() / 2;
+    options.objectives = parseObjectives("gbs,cold-starts,p99-ms");
+
+    TuneEvaluator evaluator(space, view, options);
+    const auto driver = makeDriver("grid", space, 0, 1);
+    for (;;) {
+        const std::vector<Point> batch = driver->nextBatch();
+        if (batch.empty())
+            break;
+        driver->report(evaluator.evaluate(batch));
+    }
+    for (const TrialOutcome &outcome : evaluator.outcomes()) {
+        ASSERT_EQ(outcome.objectives.size(), 3u);
+        EXPECT_EQ(outcome.objectives[1],
+                  static_cast<double>(
+                      outcome.metrics.count(core::StartType::Cold)));
+        EXPECT_GT(outcome.objectives[0], 0.0); // GB*s
+        EXPECT_GT(outcome.objectives[2], 0.0); // p99 ms
+    }
+}
+
+} // namespace
+} // namespace cidre::tune

@@ -12,8 +12,11 @@ Usage:
                               [--out-of-core-baseline BENCH_out_of_core.json]
                               [--min-tune-speedup 3.0]
                               [--tune-baseline BENCH_tune.json]
+                              [--max-decision-p99-ns 200000]
+                              [--min-admit-rate 1000000]
+                              [--live-baseline BENCH_live.json]
 
-Six gates:
+Seven gates:
 
 1. **Throughput** — compares the policy's events_per_sec at the given
    trace scale in a fresh smoke run (bench_core_throughput --smoke
@@ -81,8 +84,23 @@ Six gates:
    of same-run numbers (both paths come from the same process on the
    same machine), so it needs no noise allowance.
 
+7. **Live orchestrator** (--max-decision-p99-ns / --min-admit-rate) —
+   checks the live bench JSON (committed BENCH_live.json or a fresh
+   --smoke run, override with --live-baseline).  The p99 gate bounds
+   the cidre policy's per-decision wall nanoseconds in the trace-replay
+   section: the paper's premise is that concurrency-informed keep-alive
+   fits on the admission critical path, so a decision path that stops
+   being ~O(1) (a scan creeping into the hot admit) blows through a
+   generous absolute ceiling even on a slow shared runner.  The admit
+   rate gate is a floor on the synthetic open-loop section's sustained
+   admissions/sec through the full stack (producers -> lock-free ring
+   -> drain -> decision): it catches a serialization point (a lock on
+   the ring path, a batch drain gone quadratic) rather than micro
+   drift, which is why both thresholds should be set far from the
+   committed numbers when gating CI smoke runs.
+
 SMOKE_JSON may be omitted when only baseline-internal gates are
-requested (gates 2, 5 and 6); gates that need a fresh smoke run are
+requested (gates 2, 5, 6 and 7); gates that need a fresh smoke run are
 then skipped with a note.
 """
 
@@ -281,6 +299,46 @@ def check_tune(tune, min_speedup):
     return ok
 
 
+def check_live(live_doc, max_p99_ns, min_admit_rate):
+    section = live_doc.get("live")
+    if not section:
+        print("live: no live section in the live baseline — skipped")
+        return True
+    ok = True
+
+    if max_p99_ns is not None:
+        cidre = section.get("policies", {}).get("cidre")
+        if not cidre or int(cidre.get("p99_ns", 0)) <= 0:
+            print("live: baseline recorded no cidre decision latency — "
+                  "p99 gate skipped")
+        else:
+            p99 = int(cidre["p99_ns"])
+            print(f"live: cidre decision p99 {p99:,} ns "
+                  f"(ceiling {int(max_p99_ns):,} ns; "
+                  f"p999 {int(cidre.get('p999_ns', 0)):,}, "
+                  f"max {int(cidre.get('max_ns', 0)):,})")
+            if p99 > max_p99_ns:
+                print("FAIL: the cidre admission decision no longer fits "
+                      "the per-decision latency budget")
+                ok = False
+
+    if min_admit_rate is not None:
+        rate = float(section.get("admit_rate_per_sec", 0.0))
+        admitted = int(section.get("synthetic_requests", 0))
+        if rate <= 0.0 or admitted == 0:
+            print("live: baseline recorded no usable open-loop run — "
+                  "admit rate gate skipped")
+        else:
+            print(f"live: sustained admission {rate:,.0f} req/s over "
+                  f"{admitted:,} synthetic requests "
+                  f"(floor {min_admit_rate:,.0f})")
+            if rate < min_admit_rate:
+                print("FAIL: streaming ingest no longer sustains the "
+                      "required admission rate")
+                ok = False
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("smoke_json", nargs="?", default=None,
@@ -330,6 +388,21 @@ def main():
                              "bit-identical metrics (off unless given)")
     parser.add_argument("--tune-baseline", default="BENCH_tune.json",
                         help="tune bench JSON for --min-tune-speedup")
+    parser.add_argument("--max-decision-p99-ns", type=float, default=None,
+                        metavar="NS",
+                        help="gate the live baseline: the cidre policy's "
+                             "p99 per-decision wall latency in the trace "
+                             "replay section must not exceed this many "
+                             "nanoseconds (off unless given)")
+    parser.add_argument("--min-admit-rate", type=float, default=None,
+                        metavar="R",
+                        help="gate the live baseline: the synthetic "
+                             "open-loop section must sustain at least "
+                             "this many admissions/sec through the full "
+                             "ingest stack (off unless given)")
+    parser.add_argument("--live-baseline", default="BENCH_live.json",
+                        help="live bench JSON for --max-decision-p99-ns "
+                             "and --min-admit-rate")
     args = parser.parse_args()
 
     smoke = None
@@ -368,6 +441,12 @@ def main():
         with open(args.tune_baseline) as f:
             tune = json.load(f)
         ok = check_tune(tune, args.min_tune_speedup) and ok
+    if (args.max_decision_p99_ns is not None
+            or args.min_admit_rate is not None):
+        with open(args.live_baseline) as f:
+            live_doc = json.load(f)
+        ok = check_live(live_doc, args.max_decision_p99_ns,
+                        args.min_admit_rate) and ok
     return 0 if ok else 1
 
 
